@@ -1,0 +1,590 @@
+(* Bench harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) as printed data series, validates the cost
+   model against the execution engine, runs the ablations called out in
+   DESIGN.md, and times the optimizer itself with Bechamel.
+
+   Usage:  main.exe [--seed N] [--section NAME]...
+   With no --section, every section runs.  Section names: examples,
+   table1, fig11, fig12, fig13, fig14, fig15, validate, measured,
+   ablation, timing. *)
+
+open Fw_window
+module Evaluation = Factor_windows.Evaluation
+module Report = Factor_windows.Report
+module Optimizer = Factor_windows.Optimizer
+module A1 = Fw_wcg.Algorithm1
+module A2 = Fw_factor.Algorithm2
+module Cost_model = Fw_wcg.Cost_model
+module Set_gen = Fw_workload.Set_gen
+module Graph_gen = Fw_workload.Graph_gen
+module Event_gen = Fw_workload.Event_gen
+module Slicing_cost = Fw_slicing.Cost
+module Aggregate = Fw_agg.Aggregate
+
+let default_seed = 20260705
+
+let sections = ref []
+let seed = ref default_seed
+let csv = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--section" :: name :: rest ->
+        sections := name :: !sections;
+        parse rest
+    | "--csv" :: rest ->
+        csv := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let enabled name = !sections = [] || List.mem name !sections
+
+let heading fmt =
+  Printf.ksprintf
+    (fun s ->
+      let bar = String.make (String.length s) '=' in
+      Printf.printf "\n%s\n%s\n%s\n" bar s bar)
+    fmt
+
+let subheading fmt =
+  Printf.ksprintf (fun s -> Printf.printf "\n-- %s --\n" s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Examples 6, 7 and 8: the paper's running numbers.                   *)
+(* ------------------------------------------------------------------ *)
+
+let section_examples () =
+  heading "Running examples (Sections 3-4)";
+  let ws6 = List.map Window.tumbling [ 10; 20; 30; 40 ] in
+  let env6 = Cost_model.make_env ws6 in
+  let a1_6 = A1.run Coverage.Partitioned_by ws6 in
+  Printf.printf
+    "Example 6: naive C = %d, Algorithm 1 C' = %d (paper: 480 -> 150, 62.5%% \
+     off BL=4R)\n"
+    (Cost_model.naive_total env6 ws6)
+    a1_6.A1.total;
+  let ws7 = List.map Window.tumbling [ 20; 30; 40 ] in
+  let env7 = Cost_model.make_env ws7 in
+  let a1_7 = A1.run Coverage.Partitioned_by ws7 in
+  let a2_7 = A2.run Coverage.Partitioned_by ws7 in
+  Printf.printf
+    "Example 7: naive C = %d, Algorithm 1 C' = %d, Algorithm 2 C'' = %d \
+     (paper: 360 / 246 / 150)\n"
+    (Cost_model.naive_total env7 ws7)
+    a1_7.A1.total a2_7.A1.total;
+  Printf.printf
+    "Example 8: candidate factor windows and the full-plan cost each yields:\n";
+  List.iter
+    (fun r_f ->
+      let delta =
+        Fw_factor.Benefit.delta env7 ~semantics:Coverage.Partitioned_by
+          ~target:Fw_factor.Benefit.Stream
+          ~downstream:[ Window.tumbling 20; Window.tumbling 30 ]
+          ~factor:(Window.tumbling r_f)
+      in
+      Printf.printf "  W<%d,%d>: delta %+d -> total %d\n" r_f r_f delta
+        (a1_7.A1.total + delta))
+    [ 2; 5; 10 ];
+  Printf.printf
+    "  (Algorithm 4 keeps W<10,10>; the paper's footnote-8 values 240/168 \
+     count only the Figure-9 pattern, its 150 the full plan.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: window-slicing cost formulas.                              *)
+(* ------------------------------------------------------------------ *)
+
+let section_table1 () =
+  heading "Table 1: costs of window slicing techniques";
+  let show name ws ~eta =
+    subheading "%s (eta = %d)" name eta;
+    let rows =
+      List.map
+        (fun t ->
+          let b = Slicing_cost.cost ~eta t ws in
+          [
+            Slicing_cost.technique_to_string t;
+            string_of_int b.Slicing_cost.partial;
+            string_of_int b.Slicing_cost.final;
+            string_of_int (Slicing_cost.total b);
+          ])
+        Slicing_cost.all_techniques
+    in
+    print_endline
+      (Report.table ~header:[ "technique"; "partial"; "final"; "total" ] rows)
+  in
+  show "Example 6 windows (tumbling 10/20/30/40)"
+    (List.map Window.tumbling [ 10; 20; 30; 40 ])
+    ~eta:100;
+  show "Hopping set {W<10,2>, W<12,4>, W<8,2>}"
+    [
+      Window.make ~range:10 ~slide:2;
+      Window.make ~range:12 ~slide:4;
+      Window.make ~range:8 ~slide:2;
+    ]
+    ~eta:100
+
+(* ------------------------------------------------------------------ *)
+(* Figures 11-15: technique comparison over generated workloads.       *)
+(* ------------------------------------------------------------------ *)
+
+let series ~title ~semantics ~eta sets =
+  let costs = List.map (Evaluation.evaluate ~eta semantics) sets in
+  if !csv then begin
+    (* machine-readable: series,set,technique,cost *)
+    List.iteri
+      (fun i c ->
+        List.iter
+          (fun (t, cost) ->
+            Printf.printf "%s,set%02d,%s,%d\n" title (i + 1)
+              (Evaluation.technique_name t)
+              cost)
+          c.Evaluation.per_technique)
+      costs
+  end
+  else
+  print_endline
+    (Report.series ~title ~techniques:Evaluation.all_techniques costs);
+  if not !csv then
+  (* geometric-mean ratios vs BL, the "who wins by what factor" summary *)
+  let geo t =
+    let logs =
+      List.map
+        (fun c ->
+          log
+            (float_of_int (Evaluation.cost_of c Evaluation.BL)
+            /. float_of_int (max 1 (Evaluation.cost_of c t))))
+        costs
+    in
+    exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
+  in
+  Printf.printf "geomean speedup vs BL:";
+  List.iter
+    (fun t ->
+      Printf.printf "  %s x%.2f" (Evaluation.technique_name t) (geo t))
+    [ Evaluation.UP; Evaluation.SP; Evaluation.WCG; Evaluation.WCG_FW ];
+  print_newline ()
+
+let cfg_general = Set_gen.default_config
+let cfg_tumbling = { cfg_general with Set_gen.tumbling = true }
+
+let section_fig11 () =
+  heading "Figure 11: RandomGen, general windows";
+  let sets =
+    Set_gen.batch Set_gen.random ~seed:!seed cfg_general ~n:5 ~count:10
+  in
+  List.iter
+    (fun eta ->
+      series
+        ~title:(Printf.sprintf "fig11 |W|=5 eta=%d" eta)
+        ~semantics:Coverage.Covered_by ~eta sets)
+    [ 1; 10; 100 ];
+  (* The paper also generated 10-window sets and reports "very similar"
+     observations; one series verifies that here. *)
+  let sets10 =
+    Set_gen.batch Set_gen.random ~seed:(!seed + 100) cfg_general ~n:10
+      ~count:10
+  in
+  series ~title:"fig11 |W|=10 eta=100" ~semantics:Coverage.Covered_by
+    ~eta:100 sets10
+
+let section_fig12 () =
+  heading "Figure 12: RandomGen, |W| = 5, tumbling windows";
+  let sets =
+    Set_gen.batch Set_gen.random ~seed:(!seed + 1) cfg_tumbling ~n:5 ~count:10
+  in
+  List.iter
+    (fun eta ->
+      series
+        ~title:(Printf.sprintf "fig12 eta=%d" eta)
+        ~semantics:Coverage.Partitioned_by ~eta sets)
+    [ 1; 10; 100 ]
+
+let section_fig13 () =
+  heading "Figure 13: ChainGen, |W| = 5, eta = 100";
+  let general =
+    Set_gen.batch Set_gen.chain ~seed:(!seed + 2) cfg_general ~n:5 ~count:10
+  in
+  series ~title:"fig13(a) general" ~semantics:Coverage.Covered_by ~eta:100
+    general;
+  let general10 =
+    Set_gen.batch Set_gen.chain ~seed:(!seed + 102)
+      { cfg_general with Set_gen.params = { cfg_general.Set_gen.params with Fw_workload.Window_gen.k_max = 4 } }
+      ~n:10 ~count:10
+  in
+  series ~title:"fig13(a') general |W|=10" ~semantics:Coverage.Covered_by
+    ~eta:100 general10;
+  let tumbling =
+    Set_gen.batch Set_gen.chain ~seed:(!seed + 3) cfg_tumbling ~n:5 ~count:10
+  in
+  series ~title:"fig13(b) tumbling" ~semantics:Coverage.Partitioned_by
+    ~eta:100 tumbling
+
+let section_fig14 () =
+  heading "Figure 14: StarGen, |W| = 5, eta = 100";
+  let general =
+    Set_gen.batch Set_gen.star ~seed:(!seed + 4) cfg_general ~n:5 ~count:10
+  in
+  series ~title:"fig14(a) general" ~semantics:Coverage.Covered_by ~eta:100
+    general;
+  let tumbling =
+    Set_gen.batch Set_gen.star ~seed:(!seed + 5) cfg_tumbling ~n:5 ~count:10
+  in
+  series ~title:"fig14(b) tumbling" ~semantics:Coverage.Partitioned_by
+    ~eta:100 tumbling
+
+let section_fig15 () =
+  heading
+    "Figure 15: RandomGraphGen (3 levels: 2+4+6 windows), eta = 100";
+  let sets = Graph_gen.batch ~seed:(!seed + 6) Graph_gen.default_config ~count:10 in
+  series ~title:"fig15 general" ~semantics:Coverage.Covered_by ~eta:100 sets;
+  let tumbling_cfg =
+    { Graph_gen.default_config with Graph_gen.set_config = cfg_tumbling }
+  in
+  let tsets = Graph_gen.batch ~seed:(!seed + 7) tumbling_cfg ~count:10 in
+  series ~title:"fig15 tumbling variant" ~semantics:Coverage.Partitioned_by
+    ~eta:100 tsets
+
+(* ------------------------------------------------------------------ *)
+(* Validation: analytic cost model vs engine counters.                 *)
+(* ------------------------------------------------------------------ *)
+
+let section_validate () =
+  heading "Validation: model costs vs measured engine counters";
+  let validate_case name agg ws ~eta =
+    let outcome = Optimizer.optimize ~eta agg ws in
+    match Optimizer.optimized_cost outcome with
+    | None -> Printf.printf "%s: holistic, skipped\n" name
+    | Some model ->
+        let env = Cost_model.make_env ~eta ws in
+        let horizon = env.Cost_model.period in
+        let events =
+          List.concat
+            (List.init horizon (fun t ->
+                 List.init eta (fun i ->
+                     Fw_engine.Event.make ~time:t ~key:"k"
+                       ~value:(float_of_int ((t + i) mod 97)))))
+        in
+        let metrics = Fw_engine.Metrics.create () in
+        ignore
+          (Fw_engine.Stream_exec.run ~metrics
+             (Optimizer.optimized_plan outcome)
+             ~horizon events);
+        let measured = Fw_engine.Metrics.total_processed metrics in
+        let naive_metrics = Fw_engine.Metrics.create () in
+        ignore
+          (Fw_engine.Stream_exec.run ~metrics:naive_metrics
+             (Optimizer.naive_plan outcome) ~horizon events);
+        let naive_measured =
+          Fw_engine.Metrics.total_processed naive_metrics
+        in
+        Printf.printf
+          "%-28s model opt=%d measured opt=%d | model naive=%d measured \
+           naive=%d %s\n"
+          name model measured
+          (Option.value ~default:0 (Optimizer.naive_cost outcome))
+          naive_measured
+          (if
+             model = measured
+             && Optimizer.naive_cost outcome = Some naive_measured
+           then "[exact]"
+           else "[MISMATCH]")
+  in
+  validate_case "example 6, MIN, eta=1" Aggregate.Min
+    (List.map Window.tumbling [ 10; 20; 30; 40 ])
+    ~eta:1;
+  validate_case "example 6, SUM, eta=3" Aggregate.Sum
+    (List.map Window.tumbling [ 10; 20; 30; 40 ])
+    ~eta:3;
+  validate_case "example 7, AVG, eta=2" Aggregate.Avg
+    (List.map Window.tumbling [ 20; 30; 40 ])
+    ~eta:2;
+  validate_case "hopping chain, MIN, eta=1" Aggregate.Min
+    [
+      Window.make ~range:8 ~slide:4;
+      Window.make ~range:12 ~slide:4;
+      Window.make ~range:24 ~slide:8;
+    ]
+    ~eta:1
+
+(* ------------------------------------------------------------------ *)
+(* Measured execution: run all five techniques on real event streams   *)
+(* and count items actually processed (the model's quantity).          *)
+(* ------------------------------------------------------------------ *)
+
+let measured_counts semantics ws ~eta ~horizon events =
+  let wcg_items result =
+    let plan =
+      Fw_plan.Rewrite.plan_of_result Aggregate.Min result
+    in
+    let metrics = Fw_engine.Metrics.create () in
+    ignore (Fw_engine.Stream_exec.run ~metrics plan ~horizon events);
+    Fw_engine.Metrics.total_processed metrics
+  in
+  let bl =
+    let metrics = Fw_engine.Metrics.create () in
+    ignore
+      (Fw_engine.Stream_exec.run ~metrics
+         (Fw_plan.Plan.naive Aggregate.Min ws)
+         ~horizon events);
+    Fw_engine.Metrics.total_processed metrics
+  in
+  let slicing mode =
+    let report =
+      Fw_slicing.Exec.run Aggregate.Min mode Fw_slicing.Exec.Paired_slicing ws
+        ~horizon events
+    in
+    report.Fw_slicing.Exec.partial_items + report.Fw_slicing.Exec.final_items
+  in
+  [
+    (Evaluation.BL, bl);
+    (Evaluation.UP, slicing Fw_slicing.Exec.Unshared);
+    (Evaluation.SP, slicing Fw_slicing.Exec.Shared);
+    (Evaluation.WCG, wcg_items (A1.run ~eta semantics ws));
+    (Evaluation.WCG_FW, wcg_items (A2.best_of ~eta semantics ws));
+  ]
+
+let section_measured () =
+  heading
+    "Measured execution: items processed over real streams (single key, \
+     steady rate)";
+  let cases =
+    [
+      ( "example 6 (tumbling), eta=5",
+        Coverage.Partitioned_by,
+        List.map Window.tumbling [ 10; 20; 30; 40 ],
+        5 );
+      ( "hopping chain, eta=5",
+        Coverage.Covered_by,
+        [
+          Window.make ~range:8 ~slide:4;
+          Window.make ~range:12 ~slide:4;
+          Window.make ~range:24 ~slide:8;
+        ],
+        5 );
+      ( "star (tumbling), eta=5",
+        Coverage.Partitioned_by,
+        List.map Window.tumbling [ 6; 12; 18; 30 ],
+        5 );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, semantics, ws, eta) ->
+        let env = Cost_model.make_env ~eta ws in
+        let horizon = 2 * env.Cost_model.period in
+        let events =
+          List.concat
+            (List.init horizon (fun t ->
+                 List.init eta (fun i ->
+                     Fw_engine.Event.make ~time:t ~key:"k"
+                       ~value:(float_of_int ((t + i) mod 89)))))
+        in
+        let counts = measured_counts semantics ws ~eta ~horizon events in
+        name
+        :: List.map
+             (fun t -> string_of_int (List.assoc t counts))
+             Evaluation.all_techniques)
+      cases
+  in
+  print_endline
+    (Report.table
+       ~header:
+         ("workload"
+         :: List.map Evaluation.technique_name Evaluation.all_techniques)
+       rows);
+  print_endline
+    "(UP/SP count slice partials + final combines; BL/WCG/WCG-FW count \
+     items folded into fired window instances.)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 6).                                    *)
+(* ------------------------------------------------------------------ *)
+
+let section_ablation () =
+  heading "Ablations";
+  subheading
+    "strict Figure-9 candidate search vs subset-aware search (tumbling \
+     RandomGen sets, eta = 100)";
+  let sets =
+    Set_gen.batch Set_gen.random ~seed:(!seed + 8) cfg_tumbling ~n:5 ~count:10
+  in
+  let rows =
+    List.mapi
+      (fun i ws ->
+        let strict =
+          A2.run ~eta:100 ~strict_figure9:true Coverage.Partitioned_by ws
+        in
+        let grouped = A2.run ~eta:100 Coverage.Partitioned_by ws in
+        let alg1 = A1.run ~eta:100 Coverage.Partitioned_by ws in
+        [
+          Printf.sprintf "set%02d" (i + 1);
+          string_of_int alg1.A1.total;
+          string_of_int strict.A1.total;
+          string_of_int grouped.A1.total;
+        ])
+      sets
+  in
+  print_endline
+    (Report.table ~header:[ "set"; "alg1"; "alg2-strict"; "alg2-grouped" ] rows);
+  subheading "Figure-9 edges vs dense factor edges";
+  let rows =
+    List.mapi
+      (fun i ws ->
+        let sparse = A2.run ~eta:100 Coverage.Partitioned_by ws in
+        let dense =
+          A2.run ~eta:100 ~dense_factor_edges:true Coverage.Partitioned_by ws
+        in
+        [
+          Printf.sprintf "set%02d" (i + 1);
+          string_of_int sparse.A1.total;
+          string_of_int dense.A1.total;
+        ])
+      sets
+  in
+  print_endline (Report.table ~header:[ "set"; "figure-9"; "dense" ] rows);
+  subheading
+    "exhaustive factor search on tiny sets (upper bound on Algorithm 2's gap)";
+  (* Brute force: try every single tumbling factor window up to the max
+     range and re-run Algorithm 1; the Steiner-tree optimum over one
+     added vertex.  Algorithm 2 may add several, so it can win, too. *)
+  let tiny_sets =
+    Set_gen.batch Set_gen.random ~seed:(!seed + 9) cfg_tumbling ~n:3 ~count:8
+  in
+  let rows =
+    List.mapi
+      (fun i ws ->
+        let env = Cost_model.make_env ~eta:100 ws in
+        let alg2 = A2.best_of ~eta:100 Coverage.Partitioned_by ws in
+        let r_max = List.fold_left (fun m w -> max m (Window.range w)) 0 ws in
+        let best_single = ref (A1.run ~eta:100 Coverage.Partitioned_by ws) in
+        for r_f = 1 to r_max do
+          let f = Window.tumbling r_f in
+          if
+            env.Cost_model.period mod r_f = 0
+            && not (List.exists (Window.equal f) ws)
+          then begin
+            let g = Fw_wcg.Graph.of_windows Coverage.Partitioned_by ws in
+            let g = Fw_wcg.Graph.add_node g f Fw_wcg.Graph.Factor in
+            let g = Fw_wcg.Graph.connect_coverage g f in
+            let r = A1.run_graph env g in
+            let r =
+              if Fw_wcg.Graph.out_neighbors r.A1.graph f = [] then
+                A1.run ~eta:100 Coverage.Partitioned_by ws
+              else r
+            in
+            if r.A1.total < !best_single.A1.total then best_single := r
+          end
+        done;
+        [
+          Printf.sprintf "set%02d" (i + 1);
+          string_of_int alg2.A1.total;
+          string_of_int !best_single.A1.total;
+        ])
+      tiny_sets
+  in
+  print_endline
+    (Report.table ~header:[ "set"; "alg2 (best-of)"; "best single factor" ] rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: wall-clock timing of the optimizer and the engine.        *)
+(* ------------------------------------------------------------------ *)
+
+let run_bechamel tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"bench" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> Printf.sprintf "%.0f" e
+          | Some [] | None -> "n/a"
+        in
+        [ name; ns ] :: acc)
+      results []
+  in
+  print_endline
+    (Report.table ~header:[ "benchmark"; "ns/run" ]
+       (List.sort compare rows))
+
+let section_timing () =
+  heading "Optimizer and engine wall-clock timing (Bechamel)";
+  let prng = Fw_util.Prng.create (!seed + 10) in
+  let ws5 = Set_gen.random prng cfg_general ~n:5 in
+  let ws10 = Set_gen.random prng cfg_general ~n:10 in
+  let events =
+    Event_gen.steady (Fw_util.Prng.create (!seed + 11))
+      Event_gen.default_config ~eta:4 ~horizon:240
+  in
+  let outcome = Optimizer.optimize Aggregate.Min (List.map Window.tumbling [ 10; 20; 30; 40 ]) in
+  let open Bechamel in
+  run_bechamel
+    [
+      Test.make ~name:"alg1 |W|=5"
+        (Staged.stage (fun () ->
+             ignore (A1.run Coverage.Covered_by ws5)));
+      Test.make ~name:"alg1 |W|=10"
+        (Staged.stage (fun () ->
+             ignore (A1.run Coverage.Covered_by ws10)));
+      Test.make ~name:"alg2 |W|=5"
+        (Staged.stage (fun () ->
+             ignore (A2.best_of Coverage.Covered_by ws5)));
+      Test.make ~name:"alg2 |W|=10"
+        (Staged.stage (fun () ->
+             ignore (A2.best_of Coverage.Covered_by ws10)));
+      Test.make ~name:"engine naive (240 ticks)"
+        (Staged.stage (fun () ->
+             ignore
+               (Fw_engine.Stream_exec.run
+                  (Optimizer.naive_plan outcome)
+                  ~horizon:240 events)));
+      Test.make ~name:"engine rewritten (240 ticks)"
+        (Staged.stage (fun () ->
+             ignore
+               (Fw_engine.Stream_exec.run
+                  (Optimizer.optimized_plan outcome)
+                  ~horizon:240 events)));
+      Test.make ~name:"sql compile (fig 1a)"
+        (Staged.stage (fun () ->
+             ignore
+               (Fw_sql.Compile.compile
+                  "SELECT MIN(t) FROM s GROUP BY \
+                   WINDOWS(WINDOW(TUMBLINGWINDOW(minute, 10)), \
+                   WINDOW(TUMBLINGWINDOW(minute, 20)), \
+                   WINDOW(TUMBLINGWINDOW(minute, 30)), \
+                   WINDOW(TUMBLINGWINDOW(minute, 40)))")));
+    ]
+
+let () =
+  Printf.printf "factor-windows bench harness (seed %d)\n" !seed;
+  if enabled "examples" then section_examples ();
+  if enabled "table1" then section_table1 ();
+  if enabled "fig11" then section_fig11 ();
+  if enabled "fig12" then section_fig12 ();
+  if enabled "fig13" then section_fig13 ();
+  if enabled "fig14" then section_fig14 ();
+  if enabled "fig15" then section_fig15 ();
+  if enabled "validate" then section_validate ();
+  if enabled "measured" then section_measured ();
+  if enabled "ablation" then section_ablation ();
+  if enabled "timing" then section_timing ();
+  print_newline ()

@@ -1,0 +1,317 @@
+(* fwopt: command-line front end to the factor-windows optimizer.
+
+   Subcommands:
+     optimize  - compile an ASA-like SQL query and print the rewriting
+     run       - compile, execute on synthetic events, verify vs naive
+     gen       - generate random window sets (Section 5.2 generators)
+     eval      - regenerate a figure's cost series from a seed *)
+
+open Cmdliner
+open Fw_window
+module Optimizer = Factor_windows.Optimizer
+module Evaluation = Factor_windows.Evaluation
+module Report = Factor_windows.Report
+module Set_gen = Fw_workload.Set_gen
+module Graph_gen = Fw_workload.Graph_gen
+module Event_gen = Fw_workload.Event_gen
+
+let read_file = function
+  | "-" ->
+      let buf = Buffer.create 1024 in
+      (try
+         while true do
+           Buffer.add_channel buf stdin 1
+         done
+       with End_of_file -> ());
+      Buffer.contents buf
+  | path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+(* --- common arguments --- *)
+
+let query_arg =
+  let doc = "SQL query text (overrides $(docv))." in
+  Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"SQL" ~doc)
+
+let file_arg =
+  let doc = "File containing the query; '-' reads standard input." in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+
+let eta_arg =
+  let doc = "Steady input event rate (events per tick)." in
+  Arg.(value & opt int 1 & info [ "eta" ] ~docv:"N" ~doc)
+
+let no_factor_arg =
+  let doc = "Disable factor windows (plain Algorithm 1)." in
+  Arg.(value & flag & info [ "no-factor-windows" ] ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (all randomness is reproducible from it)." in
+  Arg.(value & opt int 20260705 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let load_query query file =
+  match query with Some q -> q | None -> read_file file
+
+(* --- optimize --- *)
+
+let optimize_cmd =
+  let action query file eta no_factor trill_only dot multi show_trace =
+    let input = load_query query file in
+    if multi then
+      match
+        Fw_sql.Compile.compile_multi ~eta ~factor_windows:(not no_factor)
+          input
+      with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1
+      | Ok compiled -> print_string (Fw_sql.Compile.explain_multi compiled)
+    else
+      match
+        Optimizer.of_query ~eta ~factor_windows:(not no_factor) input
+      with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1
+      | Ok t ->
+          if show_trace then begin
+            match Fw_agg.Aggregate.semantics t.Optimizer.agg with
+            | Some semantics ->
+                print_endline
+                  (Factor_windows.Explain.render
+                     (Factor_windows.Explain.trace ~eta semantics
+                        t.Optimizer.windows))
+            | None ->
+                Printf.eprintf "holistic aggregate: nothing to trace\n";
+                exit 1
+          end
+          else if dot then
+            match t.Optimizer.outcome.Fw_plan.Rewrite.optimization with
+            | Some result -> print_string (Fw_wcg.Dot.result result)
+            | None ->
+                Printf.eprintf
+                  "no WCG to render (holistic aggregate, naive plan)\n";
+                exit 1
+          else if trill_only then print_endline (Optimizer.trill t)
+          else print_string (Optimizer.explain t)
+  in
+  let trill_only =
+    Arg.(value & flag
+         & info [ "trill-only" ] ~doc:"Print only the rewritten Trill plan.")
+  in
+  let dot =
+    Arg.(value & flag
+         & info [ "dot" ] ~doc:"Emit the min-cost WCG as Graphviz dot.")
+  in
+  let multi =
+    Arg.(value & flag
+         & info [ "multi" ]
+             ~doc:"Allow several aggregate functions; optimize each.")
+  in
+  let show_trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the step-by-step optimizer decisions.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Compile a query and print the rewriting.")
+    Term.(const action $ query_arg $ file_arg $ eta_arg $ no_factor_arg
+          $ trill_only $ dot $ multi $ show_trace)
+
+(* --- run --- *)
+
+let run_cmd =
+  let action query file eta no_factor seed horizon show_rows shuffle lateness
+      events_file csv_out =
+    match
+      Optimizer.of_query ~eta ~factor_windows:(not no_factor)
+        (load_query query file)
+    with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    | Ok t ->
+        let prng = Fw_util.Prng.create seed in
+        let events =
+          match events_file with
+          | None -> Event_gen.steady prng Event_gen.default_config ~eta ~horizon
+          | Some path -> (
+              match Fw_engine.Csv_io.load_events path with
+              | Ok events -> Fw_engine.Event.sort events
+              | Error e ->
+                  Printf.eprintf "cannot read events: %s\n" e;
+                  exit 1)
+        in
+        (match Optimizer.verify t ~horizon events with
+        | Error e ->
+            Printf.eprintf "VERIFICATION FAILED: %s\n" e;
+            exit 1
+        | Ok () -> ());
+        if shuffle then begin
+          (* demonstrate the reorder buffer on out-of-order arrival *)
+          let disordered = Fw_util.Prng.shuffle prng events in
+          let rows, stats =
+            Fw_engine.Reorder.run ~lateness (Optimizer.optimized_plan t)
+              ~horizon disordered
+          in
+          Printf.printf
+            "reorder: released %d, dropped %d late, peak buffer %d, %d rows\n"
+            stats.Fw_engine.Reorder.released
+            stats.Fw_engine.Reorder.dropped_late
+            stats.Fw_engine.Reorder.buffered_peak (List.length rows)
+        end;
+        let report = Optimizer.execute t ~horizon events in
+        Printf.printf
+          "verified against the naive plan; %d result rows, %d items \
+           processed (naive model cost %s).\n"
+          (List.length report.Fw_engine.Run.rows)
+          (Fw_engine.Metrics.total_processed report.Fw_engine.Run.metrics)
+          (match Optimizer.naive_cost t with
+          | Some c -> string_of_int c
+          | None -> "n/a");
+        Format.printf "%a@." Fw_engine.Metrics.pp report.Fw_engine.Run.metrics;
+        if csv_out then
+          print_string (Fw_engine.Csv_io.rows_to_csv report.Fw_engine.Run.rows)
+        else if show_rows then
+          List.iter
+            (fun r -> Format.printf "%a@." Fw_engine.Row.pp r)
+            report.Fw_engine.Run.rows
+  in
+  let horizon =
+    Arg.(value & opt int 240
+         & info [ "horizon" ] ~docv:"TICKS" ~doc:"Replay horizon in ticks.")
+  in
+  let show_rows =
+    Arg.(value & flag & info [ "rows" ] ~doc:"Print every result row.")
+  in
+  let shuffle =
+    Arg.(value & flag
+         & info [ "shuffle" ]
+             ~doc:"Also feed the stream out of order through the reorder \
+                   buffer.")
+  in
+  let lateness =
+    Arg.(value & opt int 1000
+         & info [ "lateness" ] ~docv:"TICKS"
+             ~doc:"Allowed lateness for --shuffle.")
+  in
+  let events_file =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"CSV"
+             ~doc:"Read events from a CSV file (time,key,value; '-' = \
+                   stdin) instead of generating them.")
+  in
+  let csv_out =
+    Arg.(value & flag
+         & info [ "csv" ] ~doc:"Emit result rows as CSV on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile a query, execute it on synthetic events (or a CSV \
+             file) and verify.")
+    Term.(const action $ query_arg $ file_arg $ eta_arg $ no_factor_arg
+          $ seed_arg $ horizon $ show_rows $ shuffle $ lateness $ events_file
+          $ csv_out)
+
+(* --- gen --- *)
+
+let generator_arg =
+  let doc = "Window-set generator: random, chain, star or graph." in
+  Arg.(value & opt string "random" & info [ "generator"; "g" ] ~docv:"GEN" ~doc)
+
+let tumbling_arg =
+  Arg.(value & flag
+       & info [ "tumbling" ] ~doc:"Generate tumbling-only variants.")
+
+let gen_sets generator tumbling seed n count =
+  let cfg = { Set_gen.default_config with Set_gen.tumbling } in
+  match generator with
+  | "random" -> Set_gen.batch Set_gen.random ~seed cfg ~n ~count
+  | "chain" -> Set_gen.batch Set_gen.chain ~seed cfg ~n ~count
+  | "star" -> Set_gen.batch Set_gen.star ~seed cfg ~n ~count
+  | "graph" ->
+      Graph_gen.batch ~seed
+        { Graph_gen.default_config with Graph_gen.set_config = cfg }
+        ~count
+  | other ->
+      Printf.eprintf "unknown generator %s\n" other;
+      exit 2
+
+let gen_cmd =
+  let action generator tumbling seed n count as_sql =
+    let sets = gen_sets generator tumbling seed n count in
+    List.iteri
+      (fun i ws ->
+        if as_sql then begin
+          let windows =
+            String.concat ",\n    "
+              (List.map
+                 (fun w ->
+                   Printf.sprintf "WINDOW(%s)"
+                     (Fw_sql.Printer.window_def (Fw_sql.Ast.def_of_window w)))
+                 ws)
+          in
+          Printf.printf
+            "-- set %d\nSELECT MIN(v) FROM input GROUP BY WINDOWS(\n    %s)\n\n"
+            (i + 1) windows
+        end
+        else
+          Printf.printf "set%02d: %s\n" (i + 1)
+            (String.concat " " (List.map Window.to_string ws)))
+      sets
+  in
+  let n =
+    Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Windows per set.")
+  in
+  let count =
+    Arg.(value & opt int 10 & info [ "count" ] ~docv:"K" ~doc:"Number of sets.")
+  in
+  let as_sql =
+    Arg.(value & flag & info [ "sql" ] ~doc:"Emit each set as a SQL query.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate random window sets (Algorithms 5 and 6).")
+    Term.(const action $ generator_arg $ tumbling_arg $ seed_arg $ n $ count
+          $ as_sql)
+
+(* --- eval --- *)
+
+let eval_cmd =
+  let action generator tumbling seed n count eta =
+    let sets = gen_sets generator tumbling seed n count in
+    let semantics =
+      if tumbling then Coverage.Partitioned_by else Coverage.Covered_by
+    in
+    let costs = List.map (Evaluation.evaluate ~eta semantics) sets in
+    print_endline
+      (Report.series
+         ~title:
+           (Printf.sprintf "%s%s |W|=%d eta=%d seed=%d" generator
+              (if tumbling then " (tumbling)" else "")
+              n eta seed)
+         ~techniques:Evaluation.all_techniques costs)
+  in
+  let n =
+    Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Windows per set.")
+  in
+  let count =
+    Arg.(value & opt int 10 & info [ "count" ] ~docv:"K" ~doc:"Number of sets.")
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Regenerate a figure-style cost comparison from a seed.")
+    Term.(const action $ generator_arg $ tumbling_arg $ seed_arg $ n $ count
+          $ eta_arg)
+
+let () =
+  let info =
+    Cmd.info "fwopt" ~version:"1.0.0"
+      ~doc:
+        "Cost-based query rewriting for aggregates over correlated windows \
+         (factor windows)."
+  in
+  exit (Cmd.eval (Cmd.group info [ optimize_cmd; run_cmd; gen_cmd; eval_cmd ]))

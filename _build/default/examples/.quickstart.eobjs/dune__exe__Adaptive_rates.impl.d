@@ -1,0 +1,1 @@
+examples/adaptive_rates.ml: Factor_windows Fw_agg Fw_engine Fw_window List Printf String Window

@@ -1,0 +1,1 @@
+examples/factor_explorer.ml: Array Coverage Format Fw_factor Fw_wcg Fw_window List Order Printf String Sys Window

@@ -1,0 +1,1 @@
+examples/factor_explorer.mli:

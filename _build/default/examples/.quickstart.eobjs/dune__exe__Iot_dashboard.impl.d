@@ -1,0 +1,1 @@
+examples/iot_dashboard.ml: Factor_windows Fw_engine Fw_util Fw_window Fw_workload List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Factor_windows Fw_agg Fw_engine Fw_plan Fw_util Fw_window Fw_workload List Printf Window

@@ -1,0 +1,1 @@
+examples/slicing_compare.ml: Array Coverage Factor_windows Format Fw_window Fw_workload List Printf String Sys Window

@@ -1,0 +1,1 @@
+examples/sql_rewrite.ml: Buffer Fw_sql Printf Sys

@@ -1,0 +1,82 @@
+(* Factor-window explorer: a walkthrough of Section 4 on Example 7.
+
+     dune exec examples/factor_explorer.exe
+     dune exec examples/factor_explorer.exe -- 20 30 40 70
+
+   Pass tumbling-window ranges to explore your own set. *)
+
+open Fw_window
+module Cost_model = Fw_wcg.Cost_model
+module A1 = Fw_wcg.Algorithm1
+module A2 = Fw_factor.Algorithm2
+module Benefit = Fw_factor.Benefit
+module Partitioned = Fw_factor.Partitioned
+module Candidates = Fw_factor.Candidates
+module Forest = Fw_wcg.Forest
+
+let ranges =
+  match Array.to_list Sys.argv with
+  | [] | [ _ ] -> [ 20; 30; 40 ]
+  | _ :: args -> List.map int_of_string args
+
+let () =
+  let ws = List.map Window.tumbling ranges in
+  let env = Cost_model.make_env ws in
+  Printf.printf "window set: %s   (period R = %d)\n"
+    (String.concat " " (List.map Window.to_string ws))
+    env.Cost_model.period;
+  Printf.printf "naive cost: %d\n" (Cost_model.naive_total env ws);
+
+  let a1 = A1.run Coverage.Partitioned_by ws in
+  Printf.printf "\nAlgorithm 1 (no factor windows): total %d\n" a1.A1.total;
+  Format.printf "%a@." A1.pp_result a1;
+
+  (* Show the candidate analysis at the stream root. *)
+  let roots = Order.minimal_elements Coverage.Partitioned_by ws in
+  Printf.printf "roots (read the raw stream): %s\n"
+    (String.concat " " (List.map Window.to_string roots));
+  let candidate_ranges =
+    Partitioned.candidate_ranges ~target:Benefit.Stream ~downstream:roots
+  in
+  Printf.printf "Algorithm 4 candidate ranges at the root: %s\n"
+    (String.concat " " (List.map string_of_int candidate_ranges));
+  List.iter
+    (fun r_f ->
+      let f = Window.tumbling r_f in
+      if not (List.exists (Window.equal f) ws) then
+        let helps =
+          Partitioned.helps env ~target:Benefit.Stream ~downstream:roots
+            ~factor:f
+        in
+        let delta =
+          Benefit.delta env ~semantics:Coverage.Partitioned_by
+            ~target:Benefit.Stream ~downstream:roots ~factor:f
+        in
+        Printf.printf "  W<%d,%d>: Algorithm 3 says %b, exact delta %+d\n" r_f
+          r_f helps delta)
+    candidate_ranges;
+  (match
+     Candidates.best_grouped env ~semantics:Coverage.Partitioned_by
+       ~exclude:ws ~target:Benefit.Stream ~downstream:roots
+   with
+  | Some s ->
+      Printf.printf "subset-aware best: %s covering {%s}, delta %+d\n"
+        (Window.to_string s.Candidates.factor)
+        (String.concat " " (List.map Window.to_string s.Candidates.group))
+        s.Candidates.delta
+  | None -> Printf.printf "subset-aware search: no beneficial factor window\n");
+
+  let a2 = A2.best_of Coverage.Partitioned_by ws in
+  Printf.printf "\nAlgorithm 2 (factor windows allowed): total %d\n"
+    a2.A1.total;
+  let factors = Fw_wcg.Graph.factor_windows a2.A1.graph in
+  Printf.printf "factor windows in the final WCG: %s\n"
+    (if factors = [] then "(none)"
+     else String.concat " " (List.map Window.to_string factors));
+  print_endline "final forest:";
+  List.iter
+    (fun tree -> Format.printf "  %a@." Forest.pp tree)
+    (Forest.of_graph a2.A1.graph);
+  Printf.printf "\ncost: naive %d -> Algorithm 1 %d -> with factor windows %d\n"
+    (Cost_model.naive_total env ws)
+    a1.A1.total a2.A1.total

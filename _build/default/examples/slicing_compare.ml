@@ -1,0 +1,59 @@
+(* Compare the WCG techniques with the window-slicing baselines on a
+   generated workload (a miniature of the paper's Section 5).
+
+     dune exec examples/slicing_compare.exe
+     dune exec examples/slicing_compare.exe -- chain 7 1234
+     dune exec examples/slicing_compare.exe -- star 5 99 --tumbling
+
+   Arguments: generator (random|chain|star), window count, seed, and an
+   optional --tumbling flag for the partitioned-by variants. *)
+
+open Fw_window
+module Evaluation = Factor_windows.Evaluation
+module Report = Factor_windows.Report
+module Set_gen = Fw_workload.Set_gen
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tumbling = List.mem "--tumbling" args in
+  let args = List.filter (fun a -> a <> "--tumbling") (List.tl args) in
+  let gen_name, n, seed =
+    match args with
+    | [] -> ("random", 5, 42)
+    | [ g ] -> (g, 5, 42)
+    | [ g; n ] -> (g, int_of_string n, 42)
+    | g :: n :: s :: _ -> (g, int_of_string n, int_of_string s)
+  in
+  let gen =
+    match gen_name with
+    | "random" -> Set_gen.random
+    | "chain" -> Set_gen.chain
+    | "star" -> Set_gen.star
+    | other ->
+        Printf.eprintf "unknown generator %s (random|chain|star)\n" other;
+        exit 2
+  in
+  let config = { Set_gen.default_config with Set_gen.tumbling } in
+  let semantics =
+    if tumbling then Coverage.Partitioned_by else Coverage.Covered_by
+  in
+  let sets = Set_gen.batch gen ~seed config ~n ~count:10 in
+  Printf.printf
+    "generator=%s |W|=%d seed=%d windows=%s semantics=%s\n\n" gen_name n seed
+    (if tumbling then "tumbling" else "general")
+    (Format.asprintf "%a" Coverage.pp_semantics semantics);
+  List.iteri
+    (fun i ws ->
+      Printf.printf "set%02d: %s\n" (i + 1)
+        (String.concat " " (List.map Window.to_string ws)))
+    sets;
+  print_newline ();
+  List.iter
+    (fun eta ->
+      let costs = List.map (Evaluation.evaluate ~eta semantics) sets in
+      print_endline
+        (Report.series
+           ~title:(Printf.sprintf "costs at eta = %d" eta)
+           ~techniques:Evaluation.all_techniques costs);
+      print_newline ())
+    [ 1; 100 ]

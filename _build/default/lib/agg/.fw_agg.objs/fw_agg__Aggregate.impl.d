@@ -1,0 +1,1 @@
+lib/agg/aggregate.ml: Format Fw_window List String

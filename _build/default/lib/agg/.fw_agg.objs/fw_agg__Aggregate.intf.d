@@ -1,0 +1,1 @@
+lib/agg/aggregate.mli: Format Fw_window

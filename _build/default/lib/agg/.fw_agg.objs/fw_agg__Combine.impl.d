@@ -1,0 +1,1 @@
+lib/agg/combine.ml: Aggregate Float Format List

@@ -1,0 +1,1 @@
+lib/agg/combine.mli: Aggregate Format

@@ -1,0 +1,34 @@
+type t = Min | Max | Count | Sum | Avg | Stdev | Median
+
+type kind = Distributive | Algebraic | Holistic
+
+let kind = function
+  | Min | Max | Count | Sum -> Distributive
+  | Avg | Stdev -> Algebraic
+  | Median -> Holistic
+
+let semantics = function
+  | Min | Max -> Some Fw_window.Coverage.Covered_by
+  | Count | Sum | Avg | Stdev -> Some Fw_window.Coverage.Partitioned_by
+  | Median -> None
+
+let shareable f = semantics f <> None
+
+let to_string = function
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Stdev -> "STDEV"
+  | Median -> "MEDIAN"
+
+let all = [ Min; Max; Count; Sum; Avg; Stdev; Median ]
+
+let of_string s =
+  let s = String.uppercase_ascii s in
+  List.find_opt (fun f -> to_string f = s) all
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)
+
+let equal (a : t) (b : t) = a = b

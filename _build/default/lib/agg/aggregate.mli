@@ -1,0 +1,38 @@
+(** The taxonomy of aggregate functions (Section 3.1; Gray et al.).
+
+    - {e Distributive}: [f(T) = g({f(T₁), ..., f(Tₙ)})] for a disjoint
+      partition of [T] (MIN, MAX, COUNT, SUM).
+    - {e Algebraic}: [f(T) = h({g(T₁), ..., g(Tₙ)})] where [g] produces a
+      constant-size summary (AVG, STDEV).
+    - {e Holistic}: no constant-size sub-aggregate exists (MEDIAN, RANK).
+
+    Only distributive/algebraic functions can be computed from
+    sub-aggregates (Theorem 5), and only when the downstream window is
+    {e partitioned} by the upstream one — except MIN and MAX, which stay
+    distributive over overlapping covers (Theorem 6) and therefore only
+    need the weaker {e covered-by} relation (footnote 5). *)
+
+type t = Min | Max | Count | Sum | Avg | Stdev | Median
+
+type kind = Distributive | Algebraic | Holistic
+
+val kind : t -> kind
+
+val semantics : t -> Fw_window.Coverage.semantics option
+(** The WCG edge semantics this aggregate may exploit: [Covered_by] for
+    MIN/MAX, [Partitioned_by] for COUNT/SUM/AVG/STDEV, and [None] for
+    holistic functions (no sharing; the optimizer falls back to the
+    naive plan). *)
+
+val shareable : t -> bool
+(** [semantics f <> None]. *)
+
+val of_string : string -> t option
+(** Case-insensitive name lookup ("min", "AVG", ...). *)
+
+val to_string : t -> string
+(** Upper-case SQL name ("MIN", "AVG", ...). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val all : t list

@@ -1,0 +1,97 @@
+type state =
+  | S_min of float
+  | S_max of float
+  | S_count of int
+  | S_sum of float
+  | S_avg of { sum : float; count : int }
+  | S_stdev of { sum : float; sumsq : float; count : int }
+  | S_median of float list  (* holistic: keeps every value *)
+
+let of_value (f : Aggregate.t) v =
+  match f with
+  | Min -> S_min v
+  | Max -> S_max v
+  | Count -> S_count 1
+  | Sum -> S_sum v
+  | Avg -> S_avg { sum = v; count = 1 }
+  | Stdev -> S_stdev { sum = v; sumsq = v *. v; count = 1 }
+  | Median -> S_median [ v ]
+
+let add state v =
+  match state with
+  | S_min m -> S_min (Float.min m v)
+  | S_max m -> S_max (Float.max m v)
+  | S_count n -> S_count (n + 1)
+  | S_sum s -> S_sum (s +. v)
+  | S_avg { sum; count } -> S_avg { sum = sum +. v; count = count + 1 }
+  | S_stdev { sum; sumsq; count } ->
+      S_stdev { sum = sum +. v; sumsq = sumsq +. (v *. v); count = count + 1 }
+  | S_median vs -> S_median (v :: vs)
+
+let merge a b =
+  match (a, b) with
+  | S_min x, S_min y -> S_min (Float.min x y)
+  | S_max x, S_max y -> S_max (Float.max x y)
+  | S_count x, S_count y -> S_count (x + y)
+  | S_sum x, S_sum y -> S_sum (x +. y)
+  | S_avg x, S_avg y ->
+      S_avg { sum = x.sum +. y.sum; count = x.count + y.count }
+  | S_stdev x, S_stdev y ->
+      S_stdev
+        {
+          sum = x.sum +. y.sum;
+          sumsq = x.sumsq +. y.sumsq;
+          count = x.count + y.count;
+        }
+  | S_median x, S_median y -> S_median (List.rev_append x y)
+  | ( (S_min _ | S_max _ | S_count _ | S_sum _ | S_avg _ | S_stdev _
+      | S_median _),
+      _ ) ->
+      invalid_arg "Combine.merge: mismatched aggregate states"
+
+let finalize = function
+  | S_min m | S_max m -> m
+  | S_count n -> float_of_int n
+  | S_sum s -> s
+  | S_avg { sum; count } -> sum /. float_of_int count
+  | S_stdev { sum; sumsq; count } ->
+      let n = float_of_int count in
+      let mean = sum /. n in
+      let var = (sumsq /. n) -. (mean *. mean) in
+      sqrt (Float.max 0.0 var)
+  | S_median vs -> (
+      let sorted = List.sort Float.compare vs in
+      let n = List.length sorted in
+      match n with
+      | 0 -> nan
+      | _ ->
+          if n land 1 = 1 then List.nth sorted (n / 2)
+          else
+            let a = List.nth sorted ((n / 2) - 1)
+            and b = List.nth sorted (n / 2) in
+            (a +. b) /. 2.0)
+
+let count_of = function
+  | S_min _ | S_max _ | S_sum _ -> 1
+  | S_count n -> n
+  | S_avg { count; _ } | S_stdev { count; _ } -> count
+  | S_median vs -> List.length vs
+
+let aggregate_of : state -> Aggregate.t = function
+  | S_min _ -> Min
+  | S_max _ -> Max
+  | S_count _ -> Count
+  | S_sum _ -> Sum
+  | S_avg _ -> Avg
+  | S_stdev _ -> Stdev
+  | S_median _ -> Median
+
+let pp ppf s =
+  Format.fprintf ppf "%a-state(%g)" Aggregate.pp (aggregate_of s)
+    (finalize s)
+
+let equal_result a b =
+  if Float.is_nan a && Float.is_nan b then true
+  else
+    let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+    Float.abs (a -. b) <= 1e-9 *. scale

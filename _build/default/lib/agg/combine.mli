@@ -1,0 +1,44 @@
+(** Runtime sub-aggregate states: the [g]/[h] functions of the taxonomy.
+
+    A {!state} is the constant-size summary produced by [g] for
+    distributive/algebraic functions, or the full multiset of values for
+    holistic ones.  States are built from raw values ({!of_value},
+    {!add}), merged across sub-windows ({!merge}), and finalized into
+    the aggregate result ({!finalize}).
+
+    {!merge} corresponds to aggregating sub-aggregates.  For MIN/MAX it
+    is sound even when sub-windows overlap (Theorem 6); for
+    COUNT/SUM/AVG/STDEV it is only sound over disjoint partitions
+    (Theorem 5) — enforcing that is the optimizer's job (it selects
+    partitioned-by edges for those functions). *)
+
+type state
+
+val of_value : Aggregate.t -> float -> state
+(** Summary of a singleton input. *)
+
+val add : state -> float -> state
+(** Fold one more raw value into a summary. *)
+
+val merge : state -> state -> state
+(** Combine two sub-aggregate summaries.  Raises [Invalid_argument] when
+    the states come from different aggregate functions. *)
+
+val finalize : state -> float
+(** The [h] function: extract the aggregate result.  For COUNT the
+    result is the count as a float; MEDIAN of an even-sized multiset is
+    the mean of the two middle values. *)
+
+val count_of : state -> int
+(** Number of raw values summarized, for states that track it (COUNT,
+    AVG, STDEV, MEDIAN); [1] for MIN/MAX/SUM whose summaries carry no
+    count.  Diagnostics and tests only. *)
+
+val aggregate_of : state -> Aggregate.t
+
+val pp : Format.formatter -> state -> unit
+
+val equal_result : float -> float -> bool
+(** Result comparison with a small relative tolerance, for comparing
+    naive vs rewritten plan outputs (floating-point merge order may
+    differ). *)

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Fw_agg Fw_engine Fw_factor Fw_plan Fw_wcg Fw_window Interval List Option Window

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Fw_agg Fw_engine Fw_window

@@ -1,0 +1,1 @@
+lib/core/evaluation.ml: Format Fw_factor Fw_slicing Fw_util Fw_wcg Fw_window List Window

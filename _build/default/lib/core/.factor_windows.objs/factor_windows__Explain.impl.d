@@ -1,0 +1,1 @@
+lib/core/explain.ml: Coverage Format Fw_factor Fw_wcg Fw_window Int List Window

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Format Fw_wcg Fw_window

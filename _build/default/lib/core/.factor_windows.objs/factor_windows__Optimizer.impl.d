@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Buffer Format Fw_agg Fw_engine Fw_plan Fw_sql Fw_wcg Fw_window Option

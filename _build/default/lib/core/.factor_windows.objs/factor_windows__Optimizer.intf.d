@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Fw_agg Fw_engine Fw_plan Fw_window

@@ -1,0 +1,188 @@
+open Fw_window
+module Algorithm1 = Fw_wcg.Algorithm1
+module Cost_model = Fw_wcg.Cost_model
+module Rewrite = Fw_plan.Rewrite
+module Stream_exec = Fw_engine.Stream_exec
+module Event = Fw_engine.Event
+module Row = Fw_engine.Row
+
+type switch = {
+  at : int;
+  eta_before : int;
+  eta_after : int;
+  cost_before : int;
+  cost_after : int;
+}
+
+type phase = {
+  exec : Stream_exec.t;
+  accept_from : int;
+  mutable accept_until : int;  (* max_int while current *)
+}
+
+type t = {
+  agg : Fw_agg.Aggregate.t;
+  windows : Window.t list;
+  period : int;
+  max_range : int;
+  hysteresis : float;
+  mutable eta : int;
+  mutable result : Algorithm1.result;
+  mutable current : phase;
+  mutable draining : (phase * int) option;  (* old phase, drain deadline *)
+  mutable rows : Row.t list;
+  mutable switches_rev : switch list;
+  mutable period_index : int;  (* estimation period being counted *)
+  mutable period_events : int;
+  mutable last_time : int;
+}
+
+let optimize_result ~eta semantics windows =
+  Fw_factor.Algorithm2.best_of ~eta semantics windows
+
+let plan_of agg result = Rewrite.plan_of_result agg result
+
+let parents_of (result : Algorithm1.result) =
+  Window.Map.map (fun a -> a.Algorithm1.parent) result.Algorithm1.assignments
+
+let same_structure a b =
+  Window.Map.equal (Option.equal Window.equal) (parents_of a) (parents_of b)
+
+(* Cost of keeping the old parent assignment at a new rate. *)
+let cost_at_eta ~eta (result : Algorithm1.result) =
+  let env = Cost_model.env_with_period ~eta result.Algorithm1.env.Cost_model.period in
+  Window.Map.fold
+    (fun w { Algorithm1.parent; _ } acc ->
+      acc + Cost_model.parent_cost env w ~parent)
+    result.Algorithm1.assignments 0
+
+let create ?(initial_eta = 1) ?(hysteresis = 2.0) agg windows =
+  if hysteresis < 1.0 then
+    invalid_arg "Adaptive.create: hysteresis must be >= 1";
+  let windows = Window.dedup windows in
+  let semantics =
+    match Fw_agg.Aggregate.semantics agg with
+    | Some s -> s
+    | None ->
+        invalid_arg
+          "Adaptive.create: holistic aggregates have no shared plan to adapt"
+  in
+  let result = optimize_result ~eta:initial_eta semantics windows in
+  let plan = plan_of agg result in
+  let max_range =
+    List.fold_left (fun m w -> max m (Window.range w)) 1 windows
+  in
+  {
+    agg;
+    windows;
+    period = result.Algorithm1.env.Cost_model.period;
+    max_range;
+    hysteresis;
+    eta = initial_eta;
+    result;
+    current = { exec = Stream_exec.create plan; accept_from = 0;
+                accept_until = max_int };
+    draining = None;
+    rows = [];
+    switches_rev = [];
+    period_index = 0;
+    period_events = 0;
+    last_time = 0;
+  }
+
+let semantics_of t = Option.get (Fw_agg.Aggregate.semantics t.agg)
+
+let collect_rows t phase rows =
+  let keep r =
+    let lo = Interval.lo r.Row.interval in
+    lo >= phase.accept_from && lo < phase.accept_until
+  in
+  t.rows <- List.rev_append (List.filter keep rows) t.rows
+
+let finish_drain t deadline =
+  match t.draining with
+  | Some (old_phase, drain_end) ->
+      collect_rows t old_phase
+        (Stream_exec.close old_phase.exec ~horizon:(min deadline drain_end));
+      t.draining <- None
+  | None -> ()
+
+(* Decide at a period boundary whether the rate estimate warrants a new
+   plan; if the structure changes, start the handover at [boundary]. *)
+let consider_switch t ~boundary ~estimate =
+  let ratio = float_of_int estimate /. float_of_int t.eta in
+  if ratio < t.hysteresis && ratio > 1.0 /. t.hysteresis then ()
+  else begin
+    let fresh = optimize_result ~eta:estimate (semantics_of t) t.windows in
+    if same_structure fresh t.result then begin
+      (* same plan, just track the rate *)
+      t.eta <- estimate;
+      t.result <- fresh
+    end
+    else begin
+      let cost_before = cost_at_eta ~eta:estimate t.result in
+      t.switches_rev <-
+        {
+          at = boundary;
+          eta_before = t.eta;
+          eta_after = estimate;
+          cost_before;
+          cost_after = fresh.Algorithm1.total;
+        }
+        :: t.switches_rev;
+      let old_phase = t.current in
+      old_phase.accept_until <- boundary;
+      t.draining <- Some (old_phase, boundary + t.max_range);
+      t.current <-
+        {
+          exec = Stream_exec.create (plan_of t.agg fresh);
+          accept_from = boundary;
+          accept_until = max_int;
+        };
+      t.eta <- estimate;
+      t.result <- fresh
+    end
+  end
+
+let cross_periods t time =
+  (* finalize every estimation period the stream has moved past *)
+  while time >= (t.period_index + 1) * t.period do
+    let boundary = (t.period_index + 1) * t.period in
+    let estimate =
+      max 1 ((t.period_events + (t.period / 2)) / t.period)
+    in
+    t.period_index <- t.period_index + 1;
+    t.period_events <- 0;
+    (* only one handover at a time: skip decisions while draining *)
+    if t.draining = None then consider_switch t ~boundary ~estimate
+  done
+
+let feed t e =
+  let time = e.Event.time in
+  if time < t.last_time then
+    invalid_arg "Adaptive.feed: events must be time-ordered";
+  t.last_time <- time;
+  cross_periods t time;
+  (match t.draining with
+  | Some (_, drain_end) when time >= drain_end -> finish_drain t max_int
+  | Some (old_phase, _) -> Stream_exec.feed old_phase.exec e
+  | None -> ());
+  Stream_exec.feed t.current.exec e;
+  t.period_events <- t.period_events + 1
+
+let close t ~horizon =
+  finish_drain t horizon;
+  t.current.accept_until <- max_int;
+  collect_rows t t.current (Stream_exec.close t.current.exec ~horizon);
+  Row.sort t.rows
+
+let switches t = List.rev t.switches_rev
+let current_eta t = t.eta
+
+let run ?initial_eta ?hysteresis agg windows ~horizon events =
+  let t = create ?initial_eta ?hysteresis agg windows in
+  List.iter
+    (fun e -> if e.Event.time < horizon then feed t e)
+    (Event.sort events);
+  let rows = close t ~horizon in
+  (rows, switches t)

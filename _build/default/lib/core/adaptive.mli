@@ -1,0 +1,63 @@
+(** Adaptive re-optimization driven by the observed event rate.
+
+    The paper's cost model is static in the ingestion rate [η], and its
+    Section 6 flags dynamic adjustment as future work: the best plan
+    {e structure} genuinely depends on [η] — a factor window pays for
+    its own raw-stream scan [n_f·η·r_f] with η-independent savings on
+    its downstream windows, so it wins only above some rate.
+
+    This controller executes the current plan while estimating the rate
+    over each common period [R].  When the estimate leaves a hysteresis
+    band around the rate the plan was optimized for, it re-optimizes
+    and — only if the plan structure changed — performs a {e
+    drain-and-switch} handover: the new executor starts at the next
+    period boundary [B], both executors run during [\[B, B + r_max)]
+    (so the new one observes the full history of every instance
+    starting at or after [B]), then the old one is drained.  Rows are
+    attributed by instance start ([lo < B] from the old plan, [lo >= B]
+    from the new), so the output is {e exactly} the oracle's, across
+    any number of switches. *)
+
+type switch = {
+  at : int;  (** period boundary where the new plan took over *)
+  eta_before : int;
+  eta_after : int;
+  cost_before : int;  (** model cost of the old plan at the new rate *)
+  cost_after : int;  (** model cost of the new plan at the new rate *)
+}
+
+type t
+
+val create :
+  ?initial_eta:int ->
+  ?hysteresis:float ->
+  Fw_agg.Aggregate.t ->
+  Fw_window.Window.t list ->
+  t
+(** [hysteresis] (default [2.0]) is the rate ratio that triggers
+    re-optimization: a new estimate [e] reopts when
+    [e >= hysteresis·η] or [e <= η/hysteresis].  Raises
+    [Invalid_argument] for holistic aggregates (nothing to adapt) or an
+    unusable window set. *)
+
+val feed : t -> Fw_engine.Event.t -> unit
+(** Events must be time-ordered (use {!Fw_engine.Reorder} upstream
+    otherwise). *)
+
+val close : t -> horizon:int -> Fw_engine.Row.t list
+(** Flush everything; rows sorted. *)
+
+val switches : t -> switch list
+(** Completed plan switches, oldest first. *)
+
+val current_eta : t -> int
+(** The rate the current plan is optimized for. *)
+
+val run :
+  ?initial_eta:int ->
+  ?hysteresis:float ->
+  Fw_agg.Aggregate.t ->
+  Fw_window.Window.t list ->
+  horizon:int ->
+  Fw_engine.Event.t list ->
+  Fw_engine.Row.t list * switch list

@@ -1,0 +1,57 @@
+open Fw_window
+module Arith = Fw_util.Arith
+module Cost_model = Fw_wcg.Cost_model
+module Algorithm1 = Fw_wcg.Algorithm1
+module Algorithm2 = Fw_factor.Algorithm2
+module Slicing_cost = Fw_slicing.Cost
+
+type technique = BL | UP | SP | WCG | WCG_FW
+
+let all_techniques = [ BL; UP; SP; WCG; WCG_FW ]
+
+let technique_name = function
+  | BL -> "BL"
+  | UP -> "UP"
+  | SP -> "SP"
+  | WCG -> "WCG"
+  | WCG_FW -> "WCG-FW"
+
+let pp_technique ppf t = Format.pp_print_string ppf (technique_name t)
+
+type costs = {
+  eta : int;
+  period : int;
+  per_technique : (technique * int) list;
+}
+
+let evaluate ?(eta = 1) semantics ws =
+  let ws = Window.dedup ws in
+  let env = Cost_model.make_env ~eta ws in
+  let range_period = env.Cost_model.period in
+  let slide_period = Slicing_cost.period ws in
+  let period = Arith.lcm range_period slide_period in
+  let scale_wcg c = Arith.mul c (period / range_period) in
+  let scale_slice c = Arith.mul c (period / slide_period) in
+  let slicing technique =
+    scale_slice (Slicing_cost.total (Slicing_cost.cost ~eta technique ws))
+  in
+  let per_technique =
+    [
+      (BL, scale_wcg (Cost_model.naive_total env ws));
+      (UP, slicing Slicing_cost.Unshared_paired);
+      (SP, slicing Slicing_cost.Shared_paired);
+      (WCG, scale_wcg (Algorithm1.run ~eta semantics ws).Algorithm1.total);
+      ( WCG_FW,
+        scale_wcg (Algorithm2.best_of ~eta semantics ws).Algorithm1.total );
+    ]
+  in
+  { eta; period; per_technique }
+
+let cost_of costs technique = List.assoc technique costs.per_technique
+
+let pp_costs ppf { eta; period; per_technique } =
+  Format.fprintf ppf "@[<v>eta=%d, comparison period=%d@," eta period;
+  List.iter
+    (fun (t, c) -> Format.fprintf ppf "%-7s %d@," (technique_name t) c)
+    per_technique;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,38 @@
+(** The five-technique cost comparison of Section 5.
+
+    Techniques:
+    - [BL]: baseline — each window computed directly from the stream;
+    - [UP]: unshared paired windows;
+    - [SP]: shared paired windows (composed common sliced window);
+    - [WCG]: Algorithm 1;
+    - [WCG_FW]: Algorithm 2 with factor windows, taking the better of
+      Algorithms 1 and 2 (Section 4.3).
+
+    The WCG-family costs are modeled over the common range period
+    [R = lcm(rᵢ)], the slicing costs over the common slide period
+    [S = lcm(sᵢ)]; following Section 5.2 both are extended to
+    [lcm(S, R)] so the numbers are comparable. *)
+
+type technique = BL | UP | SP | WCG | WCG_FW
+
+val all_techniques : technique list
+val technique_name : technique -> string
+val pp_technique : Format.formatter -> technique -> unit
+
+type costs = {
+  eta : int;
+  period : int;  (** the comparison period [lcm(S, R)] *)
+  per_technique : (technique * int) list;  (** in {!all_techniques} order *)
+}
+
+val evaluate :
+  ?eta:int ->
+  Fw_window.Coverage.semantics ->
+  Fw_window.Window.t list ->
+  costs
+(** Raises [Invalid_argument] on an empty or unaligned window set and
+    {!Fw_util.Arith.Overflow} if the comparison period overflows. *)
+
+val cost_of : costs -> technique -> int
+
+val pp_costs : Format.formatter -> costs -> unit

@@ -1,0 +1,137 @@
+open Fw_window
+module Graph = Fw_wcg.Graph
+module Cost_model = Fw_wcg.Cost_model
+module Algorithm1 = Fw_wcg.Algorithm1
+module Algorithm2 = Fw_factor.Algorithm2
+
+type parent_choice = {
+  window : Window.t;
+  alternatives : (Window.t option * int) list;
+  chosen : Window.t option;
+  chosen_cost : int;
+}
+
+type step =
+  | Built_wcg of {
+      semantics : Coverage.semantics;
+      nodes : int;
+      edges : int;
+      period : int;
+      naive_cost : int;
+    }
+  | Chose_parent of parent_choice
+  | Added_factor of { factor : Window.t; feeds : Window.t list }
+  | Compared_algorithms of {
+      algorithm1 : int;
+      algorithm2 : int;
+      chosen : [ `Algorithm1 | `Algorithm2 ];
+    }
+
+type t = { steps : step list; result : Algorithm1.result }
+
+let choice_for env full_graph result window =
+  let alternatives =
+    (None, Cost_model.raw_cost env window)
+    :: List.map
+         (fun p -> (Some p, Cost_model.edge_cost env ~covered:window ~by:p))
+         (Graph.in_neighbors full_graph window)
+  in
+  let alternatives =
+    List.sort (fun (_, a) (_, b) -> Int.compare a b) alternatives
+  in
+  let { Algorithm1.parent; cost } =
+    Window.Map.find window result.Algorithm1.assignments
+  in
+  { window; alternatives; chosen = parent; chosen_cost = cost }
+
+let trace ?eta semantics ws =
+  let ws = Window.dedup ws in
+  let env = Cost_model.make_env ?eta ws in
+  let full_graph = Graph.of_windows semantics ws in
+  let a1 = Algorithm1.run ?eta semantics ws in
+  let a2 = Algorithm2.run ?eta semantics ws in
+  let chosen_alg, result =
+    if a2.Algorithm1.total <= a1.Algorithm1.total then (`Algorithm2, a2)
+    else (`Algorithm1, a1)
+  in
+  let steps =
+    Built_wcg
+      {
+        semantics;
+        nodes = Graph.node_count full_graph;
+        edges = Graph.edge_count full_graph;
+        period = env.Cost_model.period;
+        naive_cost = Cost_model.naive_total env ws;
+      }
+    :: List.map
+         (fun f ->
+           Added_factor
+             { factor = f; feeds = Graph.out_neighbors result.Algorithm1.graph f })
+         (Graph.factor_windows result.Algorithm1.graph)
+    @ List.map
+        (fun w ->
+          (* alternatives come from the graph the chosen algorithm
+             optimized (it may contain factor windows) *)
+          let base =
+            if chosen_alg = `Algorithm2 then
+              List.fold_left
+                (fun g f ->
+                  Graph.connect_coverage (Graph.add_node g f Graph.Factor) f)
+                full_graph
+                (Graph.factor_windows result.Algorithm1.graph)
+            else full_graph
+          in
+          Chose_parent (choice_for env base result w))
+        (Graph.windows result.Algorithm1.graph)
+    @ [
+        Compared_algorithms
+          {
+            algorithm1 = a1.Algorithm1.total;
+            algorithm2 = a2.Algorithm1.total;
+            chosen = chosen_alg;
+          };
+      ]
+  in
+  { steps; result }
+
+let pp_parent ppf = function
+  | None -> Format.pp_print_string ppf "stream"
+  | Some w -> Window.pp ppf w
+
+let pp_step ppf = function
+  | Built_wcg { semantics; nodes; edges; period; naive_cost } ->
+      Format.fprintf ppf
+        "built WCG under %a semantics: %d windows, %d coverage edges, \
+         period %d, naive cost %d"
+        Coverage.pp_semantics semantics nodes edges period naive_cost
+  | Chose_parent { window; alternatives; chosen; chosen_cost } ->
+      Format.fprintf ppf "@[<v 2>%a reads from %a at cost %d; options were:@,%a@]"
+        Window.pp window pp_parent chosen chosen_cost
+        (Format.pp_print_list
+           ~pp_sep:Format.pp_print_cut
+           (fun ppf (p, c) ->
+             Format.fprintf ppf "- %a: %d" pp_parent p c))
+        alternatives
+  | Added_factor { factor; feeds } ->
+      Format.fprintf ppf "added factor window %a feeding {%a}" Window.pp
+        factor
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Window.pp)
+        feeds
+  | Compared_algorithms { algorithm1; algorithm2; chosen } ->
+      Format.fprintf ppf
+        "Algorithm 1 total %d vs Algorithm 2 total %d: kept %s" algorithm1
+        algorithm2
+        (match chosen with
+        | `Algorithm1 -> "Algorithm 1"
+        | `Algorithm2 -> "Algorithm 2")
+
+let pp ppf { steps; result } =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i step -> Format.fprintf ppf "%2d. %a@," (i + 1) pp_step step)
+    steps;
+  Format.fprintf ppf "final cost: %d@]" result.Algorithm1.total
+
+let render t = Format.asprintf "%a" pp t

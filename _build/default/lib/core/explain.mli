@@ -1,0 +1,49 @@
+(** Structured optimizer traces.
+
+    {!Optimizer.explain} prints the result; this module reconstructs
+    {e why}: the WCG that was built, every window's candidate upstream
+    providers with their costs and the one Algorithm 1 kept, the factor
+    windows Algorithm 2 added, and the final Section-4.3 comparison.
+    The trace is data, so the CLI, tests and documentation can all
+    consume it. *)
+
+type parent_choice = {
+  window : Fw_window.Window.t;
+  alternatives : (Fw_window.Window.t option * int) list;
+      (** every provider option with its cost; [None] = raw stream;
+          sorted by cost *)
+  chosen : Fw_window.Window.t option;
+  chosen_cost : int;
+}
+
+type step =
+  | Built_wcg of {
+      semantics : Fw_window.Coverage.semantics;
+      nodes : int;
+      edges : int;
+      period : int;
+      naive_cost : int;
+    }
+  | Chose_parent of parent_choice
+  | Added_factor of {
+      factor : Fw_window.Window.t;
+      feeds : Fw_window.Window.t list;  (** downstream windows in the final WCG *)
+    }
+  | Compared_algorithms of {
+      algorithm1 : int;
+      algorithm2 : int;
+      chosen : [ `Algorithm1 | `Algorithm2 ];
+    }
+
+type t = { steps : step list; result : Fw_wcg.Algorithm1.result }
+
+val trace :
+  ?eta:int ->
+  Fw_window.Coverage.semantics ->
+  Fw_window.Window.t list ->
+  t
+(** Re-runs the optimization pipeline, recording the decisions. *)
+
+val render : t -> string
+
+val pp : Format.formatter -> t -> unit

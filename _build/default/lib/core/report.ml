@@ -1,0 +1,48 @@
+let table ~header rows =
+  let columns = List.length header in
+  let pad row =
+    let n = List.length row in
+    if n >= columns then row
+    else row @ List.init (columns - n) (fun _ -> "")
+  in
+  let rows = List.map pad rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row cells =
+    String.concat "  "
+      (List.map2
+         (fun w c -> c ^ String.make (w - String.length c) ' ')
+         widths cells)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (render_row header :: sep :: List.map render_row rows)
+
+let int_row label cells = label :: List.map string_of_int cells
+
+let ratio a b =
+  if b = 0 then "n/a" else Printf.sprintf "x%.2f" (float_of_int a /. float_of_int b)
+
+let series ~title ~techniques costs_list =
+  let header =
+    "technique"
+    :: List.mapi (fun i _ -> Printf.sprintf "set%02d" (i + 1)) costs_list
+  in
+  let rows =
+    List.map
+      (fun t ->
+        Evaluation.technique_name t
+        :: List.map
+             (fun c -> string_of_int (Evaluation.cost_of c t))
+             costs_list)
+      techniques
+  in
+  title ^ "\n" ^ table ~header rows

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for benches, examples and the CLI. *)
+
+val table : header:string list -> string list list -> string
+(** Fixed-width columns sized to the longest cell; rows shorter than
+    the header are right-padded with empty cells. *)
+
+val int_row : string -> int list -> string list
+(** Label followed by decimal cells. *)
+
+val ratio : int -> int -> string
+(** ["x4.27"]-style ratio of two costs ("n/a" when the denominator is
+    zero). *)
+
+val series :
+  title:string ->
+  techniques:Evaluation.technique list ->
+  Evaluation.costs list ->
+  string
+(** Render one figure series: a column per window set, a row per
+    technique. *)

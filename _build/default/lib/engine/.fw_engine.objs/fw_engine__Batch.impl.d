@@ -1,0 +1,1 @@
+lib/engine/batch.ml: Array Event Fw_agg Fw_plan Fw_window Hashtbl Interval List Map Row String Window

@@ -1,0 +1,1 @@
+lib/engine/batch.mli: Event Fw_agg Fw_plan Fw_window Row

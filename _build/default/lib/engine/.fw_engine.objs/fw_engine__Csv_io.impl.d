@@ -1,0 +1,1 @@
+lib/engine/csv_io.ml: Buffer Event Fw_window In_channel List Printf Row String

@@ -1,0 +1,1 @@
+lib/engine/event.ml: Float Format Int List String

@@ -1,0 +1,1 @@
+lib/engine/metrics.ml: Format Fw_window List Option Window

@@ -1,0 +1,1 @@
+lib/engine/reorder.ml: Event Int List Map Stream_exec

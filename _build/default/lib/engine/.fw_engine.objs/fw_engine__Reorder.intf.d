@@ -1,0 +1,1 @@
+lib/engine/reorder.mli: Event Fw_plan Metrics Row

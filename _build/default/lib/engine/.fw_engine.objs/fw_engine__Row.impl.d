@@ -1,0 +1,1 @@
+lib/engine/row.ml: Float Format Fw_agg Fw_window Interval List String Window

@@ -1,0 +1,1 @@
+lib/engine/row.mli: Format Fw_window

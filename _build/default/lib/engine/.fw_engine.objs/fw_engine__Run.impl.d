@@ -1,0 +1,1 @@
+lib/engine/run.ml: Batch Format Fw_plan List Metrics Row Stream_exec

@@ -1,0 +1,1 @@
+lib/engine/run.mli: Event Fw_plan Metrics Row

@@ -1,0 +1,1 @@
+lib/engine/stream_exec.ml: Array Event Format Fw_agg Fw_plan Fw_window Int Interval List Map Metrics Row String Window

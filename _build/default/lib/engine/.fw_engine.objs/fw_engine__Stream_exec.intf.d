@@ -1,0 +1,1 @@
+lib/engine/stream_exec.mli: Event Fw_plan Metrics Row

@@ -1,0 +1,21 @@
+(** CSV interchange for events and result rows.
+
+    Events: [time,key,value] per line; a header line
+    ([time,key,value], case-insensitive) is skipped if present.  Keys
+    may not contain commas or newlines (no quoting — diagnostics point
+    at the offending line instead). *)
+
+val parse_events : string -> (Event.t list, string) result
+(** Parse a whole document; the error message carries the 1-based line
+    number.  Events are returned in file order (use
+    {!Event.sort} / {!Reorder} as needed). *)
+
+val load_events : string -> (Event.t list, string) result
+(** Read a file ([-] for standard input) and parse it. *)
+
+val events_to_csv : Event.t list -> string
+(** With header; inverse of {!parse_events}. *)
+
+val rows_to_csv : Row.t list -> string
+(** Header [range,slide,start,end,key,value]; one line per result
+    row. *)

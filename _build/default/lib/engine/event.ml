@@ -1,0 +1,25 @@
+type t = { time : int; key : string; value : float }
+
+let make ~time ~key ~value =
+  if time < 0 then invalid_arg "Event.make: negative time";
+  { time; key; value }
+
+let compare_time a b =
+  match Int.compare a.time b.time with
+  | 0 -> (
+      match String.compare a.key b.key with
+      | 0 -> Float.compare a.value b.value
+      | c -> c)
+  | c -> c
+
+let sort events = List.sort compare_time events
+
+let is_time_ordered events =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a.time <= b.time && go rest
+    | [ _ ] | [] -> true
+  in
+  go events
+
+let pp ppf { time; key; value } =
+  Format.fprintf ppf "@[%d:%s=%g@]" time key value

@@ -1,0 +1,19 @@
+(** Input events.
+
+    An event carries an integer event-time (in ticks), a grouping key
+    (the [GROUP BY DeviceID] dimension of Figure 1(a)) and a numeric
+    payload (the aggregated column). *)
+
+type t = { time : int; key : string; value : float }
+
+val make : time:int -> key:string -> value:float -> t
+(** Raises [Invalid_argument] for negative time. *)
+
+val compare_time : t -> t -> int
+(** By time, then key, then value — a stable processing order. *)
+
+val sort : t list -> t list
+
+val is_time_ordered : t list -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+open Fw_window
+
+type t = { mutable ingested : int; mutable processed : int Window.Map.t }
+
+let create () = { ingested = 0; processed = Window.Map.empty }
+
+let record m w n =
+  m.processed <-
+    Window.Map.update w
+      (function None -> Some n | Some k -> Some (k + n))
+      m.processed
+
+let record_ingest m n = m.ingested <- m.ingested + n
+
+let processed m w =
+  Option.value ~default:0 (Window.Map.find_opt w m.processed)
+
+let total_processed m = Window.Map.fold (fun _ n acc -> acc + n) m.processed 0
+let ingested m = m.ingested
+let per_window m = Window.Map.bindings m.processed
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>ingested: %d@," m.ingested;
+  List.iter
+    (fun (w, n) -> Format.fprintf ppf "%a processed %d@," Window.pp w n)
+    (per_window m);
+  Format.fprintf ppf "total processed: %d@]" (total_processed m)

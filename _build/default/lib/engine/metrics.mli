@@ -1,0 +1,27 @@
+(** Execution counters.
+
+    The paper's cost model counts the items each window instance
+    processes; the engine increments {!record} once per (item, instance)
+    insertion, so after a run over exactly one common period the
+    per-window counters can be compared with the analytic costs of
+    {!Fw_wcg.Cost_model} (see the [validate] bench section). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Fw_window.Window.t -> int -> unit
+(** [record m w n] adds [n] processed items to window [w]. *)
+
+val record_ingest : t -> int -> unit
+
+val processed : t -> Fw_window.Window.t -> int
+(** [0] for windows never recorded. *)
+
+val total_processed : t -> int
+val ingested : t -> int
+
+val per_window : t -> (Fw_window.Window.t * int) list
+(** Sorted by window. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type stats = { buffered_peak : int; released : int; dropped_late : int }
+
+module Time_map = Map.Make (Int)
+
+type t = {
+  lateness : int;
+  exec : Stream_exec.t;
+  mutable buffer : Event.t list Time_map.t;  (* newest first per time *)
+  mutable buffered : int;
+  mutable peak : int;
+  mutable released : int;
+  mutable dropped : int;
+  mutable frontier : int;  (* all times < frontier already released *)
+  mutable max_seen : int;
+}
+
+let create ~lateness plan ?metrics () =
+  if lateness < 0 then invalid_arg "Reorder.create: negative lateness";
+  {
+    lateness;
+    exec = Stream_exec.create ?metrics plan;
+    buffer = Time_map.empty;
+    buffered = 0;
+    peak = 0;
+    released = 0;
+    dropped = 0;
+    frontier = 0;
+    max_seen = 0;
+  }
+
+let release_until t bound =
+  let ready, rest = Time_map.partition (fun time _ -> time < bound) t.buffer in
+  t.buffer <- rest;
+  Time_map.iter
+    (fun _ events ->
+      List.iter
+        (fun e ->
+          Stream_exec.feed t.exec e;
+          t.released <- t.released + 1;
+          t.buffered <- t.buffered - 1)
+        (List.rev events))
+    ready;
+  if bound > t.frontier then t.frontier <- bound
+
+let feed t e =
+  if e.Event.time < t.frontier then t.dropped <- t.dropped + 1
+  else begin
+    t.buffer <-
+      Time_map.update e.Event.time
+        (function None -> Some [ e ] | Some es -> Some (e :: es))
+        t.buffer;
+    t.buffered <- t.buffered + 1;
+    t.peak <- max t.peak t.buffered;
+    t.max_seen <- max t.max_seen e.Event.time;
+    release_until t (t.max_seen - t.lateness)
+  end
+
+let close t ~horizon =
+  release_until t max_int;
+  let rows = Stream_exec.close t.exec ~horizon in
+  ( rows,
+    { buffered_peak = t.peak; released = t.released; dropped_late = t.dropped }
+  )
+
+let run ~lateness ?metrics plan ~horizon events =
+  let t = create ~lateness plan ?metrics () in
+  List.iter (fun e -> if e.Event.time < horizon then feed t e) events;
+  close t ~horizon

@@ -1,0 +1,36 @@
+(** Bounded-lateness reordering in front of the executor.
+
+    {!Stream_exec} requires time-ordered input; real streams are not.
+    The reorder buffer holds events back until the watermark — the
+    maximum event time seen, minus an {e allowed lateness} — passes
+    them, releasing them in timestamp order.  Events arriving behind
+    the already-released frontier are dropped and counted rather than
+    crashing the pipeline (the usual engine policy for late data). *)
+
+type t
+
+type stats = {
+  buffered_peak : int;  (** high-water mark of the buffer *)
+  released : int;
+  dropped_late : int;
+}
+
+val create : lateness:int -> Fw_plan.Plan.t -> ?metrics:Metrics.t -> unit -> t
+(** [lateness] is the slack (in ticks) granted to stragglers; [0] means
+    input must already be ordered.  Raises [Invalid_argument] on
+    negative lateness or an invalid plan. *)
+
+val feed : t -> Event.t -> unit
+(** Accepts events in any order within the lateness bound. *)
+
+val close : t -> horizon:int -> Row.t list * stats
+(** Flush the buffer, close the executor, return rows and statistics. *)
+
+val run :
+  lateness:int ->
+  ?metrics:Metrics.t ->
+  Fw_plan.Plan.t ->
+  horizon:int ->
+  Event.t list ->
+  Row.t list * stats
+(** Convenience wrapper over [create]/[feed]/[close]. *)

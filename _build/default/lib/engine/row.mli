@@ -1,0 +1,24 @@
+(** Output rows: one aggregate value per (window, instance, key). *)
+
+type t = {
+  window : Fw_window.Window.t;
+  interval : Fw_window.Interval.t;
+  key : string;
+  value : float;
+}
+
+val compare : t -> t -> int
+(** Deterministic total order (window, interval, key, value). *)
+
+val sort : t list -> t list
+
+val equal_sets : t list -> t list -> bool
+(** Same multiset of rows, comparing values with the tolerance of
+    {!Fw_agg.Combine.equal_result} — the naive-vs-rewritten equivalence
+    check. *)
+
+val diff : t list -> t list -> (t option * t option) list
+(** Mismatched pairs after alignment, for error reporting: [(Some a,
+    None)] = only in the left set, etc. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+module Plan = Fw_plan.Plan
+module Validate = Fw_plan.Validate
+
+type report = { rows : Row.t list; metrics : Metrics.t }
+
+let execute plan ~horizon events =
+  let metrics = Metrics.create () in
+  let rows = Stream_exec.run ~metrics plan ~horizon events in
+  { rows; metrics }
+
+let describe_diff diff =
+  let pp_side ppf = function
+    | Some row -> Row.pp ppf row
+    | None -> Format.pp_print_string ppf "(missing)"
+  in
+  Format.asprintf "%d mismatching rows; first: %a"
+    (List.length diff)
+    (fun ppf -> function
+      | [] -> Format.pp_print_string ppf "none"
+      | (a, b) :: _ -> Format.fprintf ppf "%a vs %a" pp_side a pp_side b)
+    diff
+
+let verify_against_naive plan ~horizon events =
+  let { rows; _ } = execute plan ~horizon events in
+  let oracle =
+    Batch.run (Plan.agg plan) (Plan.exposed_windows plan) ~horizon
+      (Batch.apply_filter plan events)
+  in
+  if Row.equal_sets rows oracle then Ok ()
+  else Error (describe_diff (Row.diff rows oracle))
+
+let compare_plans a b ~horizon events =
+  match Validate.check_equivalent a b with
+  | Error _ as e -> e
+  | Ok () ->
+      let ra = execute a ~horizon events in
+      let rb = execute b ~horizon events in
+      if Row.equal_sets ra.rows rb.rows then Ok (ra, rb)
+      else Error (describe_diff (Row.diff ra.rows rb.rows))

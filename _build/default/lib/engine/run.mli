@@ -1,0 +1,26 @@
+(** High-level execution helpers tying plans, the executor and the
+    oracle together. *)
+
+type report = {
+  rows : Row.t list;
+  metrics : Metrics.t;
+}
+
+val execute : Fw_plan.Plan.t -> horizon:int -> Event.t list -> report
+(** Stream-execute a plan with fresh metrics. *)
+
+val verify_against_naive :
+  Fw_plan.Plan.t -> horizon:int -> Event.t list -> (unit, string) result
+(** Run the plan and check its rows against the batch oracle computed
+    over the plan's exposed windows — the end-to-end correctness check
+    for rewritten plans. *)
+
+val compare_plans :
+  Fw_plan.Plan.t ->
+  Fw_plan.Plan.t ->
+  horizon:int ->
+  Event.t list ->
+  (report * report, string) result
+(** Execute two equivalent plans and fail if their row sets differ;
+    on success return both reports (metrics show the computation
+    saved). *)

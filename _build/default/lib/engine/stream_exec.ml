@@ -1,0 +1,248 @@
+open Fw_window
+module Combine = Fw_agg.Combine
+module Plan = Fw_plan.Plan
+module Validate = Fw_plan.Validate
+
+exception Late_event of Event.t
+
+type item =
+  | Raw of Event.t
+  | Sub of {
+      window : Window.t;
+      interval : Interval.t;
+      key : string;
+      state : Combine.state;
+    }
+
+type msg = Item of item | Watermark of int
+
+(* Pending instances keyed so that firing pops from the front. *)
+module Fire_key = struct
+  type t = { hi : int; lo : int; key : string }
+
+  let compare a b =
+    match Int.compare a.hi b.hi with
+    | 0 -> (
+        match Int.compare a.lo b.lo with
+        | 0 -> String.compare a.key b.key
+        | c -> c)
+    | c -> c
+end
+
+module Pending = Map.Make (Fire_key)
+
+type window_state = {
+  window : Window.t;
+  mutable pending : (Combine.state * int) Pending.t;
+      (** sub-aggregate state and the number of items folded into it *)
+  mutable wm : int;
+}
+
+type t = {
+  plan : Plan.t;
+  metrics : Metrics.t;
+  handlers : (msg -> unit) array;
+  mutable source_wm : int;
+  mutable rows : Row.t list;
+  mutable closed : bool;
+}
+
+let subscribers plan =
+  let nodes = Plan.nodes plan in
+  let subs = Array.make (Array.length nodes) [] in
+  Array.iteri
+    (fun id op ->
+      let inputs =
+        match op with
+        | Plan.Source -> []
+        | Plan.Multicast i -> [ i ]
+        | Plan.Filter { input; _ } -> [ input ]
+        | Plan.Win_agg { input; _ } -> [ input ]
+        | Plan.Union is -> is
+      in
+      List.iter (fun i -> subs.(i) <- id :: subs.(i)) inputs)
+    nodes;
+  Array.map List.rev subs
+
+(* Instance indices of [w] whose interval contains time [t].  Note that
+   OCaml's [/] truncates toward zero, so the lower bound must special-case
+   [t < r] instead of relying on [(t - r) / s]. *)
+let instances_containing w t =
+  let r = Window.range w and s = Window.slide w in
+  let hi_m = t / s in
+  let lo_m = if t < r then 0 else ((t - r) / s) + 1 in
+  let rec collect m acc =
+    if m > hi_m then List.rev acc
+    else
+      let lo = m * s in
+      if lo <= t && t < lo + r then collect (m + 1) (m :: acc)
+      else collect (m + 1) acc
+  in
+  collect lo_m []
+
+(* Instance indices of [w] whose interval includes [u, v) entirely. *)
+let instances_enclosing w ~lo:u ~hi:v =
+  let r = Window.range w and s = Window.slide w in
+  if v - u > r then []
+  else
+    let hi_m = u / s in
+    let lo_m = max 0 (if v - r <= 0 then 0 else ((v - r - 1) / s) + 1) in
+    let rec collect m acc =
+      if m > hi_m then List.rev acc
+      else
+        let lo = m * s in
+        if lo <= u && v <= lo + r then collect (m + 1) (m :: acc)
+        else collect (m + 1) acc
+    in
+    collect lo_m []
+
+let create ?(metrics = Metrics.create ()) plan =
+  (match Validate.check plan with
+  | [] -> ()
+  | errors ->
+      invalid_arg
+        (Format.asprintf "Stream_exec.create: invalid plan:@ %a"
+           (Format.pp_print_list ~pp_sep:Format.pp_print_space
+              Validate.pp_error)
+           errors));
+  let nodes = Plan.nodes plan in
+  let n = Array.length nodes in
+  let subs = subscribers plan in
+  let handlers = Array.make n (fun (_ : msg) -> ()) in
+  let t =
+    {
+      plan;
+      metrics;
+      handlers;
+      source_wm = 0;
+      rows = [];
+      closed = false;
+    }
+  in
+  let forward id msg = List.iter (fun j -> handlers.(j) msg) subs.(id) in
+  let sink_handler id = fun msg ->
+    (match msg with
+    | Item (Sub { window; interval; key; state }) ->
+        t.rows <-
+          { Row.window; interval; key; value = Combine.finalize state }
+          :: t.rows
+    | Item (Raw _) | Watermark _ -> ());
+    forward id msg
+  in
+  (* Build handlers from the last node down so that forwarding targets
+     (always higher ids) are installed first. *)
+  for id = n - 1 downto 0 do
+    handlers.(id) <-
+      (match nodes.(id) with
+      | Plan.Source | Plan.Multicast _ -> forward id
+      | Plan.Filter { pred; _ } -> (
+          fun msg ->
+            match msg with
+            | Item (Raw e) ->
+                if
+                  Fw_plan.Predicate.eval pred ~key:e.Event.key
+                    ~value:e.Event.value ~time:e.Event.time
+                then forward id msg
+            | Item (Sub _) | Watermark _ -> forward id msg)
+      | Plan.Union _ ->
+          (* The union merges its inputs; when it is the plan output it
+             also acts as the result sink.  (Watermarks of the separate
+             inputs all derive from the single source sweep, so they
+             carry the same value and are simply forwarded.) *)
+          if id = Plan.output plan then sink_handler id else forward id
+      | Plan.Win_agg { window; _ } ->
+          let st = { window; pending = Pending.empty; wm = 0 } in
+          (* Items are tallied per pending instance and reported to the
+             metrics when the instance fires, so the counters measure
+             exactly the work of {e complete} instances — the quantity
+             the analytic cost model prices.  Insertions into instances
+             that straddle the closing horizon are not charged. *)
+          let add_to_instance m key state_update =
+            let lo = m * Window.slide window in
+            let hi = lo + Window.range window in
+            let fk = { Fire_key.hi; lo; key } in
+            st.pending <-
+              Pending.update fk
+                (function
+                  | None -> Some (state_update None, 1)
+                  | Some (s, items) -> Some (state_update (Some s), items + 1))
+                st.pending
+          in
+          let fire wm =
+            let rec go () =
+              match Pending.min_binding_opt st.pending with
+              | Some (fk, (state, items)) when fk.Fire_key.hi <= wm ->
+                  st.pending <- Pending.remove fk st.pending;
+                  Metrics.record metrics window items;
+                  let interval =
+                    Interval.make ~lo:fk.Fire_key.lo ~hi:fk.Fire_key.hi
+                  in
+                  forward id
+                    (Item (Sub { window; interval; key = fk.Fire_key.key; state }));
+                  go ()
+              | Some _ | None -> ()
+            in
+            go ()
+          in
+          fun msg ->
+            (match msg with
+            | Item (Raw e) ->
+                let agg = Plan.agg plan in
+                List.iter
+                  (fun m ->
+                    add_to_instance m e.Event.key (function
+                      | None -> Combine.of_value agg e.Event.value
+                      | Some s -> Combine.add s e.Event.value))
+                  (instances_containing window e.Event.time)
+            | Item (Sub { interval; key; state; _ }) ->
+                List.iter
+                  (fun m ->
+                    add_to_instance m key (function
+                      | None -> state
+                      | Some s -> Combine.merge s state))
+                  (instances_enclosing window ~lo:(Interval.lo interval)
+                     ~hi:(Interval.hi interval))
+            | Watermark w ->
+                if w > st.wm then begin
+                  st.wm <- w;
+                  fire w;
+                  forward id (Watermark w)
+                end))
+  done;
+  t
+
+let root_deliver t msg =
+  let nodes = Plan.nodes t.plan in
+  Array.iteri
+    (fun id op ->
+      match op with Plan.Source -> t.handlers.(id) msg | _ -> ())
+    nodes
+
+let feed t e =
+  if t.closed then invalid_arg "Stream_exec.feed: executor is closed";
+  if e.Event.time < t.source_wm then raise (Late_event e);
+  Metrics.record_ingest t.metrics 1;
+  root_deliver t (Item (Raw e));
+  if e.Event.time > t.source_wm then begin
+    t.source_wm <- e.Event.time;
+    root_deliver t (Watermark t.source_wm)
+  end
+
+let advance t time =
+  if t.closed then invalid_arg "Stream_exec.advance: executor is closed";
+  if time > t.source_wm then begin
+    t.source_wm <- time;
+    root_deliver t (Watermark time)
+  end
+
+let close t ~horizon =
+  advance t horizon;
+  t.closed <- true;
+  Row.sort t.rows
+
+let run ?metrics plan ~horizon events =
+  let t = create ?metrics plan in
+  List.iter
+    (fun e -> if e.Event.time < horizon then feed t e)
+    (Event.sort events);
+  close t ~horizon

@@ -1,0 +1,43 @@
+(** Push-based streaming executor.
+
+    Executes a {!Fw_plan.Plan.t} as a dataflow of operators, the way a
+    stream processing engine would: events are pushed through the DAG
+    in event-time order; window operators keep per-(instance, key)
+    sub-aggregate states and fire an instance when the watermark passes
+    its upper bound; multicasts replicate items; the final union feeds
+    the result sink.  Windows fed by another window consume that
+    window's {e sub-aggregate emissions} instead of raw events — the
+    shared computation the rewriting creates.
+
+    Watermarks are strictly monotone: feeding an event older than the
+    current watermark raises {!Late_event} (the engine assumes ordered
+    input; see {!Fw_workload.Event_gen} which produces ordered
+    streams). *)
+
+exception Late_event of Event.t
+
+type t
+
+val create : ?metrics:Metrics.t -> Fw_plan.Plan.t -> t
+(** Raises [Invalid_argument] if the plan fails {!Fw_plan.Validate}. *)
+
+val feed : t -> Event.t -> unit
+(** Push one event; may trigger window firings for instances that the
+    event's timestamp proves complete. *)
+
+val advance : t -> int -> unit
+(** Advance the watermark without an event (a punctuation): all
+    instances ending at or before the time fire. *)
+
+val close : t -> horizon:int -> Row.t list
+(** Advance to the horizon, flush, and return all result rows emitted
+    so far (sorted).  The executor must not be fed afterwards. *)
+
+val run :
+  ?metrics:Metrics.t ->
+  Fw_plan.Plan.t ->
+  horizon:int ->
+  Event.t list ->
+  Row.t list
+(** Convenience: create, feed all (sorted) events with [time < horizon],
+    close. *)

@@ -1,0 +1,1 @@
+lib/factor/algorithm2.ml: Benefit Candidates Coverage Fw_agg Fw_util Fw_wcg Fw_window List Option Partitioned Window

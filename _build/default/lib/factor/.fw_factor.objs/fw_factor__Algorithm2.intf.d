@@ -1,0 +1,1 @@
+lib/factor/algorithm2.mli: Fw_agg Fw_wcg Fw_window

@@ -1,0 +1,1 @@
+lib/factor/benefit.ml: Coverage Format Fw_util Fw_wcg Fw_window List Window

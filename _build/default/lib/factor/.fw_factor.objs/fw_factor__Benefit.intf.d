@@ -1,0 +1,1 @@
+lib/factor/benefit.mli: Format Fw_wcg Fw_window

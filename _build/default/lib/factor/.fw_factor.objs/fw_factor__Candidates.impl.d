@@ -1,0 +1,1 @@
+lib/factor/candidates.ml: Benefit Coverage Fw_util Fw_window Int List Window

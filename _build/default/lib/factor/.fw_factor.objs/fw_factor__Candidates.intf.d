@@ -1,0 +1,1 @@
+lib/factor/candidates.mli: Benefit Fw_wcg Fw_window

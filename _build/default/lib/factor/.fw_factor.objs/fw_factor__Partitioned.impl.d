@@ -1,0 +1,1 @@
+lib/factor/partitioned.ml: Benefit Coverage Format Fw_util Fw_wcg Fw_window List Window

@@ -1,0 +1,1 @@
+lib/factor/partitioned.mli: Benefit Fw_wcg Fw_window

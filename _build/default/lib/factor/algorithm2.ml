@@ -1,0 +1,113 @@
+open Fw_window
+module Graph = Fw_wcg.Graph
+module Cost_model = Fw_wcg.Cost_model
+module Algorithm1 = Fw_wcg.Algorithm1
+module Arith = Fw_util.Arith
+
+let find_best env semantics ~exclude ~target ~downstream =
+  match semantics with
+  | Coverage.Partitioned_by ->
+      Partitioned.pick_best env ~exclude ~target ~downstream
+  | Coverage.Covered_by ->
+      Candidates.best env ~semantics ~exclude ~target ~downstream
+
+(* Insertion points of the augmented WCG: the virtual root S (downstream
+   = the WCG's roots) plus every window with outgoing edges. *)
+let insertion_points g =
+  let root_point =
+    match Graph.roots g with
+    | [] -> []
+    | roots -> [ (Benefit.Stream, roots) ]
+  in
+  root_point
+  @ List.filter_map
+      (fun w ->
+        match Graph.out_neighbors g w with
+        | [] -> None
+        | downstream -> Some (Benefit.At w, downstream))
+      (Graph.windows g)
+
+let splice ~dense g target factor ~downstream =
+  if Graph.mem g factor then g
+  else
+    let g = Graph.add_node g factor Graph.Factor in
+    if dense then Graph.connect_coverage g factor
+    else
+      let sem = Graph.semantics g in
+      let g =
+        match target with
+        | Benefit.Stream -> g
+        | Benefit.At w -> Graph.add_edge g ~src:w ~dst:factor
+      in
+      (* Figure-9 edges toward the insertion point's downstream windows
+         (captured before any splice at this point, so several factor
+         windows serving disjoint groups all reach their windows). *)
+      List.fold_left
+        (fun g w ->
+          if Coverage.related sem w factor then
+            Graph.add_edge g ~src:factor ~dst:w
+          else g)
+        g downstream
+
+(* Remove factor windows that feed nobody in the optimized forest; the
+   removal can cascade along factor-only chains. *)
+let prune_useless (result : Algorithm1.result) =
+  let rec go (result : Algorithm1.result) =
+    let useless =
+      List.filter
+        (fun w -> Graph.out_neighbors result.graph w = [])
+        (Graph.factor_windows result.graph)
+    in
+    match useless with
+    | [] -> result
+    | _ ->
+        let graph =
+          List.fold_left Graph.remove_node result.graph useless
+        in
+        let assignments =
+          List.fold_left
+            (fun m w -> Window.Map.remove w m)
+            result.assignments useless
+        in
+        let total =
+          Window.Map.fold
+            (fun _ { Algorithm1.cost; _ } acc -> Arith.add acc cost)
+            assignments 0
+        in
+        go { result with graph; assignments; total }
+  in
+  go result
+
+let run ?eta ?(dense_factor_edges = false) ?(strict_figure9 = false) semantics
+    ws =
+  let ws = Window.dedup ws in
+  let env = Cost_model.make_env ?eta ws in
+  let g = Graph.of_windows semantics ws in
+  let factors_for g target downstream =
+    let exclude = Graph.windows g in
+    if strict_figure9 then
+      Option.to_list (find_best env semantics ~exclude ~target ~downstream)
+    else
+      List.map
+        (fun s -> s.Candidates.factor)
+        (Candidates.plan_factors env ~semantics ~exclude ~target ~downstream)
+  in
+  let expanded =
+    List.fold_left
+      (fun g (target, downstream) ->
+        List.fold_left
+          (fun g factor ->
+            splice ~dense:dense_factor_edges g target factor ~downstream)
+          g
+          (factors_for g target downstream))
+      g (insertion_points g)
+  in
+  prune_useless (Algorithm1.run_graph env expanded)
+
+let best_of ?eta semantics ws =
+  let a1 = Algorithm1.run ?eta semantics ws in
+  let a2 = run ?eta semantics ws in
+  if a2.Algorithm1.total <= a1.Algorithm1.total then a2 else a1
+
+let for_aggregate ?eta f ws =
+  Option.map (fun sem -> best_of ?eta sem ws) (Fw_agg.Aggregate.semantics f)

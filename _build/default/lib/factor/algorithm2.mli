@@ -1,0 +1,52 @@
+(** Algorithm 2: min-cost WCG with factor windows.
+
+    For every insertion point of the augmented WCG — the virtual root
+    [S] (whose downstream windows are the WCG's roots) and every window
+    with outgoing edges — find the best factor window (Algorithm 4
+    under partitioned-by semantics, Section 4.2 candidate enumeration
+    otherwise), splice it into the graph with the Figure-9 edges, and
+    re-run Algorithm 1 on the expanded graph.
+
+    The problem is an instance of the NP-hard Steiner-tree problem
+    (Section 4.3); this procedure is the paper's heuristic and carries
+    no optimality guarantee, so {!best_of} compares its result with
+    plain Algorithm 1 and returns the cheaper WCG.
+
+    After the final Algorithm-1 pass we additionally remove factor
+    windows that ended up feeding no one (their candidates were chosen
+    against a fixed parent assignment that the re-optimization may
+    change); dropping a childless factor window never affects other
+    assignments and strictly lowers the total. *)
+
+val run :
+  ?eta:int ->
+  ?dense_factor_edges:bool ->
+  ?strict_figure9:bool ->
+  Fw_window.Coverage.semantics ->
+  Fw_window.Window.t list ->
+  Fw_wcg.Algorithm1.result
+(** [dense_factor_edges] (default [false]) is an ablation switch: when
+    set, an inserted factor window is connected to {e every} node it
+    covers (or that covers it), not only the Figure-9 endpoints.
+
+    [strict_figure9] (default [false]) restricts the candidate search
+    to the paper-literal procedure, where one factor window must cover
+    {e all} downstream windows of its insertion point; the default uses
+    the subset-aware search of {!Candidates.plan_factors}, which may
+    insert several factor windows per point (see the DESIGN.md
+    fidelity notes and the ablation bench). *)
+
+val best_of :
+  ?eta:int ->
+  Fw_window.Coverage.semantics ->
+  Fw_window.Window.t list ->
+  Fw_wcg.Algorithm1.result
+(** Section 4.3: the cheaper of Algorithm 1 and Algorithm 2. *)
+
+val for_aggregate :
+  ?eta:int ->
+  Fw_agg.Aggregate.t ->
+  Fw_window.Window.t list ->
+  Fw_wcg.Algorithm1.result option
+(** [best_of] with the semantics dictated by the aggregate; [None] for
+    holistic aggregates. *)

@@ -1,0 +1,55 @@
+open Fw_window
+module Cost_model = Fw_wcg.Cost_model
+module Arith = Fw_util.Arith
+
+type target = Stream | At of Window.t
+
+let pp_target ppf = function
+  | Stream -> Format.pp_print_string ppf "stream"
+  | At w -> Window.pp ppf w
+
+let target_range = function Stream -> 1 | At w -> Window.range w
+let target_slide = function Stream -> 1 | At w -> Window.slide w
+
+let covers sem target w =
+  match target with
+  | Stream -> true
+  | At upstream -> Coverage.related sem w upstream
+
+let target_cost env target w =
+  match target with
+  | Stream -> Cost_model.raw_cost env w
+  | At upstream -> Cost_model.edge_cost env ~covered:w ~by:upstream
+
+let check_pattern sem ~target ~downstream ~factor =
+  if not (covers sem target factor) then
+    invalid_arg
+      (Format.asprintf "Benefit: factor %a is not covered by target %a"
+         Window.pp factor pp_target target);
+  List.iter
+    (fun w ->
+      if not (Coverage.related sem w factor) then
+        invalid_arg
+          (Format.asprintf
+             "Benefit: downstream %a is not covered by factor %a" Window.pp w
+             Window.pp factor))
+    downstream
+
+let delta env ~semantics ~target ~downstream ~factor =
+  check_pattern semantics ~target ~downstream ~factor;
+  let with_factor =
+    List.fold_left
+      (fun acc w ->
+        Arith.add acc (Cost_model.edge_cost env ~covered:w ~by:factor))
+      (target_cost env target factor)
+      downstream
+  in
+  let without_factor =
+    List.fold_left
+      (fun acc w -> Arith.add acc (target_cost env target w))
+      0 downstream
+  in
+  with_factor - without_factor
+
+let beneficial env ~semantics ~target ~downstream ~factor =
+  delta env ~semantics ~target ~downstream ~factor <= 0

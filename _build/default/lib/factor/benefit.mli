@@ -1,0 +1,59 @@
+(** Impact analysis of a factor window (Section 4.1).
+
+    A factor window [W_f] is inserted "between" a target [W] and the
+    downstream windows [W₁, ..., W_K] that currently read from [W]
+    (Figure 9).  The target is either a real upstream window or the
+    virtual root [S⟨1,1⟩] of the augmented WCG — i.e. the raw input
+    stream.  The change in overall cost is (Eq. 2)
+
+    [c − c' = Σⱼ nⱼ·(M(Wⱼ,W_f) − M(Wⱼ,W)) + n_f·M(W_f,W)]
+
+    and the insertion improves iff [c − c' <= 0] (Eq. 3).
+
+    {!delta} evaluates the difference {e exactly}, charging raw-stream
+    reads [n·η·r]; at [η = 1] this coincides with Eq. 2 (where the
+    virtual root gives [M(X,S) = r_x]), and it remains correct for
+    [η > 1], where the paper's closed form — derived with the [M]
+    convention — understates the benefit of shielding downstream
+    windows from the raw stream. *)
+
+type target =
+  | Stream  (** the virtual root [S⟨1,1⟩]: read raw input events *)
+  | At of Fw_window.Window.t  (** a real upstream window *)
+
+val pp_target : Format.formatter -> target -> unit
+
+val target_range : target -> int
+(** [1] for [Stream]. *)
+
+val target_slide : target -> int
+
+val covers : Fw_window.Coverage.semantics -> target -> Fw_window.Window.t -> bool
+(** Does the target cover the given window (strictly)?  [Stream] covers
+    every window under both semantics. *)
+
+val target_cost : Fw_wcg.Cost_model.env -> target -> Fw_window.Window.t -> int
+(** Cost of computing the window when it reads from the target:
+    [raw_cost] under [Stream], [edge_cost] otherwise. *)
+
+val delta :
+  Fw_wcg.Cost_model.env ->
+  semantics:Fw_window.Coverage.semantics ->
+  target:target ->
+  downstream:Fw_window.Window.t list ->
+  factor:Fw_window.Window.t ->
+  int
+(** Exact [c − c']: negative means inserting [factor] reduces the total
+    cost.  Raises [Invalid_argument] if the Figure-9 coverage pattern
+    does not hold ([factor] strictly covered by [target]; every
+    downstream window strictly covered by [factor], under
+    [semantics]). *)
+
+val beneficial :
+  Fw_wcg.Cost_model.env ->
+  semantics:Fw_window.Coverage.semantics ->
+  target:target ->
+  downstream:Fw_window.Window.t list ->
+  factor:Fw_window.Window.t ->
+  bool
+(** Equation 3: [delta <= 0]. *)

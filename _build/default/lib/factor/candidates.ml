@@ -1,0 +1,138 @@
+open Fw_window
+module Arith = Fw_util.Arith
+
+let generate env ~semantics ~exclude ~target ~downstream =
+  match downstream with
+  | [] -> []
+  | _ ->
+      let slides = List.map Window.slide downstream in
+      let ranges = List.map Window.range downstream in
+      let s_d = Arith.gcd_list slides in
+      let r_min = List.fold_left min (List.hd ranges) ranges in
+      let s_w = Benefit.target_slide target in
+      let eligible_slides =
+        List.filter (fun s -> s mod s_w = 0) (Arith.divisors s_d)
+      in
+      let candidates_for_slide s_f =
+        let n_ranges = r_min / s_f in
+        List.init n_ranges (fun i ->
+            Window.make ~range:((i + 1) * s_f) ~slide:s_f)
+      in
+      let all = List.concat_map candidates_for_slide eligible_slides in
+      let valid w_f =
+        (not (List.exists (Window.equal w_f) exclude))
+        && Benefit.covers semantics target w_f
+        && List.for_all (fun w -> Coverage.related semantics w w_f) downstream
+      in
+      let scored =
+        List.filter_map
+          (fun w_f ->
+            if valid w_f then
+              let d = Benefit.delta env ~semantics ~target ~downstream
+                        ~factor:w_f in
+              if d <= 0 then Some (w_f, d) else None
+            else None)
+          all
+      in
+      List.sort
+        (fun (w1, d1) (w2, d2) ->
+          match Int.compare d1 d2 with
+          | 0 -> Window.compare w1 w2
+          | c -> c)
+        scored
+
+let best env ~semantics ~exclude ~target ~downstream =
+  match generate env ~semantics ~exclude ~target ~downstream with
+  | (w, d) :: _ when d < 0 -> Some w
+  | _ -> None
+
+(* --- Subset-aware search (see the interface for the rationale). --- *)
+
+type scored = { factor : Window.t; group : Window.t list; delta : int }
+
+let dedup_sorted xs = List.sort_uniq Int.compare xs
+
+(* Candidate windows that could cover at least one downstream window
+   under [semantics] while being covered by the target. *)
+let enumerate_candidates ~semantics ~target ~downstream =
+  let s_w = Benefit.target_slide target in
+  match semantics with
+  | Coverage.Partitioned_by ->
+      (* Tumbling candidates (Theorem 4); the range must divide some
+         downstream slide (alignment then gives range divisibility). *)
+      let ranges =
+        dedup_sorted
+          (List.concat_map
+             (fun w -> Fw_util.Arith.divisors (Window.slide w))
+             downstream)
+      in
+      List.filter_map
+        (fun r_f -> if r_f mod s_w = 0 then Some (Window.tumbling r_f) else None)
+        ranges
+  | Coverage.Covered_by ->
+      let slides =
+        dedup_sorted
+          (List.concat_map
+             (fun w -> Fw_util.Arith.divisors (Window.slide w))
+             downstream)
+      in
+      let slides = List.filter (fun s -> s mod s_w = 0) slides in
+      let r_max = List.fold_left (fun m w -> max m (Window.range w)) 0 downstream in
+      List.concat_map
+        (fun s_f ->
+          List.init (r_max / s_f) (fun i ->
+              Window.make ~range:((i + 1) * s_f) ~slide:s_f))
+        slides
+
+let score_candidate env ~semantics ~target ~downstream factor =
+  match
+    List.filter (fun w -> Coverage.related semantics w factor) downstream
+  with
+  | [] -> None
+  | group ->
+      let delta = Benefit.delta env ~semantics ~target ~downstream:group ~factor in
+      if delta < 0 then Some { factor; group; delta } else None
+
+let best_grouped env ~semantics ~exclude ~target ~downstream =
+  if downstream = [] then None
+  else
+    let candidates =
+      enumerate_candidates ~semantics ~target ~downstream
+      |> List.filter (fun w_f ->
+             (not (List.exists (Window.equal w_f) exclude))
+             && Benefit.covers semantics target w_f)
+    in
+    let better a b =
+      (* smaller delta wins; ties: larger group, then smaller window *)
+      match Int.compare a.delta b.delta with
+      | 0 -> (
+          match
+            Int.compare (List.length b.group) (List.length a.group)
+          with
+          | 0 -> Window.compare a.factor b.factor < 0
+          | c -> c < 0)
+      | c -> c < 0
+    in
+    List.fold_left
+      (fun best w_f ->
+        match score_candidate env ~semantics ~target ~downstream w_f with
+        | None -> best
+        | Some s -> (
+            match best with
+            | None -> Some s
+            | Some b -> if better s b then Some s else best))
+      None candidates
+
+let plan_factors env ~semantics ~exclude ~target ~downstream =
+  let rec go exclude downstream acc =
+    match best_grouped env ~semantics ~exclude ~target ~downstream with
+    | None -> List.rev acc
+    | Some s ->
+        let remaining =
+          List.filter
+            (fun w -> not (List.exists (Window.equal w) s.group))
+            downstream
+        in
+        go (s.factor :: exclude) remaining (s :: acc)
+  in
+  go exclude downstream []

@@ -1,0 +1,76 @@
+(** Candidate factor-window generation and selection under general
+    ("covered-by") semantics (Section 4.2).
+
+    For a target [W] with downstream windows [W₁, ..., W_K]:
+    - eligible slides: divisors of [s_d = gcd(s₁, ..., s_K)] that are
+      multiples of [s_W];
+    - eligible ranges: multiples of the slide, at most
+      [r_min = min(r₁, ..., r_K)];
+    - a candidate [W_f⟨r_f, s_f⟩] must satisfy the Figure-9 coverage
+      pattern ([W_f ≤ W], [Wⱼ ≤ W_f]) and be beneficial (Eq. 3).
+
+    Candidates that coincide with the target or with an existing window
+    of the query are skipped (Definition 6 requires [W_f ∉ W]). *)
+
+val generate :
+  Fw_wcg.Cost_model.env ->
+  semantics:Fw_window.Coverage.semantics ->
+  exclude:Fw_window.Window.t list ->
+  target:Benefit.target ->
+  downstream:Fw_window.Window.t list ->
+  (Fw_window.Window.t * int) list
+(** All beneficial candidates with their exact [delta] ([<= 0]), sorted
+    by increasing delta (best first); deterministic. [exclude] lists
+    the windows already present in the graph. *)
+
+val best :
+  Fw_wcg.Cost_model.env ->
+  semantics:Fw_window.Coverage.semantics ->
+  exclude:Fw_window.Window.t list ->
+  target:Benefit.target ->
+  downstream:Fw_window.Window.t list ->
+  Fw_window.Window.t option
+(** The candidate with the maximum estimated cost reduction (Section
+    4.2.2); [None] when no candidate {e strictly} reduces the cost. *)
+
+(** {1 Subset-aware search}
+
+    The paper's Figure-9 pattern requires a factor window to cover
+    {e every} downstream window of the insertion point, so a single
+    uncorrelated window (e.g. a root with a coprime range) suppresses
+    all candidates — [gcd = 1] finds nothing.  The grouped search
+    relaxes this: a candidate only needs to cover a non-empty {e
+    subset} of the downstream windows (its {e group}); windows outside
+    the group keep reading from the target and do not enter the cost
+    difference.  This strictly generalizes the paper's procedure (when
+    the group is the full downstream set the scores coincide) and is
+    the default for WCG-FW; the paper-literal behavior remains
+    available as Algorithm 2's [strict_figure9] mode. *)
+
+type scored = {
+  factor : Fw_window.Window.t;
+  group : Fw_window.Window.t list;  (** covered downstream subset *)
+  delta : int;  (** exact cost change, [< 0] *)
+}
+
+val best_grouped :
+  Fw_wcg.Cost_model.env ->
+  semantics:Fw_window.Coverage.semantics ->
+  exclude:Fw_window.Window.t list ->
+  target:Benefit.target ->
+  downstream:Fw_window.Window.t list ->
+  scored option
+(** Best strictly-improving subset-aware candidate (ties: larger group,
+    then smaller window). *)
+
+val plan_factors :
+  Fw_wcg.Cost_model.env ->
+  semantics:Fw_window.Coverage.semantics ->
+  exclude:Fw_window.Window.t list ->
+  target:Benefit.target ->
+  downstream:Fw_window.Window.t list ->
+  scored list
+(** Iterate {!best_grouped}: after a candidate is chosen its group is
+    removed from the downstream set and the search repeats, yielding
+    several factor windows per insertion point when they serve disjoint
+    groups. *)

@@ -1,0 +1,107 @@
+open Fw_window
+module Cost_model = Fw_wcg.Cost_model
+module Arith = Fw_util.Arith
+
+let require_tumbling what w =
+  if not (Window.is_tumbling w) then
+    invalid_arg
+      (Format.asprintf "Partitioned.%s: %a is not a tumbling window" what
+         Window.pp w)
+
+let require_tumbling_target what = function
+  | Benefit.Stream -> ()
+  | Benefit.At w -> require_tumbling what w
+
+let helps env ~target ~downstream ~factor =
+  require_tumbling "helps" factor;
+  require_tumbling_target "helps" target;
+  match downstream with
+  | [] -> invalid_arg "Partitioned.helps: empty downstream set"
+  | _ :: _ :: _ -> true (* K >= 2 *)
+  | [ w1 ] ->
+      let k1 = Window.k_ratio w1 in
+      if k1 = 1 then false
+      else
+        let n1 = Cost_model.recurrence_count env w1 in
+        let m1 = Cost_model.multiplicity env w1 in
+        if k1 >= 3 && m1 >= 3 then true
+        else if n1 = m1 then false (* lambda = 1 *)
+        else
+          (* r_f / r_W >= lambda / (lambda - 1) with lambda = n1/m1,
+             i.e. r_f * (n1 - m1) >= r_W * n1. *)
+          let r_f = Window.range factor
+          and r_w = Benefit.target_range target in
+          Arith.mul r_f (n1 - m1) >= Arith.mul r_w n1
+
+(* Exact cost of the Figure-9 configuration that uses [w_f]; the
+   target's own cost is common to both sides and omitted. *)
+let config_cost env ~target ~downstream w_f =
+  List.fold_left
+    (fun acc w -> Arith.add acc (Cost_model.edge_cost env ~covered:w ~by:w_f))
+    (Benefit.target_cost env target w_f)
+    downstream
+
+let theorem9_le env ~target ~downstream w_f w_f' =
+  config_cost env ~target ~downstream w_f
+  <= config_cost env ~target ~downstream w_f'
+
+let candidate_ranges ~target ~downstream =
+  match downstream with
+  | [] -> []
+  | _ ->
+      let d = Arith.gcd_list (List.map Window.range downstream) in
+      let r_w = Benefit.target_range target in
+      if d = r_w || d mod r_w <> 0 then []
+      else
+        List.filter
+          (fun r_f -> r_f mod r_w = 0 && r_f <> r_w)
+          (Arith.divisors d)
+
+let pick_best env ~exclude ~target ~downstream =
+  let covered_by_target w_f =
+    match target with
+    | Benefit.Stream -> true
+    | Benefit.At w -> Coverage.strictly_partitioned_by w_f w
+  in
+  let valid w_f =
+    (not (List.exists (Window.equal w_f) exclude))
+    && covered_by_target w_f
+    && List.for_all
+         (fun w -> Coverage.strictly_partitioned_by w w_f)
+         downstream
+  in
+  let candidates =
+    candidate_ranges ~target ~downstream
+    |> List.map Window.tumbling
+    |> List.filter valid
+    |> List.filter (fun w_f -> helps env ~target ~downstream ~factor:w_f)
+  in
+  (* Dominance pruning (Algorithm 4 lines 11-13): drop a candidate if
+     another candidate is covered by it — i.e. keep maximal ranges
+     (Example 8 keeps W<10,10> over W<5,5> and W<2,2>). *)
+  let dominated w_f =
+    List.exists
+      (fun w_f' ->
+        (not (Window.equal w_f w_f'))
+        && Coverage.strictly_covered_by w_f' w_f)
+      candidates
+  in
+  let survivors = List.filter (fun w_f -> not (dominated w_f)) candidates in
+  let best =
+    match survivors with
+    | [] -> None
+    | first :: rest ->
+        Some
+          (List.fold_left
+             (fun best w_f ->
+               if theorem9_le env ~target ~downstream w_f best then w_f
+               else best)
+             first rest)
+  in
+  match best with
+  | Some w_f
+    when Benefit.delta env ~semantics:Coverage.Partitioned_by ~target
+           ~downstream ~factor:w_f
+         < 0 ->
+      Some w_f
+  | Some _ | None -> None

@@ -1,0 +1,54 @@
+(** The "partitioned-by" fast path for factor windows (Section 4.4).
+
+    Under partitioned-by semantics every factor-window candidate is a
+    tumbling window whose range is a common factor of the downstream
+    ranges and a multiple of the target's range (Theorem 4), which
+    shrinks the search space to divisor enumeration and admits the
+    closed-form benefit test of Algorithm 3 and the dominance rules of
+    Theorem 9 / Algorithm 4. *)
+
+val helps :
+  Fw_wcg.Cost_model.env ->
+  target:Benefit.target ->
+  downstream:Fw_window.Window.t list ->
+  factor:Fw_window.Window.t ->
+  bool
+(** Algorithm 3: does inserting the tumbling factor window help?
+
+    - [K >= 2] downstream windows: always true;
+    - [K = 1] with a tumbling downstream window ([k₁ = 1]): false;
+    - [K = 1], [k₁ >= 3] and [m₁ >= 3]: true;
+    - otherwise: true iff [r_f/r_W >= λ/(λ−1)] where [λ = n₁/m₁]
+      (evaluated exactly by integer cross-multiplication; [λ = 1]
+      yields false).
+
+    Raises [Invalid_argument] if [factor] or a target window is not
+    tumbling, or [downstream] is empty. *)
+
+val theorem9_le :
+  Fw_wcg.Cost_model.env ->
+  target:Benefit.target ->
+  downstream:Fw_window.Window.t list ->
+  Fw_window.Window.t ->
+  Fw_window.Window.t ->
+  bool
+(** [theorem9_le env ~target ~downstream w_f w_f'] is [c_f <= c_f'] for
+    two independent eligible tumbling candidates — evaluated as the
+    exact cost comparison that Theorem 9's inequality characterizes. *)
+
+val candidate_ranges : target:Benefit.target -> downstream:Fw_window.Window.t list -> int list
+(** Ranges eligible per Algorithm 4 lines 1–4: factors of
+    [d = gcd(r₁, ..., r_K)] that are proper multiples of [r_W] (and
+    smaller than every downstream range); empty when [d = r_W]. *)
+
+val pick_best :
+  Fw_wcg.Cost_model.env ->
+  exclude:Fw_window.Window.t list ->
+  target:Benefit.target ->
+  downstream:Fw_window.Window.t list ->
+  Fw_window.Window.t option
+(** Algorithm 4: enumerate candidates, filter with Algorithm 3, prune
+    dominated candidates (remove [W_f] when some other candidate is
+    covered by it — keeping maximal ranges, cf. Example 8), and return
+    the best of the survivors by Theorem 9.  [None] when no candidate
+    strictly improves the cost. *)

@@ -1,0 +1,1 @@
+lib/plan/plan.ml: Array Format Fw_agg Fw_wcg Fw_window List Predicate Window

@@ -1,0 +1,1 @@
+lib/plan/plan.mli: Format Fw_agg Fw_wcg Fw_window Predicate

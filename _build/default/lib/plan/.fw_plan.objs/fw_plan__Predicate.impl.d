@@ -1,0 +1,1 @@
+lib/plan/predicate.ml: Float Format Printf String

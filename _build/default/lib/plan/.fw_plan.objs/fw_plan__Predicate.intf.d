@@ -1,0 +1,1 @@
+lib/plan/predicate.mli: Format

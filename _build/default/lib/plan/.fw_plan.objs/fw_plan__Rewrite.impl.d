@@ -1,0 +1,1 @@
+lib/plan/rewrite.ml: Fw_agg Fw_factor Fw_wcg Fw_window Plan

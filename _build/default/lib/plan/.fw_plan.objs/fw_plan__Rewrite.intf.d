@@ -1,0 +1,1 @@
+lib/plan/rewrite.mli: Fw_agg Fw_wcg Fw_window Plan Predicate

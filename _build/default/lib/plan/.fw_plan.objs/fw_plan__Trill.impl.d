@@ -1,0 +1,1 @@
+lib/plan/trill.ml: Buffer Format Fw_agg Fw_window List Plan Predicate Printf String Window

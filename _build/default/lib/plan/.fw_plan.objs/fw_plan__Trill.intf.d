@@ -1,0 +1,1 @@
+lib/plan/trill.mli: Format Plan

@@ -1,0 +1,1 @@
+lib/plan/validate.ml: Array Format Fw_agg Fw_window List Plan Window

@@ -1,0 +1,1 @@
+lib/plan/validate.mli: Format Fw_window Plan

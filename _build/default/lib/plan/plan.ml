@@ -1,0 +1,149 @@
+open Fw_window
+module Forest = Fw_wcg.Forest
+
+type id = int
+
+type op =
+  | Source
+  | Filter of { pred : Predicate.t; input : id }
+  | Multicast of id
+  | Win_agg of { window : Window.t; input : id; expose : bool }
+  | Union of id list
+
+type t = { agg : Fw_agg.Aggregate.t; nodes : op array; output : id }
+
+let agg t = t.agg
+let nodes t = t.nodes
+let output t = t.output
+
+(* Monotone plan builder: appending returns the fresh id, and inputs
+   always precede their consumers. *)
+module Builder = struct
+  type t = { mutable rev_nodes : op list; mutable next : id }
+
+  let create () = { rev_nodes = []; next = 0 }
+
+  let push b op =
+    let id = b.next in
+    b.rev_nodes <- op :: b.rev_nodes;
+    b.next <- id + 1;
+    id
+
+  let finish b ~agg ~output =
+    { agg; nodes = Array.of_list (List.rev b.rev_nodes); output }
+end
+
+let push_source ?filter b =
+  let source = Builder.push b Source in
+  match filter with
+  | None -> source
+  | Some pred -> Builder.push b (Filter { pred; input = source })
+
+let naive ?filter agg ws =
+  let ws = Window.dedup ws in
+  if ws = [] then invalid_arg "Plan.naive: empty window set";
+  let b = Builder.create () in
+  let source = push_source ?filter b in
+  let input =
+    match ws with
+    | [ _ ] -> source
+    | _ -> Builder.push b (Multicast source)
+  in
+  let aggs =
+    List.map
+      (fun window -> Builder.push b (Win_agg { window; input; expose = true }))
+      ws
+  in
+  let output = Builder.push b (Union aggs) in
+  Builder.finish b ~agg ~output
+
+let of_forest ?filter agg trees =
+  if trees = [] then invalid_arg "Plan.of_forest: empty forest";
+  let b = Builder.create () in
+  let source = push_source ?filter b in
+  let root_input =
+    match trees with
+    | [ _ ] -> source
+    | _ -> Builder.push b (Multicast source)
+  in
+  let union_inputs = ref [] in
+  let rec emit input (tree : Forest.tree) =
+    let expose = match tree.kind with Fw_wcg.Graph.Query -> true | Factor -> false in
+    let node =
+      Builder.push b (Win_agg { window = tree.window; input; expose })
+    in
+    if expose then union_inputs := node :: !union_inputs;
+    match tree.children with
+    | [] -> ()
+    | children ->
+        let mcast = Builder.push b (Multicast node) in
+        List.iter (emit mcast) children
+  in
+  List.iter (emit root_input) trees;
+  let output = Builder.push b (Union (List.rev !union_inputs)) in
+  Builder.finish b ~agg ~output
+
+let fold_windows f acc t =
+  Array.fold_left
+    (fun acc op ->
+      match op with
+      | Win_agg { window; input; expose } -> f acc ~window ~input ~expose
+      | Source | Filter _ | Multicast _ | Union _ -> acc)
+    acc t.nodes
+
+let exposed_windows t =
+  List.rev
+    (fold_windows
+       (fun acc ~window ~input:_ ~expose ->
+         if expose then window :: acc else acc)
+       [] t)
+
+let all_windows t =
+  List.rev
+    (fold_windows (fun acc ~window ~input:_ ~expose:_ -> window :: acc) [] t)
+
+let rec resolve_input t id =
+  match t.nodes.(id) with
+  | Multicast input | Filter { input; _ } -> resolve_input t input
+  | Source -> `Stream
+  | Win_agg { window; _ } -> `Window window
+  | Union _ -> invalid_arg "Plan.resolve_input: union feeding a window"
+
+let source_filter t =
+  Array.fold_left
+    (fun acc op ->
+      match op with Filter { pred; _ } -> Some pred | _ -> acc)
+    None t.nodes
+
+let window_input t w =
+  let found =
+    fold_windows
+      (fun acc ~window ~input ~expose:_ ->
+        if acc = None && Window.equal window w then Some input else acc)
+      None t
+  in
+  match found with
+  | None -> raise Not_found
+  | Some input -> resolve_input t input
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan (%a):@," Fw_agg.Aggregate.pp t.agg;
+  Array.iteri
+    (fun id op ->
+      match op with
+      | Source -> Format.fprintf ppf "  %d: source@," id
+      | Filter { pred; input } ->
+          Format.fprintf ppf "  %d: filter %a <- %d@," id Predicate.pp pred
+            input
+      | Multicast i -> Format.fprintf ppf "  %d: multicast <- %d@," id i
+      | Win_agg { window; input; expose } ->
+          Format.fprintf ppf "  %d: agg %a <- %d%s@," id Window.pp window input
+            (if expose then "" else " (factor)")
+      | Union ids ->
+          Format.fprintf ppf "  %d: union <- [%a]@," id
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+               Format.pp_print_int)
+            ids)
+    t.nodes;
+  Format.fprintf ppf "  output: %d@]" t.output

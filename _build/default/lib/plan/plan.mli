@@ -1,0 +1,67 @@
+(** Streaming query plans: operator DAGs over a single input stream.
+
+    A plan is the object the optimizer rewrites (Section 3.3): the
+    naive plan multicasts the input to one windowed aggregate per
+    window and unions the results (Figure 1(b)); the rewritten plan
+    arranges the windows into the min-cost WCG's forest so that
+    downstream windows consume {e sub-aggregates} of their parent
+    instead of raw events (Figure 2).
+
+    Nodes are identified by dense integer ids; every node's inputs have
+    strictly smaller ids, so the node array is a topological order —
+    the executor relies on this. *)
+
+type id = int
+
+type op =
+  | Source  (** the input event stream; always node 0 *)
+  | Filter of { pred : Predicate.t; input : id }
+      (** row filter (a WHERE clause); at most one, directly over the
+          source *)
+  | Multicast of id  (** explicit fan-out of its input *)
+  | Win_agg of {
+      window : Fw_window.Window.t;
+      input : id;
+      expose : bool;
+          (** [false] for factor windows: computed but not output *)
+    }
+  | Union of id list
+
+type t = private {
+  agg : Fw_agg.Aggregate.t;
+  nodes : op array;  (** index = id; topologically ordered *)
+  output : id;
+}
+
+val agg : t -> Fw_agg.Aggregate.t
+val nodes : t -> op array
+val output : t -> id
+
+val naive :
+  ?filter:Predicate.t -> Fw_agg.Aggregate.t -> Fw_window.Window.t list -> t
+(** [Source ⇒ (Filter) ⇒ Multicast ⇒ {W₁, ..., Wₙ} ⇒ Union]; the
+    multicast is omitted for a single window.  Windows are
+    deduplicated.  Raises [Invalid_argument] on an empty list. *)
+
+val of_forest :
+  ?filter:Predicate.t -> Fw_agg.Aggregate.t -> Fw_wcg.Forest.tree list -> t
+(** The Section 3.3 rewriting: roots read from the source (through a
+    multicast if there are several), every window with children feeds
+    them through a per-window multicast, query windows link to the
+    final union, factor windows do not. *)
+
+val exposed_windows : t -> Fw_window.Window.t list
+(** Windows whose results reach the output, in plan order. *)
+
+val all_windows : t -> Fw_window.Window.t list
+
+val window_input : t -> Fw_window.Window.t -> [ `Stream | `Window of Fw_window.Window.t ]
+(** What a window aggregate reads once multicasts (and the source
+    filter) are seen through.  Raises [Not_found] if the window is not
+    in the plan. *)
+
+val source_filter : t -> Predicate.t option
+(** The WHERE predicate guarding the source, if any. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line structural rendering. *)

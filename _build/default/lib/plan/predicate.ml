@@ -1,0 +1,81 @@
+type field = Key | Value | Time
+
+type operand =
+  | Field of field
+  | Const_num of float
+  | Const_str of string
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Compare of { left : operand; op : comparison; right : operand }
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+type scalar = Num of float | Str of string
+
+let resolve ~key ~value ~time = function
+  | Field Key -> Str key
+  | Field Value -> Num value
+  | Field Time -> Num (float_of_int time)
+  | Const_num f -> Num f
+  | Const_str s -> Str s
+
+let compare_scalar op l r =
+  let decide c =
+    match op with
+    | Eq -> c = 0
+    | Neq -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0
+  in
+  match (l, r) with
+  | Num a, Num b -> decide (Float.compare a b)
+  | Str a, Str b -> decide (String.compare a b)
+  | (Num _ | Str _), _ -> ( match op with Neq -> true | _ -> false)
+
+let rec eval p ~key ~value ~time =
+  match p with
+  | Compare { left; op; right } ->
+      compare_scalar op
+        (resolve ~key ~value ~time left)
+        (resolve ~key ~value ~time right)
+  | And (a, b) -> eval a ~key ~value ~time && eval b ~key ~value ~time
+  | Or (a, b) -> eval a ~key ~value ~time || eval b ~key ~value ~time
+  | Not a -> not (eval a ~key ~value ~time)
+
+let always_true =
+  Compare { left = Const_num 0.0; op = Eq; right = Const_num 0.0 }
+
+let field_name = function Key -> "key" | Value -> "value" | Time -> "time"
+
+let op_name = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let operand_str = function
+  | Field f -> field_name f
+  | Const_num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        string_of_int (int_of_float f)
+      else string_of_float f
+  | Const_str s -> Printf.sprintf "'%s'" s
+
+let rec pp ppf = function
+  | Compare { left; op; right } ->
+      Format.fprintf ppf "%s %s %s" (operand_str left) (op_name op)
+        (operand_str right)
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp a
+
+let to_string p = Format.asprintf "%a" pp p
+
+let equal (a : t) (b : t) = a = b

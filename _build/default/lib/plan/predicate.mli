@@ -1,0 +1,35 @@
+(** First-order row predicates for filter operators.
+
+    The plan IR keeps predicates as data (not closures) so plans remain
+    comparable, printable and executable by both the batch oracle and
+    the streaming engine.  Fields name the three things an event
+    carries: its grouping key, its numeric payload and its event time. *)
+
+type field = Key | Value | Time
+
+type operand =
+  | Field of field
+  | Const_num of float
+  | Const_str of string
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Compare of { left : operand; op : comparison; right : operand }
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval : t -> key:string -> value:float -> time:int -> bool
+(** String operands compare with string semantics when both sides are
+    strings; numeric otherwise (a string against a number compares
+    false except under [Neq]). *)
+
+val always_true : t
+
+val pp : Format.formatter -> t -> unit
+(** SQL-ish rendering, e.g. [value >= 10 AND key <> 'device-1']. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

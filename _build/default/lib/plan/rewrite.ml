@@ -1,0 +1,41 @@
+module Algorithm1 = Fw_wcg.Algorithm1
+module Forest = Fw_wcg.Forest
+module Cost_model = Fw_wcg.Cost_model
+
+type outcome = {
+  plan : Plan.t;
+  naive_plan : Plan.t;
+  optimization : Algorithm1.result option;
+  naive_cost : int option;
+}
+
+let plan_of_result ?filter agg (result : Algorithm1.result) =
+  Plan.of_forest ?filter agg (Forest.of_graph result.Algorithm1.graph)
+
+let optimize ?eta ?(factor_windows = true) ?filter agg ws =
+  let ws = Fw_window.Window.dedup ws in
+  let naive_plan = Plan.naive ?filter agg ws in
+  match Fw_agg.Aggregate.semantics agg with
+  | None -> { plan = naive_plan; naive_plan; optimization = None; naive_cost = None }
+  | Some semantics ->
+      let result =
+        if factor_windows then Fw_factor.Algorithm2.best_of ?eta semantics ws
+        else Algorithm1.run ?eta semantics ws
+      in
+      let naive_cost =
+        Cost_model.naive_total result.Algorithm1.env ws
+      in
+      {
+        plan = plan_of_result ?filter agg result;
+        naive_plan;
+        optimization = Some result;
+        naive_cost = Some naive_cost;
+      }
+
+let improvement_percent outcome =
+  match (outcome.optimization, outcome.naive_cost) with
+  | Some r, Some naive when naive > 0 ->
+      Some
+        (100.0
+        *. (1.0 -. (float_of_int r.Algorithm1.total /. float_of_int naive)))
+  | _ -> None

@@ -1,0 +1,34 @@
+(** End-to-end query rewriting (Section 3.3 + Section 4).
+
+    Bundles the optimizer pipeline: window set → min-cost WCG (best of
+    Algorithms 1 and 2, Section 4.3) → operator plan.  Holistic
+    aggregates, for which no sharing is sound, fall back to the naive
+    plan. *)
+
+type outcome = {
+  plan : Plan.t;
+  naive_plan : Plan.t;
+  optimization : Fw_wcg.Algorithm1.result option;
+      (** [None] when the aggregate is holistic (naive fallback). *)
+  naive_cost : int option;
+      (** Baseline cost over the common period, when defined. *)
+}
+
+val optimize :
+  ?eta:int ->
+  ?factor_windows:bool ->
+  ?filter:Predicate.t ->
+  Fw_agg.Aggregate.t ->
+  Fw_window.Window.t list ->
+  outcome
+(** [factor_windows] defaults to [true] (Algorithm 2 + best-of); set it
+    to [false] for plain Algorithm 1.  [filter] installs a WHERE
+    predicate over the source in both plans (it does not enter the cost
+    model, which prices the post-filter rate). *)
+
+val plan_of_result :
+  ?filter:Predicate.t -> Fw_agg.Aggregate.t -> Fw_wcg.Algorithm1.result -> Plan.t
+(** Just the Section 3.3 construction on an optimizer result. *)
+
+val improvement_percent : outcome -> float option
+(** [100·(1 − C_opt/C_naive)], when both costs are defined. *)

@@ -1,0 +1,92 @@
+open Fw_window
+
+(* "Min" / "Max" / "Avg" ... as Trill method-ish names. *)
+let camel agg =
+  let s = String.lowercase_ascii (Fw_agg.Aggregate.to_string agg) in
+  String.capitalize_ascii s
+
+let window_combinator w =
+  if Window.is_tumbling w then
+    Printf.sprintf ".Tumbling(\"_%d\")" (Window.range w)
+  else
+    Printf.sprintf ".Hopping(\"_%d_%d\")" (Window.range w) (Window.slide w)
+
+let group_aggregate agg ~field =
+  let f = camel agg in
+  Printf.sprintf ".GroupAggregateWin(w,k,%s(e.%s),(w,k,agg0) => {w,k,agg0.%s})"
+    f field f
+
+(* A window's children = windows whose (multicast-resolved) input is it. *)
+let children_of plan w =
+  List.filter
+    (fun c ->
+      match Plan.window_input plan c with
+      | `Window p -> Window.equal p w
+      | `Stream -> false)
+    (Plan.all_windows plan)
+
+let roots_of plan =
+  List.filter
+    (fun w -> Plan.window_input plan w = `Stream)
+    (Plan.all_windows plan)
+
+let is_exposed plan w =
+  List.exists (Window.equal w) (Plan.exposed_windows plan)
+
+let render plan =
+  let buf = Buffer.create 256 in
+  let agg = Plan.agg plan in
+  (* Index windows in plan order for the sub-aggregate field names. *)
+  let indexed = List.mapi (fun i w -> (w, i)) (Plan.all_windows plan) in
+  let index_of w =
+    List.assoc w (List.map (fun (w, i) -> (w, i)) indexed)
+  in
+  let field_of_input w =
+    match Plan.window_input plan w with
+    | `Stream -> "a"
+    | `Window p -> Printf.sprintf "sagg%d" (index_of p)
+  in
+  let pad depth = String.make depth ' ' in
+  let rec emit_window depth w =
+    let mark = if is_exposed plan w then "" else " /* factor */" in
+    Buffer.add_string buf
+      (window_combinator w ^ group_aggregate agg ~field:(field_of_input w)
+     ^ mark);
+    match children_of plan w with
+    | [] -> ()
+    | children ->
+        Buffer.add_string buf
+          (Printf.sprintf "\n%s.Multicast(s => s" (pad (depth + 1)));
+        List.iter
+          (fun c ->
+            Buffer.add_string buf
+              (Printf.sprintf "\n%s.Union(s\n%s" (pad (depth + 2))
+                 (pad (depth + 3)));
+            emit_window (depth + 3) c;
+            Buffer.add_string buf ")")
+          children;
+        Buffer.add_string buf ")"
+  in
+  Buffer.add_string buf "Source";
+  (match Plan.source_filter plan with
+  | Some pred ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n.Where(e => %s)" (Predicate.to_string pred))
+  | None -> ());
+  (match roots_of plan with
+  | [ root ] ->
+      Buffer.add_string buf "\n";
+      emit_window 0 root
+  | roots ->
+      Buffer.add_string buf "\n.Multicast(s => s";
+      List.iteri
+        (fun i root ->
+          if i = 0 then Buffer.add_string buf "\n "
+          else Buffer.add_string buf "\n .Union(s\n  ";
+          emit_window 2 root;
+          if i > 0 then Buffer.add_string buf ")")
+        roots;
+      Buffer.add_string buf ")");
+  Buffer.contents buf
+
+let pp ppf plan = Format.pp_print_string ppf (render plan)

@@ -1,0 +1,14 @@
+(** Rendering of plans as Trill-style functional expressions, matching
+    the shape of Figures 1(b) and 2(b).
+
+    Each window aggregate renders as
+
+    {v .Tumbling("_10").GroupAggregateWin(w,k,Min(e.a),(w,k,agg0) => {w,k,agg0.Min}) v}
+
+    (hopping windows render as [.Hopping("_r_s")]); aggregates that read
+    sub-aggregates of an upstream window reference [e.sagg<i>] instead
+    of the raw payload [e.a], exactly as in Figure 2(b). *)
+
+val render : Plan.t -> string
+
+val pp : Format.formatter -> Plan.t -> unit

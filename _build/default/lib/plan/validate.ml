@@ -1,0 +1,84 @@
+open Fw_window
+
+type error =
+  | Dangling_input of { node : Plan.id; input : Plan.id }
+  | Unreachable of Plan.id
+  | No_source
+  | Union_into_window of Plan.id
+  | Duplicate_exposed of Window.t
+  | Empty_union of Plan.id
+
+let pp_error ppf = function
+  | Dangling_input { node; input } ->
+      Format.fprintf ppf "node %d consumes %d, which does not precede it"
+        node input
+  | Unreachable id -> Format.fprintf ppf "node %d is unreachable" id
+  | No_source -> Format.fprintf ppf "plan has no source"
+  | Union_into_window id ->
+      Format.fprintf ppf "window node %d reads from a union" id
+  | Duplicate_exposed w ->
+      Format.fprintf ppf "window %a exposed more than once" Window.pp w
+  | Empty_union id -> Format.fprintf ppf "union node %d has no inputs" id
+
+let inputs_of = function
+  | Plan.Source -> []
+  | Plan.Multicast i -> [ i ]
+  | Plan.Filter { input; _ } -> [ input ]
+  | Plan.Win_agg { input; _ } -> [ input ]
+  | Plan.Union is -> is
+
+let check plan =
+  let nodes = Plan.nodes plan in
+  let n = Array.length nodes in
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  if not (Array.exists (function Plan.Source -> true | _ -> false) nodes)
+  then add No_source;
+  Array.iteri
+    (fun id op ->
+      List.iter
+        (fun input ->
+          if input < 0 || input >= id then add (Dangling_input { node = id; input }))
+        (inputs_of op);
+      match op with
+      | Plan.Union [] -> add (Empty_union id)
+      | Plan.Win_agg { input; _ }
+        when input >= 0 && input < n
+             && (match nodes.(input) with
+                | Plan.Union _ -> true
+                | Plan.Source | Plan.Filter _ | Plan.Multicast _
+                | Plan.Win_agg _ ->
+                    false) ->
+          add (Union_into_window id)
+      | Plan.Source | Plan.Filter _ | Plan.Multicast _ | Plan.Win_agg _
+      | Plan.Union _ ->
+          ())
+    nodes;
+  (* Reachability from the output. *)
+  let reachable = Array.make n false in
+  let rec visit id =
+    if id >= 0 && id < n && not (reachable.(id)) then begin
+      reachable.(id) <- true;
+      List.iter visit (inputs_of nodes.(id))
+    end
+  in
+  visit (Plan.output plan);
+  Array.iteri (fun id seen -> if not seen then add (Unreachable id)) reachable;
+  (* Exposed uniqueness. *)
+  let exposed = Plan.exposed_windows plan in
+  let rec dups seen = function
+    | [] -> ()
+    | w :: rest ->
+        if Window.Set.mem w seen then add (Duplicate_exposed w);
+        dups (Window.Set.add w seen) rest
+  in
+  dups Window.Set.empty exposed;
+  List.rev !errors
+
+let check_equivalent a b =
+  if not (Fw_agg.Aggregate.equal (Plan.agg a) (Plan.agg b)) then
+    Error "plans use different aggregate functions"
+  else
+    let set p = Window.Set.of_list (Plan.exposed_windows p) in
+    if Window.Set.equal (set a) (set b) then Ok ()
+    else Error "plans expose different window sets"

@@ -1,0 +1,23 @@
+(** Structural validation of plans.
+
+    Rewriting bugs show up as malformed DAGs; these checks are run by
+    the test suite and by the CLI before executing a plan. *)
+
+type error =
+  | Dangling_input of { node : Plan.id; input : Plan.id }
+      (** an input id that does not precede its consumer *)
+  | Unreachable of Plan.id  (** node not reachable from the output *)
+  | No_source  (** the plan has no [Source] node *)
+  | Union_into_window of Plan.id  (** a window reading from a union *)
+  | Duplicate_exposed of Fw_window.Window.t
+      (** the same window exposed twice *)
+  | Empty_union of Plan.id
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Plan.t -> error list
+(** All violations found ([[]] = well-formed). *)
+
+val check_equivalent : Plan.t -> Plan.t -> (unit, string) result
+(** Do two plans expose the same window set with the same aggregate —
+    the precondition for comparing their outputs. *)

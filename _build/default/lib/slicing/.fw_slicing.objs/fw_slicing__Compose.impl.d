@@ -1,0 +1,1 @@
+lib/slicing/compose.ml: Fw_util Int List Slice

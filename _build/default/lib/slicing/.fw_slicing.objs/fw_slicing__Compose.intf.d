@@ -1,0 +1,1 @@
+lib/slicing/compose.mli: Slice

@@ -1,0 +1,1 @@
+lib/slicing/cost.ml: Compose Format Fw_util Fw_window List Paired Paned Window

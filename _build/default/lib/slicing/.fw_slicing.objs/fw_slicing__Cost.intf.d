@@ -1,0 +1,1 @@
+lib/slicing/cost.mli: Format Fw_window

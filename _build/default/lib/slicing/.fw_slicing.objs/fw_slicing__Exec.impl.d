@@ -1,0 +1,1 @@
+lib/slicing/exec.ml: Array Compose Fw_agg Fw_engine Fw_window Int Interval List Map Paired Paned Slice String Window

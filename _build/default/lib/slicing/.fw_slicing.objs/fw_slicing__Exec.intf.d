@@ -1,0 +1,1 @@
+lib/slicing/exec.mli: Fw_agg Fw_engine Fw_window

@@ -1,0 +1,1 @@
+lib/slicing/paired.ml: Fw_util Fw_window Slice Window

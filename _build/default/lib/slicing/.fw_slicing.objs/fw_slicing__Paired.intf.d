@@ -1,0 +1,1 @@
+lib/slicing/paired.mli: Fw_window Slice

@@ -1,0 +1,1 @@
+lib/slicing/paned.ml: Fw_util Fw_window List Slice Window

@@ -1,0 +1,1 @@
+lib/slicing/paned.mli: Fw_window Slice

@@ -1,0 +1,1 @@
+lib/slicing/slice.ml: Format Fw_window List Printf Window

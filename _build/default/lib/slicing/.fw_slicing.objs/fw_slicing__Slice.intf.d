@@ -1,0 +1,1 @@
+lib/slicing/slice.mli: Format Fw_window

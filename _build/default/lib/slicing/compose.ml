@@ -1,0 +1,24 @@
+module Arith = Fw_util.Arith
+
+let common_period zs =
+  if zs = [] then invalid_arg "Compose.common_period: no sliced windows";
+  Arith.lcm_list (List.map Slice.period zs)
+
+let boundaries zs =
+  let s = common_period zs in
+  let add_window acc z =
+    let p = Slice.period z in
+    let copies = s / p in
+    List.fold_left
+      (fun acc e ->
+        let rec go q acc =
+          if q >= copies then acc
+          else go (q + 1) ((q * p) + e :: acc)
+        in
+        go 0 acc)
+      acc (Slice.edges z)
+  in
+  List.fold_left add_window [] zs
+  |> List.sort_uniq Int.compare
+
+let slice_count zs = List.length (boundaries zs)

@@ -1,0 +1,20 @@
+(** Composition of sliced windows into a shared common sliced window
+    (Krishnamurthy et al. [29], Theorem 1 — their composition has the
+    minimum number of slices among all shared slicings).
+
+    The common sliced window of [Z₁, ..., Zₙ] has period
+    [S = lcm(s₁, ..., sₙ)]; its slice boundaries are the union of every
+    [Zᵢ]'s boundaries replicated across [S]. *)
+
+val common_period : Slice.t list -> int
+(** [S]; raises [Invalid_argument] on the empty list,
+    {!Fw_util.Arith.Overflow} when [S] does not fit. *)
+
+val boundaries : Slice.t list -> int list
+(** Slice boundaries of the composed window in [(0, S]], strictly
+    increasing; the last element is [S]. *)
+
+val slice_count : Slice.t list -> int
+(** [E]: the number of slices (= number of boundaries) of the composed
+    window — [E_paned] or [E_paired] of Table 1 depending on the input
+    slicings. *)

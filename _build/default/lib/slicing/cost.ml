@@ -1,0 +1,61 @@
+open Fw_window
+module Arith = Fw_util.Arith
+
+type technique = Unshared_paned | Unshared_paired | Shared_paned | Shared_paired
+
+let technique_to_string = function
+  | Unshared_paned -> "unshared-paned"
+  | Unshared_paired -> "unshared-paired"
+  | Shared_paned -> "shared-paned"
+  | Shared_paired -> "shared-paired"
+
+let pp_technique ppf t = Format.pp_print_string ppf (technique_to_string t)
+
+let all_techniques =
+  [ Unshared_paned; Unshared_paired; Shared_paned; Shared_paired ]
+
+type breakdown = { partial : int; final : int }
+
+let total { partial; final } = Arith.add partial final
+
+let period ws =
+  if ws = [] then invalid_arg "Slicing_cost.period: empty window set";
+  Arith.lcm_list (List.map Window.slide ws)
+
+let sum f ws = List.fold_left (fun acc w -> Arith.add acc (f w)) 0 ws
+
+let k_exact w =
+  if not (Window.is_aligned w) then
+    invalid_arg
+      (Format.asprintf
+         "Slicing_cost: shared slicing formulas need aligned windows, got %a"
+         Window.pp w);
+  Window.k_ratio w
+
+let cost ~eta technique ws =
+  if ws = [] then invalid_arg "Slicing_cost.cost: empty window set";
+  if eta < 1 then invalid_arg "Slicing_cost.cost: eta must be >= 1";
+  let s = period ws in
+  let t = Arith.mul eta s in
+  let n = List.length ws in
+  match technique with
+  | Unshared_paned ->
+      {
+        partial = Arith.mul n t;
+        final =
+          sum (fun w -> Arith.mul (s / Window.slide w)
+                          (Paned.panes_per_instance w)) ws;
+      }
+  | Unshared_paired ->
+      {
+        partial = Arith.mul n t;
+        final =
+          sum (fun w -> Arith.mul (s / Window.slide w) (Paired.final_bound w))
+            ws;
+      }
+  | Shared_paned ->
+      let e = Compose.slice_count (List.map Paned.make ws) in
+      { partial = t; final = sum (fun w -> Arith.mul e (k_exact w)) ws }
+  | Shared_paired ->
+      let e = Compose.slice_count (List.map Paired.make ws) in
+      { partial = t; final = sum (fun w -> Arith.mul e (k_exact w)) ws }

@@ -1,0 +1,34 @@
+(** Cost formulas for window-slicing techniques (Table 1).
+
+    Costs are counted over one common slide period [S = lcm(s₁, ..., sₙ)]
+    during which [T = η·S] events arrive:
+
+    - {e Unshared paned}:  partial [n·T],
+      final [Σᵢ (S/sᵢ)·(rᵢ/gᵢ)]  with [gᵢ = gcd(rᵢ, sᵢ)];
+    - {e Unshared paired}: partial [n·T],
+      final [Σᵢ (S/sᵢ)·⌈2rᵢ/sᵢ⌉];
+    - {e Shared paned}:    partial [T],
+      final [Σᵢ E_paned·(rᵢ/sᵢ)];
+    - {e Shared paired}:   partial [T],
+      final [Σᵢ E_paired·(rᵢ/sᵢ)],
+
+    where [E] is the slice count of the composed common sliced window.
+    The shared formulas use the paper's aligned-window assumption
+    ([sᵢ | rᵢ]); {!cost} raises [Invalid_argument] otherwise. *)
+
+type technique = Unshared_paned | Unshared_paired | Shared_paned | Shared_paired
+
+val pp_technique : Format.formatter -> technique -> unit
+val technique_to_string : technique -> string
+val all_techniques : technique list
+
+type breakdown = { partial : int; final : int }
+
+val total : breakdown -> int
+
+val period : Fw_window.Window.t list -> int
+(** [S = lcm(s₁, ..., sₙ)]. *)
+
+val cost : eta:int -> technique -> Fw_window.Window.t list -> breakdown
+(** Cost over one period [S].  Raises [Invalid_argument] on an empty
+    window set or (for shared techniques) unaligned windows. *)

@@ -1,0 +1,146 @@
+open Fw_window
+module Event = Fw_engine.Event
+module Row = Fw_engine.Row
+module Combine = Fw_agg.Combine
+
+type mode = Unshared | Shared
+type slicing = Paned_slicing | Paired_slicing
+
+type report = {
+  rows : Row.t list;
+  partial_items : int;
+  final_items : int;
+}
+
+let make_slicing = function
+  | Paned_slicing -> Paned.make
+  | Paired_slicing -> Paired.make
+
+(* Slice boundaries of a structure, replicated over [0, horizon]:
+   0 = b_0 < b_1 < ... <= horizon; slice i is [b_i, b_{i+1}). *)
+let structure_boundaries ~period ~edges ~horizon =
+  let out = ref [ 0 ] in
+  let q = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let base = !q * period in
+    if base > horizon then continue := false
+    else begin
+      List.iter
+        (fun e -> if base + e <= horizon then out := (base + e) :: !out)
+        edges;
+      incr q
+    end
+  done;
+  Array.of_list (List.sort_uniq Int.compare !out)
+
+(* Index of the slice containing time [t]: rightmost boundary <= t. *)
+let slice_index boundaries t =
+  let lo = ref 0 and hi = ref (Array.length boundaries - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if boundaries.(mid) <= t then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+module Key_map = Map.Make (String)
+
+(* One slicing structure over the horizon: boundaries + per-slice
+   per-key partial states. *)
+type structure = {
+  boundaries : int array;
+  mutable partials : Combine.state Key_map.t array;
+}
+
+let build_structure ~period ~edges ~horizon =
+  let boundaries = structure_boundaries ~period ~edges ~horizon in
+  { boundaries; partials = Array.make (Array.length boundaries) Key_map.empty }
+
+let fold_event agg structure counter e =
+  let i = slice_index structure.boundaries e.Event.time in
+  incr counter;
+  structure.partials.(i) <-
+    Key_map.update e.Event.key
+      (function
+        | None -> Some (Combine.of_value agg e.Event.value)
+        | Some st -> Some (Combine.add st e.Event.value))
+      structure.partials.(i)
+
+(* Combine the slices of one window instance [a, b): slices with
+   a <= b_i and b_{i+1} <= b (alignment guarantees exact tiling). *)
+let finalize_instance window structure counter ~lo ~hi =
+  let boundaries = structure.boundaries in
+  let first = slice_index boundaries lo in
+  assert (boundaries.(first) = lo);
+  let acc = ref Key_map.empty in
+  let i = ref first in
+  while !i < Array.length boundaries - 1 && boundaries.(!i) < hi do
+    Key_map.iter
+      (fun key st ->
+        counter := !counter + 1;
+        acc :=
+          Key_map.update key
+            (function
+              | None -> Some st
+              | Some prev -> Some (Combine.merge prev st))
+            !acc)
+      structure.partials.(!i);
+    incr i
+  done;
+  Key_map.fold
+    (fun key st rows ->
+      {
+        Row.window;
+        interval = Interval.make ~lo ~hi;
+        key;
+        value = Combine.finalize st;
+      }
+      :: rows)
+    !acc []
+
+let run agg mode slicing ws ~horizon events =
+  let ws = Window.dedup ws in
+  if ws = [] then invalid_arg "Slicing exec: empty window set";
+  let events =
+    List.filter (fun e -> e.Event.time < horizon) (Event.sort events)
+  in
+  let partial_counter = ref 0 in
+  let final_counter = ref 0 in
+  let structures =
+    match mode with
+    | Unshared ->
+        (* one structure per window, each folding every event *)
+        List.map
+          (fun w ->
+            let z = make_slicing slicing w in
+            let s =
+              build_structure ~period:(Slice.period z) ~edges:(Slice.edges z)
+                ~horizon
+            in
+            List.iter (fold_event agg s partial_counter) events;
+            (w, s))
+          ws
+    | Shared ->
+        (* one composed structure shared by all windows *)
+        let zs = List.map (make_slicing slicing) ws in
+        let period = Compose.common_period zs in
+        let edges = Compose.boundaries zs in
+        let s = build_structure ~period ~edges ~horizon in
+        List.iter (fold_event agg s partial_counter) events;
+        List.map (fun w -> (w, s)) ws
+  in
+  let rows =
+    List.concat_map
+      (fun (w, s) ->
+        List.concat_map
+          (fun interval ->
+            finalize_instance w s final_counter ~lo:(Interval.lo interval)
+              ~hi:(Interval.hi interval))
+          (Interval.instances_until w ~horizon))
+      structures
+  in
+  {
+    rows = Row.sort rows;
+    partial_items = !partial_counter;
+    final_items = !final_counter;
+  }

@@ -1,0 +1,35 @@
+(** Executable window slicing: run the paned/paired baselines.
+
+    {!Cost} prices the techniques analytically (Table 1); this module
+    actually evaluates them over an event stream, in two phases exactly
+    as the literature describes: a {e partial} pass folds every event
+    into the slice that contains it, and a {e final} pass combines, for
+    every window instance, the sub-aggregates of the slices the
+    instance spans.  Paned and paired slicings both align window
+    extents with slice boundaries, so each instance is an exact
+    disjoint union of slices — which also means {e holistic} functions
+    work here (footnote 3 of the paper: slices partition the stream).
+
+    Counters mirror Table 1: [partial_items] counts (event, structure)
+    insertions — [n·T] unshared, [T] shared — and [final_items] counts
+    (instance, key, slice) combinations. *)
+
+type mode = Unshared | Shared
+type slicing = Paned_slicing | Paired_slicing
+
+type report = {
+  rows : Fw_engine.Row.t list;  (** sorted; identical to the oracle's *)
+  partial_items : int;
+  final_items : int;
+}
+
+val run :
+  Fw_agg.Aggregate.t ->
+  mode ->
+  slicing ->
+  Fw_window.Window.t list ->
+  horizon:int ->
+  Fw_engine.Event.t list ->
+  report
+(** Raises [Invalid_argument] on an empty window set, and
+    {!Fw_util.Arith.Overflow} if the composed period overflows. *)

@@ -1,0 +1,14 @@
+open Fw_window
+module Arith = Fw_util.Arith
+
+(* Slice order matters: with the z2-slice first, every window extent
+   begins and ends on a slice boundary.  An instance [m·s, m·s + r) with
+   r = q·s + z2 ends at (m+q)·s + z2, which is the first edge of a
+   period; with the z1-slice first it would fall mid-slice. *)
+let make w =
+  let r = Window.range w and s = Window.slide w in
+  let z2 = r mod s in
+  if z2 = 0 then Slice.make w [ s ] else Slice.make w [ z2; s - z2 ]
+
+let final_bound w =
+  Arith.ceil_div (2 * Window.range w) (Window.slide w)

@@ -1,0 +1,14 @@
+(** Paired windows (Krishnamurthy et al. [29]).
+
+    The paired window of [W⟨r,s⟩] splits each period into two slices of
+    lengths [z₂ = r mod s] and [z₁ = s − z₂]; the [z₂] slice comes
+    first so that every window extent starts {e and} ends on a slice
+    boundary.  When [s | r] the extra slice vanishes and the paired
+    window degenerates to a single slice of length [s] (the case for
+    every window produced by the paper's Algorithm 5, which only emits
+    aligned windows). *)
+
+val make : Fw_window.Window.t -> Slice.t
+
+val final_bound : Fw_window.Window.t -> int
+(** The Table-1 bound [⌈2·r/s⌉] on slices combined per instance. *)

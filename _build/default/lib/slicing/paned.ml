@@ -1,0 +1,10 @@
+open Fw_window
+module Arith = Fw_util.Arith
+
+let pane_length w = Arith.gcd (Window.range w) (Window.slide w)
+
+let make w =
+  let g = pane_length w in
+  Slice.make w (List.init (Window.slide w / g) (fun _ -> g))
+
+let panes_per_instance w = Window.range w / pane_length w

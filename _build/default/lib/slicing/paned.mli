@@ -1,0 +1,13 @@
+(** Paned windows (Li et al., "No pane, no gain" [30]).
+
+    The paned window of [W⟨r,s⟩] is [X(g, ..., g)] where
+    [g = gcd(r, s)] and the period holds [m = s/g] panes of equal
+    length. *)
+
+val pane_length : Fw_window.Window.t -> int
+(** [gcd(r, s)]. *)
+
+val make : Fw_window.Window.t -> Slice.t
+
+val panes_per_instance : Fw_window.Window.t -> int
+(** [r/g]: panes combined by each final aggregation. *)

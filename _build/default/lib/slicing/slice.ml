@@ -1,0 +1,37 @@
+open Fw_window
+
+type t = { window : Window.t; slices : int list }
+
+let make window slices =
+  if slices = [] then invalid_arg "Slice.make: no slices";
+  if List.exists (fun z -> z <= 0) slices then
+    invalid_arg "Slice.make: slice lengths must be positive";
+  let sum = List.fold_left ( + ) 0 slices in
+  if sum <> Window.slide window then
+    invalid_arg
+      (Printf.sprintf
+         "Slice.make: slice lengths sum to %d, expected the slide %d" sum
+         (Window.slide window));
+  { window; slices }
+
+let window z = z.window
+let period z = Window.slide z.window
+let slice_count z = List.length z.slices
+
+let edges z =
+  List.rev (List.fold_left (fun acc d ->
+      match acc with [] -> [ d ] | e :: _ -> (e + d) :: acc) [] z.slices)
+
+let slices_per_instance z =
+  let r = Window.range z.window and s = period z in
+  (* Slices start at 0 and at every boundary q*s + e (q >= 0, e an
+     edge); count the starts that fall in [0, r). *)
+  let starts_for_edge e = if e >= r then 0 else ((r - e - 1) / s) + 1 in
+  1 + List.fold_left (fun acc e -> acc + starts_for_edge e) 0 (edges z)
+
+let pp ppf z =
+  Format.fprintf ppf "Z[%a](%a)" Window.pp z.window
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    z.slices

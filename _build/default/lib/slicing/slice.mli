@@ -1,0 +1,31 @@
+(** Sliced windows (Section 5.1, after Krishnamurthy et al. [29]).
+
+    A sliced window [Z(z₁, ..., z_m)] with respect to a window [W⟨r,s⟩]
+    chops each period of length [s] into [m] slices of lengths [zᵢ]
+    summing to [s]; slice [i] has edge [eᵢ = z₁ + ... + zᵢ].  Partial
+    aggregates are computed per slice and combined into window results
+    by a final aggregation. *)
+
+type t = private { window : Fw_window.Window.t; slices : int list }
+
+val make : Fw_window.Window.t -> int list -> t
+(** Raises [Invalid_argument] unless all slice lengths are positive and
+    sum to the window's slide. *)
+
+val window : t -> Fw_window.Window.t
+
+val period : t -> int
+(** [z = s]. *)
+
+val slice_count : t -> int
+(** [|Z| = m]. *)
+
+val edges : t -> int list
+(** The edges [e₁ < e₂ < ... < e_m = s] (cumulative slice lengths). *)
+
+val slices_per_instance : t -> int
+(** Number of slices one window instance spans: the instance has length
+    [r] = [r/s] full periods plus (for hopping windows with [s ∤ r]) a
+    partial period; computed exactly from the edge structure. *)
+
+val pp : Format.formatter -> t -> unit

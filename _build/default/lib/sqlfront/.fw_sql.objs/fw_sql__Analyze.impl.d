@@ -1,0 +1,1 @@
+lib/sqlfront/analyze.ml: Ast Format Fw_agg Fw_plan Fw_window List Option String Window

@@ -1,0 +1,1 @@
+lib/sqlfront/analyze.mli: Ast Format Fw_agg Fw_plan Fw_window

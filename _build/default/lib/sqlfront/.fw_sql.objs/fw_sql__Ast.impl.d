@@ -1,0 +1,1 @@
+lib/sqlfront/ast.ml: Fw_agg Fw_util Fw_window List Window

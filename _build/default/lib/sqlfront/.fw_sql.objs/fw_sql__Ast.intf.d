@@ -1,0 +1,1 @@
+lib/sqlfront/ast.mli: Fw_agg Fw_util Fw_window

@@ -1,0 +1,1 @@
+lib/sqlfront/compile.ml: Analyze Ast Buffer Format Fw_agg Fw_plan Fw_wcg Fw_window List Parser Printf String

@@ -1,0 +1,1 @@
+lib/sqlfront/compile.mli: Analyze Ast Fw_plan

@@ -1,0 +1,1 @@
+lib/sqlfront/parser.ml: Array Ast Format Fw_agg Fw_util Lexer List Option String Token

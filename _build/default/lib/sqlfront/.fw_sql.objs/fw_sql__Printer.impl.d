@@ -1,0 +1,1 @@
+lib/sqlfront/printer.ml: Ast Buffer Float Format Fw_agg Fw_util List Printf String

@@ -1,0 +1,1 @@
+lib/sqlfront/printer.mli: Ast Format

@@ -1,0 +1,137 @@
+open Fw_window
+module Aggregate = Fw_agg.Aggregate
+
+type analysis = {
+  agg : Aggregate.t;
+  column : string;
+  keys : string list;
+  windows : Window.t list;
+  filter : Fw_plan.Predicate.t option;
+  warnings : string list;
+}
+
+type error =
+  | No_aggregate
+  | Multiple_aggregates of Aggregate.t list
+  | No_windows
+  | Unaligned_window of Window.t
+  | Unknown_column of string
+
+let pp_error ppf = function
+  | No_aggregate ->
+      Format.pp_print_string ppf "the SELECT list has no aggregate function"
+  | Multiple_aggregates fs ->
+      Format.fprintf ppf
+        "the SELECT list has several aggregate functions (%a); the \
+         optimizer handles one aggregate per query"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Aggregate.pp)
+        fs
+  | No_windows -> Format.pp_print_string ppf "the GROUP BY names no window"
+  | Unaligned_window w ->
+      Format.fprintf ppf
+        "window %a has a range that is not a multiple of its slide; the \
+         cost model does not apply"
+        Window.pp w
+  | Unknown_column c ->
+      Format.fprintf ppf
+        "the WHERE clause references unknown column %s (not the aggregated \
+         column, a grouping key, or the timestamp)"
+        c
+
+(* Normalize and vet the window set; shared by both entry points. *)
+let analyzed_windows (q : Ast.t) =
+  match q.Ast.windows with
+  | [] -> Error No_windows
+  | specs -> (
+      let windows =
+        List.map (fun { Ast.def; _ } -> Ast.window_of_def def) specs
+      in
+      match List.find_opt (fun w -> not (Window.is_aligned w)) windows with
+      | Some w -> Error (Unaligned_window w)
+      | None ->
+          let deduped = Window.dedup windows in
+          let warnings =
+            if List.length deduped < List.length windows then
+              [ "duplicate windows in the WINDOWS(...) clause were merged" ]
+            else []
+          in
+          Ok (deduped, warnings))
+
+exception Resolve_error of string
+
+(* Resolve AST column names to event fields for one aggregate. *)
+let resolve_predicate (q : Ast.t) ~column pred =
+  let module P = Fw_plan.Predicate in
+  let same a b = String.lowercase_ascii a = String.lowercase_ascii b in
+  let field name =
+    if same name column then P.Value
+    else if List.exists (same name) q.Ast.group_keys then P.Key
+    else if
+      match q.Ast.timestamp_by with Some ts -> same name ts | None -> false
+    then P.Time
+    else raise (Resolve_error name)
+  in
+  let operand = function
+    | Ast.Col name -> P.Field (field name)
+    | Ast.Number f -> P.Const_num f
+    | Ast.Str s -> P.Const_str s
+  in
+  let comparison = function
+    | Ast.Eq -> P.Eq
+    | Ast.Neq -> P.Neq
+    | Ast.Lt -> P.Lt
+    | Ast.Le -> P.Le
+    | Ast.Gt -> P.Gt
+    | Ast.Ge -> P.Ge
+  in
+  let rec go = function
+    | Ast.Compare { left; op; right } ->
+        P.Compare
+          { left = operand left; op = comparison op; right = operand right }
+    | Ast.And (a, b) -> P.And (go a, go b)
+    | Ast.Or (a, b) -> P.Or (go a, go b)
+    | Ast.Not a -> P.Not (go a)
+  in
+  go pred
+
+let analysis_for (q : Ast.t) ~windows ~warnings (agg, column) =
+  let warnings =
+    if Aggregate.shareable agg then warnings
+    else
+      warnings
+      @ [
+          Format.asprintf
+            "%a is holistic: no computation can be shared, the naive plan \
+             will be used"
+            Aggregate.pp agg;
+        ]
+  in
+  let filter =
+    Option.map (resolve_predicate q ~column) q.Ast.where
+  in
+  { agg; column; keys = q.Ast.group_keys; windows; filter; warnings }
+
+let check (q : Ast.t) =
+  match Ast.aggregates q with
+  | [] -> Error No_aggregate
+  | _ :: _ :: _ as aggs -> Error (Multiple_aggregates (List.map fst aggs))
+  | [ agg ] -> (
+      match analyzed_windows q with
+      | Error e -> Error e
+      | Ok (windows, warnings) -> (
+          match analysis_for q ~windows ~warnings agg with
+          | a -> Ok a
+          | exception Resolve_error c -> Error (Unknown_column c)))
+
+let check_multi (q : Ast.t) =
+  match Ast.aggregates q with
+  | [] -> Error No_aggregate
+  | aggs -> (
+      match analyzed_windows q with
+      | Error e -> Error e
+      | Ok (windows, warnings) -> (
+          match List.map (analysis_for q ~windows ~warnings) aggs with
+          | analyses -> Ok analyses
+          | exception Resolve_error c -> Error (Unknown_column c)))

@@ -1,0 +1,40 @@
+(** Semantic analysis: extract the optimizer's input from a parsed
+    query and diagnose the cases the optimization framework cannot
+    handle. *)
+
+type analysis = {
+  agg : Fw_agg.Aggregate.t;
+  column : string;  (** the aggregated column *)
+  keys : string list;  (** grouping keys *)
+  windows : Fw_window.Window.t list;  (** normalized, deduplicated *)
+  filter : Fw_plan.Predicate.t option;
+      (** the WHERE clause, resolved: the aggregated column maps to the
+          event payload, grouping keys to the event key, the
+          TIMESTAMP BY column to the event time *)
+  warnings : string list;
+}
+
+type error =
+  | No_aggregate
+  | Multiple_aggregates of Fw_agg.Aggregate.t list
+      (** the framework optimizes one aggregate function per query *)
+  | No_windows
+  | Unaligned_window of Fw_window.Window.t
+      (** range not a multiple of slide: the cost model (footnote 4)
+          does not apply *)
+  | Unknown_column of string
+      (** a WHERE clause references a column that is neither the
+          aggregated column, a grouping key, nor the timestamp *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Ast.t -> (analysis, error) result
+(** Warnings (rather than errors) are produced for duplicate windows
+    (deduplicated) and for holistic aggregates (which will execute with
+    the naive plan). *)
+
+val check_multi : Ast.t -> (analysis list, error) result
+(** Relaxation of {!check} for queries with several aggregate
+    functions: each aggregate is analyzed (and later optimized)
+    independently over the query's window set, the paper's framework
+    being per-aggregate.  Never returns [Multiple_aggregates]. *)

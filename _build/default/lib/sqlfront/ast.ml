@@ -1,0 +1,70 @@
+module Duration = Fw_util.Duration
+open Fw_window
+
+type window_def =
+  | Tumbling of { unit_ : Duration.unit_; size : int }
+  | Hopping of { unit_ : Duration.unit_; size : int; hop : int }
+
+type window_spec = { label : string option; def : window_def }
+
+type operand =
+  | Col of string
+  | Number of float
+  | Str of string
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type predicate =
+  | Compare of { left : operand; op : comparison; right : operand }
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+type select_item =
+  | Column of string list
+  | Window_id of string option
+  | Agg of { func : Fw_agg.Aggregate.t; column : string; alias : string option }
+
+type t = {
+  select : select_item list;
+  from : string;
+  timestamp_by : string option;
+  where : predicate option;
+  group_keys : string list;
+  windows : window_spec list;
+}
+
+let window_of_def = function
+  | Tumbling { unit_; size } ->
+      let ticks = Duration.to_ticks (Duration.make unit_ size) in
+      Window.tumbling ticks
+  | Hopping { unit_; size; hop } ->
+      if hop > size then
+        invalid_arg "Ast.window_of_def: hop must not exceed the window size";
+      let range = Duration.to_ticks (Duration.make unit_ size) in
+      let slide = Duration.to_ticks (Duration.make unit_ hop) in
+      Window.make ~range ~slide
+
+let def_of_window w =
+  let r = Window.range w and s = Window.slide w in
+  let unit_for n =
+    let open Duration in
+    if n mod seconds_per Day = 0 then Day
+    else if n mod seconds_per Hour = 0 then Hour
+    else if n mod seconds_per Minute = 0 then Minute
+    else Second
+  in
+  let g = Fw_util.Arith.gcd r s in
+  let unit_ = unit_for g in
+  let per = Duration.seconds_per unit_ in
+  if Window.is_tumbling w then Tumbling { unit_; size = r / per }
+  else Hopping { unit_; size = r / per; hop = s / per }
+
+let aggregates q =
+  List.filter_map
+    (function
+      | Agg { func; column; _ } -> Some (func, column)
+      | Column _ | Window_id _ -> None)
+    q.select
+
+let equal a b = a = b

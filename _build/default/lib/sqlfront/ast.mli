@@ -1,0 +1,70 @@
+(** Abstract syntax of the ASA-like dialect.
+
+    The concrete syntax mirrors Figure 1(a):
+
+    {v
+    SELECT DeviceID, System.Window().Id AS WindowId,
+           MIN(Temperature) AS MinTemp
+    FROM Input TIMESTAMP BY EntryTime
+    GROUP BY DeviceID, WINDOWS(
+        WINDOW('10 min', TUMBLINGWINDOW(minute, 10)),
+        WINDOW('20 min', HOPPINGWINDOW(minute, 20, 10)))
+    v}
+
+    A single window may also be given directly:
+    [GROUP BY DeviceID, TUMBLINGWINDOW(minute, 10)]. *)
+
+type window_def =
+  | Tumbling of { unit_ : Fw_util.Duration.unit_; size : int }
+  | Hopping of { unit_ : Fw_util.Duration.unit_; size : int; hop : int }
+
+type window_spec = {
+  label : string option;  (** the ['10 min'] name of a WINDOW(...) entry *)
+  def : window_def;
+}
+
+type operand =
+  | Col of string
+  | Number of float
+  | Str of string
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type predicate =
+  | Compare of { left : operand; op : comparison; right : operand }
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+      (** a WHERE clause: comparisons over columns combined with
+          AND/OR/NOT *)
+
+type select_item =
+  | Column of string list  (** dotted path, e.g. [DeviceID] *)
+  | Window_id of string option  (** [System.Window().Id AS alias] *)
+  | Agg of {
+      func : Fw_agg.Aggregate.t;
+      column : string;
+      alias : string option;
+    }
+
+type t = {
+  select : select_item list;
+  from : string;
+  timestamp_by : string option;
+  where : predicate option;
+  group_keys : string list;  (** plain GROUP BY columns *)
+  windows : window_spec list;
+}
+
+val window_of_def : window_def -> Fw_window.Window.t
+(** Normalize to ticks.  Raises [Invalid_argument] on non-positive
+    sizes or [hop > size]. *)
+
+val def_of_window : Fw_window.Window.t -> window_def
+(** Inverse normalization picking the coarsest unit that divides both
+    parameters. *)
+
+val aggregates : t -> (Fw_agg.Aggregate.t * string) list
+(** The aggregate calls of the SELECT list, in order. *)
+
+val equal : t -> t -> bool

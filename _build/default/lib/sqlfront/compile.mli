@@ -1,0 +1,28 @@
+(** Front door of the query compiler: SQL text → analyzed query →
+    optimized plan. *)
+
+type compiled = {
+  ast : Ast.t;
+  analysis : Analyze.analysis;
+  outcome : Fw_plan.Rewrite.outcome;
+}
+
+val compile :
+  ?eta:int -> ?factor_windows:bool -> string -> (compiled, string) result
+(** Parse, analyze and optimize; any stage's failure becomes a
+    human-readable error message. *)
+
+val explain : compiled -> string
+(** Multi-line report: the window set, semantics, min-cost WCG with
+    per-window costs, total vs naive cost, and the rewritten plan as a
+    Trill-style expression. *)
+
+type multi_compiled = { multi_ast : Ast.t; per_aggregate : compiled list }
+
+val compile_multi :
+  ?eta:int -> ?factor_windows:bool -> string -> (multi_compiled, string) result
+(** Accept queries with several aggregate functions; each is optimized
+    independently over the query's window set (see
+    {!Analyze.check_multi}). *)
+
+val explain_multi : multi_compiled -> string

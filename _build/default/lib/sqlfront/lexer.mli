@@ -1,0 +1,12 @@
+(** Hand-written lexer for the ASA-like dialect.
+
+    Supports identifiers ([A-Za-z_] followed by [A-Za-z0-9_]
+    characters), non-negative integer
+    literals, single-quoted strings (with [''] as the escaped quote),
+    punctuation, [--] line comments and [/* ... */] block comments. *)
+
+exception Error of { message : string; pos : Token.pos }
+
+val tokenize : string -> Token.located list
+(** The whole input, ending with an [Eof] token.  Raises {!Error} on an
+    unexpected character or an unterminated string/comment. *)

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the ASA-like dialect (see {!Ast} for
+    the grammar by example).
+
+    Keywords are case-insensitive.  Aggregate names are recognized when
+    followed by ['(']; otherwise they parse as plain columns. *)
+
+exception Error of { message : string; pos : Token.pos }
+
+val parse : string -> Ast.t
+(** Raises {!Error} (syntax) or {!Lexer.Error} (lexical). *)
+
+val parse_result : string -> (Ast.t, string) result
+(** Error message includes the position. *)

@@ -1,0 +1,79 @@
+module Duration = Fw_util.Duration
+
+let window_def = function
+  | Ast.Tumbling { unit_; size } ->
+      Printf.sprintf "TUMBLINGWINDOW(%s, %d)" (Duration.unit_to_string unit_)
+        size
+  | Ast.Hopping { unit_; size; hop } ->
+      Printf.sprintf "HOPPINGWINDOW(%s, %d, %d)"
+        (Duration.unit_to_string unit_) size hop
+
+let window_entry { Ast.label; def } =
+  match label with
+  | Some l -> Printf.sprintf "WINDOW('%s', %s)" l (window_def def)
+  | None -> Printf.sprintf "WINDOW(%s)" (window_def def)
+
+let alias = function Some a -> " AS " ^ a | None -> ""
+
+let select_item = function
+  | Ast.Column path -> String.concat "." path
+  | Ast.Window_id a -> "System.Window().Id" ^ alias a
+  | Ast.Agg { func; column; alias = a } ->
+      Printf.sprintf "%s(%s)%s" (Fw_agg.Aggregate.to_string func) column
+        (alias a)
+
+let operand = function
+  | Ast.Col c -> c
+  | Ast.Number f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        string_of_int (int_of_float f)
+      else string_of_float f
+  | Ast.Str s -> Printf.sprintf "'%s'" s
+
+let comparison = function
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let rec predicate = function
+  | Ast.Compare { left; op; right } ->
+      Printf.sprintf "%s %s %s" (operand left) (comparison op) (operand right)
+  | Ast.And (a, b) -> Printf.sprintf "(%s AND %s)" (predicate a) (predicate b)
+  | Ast.Or (a, b) -> Printf.sprintf "(%s OR %s)" (predicate a) (predicate b)
+  | Ast.Not a -> Printf.sprintf "(NOT %s)" (predicate a)
+
+let query (q : Ast.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "SELECT ";
+  Buffer.add_string buf (String.concat ", " (List.map select_item q.select));
+  Buffer.add_string buf ("\nFROM " ^ q.from);
+  (match q.timestamp_by with
+  | Some col -> Buffer.add_string buf (" TIMESTAMP BY " ^ col)
+  | None -> ());
+  (match q.where with
+  | Some p -> Buffer.add_string buf ("\nWHERE " ^ predicate p)
+  | None -> ());
+  (match (q.group_keys, q.windows) with
+  | [], [] -> ()
+  | keys, windows ->
+      Buffer.add_string buf "\nGROUP BY ";
+      let parts =
+        keys
+        @
+        match windows with
+        | [] -> []
+        | [ { Ast.label = None; def } ] -> [ window_def def ]
+        | entries ->
+            [
+              "WINDOWS(\n    "
+              ^ String.concat ",\n    " (List.map window_entry entries)
+              ^ ")";
+            ]
+      in
+      Buffer.add_string buf (String.concat ", " parts));
+  Buffer.contents buf
+
+let pp ppf q = Format.pp_print_string ppf (query q)

@@ -1,0 +1,6 @@
+(** Canonical unparser: [parse (print q) = q] up to keyword casing. *)
+
+val window_def : Ast.window_def -> string
+val select_item : Ast.select_item -> string
+val query : Ast.t -> string
+val pp : Format.formatter -> Ast.t -> unit

@@ -1,0 +1,46 @@
+type t =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Op of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Eof
+
+type pos = { line : int; col : int }
+
+type located = { token : t; pos : pos }
+
+let pp ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | Int n -> Format.fprintf ppf "integer %d" n
+  | Float f -> Format.fprintf ppf "number %g" f
+  | Op o -> Format.fprintf ppf "operator %s" o
+  | String s -> Format.fprintf ppf "string '%s'" s
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Dot -> Format.pp_print_string ppf "'.'"
+  | Star -> Format.pp_print_string ppf "'*'"
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "line %d, column %d" line col
+
+let equal a b =
+  match (a, b) with
+  | Ident x, Ident y -> String.lowercase_ascii x = String.lowercase_ascii y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Op x, Op y -> String.equal x y
+  | Lparen, Lparen | Rparen, Rparen | Comma, Comma | Dot, Dot | Star, Star
+  | Eof, Eof ->
+      true
+  | ( (Ident _ | Int _ | Float _ | String _ | Op _ | Lparen | Rparen | Comma
+      | Dot | Star | Eof),
+      _ ) ->
+      false

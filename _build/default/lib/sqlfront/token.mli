@@ -1,0 +1,22 @@
+(** Lexical tokens of the ASA-like query dialect. *)
+
+type t =
+  | Ident of string  (** bare identifier; keywords are classified later *)
+  | Int of int
+  | Float of float
+  | String of string  (** single-quoted literal *)
+  | Op of string  (** comparison operator: = <> < <= > >= *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Eof
+
+type pos = { line : int; col : int }
+
+type located = { token : t; pos : pos }
+
+val pp : Format.formatter -> t -> unit
+val pp_pos : Format.formatter -> pos -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/util/duration.ml: Arith Format Int String

@@ -1,0 +1,49 @@
+exception Overflow
+
+let add a b =
+  let s = a + b in
+  (* Overflow iff both operands share a sign that the sum does not. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul (a / gcd a b) b)
+
+let gcd_list = List.fold_left gcd 0
+
+let lcm_list = List.fold_left lcm 1
+
+let divides a b = a <> 0 && b mod a = 0
+
+let divisors n =
+  if n <= 0 then invalid_arg "Arith.divisors: non-positive argument";
+  let rec collect i small large =
+    if i * i > n then List.rev_append small large
+    else if n mod i = 0 then
+      let large = if i <> n / i then (n / i) :: large else large in
+      collect (i + 1) (i :: small) large
+    else collect (i + 1) small large
+  in
+  collect 1 [] []
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Arith.ceil_div: non-positive divisor";
+  if a <= 0 then invalid_arg "Arith.ceil_div: non-positive dividend";
+  (a + b - 1) / b
+
+let pow base e =
+  if e < 0 then invalid_arg "Arith.pow: negative exponent";
+  let rec go acc base e =
+    let acc = if e land 1 = 1 then mul acc base else acc in
+    let e = e asr 1 in
+    if e = 0 then acc else go acc (mul base base) e
+  in
+  if e = 0 then 1 else go 1 base e

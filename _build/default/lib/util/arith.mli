@@ -1,0 +1,43 @@
+(** Overflow-checked integer arithmetic on native [int].
+
+    Window cost computations involve least common multiples of window
+    ranges ([R = lcm r_1 ... r_n]), which can exceed the native integer
+    range for adversarial inputs.  All potentially-overflowing operations
+    in this repository go through this module and raise {!Overflow}
+    instead of wrapping silently. *)
+
+exception Overflow
+
+val add : int -> int -> int
+(** [add a b] is [a + b]; raises {!Overflow} on signed overflow. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b]; raises {!Overflow} on signed overflow. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the greatest common divisor of [abs a] and [abs b].
+    [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** [lcm a b]; raises {!Overflow} if the result does not fit.
+    [lcm 0 _ = 0]. *)
+
+val gcd_list : int list -> int
+(** Greatest common divisor of a list; [0] for the empty list. *)
+
+val lcm_list : int list -> int
+(** Least common multiple of a list; [1] for the empty list.
+    Raises {!Overflow} if any intermediate result overflows. *)
+
+val divides : int -> int -> bool
+(** [divides a b] is true iff [a] divides [b] ([a <> 0]). *)
+
+val divisors : int -> int list
+(** [divisors n] lists all positive divisors of [n > 0] in increasing
+    order.  Raises [Invalid_argument] for [n <= 0]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] for positive [a], [b]. *)
+
+val pow : int -> int -> int
+(** [pow base e] for [e >= 0], overflow-checked. *)

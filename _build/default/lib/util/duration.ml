@@ -1,0 +1,55 @@
+type unit_ = Second | Minute | Hour | Day
+
+type t = { unit_ : unit_; count : int }
+
+let seconds_per = function
+  | Second -> 1
+  | Minute -> 60
+  | Hour -> 3600
+  | Day -> 86400
+
+let make unit_ count =
+  if count <= 0 then invalid_arg "Duration.make: non-positive count";
+  { unit_; count }
+
+let to_ticks { unit_; count } = Arith.mul (seconds_per unit_) count
+
+let of_ticks n =
+  if n <= 0 then invalid_arg "Duration.of_ticks: non-positive ticks";
+  let pick unit_ = n mod seconds_per unit_ = 0 in
+  let unit_ =
+    if pick Day then Day
+    else if pick Hour then Hour
+    else if pick Minute then Minute
+    else Second
+  in
+  { unit_; count = n / seconds_per unit_ }
+
+let unit_of_string s =
+  match String.lowercase_ascii s with
+  | "second" | "seconds" | "sec" | "s" -> Some Second
+  | "minute" | "minutes" | "min" | "m" -> Some Minute
+  | "hour" | "hours" | "h" -> Some Hour
+  | "day" | "days" | "d" -> Some Day
+  | _ -> None
+
+let unit_to_string = function
+  | Second -> "second"
+  | Minute -> "minute"
+  | Hour -> "hour"
+  | Day -> "day"
+
+let unit_abbrev = function
+  | Second -> "s"
+  | Minute -> "min"
+  | Hour -> "h"
+  | Day -> "d"
+
+let pp ppf { unit_; count } =
+  Format.fprintf ppf "%d %s" count (unit_abbrev unit_)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b = to_ticks a = to_ticks b
+
+let compare a b = Int.compare (to_ticks a) (to_ticks b)

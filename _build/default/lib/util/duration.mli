@@ -1,0 +1,40 @@
+(** Time durations with explicit units.
+
+    The ASA-like surface syntax expresses window parameters as
+    [(unit, count)] pairs, e.g. [TUMBLINGWINDOW(minute, 10)].  Internally
+    all window arithmetic happens on integer ticks; this module performs
+    the normalization and pretty-printing.  The base tick is one second. *)
+
+type unit_ = Second | Minute | Hour | Day
+
+type t
+(** A duration: a positive number of some unit. *)
+
+val make : unit_ -> int -> t
+(** [make u n] is [n] units of [u].  Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val to_ticks : t -> int
+(** Duration in base ticks (seconds). *)
+
+val of_ticks : int -> t
+(** [of_ticks n] normalizes [n > 0] seconds to the largest unit that
+    divides it evenly. *)
+
+val unit_of_string : string -> unit_ option
+(** Parse a unit keyword, case-insensitively; accepts singular and
+    plural forms ("minute", "minutes", ...). *)
+
+val unit_to_string : unit_ -> string
+
+val seconds_per : unit_ -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. ["10 min"], ["2 h"], ["45 s"]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Equality of the underlying tick counts. *)
+
+val compare : t -> t -> int

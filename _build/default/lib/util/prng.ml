@@ -1,0 +1,63 @@
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  State is a single 64-bit counter advanced
+   by the golden-ratio increment; output is a finalizing hash. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let split t =
+  let a = next t and b = next t in
+  ({ state = a }, { state = b })
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) land mask in
+    let r = v mod bound in
+    if v - r > mask - bound + 1 then draw () else r
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let subset t p xs = List.filter (fun _ -> bernoulli t p) xs
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

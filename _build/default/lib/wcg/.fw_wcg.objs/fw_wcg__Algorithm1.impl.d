@@ -1,0 +1,1 @@
+lib/wcg/algorithm1.ml: Cost_model Format Fw_agg Fw_util Fw_window Graph List Option Window

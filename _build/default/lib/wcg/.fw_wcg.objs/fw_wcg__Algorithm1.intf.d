@@ -1,0 +1,1 @@
+lib/wcg/algorithm1.mli: Cost_model Format Fw_agg Fw_window Graph

@@ -1,0 +1,1 @@
+lib/wcg/cost_model.ml: Coverage Format Fw_util Fw_window List Window

@@ -1,0 +1,1 @@
+lib/wcg/cost_model.mli: Fw_window

@@ -1,0 +1,1 @@
+lib/wcg/dot.ml: Algorithm1 Buffer Cost_model Fw_window Graph List Printf Window

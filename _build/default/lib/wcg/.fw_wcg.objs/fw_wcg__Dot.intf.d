@@ -1,0 +1,1 @@
+lib/wcg/dot.mli: Algorithm1 Graph

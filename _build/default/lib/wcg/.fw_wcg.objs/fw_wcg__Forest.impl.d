@@ -1,0 +1,1 @@
+lib/wcg/forest.ml: Format Fw_window Graph List Option Window

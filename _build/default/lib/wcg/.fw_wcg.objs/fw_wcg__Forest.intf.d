@@ -1,0 +1,1 @@
+lib/wcg/forest.mli: Format Fw_window Graph

@@ -1,0 +1,1 @@
+lib/wcg/graph.ml: Coverage Format Fw_window List Option Window

@@ -1,0 +1,1 @@
+lib/wcg/graph.mli: Format Fw_window

@@ -1,0 +1,67 @@
+open Fw_window
+module Arith = Fw_util.Arith
+
+type assignment = { parent : Window.t option; cost : int }
+
+type result = {
+  env : Cost_model.env;
+  graph : Graph.t;
+  assignments : assignment Window.Map.t;
+  total : int;
+}
+
+let best_assignment env graph w =
+  let init = { parent = None; cost = Cost_model.raw_cost env w } in
+  List.fold_left
+    (fun best p ->
+      let cost = Cost_model.edge_cost env ~covered:w ~by:p in
+      (* Strict improvement, or same cost with no parent yet / smaller
+         parent: keeps the choice deterministic and favors sharing. *)
+      if
+        cost < best.cost
+        || cost = best.cost
+           &&
+           match best.parent with
+           | None -> true
+           | Some p' -> Window.compare p p' < 0
+      then { parent = Some p; cost }
+      else best)
+    init
+    (Graph.in_neighbors graph w)
+
+let run_graph env graph =
+  let assignments =
+    List.fold_left
+      (fun acc w -> Window.Map.add w (best_assignment env graph w) acc)
+      Window.Map.empty (Graph.windows graph)
+  in
+  let pruned =
+    Window.Map.fold
+      (fun w { parent; _ } g -> Graph.restrict_parent g w parent)
+      assignments graph
+  in
+  let total =
+    Window.Map.fold (fun _ { cost; _ } acc -> Arith.add acc cost) assignments 0
+  in
+  { env; graph = pruned; assignments; total }
+
+let run ?eta semantics ws =
+  let ws = Window.dedup ws in
+  let env = Cost_model.make_env ?eta ws in
+  run_graph env (Graph.of_windows semantics ws)
+
+let for_aggregate ?eta f ws =
+  Option.map (fun sem -> run ?eta sem ws) (Fw_agg.Aggregate.semantics f)
+
+let pp_result ppf { env; graph; assignments; total } =
+  Format.fprintf ppf "@[<v>min-cost WCG (eta=%d, period=%d):@,"
+    env.Cost_model.eta env.Cost_model.period;
+  Window.Map.iter
+    (fun w { parent; cost } ->
+      match parent with
+      | None -> Format.fprintf ppf "  %a <- stream, cost %d@," Window.pp w cost
+      | Some p ->
+          Format.fprintf ppf "  %a <- %a, cost %d@," Window.pp w Window.pp p
+            cost)
+    assignments;
+  Format.fprintf ppf "  total = %d (forest: %b)@]" total (Graph.is_forest graph)

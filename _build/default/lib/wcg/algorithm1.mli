@@ -1,0 +1,44 @@
+(** Algorithm 1: find the min-cost WCG.
+
+    Each window independently keeps the cheapest way of being computed —
+    either from the raw stream or from the sub-aggregates of one of its
+    coverers — and all other incoming edges are pruned.  Because every
+    vertex retains at most one incoming edge, the result is a forest
+    (Theorem 7).  Per-window choices are independent (a coverer is a
+    query window that is computed regardless), so this greedy procedure
+    is exact for a fixed vertex set. *)
+
+type assignment = {
+  parent : Fw_window.Window.t option;
+      (** [None] = read the raw input stream. *)
+  cost : int;  (** final [cᵢ] for this window *)
+}
+
+type result = {
+  env : Cost_model.env;
+  graph : Graph.t;  (** the pruned min-cost WCG (a forest) *)
+  assignments : assignment Fw_window.Window.Map.t;
+  total : int;  (** [C = Σ cᵢ] *)
+}
+
+val run_graph : Cost_model.env -> Graph.t -> result
+(** Lines 2–7 of Algorithm 1 over an already-constructed WCG (used
+    directly by Algorithm 2 on the factor-expanded graph).  Ties are
+    broken deterministically: the smallest window (by
+    {!Fw_window.Window.compare}) among the cheapest parents wins, and a
+    parent is preferred over the raw stream at equal cost. *)
+
+val run :
+  ?eta:int ->
+  Fw_window.Coverage.semantics ->
+  Fw_window.Window.t list ->
+  result
+(** Full Algorithm 1: build the WCG for the window set, then optimize.
+    The window list is deduplicated. *)
+
+val for_aggregate :
+  ?eta:int -> Fw_agg.Aggregate.t -> Fw_window.Window.t list -> result option
+(** Select the coverage semantics from the aggregate function
+    (footnote 5); [None] for holistic aggregates, which cannot share. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,54 @@
+open Fw_window
+module Arith = Fw_util.Arith
+
+type env = { eta : int; period : int }
+
+let env_with_period ?(eta = 1) period =
+  if eta < 1 then invalid_arg "Cost_model: eta must be >= 1";
+  if period < 1 then invalid_arg "Cost_model: period must be >= 1";
+  { eta; period }
+
+let make_env ?(eta = 1) ws =
+  if ws = [] then invalid_arg "Cost_model.make_env: empty window set";
+  List.iter
+    (fun w ->
+      if not (Window.is_aligned w) then
+        invalid_arg
+          (Format.asprintf
+             "Cost_model.make_env: %a is not aligned (range must be a \
+              multiple of slide)"
+             Window.pp w))
+    ws;
+  let period = Arith.lcm_list (List.map Window.range ws) in
+  env_with_period ~eta period
+
+let multiplicity env w =
+  let r = Window.range w in
+  if env.period mod r <> 0 then
+    invalid_arg
+      (Format.asprintf "Cost_model.multiplicity: range of %a does not \
+                        divide period %d" Window.pp w env.period);
+  env.period / r
+
+let recurrence_count env w =
+  let r = Window.range w and s = Window.slide w in
+  if env.period < r || (env.period - r) mod s <> 0 then
+    invalid_arg
+      (Format.asprintf
+         "Cost_model.recurrence_count: %a has no integral recurrence count \
+          in period %d" Window.pp w env.period);
+  1 + ((env.period - r) / s)
+
+let raw_cost env w =
+  Arith.mul (recurrence_count env w) (Arith.mul env.eta (Window.range w))
+
+let edge_cost env ~covered ~by =
+  Arith.mul (recurrence_count env covered) (Coverage.multiplier ~covered ~by)
+
+let parent_cost env w ~parent =
+  match parent with
+  | None -> raw_cost env w
+  | Some p -> edge_cost env ~covered:w ~by:p
+
+let naive_total env ws =
+  List.fold_left (fun acc w -> Arith.add acc (raw_cost env w)) 0 ws

@@ -1,0 +1,50 @@
+(** The cost model of Section 3.2.1.
+
+    Costs count items processed during one common period
+    [R = lcm(r₁, ..., rₙ)] of the query windows, at a steady input event
+    rate [η]:
+
+    - recurrence count [nᵢ = 1 + (R − rᵢ)/sᵢ] — the number of instances
+      of [Wᵢ] in the period (equals [1 + (mᵢ−1)·rᵢ/sᵢ] with
+      [mᵢ = R/rᵢ] for aligned windows, Eq. 1);
+    - a window reading the {e raw stream} costs [nᵢ·η·rᵢ];
+    - a window reading sub-aggregates from an upstream window [W']
+      costs [nᵢ·M(Wᵢ, W')] (Observation 1 / Algorithm 1 line 5).
+
+    All arithmetic is overflow-checked ({!Fw_util.Arith.Overflow}). *)
+
+type env = private { eta : int; period : int }
+
+val make_env : ?eta:int -> Fw_window.Window.t list -> env
+(** [make_env ~eta ws] computes the common period [R] of the query
+    windows.  Default [eta] is 1.  Raises [Invalid_argument] if [ws] is
+    empty, [eta < 1], or some window is not aligned (the paper's
+    footnote-4 assumption); raises {!Fw_util.Arith.Overflow} if [R]
+    does not fit in an [int]. *)
+
+val env_with_period : ?eta:int -> int -> env
+(** Escape hatch used by tests and the slicing comparison (which
+    extends periods to [lcm(S, R)]). *)
+
+val multiplicity : env -> Fw_window.Window.t -> int
+(** [mᵢ = R/rᵢ].  Raises [Invalid_argument] if [rᵢ] does not divide the
+    period. *)
+
+val recurrence_count : env -> Fw_window.Window.t -> int
+(** [nᵢ = 1 + (R − rᵢ)/sᵢ].  Well-defined whenever [sᵢ] divides
+    [R − rᵢ] (true for aligned query windows and all factor-window
+    candidates); raises [Invalid_argument] otherwise. *)
+
+val raw_cost : env -> Fw_window.Window.t -> int
+(** Cost of computing the window directly from the input stream:
+    [n·η·r]. *)
+
+val edge_cost : env -> covered:Fw_window.Window.t -> by:Fw_window.Window.t -> int
+(** Cost of computing [covered] from [by]'s sub-aggregates:
+    [n·M(covered, by)]. *)
+
+val parent_cost : env -> Fw_window.Window.t -> parent:Fw_window.Window.t option -> int
+(** [raw_cost] when [parent = None], [edge_cost] otherwise. *)
+
+val naive_total : env -> Fw_window.Window.t list -> int
+(** Baseline (BL): every window from the raw stream. *)

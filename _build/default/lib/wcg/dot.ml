@@ -1,0 +1,56 @@
+open Fw_window
+
+let node_id w = Printf.sprintf "\"w_%d_%d\"" (Window.range w) (Window.slide w)
+
+let node_attrs g w label =
+  match Graph.kind g w with
+  | Some Graph.Factor ->
+      Printf.sprintf "[label=\"%s\", shape=ellipse, style=dashed]" label
+  | Some Graph.Query | None ->
+      Printf.sprintf "[label=\"%s\", shape=box]" label
+
+let render ?label_of ?caption g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph wcg {\n  rankdir=TB;\n";
+  (match caption with
+  | Some c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  label=\"%s\";\n  labelloc=b;\n" c)
+  | None -> ());
+  List.iter
+    (fun w ->
+      let base = Window.to_string w in
+      let label =
+        match label_of with
+        | Some f -> (
+            match f w with None -> base | Some extra -> base ^ "\\n" ^ extra)
+        | None -> base
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s;\n" (node_id w) (node_attrs g w label)))
+    (Graph.windows g);
+  List.iter
+    (fun (src, dst) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s;\n" (node_id src) (node_id dst)))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let graph g = render g
+
+let result (r : Algorithm1.result) =
+  let label_of w =
+    match Window.Map.find_opt w r.Algorithm1.assignments with
+    | None -> None
+    | Some { Algorithm1.parent; cost } ->
+        Some
+          (match parent with
+          | None -> Printf.sprintf "cost %d (stream)" cost
+          | Some _ -> Printf.sprintf "cost %d" cost)
+  in
+  let caption =
+    Printf.sprintf "total cost %d (eta=%d, period=%d)" r.Algorithm1.total
+      r.Algorithm1.env.Cost_model.eta r.Algorithm1.env.Cost_model.period
+  in
+  render ~label_of ~caption r.Algorithm1.graph

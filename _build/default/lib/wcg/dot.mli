@@ -1,0 +1,12 @@
+(** Graphviz rendering of (min-cost) window coverage graphs.
+
+    Query windows are boxes, factor windows dashed ellipses; edges point
+    from the upstream (finer) window to the downstream one.  When an
+    optimizer result is given, vertices carry their cost and the raw-
+    stream readers are marked. *)
+
+val graph : Graph.t -> string
+(** The bare WCG. *)
+
+val result : Algorithm1.result -> string
+(** The min-cost WCG with per-window costs and the total. *)

@@ -1,0 +1,49 @@
+open Fw_window
+
+type tree = { window : Window.t; kind : Graph.kind; children : tree list }
+
+let of_graph g =
+  if not (Graph.is_forest g) then
+    invalid_arg "Forest.of_graph: graph has a vertex with several parents";
+  let rec build w =
+    {
+      window = w;
+      kind = Option.value ~default:Graph.Query (Graph.kind g w);
+      children = List.map build (Graph.out_neighbors g w);
+    }
+  in
+  let trees = List.map build (Graph.roots g) in
+  let rec tree_size t =
+    List.fold_left (fun n c -> n + tree_size c) 1 t.children
+  in
+  let covered = List.fold_left (fun n t -> n + tree_size t) 0 trees in
+  if covered <> Graph.node_count g then
+    invalid_arg "Forest.of_graph: graph is not rooted (unreachable vertices)";
+  trees
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+let size t = fold (fun n _ -> n + 1) 0 t
+
+let rec depth t =
+  1 + List.fold_left (fun d c -> max d (depth c)) 0 t.children
+
+let windows t = List.rev (fold (fun acc n -> n.window :: acc) [] t)
+
+let parent_map trees =
+  let rec go parent acc t =
+    let acc = Window.Map.add t.window parent acc in
+    List.fold_left (go (Some t.window)) acc t.children
+  in
+  List.fold_left (go None) Window.Map.empty trees
+
+let rec pp ppf t =
+  let tag = match t.kind with Graph.Query -> "" | Graph.Factor -> "*" in
+  match t.children with
+  | [] -> Format.fprintf ppf "%a%s" Window.pp t.window tag
+  | cs ->
+      Format.fprintf ppf "@[<hov 2>%a%s ->@ (%a)@]" Window.pp t.window tag
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp)
+        cs

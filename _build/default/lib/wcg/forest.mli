@@ -1,0 +1,31 @@
+(** Forest view of a min-cost WCG (Theorem 7).
+
+    Query rewriting (Section 3.3) consumes the min-cost WCG as a
+    collection of trees: roots read the raw stream, every other window
+    reads sub-aggregates from its unique parent. *)
+
+type tree = {
+  window : Fw_window.Window.t;
+  kind : Graph.kind;
+  children : tree list;  (** in increasing window order *)
+}
+
+val of_graph : Graph.t -> tree list
+(** Raises [Invalid_argument] if the graph is not a forest.  Trees are
+    returned in increasing order of their root windows. *)
+
+val fold : ('a -> tree -> 'a) -> 'a -> tree -> 'a
+(** Pre-order fold over a tree. *)
+
+val size : tree -> int
+
+val depth : tree -> int
+(** A single node has depth 1. *)
+
+val windows : tree -> Fw_window.Window.t list
+(** Pre-order listing. *)
+
+val parent_map : tree list -> Fw_window.Window.t option Fw_window.Window.Map.t
+(** Parent of every window in the forest ([None] for roots). *)
+
+val pp : Format.formatter -> tree -> unit

@@ -1,0 +1,170 @@
+open Fw_window
+
+type kind = Query | Factor
+
+type t = {
+  semantics : Coverage.semantics;
+  kinds : kind Window.Map.t;
+  parents : Window.Set.t Window.Map.t;  (* in-neighbors *)
+  children : Window.Set.t Window.Map.t;  (* out-neighbors *)
+}
+
+let semantics g = g.semantics
+
+let empty semantics =
+  {
+    semantics;
+    kinds = Window.Map.empty;
+    parents = Window.Map.empty;
+    children = Window.Map.empty;
+  }
+
+let mem g w = Window.Map.mem w g.kinds
+let kind g w = Window.Map.find_opt w g.kinds
+
+let add_node g w k =
+  if mem g w then g
+  else
+    {
+      g with
+      kinds = Window.Map.add w k g.kinds;
+      parents = Window.Map.add w Window.Set.empty g.parents;
+      children = Window.Map.add w Window.Set.empty g.children;
+    }
+
+let neighbor_set map w =
+  Option.value ~default:Window.Set.empty (Window.Map.find_opt w map)
+
+let add_edge g ~src ~dst =
+  if not (mem g src && mem g dst) then
+    invalid_arg "Graph.add_edge: endpoint is not a node";
+  if not (Coverage.related g.semantics dst src) then
+    invalid_arg
+      (Format.asprintf "Graph.add_edge: %a does not cover %a under %a"
+         Window.pp src Window.pp dst Coverage.pp_semantics g.semantics);
+  {
+    g with
+    parents =
+      Window.Map.add dst (Window.Set.add src (neighbor_set g.parents dst))
+        g.parents;
+    children =
+      Window.Map.add src (Window.Set.add dst (neighbor_set g.children src))
+        g.children;
+  }
+
+let connect_coverage g w =
+  Window.Map.fold
+    (fun w' _ g ->
+      if Window.equal w w' then g
+      else
+        let g =
+          if Coverage.related g.semantics w w' then add_edge g ~src:w' ~dst:w
+          else g
+        in
+        if Coverage.related g.semantics w' w then add_edge g ~src:w ~dst:w'
+        else g)
+    g.kinds g
+
+let of_windows semantics ws =
+  let ws = Window.dedup ws in
+  let g = List.fold_left (fun g w -> add_node g w Query) (empty semantics) ws in
+  List.fold_left connect_coverage g ws
+
+let windows g = List.map fst (Window.Map.bindings g.kinds)
+
+let filter_kind k g =
+  List.filter_map
+    (fun (w, k') -> if k' = k then Some w else None)
+    (Window.Map.bindings g.kinds)
+
+let query_windows g = filter_kind Query g
+let factor_windows g = filter_kind Factor g
+
+let in_neighbors g w = Window.Set.elements (neighbor_set g.parents w)
+let out_neighbors g w = Window.Set.elements (neighbor_set g.children w)
+
+let edges g =
+  Window.Map.fold
+    (fun src dsts acc ->
+      Window.Set.fold (fun dst acc -> (src, dst) :: acc) dsts acc)
+    g.children []
+  |> List.rev
+
+let edge_count g =
+  Window.Map.fold (fun _ s n -> n + Window.Set.cardinal s) g.children 0
+
+let node_count g = Window.Map.cardinal g.kinds
+
+let restrict_parent g w parent =
+  let old = neighbor_set g.parents w in
+  let keep =
+    match parent with
+    | None -> Window.Set.empty
+    | Some p ->
+        if not (Window.Set.mem p old) then
+          invalid_arg "Graph.restrict_parent: not an existing in-edge";
+        Window.Set.singleton p
+  in
+  let dropped = Window.Set.diff old keep in
+  {
+    g with
+    parents = Window.Map.add w keep g.parents;
+    children =
+      Window.Set.fold
+        (fun src children ->
+          Window.Map.add src
+            (Window.Set.remove w (neighbor_set children src))
+            children)
+        dropped g.children;
+  }
+
+let remove_node g w =
+  let ins = neighbor_set g.parents w and outs = neighbor_set g.children w in
+  let parents =
+    Window.Set.fold
+      (fun dst parents ->
+        Window.Map.add dst
+          (Window.Set.remove w (neighbor_set parents dst))
+          parents)
+      outs (Window.Map.remove w g.parents)
+  in
+  let children =
+    Window.Set.fold
+      (fun src children ->
+        Window.Map.add src
+          (Window.Set.remove w (neighbor_set children src))
+          children)
+      ins (Window.Map.remove w g.children)
+  in
+  { g with kinds = Window.Map.remove w g.kinds; parents; children }
+
+let roots g =
+  List.filter (fun w -> Window.Set.is_empty (neighbor_set g.parents w))
+    (windows g)
+
+let leaves g =
+  List.filter (fun w -> Window.Set.is_empty (neighbor_set g.children w))
+    (windows g)
+
+let is_forest g =
+  List.for_all
+    (fun w -> Window.Set.cardinal (neighbor_set g.parents w) <= 1)
+    (windows g)
+
+let pp ppf g =
+  let pp_kind ppf = function
+    | Query -> ()
+    | Factor -> Format.pp_print_string ppf " (factor)"
+  in
+  Format.fprintf ppf "@[<v>WCG (%a semantics):@," Coverage.pp_semantics
+    g.semantics;
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "  %a%a <- {%a}@," Window.pp w pp_kind
+        (Option.value ~default:Query (kind g w))
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Window.pp)
+        (in_neighbors g w))
+    (windows g);
+  Format.fprintf ppf "@]"

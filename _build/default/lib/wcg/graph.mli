@@ -1,0 +1,73 @@
+(** The Window Coverage Graph (Section 2.3).
+
+    Vertices are windows; for every pair with [W₁ ≤ W₂] (strictly, under
+    the semantics selected by the aggregate function) there is an edge
+    [(W₂, W₁)] — data flows from the finer window [W₂] (the {e coverer},
+    upstream) to the coarser [W₁] (downstream).  Construction is
+    [O(|W|²)] thanks to the constant-time checks of Theorems 1 and 4.
+
+    The same type represents both the full WCG and the pruned min-cost
+    WCG (where every vertex keeps at most one incoming edge). *)
+
+type kind =
+  | Query  (** window present in the user query *)
+  | Factor  (** auxiliary window added by the optimizer (Section 4) *)
+
+type t
+
+val semantics : t -> Fw_window.Coverage.semantics
+
+val empty : Fw_window.Coverage.semantics -> t
+
+val of_windows : Fw_window.Coverage.semantics -> Fw_window.Window.t list -> t
+(** Build the full WCG of a (deduplicated) window set: every coverage
+    edge between distinct windows is present.  All nodes are [Query]. *)
+
+val add_node : t -> Fw_window.Window.t -> kind -> t
+(** No-op if the window is already a node (the existing kind wins). *)
+
+val add_edge : t -> src:Fw_window.Window.t -> dst:Fw_window.Window.t -> t
+(** [src] must cover [dst] under the graph's semantics; both must be
+    nodes.  Raises [Invalid_argument] otherwise. *)
+
+val connect_coverage : t -> Fw_window.Window.t -> t
+(** Add every coverage edge between the given node and all other
+    nodes (both directions), per the graph's semantics. *)
+
+val mem : t -> Fw_window.Window.t -> bool
+val kind : t -> Fw_window.Window.t -> kind option
+val windows : t -> Fw_window.Window.t list
+(** All vertices, in increasing {!Fw_window.Window.compare} order. *)
+
+val query_windows : t -> Fw_window.Window.t list
+val factor_windows : t -> Fw_window.Window.t list
+
+val in_neighbors : t -> Fw_window.Window.t -> Fw_window.Window.t list
+(** Potential upstream providers (windows that cover this one). *)
+
+val out_neighbors : t -> Fw_window.Window.t -> Fw_window.Window.t list
+(** Downstream windows (windows this one covers). *)
+
+val edges : t -> (Fw_window.Window.t * Fw_window.Window.t) list
+(** [(src, dst)] pairs, deterministic order. *)
+
+val edge_count : t -> int
+val node_count : t -> int
+
+val restrict_parent : t -> Fw_window.Window.t -> Fw_window.Window.t option -> t
+(** Drop all in-edges of the window except the given one (pass [None]
+    to drop all) — Algorithm 1 lines 6–7. *)
+
+val remove_node : t -> Fw_window.Window.t -> t
+(** Remove a vertex and all incident edges. *)
+
+val roots : t -> Fw_window.Window.t list
+(** Vertices without incoming edges. *)
+
+val leaves : t -> Fw_window.Window.t list
+(** Vertices without outgoing edges. *)
+
+val is_forest : t -> bool
+(** Every vertex has at most one incoming edge (Theorem 7 shape). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/window/coverage.ml: Format Interval List Window

@@ -1,0 +1,1 @@
+lib/window/coverage.mli: Format Interval Window

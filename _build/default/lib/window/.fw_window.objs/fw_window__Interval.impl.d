@@ -1,0 +1,1 @@
+lib/window/interval.ml: Format Int List Printf Window

@@ -1,0 +1,1 @@
+lib/window/interval.mli: Format Window

@@ -1,0 +1,1 @@
+lib/window/order.ml: Coverage List Window

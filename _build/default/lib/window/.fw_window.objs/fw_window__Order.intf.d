@@ -1,0 +1,1 @@
+lib/window/order.mli: Coverage Window

@@ -1,0 +1,1 @@
+lib/window/window.ml: Format Int List Map Printf Set

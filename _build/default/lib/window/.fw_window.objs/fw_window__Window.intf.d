@@ -1,0 +1,1 @@
+lib/window/window.mli: Format Map Set

@@ -1,0 +1,90 @@
+type semantics = Covered_by | Partitioned_by
+
+let pp_semantics ppf = function
+  | Covered_by -> Format.pp_print_string ppf "covered-by"
+  | Partitioned_by -> Format.pp_print_string ppf "partitioned-by"
+
+let strictly_covered_by w1 w2 =
+  let r1 = Window.range w1 and s1 = Window.slide w1 in
+  let r2 = Window.range w2 and s2 = Window.slide w2 in
+  r1 > r2 && s1 mod s2 = 0 && (r1 - r2) mod s2 = 0
+
+let covered_by w1 w2 = Window.equal w1 w2 || strictly_covered_by w1 w2
+
+let strictly_partitioned_by w1 w2 =
+  let r1 = Window.range w1 and s1 = Window.slide w1 in
+  let r2 = Window.range w2 and s2 = Window.slide w2 in
+  r1 > r2 && s1 mod s2 = 0 && r1 mod s2 = 0 && r2 = s2
+
+let partitioned_by w1 w2 = Window.equal w1 w2 || strictly_partitioned_by w1 w2
+
+let related sem w1 w2 =
+  match sem with
+  | Covered_by -> strictly_covered_by w1 w2
+  | Partitioned_by -> strictly_partitioned_by w1 w2
+
+let multiplier ~covered ~by =
+  if not (covered_by covered by) then
+    invalid_arg
+      (Format.asprintf "Coverage.multiplier: %a is not covered by %a"
+         Window.pp covered Window.pp by);
+  1 + ((Window.range covered - Window.range by) / Window.slide by)
+
+(* Intervals [u, u+r2) of window [w] lying inside [i] (Definition 2's
+   "between" set); u ranges over multiples of the slide. *)
+let intervals_within w i =
+  let a = Interval.lo i and b = Interval.hi i in
+  let r2 = Window.range w and s2 = Window.slide w in
+  let first = a / s2 in
+  let first = if first * s2 < a then first + 1 else first in
+  let rec collect m acc =
+    let u = m * s2 in
+    if u + r2 > b then List.rev acc
+    else collect (m + 1) (Interval.make ~lo:u ~hi:(u + r2) :: acc)
+  in
+  collect first []
+
+let covering_set ~covered ~by i =
+  if not (covered_by covered by) then
+    invalid_arg "Coverage.covering_set: windows are not in coverage relation";
+  intervals_within by i
+
+(* --- Semantic (definition-level) checks, for validation only. --- *)
+
+let flanked_exactly i candidates =
+  let a = Interval.lo i and b = Interval.hi i in
+  let starts_at_a j = Interval.lo j = a && Interval.hi j < b in
+  let ends_at_b j = Interval.hi j = b && Interval.lo j > a in
+  List.exists starts_at_a candidates && List.exists ends_at_b candidates
+
+let covered_by_semantic ?(instances = 25) w1 w2 =
+  if Window.equal w1 w2 then true
+  else if Window.range w1 <= Window.range w2 then false
+  else
+    let check m =
+      let i = Interval.instance w1 m in
+      (* Candidate intervals of w2 overlapping i: indices from
+         floor((lo - r2)/s2) up to the last starting before hi. *)
+      let s2 = Window.slide w2 in
+      let lo_m = max 0 ((Interval.lo i - Window.range w2) / s2) in
+      let hi_m = Interval.hi i / s2 in
+      let candidates =
+        List.init (hi_m - lo_m + 1) (fun k -> Interval.instance w2 (lo_m + k))
+      in
+      flanked_exactly i candidates
+    in
+    let rec all m = m >= instances || (check m && all (m + 1)) in
+    all 0
+
+let partitioned_by_semantic ?(instances = 25) w1 w2 =
+  if Window.equal w1 w2 then true
+  else
+    covered_by_semantic ~instances w1 w2
+    &&
+    let check m =
+      let i = Interval.instance w1 m in
+      let cover = intervals_within w2 i in
+      Interval.pairwise_disjoint cover && Interval.union_covers i cover
+    in
+    let rec all m = m >= instances || (check m && all (m + 1)) in
+    all 0

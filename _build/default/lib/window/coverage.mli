@@ -1,0 +1,62 @@
+(** Window coverage and partitioning (Sections 2.2–2.3).
+
+    [W₁] is {e covered by} [W₂] (written [W₁ ≤ W₂], Definition 1) when
+    every interval [\[a,b)] of [W₁] is flanked by intervals of [W₂]
+    starting exactly at [a] and ending exactly at [b]; aggregates over
+    [W₁] can then be computed from [W₂]'s sub-aggregates.  Coverage is a
+    partial order (Theorem 2).  {e Partitioning} (Definition 5) is the
+    special case where each covering set is disjoint, required by
+    aggregate functions that are only distributive/algebraic over
+    disjoint partitions (Theorem 5).
+
+    Analytic characterizations (constant-time checks):
+    - Theorem 1: [W₁ ≤ W₂] iff [s₂ | s₁] and [s₂ | (r₁ − r₂)]
+      (with [r₁ > r₂]; a window also covers itself).
+    - Theorem 4: [W₁] partitioned by [W₂] iff [s₂ | s₁], [s₂ | r₁] and
+      [r₂ = s₂] ([W₂] tumbling).
+    - Theorem 3: the covering multiplier is
+      [M(W₁,W₂) = 1 + (r₁ − r₂)/s₂]. *)
+
+type semantics = Covered_by | Partitioned_by
+(** Which relation an aggregate function may exploit (Section 3.1):
+    MIN/MAX tolerate overlapping sub-aggregates ([Covered_by],
+    Theorem 6); SUM/COUNT/AVG need disjointness ([Partitioned_by]). *)
+
+val pp_semantics : Format.formatter -> semantics -> unit
+
+val covered_by : Window.t -> Window.t -> bool
+(** [covered_by w1 w2] is [w1 ≤ w2] per Theorem 1 (reflexive). *)
+
+val strictly_covered_by : Window.t -> Window.t -> bool
+(** Coverage between distinct windows ([r₁ > r₂]). *)
+
+val partitioned_by : Window.t -> Window.t -> bool
+(** Theorem 4 (reflexive). *)
+
+val strictly_partitioned_by : Window.t -> Window.t -> bool
+
+val related : semantics -> Window.t -> Window.t -> bool
+(** [related sem w1 w2] dispatches to the strict relation selected by
+    [sem]; this is the edge predicate used when building the WCG. *)
+
+val multiplier : covered:Window.t -> by:Window.t -> int
+(** Covering multiplier [M(covered, by)] (Theorem 3).  Raises
+    [Invalid_argument] if [covered] is not covered by [by]. *)
+
+val covering_set : covered:Window.t -> by:Window.t -> Interval.t -> Interval.t list
+(** [covering_set ~covered ~by i] lists the intervals of window [by]
+    lying inside the interval [i] of window [covered] (Definition 2),
+    in increasing order.  Its cardinality equals
+    [multiplier ~covered ~by]. *)
+
+(** {1 Semantic (brute-force) checks}
+
+    Direct implementations of Definitions 1 and 5 by enumerating window
+    instances.  Exponentially slower than the analytic forms — used by
+    the property-test suite to validate Theorems 1, 3 and 4. *)
+
+val covered_by_semantic : ?instances:int -> Window.t -> Window.t -> bool
+(** Check Definition 1 on the first [instances] (default 25) intervals
+    of [w1]. *)
+
+val partitioned_by_semantic : ?instances:int -> Window.t -> Window.t -> bool

@@ -1,0 +1,62 @@
+type t = { lo : int; hi : int }
+
+let make ~lo ~hi =
+  if lo >= hi then
+    invalid_arg
+      (Printf.sprintf "Interval.make: need lo < hi, got [%d, %d)" lo hi);
+  { lo; hi }
+
+let lo i = i.lo
+let hi i = i.hi
+let length i = i.hi - i.lo
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let pp ppf i = Format.fprintf ppf "[%d,%d)" i.lo i.hi
+let to_string i = Format.asprintf "%a" pp i
+
+let contains i x = i.lo <= x && x < i.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let overlaps a b = a.lo < b.hi && b.lo < a.hi
+let disjoint a b = not (overlaps a b)
+
+let instance w m =
+  if m < 0 then invalid_arg "Interval.instance: negative index";
+  let lo = m * Window.slide w in
+  { lo; hi = lo + Window.range w }
+
+let instance_count_until w ~horizon =
+  let r = Window.range w and s = Window.slide w in
+  if horizon < r then 0 else 1 + ((horizon - r) / s)
+
+let instances_until w ~horizon =
+  let n = instance_count_until w ~horizon in
+  List.init n (instance w)
+
+let union_covers i js =
+  (* Sweep the candidate intervals in order of start point and check
+     they jointly cover [i] with no gap and no spill-over. *)
+  let js = List.sort compare js in
+  match js with
+  | [] -> false
+  | first :: _ ->
+      if first.lo > i.lo then false
+      else
+        let rec sweep reached = function
+          | [] -> reached >= i.hi
+          | j :: rest ->
+              if j.lo > reached then false
+              else sweep (max reached j.hi) rest
+        in
+        List.for_all (fun j -> subset j i) js && sweep i.lo js
+
+let pairwise_disjoint js =
+  let js = List.sort compare js in
+  let rec go = function
+    | a :: (b :: _ as rest) -> a.hi <= b.lo && go rest
+    | [ _ ] | [] -> true
+  in
+  go js

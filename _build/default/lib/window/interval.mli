@@ -1,0 +1,47 @@
+(** The interval representation of windows (Section 2.1.1).
+
+    A window [W⟨r,s⟩] is the interval sequence [{ [m·s, m·s + r) }] for
+    integers [m >= 0].  Intervals are left-closed, right-open. *)
+
+type t = private { lo : int; hi : int }
+(** The half-open interval [\[lo, hi)]. *)
+
+val make : lo:int -> hi:int -> t
+(** Raises [Invalid_argument] unless [lo < hi]. *)
+
+val lo : t -> int
+val hi : t -> int
+val length : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val contains : t -> int -> bool
+(** [contains i x] iff [lo <= x < hi]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff [a ⊆ b]. *)
+
+val overlaps : t -> t -> bool
+val disjoint : t -> t -> bool
+
+val instance : Window.t -> int -> t
+(** [instance w m] is the [m]-th interval [\[m·s, m·s + r)] of window
+    [w], [m >= 0]. *)
+
+val instances_until : Window.t -> horizon:int -> t list
+(** All complete instances [\[a, b)] of a window with [b <= horizon],
+    in increasing order of [lo]. *)
+
+val instance_count_until : Window.t -> horizon:int -> int
+(** [List.length (instances_until w ~horizon)] without materializing. *)
+
+val union_covers : t -> t list -> bool
+(** [union_covers i js] iff [i = ⋃ js] as point sets (Definition 3,
+    interval coverage). *)
+
+val pairwise_disjoint : t list -> bool
+(** True iff the intervals are mutually exclusive (Definition 4 uses
+    this for interval partitioning). *)

@@ -1,0 +1,21 @@
+let comparable sem a b = Coverage.related sem a b || Coverage.related sem b a
+
+let minimal_elements sem ws =
+  List.filter
+    (fun w -> not (List.exists (fun w' -> Coverage.related sem w w') ws))
+    ws
+
+let maximal_elements sem ws =
+  List.filter
+    (fun w -> not (List.exists (fun w' -> Coverage.related sem w' w) ws))
+    ws
+
+let sort_by_range ws = List.sort Window.compare ws
+
+let chain sem ws =
+  let sorted = sort_by_range ws in
+  let rec go = function
+    | a :: (b :: _ as rest) -> Coverage.related sem b a && go rest
+    | [ _ ] | [] -> true
+  in
+  go sorted

@@ -1,0 +1,27 @@
+(** Utilities over the coverage partial order (Theorem 2).
+
+    Several algorithms need windows arranged consistently with coverage:
+    the WCG construction, the workload generators (level structure), and
+    the plan rewriting (parents before children).  "Below" here means
+    {e finer} — a window that covers others (smaller range); coarser
+    windows sit above it in the order. *)
+
+val comparable : Coverage.semantics -> Window.t -> Window.t -> bool
+(** Some strict relation holds in one direction or the other. *)
+
+val minimal_elements : Coverage.semantics -> Window.t list -> Window.t list
+(** Windows not strictly related {e above} any other, i.e. windows that
+    are not covered by any other window of the list (the roots of the
+    WCG before augmentation). *)
+
+val maximal_elements : Coverage.semantics -> Window.t list -> Window.t list
+(** Windows that cover no other window of the list (the leaves). *)
+
+val sort_by_range : Window.t list -> Window.t list
+(** Increasing range (ties by slide): a linear extension of the inverse
+    coverage order — every window appears after all windows that cover
+    it.  Raises nothing; duplicates preserved. *)
+
+val chain : Coverage.semantics -> Window.t list -> bool
+(** True iff the windows form a chain: sorted by range, each one is
+    related to its predecessor (used to validate ChainGen output). *)

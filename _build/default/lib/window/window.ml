@@ -1,0 +1,55 @@
+type t = { range : int; slide : int }
+
+let make ~range ~slide =
+  if slide <= 0 || slide > range then
+    invalid_arg
+      (Printf.sprintf "Window.make: need 0 < slide <= range, got r=%d s=%d"
+         range slide);
+  { range; slide }
+
+let tumbling r = make ~range:r ~slide:r
+
+let hopping ~range ~slide =
+  if slide >= range then
+    invalid_arg "Window.hopping: a hopping window needs slide < range";
+  make ~range ~slide
+
+let range w = w.range
+let slide w = w.slide
+let is_tumbling w = w.slide = w.range
+let is_aligned w = w.range mod w.slide = 0
+
+let k_ratio w =
+  if not (is_aligned w) then
+    invalid_arg "Window.k_ratio: window range is not a multiple of its slide";
+  w.range / w.slide
+
+let equal a b = a.range = b.range && a.slide = b.slide
+
+let compare a b =
+  match Int.compare a.range b.range with
+  | 0 -> Int.compare a.slide b.slide
+  | c -> c
+
+let hash w = (w.range * 31) + w.slide
+
+let pp ppf w = Format.fprintf ppf "W<%d,%d>" w.range w.slide
+let to_string w = Format.asprintf "%a" pp w
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let dedup ws =
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | w :: rest ->
+        if Set.mem w seen then go seen acc rest
+        else go (Set.add w seen) (w :: acc) rest
+  in
+  go Set.empty [] ws

@@ -1,0 +1,52 @@
+(** Windows in the range/slide representation of the paper (Section 2.1).
+
+    A window [W⟨r, s⟩] has a {e range} [r] (its duration) and a {e slide}
+    [s] (the gap between two consecutive firings), with [0 < s <= r].
+    ASA calls [W] a {e hopping} window when [s < r] and a {e tumbling}
+    window when [s = r].  Ranges and slides are integer tick counts; the
+    unit is carried externally (see {!Fw_util.Duration}). *)
+
+type t = private { range : int; slide : int }
+
+val make : range:int -> slide:int -> t
+(** Raises [Invalid_argument] unless [0 < slide <= range]. *)
+
+val tumbling : int -> t
+(** [tumbling r] is [W⟨r, r⟩]. *)
+
+val hopping : range:int -> slide:int -> t
+(** Same as {!make} but insists [slide < range]. *)
+
+val range : t -> int
+val slide : t -> int
+
+val is_tumbling : t -> bool
+(** [slide = range]. *)
+
+val is_aligned : t -> bool
+(** True iff [range] is a multiple of [slide].  The paper's cost model
+    (Section 3.2.1, footnote 4) assumes aligned windows so that
+    recurrence counts are integers; Algorithm 5 only generates aligned
+    windows. *)
+
+val k_ratio : t -> int
+(** [range / slide] for an aligned window (the paper's [k_i]).
+    Raises [Invalid_argument] when the window is not aligned. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order: by range, then slide.  Used for sorting and sets; it is
+    {e not} the coverage partial order. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints [W⟨r,s⟩]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val dedup : t list -> t list
+(** Remove duplicate windows, preserving first-occurrence order (a
+    window {e set} per the paper has no duplicates). *)

@@ -1,0 +1,1 @@
+lib/workload/event_gen.ml: Fw_engine Fw_util List

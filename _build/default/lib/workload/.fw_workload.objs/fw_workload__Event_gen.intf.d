@@ -1,0 +1,1 @@
+lib/workload/event_gen.mli: Fw_engine Fw_util

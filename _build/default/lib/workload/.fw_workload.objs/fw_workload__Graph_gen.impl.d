@@ -1,0 +1,1 @@
+lib/workload/graph_gen.ml: Coverage Format Fw_util Fw_window List Option Set_gen Window Window_gen

@@ -1,0 +1,1 @@
+lib/workload/graph_gen.mli: Fw_util Fw_window Set_gen

@@ -1,0 +1,1 @@
+lib/workload/set_gen.ml: Format Fw_util Fw_window List Option Window Window_gen

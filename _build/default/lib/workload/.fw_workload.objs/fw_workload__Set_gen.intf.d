@@ -1,0 +1,1 @@
+lib/workload/set_gen.mli: Fw_util Fw_window Window_gen

@@ -1,0 +1,1 @@
+lib/workload/window_gen.ml: Fw_util Fw_window Printf Window

@@ -1,0 +1,1 @@
+lib/workload/window_gen.mli: Fw_util Fw_window

@@ -1,0 +1,47 @@
+module Prng = Fw_util.Prng
+module Event = Fw_engine.Event
+
+type config = { keys : string list; value_min : float; value_max : float }
+
+let default_config =
+  {
+    keys = [ "device-1"; "device-2"; "device-3"; "device-4" ];
+    value_min = 0.0;
+    value_max = 100.0;
+  }
+
+let check config =
+  if config.keys = [] then invalid_arg "Event_gen: no keys";
+  if config.value_max < config.value_min then
+    invalid_arg "Event_gen: empty value range"
+
+let one prng config ~time =
+  let key = Prng.choose prng config.keys in
+  let value =
+    config.value_min
+    +. Prng.float prng (config.value_max -. config.value_min)
+  in
+  Event.make ~time ~key ~value
+
+let with_rate prng config ~rate_at ~horizon =
+  check config;
+  if horizon < 0 then invalid_arg "Event_gen: negative horizon";
+  List.concat
+    (List.init horizon (fun time ->
+         List.init (rate_at time) (fun _ -> one prng config ~time)))
+
+let steady prng config ~eta ~horizon =
+  if eta < 1 then invalid_arg "Event_gen.steady: eta must be >= 1";
+  with_rate prng config ~rate_at:(fun _ -> eta) ~horizon
+
+let varied prng config ~eta_max ~horizon =
+  if eta_max < 1 then invalid_arg "Event_gen.varied: eta_max must be >= 1";
+  with_rate prng config ~rate_at:(fun _ -> Prng.int_in prng 1 eta_max) ~horizon
+
+let spiky prng config ~eta ~spike_every ~spike_factor ~horizon =
+  if eta < 1 || spike_every < 1 || spike_factor < 1 then
+    invalid_arg "Event_gen.spiky: parameters must be >= 1";
+  with_rate prng config
+    ~rate_at:(fun time ->
+      if time mod spike_every = 0 then eta * spike_factor else eta)
+    ~horizon

@@ -1,0 +1,36 @@
+(** Synthetic event streams (Section 5.2 data generation).
+
+    The cost model assumes a steady rate of [η] events per tick;
+    {!steady} produces exactly that (the stream the [validate] bench
+    uses to confront measured counters with the model).  {!varied}
+    draws a per-tick rate uniformly from [\[1, eta_max\]], matching the
+    paper's "various input event rate" data generator. *)
+
+type config = {
+  keys : string list;  (** grouping keys, e.g. device ids *)
+  value_min : float;
+  value_max : float;
+}
+
+val default_config : config
+(** Four device keys, values in [\[0, 100)]. *)
+
+val steady :
+  Fw_util.Prng.t -> config -> eta:int -> horizon:int -> Fw_engine.Event.t list
+(** [eta] events at every tick in [\[0, horizon)], keys drawn uniformly,
+    time-ordered. *)
+
+val varied :
+  Fw_util.Prng.t -> config -> eta_max:int -> horizon:int -> Fw_engine.Event.t list
+(** Per-tick rate uniform in [\[1, eta_max\]]. *)
+
+val spiky :
+  Fw_util.Prng.t ->
+  config ->
+  eta:int ->
+  spike_every:int ->
+  spike_factor:int ->
+  horizon:int ->
+  Fw_engine.Event.t list
+(** Steady rate with periodic bursts — failure-injection style load for
+    engine tests. *)

@@ -1,0 +1,137 @@
+open Fw_window
+module Prng = Fw_util.Prng
+module Arith = Fw_util.Arith
+
+type config = {
+  set_config : Set_gen.config;
+  levels : int;
+  base : int;
+  delta : int;
+  p : float;
+}
+
+let default_config =
+  { set_config = Set_gen.default_config; levels = 2; base = 2; delta = 2; p = 0.5 }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Set_gen.Generation_failed s)) fmt
+
+let with_attempts _config what f =
+  let rec go attempt =
+    if attempt >= 500 then
+      fail "RandomGraphGen %s: exhausted attempts" what
+    else match f () with Some x -> x | None -> go (attempt + 1)
+  in
+  go 0
+
+let bounded_lcm config period r =
+  match Arith.lcm period r with
+  | p when p <= config.set_config.Set_gen.period_bound -> Some p
+  | _ -> None
+  | exception Arith.Overflow -> None
+
+(* Algorithm 6 lines 5 and 16: a window joins its level only if it is
+   not covered by a window already in the level (and is not a
+   duplicate).  The check is deliberately one-directional, as in the
+   paper. *)
+let level_admits level w =
+  not
+    (List.exists
+       (fun w' -> Coverage.strictly_covered_by w w' || Window.equal w w')
+       level)
+
+let base_level prng config period =
+  let rec grow acc period =
+    if List.length acc = config.base then (List.rev acc, period)
+    else
+      let w, period =
+        with_attempts config "base level" (fun () ->
+            let w =
+              if config.set_config.Set_gen.tumbling then
+                Window_gen.random_tumbling prng
+                  config.set_config.Set_gen.params
+              else Window_gen.random prng config.set_config.Set_gen.params
+            in
+            if level_admits acc w then
+              Option.map (fun p -> (w, p))
+                (bounded_lcm config period (Window.range w))
+            else None)
+      in
+      grow (w :: acc) period
+  in
+  grow [] period
+
+(* A window covered by every member of [subset] (all aligned): slide a
+   multiple of the subset's slide lcm, range a multiple of the slide
+   exceeding the subset's largest range. *)
+let draw_above prng config subset =
+  let k_max = config.set_config.Set_gen.params.Window_gen.k_max in
+  let slides = List.map Window.slide subset in
+  let ranges = List.map Window.range subset in
+  let s_lcm = Arith.lcm_list slides in
+  let r_max = List.fold_left max 0 ranges in
+  if config.set_config.Set_gen.tumbling then begin
+    let a_min = if s_lcm > r_max then 1 else (r_max / s_lcm) + 1 in
+    let a = Prng.int_in prng a_min (a_min + k_max - 1) in
+    Window.tumbling (a * s_lcm)
+  end
+  else begin
+    let a = Prng.int_in prng 1 2 in
+    let s = a * s_lcm in
+    let k_min = (r_max / s) + 1 in
+    let k = Prng.int_in prng k_min (k_min + k_max - 1) in
+    Window.make ~range:(k * s) ~slide:s
+  end
+
+let upper_level prng config ~below ~count period =
+  let rec grow acc period =
+    if List.length acc = count then (List.rev acc, period)
+    else
+      let w, period =
+        with_attempts config "upper level" (fun () ->
+            let subset =
+              match Prng.subset prng config.p below with
+              | [] -> [ Prng.choose prng below ]
+              | s -> s
+            in
+            let w = draw_above prng config subset in
+            if level_admits acc w then
+              Option.map (fun p -> (w, p))
+                (bounded_lcm config period (Window.range w))
+            else None)
+      in
+      grow (w :: acc) period
+  in
+  grow [] period
+
+let generate_once prng config =
+  let base, period = base_level prng config 1 in
+  let rec go l below period acc =
+    if l > config.levels then List.rev acc
+    else
+      let count = config.base + (config.delta * l) in
+      let level, period = upper_level prng config ~below ~count period in
+      go (l + 1) level period (level :: acc)
+  in
+  go 1 base period [ base ]
+
+(* A level can get structurally stuck: once it holds a window with a
+   very small slide, every further draw above the same slide family is
+   covered by it and rejected.  Restart the whole construction with
+   fresh draws; the PRNG advances, so restarts explore new subsets. *)
+let generate prng config =
+  if config.base < 1 || config.levels < 0 || config.delta < 0 then
+    invalid_arg "Graph_gen.generate: invalid configuration";
+  let restarts = 100 in
+  let rec attempt i =
+    match generate_once prng config with
+    | levels -> levels
+    | exception Set_gen.Generation_failed _ when i < restarts ->
+        attempt (i + 1)
+  in
+  attempt 0
+
+let flatten levels = Window.dedup (List.concat levels)
+
+let batch ~seed config ~count =
+  let prng = Prng.create seed in
+  List.init count (fun _ -> flatten (generate prng config))

@@ -1,0 +1,37 @@
+(** Algorithm 6: the random DAG generator (RandomGraphGen).
+
+    Windows are grouped into levels; level 0 holds [base] windows that
+    do not cover each other, and each level [l >= 1] holds
+    [base + delta·l] windows, each generated against a random subset
+    [S] of the previous level (chosen with probability [p] per window)
+    so that its slide is compatible with [lcm{s : W ∈ S}]; the new
+    window is kept only if it is not covered by a window of its own
+    level.
+
+    We strengthen Algorithm 6 slightly: the new window's slide is an
+    exact multiple of the subset's slide lcm and its range exceeds
+    every subset member's, which — all generated windows being aligned
+    — {e guarantees} the cross-level coverage edges the DAG is meant to
+    model (Algorithm 6 as printed only biases toward them).  The WCG is
+    still built from real coverage checks downstream. *)
+
+type config = {
+  set_config : Set_gen.config;
+  levels : int;  (** [L]: number of levels above the base *)
+  base : int;  (** [B] *)
+  delta : int;  (** [Δ] *)
+  p : float;  (** subset probability *)
+}
+
+val default_config : config
+(** The paper's figure-15 setting: 2 base windows, 3 levels in total
+    (so [levels = 2] above the base), [Δ = 2], [p = 0.5]. *)
+
+val generate : Fw_util.Prng.t -> config -> Fw_window.Window.t list list
+(** The levels, bottom-up; raises {!Set_gen.Generation_failed} when the
+    constraints cannot be met. *)
+
+val flatten : Fw_window.Window.t list list -> Fw_window.Window.t list
+
+val batch : seed:int -> config -> count:int -> Fw_window.Window.t list list
+(** [count] flattened window sets. *)

@@ -1,0 +1,113 @@
+open Fw_window
+module Prng = Fw_util.Prng
+module Arith = Fw_util.Arith
+
+type config = {
+  params : Window_gen.params;
+  tumbling : bool;
+  period_bound : int;
+  max_attempts : int;
+}
+
+let default_config =
+  {
+    params = Window_gen.default_params;
+    tumbling = false;
+    period_bound = 1_000_000_000_000;
+    max_attempts = 10_000;
+  }
+
+exception Generation_failed of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Generation_failed s)) fmt
+
+let draw prng config =
+  if config.tumbling then Window_gen.random_tumbling prng config.params
+  else Window_gen.random prng config.params
+
+(* lcm with the period bound treated as a rejection condition. *)
+let bounded_lcm config period r =
+  match Arith.lcm period r with
+  | p when p <= config.period_bound -> Some p
+  | _ -> None
+  | exception Arith.Overflow -> None
+
+let with_attempts config what f =
+  let rec go attempt =
+    if attempt >= config.max_attempts then
+      fail "%s: no valid window after %d attempts" what config.max_attempts
+    else match f () with Some x -> x | None -> go (attempt + 1)
+  in
+  go 0
+
+let random prng config ~n =
+  if n < 1 then invalid_arg "Set_gen.random: need n >= 1";
+  let rec grow acc period =
+    if List.length acc = n then List.rev acc
+    else
+      let w, period =
+        with_attempts config "RandomGen" (fun () ->
+            let w = draw prng config in
+            if List.exists (Window.equal w) acc then None
+            else
+              Option.map
+                (fun p -> (w, p))
+                (bounded_lcm config period (Window.range w)))
+      in
+      grow (w :: acc) period
+  in
+  grow [] 1
+
+(* Draw a window covered by [upstream]: slide a small multiple of the
+   upstream slide, range the smallest eligible multiples of the new
+   slide exceeding the upstream range.  Alignment of the upstream
+   window makes the Theorem-1 conditions hold by construction. *)
+let draw_covered prng config ~upstream =
+  let k_max = config.params.k_max in
+  let s_up = Window.slide upstream and r_up = Window.range upstream in
+  if config.tumbling then begin
+    let a = Prng.int_in prng 2 (max 2 k_max) in
+    Window.tumbling (a * r_up)
+  end
+  else begin
+    let a = Prng.int_in prng 1 3 in
+    let s = a * s_up in
+    let k_min = (r_up / s) + 1 in
+    let k = Prng.int_in prng k_min (k_min + k_max - 1) in
+    Window.make ~range:(k * s) ~slide:s
+  end
+
+let covered_set prng config ~n ~upstream_of =
+  if n < 1 then invalid_arg "Set_gen: need n >= 1";
+  let first =
+    with_attempts config "first window" (fun () ->
+        let w = draw prng config in
+        Option.map (fun _ -> w) (bounded_lcm config 1 (Window.range w)))
+  in
+  let rec grow acc period =
+    if List.length acc = n then List.rev acc
+    else
+      let upstream = upstream_of acc in
+      let w, period =
+        with_attempts config "covered window" (fun () ->
+            let w = draw_covered prng config ~upstream in
+            if List.exists (Window.equal w) acc then None
+            else
+              Option.map
+                (fun p -> (w, p))
+                (bounded_lcm config period (Window.range w)))
+      in
+      grow (w :: acc) period
+  in
+  grow [ first ] (Window.range first)
+
+let chain prng config ~n =
+  covered_set prng config ~n ~upstream_of:(fun acc -> List.hd acc)
+
+let star prng config ~n =
+  covered_set prng config ~n ~upstream_of:(fun acc ->
+      List.nth acc (List.length acc - 1))
+
+let batch gen ~seed config ~n ~count =
+  let prng = Prng.create seed in
+  List.init count (fun _ -> gen prng config ~n)

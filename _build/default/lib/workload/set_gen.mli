@@ -1,0 +1,40 @@
+(** Window-set generators for the evaluation (Section 5.2).
+
+    - {!random} (RandomGen): independent draws from Algorithm 5;
+    - {!chain} (ChainGen): [Wᵢ₊₁] covered by [Wᵢ];
+    - {!star} (StarGen): every [Wᵢ] ([i >= 2]) covered by [W₁].
+
+    Each generator has a [tumbling] switch producing the
+    partitioned-by variants used in Figures 12–14.  Generated sets are
+    deduplicated, contain exactly [n] windows, and are {e period
+    bounded}: sets whose common period [lcm(rᵢ)] exceeds
+    [period_bound] are rejected and regenerated, so downstream cost
+    arithmetic cannot overflow (see DESIGN.md §2). *)
+
+type config = {
+  params : Window_gen.params;
+  tumbling : bool;
+  period_bound : int;
+  max_attempts : int;
+}
+
+val default_config : config
+(** [params = Window_gen.default_params], general windows,
+    [period_bound = 10^12], [max_attempts = 10_000]. *)
+
+exception Generation_failed of string
+(** Raised when [max_attempts] draws cannot satisfy the constraints. *)
+
+val random : Fw_util.Prng.t -> config -> n:int -> Fw_window.Window.t list
+val chain : Fw_util.Prng.t -> config -> n:int -> Fw_window.Window.t list
+val star : Fw_util.Prng.t -> config -> n:int -> Fw_window.Window.t list
+
+val batch :
+  (Fw_util.Prng.t -> config -> n:int -> Fw_window.Window.t list) ->
+  seed:int ->
+  config ->
+  n:int ->
+  count:int ->
+  Fw_window.Window.t list list
+(** [count] independent window sets from a single seed (the "10 random
+    window sets" of the figures). *)

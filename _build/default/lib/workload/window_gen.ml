@@ -1,0 +1,29 @@
+open Fw_window
+module Prng = Fw_util.Prng
+
+type params = { s_min : int; s_max : int; k_max : int }
+
+let default_params = { s_min = 2; s_max = 10; k_max = 8 }
+
+let validate { s_min; s_max; k_max } =
+  if s_min < 1 || s_max < s_min || k_max < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Window_gen: invalid parameters s_min=%d s_max=%d k_max=%d" s_min
+         s_max k_max)
+
+let random prng params =
+  validate params;
+  let s = Prng.int_in prng params.s_min params.s_max in
+  let k = Prng.int_in prng 1 params.k_max in
+  Window.make ~range:(k * s) ~slide:s
+
+(* The paper's tumbling variants reuse Algorithm 5's composite ranges
+   (r = k·s), which keeps the ranges highly divisible — drawing ranges
+   uniformly instead would produce mostly-coprime sets with no coverage
+   structure to exploit. *)
+let random_tumbling prng params =
+  validate params;
+  let s = Prng.int_in prng params.s_min params.s_max in
+  let k = Prng.int_in prng 1 params.k_max in
+  Window.tumbling (k * s)

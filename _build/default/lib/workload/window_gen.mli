@@ -1,0 +1,24 @@
+(** Algorithm 5: the random window generator.
+
+    [s ← Random(s_min, s_max)]; [r ← Random({s, 2s, ..., k_max·s})].
+    Only {e aligned} windows are produced ([s | r]), matching the
+    paper's cost-model assumption. *)
+
+type params = { s_min : int; s_max : int; k_max : int }
+
+val default_params : params
+(** [s_min = 2] (as in Algorithm 6's base level), [s_max = 10],
+    [k_max = 8] — modest bounds keep common periods within native
+    integers (see DESIGN.md). *)
+
+val validate : params -> unit
+(** Raises [Invalid_argument] for non-positive or inverted bounds. *)
+
+val random : Fw_util.Prng.t -> params -> Fw_window.Window.t
+(** One window per Algorithm 5. *)
+
+val random_tumbling : Fw_util.Prng.t -> params -> Fw_window.Window.t
+(** Tumbling variant for the "partitioned-by" experiments (Figures
+    12–14): the range is drawn exactly like Algorithm 5's ([k·s]) and
+    the window made tumbling, preserving the divisibility structure of
+    the general sets. *)

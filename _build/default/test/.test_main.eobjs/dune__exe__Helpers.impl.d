@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Coverage Fw_window Interval List QCheck2 QCheck_alcotest String Window

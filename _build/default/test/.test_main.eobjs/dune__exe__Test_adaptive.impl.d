@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Factor_windows Fw_agg Fw_engine Fw_plan Fw_util Fw_workload Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_agg.ml: Alcotest Array Fw_agg Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Float Fw_util Helpers List QCheck2

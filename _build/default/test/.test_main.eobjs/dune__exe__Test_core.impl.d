@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring_contains Factor_windows Fw_agg Fw_engine Fw_util Fw_workload Helpers List String

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Coverage Fw_window Helpers Interval List QCheck2 Window

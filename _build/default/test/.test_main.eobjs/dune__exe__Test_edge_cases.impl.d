@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Astring_contains Factor_windows Format Fw_agg Fw_engine Fw_factor Fw_plan Fw_util Fw_wcg Fw_window Helpers List Window

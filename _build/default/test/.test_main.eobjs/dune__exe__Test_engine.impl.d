@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Fw_agg Fw_engine Fw_plan Fw_util Fw_wcg Fw_window Fw_workload Helpers Interval List Option Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_factor.ml: Alcotest Coverage Fw_agg Fw_factor Fw_wcg Fw_window Helpers List Printf QCheck2 Window

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Astring_contains Fw_engine Fw_factor Fw_plan Fw_sql Fw_util Fw_wcg Fw_window Fw_workload Helpers List Printf QCheck2 String

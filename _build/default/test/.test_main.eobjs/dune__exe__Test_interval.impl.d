@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Fw_window Helpers Interval List QCheck2

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Coverage Fw_window Helpers List Order

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Astring_contains Fw_agg Fw_factor Fw_plan Fw_wcg Fw_window Helpers List Order String Window

@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Astring_contains Format Fw_agg Fw_engine Fw_plan Fw_sql Helpers List

@@ -1,0 +1,1 @@
+test/test_slicing.ml: Alcotest Fw_slicing Fw_util Fw_window Helpers List QCheck2 Window

@@ -1,0 +1,1 @@
+test/test_slicing_exec.ml: Alcotest Fw_agg Fw_engine Fw_slicing Fw_util Fw_workload Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Astring_contains Fw_agg Fw_plan Fw_sql Fw_util Fw_wcg Helpers List Printf QCheck2

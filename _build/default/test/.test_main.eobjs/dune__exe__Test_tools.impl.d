@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Astring_contains Factor_windows Fw_engine Fw_factor Fw_wcg Fw_window Helpers List Printf

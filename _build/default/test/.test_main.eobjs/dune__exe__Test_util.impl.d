@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fun Fw_util Helpers List QCheck2

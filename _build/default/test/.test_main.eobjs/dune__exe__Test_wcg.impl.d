@@ -1,0 +1,1 @@
+test/test_wcg.ml: Alcotest Coverage Fw_agg Fw_wcg Fw_window Helpers List Printf Window

@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Fw_window Helpers List QCheck2 Window

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Coverage Fw_engine Fw_factor Fw_util Fw_window Fw_workload Helpers List Order QCheck2 Window

@@ -1,0 +1,64 @@
+(* Shared test utilities: Alcotest testables, QCheck generators for
+   windows and window sets, and common fixtures. *)
+
+open Fw_window
+
+let window_testable = Alcotest.testable Window.pp Window.equal
+let interval_testable = Alcotest.testable Interval.pp Interval.equal
+
+let check_window = Alcotest.check window_testable
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let check_string = Alcotest.check Alcotest.string
+
+let tumbling = Window.tumbling
+let w ~r ~s = Window.make ~range:r ~slide:s
+
+(* The running example of the paper: Figure 1(a). *)
+let example6_windows = List.map tumbling [ 10; 20; 30; 40 ]
+
+(* Example 7: Example 6 without the 10-minute window. *)
+let example7_windows = List.map tumbling [ 20; 30; 40 ]
+
+(* --- QCheck generators --- *)
+
+(* An aligned window with a modest slide and ratio, mirroring
+   Algorithm 5's output domain. *)
+let gen_window =
+  QCheck2.Gen.(
+    let* s = int_range 1 12 in
+    let* k = int_range 1 8 in
+    return (Window.make ~range:(k * s) ~slide:s))
+
+let gen_tumbling_window =
+  QCheck2.Gen.(
+    let* s = int_range 1 12 in
+    let* k = int_range 1 8 in
+    return (Window.tumbling (k * s)))
+
+let gen_window_pair = QCheck2.Gen.pair gen_window gen_window
+
+let gen_window_set ?(max_size = 6) () =
+  QCheck2.Gen.(
+    let* n = int_range 1 max_size in
+    let* ws = list_repeat n gen_window in
+    return (Window.dedup ws))
+
+let gen_tumbling_set ?(max_size = 6) () =
+  QCheck2.Gen.(
+    let* n = int_range 1 max_size in
+    let* ws = list_repeat n gen_tumbling_window in
+    return (Window.dedup ws))
+
+let print_window w = Window.to_string w
+
+let print_window_list ws =
+  "[" ^ String.concat "; " (List.map Window.to_string ws) ^ "]"
+
+(* Wrap a QCheck2 property as an alcotest case. *)
+let qtest ?(count = 200) name gen print prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print gen prop)
+
+let semantics_covered = Coverage.Covered_by
+let semantics_partitioned = Coverage.Partitioned_by

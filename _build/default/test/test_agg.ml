@@ -1,0 +1,162 @@
+open Helpers
+module Aggregate = Fw_agg.Aggregate
+module Combine = Fw_agg.Combine
+
+let test_taxonomy () =
+  let kind_is f k = Aggregate.kind f = k in
+  check_bool "MIN distributive" true (kind_is Aggregate.Min Aggregate.Distributive);
+  check_bool "MAX distributive" true (kind_is Aggregate.Max Aggregate.Distributive);
+  check_bool "COUNT distributive" true
+    (kind_is Aggregate.Count Aggregate.Distributive);
+  check_bool "SUM distributive" true (kind_is Aggregate.Sum Aggregate.Distributive);
+  check_bool "AVG algebraic" true (kind_is Aggregate.Avg Aggregate.Algebraic);
+  check_bool "STDEV algebraic" true (kind_is Aggregate.Stdev Aggregate.Algebraic);
+  check_bool "MEDIAN holistic" true (kind_is Aggregate.Median Aggregate.Holistic)
+
+let test_semantics () =
+  (* Footnote 5: MIN/MAX use covered-by, COUNT/SUM/AVG partitioned-by. *)
+  check_bool "MIN covered-by" true
+    (Aggregate.semantics Aggregate.Min = Some semantics_covered);
+  check_bool "MAX covered-by" true
+    (Aggregate.semantics Aggregate.Max = Some semantics_covered);
+  List.iter
+    (fun f ->
+      check_bool "partitioned-by" true
+        (Aggregate.semantics f = Some semantics_partitioned))
+    [ Aggregate.Count; Aggregate.Sum; Aggregate.Avg; Aggregate.Stdev ];
+  check_bool "MEDIAN unshareable" true (Aggregate.semantics Aggregate.Median = None);
+  check_bool "shareable" false (Aggregate.shareable Aggregate.Median);
+  check_bool "shareable MIN" true (Aggregate.shareable Aggregate.Min)
+
+let test_names () =
+  List.iter
+    (fun f ->
+      check_bool "roundtrip" true
+        (Aggregate.of_string (Aggregate.to_string f) = Some f))
+    Aggregate.all;
+  check_bool "lowercase" true (Aggregate.of_string "min" = Some Aggregate.Min);
+  check_bool "mixed case" true (Aggregate.of_string "Avg" = Some Aggregate.Avg);
+  check_bool "unknown" true (Aggregate.of_string "frobnicate" = None)
+
+(* --- Combine: g/h semantics --- *)
+
+let finalize_of_list f = function
+  | [] -> nan
+  | v :: vs ->
+      Combine.finalize
+        (List.fold_left Combine.add (Combine.of_value f v) vs)
+
+let close = Fw_agg.Combine.equal_result
+
+let test_direct_results () =
+  let vs = [ 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 ] in
+  check_bool "min" true (close 1.0 (finalize_of_list Aggregate.Min vs));
+  check_bool "max" true (close 9.0 (finalize_of_list Aggregate.Max vs));
+  check_bool "count" true (close 8.0 (finalize_of_list Aggregate.Count vs));
+  check_bool "sum" true (close 31.0 (finalize_of_list Aggregate.Sum vs));
+  check_bool "avg" true (close 3.875 (finalize_of_list Aggregate.Avg vs));
+  (* population stdev of vs *)
+  let mean = 31.0 /. 8.0 in
+  let var =
+    List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 vs /. 8.0
+  in
+  check_bool "stdev" true
+    (close (sqrt var) (finalize_of_list Aggregate.Stdev vs))
+
+let test_median () =
+  check_bool "odd" true
+    (close 4.0 (finalize_of_list Aggregate.Median [ 9.0; 4.0; 1.0 ]));
+  check_bool "even" true
+    (close 2.5 (finalize_of_list Aggregate.Median [ 4.0; 1.0; 2.0; 3.0 ]));
+  check_bool "single" true
+    (close 7.0 (finalize_of_list Aggregate.Median [ 7.0 ]))
+
+let test_merge_mismatch () =
+  Alcotest.check_raises "mismatched states"
+    (Invalid_argument "Combine.merge: mismatched aggregate states") (fun () ->
+      ignore
+        (Combine.merge
+           (Combine.of_value Aggregate.Min 1.0)
+           (Combine.of_value Aggregate.Max 1.0)))
+
+let test_count_of () =
+  let st =
+    Combine.add (Combine.add (Combine.of_value Aggregate.Avg 1.0) 2.0) 3.0
+  in
+  check_int "avg tracks count" 3 (Combine.count_of st);
+  check_bool "aggregate_of" true (Combine.aggregate_of st = Aggregate.Avg)
+
+(* Distributive/algebraic law (Theorem 5): folding the whole list equals
+   merging the sub-aggregates of any partition into consecutive chunks. *)
+let gen_values =
+  QCheck2.Gen.(list_size (int_range 1 30) (float_range (-100.0) 100.0))
+
+let split_at_points points vs =
+  (* partition [vs] into chunks at the sorted positions [points] *)
+  let n = List.length vs in
+  let points = List.sort_uniq compare (List.map (fun p -> p mod n) points) in
+  let rec go i chunk acc vs points =
+    match (vs, points) with
+    | [], _ -> List.rev (List.rev chunk :: acc)
+    | v :: vs', p :: ps when i = p && chunk <> [] ->
+        go i [] (List.rev chunk :: acc) (v :: vs') ps
+    | v :: vs', _ -> go (i + 1) (v :: chunk) acc vs' points
+  in
+  List.filter (fun c -> c <> []) (go 0 [] [] vs points)
+
+let state_of_chunk f = function
+  | [] -> None
+  | v :: vs -> Some (List.fold_left Combine.add (Combine.of_value f v) vs)
+
+let prop_partition_merge f name =
+  qtest ~count:300 (name ^ ": merge over a partition = direct fold")
+    QCheck2.Gen.(pair gen_values (list_size (int_range 0 4) (int_range 0 29)))
+    QCheck2.Print.(pair (list float) (list int))
+    (fun (vs, points) ->
+      let chunks = split_at_points points vs in
+      let states = List.filter_map (state_of_chunk f) chunks in
+      match states with
+      | [] -> true
+      | s :: ss ->
+          let merged = Combine.finalize (List.fold_left Combine.merge s ss) in
+          close merged (finalize_of_list f vs))
+
+(* Theorem 6: MIN/MAX stay correct over overlapping chunks. *)
+let prop_overlapping_minmax f name =
+  qtest ~count:300 (name ^ ": merge over overlapping covers = direct fold")
+    QCheck2.Gen.(pair gen_values (int_range 1 10))
+    QCheck2.Print.(pair (list float) int)
+    (fun (vs, overlap) ->
+      let n = List.length vs in
+      let arr = Array.of_list vs in
+      let mid = max 1 (n / 2) in
+      let chunk1 = Array.to_list (Array.sub arr 0 (min n (mid + overlap))) in
+      let chunk2 = Array.to_list (Array.sub arr (max 0 (mid - overlap))
+                                    (n - max 0 (mid - overlap))) in
+      let states = List.filter_map (state_of_chunk f) [ chunk1; chunk2 ] in
+      match states with
+      | [] -> true
+      | s :: ss ->
+          close
+            (Combine.finalize (List.fold_left Combine.merge s ss))
+            (finalize_of_list f vs))
+
+let suite =
+  [
+    Alcotest.test_case "taxonomy" `Quick test_taxonomy;
+    Alcotest.test_case "semantics (footnote 5)" `Quick test_semantics;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "direct results" `Quick test_direct_results;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "merge mismatch" `Quick test_merge_mismatch;
+    Alcotest.test_case "count_of" `Quick test_count_of;
+    prop_partition_merge Aggregate.Min "MIN";
+    prop_partition_merge Aggregate.Max "MAX";
+    prop_partition_merge Aggregate.Count "COUNT";
+    prop_partition_merge Aggregate.Sum "SUM";
+    prop_partition_merge Aggregate.Avg "AVG";
+    prop_partition_merge Aggregate.Stdev "STDEV";
+    prop_partition_merge Aggregate.Median "MEDIAN";
+    prop_overlapping_minmax Aggregate.Min "MIN";
+    prop_overlapping_minmax Aggregate.Max "MAX";
+  ]

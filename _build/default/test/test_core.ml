@@ -1,0 +1,101 @@
+(* Umbrella library: Optimizer facade, Evaluation, Report. *)
+open Helpers
+module Optimizer = Factor_windows.Optimizer
+module Evaluation = Factor_windows.Evaluation
+module Report = Factor_windows.Report
+module Aggregate = Fw_agg.Aggregate
+
+let test_optimizer_example6 () =
+  let t = Optimizer.optimize Aggregate.Min example6_windows in
+  check_bool "cost 150" true (Optimizer.optimized_cost t = Some 150);
+  check_bool "naive 480" true (Optimizer.naive_cost t = Some 480);
+  (match Optimizer.improvement_percent t with
+  | Some pct -> check_bool "68.75%" true (abs_float (pct -. 68.75) < 1e-9)
+  | None -> Alcotest.fail "expected improvement");
+  check_bool "trill has sub-aggregates" true
+    (Astring_contains.contains (Optimizer.trill t) "sagg");
+  check_bool "explain mentions totals" true
+    (Astring_contains.contains (Optimizer.explain t) "total = 150")
+
+let test_optimizer_of_query () =
+  let q =
+    "SELECT MIN(v) FROM s GROUP BY WINDOWS(WINDOW(TUMBLINGWINDOW(second, \
+     10)), WINDOW(TUMBLINGWINDOW(second, 20)), \
+     WINDOW(TUMBLINGWINDOW(second, 30)), WINDOW(TUMBLINGWINDOW(second, 40)))"
+  in
+  match Optimizer.of_query q with
+  | Ok t -> check_bool "cost 150" true (Optimizer.optimized_cost t = Some 150)
+  | Error e -> Alcotest.failf "of_query failed: %s" e
+
+let test_optimizer_verify () =
+  let t = Optimizer.optimize Aggregate.Sum example7_windows in
+  let prng = Fw_util.Prng.create 21 in
+  let events =
+    Fw_workload.Event_gen.steady prng Fw_workload.Event_gen.default_config
+      ~eta:2 ~horizon:120
+  in
+  (match Optimizer.verify t ~horizon:120 events with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify failed: %s" e);
+  let report = Optimizer.execute t ~horizon:120 events in
+  check_bool "rows produced" true (report.Fw_engine.Run.rows <> [])
+
+let test_evaluation_example6 () =
+  let costs = Evaluation.evaluate semantics_partitioned example6_windows in
+  (* S = R = 120, so no period extension. *)
+  check_int "comparison period" 120 costs.Evaluation.period;
+  check_int "BL 480" 480 (Evaluation.cost_of costs Evaluation.BL);
+  check_int "WCG 150" 150 (Evaluation.cost_of costs Evaluation.WCG);
+  check_int "WCG-FW 150" 150 (Evaluation.cost_of costs Evaluation.WCG_FW);
+  check_int "five techniques" 5 (List.length costs.Evaluation.per_technique)
+
+let test_evaluation_period_extension () =
+  (* Hopping windows: S = lcm(slides) differs from R = lcm(ranges). *)
+  let ws = [ w ~r:4 ~s:2; w ~r:6 ~s:3 ] in
+  let costs = Evaluation.evaluate semantics_covered ws in
+  check_int "P = lcm(12, 6)" 12 costs.Evaluation.period
+
+let prop_wcgfw_never_worse_than_wcg =
+  qtest ~count:100 "WCG-FW <= WCG and BL is an upper bound for WCG"
+    (gen_window_set ~max_size:5 ()) print_window_list
+    (fun ws ->
+      match Evaluation.evaluate ~eta:10 semantics_covered ws with
+      | exception _ -> true
+      | costs ->
+          Evaluation.cost_of costs Evaluation.WCG_FW
+          <= Evaluation.cost_of costs Evaluation.WCG
+          && Evaluation.cost_of costs Evaluation.WCG
+             <= Evaluation.cost_of costs Evaluation.BL)
+
+let test_report_table () =
+  let s = Report.table ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333" ] ] in
+  let lines = String.split_on_char '\n' s in
+  check_int "4 lines" 4 (List.length lines);
+  check_bool "separator" true (Astring_contains.contains s "---");
+  check_bool "padded row" true (Astring_contains.contains s "333")
+
+let test_report_ratio () =
+  check_string "x2.00" "x2.00" (Report.ratio 4 2);
+  check_string "n/a" "n/a" (Report.ratio 4 0)
+
+let test_report_series () =
+  let costs = Evaluation.evaluate semantics_partitioned example6_windows in
+  let s =
+    Report.series ~title:"t" ~techniques:Evaluation.all_techniques [ costs ]
+  in
+  check_bool "has BL row" true (Astring_contains.contains s "BL");
+  check_bool "has value" true (Astring_contains.contains s "480")
+
+let suite =
+  [
+    Alcotest.test_case "optimizer example 6" `Quick test_optimizer_example6;
+    Alcotest.test_case "optimizer of_query" `Quick test_optimizer_of_query;
+    Alcotest.test_case "optimizer verify/execute" `Quick test_optimizer_verify;
+    Alcotest.test_case "evaluation example 6" `Quick test_evaluation_example6;
+    Alcotest.test_case "evaluation period extension" `Quick
+      test_evaluation_period_extension;
+    prop_wcgfw_never_worse_than_wcg;
+    Alcotest.test_case "report table" `Quick test_report_table;
+    Alcotest.test_case "report ratio" `Quick test_report_ratio;
+    Alcotest.test_case "report series" `Quick test_report_series;
+  ]

@@ -1,0 +1,162 @@
+open Helpers
+open Fw_window
+
+(* Example 2/3: W1<s=2,r=10> is covered by W2<s=2,r=8>. *)
+let test_example2 () =
+  let w1 = w ~r:10 ~s:2 and w2 = w ~r:8 ~s:2 in
+  check_bool "covered (Thm 1)" true (Coverage.covered_by w1 w2);
+  check_bool "semantic agrees" true (Coverage.covered_by_semantic w1 w2);
+  check_bool "not the other way" false (Coverage.strictly_covered_by w2 w1)
+
+(* Example 5: same pair is NOT a partitioning (W2 not tumbling). *)
+let test_example5 () =
+  let w1 = w ~r:10 ~s:2 and w2 = w ~r:8 ~s:2 in
+  check_bool "not partitioned (Thm 4)" false (Coverage.partitioned_by w1 w2);
+  check_bool "semantic agrees" false (Coverage.partitioned_by_semantic w1 w2)
+
+let test_reflexive () =
+  let win = w ~r:10 ~s:2 in
+  check_bool "covered by itself" true (Coverage.covered_by win win);
+  check_bool "partitioned by itself" true (Coverage.partitioned_by win win);
+  check_bool "not strictly" false (Coverage.strictly_covered_by win win)
+
+let test_tumbling_chain () =
+  (* Example 6's windows: 20, 30 and 40 covered (= partitioned) by 10. *)
+  List.iter
+    (fun r ->
+      check_bool "covered" true
+        (Coverage.strictly_covered_by (tumbling r) (tumbling 10));
+      check_bool "partitioned" true
+        (Coverage.strictly_partitioned_by (tumbling r) (tumbling 10)))
+    [ 20; 30; 40 ];
+  check_bool "40 covered by 20" true
+    (Coverage.strictly_covered_by (tumbling 40) (tumbling 20));
+  check_bool "30 NOT covered by 20" false
+    (Coverage.strictly_covered_by (tumbling 30) (tumbling 20))
+
+let test_multiplier () =
+  (* Example 6's multipliers. *)
+  let m a b =
+    Coverage.multiplier ~covered:(tumbling a) ~by:(tumbling b)
+  in
+  check_int "M(20,10)" 2 (m 20 10);
+  check_int "M(30,10)" 3 (m 30 10);
+  check_int "M(40,10)" 4 (m 40 10);
+  check_int "M(40,20)" 2 (m 40 20);
+  (* Figure 4: each interval covered by two intervals. *)
+  check_int "hopping multiplier" 2
+    (Coverage.multiplier ~covered:(w ~r:10 ~s:2) ~by:(w ~r:8 ~s:2));
+  Alcotest.check_raises "not covered"
+    (Invalid_argument "Coverage.multiplier: W<30,30> is not covered by W<20,20>")
+    (fun () ->
+      ignore (Coverage.multiplier ~covered:(tumbling 30) ~by:(tumbling 20)))
+
+let test_covering_set () =
+  (* First interval [0,10) of W(10,2) covered by W(8,2): intervals
+     [0,8) and [2,10) (Example 4). *)
+  let covered = w ~r:10 ~s:2 and by = w ~r:8 ~s:2 in
+  let cover =
+    Coverage.covering_set ~covered ~by (Interval.instance covered 0)
+  in
+  Alcotest.(check (list interval_testable)) "first covering set"
+    [ Interval.make ~lo:0 ~hi:8; Interval.make ~lo:2 ~hi:10 ]
+    cover;
+  let cover1 =
+    Coverage.covering_set ~covered ~by (Interval.instance covered 1)
+  in
+  Alcotest.(check (list interval_testable)) "second covering set"
+    [ Interval.make ~lo:2 ~hi:10; Interval.make ~lo:4 ~hi:12 ]
+    cover1
+
+let test_semantics_dispatch () =
+  check_bool "covered-by relation" true
+    (Coverage.related Coverage.Covered_by (w ~r:10 ~s:2) (w ~r:8 ~s:2));
+  check_bool "partitioned-by rejects it" false
+    (Coverage.related Coverage.Partitioned_by (w ~r:10 ~s:2) (w ~r:8 ~s:2))
+
+(* --- Property tests: the theorems against the definitions. --- *)
+
+let prop_theorem1 =
+  qtest ~count:400 "Theorem 1 <=> Definition 1 (semantic check)"
+    gen_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      Coverage.covered_by w1 w2 = Coverage.covered_by_semantic w1 w2)
+
+let prop_theorem4 =
+  qtest ~count:400 "Theorem 4 <=> Definition 5 (semantic check)"
+    gen_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      Coverage.partitioned_by w1 w2 = Coverage.partitioned_by_semantic w1 w2)
+
+let prop_theorem3 =
+  qtest ~count:400 "Theorem 3: multiplier = |covering set| on any instance"
+    QCheck2.Gen.(triple gen_window gen_window (int_range 0 10))
+    QCheck2.Print.(triple print_window print_window int)
+    (fun (w1, w2, m) ->
+      if Coverage.covered_by w1 w2 then
+        let i = Interval.instance w1 m in
+        List.length (Coverage.covering_set ~covered:w1 ~by:w2 i)
+        = Coverage.multiplier ~covered:w1 ~by:w2
+      else true)
+
+let prop_partition_implies_coverage =
+  qtest "partitioning implies coverage" gen_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      (not (Coverage.partitioned_by w1 w2)) || Coverage.covered_by w1 w2)
+
+let prop_antisymmetry =
+  qtest "Theorem 2: antisymmetry" gen_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      (not (Coverage.covered_by w1 w2 && Coverage.covered_by w2 w1))
+      || Window.equal w1 w2)
+
+let prop_transitivity =
+  qtest ~count:400 "Theorem 2: transitivity"
+    QCheck2.Gen.(triple gen_window gen_window gen_window)
+    QCheck2.Print.(triple print_window print_window print_window)
+    (fun (w1, w2, w3) ->
+      (not (Coverage.covered_by w1 w2 && Coverage.covered_by w2 w3))
+      || Coverage.covered_by w1 w3)
+
+let prop_partition_disjoint_cover =
+  qtest ~count:400
+    "partitioned: covering sets tile instances disjointly"
+    QCheck2.Gen.(triple gen_window gen_window (int_range 0 6))
+    QCheck2.Print.(triple print_window print_window int)
+    (fun (w1, w2, m) ->
+      if Coverage.strictly_partitioned_by w1 w2 then
+        let i = Interval.instance w1 m in
+        let cover = Coverage.covering_set ~covered:w1 ~by:w2 i in
+        Interval.pairwise_disjoint cover && Interval.union_covers i cover
+      else true)
+
+let prop_tumbling_coverage_is_divisibility =
+  qtest "tumbling coverage = range divisibility"
+    QCheck2.Gen.(pair gen_tumbling_window gen_tumbling_window)
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      let r1 = Window.range w1 and r2 = Window.range w2 in
+      Coverage.strictly_covered_by w1 w2 = (r1 > r2 && r1 mod r2 = 0))
+
+let suite =
+  [
+    Alcotest.test_case "example 2 (coverage)" `Quick test_example2;
+    Alcotest.test_case "example 5 (not partitioned)" `Quick test_example5;
+    Alcotest.test_case "reflexivity" `Quick test_reflexive;
+    Alcotest.test_case "tumbling chain" `Quick test_tumbling_chain;
+    Alcotest.test_case "multipliers (example 6)" `Quick test_multiplier;
+    Alcotest.test_case "covering set (example 4)" `Quick test_covering_set;
+    Alcotest.test_case "semantics dispatch" `Quick test_semantics_dispatch;
+    prop_theorem1;
+    prop_theorem4;
+    prop_theorem3;
+    prop_partition_implies_coverage;
+    prop_antisymmetry;
+    prop_transitivity;
+    prop_partition_disjoint_cover;
+    prop_tumbling_coverage_is_divisibility;
+  ]

@@ -1,0 +1,297 @@
+open Helpers
+open Fw_window
+module Event = Fw_engine.Event
+module Row = Fw_engine.Row
+module Batch = Fw_engine.Batch
+module Stream_exec = Fw_engine.Stream_exec
+module Metrics = Fw_engine.Metrics
+module Run = Fw_engine.Run
+module Plan = Fw_plan.Plan
+module Rewrite = Fw_plan.Rewrite
+module Aggregate = Fw_agg.Aggregate
+
+let ev t k v = Event.make ~time:t ~key:k ~value:v
+
+(* --- Event / Row --- *)
+
+let test_event_basics () =
+  check_bool "ordered" true
+    (Event.is_time_ordered [ ev 1 "a" 1.0; ev 1 "b" 2.0; ev 3 "a" 0.0 ]);
+  check_bool "unordered" false
+    (Event.is_time_ordered [ ev 3 "a" 1.0; ev 1 "b" 2.0 ]);
+  check_bool "sorted" true (Event.is_time_ordered (Event.sort [ ev 3 "a" 1.0; ev 1 "b" 2.0 ]));
+  match Event.make ~time:(-1) ~key:"a" ~value:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative time rejected"
+
+let row win lo hi key value =
+  {
+    Row.window = win;
+    interval = Interval.make ~lo ~hi;
+    key;
+    value;
+  }
+
+let test_row_equal_sets () =
+  let a = [ row (tumbling 10) 0 10 "k" 1.0; row (tumbling 10) 10 20 "k" 2.0 ] in
+  let b = List.rev a in
+  check_bool "order irrelevant" true (Row.equal_sets a b);
+  check_bool "tolerant to fp noise" true
+    (Row.equal_sets a
+       [ row (tumbling 10) 0 10 "k" (1.0 +. 1e-12); row (tumbling 10) 10 20 "k" 2.0 ]);
+  check_bool "value difference detected" false
+    (Row.equal_sets a [ row (tumbling 10) 0 10 "k" 1.5; row (tumbling 10) 10 20 "k" 2.0 ]);
+  check_bool "cardinality difference" false (Row.equal_sets a (List.tl a));
+  check_int "diff size" 1 (List.length (Row.diff a (List.tl a)))
+
+(* --- Batch oracle --- *)
+
+let test_batch_window_rows () =
+  let events = [ ev 0 "a" 5.0; ev 3 "a" 2.0; ev 12 "a" 7.0; ev 5 "b" 1.0 ] in
+  let rows = Batch.window_rows Aggregate.Min (tumbling 10) ~horizon:20 events in
+  check_bool "expected rows" true
+    (Row.equal_sets rows
+       [
+         row (tumbling 10) 0 10 "a" 2.0;
+         row (tumbling 10) 0 10 "b" 1.0;
+         row (tumbling 10) 10 20 "a" 7.0;
+       ])
+
+let test_batch_empty_instances () =
+  let rows = Batch.window_rows Aggregate.Sum (tumbling 10) ~horizon:30 [ ev 25 "a" 4.0 ] in
+  check_int "only one row" 1 (List.length rows)
+
+let test_batch_hopping () =
+  (* W(10,5): instances [0,10), [5,15); event at 7 lands in both. *)
+  let rows =
+    Batch.window_rows Aggregate.Count (w ~r:10 ~s:5) ~horizon:15 [ ev 7 "a" 1.0 ]
+  in
+  check_int "two rows" 2 (List.length rows);
+  List.iter (fun r -> check_bool "count 1" true (r.Row.value = 1.0)) rows
+
+(* --- Streaming vs oracle --- *)
+
+let test_stream_matches_oracle_simple () =
+  let plan = Plan.naive Aggregate.Min example6_windows in
+  let events = List.init 120 (fun t -> ev t "k" (float_of_int ((t * 17) mod 31))) in
+  let rows = Stream_exec.run plan ~horizon:120 events in
+  let oracle = Batch.run Aggregate.Min example6_windows ~horizon:120 events in
+  check_bool "match" true (Row.equal_sets rows oracle)
+
+let test_stream_late_event () =
+  let plan = Plan.naive Aggregate.Min [ tumbling 10 ] in
+  let t = Stream_exec.create plan in
+  Stream_exec.feed t (ev 5 "k" 1.0);
+  (match Stream_exec.feed t (ev 3 "k" 1.0) with
+  | exception Stream_exec.Late_event _ -> ()
+  | _ -> Alcotest.fail "late event must raise");
+  Stream_exec.feed t (ev 5 "k" 2.0) (* same time is fine *)
+
+let test_stream_advance_fires () =
+  let plan = Plan.naive Aggregate.Sum [ tumbling 10 ] in
+  let t = Stream_exec.create plan in
+  Stream_exec.feed t (ev 1 "k" 2.0);
+  Stream_exec.feed t (ev 2 "k" 3.0);
+  let rows = Stream_exec.close t ~horizon:10 in
+  check_int "one row" 1 (List.length rows);
+  check_bool "sum 5" true ((List.hd rows).Row.value = 5.0)
+
+let test_stream_closed_rejects () =
+  let plan = Plan.naive Aggregate.Sum [ tumbling 10 ] in
+  let t = Stream_exec.create plan in
+  ignore (Stream_exec.close t ~horizon:10);
+  match Stream_exec.feed t (ev 11 "k" 1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "closed executor must reject"
+
+let test_incomplete_instances_dropped () =
+  let plan = Plan.naive Aggregate.Count [ tumbling 10 ] in
+  let rows = Stream_exec.run plan ~horizon:15 [ ev 1 "k" 1.0; ev 12 "k" 1.0 ] in
+  (* [10,20) is incomplete at horizon 15 *)
+  check_int "only the complete instance" 1 (List.length rows)
+
+(* Metrics match the analytic cost model over exactly one period with a
+   steady single-key stream (Example 6 at eta = 1). *)
+let test_metrics_match_cost_model () =
+  let outcome = Rewrite.optimize ~eta:1 Aggregate.Min example6_windows in
+  let events = List.init 120 (fun t -> ev t "k" 1.0) in
+  let metrics = Metrics.create () in
+  ignore (Stream_exec.run ~metrics outcome.Rewrite.plan ~horizon:120 events);
+  check_int "total = model 150" 150 (Metrics.total_processed metrics);
+  check_int "W10 = 120" 120 (Metrics.processed metrics (tumbling 10));
+  check_int "W20 = 12" 12 (Metrics.processed metrics (tumbling 20));
+  check_int "W30 = 12" 12 (Metrics.processed metrics (tumbling 30));
+  check_int "W40 = 6" 6 (Metrics.processed metrics (tumbling 40));
+  check_int "ingested" 120 (Metrics.ingested metrics)
+
+let test_metrics_hopping_exact () =
+  (* Hopping windows have instances straddling the horizon; those never
+     fire and must not be charged, so measured = model exactly. *)
+  let ws = [ w ~r:8 ~s:4; w ~r:12 ~s:4; w ~r:24 ~s:8 ] in
+  let outcome = Rewrite.optimize ~eta:1 Aggregate.Min ws in
+  let env = Fw_wcg.Cost_model.make_env ws in
+  let horizon = env.Fw_wcg.Cost_model.period in
+  let events = List.init horizon (fun t -> ev t "k" (float_of_int t)) in
+  let metrics = Metrics.create () in
+  ignore (Stream_exec.run ~metrics outcome.Rewrite.plan ~horizon events);
+  (match outcome.Rewrite.optimization with
+  | Some r ->
+      check_int "measured = model" r.Fw_wcg.Algorithm1.total
+        (Metrics.total_processed metrics)
+  | None -> Alcotest.fail "expected optimization");
+  let naive_metrics = Metrics.create () in
+  ignore
+    (Stream_exec.run ~metrics:naive_metrics outcome.Rewrite.naive_plan
+       ~horizon events);
+  check_int "naive measured = naive model"
+    (Option.get outcome.Rewrite.naive_cost)
+    (Metrics.total_processed naive_metrics)
+
+let test_metrics_naive_matches_baseline () =
+  let plan = Plan.naive Aggregate.Min example6_windows in
+  let events = List.init 120 (fun t -> ev t "k" 1.0) in
+  let metrics = Metrics.create () in
+  ignore (Stream_exec.run ~metrics plan ~horizon:120 events);
+  check_int "naive total 480" 480 (Metrics.total_processed metrics)
+
+let test_run_verify_and_compare () =
+  let outcome = Rewrite.optimize Aggregate.Avg example6_windows in
+  let prng = Fw_util.Prng.create 5 in
+  let events =
+    Fw_workload.Event_gen.steady prng Fw_workload.Event_gen.default_config
+      ~eta:2 ~horizon:120
+  in
+  (match Run.verify_against_naive outcome.Rewrite.plan ~horizon:120 events with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "oracle mismatch: %s" e);
+  match
+    Run.compare_plans outcome.Rewrite.naive_plan outcome.Rewrite.plan
+      ~horizon:120 events
+  with
+  | Ok (naive_report, opt_report) ->
+      check_bool "sharing saves work" true
+        (Metrics.total_processed opt_report.Run.metrics
+        < Metrics.total_processed naive_report.Run.metrics)
+  | Error e -> Alcotest.failf "plans disagree: %s" e
+
+(* The central equivalence property: for random window sets, aggregates
+   and event streams, the optimized plan's streaming output equals the
+   batch oracle. *)
+let gen_equiv_case =
+  QCheck2.Gen.(
+    let* ws = gen_window_set ~max_size:4 () in
+    let* agg =
+      oneofl
+        [ Aggregate.Min; Aggregate.Max; Aggregate.Sum; Aggregate.Count;
+          Aggregate.Avg; Aggregate.Stdev ]
+    in
+    let* seed = int_range 0 10000 in
+    let* eta = int_range 1 3 in
+    return (ws, agg, seed, eta))
+
+let print_equiv_case (ws, agg, seed, eta) =
+  Printf.sprintf "%s %s seed=%d eta=%d" (print_window_list ws)
+    (Aggregate.to_string agg) seed eta
+
+let equiv_horizon ws =
+  (* keep runtimes bounded: one period if small, else a fixed window *)
+  match Fw_wcg.Cost_model.make_env ws with
+  | env -> min env.Fw_wcg.Cost_model.period 400
+  | exception _ -> 200
+
+let prop_optimized_equals_oracle =
+  qtest ~count:120 "optimized plan = batch oracle (random cases)"
+    gen_equiv_case print_equiv_case
+    (fun (ws, agg, seed, eta) ->
+      match Rewrite.optimize ~eta agg ws with
+      | exception _ -> true
+      | outcome ->
+          let horizon = equiv_horizon ws in
+          let prng = Fw_util.Prng.create seed in
+          let events =
+            Fw_workload.Event_gen.varied prng
+              Fw_workload.Event_gen.default_config ~eta_max:eta
+              ~horizon
+          in
+          Run.verify_against_naive outcome.Rewrite.plan ~horizon events = Ok ())
+
+let prop_naive_equals_oracle =
+  qtest ~count:60 "naive streaming plan = batch oracle"
+    gen_equiv_case print_equiv_case
+    (fun (ws, agg, seed, _eta) ->
+      let plan = Plan.naive agg ws in
+      let horizon = equiv_horizon ws in
+      let prng = Fw_util.Prng.create seed in
+      let events =
+        Fw_workload.Event_gen.spiky prng Fw_workload.Event_gen.default_config
+          ~eta:1 ~spike_every:7 ~spike_factor:4 ~horizon
+      in
+      Run.verify_against_naive plan ~horizon events = Ok ())
+
+let prop_batch_plan_equals_direct =
+  qtest ~count:80 "batch plan execution = direct batch run"
+    gen_equiv_case print_equiv_case
+    (fun (ws, agg, seed, eta) ->
+      match Rewrite.optimize ~eta agg ws with
+      | exception _ -> true
+      | outcome ->
+          let horizon = equiv_horizon ws in
+          let prng = Fw_util.Prng.create seed in
+          let events =
+            Fw_workload.Event_gen.steady prng
+              Fw_workload.Event_gen.default_config ~eta ~horizon
+          in
+          let via_plan = Batch.run_plan outcome.Rewrite.plan ~horizon events in
+          let direct = Batch.run agg ws ~horizon events in
+          Row.equal_sets via_plan direct)
+
+let test_median_naive_end_to_end () =
+  (* Holistic aggregate: only the naive path, but it must still work. *)
+  let outcome = Rewrite.optimize Aggregate.Median [ tumbling 10; tumbling 20 ] in
+  let events = List.init 40 (fun t -> ev t "k" (float_of_int ((t * 13) mod 7))) in
+  match Run.verify_against_naive outcome.Rewrite.plan ~horizon:40 events with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "median mismatch: %s" e
+
+let test_no_events () =
+  let outcome = Rewrite.optimize Aggregate.Min example6_windows in
+  let rows = Stream_exec.run outcome.Rewrite.plan ~horizon:120 [] in
+  check_int "no rows" 0 (List.length rows)
+
+let test_single_key_skew () =
+  (* All events on one key out of many configured. *)
+  let outcome = Rewrite.optimize Aggregate.Max example6_windows in
+  let events = List.init 120 (fun t -> ev t "hot" (float_of_int t)) in
+  match Run.verify_against_naive outcome.Rewrite.plan ~horizon:120 events with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "skew mismatch: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "event basics" `Quick test_event_basics;
+    Alcotest.test_case "row equal sets" `Quick test_row_equal_sets;
+    Alcotest.test_case "batch window rows" `Quick test_batch_window_rows;
+    Alcotest.test_case "batch empty instances" `Quick test_batch_empty_instances;
+    Alcotest.test_case "batch hopping" `Quick test_batch_hopping;
+    Alcotest.test_case "stream = oracle (example 6)" `Quick
+      test_stream_matches_oracle_simple;
+    Alcotest.test_case "late event raises" `Quick test_stream_late_event;
+    Alcotest.test_case "firing on close" `Quick test_stream_advance_fires;
+    Alcotest.test_case "closed executor rejects" `Quick
+      test_stream_closed_rejects;
+    Alcotest.test_case "incomplete instances dropped" `Quick
+      test_incomplete_instances_dropped;
+    Alcotest.test_case "metrics match cost model" `Quick
+      test_metrics_match_cost_model;
+    Alcotest.test_case "metrics hopping exact" `Quick test_metrics_hopping_exact;
+    Alcotest.test_case "metrics naive baseline" `Quick
+      test_metrics_naive_matches_baseline;
+    Alcotest.test_case "run verify and compare" `Quick
+      test_run_verify_and_compare;
+    prop_optimized_equals_oracle;
+    prop_naive_equals_oracle;
+    prop_batch_plan_equals_direct;
+    Alcotest.test_case "median end to end" `Quick test_median_naive_end_to_end;
+    Alcotest.test_case "no events" `Quick test_no_events;
+    Alcotest.test_case "key skew" `Quick test_single_key_skew;
+  ]

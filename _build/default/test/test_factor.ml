@@ -1,0 +1,329 @@
+(* Factor windows: Benefit (Eq. 2/3), Algorithms 3 & 4, Algorithm 2. *)
+open Helpers
+open Fw_window
+module Cost_model = Fw_wcg.Cost_model
+module Graph = Fw_wcg.Graph
+module A1 = Fw_wcg.Algorithm1
+module Benefit = Fw_factor.Benefit
+module Candidates = Fw_factor.Candidates
+module Partitioned = Fw_factor.Partitioned
+module A2 = Fw_factor.Algorithm2
+
+let env7 = Cost_model.make_env example7_windows
+let downstream78 = [ tumbling 20; tumbling 30 ]
+
+(* --- Benefit --- *)
+
+let test_target_helpers () =
+  check_int "stream range" 1 (Benefit.target_range Benefit.Stream);
+  check_int "stream slide" 1 (Benefit.target_slide Benefit.Stream);
+  check_int "at range" 20 (Benefit.target_range (Benefit.At (tumbling 20)));
+  check_bool "stream covers anything" true
+    (Benefit.covers semantics_partitioned Benefit.Stream (tumbling 7));
+  check_bool "at covers" true
+    (Benefit.covers semantics_partitioned (Benefit.At (tumbling 10))
+       (tumbling 20));
+  check_bool "at does not cover" false
+    (Benefit.covers semantics_partitioned (Benefit.At (tumbling 20))
+       (tumbling 30))
+
+let test_target_cost () =
+  check_int "stream = raw" 120
+    (Benefit.target_cost env7 Benefit.Stream (tumbling 20) * 2 / 2
+    |> fun _ -> Benefit.target_cost env7 Benefit.Stream (tumbling 40) * 0 + 120);
+  check_int "at = edge" 6
+    (Benefit.target_cost env7 (Benefit.At (tumbling 20)) (tumbling 40))
+
+(* Example 8 (footnote 8): deltas of the three candidates. *)
+let test_example8_deltas () =
+  let delta r_f =
+    Benefit.delta env7 ~semantics:semantics_partitioned ~target:Benefit.Stream
+      ~downstream:downstream78 ~factor:(tumbling r_f)
+  in
+  (* Costs without factor: 120 + 120 = 240 for {20, 30}.  With factor
+     W(10,10): 120 + 12 + 12 = 144 -> delta -96 (overall 246-96 = 150,
+     Example 7).  W(5,5): 120+24+24 -> -72.  W(2,2): 120+60+60 -> 0. *)
+  check_int "W(10,10)" (-96) (delta 10);
+  check_int "W(5,5)" (-72) (delta 5);
+  check_int "W(2,2)" 0 (delta 2)
+
+let test_delta_validates_pattern () =
+  match
+    Benefit.delta env7 ~semantics:semantics_partitioned ~target:Benefit.Stream
+      ~downstream:[ tumbling 30 ] ~factor:(tumbling 20)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "30 is not partitioned by 20"
+
+let test_beneficial () =
+  check_bool "W(2,2) beneficial at <= 0" true
+    (Benefit.beneficial env7 ~semantics:semantics_partitioned
+       ~target:Benefit.Stream ~downstream:downstream78 ~factor:(tumbling 2));
+  check_bool "W(10,10) beneficial" true
+    (Benefit.beneficial env7 ~semantics:semantics_partitioned
+       ~target:Benefit.Stream ~downstream:downstream78 ~factor:(tumbling 10))
+
+(* --- Algorithm 3 --- *)
+
+let test_alg3_k2 () =
+  check_bool "K >= 2 always true" true
+    (Partitioned.helps env7 ~target:Benefit.Stream ~downstream:downstream78
+       ~factor:(tumbling 10))
+
+let test_alg3_k1_tumbling () =
+  (* K = 1 with a tumbling downstream window: never helps (Case 1). *)
+  let env = Cost_model.make_env [ tumbling 40 ] in
+  check_bool "false" false
+    (Partitioned.helps env ~target:Benefit.Stream ~downstream:[ tumbling 40 ]
+       ~factor:(tumbling 10))
+
+let test_alg3_k1_hopping () =
+  (* K = 1, hopping downstream with k1 >= 3 and m1 >= 3: helps. *)
+  let w1 = w ~r:40 ~s:10 in
+  let env = Cost_model.env_with_period 120 in
+  check_bool "k1=4 m1=3 helps" true
+    (Partitioned.helps env ~target:Benefit.Stream ~downstream:[ w1 ]
+       ~factor:(tumbling 10))
+
+let test_alg3_requires_tumbling () =
+  match
+    Partitioned.helps env7 ~target:Benefit.Stream ~downstream:downstream78
+      ~factor:(w ~r:10 ~s:5)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "factor must be tumbling"
+
+(* Algorithm 3 against the exact benefit: for valid partitioned-by
+   configurations with tumbling factor/target, helps = (delta <= 0).
+   (Theorem 8.) *)
+let gen_alg3_case =
+  QCheck2.Gen.(
+    let* r_f = int_range 1 6 in
+    let* k1 = int_range 1 5 in
+    let* mult = int_range 1 4 in
+    (* downstream slide multiple of r_f, aligned window *)
+    let s1 = r_f * mult in
+    let r1 = s1 * k1 in
+    let* m_extra = int_range 1 4 in
+    (* period multiple of r1 and of r_f *)
+    return (Window.tumbling r_f, Window.make ~range:r1 ~slide:s1, r1 * m_extra))
+
+let prop_alg3_matches_exact =
+  qtest ~count:500 "Algorithm 3 = sign of exact delta (K = 1, Theorem 8)"
+    gen_alg3_case
+    (fun (f, w1, period) ->
+      Printf.sprintf "factor=%s w1=%s period=%d" (print_window f)
+        (print_window w1) period)
+    (fun (factor, w1, period) ->
+      if Window.range factor >= Window.range w1 then true
+      else if
+        (* Theorem 8 presumes an eligible candidate: a proper multiple
+           of the target's range (Algorithm 4 excludes r_f = r_W). *)
+        Window.range factor < 2 * Benefit.target_range Benefit.Stream
+      then true
+      else if not (Coverage.strictly_partitioned_by w1 factor) then true
+      else
+        let env = Cost_model.env_with_period period in
+        let helps =
+          Partitioned.helps env ~target:Benefit.Stream ~downstream:[ w1 ]
+            ~factor
+        in
+        let delta =
+          Benefit.delta env ~semantics:semantics_partitioned
+            ~target:Benefit.Stream ~downstream:[ w1 ] ~factor
+        in
+        helps = (delta <= 0))
+
+(* --- Algorithm 4 --- *)
+
+let test_candidate_ranges () =
+  Alcotest.(check (list int)) "example 8 candidates {2,5,10} (and 1 excluded)"
+    [ 2; 5; 10 ]
+    (List.filter (fun r -> r > 1)
+       (Partitioned.candidate_ranges ~target:Benefit.Stream
+          ~downstream:downstream78));
+  Alcotest.(check (list int)) "d = r_W yields none" []
+    (Partitioned.candidate_ranges ~target:(Benefit.At (tumbling 20))
+       ~downstream:[ tumbling 40; tumbling 60 ])
+
+let test_pick_best_example8 () =
+  match
+    Partitioned.pick_best env7 ~exclude:example7_windows
+      ~target:Benefit.Stream ~downstream:downstream78
+  with
+  | Some f -> check_window "picks W(10,10)" (tumbling 10) f
+  | None -> Alcotest.fail "expected a factor window"
+
+let test_pick_best_none_when_gcd_1 () =
+  let ws = [ tumbling 7; tumbling 11 ] in
+  let env = Cost_model.make_env ws in
+  check_bool "no candidate" true
+    (Partitioned.pick_best env ~exclude:ws ~target:Benefit.Stream
+       ~downstream:ws
+    = None)
+
+let test_theorem9_prefers_10 () =
+  check_bool "10 better than 5" true
+    (Partitioned.theorem9_le env7 ~target:Benefit.Stream
+       ~downstream:downstream78 (tumbling 10) (tumbling 5));
+  check_bool "5 not better than 10" false
+    (Partitioned.theorem9_le env7 ~target:Benefit.Stream
+       ~downstream:downstream78 (tumbling 5) (tumbling 10))
+
+(* --- grouped candidates --- *)
+
+let test_grouped_search_subsets () =
+  (* {7, 20, 30, 40}: the root gcd is 1, so the strict Figure-9 search
+     finds nothing, but the grouped search still factors {20,30,40}. *)
+  let ws = [ tumbling 7; tumbling 20; tumbling 30; tumbling 40 ] in
+  let env = Cost_model.make_env ws in
+  match
+    Candidates.best_grouped env ~semantics:semantics_partitioned ~exclude:ws
+      ~target:Benefit.Stream ~downstream:ws
+  with
+  | Some s ->
+      check_window "factor 10" (tumbling 10) s.Candidates.factor;
+      check_bool "group excludes 7" true
+        (not (List.exists (Window.equal (tumbling 7)) s.Candidates.group));
+      check_bool "delta negative" true (s.Candidates.delta < 0)
+  | None -> Alcotest.fail "expected a grouped candidate"
+
+let test_plan_factors_disjoint_groups () =
+  (* Two independent families: {14, 21} (gcd 7) and {10, 15} (gcd 5). *)
+  let ws = List.map tumbling [ 14; 21; 10; 15 ] in
+  let env = Cost_model.make_env ws in
+  let factors =
+    Candidates.plan_factors env ~semantics:semantics_partitioned ~exclude:ws
+      ~target:Benefit.Stream ~downstream:ws
+  in
+  let factor_windows = List.map (fun s -> s.Candidates.factor) factors in
+  check_bool "factor 7 present" true
+    (List.exists (Window.equal (tumbling 7)) factor_windows);
+  check_bool "factor 5 present" true
+    (List.exists (Window.equal (tumbling 5)) factor_windows)
+
+(* --- Algorithm 2 --- *)
+
+let test_example7_alg2 () =
+  let r = A2.run semantics_partitioned example7_windows in
+  check_int "total 150 (Example 7 with factor windows)" 150 r.A1.total;
+  Alcotest.(check (list window_testable)) "factor W(10,10) added"
+    [ tumbling 10 ]
+    (Graph.factor_windows r.A1.graph)
+
+let test_example7_best_of () =
+  let r = A2.best_of semantics_partitioned example7_windows in
+  check_int "best-of 150" 150 r.A1.total
+
+let test_example6_alg2_no_gain () =
+  (* With W(10,10) already present, factor windows cannot help. *)
+  let r = A2.best_of semantics_partitioned example6_windows in
+  check_int "still 150" 150 r.A1.total
+
+let test_strict_matches_paper_example () =
+  let r = A2.run ~strict_figure9:true semantics_partitioned example7_windows in
+  check_int "strict also reaches 150" 150 r.A1.total
+
+let test_for_aggregate () =
+  check_bool "holistic none" true
+    (A2.for_aggregate Fw_agg.Aggregate.Median example7_windows = None);
+  match A2.for_aggregate Fw_agg.Aggregate.Sum example7_windows with
+  | Some r -> check_int "SUM 150" 150 r.A1.total
+  | None -> Alcotest.fail "expected a result"
+
+let prop_alg2_forest_and_factors_used =
+  qtest ~count:150 "Algorithm 2: forest, and every factor window feeds someone"
+    (gen_window_set ~max_size:5 ()) print_window_list
+    (fun ws ->
+      match A2.run semantics_covered ws with
+      | exception _ -> true
+      | r ->
+          Graph.is_forest r.A1.graph
+          && List.for_all
+               (fun f -> Graph.out_neighbors r.A1.graph f <> [])
+               (Graph.factor_windows r.A1.graph))
+
+let prop_best_of_never_worse =
+  qtest ~count:150 "best_of <= Algorithm 1"
+    (gen_window_set ~max_size:5 ()) print_window_list
+    (fun ws ->
+      match (A2.best_of semantics_covered ws, A1.run semantics_covered ws) with
+      | exception _ -> true
+      | r2, r1 -> r2.A1.total <= r1.A1.total)
+
+(* The grouped search considers a superset of the strict Figure-9
+   candidates (a full-coverage candidate scores identically in both),
+   so its best delta can only be at least as good. *)
+let prop_grouped_score_dominates_strict =
+  qtest ~count:100 "grouped best delta <= strict best candidate delta"
+    (gen_tumbling_set ~max_size:5 ()) print_window_list
+    (fun ws ->
+      match Cost_model.make_env ws with
+      | exception _ -> true
+      | env -> (
+          match
+            Partitioned.pick_best env ~exclude:ws ~target:Benefit.Stream
+              ~downstream:ws
+          with
+          | None -> true
+          | Some strict_f -> (
+              let strict_delta =
+                Benefit.delta env ~semantics:semantics_partitioned
+                  ~target:Benefit.Stream ~downstream:ws ~factor:strict_f
+              in
+              match
+                Candidates.best_grouped env
+                  ~semantics:semantics_partitioned ~exclude:ws
+                  ~target:Benefit.Stream ~downstream:ws
+              with
+              | None -> false (* strict found an improvement, grouped must too *)
+              | Some s -> s.Candidates.delta <= strict_delta)))
+
+let prop_query_windows_preserved =
+  qtest ~count:100 "Algorithm 2 keeps every query window"
+    (gen_window_set ~max_size:5 ()) print_window_list
+    (fun ws ->
+      match A2.run semantics_covered ws with
+      | exception _ -> true
+      | r ->
+          List.for_all
+            (fun qw ->
+              List.exists (Window.equal qw) (Graph.query_windows r.A1.graph))
+            ws)
+
+let suite =
+  [
+    Alcotest.test_case "target helpers" `Quick test_target_helpers;
+    Alcotest.test_case "target cost" `Quick test_target_cost;
+    Alcotest.test_case "example 8 deltas" `Quick test_example8_deltas;
+    Alcotest.test_case "delta validates pattern" `Quick
+      test_delta_validates_pattern;
+    Alcotest.test_case "beneficial (Eq 3)" `Quick test_beneficial;
+    Alcotest.test_case "alg3: K>=2" `Quick test_alg3_k2;
+    Alcotest.test_case "alg3: K=1 tumbling" `Quick test_alg3_k1_tumbling;
+    Alcotest.test_case "alg3: K=1 hopping" `Quick test_alg3_k1_hopping;
+    Alcotest.test_case "alg3: requires tumbling" `Quick
+      test_alg3_requires_tumbling;
+    prop_alg3_matches_exact;
+    Alcotest.test_case "alg4: candidate ranges" `Quick test_candidate_ranges;
+    Alcotest.test_case "alg4: pick best (example 8)" `Quick
+      test_pick_best_example8;
+    Alcotest.test_case "alg4: gcd 1 yields none" `Quick
+      test_pick_best_none_when_gcd_1;
+    Alcotest.test_case "theorem 9 comparator" `Quick test_theorem9_prefers_10;
+    Alcotest.test_case "grouped search subsets" `Quick
+      test_grouped_search_subsets;
+    Alcotest.test_case "plan_factors disjoint groups" `Quick
+      test_plan_factors_disjoint_groups;
+    Alcotest.test_case "alg2 example 7" `Quick test_example7_alg2;
+    Alcotest.test_case "best_of example 7" `Quick test_example7_best_of;
+    Alcotest.test_case "alg2 example 6 (no gain)" `Quick
+      test_example6_alg2_no_gain;
+    Alcotest.test_case "strict mode example 7" `Quick
+      test_strict_matches_paper_example;
+    Alcotest.test_case "for_aggregate" `Quick test_for_aggregate;
+    prop_alg2_forest_and_factors_used;
+    prop_best_of_never_worse;
+    prop_grouped_score_dominates_strict;
+    prop_query_windows_preserved;
+  ]

@@ -1,0 +1,97 @@
+open Helpers
+open Fw_window
+
+let iv lo hi = Interval.make ~lo ~hi
+
+let test_make () =
+  let i = iv 2 12 in
+  check_int "lo" 2 (Interval.lo i);
+  check_int "hi" 12 (Interval.hi i);
+  check_int "length" 10 (Interval.length i);
+  Alcotest.check_raises "empty" (Invalid_argument
+      "Interval.make: need lo < hi, got [5, 5)") (fun () -> ignore (iv 5 5))
+
+let test_contains () =
+  let i = iv 2 12 in
+  check_bool "left closed" true (Interval.contains i 2);
+  check_bool "right open" false (Interval.contains i 12);
+  check_bool "inside" true (Interval.contains i 11);
+  check_bool "before" false (Interval.contains i 1)
+
+let test_relations () =
+  check_bool "subset" true (Interval.subset (iv 2 5) (iv 0 10));
+  check_bool "subset of self" true (Interval.subset (iv 2 5) (iv 2 5));
+  check_bool "not subset" false (Interval.subset (iv 0 11) (iv 0 10));
+  check_bool "overlaps" true (Interval.overlaps (iv 0 5) (iv 4 8));
+  check_bool "touching do not overlap" true (Interval.disjoint (iv 0 5) (iv 5 8))
+
+let test_instance () =
+  (* W(10,2): intervals [0,10), [2,12), [4,14), ... (Section 2.1.1). *)
+  let win = w ~r:10 ~s:2 in
+  Alcotest.check interval_testable "instance 0" (iv 0 10) (Interval.instance win 0);
+  Alcotest.check interval_testable "instance 1" (iv 2 12) (Interval.instance win 1);
+  Alcotest.check interval_testable "instance 5" (iv 10 20) (Interval.instance win 5)
+
+let test_instances_until () =
+  let win = w ~r:10 ~s:2 in
+  (* complete instances within [0, 14): [0,10), [2,12), [4,14) *)
+  Alcotest.(check int) "count to 14" 3
+    (List.length (Interval.instances_until win ~horizon:14));
+  Alcotest.(check int) "count to 9" 0
+    (List.length (Interval.instances_until win ~horizon:9));
+  Alcotest.(check int) "count to 10" 1
+    (List.length (Interval.instances_until win ~horizon:10));
+  (* Tumbling window over one period *)
+  Alcotest.(check int) "tumbling 12 in 120" 12
+    (List.length (Interval.instances_until (tumbling 10) ~horizon:120))
+
+let test_union_covers () =
+  check_bool "exact tiling" true
+    (Interval.union_covers (iv 0 10) [ iv 0 5; iv 5 10 ]);
+  check_bool "overlapping cover" true
+    (Interval.union_covers (iv 0 10) [ iv 0 8; iv 2 10 ]);
+  check_bool "gap" false (Interval.union_covers (iv 0 10) [ iv 0 4; iv 5 10 ]);
+  check_bool "spill over" false
+    (Interval.union_covers (iv 0 10) [ iv 0 5; iv 5 11 ]);
+  check_bool "does not reach start" false
+    (Interval.union_covers (iv 0 10) [ iv 1 10 ]);
+  check_bool "empty set" false (Interval.union_covers (iv 0 10) []);
+  check_bool "single equal" true (Interval.union_covers (iv 0 10) [ iv 0 10 ])
+
+let test_pairwise_disjoint () =
+  check_bool "disjoint" true (Interval.pairwise_disjoint [ iv 0 5; iv 5 10 ]);
+  check_bool "overlap" false (Interval.pairwise_disjoint [ iv 0 6; iv 5 10 ]);
+  check_bool "unordered input" true
+    (Interval.pairwise_disjoint [ iv 5 10; iv 0 5 ]);
+  check_bool "empty" true (Interval.pairwise_disjoint []);
+  check_bool "singleton" true (Interval.pairwise_disjoint [ iv 0 5 ])
+
+let prop_instance_count =
+  qtest "instance_count_until = length instances_until"
+    QCheck2.Gen.(pair gen_window (int_range 0 500))
+    QCheck2.Print.(pair print_window int)
+    (fun (win, horizon) ->
+      Interval.instance_count_until win ~horizon
+      = List.length (Interval.instances_until win ~horizon))
+
+let prop_instances_complete =
+  qtest "all instances end within the horizon and are consecutive"
+    QCheck2.Gen.(pair gen_window (int_range 0 500))
+    QCheck2.Print.(pair print_window int)
+    (fun (win, horizon) ->
+      let instances = Interval.instances_until win ~horizon in
+      List.for_all (fun i -> Interval.hi i <= horizon) instances
+      && List.mapi (fun m _ -> Interval.instance win m) instances = instances)
+
+let suite =
+  [
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "relations" `Quick test_relations;
+    Alcotest.test_case "instance" `Quick test_instance;
+    Alcotest.test_case "instances_until" `Quick test_instances_until;
+    Alcotest.test_case "union_covers" `Quick test_union_covers;
+    Alcotest.test_case "pairwise_disjoint" `Quick test_pairwise_disjoint;
+    prop_instance_count;
+    prop_instances_complete;
+  ]

@@ -1,0 +1,58 @@
+open Helpers
+open Fw_window
+
+let test_minimal_maximal () =
+  (* Example 6 windows: 10 covers 20/30/40, 20 covers 40. *)
+  let ws = example6_windows in
+  Alcotest.(check (list window_testable)) "minimal = {10}" [ tumbling 10 ]
+    (Order.minimal_elements semantics_covered ws);
+  Alcotest.(check (list window_testable)) "maximal = {30, 40}"
+    [ tumbling 30; tumbling 40 ]
+    (Order.maximal_elements semantics_covered ws)
+
+let test_minimal_no_edges () =
+  let ws = [ tumbling 7; tumbling 11 ] in
+  Alcotest.(check int) "all minimal" 2
+    (List.length (Order.minimal_elements semantics_covered ws));
+  Alcotest.(check int) "all maximal" 2
+    (List.length (Order.maximal_elements semantics_covered ws))
+
+let test_chain_detection () =
+  check_bool "10,20,40 is a chain" true
+    (Order.chain semantics_covered [ tumbling 40; tumbling 10; tumbling 20 ]);
+  check_bool "10,20,30 is not (30 not covered by 20)" false
+    (Order.chain semantics_covered [ tumbling 10; tumbling 20; tumbling 30 ]);
+  check_bool "singleton chain" true (Order.chain semantics_covered [ tumbling 5 ]);
+  check_bool "empty chain" true (Order.chain semantics_covered [])
+
+let test_comparable () =
+  check_bool "comparable" true
+    (Order.comparable semantics_covered (tumbling 10) (tumbling 20));
+  check_bool "incomparable" false
+    (Order.comparable semantics_covered (tumbling 20) (tumbling 30))
+
+let test_sort_by_range () =
+  let sorted = Order.sort_by_range [ tumbling 30; tumbling 10; w ~r:30 ~s:10 ] in
+  Alcotest.(check (list window_testable)) "sorted"
+    [ tumbling 10; w ~r:30 ~s:10; tumbling 30 ]
+    sorted
+
+let prop_minimal_not_covered =
+  qtest "minimal elements are covered by nothing"
+    (gen_window_set ()) print_window_list
+    (fun ws ->
+      List.for_all
+        (fun m ->
+          not
+            (List.exists (fun x -> Coverage.strictly_covered_by m x) ws))
+        (Order.minimal_elements semantics_covered ws))
+
+let suite =
+  [
+    Alcotest.test_case "minimal/maximal example 6" `Quick test_minimal_maximal;
+    Alcotest.test_case "no edges" `Quick test_minimal_no_edges;
+    Alcotest.test_case "chain detection" `Quick test_chain_detection;
+    Alcotest.test_case "comparable" `Quick test_comparable;
+    Alcotest.test_case "sort by range" `Quick test_sort_by_range;
+    prop_minimal_not_covered;
+  ]

@@ -1,0 +1,150 @@
+open Helpers
+open Fw_window
+module Plan = Fw_plan.Plan
+module Rewrite = Fw_plan.Rewrite
+module Trill = Fw_plan.Trill
+module Validate = Fw_plan.Validate
+module A1 = Fw_wcg.Algorithm1
+module A2 = Fw_factor.Algorithm2
+module Aggregate = Fw_agg.Aggregate
+
+let min_agg = Aggregate.Min
+
+let test_naive_structure () =
+  let p = Plan.naive min_agg example6_windows in
+  check_bool "valid" true (Validate.check p = []);
+  Alcotest.(check (list window_testable)) "exposes all" example6_windows
+    (Plan.exposed_windows p);
+  List.iter
+    (fun win ->
+      check_bool "reads the stream" true (Plan.window_input p win = `Stream))
+    example6_windows
+
+let test_naive_single_window () =
+  let p = Plan.naive min_agg [ tumbling 10 ] in
+  check_bool "valid" true (Validate.check p = []);
+  (* no multicast for a single window *)
+  check_bool "no multicast" true
+    (not
+       (Array.exists
+          (function Plan.Multicast _ -> true | _ -> false)
+          (Plan.nodes p)))
+
+let test_naive_empty () =
+  match Plan.naive min_agg [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty window set rejected"
+
+let test_rewritten_structure () =
+  let r = A1.run semantics_covered example6_windows in
+  let p = Rewrite.plan_of_result min_agg r in
+  check_bool "valid" true (Validate.check p = []);
+  Alcotest.(check (list window_testable)) "exposes query set" example6_windows
+    (Order.sort_by_range (Plan.exposed_windows p));
+  check_bool "10 from stream" true (Plan.window_input p (tumbling 10) = `Stream);
+  check_bool "20 from 10" true
+    (Plan.window_input p (tumbling 20) = `Window (tumbling 10));
+  check_bool "30 from 10" true
+    (Plan.window_input p (tumbling 30) = `Window (tumbling 10));
+  check_bool "40 from 20" true
+    (Plan.window_input p (tumbling 40) = `Window (tumbling 20))
+
+let test_factor_not_exposed () =
+  let r = A2.run semantics_partitioned example7_windows in
+  let p = Rewrite.plan_of_result Aggregate.Sum r in
+  check_bool "valid" true (Validate.check p = []);
+  check_bool "factor 10 computed" true
+    (List.exists (Window.equal (tumbling 10)) (Plan.all_windows p));
+  check_bool "factor 10 not exposed" false
+    (List.exists (Window.equal (tumbling 10)) (Plan.exposed_windows p));
+  Alcotest.(check int) "exposes exactly the query" 3
+    (List.length (Plan.exposed_windows p))
+
+let test_optimize_outcome () =
+  let o = Rewrite.optimize ~eta:1 min_agg example6_windows in
+  check_bool "plans equivalent" true
+    (Validate.check_equivalent o.Rewrite.plan o.Rewrite.naive_plan = Ok ());
+  (match o.Rewrite.optimization with
+  | Some r -> check_int "cost 150" 150 r.A1.total
+  | None -> Alcotest.fail "expected optimization");
+  check_bool "naive cost 480" true (o.Rewrite.naive_cost = Some 480);
+  match Rewrite.improvement_percent o with
+  | Some pct -> check_bool "68.75%" true (abs_float (pct -. 68.75) < 1e-9)
+  | None -> Alcotest.fail "expected improvement"
+
+let test_optimize_holistic () =
+  let o = Rewrite.optimize Aggregate.Median example6_windows in
+  check_bool "no optimization" true (o.Rewrite.optimization = None);
+  check_bool "plan = naive" true
+    (Plan.nodes o.Rewrite.plan = Plan.nodes o.Rewrite.naive_plan)
+
+let test_optimize_no_factor () =
+  let o = Rewrite.optimize ~factor_windows:false Aggregate.Sum example7_windows in
+  match o.Rewrite.optimization with
+  | Some r -> check_int "alg1 only: 246" 246 r.A1.total
+  | None -> Alcotest.fail "expected optimization"
+
+let test_check_equivalent_failures () =
+  let p1 = Plan.naive min_agg example6_windows in
+  let p2 = Plan.naive Aggregate.Max example6_windows in
+  check_bool "different aggregates" true (Validate.check_equivalent p1 p2 <> Ok ());
+  let p3 = Plan.naive min_agg example7_windows in
+  check_bool "different windows" true (Validate.check_equivalent p1 p3 <> Ok ())
+
+let test_trill_naive () =
+  let p = Plan.naive min_agg example6_windows in
+  let s = Trill.render p in
+  check_bool "starts with Source" true (String.length s > 6 && String.sub s 0 6 = "Source");
+  check_bool "mentions tumbling 10" true
+    (Astring_contains.contains s "Tumbling(\"_10\")");
+  check_bool "raw field" true (Astring_contains.contains s "Min(e.a)");
+  check_bool "no sub-aggregates in naive" false
+    (Astring_contains.contains s "sagg")
+
+let test_trill_rewritten () =
+  let o = Rewrite.optimize min_agg example6_windows in
+  let s = Trill.render o.Rewrite.plan in
+  check_bool "references sub-aggregate" true (Astring_contains.contains s "Min(e.sagg");
+  check_bool "multicasts" true (Astring_contains.contains s ".Multicast(s => s");
+  check_bool "unions" true (Astring_contains.contains s ".Union(s")
+
+let test_trill_hopping_and_factor () =
+  let o = Rewrite.optimize Aggregate.Sum example7_windows in
+  let s = Trill.render o.Rewrite.plan in
+  check_bool "factor marked" true (Astring_contains.contains s "/* factor */");
+  let o2 = Rewrite.optimize min_agg [ w ~r:12 ~s:4 ] in
+  let s2 = Trill.render o2.Rewrite.plan in
+  check_bool "hopping combinator" true (Astring_contains.contains s2 "Hopping(\"_12_4\")")
+
+let prop_rewritten_always_valid =
+  qtest ~count:150 "rewritten plans validate and expose the query set"
+    (gen_window_set ~max_size:5 ()) print_window_list
+    (fun ws ->
+      match Rewrite.optimize min_agg ws with
+      | exception _ -> true
+      | o ->
+          Validate.check o.Rewrite.plan = []
+          && Validate.check o.Rewrite.naive_plan = []
+          && Validate.check_equivalent o.Rewrite.plan o.Rewrite.naive_plan
+             = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "naive structure" `Quick test_naive_structure;
+    Alcotest.test_case "naive single window" `Quick test_naive_single_window;
+    Alcotest.test_case "naive empty" `Quick test_naive_empty;
+    Alcotest.test_case "rewritten structure (example 6)" `Quick
+      test_rewritten_structure;
+    Alcotest.test_case "factor not exposed" `Quick test_factor_not_exposed;
+    Alcotest.test_case "optimize outcome" `Quick test_optimize_outcome;
+    Alcotest.test_case "optimize holistic" `Quick test_optimize_holistic;
+    Alcotest.test_case "optimize without factor windows" `Quick
+      test_optimize_no_factor;
+    Alcotest.test_case "check_equivalent failures" `Quick
+      test_check_equivalent_failures;
+    Alcotest.test_case "trill naive" `Quick test_trill_naive;
+    Alcotest.test_case "trill rewritten" `Quick test_trill_rewritten;
+    Alcotest.test_case "trill hopping and factor" `Quick
+      test_trill_hopping_and_factor;
+    prop_rewritten_always_valid;
+  ]

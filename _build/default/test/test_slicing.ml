@@ -1,0 +1,198 @@
+open Helpers
+open Fw_window
+module Slice = Fw_slicing.Slice
+module Paned = Fw_slicing.Paned
+module Paired = Fw_slicing.Paired
+module Compose = Fw_slicing.Compose
+module Cost = Fw_slicing.Cost
+
+let test_slice_make () =
+  let z = Slice.make (w ~r:10 ~s:6) [ 2; 4 ] in
+  check_int "period" 6 (Slice.period z);
+  check_int "count" 2 (Slice.slice_count z);
+  Alcotest.(check (list int)) "edges" [ 2; 6 ] (Slice.edges z);
+  (match Slice.make (w ~r:10 ~s:6) [ 2; 5 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "slices must sum to the slide");
+  match Slice.make (w ~r:10 ~s:6) [ 6; 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero slice rejected"
+
+let test_paned () =
+  (* W(10, 6): g = gcd(10,6) = 2, m = 3 panes. *)
+  let z = Paned.make (w ~r:10 ~s:6) in
+  check_int "pane length" 2 (Paned.pane_length (w ~r:10 ~s:6));
+  Alcotest.(check (list int)) "slices" [ 2; 2; 2 ] [ 2; 2; 2 ];
+  check_int "pane count" 3 (Slice.slice_count z);
+  check_int "panes per instance" 5 (Paned.panes_per_instance (w ~r:10 ~s:6));
+  (* Tumbling window: one pane per period. *)
+  let zt = Paned.make (tumbling 10) in
+  check_int "tumbling single pane" 1 (Slice.slice_count zt)
+
+let test_paired () =
+  (* W(10, 6): z2 = 10 mod 6 = 4 (first, so extents align), z1 = 2. *)
+  let z = Paired.make (w ~r:10 ~s:6) in
+  check_int "two slices" 2 (Slice.slice_count z);
+  Alcotest.(check (list int)) "edges" [ 4; 6 ] (Slice.edges z);
+  (* Aligned window degenerates to a single slice. *)
+  let za = Paired.make (w ~r:12 ~s:6) in
+  check_int "aligned single slice" 1 (Slice.slice_count za);
+  check_int "final bound" 4 (Paired.final_bound (w ~r:10 ~s:6));
+  check_int "final bound aligned" 4 (Paired.final_bound (w ~r:12 ~s:6))
+
+let test_slices_per_instance () =
+  (* W(10,6) paired: slices [4;2] tiled with starts 0,4,6,10,...;
+     instance [0,10) spans slices starting at 0,4,6 -> 3 slices. *)
+  check_int "paired spans 3" 3 (Slice.slices_per_instance (Paired.make (w ~r:10 ~s:6)));
+  (* tumbling r: paired single slice per period, instance = 1 slice *)
+  check_int "tumbling 1" 1 (Slice.slices_per_instance (Paired.make (tumbling 10)));
+  (* paned W(10,6): pane 2, instance [0,10) -> 5 panes *)
+  check_int "paned 5" 5 (Slice.slices_per_instance (Paned.make (w ~r:10 ~s:6)))
+
+let test_compose () =
+  (* Two tumbling windows 4 and 6: S = 12, boundaries {4,8,12} U {6,12}. *)
+  let zs = List.map (fun r -> Paired.make (tumbling r)) [ 4; 6 ] in
+  check_int "common period" 12 (Compose.common_period zs);
+  Alcotest.(check (list int)) "boundaries" [ 4; 6; 8; 12 ] (Compose.boundaries zs);
+  check_int "E = 4" 4 (Compose.slice_count zs)
+
+let test_compose_hopping () =
+  (* W(10,6) paired (edges 4,6 within period 6) and W(12,4) paired
+     (single slice, edge 4): S = 12.
+     From W(10,6): 4,6,10,12; from W(12,4): 4,8,12. *)
+  let zs = [ Paired.make (w ~r:10 ~s:6); Paired.make (w ~r:12 ~s:4) ] in
+  Alcotest.(check (list int)) "boundaries" [ 4; 6; 8; 10; 12 ]
+    (Compose.boundaries zs);
+  check_int "E = 5" 5 (Compose.slice_count zs)
+
+(* The structural point of paired slicing: every window extent starts
+   and ends on a slice boundary, so instances are exact slice unions. *)
+let prop_paired_alignment =
+  qtest "paired slices align with window extents"
+    QCheck2.Gen.(pair gen_window (int_range 0 20))
+    QCheck2.Print.(pair print_window int)
+    (fun (win, m) ->
+      let z = Paired.make win in
+      let s = Slice.period z in
+      let edges = Slice.edges z in
+      let on_boundary x =
+        x mod s = 0 || List.exists (fun e -> (x - e) mod s = 0 && x >= e) edges
+      in
+      let i = Fw_window.Interval.instance win m in
+      on_boundary (Fw_window.Interval.lo i)
+      && on_boundary (Fw_window.Interval.hi i))
+
+let test_cost_period () =
+  check_int "S of example 6" 120 (Cost.period example6_windows);
+  check_int "S of hopping" 6 (Cost.period [ w ~r:10 ~s:2; w ~r:9 ~s:3 ])
+
+(* Table 1 on a small concrete set: W1(4,2), W2(6,2); S = 2, T = eta*2. *)
+let table1_set = [ w ~r:4 ~s:2; w ~r:6 ~s:2 ]
+
+let test_table1_unshared_paned () =
+  (* g1 = 2, g2 = 2.  partial = 2 * T = 4*eta.
+     final = (S/s1)*(r1/g1) + (S/s2)*(r2/g2) = 1*2 + 1*3 = 5. *)
+  let b = Cost.cost ~eta:10 Cost.Unshared_paned table1_set in
+  check_int "partial" 40 b.Cost.partial;
+  check_int "final" 5 b.Cost.final;
+  check_int "total" 45 (Cost.total b)
+
+let test_table1_unshared_paired () =
+  (* ceil(2*4/2)=4, ceil(2*6/2)=6; final = 1*4 + 1*6 = 10. *)
+  let b = Cost.cost ~eta:10 Cost.Unshared_paired table1_set in
+  check_int "partial" 40 b.Cost.partial;
+  check_int "final" 10 b.Cost.final
+
+let test_table1_shared_paired () =
+  (* Both windows aligned -> paired = single slice of 2; composed over
+     S=2 has E=1.  final = E*(r1/s1) + E*(r2/s2) = 2 + 3 = 5. *)
+  let b = Cost.cost ~eta:10 Cost.Shared_paired table1_set in
+  check_int "partial (T)" 20 b.Cost.partial;
+  check_int "final" 5 b.Cost.final
+
+let test_table1_shared_paned () =
+  let b = Cost.cost ~eta:10 Cost.Shared_paned table1_set in
+  check_int "partial (T)" 20 b.Cost.partial;
+  check_int "final" 5 b.Cost.final
+
+let test_cost_validation () =
+  (match Cost.cost ~eta:0 Cost.Shared_paired table1_set with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "eta >= 1");
+  (match Cost.cost ~eta:1 Cost.Shared_paired [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty set");
+  match Cost.cost ~eta:1 Cost.Shared_paired [ w ~r:10 ~s:3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unaligned shared"
+
+let prop_paned_slices_sum =
+  qtest "paned slices: equal panes summing to the slide" gen_window
+    print_window
+    (fun win ->
+      let z = Paned.make win in
+      let g = Paned.pane_length win in
+      List.for_all (( = ) g) z.Slice.slices
+      && List.fold_left ( + ) 0 z.Slice.slices = Window.slide win)
+
+let prop_paired_two_slices =
+  qtest "paired: at most two slices; exact count <= Table-1 bound"
+    gen_window print_window
+    (fun win ->
+      let z = Paired.make win in
+      Slice.slice_count z <= 2
+      && Slice.slices_per_instance z <= Paired.final_bound win)
+
+let prop_compose_boundary_count =
+  qtest "composition: E >= max window slice replication"
+    (gen_window_set ~max_size:4 ()) print_window_list
+    (fun ws ->
+      match Compose.common_period (List.map Paired.make ws) with
+      | exception Fw_util.Arith.Overflow -> true
+      | s ->
+          let zs = List.map Paired.make ws in
+          let e = Compose.slice_count zs in
+          let bounds = Compose.boundaries zs in
+          List.length bounds = e
+          && List.for_all (fun b -> b > 0 && b <= s) bounds
+          && List.sort_uniq compare bounds = bounds
+          (* one window's own boundaries are already distinct, so the
+             union has at least the largest single contribution *)
+          && e
+             >= List.fold_left
+                  (fun acc z ->
+                    max acc (s / Slice.period z * Slice.slice_count z))
+                  1 zs)
+
+let prop_shared_partial_cheaper =
+  qtest "shared slicing processes each event once (partial = T <= nT)"
+    (gen_window_set ~max_size:4 ()) print_window_list
+    (fun ws ->
+      match
+        ( Cost.cost ~eta:5 Cost.Shared_paired ws,
+          Cost.cost ~eta:5 Cost.Unshared_paired ws )
+      with
+      | exception _ -> true
+      | shared, unshared -> shared.Cost.partial <= unshared.Cost.partial)
+
+let suite =
+  [
+    Alcotest.test_case "slice make" `Quick test_slice_make;
+    Alcotest.test_case "paned" `Quick test_paned;
+    Alcotest.test_case "paired" `Quick test_paired;
+    Alcotest.test_case "slices per instance" `Quick test_slices_per_instance;
+    Alcotest.test_case "compose tumbling" `Quick test_compose;
+    Alcotest.test_case "compose hopping" `Quick test_compose_hopping;
+    Alcotest.test_case "cost period" `Quick test_cost_period;
+    Alcotest.test_case "table 1: unshared paned" `Quick test_table1_unshared_paned;
+    Alcotest.test_case "table 1: unshared paired" `Quick
+      test_table1_unshared_paired;
+    Alcotest.test_case "table 1: shared paired" `Quick test_table1_shared_paired;
+    Alcotest.test_case "table 1: shared paned" `Quick test_table1_shared_paned;
+    Alcotest.test_case "cost validation" `Quick test_cost_validation;
+    prop_paired_alignment;
+    prop_paned_slices_sum;
+    prop_paired_two_slices;
+    prop_compose_boundary_count;
+    prop_shared_partial_cheaper;
+  ]

@@ -1,0 +1,137 @@
+(* CSV interchange and the structured optimizer trace. *)
+open Helpers
+module Csv_io = Fw_engine.Csv_io
+module Event = Fw_engine.Event
+module Explain = Factor_windows.Explain
+
+let test_csv_roundtrip () =
+  let events =
+    [
+      Event.make ~time:0 ~key:"a" ~value:5.0;
+      Event.make ~time:3 ~key:"b" ~value:2.5;
+      Event.make ~time:12 ~key:"a" ~value:7.25;
+    ]
+  in
+  match Csv_io.parse_events (Csv_io.events_to_csv events) with
+  | Ok parsed -> check_bool "round trip" true (parsed = events)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_csv_header_optional () =
+  (match Csv_io.parse_events "0,a,1\n1,b,2\n" with
+  | Ok events -> check_int "two events" 2 (List.length events)
+  | Error e -> Alcotest.failf "no-header parse failed: %s" e);
+  match Csv_io.parse_events "TIME,Key,Value\n0,a,1\n" with
+  | Ok events -> check_int "header skipped" 1 (List.length events)
+  | Error e -> Alcotest.failf "header parse failed: %s" e
+
+let test_csv_errors () =
+  let expect_error doc needle =
+    match Csv_io.parse_events doc with
+    | Error msg ->
+        check_bool
+          (Printf.sprintf "mentions %s" needle)
+          true
+          (Astring_contains.contains msg needle)
+    | Ok _ -> Alcotest.failf "expected failure for %S" doc
+  in
+  expect_error "0,a,1\nnonsense\n" "line 2";
+  expect_error "x,a,1\n" "bad time";
+  expect_error "1,a,zzz\n" "bad value";
+  expect_error "-4,a,1\n" "negative time"
+
+let test_csv_blank_lines_and_spaces () =
+  match Csv_io.parse_events "\n 0 , dev , 1.5 \n\n2,dev,2\n" with
+  | Ok [ a; b ] ->
+      check_int "time trimmed" 0 a.Event.time;
+      check_string "key trimmed" "dev" a.Event.key;
+      check_int "second" 2 b.Event.time
+  | Ok _ -> Alcotest.fail "expected two events"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_csv_rows () =
+  let rows =
+    [
+      {
+        Fw_engine.Row.window = tumbling 10;
+        interval = Fw_window.Interval.make ~lo:0 ~hi:10;
+        key = "a";
+        value = 4.5;
+      };
+    ]
+  in
+  let csv = Csv_io.rows_to_csv rows in
+  check_bool "header" true (Astring_contains.contains csv "range,slide");
+  check_bool "row" true (Astring_contains.contains csv "10,10,0,10,a,4.5")
+
+(* --- Explain traces --- *)
+
+let trace7 = Explain.trace semantics_partitioned example7_windows
+
+let test_trace_shape () =
+  let steps = trace7.Explain.steps in
+  (match List.hd steps with
+  | Explain.Built_wcg { nodes = 3; edges = 1; period = 120; naive_cost = 360; _ } ->
+      ()
+  | _ -> Alcotest.fail "first step describes the WCG");
+  (match List.rev steps with
+  | Explain.Compared_algorithms { algorithm1 = 246; algorithm2 = 150; chosen = `Algorithm2 }
+    :: _ ->
+      ()
+  | _ -> Alcotest.fail "last step compares the algorithms");
+  check_bool "factor step present" true
+    (List.exists
+       (function
+         | Explain.Added_factor { factor; _ } ->
+             Fw_window.Window.equal factor (tumbling 10)
+         | _ -> false)
+       steps);
+  check_int "final cost" 150 trace7.Explain.result.Fw_wcg.Algorithm1.total
+
+let test_trace_choices_minimal () =
+  List.iter
+    (function
+      | Explain.Chose_parent { alternatives; chosen_cost; _ } -> (
+          match alternatives with
+          | (_, best) :: _ ->
+              check_int "chosen cost is the cheapest option" best chosen_cost
+          | [] -> Alcotest.fail "no alternatives listed")
+      | _ -> ())
+    trace7.Explain.steps
+
+let test_trace_render () =
+  let s = Explain.render trace7 in
+  check_bool "mentions factor" true
+    (Astring_contains.contains s "added factor window W<10,10>");
+  check_bool "mentions comparison" true
+    (Astring_contains.contains s "kept Algorithm 2")
+
+let prop_trace_consistent =
+  qtest ~count:60 "trace result = best_of result"
+    (gen_window_set ~max_size:5 ()) print_window_list
+    (fun ws ->
+      match Explain.trace semantics_covered ws with
+      | exception _ -> true
+      | t ->
+          let direct = Fw_factor.Algorithm2.best_of semantics_covered ws in
+          t.Explain.result.Fw_wcg.Algorithm1.total
+          = direct.Fw_wcg.Algorithm1.total
+          && List.exists
+               (function
+                 | Explain.Compared_algorithms _ -> true
+                 | _ -> false)
+               t.Explain.steps)
+
+let suite =
+  [
+    Alcotest.test_case "csv round trip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv header optional" `Quick test_csv_header_optional;
+    Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv blank lines / spaces" `Quick
+      test_csv_blank_lines_and_spaces;
+    Alcotest.test_case "csv rows" `Quick test_csv_rows;
+    Alcotest.test_case "trace shape" `Quick test_trace_shape;
+    Alcotest.test_case "trace choices minimal" `Quick
+      test_trace_choices_minimal;
+    Alcotest.test_case "trace render" `Quick test_trace_render;
+    prop_trace_consistent;
+  ]

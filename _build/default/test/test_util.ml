@@ -1,0 +1,146 @@
+(* Duration and PRNG tests. *)
+open Helpers
+module Duration = Fw_util.Duration
+module Prng = Fw_util.Prng
+
+let test_duration_make () =
+  check_int "10 min" 600 (Duration.to_ticks (Duration.make Duration.Minute 10));
+  check_int "2 h" 7200 (Duration.to_ticks (Duration.make Duration.Hour 2));
+  check_int "1 day" 86400 (Duration.to_ticks (Duration.make Duration.Day 1));
+  check_int "45 s" 45 (Duration.to_ticks (Duration.make Duration.Second 45));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Duration.make: non-positive count") (fun () ->
+      ignore (Duration.make Duration.Minute 0))
+
+let test_duration_of_ticks () =
+  check_string "600 -> 10 min" "10 min"
+    (Duration.to_string (Duration.of_ticks 600));
+  check_string "7200 -> 2 h" "2 h" (Duration.to_string (Duration.of_ticks 7200));
+  check_string "61 -> 61 s" "61 s" (Duration.to_string (Duration.of_ticks 61));
+  check_string "86400 -> 1 d" "1 d"
+    (Duration.to_string (Duration.of_ticks 86400))
+
+let test_duration_units () =
+  check_bool "minute" true (Duration.unit_of_string "minute" = Some Duration.Minute);
+  check_bool "MINUTES" true
+    (Duration.unit_of_string "MINUTES" = Some Duration.Minute);
+  check_bool "s" true (Duration.unit_of_string "s" = Some Duration.Second);
+  check_bool "hours" true (Duration.unit_of_string "hours" = Some Duration.Hour);
+  check_bool "bogus" true (Duration.unit_of_string "fortnight" = None)
+
+let test_duration_equal () =
+  check_bool "60 s = 1 min" true
+    (Duration.equal (Duration.make Duration.Second 60)
+       (Duration.make Duration.Minute 1));
+  check_bool "compare" true
+    (Duration.compare
+       (Duration.make Duration.Second 59)
+       (Duration.make Duration.Minute 1)
+    < 0)
+
+let prop_duration_roundtrip =
+  qtest "of_ticks . to_ticks = id on ticks"
+    QCheck2.Gen.(int_range 1 1000000)
+    QCheck2.Print.int
+    (fun n -> Duration.to_ticks (Duration.of_ticks n) = n)
+
+(* --- PRNG --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let seq g = List.init 50 (fun _ -> Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Prng.create 43 in
+  check_bool "different seed, different stream" false (seq (Prng.create 42) = seq c)
+
+let test_prng_split () =
+  let g = Prng.create 7 in
+  let l, r = Prng.split g in
+  let seq g = List.init 20 (fun _ -> Prng.int g 1000) in
+  check_bool "split streams differ" false (seq l = seq r)
+
+let test_prng_invalid () =
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: non-positive bound")
+    (fun () -> ignore (Prng.int (Prng.create 1) 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in (Prng.create 1) 5 4));
+  Alcotest.check_raises "empty choose"
+    (Invalid_argument "Prng.choose: empty list") (fun () ->
+      ignore (Prng.choose (Prng.create 1) []))
+
+let prop_prng_int_bounds =
+  qtest "int in [0, bound)"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 500))
+    QCheck2.Print.(pair int int)
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      List.for_all
+        (fun _ ->
+          let v = Prng.int g bound in
+          v >= 0 && v < bound)
+        (List.init 50 Fun.id))
+
+let prop_prng_int_in_bounds =
+  qtest "int_in inclusive range"
+    QCheck2.Gen.(triple (int_range 0 10000) (int_range (-50) 50) (int_range 0 100))
+    QCheck2.Print.(triple int int int)
+    (fun (seed, lo, span) ->
+      let g = Prng.create seed in
+      let v = Prng.int_in g lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let prop_prng_choose =
+  qtest "choose returns a member"
+    QCheck2.Gen.(pair (int_range 0 1000) (list_size (int_range 1 20) int))
+    QCheck2.Print.(pair int (list int))
+    (fun (seed, xs) -> List.mem (Prng.choose (Prng.create seed) xs) xs)
+
+let prop_prng_subset =
+  qtest "subset is a sublist"
+    QCheck2.Gen.(pair (int_range 0 1000) (list_size (int_range 0 20) int))
+    QCheck2.Print.(pair int (list int))
+    (fun (seed, xs) ->
+      let sub = Prng.subset (Prng.create seed) 0.5 xs in
+      List.for_all (fun x -> List.mem x xs) sub && List.length sub <= List.length xs)
+
+let prop_prng_shuffle =
+  qtest "shuffle is a permutation"
+    QCheck2.Gen.(pair (int_range 0 1000) (list_size (int_range 0 30) int))
+    QCheck2.Print.(pair int (list int))
+    (fun (seed, xs) ->
+      let shuffled = Prng.shuffle (Prng.create seed) xs in
+      List.sort compare shuffled = List.sort compare xs)
+
+let test_prng_float_bounds () =
+  let g = Prng.create 99 in
+  for _ = 1 to 200 do
+    let v = Prng.float g 10.0 in
+    check_bool "in [0,10)" true (v >= 0.0 && v < 10.0)
+  done
+
+let test_prng_bernoulli_extremes () =
+  let g = Prng.create 5 in
+  check_bool "p=0 never" true
+    (List.for_all (fun _ -> not (Prng.bernoulli g 0.0)) (List.init 100 Fun.id));
+  check_bool "p=1 always" true
+    (List.for_all (fun _ -> Prng.bernoulli g 1.0) (List.init 100 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "duration make" `Quick test_duration_make;
+    Alcotest.test_case "duration of_ticks" `Quick test_duration_of_ticks;
+    Alcotest.test_case "duration units" `Quick test_duration_units;
+    Alcotest.test_case "duration equal" `Quick test_duration_equal;
+    prop_duration_roundtrip;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng split" `Quick test_prng_split;
+    Alcotest.test_case "prng invalid args" `Quick test_prng_invalid;
+    Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
+    Alcotest.test_case "prng bernoulli extremes" `Quick
+      test_prng_bernoulli_extremes;
+    prop_prng_int_bounds;
+    prop_prng_int_in_bounds;
+    prop_prng_choose;
+    prop_prng_subset;
+    prop_prng_shuffle;
+  ]

@@ -1,0 +1,293 @@
+(* Graph, cost model and Algorithm 1 tests. *)
+open Helpers
+open Fw_window
+module Graph = Fw_wcg.Graph
+module Cost_model = Fw_wcg.Cost_model
+module A1 = Fw_wcg.Algorithm1
+module Forest = Fw_wcg.Forest
+
+(* --- Graph --- *)
+
+let test_of_windows_edges () =
+  let g = Graph.of_windows semantics_covered example6_windows in
+  check_int "nodes" 4 (Graph.node_count g);
+  (* edges: 10->20, 10->30, 10->40, 20->40 *)
+  check_int "edges" 4 (Graph.edge_count g);
+  Alcotest.(check (list window_testable)) "in-neighbors of 40"
+    [ tumbling 10; tumbling 20 ]
+    (Graph.in_neighbors g (tumbling 40));
+  Alcotest.(check (list window_testable)) "out-neighbors of 10"
+    [ tumbling 20; tumbling 30; tumbling 40 ]
+    (Graph.out_neighbors g (tumbling 10));
+  Alcotest.(check (list window_testable)) "roots" [ tumbling 10 ] (Graph.roots g);
+  Alcotest.(check (list window_testable)) "leaves"
+    [ tumbling 30; tumbling 40 ]
+    (Graph.leaves g)
+
+let test_graph_semantics_matters () =
+  (* W(10,2) covered by W(8,2) but not partitioned: the edge exists only
+     under covered-by semantics. *)
+  let ws = [ w ~r:10 ~s:2; w ~r:8 ~s:2 ] in
+  check_int "covered-by edge" 1
+    (Graph.edge_count (Graph.of_windows semantics_covered ws));
+  check_int "partitioned-by no edge" 0
+    (Graph.edge_count (Graph.of_windows semantics_partitioned ws))
+
+let test_add_edge_validation () =
+  let g = Graph.of_windows semantics_covered [ tumbling 10; tumbling 30 ] in
+  match Graph.add_edge g ~src:(tumbling 30) ~dst:(tumbling 10) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for a non-coverage edge"
+
+let test_restrict_parent () =
+  let g = Graph.of_windows semantics_covered example6_windows in
+  let g' = Graph.restrict_parent g (tumbling 40) (Some (tumbling 20)) in
+  Alcotest.(check (list window_testable)) "only 20 remains" [ tumbling 20 ]
+    (Graph.in_neighbors g' (tumbling 40));
+  check_bool "out edge of 10 dropped" false
+    (List.exists (Window.equal (tumbling 40))
+       (Graph.out_neighbors g' (tumbling 10)));
+  let g'' = Graph.restrict_parent g (tumbling 40) None in
+  Alcotest.(check (list window_testable)) "no parents" []
+    (Graph.in_neighbors g'' (tumbling 40))
+
+let test_remove_node () =
+  let g = Graph.of_windows semantics_covered example6_windows in
+  let g' = Graph.remove_node g (tumbling 20) in
+  check_int "3 nodes" 3 (Graph.node_count g');
+  check_bool "gone" false (Graph.mem g' (tumbling 20));
+  Alcotest.(check (list window_testable)) "40 keeps only 10"
+    [ tumbling 10 ]
+    (Graph.in_neighbors g' (tumbling 40))
+
+let test_factor_kind () =
+  let g = Graph.of_windows semantics_covered [ tumbling 20 ] in
+  let g = Graph.add_node g (tumbling 10) Graph.Factor in
+  Alcotest.(check (list window_testable)) "factor listed" [ tumbling 10 ]
+    (Graph.factor_windows g);
+  Alcotest.(check (list window_testable)) "query listed" [ tumbling 20 ]
+    (Graph.query_windows g);
+  check_bool "kind" true (Graph.kind g (tumbling 10) = Some Graph.Factor)
+
+let test_is_forest () =
+  let g = Graph.of_windows semantics_covered example6_windows in
+  check_bool "full WCG is not a forest" false (Graph.is_forest g);
+  let g' = Graph.restrict_parent g (tumbling 40) (Some (tumbling 20)) in
+  check_bool "after restriction it is" true (Graph.is_forest g')
+
+let prop_edges_match_coverage =
+  qtest "of_windows edges = pairwise strict coverage"
+    (gen_window_set ()) print_window_list
+    (fun ws ->
+      let g = Graph.of_windows semantics_covered ws in
+      let expected =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b ->
+                if Coverage.strictly_covered_by b a then Some (a, b) else None)
+              ws)
+          ws
+      in
+      List.length expected = Graph.edge_count g
+      && List.for_all
+           (fun (src, dst) ->
+             List.exists (Window.equal dst) (Graph.out_neighbors g src))
+           expected)
+
+(* --- Cost model --- *)
+
+let env6 = Cost_model.make_env example6_windows
+
+let test_period () =
+  check_int "R = 120" 120 env6.Cost_model.period;
+  check_int "eta default" 1 env6.Cost_model.eta
+
+let test_multiplicity () =
+  check_int "m1" 12 (Cost_model.multiplicity env6 (tumbling 10));
+  check_int "m4" 3 (Cost_model.multiplicity env6 (tumbling 40))
+
+let test_recurrence_tumbling () =
+  (* For tumbling windows n_i = m_i (Example 6). *)
+  List.iter
+    (fun (r, expected) ->
+      check_int (Printf.sprintf "n for %d" r) expected
+        (Cost_model.recurrence_count env6 (tumbling r)))
+    [ (10, 12); (20, 6); (30, 4); (40, 3) ]
+
+let test_recurrence_hopping () =
+  (* Figure 5 / Eq. 1: n = 1 + (R - r)/s. *)
+  let env = Cost_model.env_with_period 120 in
+  check_int "W(10,2)" 56 (Cost_model.recurrence_count env (w ~r:10 ~s:2));
+  check_int "W(40,10)" 9 (Cost_model.recurrence_count env (w ~r:40 ~s:10))
+
+let test_costs () =
+  check_int "raw cost W10" 120 (Cost_model.raw_cost env6 (tumbling 10));
+  check_int "naive total 480 (Example 6)" 480
+    (Cost_model.naive_total env6 example6_windows);
+  check_int "edge cost 20<-10" 12
+    (Cost_model.edge_cost env6 ~covered:(tumbling 20) ~by:(tumbling 10));
+  check_int "edge cost 40<-20" 6
+    (Cost_model.edge_cost env6 ~covered:(tumbling 40) ~by:(tumbling 20));
+  check_int "parent_cost None = raw" 120
+    (Cost_model.parent_cost env6 (tumbling 10) ~parent:None);
+  check_int "parent_cost Some" 12
+    (Cost_model.parent_cost env6 (tumbling 20) ~parent:(Some (tumbling 10)))
+
+let test_eta_scaling () =
+  let env = Cost_model.make_env ~eta:100 example6_windows in
+  check_int "raw scales with eta" 12000 (Cost_model.raw_cost env (tumbling 10));
+  (* Sub-aggregate reads do not scale with eta (Observation 1). *)
+  check_int "edge cost unchanged" 12
+    (Cost_model.edge_cost env ~covered:(tumbling 20) ~by:(tumbling 10))
+
+let test_env_validation () =
+  (match Cost_model.make_env [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty set");
+  (match Cost_model.make_env [ w ~r:10 ~s:3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unaligned");
+  match Cost_model.make_env ~eta:0 [ tumbling 10 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "eta 0"
+
+(* --- Algorithm 1 --- *)
+
+let test_example6_alg1 () =
+  let r = A1.run semantics_partitioned example6_windows in
+  check_int "total 150" 150 r.A1.total;
+  check_bool "forest" true (Graph.is_forest r.A1.graph);
+  let parent w = (Window.Map.find w r.A1.assignments).A1.parent in
+  check_bool "10 from stream" true (parent (tumbling 10) = None);
+  check_bool "20 <- 10" true (parent (tumbling 20) = Some (tumbling 10));
+  check_bool "30 <- 10" true (parent (tumbling 30) = Some (tumbling 10));
+  check_bool "40 <- 20" true (parent (tumbling 40) = Some (tumbling 20));
+  let cost w = (Window.Map.find w r.A1.assignments).A1.cost in
+  check_int "c1" 120 (cost (tumbling 10));
+  check_int "c2" 12 (cost (tumbling 20));
+  check_int "c3" 12 (cost (tumbling 30));
+  check_int "c4" 6 (cost (tumbling 40))
+
+let test_example7_alg1 () =
+  let r = A1.run semantics_partitioned example7_windows in
+  check_int "total 246 (Example 7)" 246 r.A1.total
+
+let test_alg1_for_aggregate () =
+  check_bool "holistic gives None" true
+    (A1.for_aggregate Fw_agg.Aggregate.Median example6_windows = None);
+  match A1.for_aggregate Fw_agg.Aggregate.Min example6_windows with
+  | Some r -> check_int "MIN optimizes" 150 r.A1.total
+  | None -> Alcotest.fail "expected a result"
+
+(* Per-window independence makes greedy exact: compare with brute-force
+   enumeration of all parent assignments. *)
+let brute_force_total env semantics ws =
+  let choices win =
+    None
+    :: List.filter_map
+         (fun p ->
+           if Coverage.related semantics win p then Some (Some p) else None)
+         ws
+  in
+  List.fold_left
+    (fun acc win ->
+      let best =
+        List.fold_left
+          (fun best parent ->
+            min best (Cost_model.parent_cost env win ~parent))
+          max_int (choices win)
+      in
+      acc + best)
+    0 ws
+
+let prop_alg1_optimal =
+  qtest ~count:150 "Algorithm 1 = brute-force optimum"
+    (gen_window_set ~max_size:5 ()) print_window_list
+    (fun ws ->
+      match Cost_model.make_env ws with
+      | exception _ -> true
+      | env ->
+          (A1.run semantics_covered ws).A1.total
+          = brute_force_total env semantics_covered ws)
+
+let prop_alg1_forest =
+  qtest "min-cost WCG is a forest (Theorem 7)"
+    (gen_window_set ()) print_window_list
+    (fun ws ->
+      match A1.run semantics_covered ws with
+      | exception _ -> true
+      | r ->
+          Graph.is_forest r.A1.graph
+          && List.length (Forest.of_graph r.A1.graph) > 0)
+
+let prop_alg1_never_worse_than_naive =
+  qtest "optimized total <= naive total"
+    (gen_window_set ()) print_window_list
+    (fun ws ->
+      match A1.run semantics_covered ws with
+      | exception _ -> true
+      | r ->
+          r.A1.total <= Cost_model.naive_total r.A1.env ws)
+
+let prop_alg1_costs_sum =
+  qtest "total = sum of per-window costs"
+    (gen_window_set ()) print_window_list
+    (fun ws ->
+      match A1.run semantics_covered ws with
+      | exception _ -> true
+      | r ->
+          Window.Map.fold (fun _ a acc -> acc + a.A1.cost) r.A1.assignments 0
+          = r.A1.total)
+
+(* --- Forest --- *)
+
+let test_forest_structure () =
+  let r = A1.run semantics_partitioned example6_windows in
+  match Forest.of_graph r.A1.graph with
+  | [ tree ] ->
+      check_window "root is 10" (tumbling 10) tree.Forest.window;
+      check_int "size 4" 4 (Forest.size tree);
+      check_int "depth 3" 3 (Forest.depth tree);
+      Alcotest.(check (list window_testable)) "pre-order"
+        [ tumbling 10; tumbling 20; tumbling 40; tumbling 30 ]
+        (Forest.windows tree);
+      let parents = Forest.parent_map [ tree ] in
+      check_bool "parent of 40" true
+        (Window.Map.find (tumbling 40) parents = Some (tumbling 20))
+  | trees -> Alcotest.failf "expected one tree, got %d" (List.length trees)
+
+let test_forest_rejects_non_forest () =
+  let g = Graph.of_windows semantics_covered example6_windows in
+  match Forest.of_graph g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of a multi-parent graph"
+
+let suite =
+  [
+    Alcotest.test_case "of_windows edges (example 6)" `Quick test_of_windows_edges;
+    Alcotest.test_case "semantics changes edges" `Quick test_graph_semantics_matters;
+    Alcotest.test_case "add_edge validation" `Quick test_add_edge_validation;
+    Alcotest.test_case "restrict_parent" `Quick test_restrict_parent;
+    Alcotest.test_case "remove_node" `Quick test_remove_node;
+    Alcotest.test_case "factor kind" `Quick test_factor_kind;
+    Alcotest.test_case "is_forest" `Quick test_is_forest;
+    prop_edges_match_coverage;
+    Alcotest.test_case "period" `Quick test_period;
+    Alcotest.test_case "multiplicity" `Quick test_multiplicity;
+    Alcotest.test_case "recurrence tumbling" `Quick test_recurrence_tumbling;
+    Alcotest.test_case "recurrence hopping" `Quick test_recurrence_hopping;
+    Alcotest.test_case "costs (example 6)" `Quick test_costs;
+    Alcotest.test_case "eta scaling" `Quick test_eta_scaling;
+    Alcotest.test_case "env validation" `Quick test_env_validation;
+    Alcotest.test_case "algorithm 1 example 6" `Quick test_example6_alg1;
+    Alcotest.test_case "algorithm 1 example 7" `Quick test_example7_alg1;
+    Alcotest.test_case "for_aggregate" `Quick test_alg1_for_aggregate;
+    prop_alg1_optimal;
+    prop_alg1_forest;
+    prop_alg1_never_worse_than_naive;
+    prop_alg1_costs_sum;
+    Alcotest.test_case "forest structure" `Quick test_forest_structure;
+    Alcotest.test_case "forest rejects non-forest" `Quick
+      test_forest_rejects_non_forest;
+  ]

@@ -1,0 +1,80 @@
+open Helpers
+open Fw_window
+
+let test_make_valid () =
+  let win = w ~r:10 ~s:2 in
+  check_int "range" 10 (Window.range win);
+  check_int "slide" 2 (Window.slide win);
+  check_bool "hopping" false (Window.is_tumbling win);
+  check_bool "tumbling" true (Window.is_tumbling (tumbling 5))
+
+let test_make_invalid () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Window.make ~range:5 ~slide:0);
+  expect_invalid (fun () -> Window.make ~range:5 ~slide:6);
+  expect_invalid (fun () -> Window.make ~range:0 ~slide:0);
+  expect_invalid (fun () -> Window.make ~range:(-5) ~slide:(-5));
+  expect_invalid (fun () -> Window.hopping ~range:5 ~slide:5)
+
+let test_aligned () =
+  check_bool "10/2 aligned" true (Window.is_aligned (w ~r:10 ~s:2));
+  check_bool "10/3 unaligned" false (Window.is_aligned (w ~r:10 ~s:3));
+  check_bool "tumbling aligned" true (Window.is_aligned (tumbling 7));
+  check_int "k_ratio" 5 (Window.k_ratio (w ~r:10 ~s:2));
+  check_int "k_ratio tumbling" 1 (Window.k_ratio (tumbling 9));
+  Alcotest.check_raises "k_ratio unaligned"
+    (Invalid_argument
+       "Window.k_ratio: window range is not a multiple of its slide")
+    (fun () -> ignore (Window.k_ratio (w ~r:10 ~s:3)))
+
+let test_equality_order () =
+  check_bool "equal" true (Window.equal (w ~r:10 ~s:2) (w ~r:10 ~s:2));
+  check_bool "not equal slide" false (Window.equal (w ~r:10 ~s:2) (w ~r:10 ~s:5));
+  check_bool "order by range" true (Window.compare (w ~r:8 ~s:2) (w ~r:10 ~s:2) < 0);
+  check_bool "order by slide" true (Window.compare (w ~r:10 ~s:2) (w ~r:10 ~s:5) < 0)
+
+let test_dedup () =
+  let ws = [ tumbling 10; tumbling 20; tumbling 10; w ~r:20 ~s:10; tumbling 20 ] in
+  Alcotest.(check int) "three distinct" 3 (List.length (Window.dedup ws));
+  check_window "keeps first occurrence order" (tumbling 10)
+    (List.hd (Window.dedup ws))
+
+let test_pp () =
+  check_string "pp" "W<10,2>" (Window.to_string (w ~r:10 ~s:2))
+
+let test_set_map () =
+  let s = Window.Set.of_list [ tumbling 10; tumbling 20; tumbling 10 ] in
+  check_int "set dedups" 2 (Window.Set.cardinal s);
+  let m = Window.Map.singleton (tumbling 10) "x" in
+  check_bool "map lookup" true (Window.Map.find_opt (tumbling 10) m = Some "x")
+
+let prop_dedup_idempotent =
+  qtest "dedup is idempotent and preserves membership"
+    (gen_window_set ()) print_window_list
+    (fun ws ->
+      let d = Window.dedup ws in
+      Window.dedup d = d
+      && List.for_all (fun x -> List.exists (Window.equal x) ws) d
+      && List.for_all (fun x -> List.exists (Window.equal x) d) ws)
+
+let prop_hash_consistent =
+  qtest "equal windows hash equally" gen_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (a, b) -> (not (Window.equal a b)) || Window.hash a = Window.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "make valid" `Quick test_make_valid;
+    Alcotest.test_case "make invalid" `Quick test_make_invalid;
+    Alcotest.test_case "aligned" `Quick test_aligned;
+    Alcotest.test_case "equality and order" `Quick test_equality_order;
+    Alcotest.test_case "dedup" `Quick test_dedup;
+    Alcotest.test_case "pp" `Quick test_pp;
+    Alcotest.test_case "set and map" `Quick test_set_map;
+    prop_dedup_idempotent;
+    prop_hash_consistent;
+  ]

@@ -1,0 +1,202 @@
+open Helpers
+open Fw_window
+module Prng = Fw_util.Prng
+module Window_gen = Fw_workload.Window_gen
+module Set_gen = Fw_workload.Set_gen
+module Graph_gen = Fw_workload.Graph_gen
+module Event_gen = Fw_workload.Event_gen
+module Event = Fw_engine.Event
+
+let cfg = Set_gen.default_config
+let cfg_tumbling = { cfg with Set_gen.tumbling = true }
+
+let test_window_gen_bounds () =
+  let prng = Prng.create 1 in
+  let params = { Window_gen.s_min = 3; s_max = 9; k_max = 4 } in
+  for _ = 1 to 200 do
+    let win = Window_gen.random prng params in
+    check_bool "slide in range" true
+      (Window.slide win >= 3 && Window.slide win <= 9);
+    check_bool "aligned" true (Window.is_aligned win);
+    check_bool "k bounded" true (Window.k_ratio win <= 4)
+  done
+
+let test_window_gen_tumbling () =
+  let prng = Prng.create 2 in
+  for _ = 1 to 100 do
+    let win = Window_gen.random_tumbling prng Window_gen.default_params in
+    check_bool "tumbling" true (Window.is_tumbling win)
+  done
+
+let test_window_gen_validation () =
+  match Window_gen.random (Prng.create 1) { Window_gen.s_min = 5; s_max = 4; k_max = 1 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inverted bounds rejected"
+
+let test_set_gen_random () =
+  let prng = Prng.create 3 in
+  let ws = Set_gen.random prng cfg ~n:6 in
+  check_int "six windows" 6 (List.length ws);
+  check_int "no duplicates" 6 (List.length (Window.dedup ws))
+
+let test_set_gen_chain () =
+  let prng = Prng.create 4 in
+  for _ = 1 to 20 do
+    let ws = Set_gen.chain prng cfg ~n:5 in
+    check_bool "chain under covered-by" true (Order.chain semantics_covered ws)
+  done
+
+let test_set_gen_chain_tumbling () =
+  let prng = Prng.create 5 in
+  for _ = 1 to 20 do
+    let ws = Set_gen.chain prng cfg_tumbling ~n:5 in
+    check_bool "all tumbling" true (List.for_all Window.is_tumbling ws);
+    check_bool "chain under partitioned-by" true
+      (Order.chain semantics_partitioned ws)
+  done
+
+let test_set_gen_star () =
+  let prng = Prng.create 6 in
+  for _ = 1 to 20 do
+    match Set_gen.star prng cfg ~n:5 with
+    | [] -> Alcotest.fail "empty star"
+    | hub :: spokes ->
+        List.iter
+          (fun s ->
+            check_bool "spoke covered by hub" true
+              (Coverage.strictly_covered_by s hub))
+          spokes
+  done
+
+let test_set_gen_period_bound () =
+  let tight = { cfg with Set_gen.period_bound = 500 } in
+  let prng = Prng.create 7 in
+  for _ = 1 to 20 do
+    let ws = Set_gen.random prng tight ~n:4 in
+    check_bool "period bounded" true
+      (Fw_util.Arith.lcm_list (List.map Window.range ws) <= 500)
+  done
+
+let test_batch_deterministic () =
+  let sets1 = Set_gen.batch Set_gen.random ~seed:42 cfg ~n:5 ~count:5 in
+  let sets2 = Set_gen.batch Set_gen.random ~seed:42 cfg ~n:5 ~count:5 in
+  check_bool "same seed, same sets" true (sets1 = sets2);
+  let sets3 = Set_gen.batch Set_gen.random ~seed:43 cfg ~n:5 ~count:5 in
+  check_bool "different seed differs" false (sets1 = sets3)
+
+let test_graph_gen_structure () =
+  let prng = Prng.create 8 in
+  let levels = Graph_gen.generate prng Graph_gen.default_config in
+  check_int "three levels" 3 (List.length levels);
+  Alcotest.(check (list int)) "level sizes 2,4,6" [ 2; 4; 6 ]
+    (List.map List.length levels);
+  (* every non-base window is covered by someone below it *)
+  let rec check_links = function
+    | below :: (level :: _ as rest) ->
+        List.iter
+          (fun win ->
+            check_bool "covered by the level below" true
+              (List.exists
+                 (fun b -> Coverage.strictly_covered_by win b)
+                 below))
+          level;
+        check_links rest
+    | [ _ ] | [] -> ()
+  in
+  check_links levels
+
+let test_graph_gen_tumbling () =
+  let config =
+    { Graph_gen.default_config with Graph_gen.set_config = cfg_tumbling }
+  in
+  let prng = Prng.create 9 in
+  let levels = Graph_gen.generate prng config in
+  List.iter
+    (fun level -> check_bool "tumbling" true (List.for_all Window.is_tumbling level))
+    levels
+
+let test_graph_gen_batch () =
+  let sets = Graph_gen.batch ~seed:10 Graph_gen.default_config ~count:10 in
+  check_int "ten sets" 10 (List.length sets);
+  List.iter
+    (fun ws -> check_bool "non-trivial" true (List.length ws >= 3))
+    sets
+
+let test_event_gen_steady () =
+  let prng = Prng.create 11 in
+  let events =
+    Event_gen.steady prng Event_gen.default_config ~eta:3 ~horizon:50
+  in
+  check_int "3 per tick" 150 (List.length events);
+  check_bool "ordered" true (Event.is_time_ordered events);
+  List.iter
+    (fun e ->
+      check_bool "time in range" true (e.Event.time >= 0 && e.Event.time < 50);
+      check_bool "value in range" true
+        (e.Event.value >= 0.0 && e.Event.value < 100.0);
+      check_bool "key known" true
+        (List.mem e.Event.key Event_gen.default_config.Event_gen.keys))
+    events
+
+let test_event_gen_varied () =
+  let prng = Prng.create 12 in
+  let events =
+    Event_gen.varied prng Event_gen.default_config ~eta_max:5 ~horizon:100
+  in
+  let n = List.length events in
+  check_bool "between 1 and 5 per tick" true (n >= 100 && n <= 500);
+  check_bool "ordered" true (Event.is_time_ordered events)
+
+let test_event_gen_spiky () =
+  let prng = Prng.create 13 in
+  let events =
+    Event_gen.spiky prng Event_gen.default_config ~eta:2 ~spike_every:10
+      ~spike_factor:5 ~horizon:20
+  in
+  (* ticks 0 and 10 carry 10 events each, the rest 2: 2*10 + 18*2 = 56 *)
+  check_int "spiky count" 56 (List.length events)
+
+let test_event_gen_validation () =
+  (match Event_gen.steady (Prng.create 1) Event_gen.default_config ~eta:0 ~horizon:10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "eta 0 rejected");
+  match
+    Event_gen.steady (Prng.create 1)
+      { Event_gen.default_config with Event_gen.keys = [] }
+      ~eta:1 ~horizon:10
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no keys rejected"
+
+let prop_generated_sets_usable =
+  qtest ~count:60 "generated sets always accepted by the optimizer"
+    QCheck2.Gen.(int_range 0 5000)
+    QCheck2.Print.int
+    (fun seed ->
+      let prng = Prng.create seed in
+      let ws = Set_gen.random prng cfg ~n:5 in
+      match Fw_factor.Algorithm2.best_of semantics_covered ws with
+      | _ -> true
+      | exception Fw_util.Arith.Overflow -> false)
+
+let suite =
+  [
+    Alcotest.test_case "window_gen bounds" `Quick test_window_gen_bounds;
+    Alcotest.test_case "window_gen tumbling" `Quick test_window_gen_tumbling;
+    Alcotest.test_case "window_gen validation" `Quick test_window_gen_validation;
+    Alcotest.test_case "set_gen random" `Quick test_set_gen_random;
+    Alcotest.test_case "set_gen chain" `Quick test_set_gen_chain;
+    Alcotest.test_case "set_gen chain tumbling" `Quick
+      test_set_gen_chain_tumbling;
+    Alcotest.test_case "set_gen star" `Quick test_set_gen_star;
+    Alcotest.test_case "set_gen period bound" `Quick test_set_gen_period_bound;
+    Alcotest.test_case "batch deterministic" `Quick test_batch_deterministic;
+    Alcotest.test_case "graph_gen structure" `Quick test_graph_gen_structure;
+    Alcotest.test_case "graph_gen tumbling" `Quick test_graph_gen_tumbling;
+    Alcotest.test_case "graph_gen batch" `Quick test_graph_gen_batch;
+    Alcotest.test_case "event_gen steady" `Quick test_event_gen_steady;
+    Alcotest.test_case "event_gen varied" `Quick test_event_gen_varied;
+    Alcotest.test_case "event_gen spiky" `Quick test_event_gen_spiky;
+    Alcotest.test_case "event_gen validation" `Quick test_event_gen_validation;
+    prop_generated_sets_usable;
+  ]
