@@ -6,7 +6,7 @@
    Usage:  main.exe [--seed N] [--section NAME]...
    With no --section, every section runs.  Section names: examples,
    table1, fig11, fig12, fig13, fig14, fig15, validate, measured,
-   ablation, timing. *)
+   ablation, timing, fuzz. *)
 
 open Fw_window
 module Evaluation = Factor_windows.Evaluation
@@ -574,6 +574,53 @@ let section_timing () =
                    WINDOW(TUMBLINGWINDOW(minute, 40)))")));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing smoke: the fwfuzz campaign, bounded, with      *)
+(* throughput and scenario-mix statistics (full campaigns: fwfuzz).    *)
+(* ------------------------------------------------------------------ *)
+
+let section_fuzz () =
+  heading "Differential fuzzing smoke (Fw_check)";
+  let iterations = 250 in
+  let cfg =
+    {
+      Fw_check.Harness.default_config with
+      Fw_check.Harness.iterations;
+      base_seed = !seed;
+    }
+  in
+  let scenarios =
+    List.init iterations (fun i ->
+        Fw_check.Scenario.of_seed cfg.Fw_check.Harness.gen (!seed + i))
+  in
+  let aligned, non_aligned =
+    List.partition Fw_check.Scenario.aligned scenarios
+  in
+  let total_events =
+    List.fold_left
+      (fun acc sc -> acc + List.length sc.Fw_check.Scenario.events)
+      0 scenarios
+  in
+  subheading "scenario mix (seeds %d..%d)" !seed (!seed + iterations - 1);
+  Printf.printf "aligned %d, non-aligned %d, events total %d (avg %.1f)\n"
+    (List.length aligned) (List.length non_aligned) total_events
+    (float_of_int total_events /. float_of_int iterations);
+  subheading "campaign";
+  let t0 = Unix.gettimeofday () in
+  let outcome = Fw_check.Harness.run cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "%d scenarios x %d paths + invariants in %.2fs (%.1f scenarios/s), %d \
+     failure(s)\n"
+    outcome.Fw_check.Harness.checked
+    (List.length Fw_check.Paths.all)
+    dt
+    (float_of_int outcome.Fw_check.Harness.checked /. dt)
+    (List.length outcome.Fw_check.Harness.failures);
+  List.iter
+    (fun f -> Format.printf "%a@." Fw_check.Harness.pp_failure f)
+    outcome.Fw_check.Harness.failures
+
 let () =
   Printf.printf "factor-windows bench harness (seed %d)\n" !seed;
   if enabled "examples" then section_examples ();
@@ -587,4 +634,5 @@ let () =
   if enabled "measured" then section_measured ();
   if enabled "ablation" then section_ablation ();
   if enabled "timing" then section_timing ();
+  if enabled "fuzz" then section_fuzz ();
   print_newline ()

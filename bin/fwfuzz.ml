@@ -1,0 +1,169 @@
+(* fwfuzz: differential and metamorphic fuzzer for the factor-windows
+   stack.
+
+   Each iteration draws one random (aggregate, window set, event
+   stream, horizon) scenario from a seed, runs it through every
+   execution path — reference evaluator, naive streaming plan,
+   rewritten plans with/without factor windows, paned/paired slicing
+   shared/unshared — asserts row-for-row equality, and checks the
+   structural invariants (Theorem 7 forest shape, cost monotonicity,
+   plan validation, metrics-vs-cost-model exactness).  Failures are
+   shrunk to a minimal repro and reported with the one-line replay
+   command.
+
+   Exit status: 0 = no discrepancy, 1 = discrepancies found. *)
+
+open Cmdliner
+module Scenario = Fw_check.Scenario
+module Harness = Fw_check.Harness
+module Paths = Fw_check.Paths
+
+let iterations_arg =
+  let doc = "Number of scenarios to check (seeds SEED .. SEED+N-1)." in
+  Arg.(value & opt int 1000 & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Base PRNG seed; iteration $(i)i uses seed SEED+$(i)i." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let replay_arg =
+  let doc =
+    "Replay exactly one scenario (the one derived from --seed) and print \
+     its full diagnosis instead of running a campaign."
+  in
+  Arg.(value & flag & info [ "replay" ] ~doc)
+
+let max_windows_arg =
+  let doc = "Largest window-set size drawn per scenario." in
+  Arg.(value & opt int Scenario.default_gen.Scenario.max_windows
+       & info [ "max-windows" ] ~docv:"K" ~doc)
+
+let eta_max_arg =
+  let doc = "Largest event rate drawn per scenario." in
+  Arg.(value & opt int Scenario.default_gen.Scenario.eta_max
+       & info [ "eta-max" ] ~docv:"E" ~doc)
+
+let horizon_max_arg =
+  let doc = "Largest horizon (ticks) drawn per scenario." in
+  Arg.(value & opt int Scenario.default_gen.Scenario.horizon_max
+       & info [ "horizon-max" ] ~docv:"T" ~doc)
+
+let no_invariants_arg =
+  let doc = "Only run the differential row comparison, skip the structural \
+             invariants." in
+  Arg.(value & flag & info [ "no-invariants" ] ~doc)
+
+let no_holistic_arg =
+  let doc = "Exclude holistic aggregates (MEDIAN) from the draw." in
+  Arg.(value & flag & info [ "no-holistic" ] ~doc)
+
+let max_failures_arg =
+  let doc = "Stop the campaign after this many failures." in
+  Arg.(value & opt int 5 & info [ "max-failures" ] ~docv:"F" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress progress output." in
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+let gen_config max_windows eta_max horizon_max no_holistic =
+  {
+    Scenario.default_gen with
+    Scenario.max_windows;
+    eta_max;
+    horizon_max;
+    allow_holistic = not no_holistic;
+  }
+
+let replay gen ~invariants seed =
+  match Harness.check_seed ~invariants gen seed with
+  | Ok sc ->
+      Printf.printf "seed %d: %s\n" seed (Scenario.summary sc);
+      List.iter
+        (fun path ->
+          if not (Paths.applicable path sc) then
+            Printf.printf "  %-22s skipped (non-aligned windows)\n"
+              (Paths.name path)
+          else
+            match Paths.rows path sc with
+            | Ok rows ->
+                Printf.printf "  %-22s %d rows\n" (Paths.name path)
+                  (List.length rows)
+            | Error e ->
+                Printf.printf "  %-22s CRASH: %s\n" (Paths.name path) e)
+        Paths.all;
+      Printf.printf "OK: all paths agree, all invariants hold.\n";
+      0
+  | Error failure ->
+      Format.printf "%a@." Harness.pp_failure failure;
+      1
+
+let campaign gen ~invariants ~iterations ~base_seed ~max_failures ~quiet =
+  let cfg =
+    {
+      Harness.iterations;
+      base_seed;
+      gen;
+      invariants;
+      max_failures;
+    }
+  in
+  let progress =
+    if quiet then None
+    else
+      Some
+        (fun i ->
+          if i mod 200 = 0 then (
+            Printf.printf "  ... %d/%d scenarios checked\n" i iterations;
+            flush stdout))
+  in
+  if not quiet then
+    Printf.printf
+      "fwfuzz: %d scenarios, seeds %d..%d, %d execution paths%s\n" iterations
+      base_seed
+      (base_seed + iterations - 1)
+      (List.length Paths.all)
+      (if invariants then " + invariants" else "");
+  let outcome = Harness.run ?progress cfg in
+  match outcome.Harness.failures with
+  | [] ->
+      Printf.printf
+        "fwfuzz: %d scenarios checked, zero discrepancies across all paths.\n"
+        outcome.Harness.checked;
+      0
+  | failures ->
+      Printf.printf "fwfuzz: %d scenarios checked, %d FAILURE(S):\n"
+        outcome.Harness.checked (List.length failures);
+      List.iter (fun f -> Format.printf "%a@.@." Harness.pp_failure f) failures;
+      1
+
+let main iterations seed do_replay max_windows eta_max horizon_max
+    no_invariants no_holistic max_failures quiet =
+  let bad name v =
+    Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
+    exit 124
+  in
+  if iterations < 0 then bad "--iterations" iterations;
+  if max_windows < 1 then bad "--max-windows" max_windows;
+  if eta_max < 1 then bad "--eta-max" eta_max;
+  if horizon_max < 1 then bad "--horizon-max" horizon_max;
+  if max_failures < 1 then bad "--max-failures" max_failures;
+  let gen = gen_config max_windows eta_max horizon_max no_holistic in
+  let invariants = not no_invariants in
+  if do_replay then replay gen ~invariants seed
+  else
+    campaign gen ~invariants ~iterations ~base_seed:seed ~max_failures ~quiet
+
+let cmd =
+  let info =
+    Cmd.info "fwfuzz" ~version:"1.0.0"
+      ~doc:
+        "Differential oracle and metamorphic fuzzer for the factor-windows \
+         optimizer and executors."
+  in
+  Cmd.v info
+    Term.(
+      const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
+      $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
+      $ max_failures_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,15 @@
+(** Row-for-row differential comparison of all execution paths.
+
+    The reference evaluator's rows are the ground truth; every other
+    path of {!Paths.all} must match them under
+    {!Fw_engine.Row.equal_sets} (multiset equality with the documented
+    floating-point tolerance).  A path that raises is reported as a
+    discrepancy, not propagated. *)
+
+type discrepancy = {
+  path : string;  (** {!Paths.name} of the disagreeing path *)
+  detail : string;  (** aligned row diff or exception text *)
+}
+
+val check : Scenario.t -> discrepancy list
+(** [[]] iff every path agrees with the reference on this scenario. *)

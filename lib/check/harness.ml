@@ -1,0 +1,102 @@
+type problem = { source : string; detail : string }
+
+type failure = {
+  seed : int;
+  scenario : Scenario.t;
+  problems : problem list;
+  shrunk : Scenario.t;
+  shrunk_problems : problem list;
+}
+
+type config = {
+  iterations : int;
+  base_seed : int;
+  gen : Scenario.gen_config;
+  invariants : bool;
+  max_failures : int;
+}
+
+let default_config =
+  {
+    iterations = 1000;
+    base_seed = 42;
+    gen = Scenario.default_gen;
+    invariants = true;
+    max_failures = 5;
+  }
+
+type outcome = {
+  checked : int;
+  failures : failure list;  (** in discovery order *)
+}
+
+let problems_of ~invariants sc =
+  let diffs =
+    List.map
+      (fun (d : Differential.discrepancy) ->
+        { source = d.Differential.path; detail = d.Differential.detail })
+      (Differential.check sc)
+  in
+  let invs =
+    if invariants then
+      List.map
+        (fun (x : Invariants.violation) ->
+          { source = x.Invariants.invariant; detail = x.Invariants.detail })
+      @@ Invariants.check sc
+    else []
+  in
+  diffs @ invs
+
+let check_seed ?(invariants = true) gen seed =
+  let sc = Scenario.of_seed gen seed in
+  match problems_of ~invariants sc with
+  | [] -> Ok sc
+  | problems ->
+      let still_fails sc' = problems_of ~invariants sc' <> [] in
+      let shrunk = Shrink.scenario still_fails sc in
+      Error
+        {
+          seed;
+          scenario = sc;
+          problems;
+          shrunk;
+          shrunk_problems = problems_of ~invariants shrunk;
+        }
+
+let run ?progress cfg =
+  let failures = ref [] in
+  let checked = ref 0 in
+  (try
+     for i = 0 to cfg.iterations - 1 do
+       let seed = cfg.base_seed + i in
+       (match check_seed ~invariants:cfg.invariants cfg.gen seed with
+       | Ok _ -> ()
+       | Error failure ->
+           failures := failure :: !failures;
+           if List.length !failures >= cfg.max_failures then raise Exit);
+       incr checked;
+       match progress with Some f -> f (i + 1) | None -> ()
+     done
+   with Exit -> ());
+  { checked = !checked; failures = List.rev !failures }
+
+let pp_problem ppf p = Format.fprintf ppf "[%s] %s" p.source p.detail
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>seed %d: %a@,\
+     replay:  fwfuzz --replay --seed %d@,\
+     %a@,\
+     shrunk to %d window(s), %d event(s):@,\
+     %s@,\
+     shrunk verdict: %a@]"
+    f.seed Scenario.pp f.scenario f.seed
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_problem)
+    f.problems
+    (List.length f.shrunk.Scenario.windows)
+    (List.length f.shrunk.Scenario.events)
+    (Scenario.to_repro f.shrunk)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_problem)
+    f.shrunk_problems

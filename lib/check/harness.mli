@@ -1,0 +1,48 @@
+(** The fuzzing campaign driver.
+
+    One iteration = one {!Scenario} drawn from one seed, checked by
+    {!Differential.check} (row equality of all execution paths) and
+    {!Invariants.check} (structural/metamorphic properties).  Failing
+    scenarios are minimized with {!Shrink.scenario} — events by
+    bisection/ddmin, then windows by greedy removal — and reported with
+    a self-contained repro plus the [fwfuzz --replay --seed N] one-liner
+    that rebuilds the unshrunk scenario. *)
+
+type problem = {
+  source : string;  (** path name or invariant name *)
+  detail : string;
+}
+
+type failure = {
+  seed : int;
+  scenario : Scenario.t;  (** as drawn from [seed] *)
+  problems : problem list;  (** what failed on the original scenario *)
+  shrunk : Scenario.t;  (** minimized counterexample *)
+  shrunk_problems : problem list;  (** what still fails after shrinking *)
+}
+
+type config = {
+  iterations : int;
+  base_seed : int;  (** iteration [i] uses seed [base_seed + i] *)
+  gen : Scenario.gen_config;
+  invariants : bool;  (** also run {!Invariants.check} *)
+  max_failures : int;  (** stop the campaign after this many failures *)
+}
+
+val default_config : config
+(** 1000 iterations, base seed 42, invariants on, stop after 5
+    failures. *)
+
+type outcome = { checked : int; failures : failure list }
+
+val check_seed :
+  ?invariants:bool -> Scenario.gen_config -> int -> (Scenario.t, failure) result
+(** Check a single seed; [Ok] returns the (clean) scenario so replay
+    tooling can describe it. *)
+
+val run : ?progress:(int -> unit) -> config -> outcome
+(** Run the campaign; [progress] is called after each iteration with
+    the number of scenarios checked so far. *)
+
+val pp_problem : Format.formatter -> problem -> unit
+val pp_failure : Format.formatter -> failure -> unit

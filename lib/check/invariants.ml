@@ -1,0 +1,152 @@
+open Fw_window
+module Aggregate = Fw_agg.Aggregate
+module A1 = Fw_wcg.Algorithm1
+module A2 = Fw_factor.Algorithm2
+module Cost_model = Fw_wcg.Cost_model
+module Graph = Fw_wcg.Graph
+module Forest = Fw_wcg.Forest
+module Rewrite = Fw_plan.Rewrite
+module Validate = Fw_plan.Validate
+module Stream_exec = Fw_engine.Stream_exec
+module Metrics = Fw_engine.Metrics
+module Event = Fw_engine.Event
+
+type violation = { invariant : string; detail : string }
+
+(* Running the metrics cross-check needs a full common period of steady
+   single-key events; skip it for scenarios whose period would make
+   that stream unreasonably long. *)
+let metrics_period_bound = 1_500
+
+let v invariant fmt = Printf.ksprintf (fun detail -> { invariant; detail }) fmt
+
+let forest_check name (result : A1.result) =
+  let violations = ref [] in
+  if not (Graph.is_forest result.A1.graph) then
+    violations :=
+      v "theorem7-forest" "%s: min-cost WCG is not a forest" name
+      :: !violations;
+  (match Forest.of_graph result.A1.graph with
+  | (_ : Forest.tree list) -> ()
+  | exception Invalid_argument msg ->
+      violations :=
+        v "theorem7-forest" "%s: forest extraction failed: %s" name msg
+        :: !violations);
+  !violations
+
+let recurrence_check env windows =
+  List.filter_map
+    (fun w ->
+      let n = Cost_model.recurrence_count env w in
+      let expected =
+        1 + ((Cost_model.multiplicity env w - 1) * Window.k_ratio w)
+      in
+      if n = expected then None
+      else
+        Some
+          (v "recurrence-eq1" "%s: n=%d but 1+(m-1)*r/s=%d"
+             (Window.to_string w) n expected))
+    windows
+
+let plan_checks (outcome : Rewrite.outcome) =
+  let of_plan name plan =
+    List.map
+      (fun e ->
+        v "plan-validate" "%s: %s" name (Format.asprintf "%a" Validate.pp_error e))
+      (Validate.check plan)
+  in
+  let equiv =
+    match Validate.check_equivalent outcome.Rewrite.plan outcome.Rewrite.naive_plan with
+    | Ok () -> []
+    | Error e -> [ v "plan-validate" "rewritten vs naive: %s" e ]
+  in
+  of_plan "rewritten" outcome.Rewrite.plan
+  @ of_plan "naive" outcome.Rewrite.naive_plan
+  @ equiv
+
+let monotonicity_check ~eta semantics windows =
+  let a1 = A1.run ~eta semantics windows in
+  let a2 = A2.best_of ~eta semantics windows in
+  let naive = Cost_model.naive_total a1.A1.env windows in
+  List.concat
+    [
+      (if a2.A1.total <= a1.A1.total then []
+       else
+         [
+           v "cost-monotone" "Algorithm 2 best-of (%d) > Algorithm 1 (%d)"
+             a2.A1.total a1.A1.total;
+         ]);
+      (if a1.A1.total <= naive then []
+       else
+         [
+           v "cost-monotone" "Algorithm 1 (%d) > naive (%d)" a1.A1.total naive;
+         ]);
+      forest_check "algorithm1" a1;
+      forest_check "algorithm2" a2;
+    ]
+
+(* Measured engine counters vs the analytic cost model: on a steady
+   single-key stream over exactly one common period, each window's
+   processed-item counter must equal its modeled cost exactly (the
+   engine charges instances when they fire; see DESIGN.md and the
+   [validate] bench section). *)
+let metrics_check ~eta (result : A1.result) (outcome : Rewrite.outcome) =
+  let period = result.A1.env.Cost_model.period in
+  if period > metrics_period_bound then []
+  else
+    let events =
+      List.concat
+        (List.init period (fun t ->
+             List.init eta (fun i ->
+                 Event.make ~time:t ~key:"k"
+                   ~value:(float_of_int ((t + i) mod 97)))))
+    in
+    let metrics = Metrics.create () in
+    ignore
+      (Stream_exec.run ~metrics outcome.Rewrite.plan ~horizon:period events);
+    let per_window =
+      Window.Map.fold
+        (fun w (a : A1.assignment) acc ->
+          let measured = Metrics.processed metrics w in
+          if measured = a.A1.cost then acc
+          else
+            v "metrics-vs-model" "%s: measured %d <> model %d"
+              (Window.to_string w) measured a.A1.cost
+            :: acc)
+        result.A1.assignments []
+    in
+    let total =
+      let measured = Metrics.total_processed metrics in
+      if measured = result.A1.total then []
+      else
+        [
+          v "metrics-vs-model" "total: measured %d <> model %d" measured
+            result.A1.total;
+        ]
+    in
+    per_window @ total
+
+let check (sc : Scenario.t) =
+  if not (Scenario.aligned sc) then []
+    (* the cost model (and thus the optimizer) assumes aligned windows *)
+  else
+  let eta = sc.Scenario.eta in
+  let windows = sc.Scenario.windows in
+  match
+    Rewrite.optimize ~eta sc.Scenario.agg windows
+  with
+  | exception exn ->
+      [ v "optimize" "Rewrite.optimize crashed: %s" (Printexc.to_string exn) ]
+  | outcome -> (
+      let plans = plan_checks outcome in
+      match (Aggregate.semantics sc.Scenario.agg, outcome.Rewrite.optimization) with
+      | None, None -> plans (* holistic: naive fallback, nothing else to check *)
+      | None, Some _ ->
+          v "optimize" "holistic aggregate produced an optimization" :: plans
+      | Some _, None ->
+          v "optimize" "shareable aggregate produced no optimization" :: plans
+      | Some semantics, Some result ->
+          plans
+          @ monotonicity_check ~eta semantics windows
+          @ recurrence_check result.A1.env windows
+          @ metrics_check ~eta result outcome)

@@ -1,0 +1,27 @@
+(** Metamorphic and structural invariants checked per scenario.
+
+    Beyond row equality, the optimizer's artifacts must satisfy the
+    paper's structural theorems and the repository's own documented
+    guarantees:
+
+    - {b theorem7-forest}: the min-cost WCG of both Algorithm 1 and
+      Algorithm 2 (best-of) is a forest and converts to trees;
+    - {b cost-monotone}: [Algorithm 2 best-of <= Algorithm 1 <= naive]
+      on modeled cost — adding optimizer-selected factor windows never
+      increases the modeled total;
+    - {b recurrence-eq1}: the recurrence count matches the paper's
+      Eq. 1 closed form [nᵢ = 1 + (mᵢ−1)·rᵢ/sᵢ];
+    - {b plan-validate}: {!Fw_plan.Validate.check} accepts the naive and
+      rewritten plans, and both expose the same window set;
+    - {b metrics-vs-model}: on a steady single-key stream over exactly
+      one common period, every window's measured
+      {!Fw_engine.Metrics} counter equals its analytic cost exactly
+      (skipped when the period exceeds an internal bound, to keep
+      scenario checking fast). *)
+
+type violation = { invariant : string; detail : string }
+
+val check : Scenario.t -> violation list
+(** [[]] iff every applicable invariant holds for this scenario's
+    window set / aggregate / rate.  Non-aligned scenarios (outside the
+    cost model's domain) are vacuously clean. *)

@@ -1,0 +1,73 @@
+module Plan = Fw_plan.Plan
+module Rewrite = Fw_plan.Rewrite
+module Stream_exec = Fw_engine.Stream_exec
+module Row = Fw_engine.Row
+module Exec = Fw_slicing.Exec
+
+type path =
+  | Reference_path
+  | Naive_stream
+  | Rewritten
+  | Rewritten_no_factor
+  | Sliced of Exec.mode * Exec.slicing
+
+let all =
+  [
+    Reference_path;
+    Naive_stream;
+    Rewritten;
+    Rewritten_no_factor;
+    Sliced (Exec.Unshared, Exec.Paned_slicing);
+    Sliced (Exec.Shared, Exec.Paned_slicing);
+    Sliced (Exec.Unshared, Exec.Paired_slicing);
+    Sliced (Exec.Shared, Exec.Paired_slicing);
+  ]
+
+let name = function
+  | Reference_path -> "reference"
+  | Naive_stream -> "naive-stream"
+  | Rewritten -> "rewritten"
+  | Rewritten_no_factor -> "rewritten-no-factor"
+  | Sliced (mode, slicing) ->
+      Printf.sprintf "%s-%s"
+        (match mode with Exec.Unshared -> "unshared" | Exec.Shared -> "shared")
+        (match slicing with
+        | Exec.Paned_slicing -> "paned"
+        | Exec.Paired_slicing -> "paired")
+
+(* The optimizer's cost model assumes aligned windows (footnote 4), so
+   the rewritten paths only apply to aligned scenarios; every other
+   path handles arbitrary hopping windows. *)
+let applicable path sc =
+  match path with
+  | Rewritten | Rewritten_no_factor -> Scenario.aligned sc
+  | Reference_path | Naive_stream | Sliced _ -> true
+
+let rewritten_plan ~factor_windows (sc : Scenario.t) =
+  (Rewrite.optimize ~eta:sc.Scenario.eta ~factor_windows sc.Scenario.agg
+     sc.Scenario.windows)
+    .Rewrite.plan
+
+let rows path (sc : Scenario.t) =
+  let horizon = sc.Scenario.horizon in
+  let events = sc.Scenario.events in
+  try
+    Ok
+      (match path with
+      | Reference_path ->
+          Reference.run sc.Scenario.agg sc.Scenario.windows ~horizon events
+      | Naive_stream ->
+          Stream_exec.run
+            (Plan.naive sc.Scenario.agg sc.Scenario.windows)
+            ~horizon events
+      | Rewritten ->
+          Stream_exec.run (rewritten_plan ~factor_windows:true sc) ~horizon
+            events
+      | Rewritten_no_factor ->
+          Stream_exec.run (rewritten_plan ~factor_windows:false sc) ~horizon
+            events
+      | Sliced (mode, slicing) ->
+          (Exec.run sc.Scenario.agg mode slicing sc.Scenario.windows ~horizon
+             events)
+            .Exec.rows)
+  with exn -> Error (Printexc.to_string exn)

@@ -1,0 +1,36 @@
+(** The independent execution paths the differential harness compares.
+
+    Every path consumes the same (aggregate, windows, horizon, events)
+    scenario and must produce the same row multiset:
+
+    - {!Reference_path}: the definition-level evaluator ({!Reference});
+    - {!Naive_stream}: the naive per-window plan through the streaming
+      engine ({!Fw_engine.Stream_exec});
+    - {!Rewritten}: the min-cost-WCG plan with factor windows
+      (Algorithm 1 + Algorithm 2, Section 4.3 best-of);
+    - {!Rewritten_no_factor}: plain Algorithm 1 rewriting;
+    - {!Sliced}: the executable paned [Li et al. 2005] / paired
+      [Krishnamurthy et al. 2006] baselines, shared and unshared
+      ({!Fw_slicing.Exec}). *)
+
+type path =
+  | Reference_path
+  | Naive_stream
+  | Rewritten
+  | Rewritten_no_factor
+  | Sliced of Fw_slicing.Exec.mode * Fw_slicing.Exec.slicing
+
+val all : path list
+(** The eight concrete paths, reference first. *)
+
+val name : path -> string
+(** Stable identifier used in reports ("rewritten", "shared-paired", ...). *)
+
+val applicable : path -> Scenario.t -> bool
+(** Whether the path supports the scenario: the rewritten paths require
+    aligned windows (the cost model's footnote-4 assumption); all other
+    paths accept any window set. *)
+
+val rows : path -> Scenario.t -> (Fw_engine.Row.t list, string) result
+(** Execute one path; [Error] carries the exception text if the path
+    crashed (a crash is a finding too, not a harness failure). *)

@@ -1,0 +1,72 @@
+open Fw_window
+module Aggregate = Fw_agg.Aggregate
+module Event = Fw_engine.Event
+module Row = Fw_engine.Row
+
+module Key_map = Map.Make (String)
+
+(* Direct-from-definition aggregate evaluation over a raw value list.
+   Deliberately written without Fw_agg.Combine (and with different
+   arithmetic where possible, e.g. two-pass variance) so that it forms
+   an independent oracle for the incremental/merging implementations. *)
+let eval agg values =
+  let n = List.length values in
+  let sum () = List.fold_left ( +. ) 0.0 values in
+  match (agg : Aggregate.t) with
+  | Min -> List.fold_left Float.min Float.infinity values
+  | Max -> List.fold_left Float.max Float.neg_infinity values
+  | Count -> float_of_int n
+  | Sum -> sum ()
+  | Avg -> sum () /. float_of_int n
+  | Stdev ->
+      (* two-pass population standard deviation *)
+      let mean = sum () /. float_of_int n in
+      let sq =
+        List.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0.0
+          values
+      in
+      sqrt (sq /. float_of_int n)
+  | Median -> (
+      let sorted = List.sort Float.compare values in
+      match n with
+      | 0 -> nan
+      | _ ->
+          if n land 1 = 1 then List.nth sorted (n / 2)
+          else
+            let a = List.nth sorted ((n / 2) - 1)
+            and b = List.nth sorted (n / 2) in
+            (a +. b) /. 2.0)
+
+let window_rows agg w ~horizon events =
+  List.concat_map
+    (fun interval ->
+      let lo = Interval.lo interval and hi = Interval.hi interval in
+      let by_key =
+        List.fold_left
+          (fun acc e ->
+            if e.Event.time >= lo && e.Event.time < hi then
+              Key_map.update e.Event.key
+                (function
+                  | None -> Some [ e.Event.value ]
+                  | Some vs -> Some (e.Event.value :: vs))
+                acc
+            else acc)
+          Key_map.empty events
+      in
+      Key_map.fold
+        (fun key values rows ->
+          {
+            Row.window = w;
+            interval = Interval.make ~lo ~hi;
+            key;
+            value = eval agg (List.rev values);
+          }
+          :: rows)
+        by_key [])
+    (Interval.instances_until w ~horizon)
+
+let run agg windows ~horizon events =
+  Row.sort
+    (List.concat_map
+       (fun w -> window_rows agg w ~horizon events)
+       (Window.dedup windows))

@@ -1,0 +1,165 @@
+open Fw_window
+module Prng = Fw_util.Prng
+module Aggregate = Fw_agg.Aggregate
+module Event = Fw_engine.Event
+module Window_gen = Fw_workload.Window_gen
+module Set_gen = Fw_workload.Set_gen
+module Event_gen = Fw_workload.Event_gen
+
+type shape = Random_shape | Chain_shape | Star_shape
+
+let shape_to_string = function
+  | Random_shape -> "random"
+  | Chain_shape -> "chain"
+  | Star_shape -> "star"
+
+type gen_config = {
+  max_windows : int;
+  eta_max : int;
+  horizon_min : int;
+  horizon_max : int;
+  period_bound : int;
+  allow_holistic : bool;
+  non_aligned_prob : float;
+  window_params : Window_gen.params;
+}
+
+let default_gen =
+  {
+    max_windows = 5;
+    eta_max = 3;
+    horizon_min = 16;
+    horizon_max = 160;
+    period_bound = 20_000;
+    allow_holistic = true;
+    non_aligned_prob = 0.2;
+    window_params = Window_gen.default_params;
+  }
+
+type t = {
+  agg : Aggregate.t;
+  windows : Window.t list;
+  eta : int;
+  horizon : int;
+  events : Event.t list;
+  shape : shape;
+  tumbling : bool;
+}
+
+let draw_windows prng cfg ~shape ~tumbling ~n =
+  let set_cfg =
+    {
+      Set_gen.params = cfg.window_params;
+      tumbling;
+      period_bound = cfg.period_bound;
+      max_attempts = 10_000;
+    }
+  in
+  let gen =
+    match shape with
+    | Random_shape -> Set_gen.random
+    | Chain_shape -> Set_gen.chain
+    | Star_shape -> Set_gen.star
+  in
+  (* A tight period bound can make large sets undrawable; fall back to
+     smaller sets rather than failing the fuzzing campaign. *)
+  let rec attempt n =
+    match gen prng set_cfg ~n with
+    | ws -> ws
+    | exception Set_gen.Generation_failed _ when n > 1 -> attempt (n - 1)
+  in
+  attempt n
+
+(* Algorithm 5 only emits aligned windows (s | r, the cost model's
+   footnote-4 assumption), so the paired-slicing z₂ path and the paned
+   gcd path would otherwise never see a non-trivial case.  Nudging the
+   range off its multiple produces genuinely non-aligned hopping
+   windows; the optimizer paths are skipped for those scenarios (see
+   {!Paths.applicable}). *)
+let misalign prng w =
+  let r = Window.range w and s = Window.slide w in
+  if s < 2 then w else Window.make ~range:(r + Prng.int_in prng 1 (s - 1)) ~slide:s
+
+let aligned t = List.for_all Window.is_aligned t.windows
+
+let draw_events prng ~eta ~horizon =
+  (* Mix stream profiles: mostly steady/varied (the model's regime),
+     some bursty streams, and the occasional empty stream so the
+     no-data paths stay honest. *)
+  match Prng.int prng 20 with
+  | 0 -> []
+  | k when k <= 8 ->
+      Event_gen.steady prng Event_gen.default_config ~eta ~horizon
+  | k when k <= 15 ->
+      Event_gen.varied prng Event_gen.default_config ~eta_max:eta ~horizon
+  | _ ->
+      Event_gen.spiky prng Event_gen.default_config ~eta ~spike_every:7
+        ~spike_factor:4 ~horizon
+
+let draw prng cfg =
+  let g_shape, rest = Prng.split prng in
+  let g_win, rest = Prng.split rest in
+  let g_agg, rest = Prng.split rest in
+  let g_eta, rest = Prng.split rest in
+  let g_horizon, g_events = Prng.split rest in
+  let shape =
+    Prng.choose g_shape [ Random_shape; Chain_shape; Star_shape ]
+  in
+  let tumbling = Prng.bool g_shape in
+  let n = Prng.int_in g_shape 1 cfg.max_windows in
+  let windows = draw_windows g_win cfg ~shape ~tumbling ~n in
+  let windows =
+    if Prng.bernoulli g_win cfg.non_aligned_prob then
+      Window.dedup
+        (List.map
+           (fun w -> if Prng.bool g_win then misalign g_win w else w)
+           windows)
+    else windows
+  in
+  let aggs =
+    if cfg.allow_holistic then Aggregate.all
+    else List.filter Aggregate.shareable Aggregate.all
+  in
+  let agg = Prng.choose g_agg aggs in
+  let eta = Prng.int_in g_eta 1 cfg.eta_max in
+  let horizon = Prng.int_in g_horizon cfg.horizon_min cfg.horizon_max in
+  let events = draw_events g_events ~eta ~horizon in
+  { agg; windows; eta; horizon; events; shape; tumbling }
+
+let of_seed cfg seed = draw (Prng.create seed) cfg
+
+let summary t =
+  Printf.sprintf "%s over %s (%s%s), eta=%d horizon=%d |events|=%d"
+    (Aggregate.to_string t.agg)
+    ("["
+    ^ String.concat "; " (List.map Window.to_string t.windows)
+    ^ "]")
+    (shape_to_string t.shape)
+    (if t.tumbling then ", tumbling"
+     else if not (aligned t) then ", non-aligned"
+     else "")
+    t.eta t.horizon
+    (List.length t.events)
+
+let pp ppf t = Format.pp_print_string ppf (summary t)
+
+let pp_events ppf events =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+    (fun ppf e ->
+      Format.fprintf ppf "(%d, %S, %g)" e.Event.time e.Event.key
+        e.Event.value)
+    ppf events
+
+(* A self-contained textual repro: everything needed to reconstruct the
+   scenario in a regression test without re-running the generators. *)
+let to_repro t =
+  Format.asprintf
+    "@[<v>agg      = %s@,\
+     windows  = %s@,\
+     eta      = %d@,\
+     horizon  = %d@,\
+     events   = @[<hov 2>[%a]@]@]"
+    (Aggregate.to_string t.agg)
+    (String.concat " " (List.map Window.to_string t.windows))
+    t.eta t.horizon pp_events t.events

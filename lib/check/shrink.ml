@@ -1,0 +1,62 @@
+(* ddmin-style list minimization (Zeller & Hildebrandt): first try the
+   halves (plain bisection), then complements of ever-finer chunks. *)
+let shrink_list still_fails xs =
+  let remove_chunk xs ~start ~len =
+    List.filteri (fun i _ -> i < start || i >= start + len) xs
+  in
+  let rec go xs n =
+    let len = List.length xs in
+    if len <= 1 || n > len then xs
+    else
+      let chunk = (len + n - 1) / n in
+      let rec try_chunks start =
+        if start >= len then None
+        else
+          let candidate = remove_chunk xs ~start ~len:chunk in
+          if List.length candidate < len && still_fails candidate then
+            Some candidate
+          else try_chunks (start + chunk)
+      in
+      match try_chunks 0 with
+      | Some smaller -> go smaller (max 2 (n - 1))
+      | None -> if chunk <= 1 then xs else go xs (min len (2 * n))
+  in
+  go xs 2
+
+let events still_fails evs = shrink_list still_fails evs
+
+(* Greedy removal to a fixpoint: drop any single window whose removal
+   keeps the failure alive.  Window sets are small (the generators cap
+   them), so quadratic passes are fine. *)
+let windows still_fails ws =
+  let rec go ws =
+    let try_without w =
+      let candidate =
+        List.filter (fun x -> not (Fw_window.Window.equal x w)) ws
+      in
+      if candidate <> [] && still_fails candidate then Some candidate else None
+    in
+    match List.find_map try_without ws with
+    | Some smaller -> go smaller
+    | None -> ws
+  in
+  go ws
+
+let scenario still_fails (sc : Scenario.t) =
+  let with_events sc evs = { sc with Scenario.events = evs } in
+  let with_windows sc ws = { sc with Scenario.windows = ws } in
+  (* events first (usually the big list), then windows, then a second
+     event pass — a smaller window set often unlocks further stream
+     reduction. *)
+  let sc =
+    with_events sc
+      (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)
+  in
+  let sc =
+    with_windows sc
+      (windows
+         (fun ws -> still_fails (with_windows sc ws))
+         sc.Scenario.windows)
+  in
+  with_events sc
+    (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)

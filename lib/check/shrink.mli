@@ -1,0 +1,29 @@
+(** Counterexample minimization.
+
+    [still_fails candidate] must re-run the failing property on the
+    candidate and return [true] if it still fails; shrinking keeps the
+    smallest candidate that does.  The shrinkers are deterministic, so
+    a minimized repro is stable across runs. *)
+
+val shrink_list : ('a list -> bool) -> 'a list -> 'a list
+(** ddmin-style minimization: bisection first (try each half), then
+    complements of progressively finer chunks, restarting whenever a
+    removal sticks.  Returns a locally-minimal failing list. *)
+
+val events :
+  (Fw_engine.Event.t list -> bool) ->
+  Fw_engine.Event.t list ->
+  Fw_engine.Event.t list
+(** {!shrink_list} on the event stream (order is preserved, so the
+    result is still time-sorted). *)
+
+val windows :
+  (Fw_window.Window.t list -> bool) ->
+  Fw_window.Window.t list ->
+  Fw_window.Window.t list
+(** Greedy single-window removal to a fixpoint; never empties the set. *)
+
+val scenario : (Scenario.t -> bool) -> Scenario.t -> Scenario.t
+(** Full pipeline: shrink the event stream, then the window set, then
+    the events once more (a smaller window set often unlocks further
+    stream reduction). *)

@@ -266,6 +266,69 @@ let test_single_key_skew () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "skew mismatch: %s" e
 
+(* --- watermark / punctuation / close edge cases --- *)
+
+let test_advance_fires_without_events () =
+  (* A punctuation alone must fire every instance ending at or before
+     it, even with no event at the boundary. *)
+  let plan = Plan.naive Aggregate.Count [ tumbling 10 ] in
+  let t = Stream_exec.create plan in
+  Stream_exec.feed t (ev 3 "k" 1.0);
+  Stream_exec.advance t 10;
+  Stream_exec.advance t 25;
+  let rows = Stream_exec.close t ~horizon:30 in
+  check_bool "instance [0,10) fired" true
+    (List.exists (fun r -> Interval.equal r.Row.interval (Interval.make ~lo:0 ~hi:10)) rows);
+  check_int "only the non-empty instance" 1 (List.length rows)
+
+let test_advance_at_watermark_is_noop () =
+  (* Punctuation at (or below) the current watermark is a no-op: it
+     must not fire anything new, and an event at that same time is
+     still acceptable afterwards. *)
+  let plan = Plan.naive Aggregate.Sum [ tumbling 10 ] in
+  let t = Stream_exec.create plan in
+  Stream_exec.feed t (ev 7 "k" 1.0);
+  Stream_exec.advance t 7;
+  Stream_exec.advance t 3;
+  Stream_exec.feed t (ev 7 "k" 2.0);
+  let rows = Stream_exec.close t ~horizon:10 in
+  check_int "one row" 1 (List.length rows);
+  check_bool "both events aggregated" true ((List.hd rows).Row.value = 3.0)
+
+let test_late_event_after_punctuation () =
+  (* An event strictly older than a punctuation-advanced watermark must
+     raise Late_event carrying the offending event. *)
+  let plan = Plan.naive Aggregate.Min [ tumbling 10 ] in
+  let t = Stream_exec.create plan in
+  Stream_exec.advance t 8;
+  (match Stream_exec.feed t (ev 5 "k" 1.0) with
+  | exception Stream_exec.Late_event e ->
+      check_int "payload is the late event" 5 e.Event.time
+  | _ -> Alcotest.fail "late event must raise");
+  (* the boundary itself is acceptable: watermark is strict *)
+  Stream_exec.feed t (ev 8 "k" 1.0)
+
+let test_advance_after_close_rejects () =
+  let plan = Plan.naive Aggregate.Sum [ tumbling 10 ] in
+  let t = Stream_exec.create plan in
+  ignore (Stream_exec.close t ~horizon:10);
+  (match Stream_exec.advance t 20 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "advance after close must reject");
+  match Stream_exec.close t ~horizon:20 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double close must reject"
+
+let test_punctuation_only_stream_matches_oracle () =
+  (* Feeding nothing but closing at a horizon equals the batch oracle
+     on an empty stream: no rows, no crash, for a shared plan too. *)
+  let outcome = Rewrite.optimize Aggregate.Sum example6_windows in
+  let t = Stream_exec.create outcome.Rewrite.plan in
+  Stream_exec.advance t 40;
+  Stream_exec.advance t 80;
+  let rows = Stream_exec.close t ~horizon:120 in
+  check_int "no rows from punctuation alone" 0 (List.length rows)
+
 let suite =
   [
     Alcotest.test_case "event basics" `Quick test_event_basics;
@@ -281,6 +344,16 @@ let suite =
       test_stream_closed_rejects;
     Alcotest.test_case "incomplete instances dropped" `Quick
       test_incomplete_instances_dropped;
+    Alcotest.test_case "punctuation fires instances" `Quick
+      test_advance_fires_without_events;
+    Alcotest.test_case "punctuation at watermark no-op" `Quick
+      test_advance_at_watermark_is_noop;
+    Alcotest.test_case "late event after punctuation" `Quick
+      test_late_event_after_punctuation;
+    Alcotest.test_case "advance/close after close reject" `Quick
+      test_advance_after_close_rejects;
+    Alcotest.test_case "punctuation-only stream" `Quick
+      test_punctuation_only_stream_matches_oracle;
     Alcotest.test_case "metrics match cost model" `Quick
       test_metrics_match_cost_model;
     Alcotest.test_case "metrics hopping exact" `Quick test_metrics_hopping_exact;

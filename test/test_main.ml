@@ -16,6 +16,7 @@ let () =
       ("sql", Test_sql.suite);
       ("engine", Test_engine.suite);
       ("workload", Test_workload.suite);
+      ("differential", Test_differential.suite);
       ("core", Test_core.suite);
       ("adaptive", Test_adaptive.suite);
       ("integration", Test_integration.suite);

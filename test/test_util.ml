@@ -118,6 +118,76 @@ let test_prng_float_bounds () =
     check_bool "in [0,10)" true (v >= 0.0 && v < 10.0)
   done
 
+(* --- bias at pathological bounds --- *)
+
+let test_prng_bound_one () =
+  (* bound = 1: the only value in [0, 1) is 0, every single draw. *)
+  let g = Prng.create 123 in
+  for _ = 1 to 1000 do
+    check_int "always 0" 0 (Prng.int g 1)
+  done
+
+let test_prng_huge_bound () =
+  (* A bound close to the generator's 62-bit raw range stresses the
+     rejection-sampling path: draws must stay in range and not collapse
+     toward either end (naive modulo would fold the top of the raw
+     range onto [0, 2^62 mod bound), biasing low). *)
+  let bound = (1 lsl 61) + 12345 in
+  let g = Prng.create 2024 in
+  let n = 2000 in
+  let above_half = ref 0 in
+  for _ = 1 to n do
+    let v = Prng.int g bound in
+    check_bool "in range" true (v >= 0 && v < bound);
+    if v >= bound / 2 then incr above_half
+  done;
+  (* binomial(2000, 1/2): mean 1000, sd ~22; allow ±5 sd *)
+  check_bool "upper half hit fairly" true
+    (!above_half > 888 && !above_half < 1112)
+
+let test_prng_small_bound_uniform () =
+  (* chi-squared goodness of fit at bound 3 over 3000 draws:
+     expected 1000 per cell; chi² with 2 dof, p=0.001 cutoff ~13.8. *)
+  let g = Prng.create 77 in
+  let cells = Array.make 3 0 in
+  let n = 3000 in
+  for _ = 1 to n do
+    let v = Prng.int g 3 in
+    cells.(v) <- cells.(v) + 1
+  done;
+  let e = float_of_int n /. 3.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc o ->
+        let d = float_of_int o -. e in
+        acc +. (d *. d /. e))
+      0.0 cells
+  in
+  check_bool "chi-squared below 13.8" true (chi2 < 13.8)
+
+let test_prng_split_independence () =
+  (* Split streams must be pairwise independent: bucket joint draws
+     (int l 4, int r 4) into a 4x4 table and run a chi-squared test for
+     independence.  4096 samples, expected 256 per cell; 15 dof,
+     p=0.001 cutoff ~37.7 (45 leaves slack for the smoke test). *)
+  let l, r = Prng.split (Prng.create 31337) in
+  let cells = Array.make 16 0 in
+  let n = 4096 in
+  for _ = 1 to n do
+    let a = Prng.int l 4 and b = Prng.int r 4 in
+    let idx = (a * 4) + b in
+    cells.(idx) <- cells.(idx) + 1
+  done;
+  let e = float_of_int n /. 16.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc o ->
+        let d = float_of_int o -. e in
+        acc +. (d *. d /. e))
+      0.0 cells
+  in
+  check_bool "joint distribution uniform (chi-squared < 45)" true (chi2 < 45.0)
+
 let test_prng_bernoulli_extremes () =
   let g = Prng.create 5 in
   check_bool "p=0 never" true
@@ -138,6 +208,12 @@ let suite =
     Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
     Alcotest.test_case "prng bernoulli extremes" `Quick
       test_prng_bernoulli_extremes;
+    Alcotest.test_case "prng bound 1" `Quick test_prng_bound_one;
+    Alcotest.test_case "prng bound near 2^61" `Quick test_prng_huge_bound;
+    Alcotest.test_case "prng small-bound uniformity" `Quick
+      test_prng_small_bound_uniform;
+    Alcotest.test_case "prng split independence" `Quick
+      test_prng_split_independence;
     prop_prng_int_bounds;
     prop_prng_int_in_bounds;
     prop_prng_choose;
