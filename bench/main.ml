@@ -3,10 +3,11 @@
    model against the execution engine, runs the ablations called out in
    DESIGN.md, and times the optimizer itself with Bechamel.
 
-   Usage:  main.exe [--seed N] [--section NAME]...
+   Usage:  main.exe [--seed N] [--section NAME]... [--engine-events N]
    With no --section, every section runs.  Section names: examples,
    table1, fig11, fig12, fig13, fig14, fig15, validate, measured,
-   ablation, timing, fuzz. *)
+   ablation, timing, engine, fuzz.  The engine section also writes
+   machine-readable throughput numbers to BENCH_engine.json. *)
 
 open Fw_window
 module Evaluation = Factor_windows.Evaluation
@@ -26,6 +27,7 @@ let default_seed = 20260705
 let sections = ref []
 let seed = ref default_seed
 let csv = ref false
+let engine_events = ref 20_000
 
 let () =
   let rec parse = function
@@ -35,6 +37,9 @@ let () =
         parse rest
     | "--section" :: name :: rest ->
         sections := name :: !sections;
+        parse rest
+    | "--engine-events" :: v :: rest ->
+        engine_events := int_of_string v;
         parse rest
     | "--csv" :: rest ->
         csv := true;
@@ -575,6 +580,123 @@ let section_timing () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Engine throughput: naive per-instance vs incremental pane mode,     *)
+(* with a machine-readable BENCH_engine.json artifact.                 *)
+(* ------------------------------------------------------------------ *)
+
+let engine_window_sets =
+  [
+    (* The acceptance workload: 10 overlapping windows with r/s = 50 —
+       each event lands in 500 pending instances under the naive
+       executor but in exactly one open pane under the incremental
+       one. *)
+    ( "rs50x10",
+      List.init 10 (fun i ->
+          Window.make ~range:(50 * (i + 1)) ~slide:(i + 1)) );
+    ("tumbling4", List.map Window.tumbling [ 10; 20; 30; 40 ]);
+    ( "hopping4",
+      [
+        Window.make ~range:10 ~slide:2;
+        Window.make ~range:12 ~slide:4;
+        Window.make ~range:8 ~slide:2;
+        Window.make ~range:30 ~slide:3;
+      ] );
+  ]
+
+let engine_aggregates =
+  Aggregate.[ Sum; Min; Max; Avg; Stdev ]
+
+let section_engine () =
+  heading "Engine throughput: naive vs incremental (pane) execution";
+  let n_events = !engine_events in
+  let eta = 4 in
+  let horizon = max 1 (n_events / eta) in
+  let events =
+    Event_gen.steady
+      (Fw_util.Prng.create (!seed + 12))
+      Event_gen.default_config ~eta ~horizon
+  in
+  let n_events = List.length events in
+  Printf.printf "%d events (eta=%d, horizon=%d ticks), %d window sets\n"
+    n_events eta horizon
+    (List.length engine_window_sets);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let results =
+    List.concat_map
+      (fun (set_name, ws) ->
+        List.map
+          (fun agg ->
+            let plan = Fw_plan.Plan.naive agg ws in
+            let naive_rows, naive_dt =
+              time (fun () ->
+                  Fw_engine.Stream_exec.run plan ~horizon events)
+            in
+            let inc_rows, inc_dt =
+              time (fun () ->
+                  Fw_engine.Stream_exec.run
+                    ~mode:Fw_engine.Stream_exec.Incremental plan ~horizon
+                    events)
+            in
+            let rows_match = Fw_engine.Row.equal_sets naive_rows inc_rows in
+            (set_name, ws, agg, naive_dt, inc_dt, rows_match))
+          engine_aggregates)
+      engine_window_sets
+  in
+  let rate dt = float_of_int n_events /. dt in
+  let rows =
+    List.map
+      (fun (set_name, _, agg, naive_dt, inc_dt, rows_match) ->
+        [
+          set_name;
+          Aggregate.to_string agg;
+          Printf.sprintf "%.0f" (rate naive_dt);
+          Printf.sprintf "%.0f" (rate inc_dt);
+          Printf.sprintf "x%.1f" (naive_dt /. inc_dt);
+          (if rows_match then "yes" else "NO");
+        ])
+      results
+  in
+  print_endline
+    (Report.table
+       ~header:
+         [ "window set"; "agg"; "naive ev/s"; "incr ev/s"; "speedup"; "rows =" ]
+       rows);
+  (* Machine-readable artifact (hand-rolled JSON; no JSON dep). *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"seed\": %d,\n" !seed;
+  Printf.bprintf buf "  \"events\": %d,\n" n_events;
+  Printf.bprintf buf "  \"eta\": %d,\n" eta;
+  Printf.bprintf buf "  \"horizon\": %d,\n" horizon;
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i (set_name, ws, agg, naive_dt, inc_dt, rows_match) ->
+      Printf.bprintf buf
+        "    {\"window_set\": \"%s\", \"windows\": \"%s\", \"aggregate\": \
+         \"%s\", \"naive_events_per_sec\": %.1f, \
+         \"incremental_events_per_sec\": %.1f, \"speedup\": %.3f, \
+         \"rows_match\": %b}%s\n"
+        set_name
+        (String.concat " " (List.map Window.to_string ws))
+        (Aggregate.to_string agg)
+        (rate naive_dt) (rate inc_dt)
+        (naive_dt /. inc_dt)
+        rows_match
+        (if i = List.length results - 1 then "" else ",")
+    )
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_engine.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote BENCH_engine.json (%d measurements)\n"
+    (List.length results)
+
+(* ------------------------------------------------------------------ *)
 (* Differential fuzzing smoke: the fwfuzz campaign, bounded, with      *)
 (* throughput and scenario-mix statistics (full campaigns: fwfuzz).    *)
 (* ------------------------------------------------------------------ *)
@@ -634,5 +756,6 @@ let () =
   if enabled "measured" then section_measured ();
   if enabled "ablation" then section_ablation ();
   if enabled "timing" then section_timing ();
+  if enabled "engine" then section_engine ();
   if enabled "fuzz" then section_fuzz ();
   print_newline ()

@@ -3,7 +3,8 @@
 
    Each iteration draws one random (aggregate, window set, event
    stream, horizon) scenario from a seed, runs it through every
-   execution path — reference evaluator, naive streaming plan,
+   execution path — reference evaluator, naive streaming plan, the
+   pane-based incremental engine (--incremental-prob to sample),
    rewritten plans with/without factor windows, paned/paired slicing
    shared/unshared — asserts row-for-row equality, and checks the
    structural invariants (Theorem 7 forest shape, cost monotonicity,
@@ -57,6 +58,15 @@ let no_holistic_arg =
   let doc = "Exclude holistic aggregates (MEDIAN) from the draw." in
   Arg.(value & flag & info [ "no-holistic" ] ~doc)
 
+let incremental_prob_arg =
+  let doc =
+    "Probability that an iteration also runs the incremental (pane-based) \
+     streaming engine as a checked path.  Decided deterministically per \
+     seed, so replays match the campaign."
+  in
+  Arg.(value & opt float 1.0
+       & info [ "incremental-prob" ] ~docv:"P" ~doc)
+
 let max_failures_arg =
   let doc = "Stop the campaign after this many failures." in
   Arg.(value & opt int 5 & info [ "max-failures" ] ~docv:"F" ~doc)
@@ -74,8 +84,8 @@ let gen_config max_windows eta_max horizon_max no_holistic =
     allow_holistic = not no_holistic;
   }
 
-let replay gen ~invariants seed =
-  match Harness.check_seed ~invariants gen seed with
+let replay gen ~invariants ~incremental_prob seed =
+  match Harness.check_seed ~invariants ~incremental_prob gen seed with
   | Ok sc ->
       Printf.printf "seed %d: %s\n" seed (Scenario.summary sc);
       List.iter
@@ -97,13 +107,15 @@ let replay gen ~invariants seed =
       Format.printf "%a@." Harness.pp_failure failure;
       1
 
-let campaign gen ~invariants ~iterations ~base_seed ~max_failures ~quiet =
+let campaign gen ~invariants ~incremental_prob ~iterations ~base_seed
+    ~max_failures ~quiet =
   let cfg =
     {
       Harness.iterations;
       base_seed;
       gen;
       invariants;
+      incremental_prob;
       max_failures;
     }
   in
@@ -137,7 +149,7 @@ let campaign gen ~invariants ~iterations ~base_seed ~max_failures ~quiet =
       1
 
 let main iterations seed do_replay max_windows eta_max horizon_max
-    no_invariants no_holistic max_failures quiet =
+    no_invariants no_holistic incremental_prob max_failures quiet =
   let bad name v =
     Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
     exit 124
@@ -147,11 +159,17 @@ let main iterations seed do_replay max_windows eta_max horizon_max
   if eta_max < 1 then bad "--eta-max" eta_max;
   if horizon_max < 1 then bad "--horizon-max" horizon_max;
   if max_failures < 1 then bad "--max-failures" max_failures;
+  if incremental_prob < 0.0 || incremental_prob > 1.0 then begin
+    Printf.eprintf "fwfuzz: --incremental-prob must be in [0, 1] (got %g)\n"
+      incremental_prob;
+    exit 124
+  end;
   let gen = gen_config max_windows eta_max horizon_max no_holistic in
   let invariants = not no_invariants in
-  if do_replay then replay gen ~invariants seed
+  if do_replay then replay gen ~invariants ~incremental_prob seed
   else
-    campaign gen ~invariants ~iterations ~base_seed:seed ~max_failures ~quiet
+    campaign gen ~invariants ~incremental_prob ~iterations ~base_seed:seed
+      ~max_failures ~quiet
 
 let cmd =
   let info =
@@ -164,6 +182,6 @@ let cmd =
     Term.(
       const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
       $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
-      $ max_failures_arg $ quiet_arg)
+      $ incremental_prob_arg $ max_failures_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,8 +4,23 @@ type state =
   | S_count of int
   | S_sum of float
   | S_avg of { sum : float; count : int }
-  | S_stdev of { sum : float; sumsq : float; count : int }
+  | S_stdev of { count : int; mean : float; m2 : float }
+      (* Welford's running mean and sum of squared deviations; merged
+         with Chan et al.'s pairwise update.  The textbook
+         sum/sum-of-squares form cancels catastrophically when the mean
+         dwarfs the deviations (values near 1e8 with variance ~1), so
+         the state keeps the deviations directly. *)
   | S_median of float list  (* holistic: keeps every value *)
+
+let identity (f : Aggregate.t) =
+  match f with
+  | Min -> S_min Float.infinity
+  | Max -> S_max Float.neg_infinity
+  | Count -> S_count 0
+  | Sum -> S_sum 0.0
+  | Avg -> S_avg { sum = 0.0; count = 0 }
+  | Stdev -> S_stdev { count = 0; mean = 0.0; m2 = 0.0 }
+  | Median -> S_median []
 
 let of_value (f : Aggregate.t) v =
   match f with
@@ -14,7 +29,7 @@ let of_value (f : Aggregate.t) v =
   | Count -> S_count 1
   | Sum -> S_sum v
   | Avg -> S_avg { sum = v; count = 1 }
-  | Stdev -> S_stdev { sum = v; sumsq = v *. v; count = 1 }
+  | Stdev -> S_stdev { count = 1; mean = v; m2 = 0.0 }
   | Median -> S_median [ v ]
 
 let add state v =
@@ -24,8 +39,11 @@ let add state v =
   | S_count n -> S_count (n + 1)
   | S_sum s -> S_sum (s +. v)
   | S_avg { sum; count } -> S_avg { sum = sum +. v; count = count + 1 }
-  | S_stdev { sum; sumsq; count } ->
-      S_stdev { sum = sum +. v; sumsq = sumsq +. (v *. v); count = count + 1 }
+  | S_stdev { count; mean; m2 } ->
+      let count = count + 1 in
+      let delta = v -. mean in
+      let mean = mean +. (delta /. float_of_int count) in
+      S_stdev { count; mean; m2 = m2 +. (delta *. (v -. mean)) }
   | S_median vs -> S_median (v :: vs)
 
 let merge a b =
@@ -37,28 +55,71 @@ let merge a b =
   | S_avg x, S_avg y ->
       S_avg { sum = x.sum +. y.sum; count = x.count + y.count }
   | S_stdev x, S_stdev y ->
-      S_stdev
-        {
-          sum = x.sum +. y.sum;
-          sumsq = x.sumsq +. y.sumsq;
-          count = x.count + y.count;
-        }
+      (* Chan, Golub & LeVeque's pairwise combination. *)
+      if x.count = 0 then b
+      else if y.count = 0 then a
+      else
+        let na = float_of_int x.count and nb = float_of_int y.count in
+        let n = na +. nb in
+        let delta = y.mean -. x.mean in
+        S_stdev
+          {
+            count = x.count + y.count;
+            mean = x.mean +. (delta *. nb /. n);
+            m2 = x.m2 +. y.m2 +. (delta *. delta *. na *. nb /. n);
+          }
   | S_median x, S_median y -> S_median (List.rev_append x y)
   | ( (S_min _ | S_max _ | S_count _ | S_sum _ | S_avg _ | S_stdev _
       | S_median _),
       _ ) ->
       invalid_arg "Combine.merge: mismatched aggregate states"
 
+(* STDEV is deliberately absent even though {!inverse} succeeds on its
+   states: undoing a merge computes M2 as a difference of nearly equal
+   quantities, so a window whose true variance is 0 comes back as ~1e-13
+   worth of residual — far outside the differential oracle's tolerance
+   once square-rooted.  Sliding queues therefore treat STDEV like the
+   non-invertible aggregates and re-merge exactly the in-window panes. *)
+let invertible : Aggregate.t -> bool = function
+  | Count | Sum | Avg -> true
+  | Stdev | Min | Max | Median -> false
+
+let inverse total part =
+  match (total, part) with
+  | S_count x, S_count y -> if x >= y then Some (S_count (x - y)) else None
+  | S_sum x, S_sum y -> Some (S_sum (x -. y))
+  | S_avg x, S_avg y ->
+      if x.count >= y.count then
+        Some (S_avg { sum = x.sum -. y.sum; count = x.count - y.count })
+      else None
+  | S_stdev x, S_stdev y ->
+      if x.count < y.count then None
+      else if y.count = 0 then Some total
+      else if x.count = y.count then
+        Some (S_stdev { count = 0; mean = 0.0; m2 = 0.0 })
+      else
+        (* Undo the Chan merge: with n = na + nb known, recover the mean
+           and M2 of the removed-complement part a. *)
+        let n = float_of_int x.count and nb = float_of_int y.count in
+        let na = float_of_int (x.count - y.count) in
+        let mean_a = ((n *. x.mean) -. (nb *. y.mean)) /. na in
+        let delta = y.mean -. mean_a in
+        let m2_a = x.m2 -. y.m2 -. (delta *. delta *. na *. nb /. n) in
+        Some
+          (S_stdev
+             { count = x.count - y.count; mean = mean_a; m2 = Float.max 0.0 m2_a })
+  | (S_min _ | S_max _ | S_median _), _ -> None
+  | (S_count _ | S_sum _ | S_avg _ | S_stdev _), _ ->
+      invalid_arg "Combine.inverse: mismatched aggregate states"
+
 let finalize = function
   | S_min m | S_max m -> m
   | S_count n -> float_of_int n
   | S_sum s -> s
   | S_avg { sum; count } -> sum /. float_of_int count
-  | S_stdev { sum; sumsq; count } ->
-      let n = float_of_int count in
-      let mean = sum /. n in
-      let var = (sumsq /. n) -. (mean *. mean) in
-      sqrt (Float.max 0.0 var)
+  | S_stdev { count; m2; _ } ->
+      if count = 0 then nan
+      else sqrt (Float.max 0.0 (m2 /. float_of_int count))
   | S_median vs -> (
       let sorted = List.sort Float.compare vs in
       let n = List.length sorted in

@@ -1,4 +1,5 @@
-(** Runtime sub-aggregate states: the [g]/[h] functions of the taxonomy.
+(** Runtime sub-aggregate states: the [g]/[h] functions of the taxonomy,
+    packaged as a commutative monoid with a partial inverse.
 
     A {!state} is the constant-size summary produced by [g] for
     distributive/algebraic functions, or the full multiset of values for
@@ -6,13 +7,35 @@
     {!add}), merged across sub-windows ({!merge}), and finalized into
     the aggregate result ({!finalize}).
 
+    The monoid structure is what the incremental executors lean on:
+    {!identity} is a neutral element for {!merge}, {!merge} is
+    associative and commutative up to floating-point rounding, and for
+    the aggregates with an algebraic inverse (COUNT/SUM/AVG/STDEV)
+    {!inverse} undoes a merge — the subtract-on-evict fast path of
+    {!Fw_agg.Swag}.  MIN/MAX/MEDIAN have no inverse; sliding queues
+    over them use the two-stacks flip instead, as they do for STDEV,
+    whose inverse exists but is numerically treacherous (see
+    {!invertible}).
+
     {!merge} corresponds to aggregating sub-aggregates.  For MIN/MAX it
     is sound even when sub-windows overlap (Theorem 6); for
     COUNT/SUM/AVG/STDEV it is only sound over disjoint partitions
     (Theorem 5) — enforcing that is the optimizer's job (it selects
-    partitioned-by edges for those functions). *)
+    partitioned-by edges for those functions).
+
+    STDEV states keep Welford-style (count, mean, M2) rather than
+    (sum, sum-of-squares): the latter cancels catastrophically when the
+    mean dwarfs the spread (values near 1e8 with variance ~1 lose every
+    significant digit of the variance).  {!merge} uses Chan, Golub &
+    LeVeque's pairwise update, which is stable in the same regime. *)
 
 type state
+
+val identity : Aggregate.t -> state
+(** The neutral element: [merge (identity f) s = s] and
+    [add (identity f) v = of_value f v].  Finalizing an identity state
+    yields the aggregate's empty-input value (infinities for MIN/MAX,
+    [0] for COUNT/SUM, [nan] for AVG/STDEV/MEDIAN). *)
 
 val of_value : Aggregate.t -> float -> state
 (** Summary of a singleton input. *)
@@ -23,6 +46,22 @@ val add : state -> float -> state
 val merge : state -> state -> state
 (** Combine two sub-aggregate summaries.  Raises [Invalid_argument] when
     the states come from different aggregate functions. *)
+
+val invertible : Aggregate.t -> bool
+(** Whether subtract-on-evict is {e numerically safe} for this
+    aggregate: [true] for COUNT/SUM/AVG only.  STDEV's {!inverse}
+    exists algebraically but computes M2 as a difference of nearly
+    equal quantities (catastrophic cancellation: a zero-variance window
+    acquires a spurious residual), so eviction must re-merge instead of
+    subtract — the two-stacks path. *)
+
+val inverse : state -> state -> state option
+(** [inverse total part] removes [part]'s contribution from [total]:
+    if [total = merge a part] then [inverse total part] recovers [a]
+    (up to floating-point rounding).  Returns [None] for
+    non-invertible aggregates (MIN/MAX/MEDIAN) and when [part] counts
+    more items than [total].  Raises [Invalid_argument] when the states
+    come from different aggregate functions. *)
 
 val finalize : state -> float
 (** The [h] function: extract the aggregate result.  For COUNT the

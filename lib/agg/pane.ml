@@ -1,0 +1,25 @@
+type t = {
+  agg : Aggregate.t;
+  tbl : (string, Combine.state) Hashtbl.t;
+}
+
+let create ?(size_hint = 16) agg = { agg; tbl = Hashtbl.create size_hint }
+
+let aggregate t = t.agg
+
+let add t ~key v =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> Hashtbl.replace t.tbl key (Combine.of_value t.agg v)
+  | Some st -> Hashtbl.replace t.tbl key (Combine.add st v)
+
+let merge t ~key state =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> Hashtbl.replace t.tbl key state
+  | Some st -> Hashtbl.replace t.tbl key (Combine.merge st state)
+
+let find t key = Hashtbl.find_opt t.tbl key
+let iter f t = Hashtbl.iter f t.tbl
+let fold f t acc = Hashtbl.fold f t.tbl acc
+let size t = Hashtbl.length t.tbl
+let is_empty t = Hashtbl.length t.tbl = 0
+let clear t = Hashtbl.reset t.tbl

@@ -1,0 +1,31 @@
+(** A per-key pane buffer: the unit of pre-aggregation shared by the
+    incremental streaming engine and the executable window slicing.
+
+    One pane covers one slide-aligned (or slice-aligned) span of the
+    stream and accumulates a {!Combine.state} per key.  Raw events fold
+    in with {!add} in O(1); sealed panes are drained with {!iter} into
+    per-key sliding queues ({!Swag}) or per-slice partial arrays
+    ({!Fw_slicing.Exec}).  A pane only holds entries for keys that
+    actually appeared, so empty keys cost nothing. *)
+
+type t
+
+val create : ?size_hint:int -> Aggregate.t -> t
+val aggregate : t -> Aggregate.t
+
+val add : t -> key:string -> float -> unit
+(** Fold one raw value into the key's state ([of_value] on first
+    sight, [Combine.add] afterwards). *)
+
+val merge : t -> key:string -> Combine.state -> unit
+(** Fold a whole sub-aggregate state into the key's slot (used when a
+    pane accumulates upstream sub-aggregates rather than raw values). *)
+
+val find : t -> string -> Combine.state option
+val iter : (string -> Combine.state -> unit) -> t -> unit
+val fold : (string -> Combine.state -> 'a -> 'a) -> t -> 'a -> 'a
+val size : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Empty the pane for reuse (the engine recycles one open pane). *)

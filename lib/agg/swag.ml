@@ -1,0 +1,119 @@
+type entry = { idx : int; st : Combine.state }
+
+type two_stacks = {
+  mutable front : entry list;
+      (* oldest first; each cell's [st] is the merge of its own raw
+         state with every younger cell flipped along with it, so the
+         head always carries the aggregate of the whole front *)
+  mutable back : entry list;  (* youngest first; raw states *)
+  mutable back_acc : Combine.state option;
+}
+
+type subtractive = {
+  q : entry Queue.t;  (* oldest first; raw states *)
+  mutable acc : Combine.state option;
+}
+
+type repr = Two_stacks of two_stacks | Subtractive of subtractive
+
+type t = { mutable len : int; repr : repr }
+
+let create agg =
+  {
+    len = 0;
+    repr =
+      (if Combine.invertible agg then
+         Subtractive { q = Queue.create (); acc = None }
+       else Two_stacks { front = []; back = []; back_acc = None });
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t ~idx st =
+  t.len <- t.len + 1;
+  match t.repr with
+  | Two_stacks ts ->
+      ts.back <- { idx; st } :: ts.back;
+      ts.back_acc <-
+        Some
+          (match ts.back_acc with
+          | None -> st
+          | Some acc -> Combine.merge acc st)
+  | Subtractive s ->
+      Queue.add { idx; st } s.q;
+      s.acc <-
+        Some
+          (match s.acc with
+          | None -> st
+          | Some acc -> Combine.merge acc st)
+
+(* Rebuild the front stack from the back stack: visit back entries
+   youngest to oldest, prepending each cumulative cell, which leaves the
+   oldest entry at the head carrying the whole aggregate.  Each entry is
+   flipped at most once, so pushes and evictions stay O(1) amortized. *)
+let flip ts back =
+  let rec go acc built = function
+    | [] -> built
+    | e :: rest ->
+        let cum =
+          match acc with None -> e.st | Some a -> Combine.merge e.st a
+        in
+        go (Some cum) ({ idx = e.idx; st = cum } :: built) rest
+  in
+  ts.front <- go None [] back;
+  ts.back <- [];
+  ts.back_acc <- None
+
+let evict_below t m =
+  match t.repr with
+  | Two_stacks ts ->
+      let rec go () =
+        if t.len > 0 then begin
+          (match ts.front with [] -> flip ts ts.back | _ -> ());
+          match ts.front with
+          | e :: rest when e.idx < m ->
+              ts.front <- rest;
+              t.len <- t.len - 1;
+              go ()
+          | _ -> ()
+        end
+      in
+      go ()
+  | Subtractive s ->
+      let recompute () =
+        Queue.fold
+          (fun acc e ->
+            Some
+              (match acc with
+              | None -> e.st
+              | Some a -> Combine.merge a e.st))
+          None s.q
+      in
+      let rec go () =
+        match Queue.peek_opt s.q with
+        | Some e when e.idx < m ->
+            ignore (Queue.pop s.q);
+            t.len <- t.len - 1;
+            (s.acc <-
+               (if Queue.is_empty s.q then None
+                else
+                  match s.acc with
+                  | None -> None
+                  | Some acc -> (
+                      match Combine.inverse acc e.st with
+                      | Some a -> Some a
+                      | None -> recompute ())));
+            go ()
+        | Some _ | None -> ()
+      in
+      go ()
+
+let query t =
+  match t.repr with
+  | Subtractive s -> s.acc
+  | Two_stacks ts -> (
+      match (ts.front, ts.back_acc) with
+      | [], acc -> acc
+      | e :: _, None -> Some e.st
+      | e :: _, Some acc -> Some (Combine.merge e.st acc))

@@ -1,0 +1,37 @@
+(** Sliding-window aggregation queue: O(1) amortized per operation.
+
+    A FIFO of indexed sub-aggregate states (panes) answering "merge of
+    everything currently enqueued" in O(1), the building block of the
+    incremental window executor (Tangwongsan, Hirzel & Schneider's SWAG
+    framing).  Two implementations sit behind one interface, chosen by
+    the aggregate:
+
+    - {e subtract-on-evict} for invertible aggregates (COUNT/SUM/AVG):
+      a running merged state, updated with {!Combine.inverse} on
+      eviction — O(1) worst case;
+    - {e two-stacks} for the rest (MIN/MAX/MEDIAN, and STDEV whose
+      inverse is numerically unsafe — see {!Combine.invertible}): a
+      front stack of suffix-merged states and a back stack with a
+      running merge; evicting past an empty front flips the back
+      across — O(1) amortized, no inverse needed.
+
+    Indices must be pushed in non-decreasing order (pane order); the
+    queue never reorders. *)
+
+type t
+
+val create : Aggregate.t -> t
+
+val push : t -> idx:int -> Combine.state -> unit
+(** Enqueue the sealed pane [idx]'s state.  Indices must not decrease
+    across pushes. *)
+
+val evict_below : t -> int -> unit
+(** Drop every entry with index < the bound (panes that slid out of the
+    current window instance). *)
+
+val query : t -> Combine.state option
+(** Merge of all enqueued states; [None] when empty. *)
+
+val length : t -> int
+val is_empty : t -> bool

@@ -24,7 +24,7 @@ let describe_diff reference actual =
     (String.concat " | " (List.map line shown))
     suffix
 
-let check sc =
+let check ?(paths = Paths.all) sc =
   match Paths.rows Paths.Reference_path sc with
   | Error e ->
       [ { path = Paths.name Paths.Reference_path; detail = "crashed: " ^ e } ]
@@ -46,4 +46,4 @@ let check sc =
                         path = Paths.name path;
                         detail = describe_diff reference rows;
                       }))
-        Paths.all
+        paths

@@ -11,5 +11,7 @@ type discrepancy = {
   detail : string;  (** aligned row diff or exception text *)
 }
 
-val check : Scenario.t -> discrepancy list
-(** [[]] iff every path agrees with the reference on this scenario. *)
+val check : ?paths:Paths.path list -> Scenario.t -> discrepancy list
+(** [[]] iff every checked path agrees with the reference on this
+    scenario.  [paths] defaults to {!Paths.all}; the reference is
+    always executed regardless of whether it is listed. *)

@@ -13,6 +13,7 @@ type config = {
   base_seed : int;
   gen : Scenario.gen_config;
   invariants : bool;
+  incremental_prob : float;
   max_failures : int;
 }
 
@@ -22,6 +23,7 @@ let default_config =
     base_seed = 42;
     gen = Scenario.default_gen;
     invariants = true;
+    incremental_prob = 1.0;
     max_failures = 5;
   }
 
@@ -30,12 +32,12 @@ type outcome = {
   failures : failure list;  (** in discovery order *)
 }
 
-let problems_of ~invariants sc =
+let problems_of ~invariants ~paths sc =
   let diffs =
     List.map
       (fun (d : Differential.discrepancy) ->
         { source = d.Differential.path; detail = d.Differential.detail })
-      (Differential.check sc)
+      (Differential.check ~paths sc)
   in
   let invs =
     if invariants then
@@ -47,12 +49,27 @@ let problems_of ~invariants sc =
   in
   diffs @ invs
 
-let check_seed ?(invariants = true) gen seed =
+(* Whether this seed's campaign iteration also runs the incremental
+   engine as a checked path.  Decided deterministically from the seed
+   (not a global counter) so a failure replays identically under
+   [--replay --seed N] no matter which iteration found it. *)
+let paths_for ~incremental_prob seed =
+  if
+    incremental_prob >= 1.0
+    || Fw_util.Prng.bernoulli
+         (Fw_util.Prng.create (seed lxor 0x1ec4e81))
+         incremental_prob
+  then Paths.all
+  else
+    List.filter (fun p -> p <> Paths.Incremental_stream) Paths.all
+
+let check_seed ?(invariants = true) ?(incremental_prob = 1.0) gen seed =
   let sc = Scenario.of_seed gen seed in
-  match problems_of ~invariants sc with
+  let paths = paths_for ~incremental_prob seed in
+  match problems_of ~invariants ~paths sc with
   | [] -> Ok sc
   | problems ->
-      let still_fails sc' = problems_of ~invariants sc' <> [] in
+      let still_fails sc' = problems_of ~invariants ~paths sc' <> [] in
       let shrunk = Shrink.scenario still_fails sc in
       Error
         {
@@ -60,7 +77,7 @@ let check_seed ?(invariants = true) gen seed =
           scenario = sc;
           problems;
           shrunk;
-          shrunk_problems = problems_of ~invariants shrunk;
+          shrunk_problems = problems_of ~invariants ~paths shrunk;
         }
 
 let run ?progress cfg =
@@ -69,7 +86,10 @@ let run ?progress cfg =
   (try
      for i = 0 to cfg.iterations - 1 do
        let seed = cfg.base_seed + i in
-       (match check_seed ~invariants:cfg.invariants cfg.gen seed with
+       (match
+          check_seed ~invariants:cfg.invariants
+            ~incremental_prob:cfg.incremental_prob cfg.gen seed
+        with
        | Ok _ -> ()
        | Error failure ->
            failures := failure :: !failures;

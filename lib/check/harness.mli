@@ -26,19 +26,27 @@ type config = {
   base_seed : int;  (** iteration [i] uses seed [base_seed + i] *)
   gen : Scenario.gen_config;
   invariants : bool;  (** also run {!Invariants.check} *)
+  incremental_prob : float;
+      (** probability that a seed's iteration also runs the incremental
+          engine ({!Paths.Incremental_stream}) as a checked path;
+          decided deterministically per seed so replays match *)
   max_failures : int;  (** stop the campaign after this many failures *)
 }
 
 val default_config : config
-(** 1000 iterations, base seed 42, invariants on, stop after 5
-    failures. *)
+(** 1000 iterations, base seed 42, invariants on, incremental path
+    always on, stop after 5 failures. *)
 
 type outcome = { checked : int; failures : failure list }
 
 val check_seed :
-  ?invariants:bool -> Scenario.gen_config -> int -> (Scenario.t, failure) result
+  ?invariants:bool ->
+  ?incremental_prob:float ->
+  Scenario.gen_config ->
+  int ->
+  (Scenario.t, failure) result
 (** Check a single seed; [Ok] returns the (clean) scenario so replay
-    tooling can describe it. *)
+    tooling can describe it.  [incremental_prob] defaults to [1.0]. *)
 
 val run : ?progress:(int -> unit) -> config -> outcome
 (** Run the campaign; [progress] is called after each iteration with

@@ -7,6 +7,7 @@ module Exec = Fw_slicing.Exec
 type path =
   | Reference_path
   | Naive_stream
+  | Incremental_stream
   | Rewritten
   | Rewritten_no_factor
   | Sliced of Exec.mode * Exec.slicing
@@ -15,6 +16,7 @@ let all =
   [
     Reference_path;
     Naive_stream;
+    Incremental_stream;
     Rewritten;
     Rewritten_no_factor;
     Sliced (Exec.Unshared, Exec.Paned_slicing);
@@ -26,6 +28,7 @@ let all =
 let name = function
   | Reference_path -> "reference"
   | Naive_stream -> "naive-stream"
+  | Incremental_stream -> "incremental-stream"
   | Rewritten -> "rewritten"
   | Rewritten_no_factor -> "rewritten-no-factor"
   | Sliced (mode, slicing) ->
@@ -38,10 +41,13 @@ let name = function
 (* The optimizer's cost model assumes aligned windows (footnote 4), so
    the rewritten paths only apply to aligned scenarios; every other
    path handles arbitrary hopping windows. *)
+(* The incremental engine handles every scenario: windows where panes
+   don't apply (holistic aggregate, non-aligned geometry) fall back to
+   the per-instance path node by node. *)
 let applicable path sc =
   match path with
   | Rewritten | Rewritten_no_factor -> Scenario.aligned sc
-  | Reference_path | Naive_stream | Sliced _ -> true
+  | Reference_path | Naive_stream | Incremental_stream | Sliced _ -> true
 
 let rewritten_plan ~factor_windows (sc : Scenario.t) =
   (Rewrite.optimize ~eta:sc.Scenario.eta ~factor_windows sc.Scenario.agg
@@ -58,6 +64,10 @@ let rows path (sc : Scenario.t) =
           Reference.run sc.Scenario.agg sc.Scenario.windows ~horizon events
       | Naive_stream ->
           Stream_exec.run
+            (Plan.naive sc.Scenario.agg sc.Scenario.windows)
+            ~horizon events
+      | Incremental_stream ->
+          Stream_exec.run ~mode:Stream_exec.Incremental
             (Plan.naive sc.Scenario.agg sc.Scenario.windows)
             ~horizon events
       | Rewritten ->

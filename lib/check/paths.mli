@@ -6,6 +6,10 @@
     - {!Reference_path}: the definition-level evaluator ({!Reference});
     - {!Naive_stream}: the naive per-window plan through the streaming
       engine ({!Fw_engine.Stream_exec});
+    - {!Incremental_stream}: the same naive plan through the engine's
+      pane-based incremental mode (per-slide panes + sliding queues;
+      windows where panes don't apply fall back per node, so the path
+      covers every scenario);
     - {!Rewritten}: the min-cost-WCG plan with factor windows
       (Algorithm 1 + Algorithm 2, Section 4.3 best-of);
     - {!Rewritten_no_factor}: plain Algorithm 1 rewriting;
@@ -16,12 +20,13 @@
 type path =
   | Reference_path
   | Naive_stream
+  | Incremental_stream
   | Rewritten
   | Rewritten_no_factor
   | Sliced of Fw_slicing.Exec.mode * Fw_slicing.Exec.slicing
 
 val all : path list
-(** The eight concrete paths, reference first. *)
+(** The nine concrete paths, reference first. *)
 
 val name : path -> string
 (** Stable identifier used in reports ("rewritten", "shared-paired", ...). *)

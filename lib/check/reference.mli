@@ -15,7 +15,8 @@ val eval : Fw_agg.Aggregate.t -> float list -> float
 (** Direct evaluation over a raw value list ([nan] for an empty MEDIAN;
     never called on empty lists by {!run}, which skips empty
     instances).  STDEV uses a two-pass mean/variance computation,
-    deliberately different from the engine's sum-of-squares states. *)
+    deliberately different from the engine's single-pass Welford/Chan
+    states. *)
 
 val window_rows :
   Fw_agg.Aggregate.t ->

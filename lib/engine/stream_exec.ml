@@ -1,9 +1,15 @@
 open Fw_window
 module Combine = Fw_agg.Combine
+module Pane = Fw_agg.Pane
+module Swag = Fw_agg.Swag
+module Aggregate = Fw_agg.Aggregate
+module Vec = Fw_util.Vec
 module Plan = Fw_plan.Plan
 module Validate = Fw_plan.Validate
 
 exception Late_event of Event.t
+
+type mode = Naive | Incremental
 
 type item =
   | Raw of Event.t
@@ -31,19 +37,50 @@ end
 
 module Pending = Map.Make (Fire_key)
 
-type window_state = {
+(* Per-instance execution state: every event is folded into all pending
+   instances containing it (O(r/s) work per event) and an instance's
+   state is complete when it fires.  This is the cost the paper's model
+   prices, and the only path that supports holistic aggregates and
+   sub-aggregate (window-over-window) inputs. *)
+type win_state = {
   window : Window.t;
   mutable pending : (Combine.state * int) Pending.t;
       (** sub-aggregate state and the number of items folded into it *)
   mutable wm : int;
 }
 
+(* Pane-based incremental execution state: raw events fold into the one
+   open per-slide pane (O(1) per event); sealed panes feed per-key
+   sliding queues ({!Fw_agg.Swag}) that answer each instance's combined
+   state in O(1) amortized. *)
+type pane_state = {
+  p_window : Window.t;
+  slide : int;
+  k : int;  (** panes per instance: r / s *)
+  open_pane : Pane.t;  (** accumulates pane [cur_pane*s, (cur_pane+1)*s) *)
+  mutable cur_pane : int;
+  queues : (string, Swag.t) Hashtbl.t;
+  mutable p_wm : int;
+}
+
+(* Flat operator-state array: one cell per plan node, dispatched with a
+   single match in [deliver] instead of an array of closures. *)
+type node_state =
+  | N_forward  (** source, multicast *)
+  | N_filter of Fw_plan.Predicate.t
+  | N_union of { sink : bool }
+  | N_win of win_state
+  | N_pane of pane_state
+
 type t = {
   plan : Plan.t;
+  agg : Aggregate.t;
   metrics : Metrics.t;
-  handlers : (msg -> unit) array;
+  states : node_state array;
+  subs : int array array;
+  sources : int array;
   mutable source_wm : int;
-  mutable rows : Row.t list;
+  rows : Row.t Vec.t;
   mutable closed : bool;
 }
 
@@ -62,7 +99,7 @@ let subscribers plan =
       in
       List.iter (fun i -> subs.(i) <- id :: subs.(i)) inputs)
     nodes;
-  Array.map List.rev subs
+  Array.map (fun l -> Array.of_list (List.rev l)) subs
 
 (* Instance indices of [w] whose interval contains time [t].  Note that
    OCaml's [/] truncates toward zero, so the lower bound must special-case
@@ -96,7 +133,167 @@ let instances_enclosing w ~lo:u ~hi:v =
     in
     collect lo_m []
 
-let create ?(metrics = Metrics.create ()) plan =
+(* --- dispatch ------------------------------------------------------- *)
+
+let rec deliver t id msg =
+  match t.states.(id) with
+  | N_forward -> forward t id msg
+  | N_filter pred -> (
+      match msg with
+      | Item (Raw e) ->
+          if
+            Fw_plan.Predicate.eval pred ~key:e.Event.key ~value:e.Event.value
+              ~time:e.Event.time
+          then forward t id msg
+      | Item (Sub _) | Watermark _ -> forward t id msg)
+  | N_union { sink } ->
+      (* The union merges its inputs; when it is the plan output it also
+         acts as the result sink.  (Watermarks of the separate inputs
+         all derive from the single source sweep, so they carry the same
+         value and are simply forwarded.) *)
+      (match msg with
+      | Item (Sub { window; interval; key; state }) when sink ->
+          Vec.push t.rows
+            { Row.window; interval; key; value = Combine.finalize state }
+      | Item (Sub _ | Raw _) | Watermark _ -> ());
+      forward t id msg
+  | N_win st -> win_deliver t id st msg
+  | N_pane ps -> pane_deliver t id ps msg
+
+and forward t id msg =
+  let subs = t.subs.(id) in
+  for i = 0 to Array.length subs - 1 do
+    deliver t subs.(i) msg
+  done
+
+(* --- per-instance (naive) window operator --------------------------- *)
+
+(* Items are tallied per pending instance and reported to the metrics
+   when the instance fires, so the counters measure exactly the work of
+   {e complete} instances — the quantity the analytic cost model prices.
+   Insertions into instances that straddle the closing horizon are not
+   charged. *)
+and win_add_instance st m key state_update =
+  let lo = m * Window.slide st.window in
+  let hi = lo + Window.range st.window in
+  let fk = { Fire_key.hi; lo; key } in
+  st.pending <-
+    Pending.update fk
+      (function
+        | None -> Some (state_update None, 1)
+        | Some (s, items) -> Some (state_update (Some s), items + 1))
+      st.pending
+
+and win_fire t id st wm =
+  let rec go () =
+    match Pending.min_binding_opt st.pending with
+    | Some (fk, (state, items)) when fk.Fire_key.hi <= wm ->
+        st.pending <- Pending.remove fk st.pending;
+        Metrics.record t.metrics st.window items;
+        let interval = Interval.make ~lo:fk.Fire_key.lo ~hi:fk.Fire_key.hi in
+        forward t id
+          (Item (Sub { window = st.window; interval; key = fk.Fire_key.key; state }));
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+and win_deliver t id st msg =
+  match msg with
+  | Item (Raw e) ->
+      List.iter
+        (fun m ->
+          win_add_instance st m e.Event.key (function
+            | None -> Combine.of_value t.agg e.Event.value
+            | Some s -> Combine.add s e.Event.value))
+        (instances_containing st.window e.Event.time)
+  | Item (Sub { interval; key; state; _ }) ->
+      List.iter
+        (fun m ->
+          win_add_instance st m key (function
+            | None -> state
+            | Some s -> Combine.merge s state))
+        (instances_enclosing st.window ~lo:(Interval.lo interval)
+           ~hi:(Interval.hi interval))
+  | Watermark w ->
+      if w > st.wm then begin
+        st.wm <- w;
+        win_fire t id st w;
+        forward t id (Watermark w)
+      end
+
+(* --- pane-based incremental window operator ------------------------- *)
+
+(* Fire instance [m] = panes [m, m+k): evict slid-out panes from every
+   key's queue, emit one row per key still holding data, and drop keys
+   whose queues drained.  The metrics record the final-combine work (the
+   number of pane states merged per fired instance). *)
+and fire_pane t id ps m =
+  let lo = m * ps.slide in
+  let interval = Interval.make ~lo ~hi:(lo + Window.range ps.p_window) in
+  let items = ref 0 in
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun key q ->
+      Swag.evict_below q m;
+      match Swag.query q with
+      | None -> dead := key :: !dead
+      | Some state ->
+          items := !items + Swag.length q;
+          forward t id
+            (Item (Sub { window = ps.p_window; interval; key; state })))
+    ps.queues;
+  List.iter (Hashtbl.remove ps.queues) !dead;
+  if !items > 0 then Metrics.record t.metrics ps.p_window !items
+
+(* Seal every pane fully to the left of [upto], interleaving seals with
+   the instance firings they complete so each queue holds at most [k]
+   panes per key when queried. *)
+and pane_roll t id ps ~upto =
+  while (ps.cur_pane + 1) * ps.slide <= upto do
+    let p = ps.cur_pane in
+    if not (Pane.is_empty ps.open_pane) then begin
+      Pane.iter
+        (fun key state ->
+          let q =
+            match Hashtbl.find_opt ps.queues key with
+            | Some q -> q
+            | None ->
+                let q = Swag.create t.agg in
+                Hashtbl.replace ps.queues key q;
+                q
+          in
+          Swag.push q ~idx:p state)
+        ps.open_pane;
+      Pane.clear ps.open_pane
+    end;
+    let m = p + 1 - ps.k in
+    if m >= 0 then fire_pane t id ps m;
+    ps.cur_pane <- p + 1
+  done
+
+and pane_deliver t id ps msg =
+  match msg with
+  | Item (Raw e) ->
+      (* An event ahead of the last watermark proves every pane before
+         its timestamp complete (ingestion is time-ordered), so roll
+         first: the open pane is always the event's own pane. *)
+      pane_roll t id ps ~upto:e.Event.time;
+      Pane.add ps.open_pane ~key:e.Event.key e.Event.value
+  | Item (Sub _) ->
+      (* [create] only assigns pane states to windows reading the raw
+         stream. *)
+      invalid_arg "Stream_exec: pane-mode window fed sub-aggregates"
+  | Watermark w ->
+      if w > ps.p_wm then begin
+        ps.p_wm <- w;
+        pane_roll t id ps ~upto:w;
+        forward t id (Watermark w)
+      end
+
+(* --- construction --------------------------------------------------- *)
+
+let create ?(metrics = Metrics.create ()) ?(mode = Naive) plan =
   (match Validate.check plan with
   | [] -> ()
   | errors ->
@@ -106,117 +303,66 @@ let create ?(metrics = Metrics.create ()) plan =
               Validate.pp_error)
            errors));
   let nodes = Plan.nodes plan in
-  let n = Array.length nodes in
-  let subs = subscribers plan in
-  let handlers = Array.make n (fun (_ : msg) -> ()) in
-  let t =
-    {
-      plan;
-      metrics;
-      handlers;
-      source_wm = 0;
-      rows = [];
-      closed = false;
-    }
+  let agg = Plan.agg plan in
+  let output = Plan.output plan in
+  (* The pane path applies when per-slide pre-aggregation is sound and
+     useful: a constant-size sub-aggregate exists (not holistic), the
+     instance tiles exactly into panes (aligned geometry, s | r), and
+     the input is the raw stream (windows fed by another window consume
+     irregular sub-aggregate emissions instead). *)
+  let panes_apply window =
+    Aggregate.kind agg <> Aggregate.Holistic
+    && Window.is_aligned window
+    && match Plan.window_input plan window with
+       | `Stream -> true
+       | `Window _ -> false
   in
-  let forward id msg = List.iter (fun j -> handlers.(j) msg) subs.(id) in
-  let sink_handler id = fun msg ->
-    (match msg with
-    | Item (Sub { window; interval; key; state }) ->
-        t.rows <-
-          { Row.window; interval; key; value = Combine.finalize state }
-          :: t.rows
-    | Item (Raw _) | Watermark _ -> ());
-    forward id msg
+  let states =
+    Array.map
+      (fun op ->
+        match op with
+        | Plan.Source | Plan.Multicast _ -> N_forward
+        | Plan.Filter { pred; _ } -> N_filter pred
+        | Plan.Union _ -> N_union { sink = false }
+        | Plan.Win_agg { window; _ } ->
+            if mode = Incremental && panes_apply window then
+              N_pane
+                {
+                  p_window = window;
+                  slide = Window.slide window;
+                  k = Window.k_ratio window;
+                  open_pane = Pane.create agg;
+                  cur_pane = 0;
+                  queues = Hashtbl.create 16;
+                  p_wm = 0;
+                }
+            else N_win { window; pending = Pending.empty; wm = 0 })
+      nodes
   in
-  (* Build handlers from the last node down so that forwarding targets
-     (always higher ids) are installed first. *)
-  for id = n - 1 downto 0 do
-    handlers.(id) <-
-      (match nodes.(id) with
-      | Plan.Source | Plan.Multicast _ -> forward id
-      | Plan.Filter { pred; _ } -> (
-          fun msg ->
-            match msg with
-            | Item (Raw e) ->
-                if
-                  Fw_plan.Predicate.eval pred ~key:e.Event.key
-                    ~value:e.Event.value ~time:e.Event.time
-                then forward id msg
-            | Item (Sub _) | Watermark _ -> forward id msg)
-      | Plan.Union _ ->
-          (* The union merges its inputs; when it is the plan output it
-             also acts as the result sink.  (Watermarks of the separate
-             inputs all derive from the single source sweep, so they
-             carry the same value and are simply forwarded.) *)
-          if id = Plan.output plan then sink_handler id else forward id
-      | Plan.Win_agg { window; _ } ->
-          let st = { window; pending = Pending.empty; wm = 0 } in
-          (* Items are tallied per pending instance and reported to the
-             metrics when the instance fires, so the counters measure
-             exactly the work of {e complete} instances — the quantity
-             the analytic cost model prices.  Insertions into instances
-             that straddle the closing horizon are not charged. *)
-          let add_to_instance m key state_update =
-            let lo = m * Window.slide window in
-            let hi = lo + Window.range window in
-            let fk = { Fire_key.hi; lo; key } in
-            st.pending <-
-              Pending.update fk
-                (function
-                  | None -> Some (state_update None, 1)
-                  | Some (s, items) -> Some (state_update (Some s), items + 1))
-                st.pending
-          in
-          let fire wm =
-            let rec go () =
-              match Pending.min_binding_opt st.pending with
-              | Some (fk, (state, items)) when fk.Fire_key.hi <= wm ->
-                  st.pending <- Pending.remove fk st.pending;
-                  Metrics.record metrics window items;
-                  let interval =
-                    Interval.make ~lo:fk.Fire_key.lo ~hi:fk.Fire_key.hi
-                  in
-                  forward id
-                    (Item (Sub { window; interval; key = fk.Fire_key.key; state }));
-                  go ()
-              | Some _ | None -> ()
-            in
-            go ()
-          in
-          fun msg ->
-            (match msg with
-            | Item (Raw e) ->
-                let agg = Plan.agg plan in
-                List.iter
-                  (fun m ->
-                    add_to_instance m e.Event.key (function
-                      | None -> Combine.of_value agg e.Event.value
-                      | Some s -> Combine.add s e.Event.value))
-                  (instances_containing window e.Event.time)
-            | Item (Sub { interval; key; state; _ }) ->
-                List.iter
-                  (fun m ->
-                    add_to_instance m key (function
-                      | None -> state
-                      | Some s -> Combine.merge s state))
-                  (instances_enclosing window ~lo:(Interval.lo interval)
-                     ~hi:(Interval.hi interval))
-            | Watermark w ->
-                if w > st.wm then begin
-                  st.wm <- w;
-                  fire w;
-                  forward id (Watermark w)
-                end))
-  done;
-  t
+  (match states.(output) with
+  | N_union _ -> states.(output) <- N_union { sink = true }
+  | N_forward | N_filter _ | N_win _ | N_pane _ -> ());
+  let sources =
+    let acc = ref [] in
+    Array.iteri
+      (fun id op -> match op with Plan.Source -> acc := id :: !acc | _ -> ())
+      nodes;
+    Array.of_list (List.rev !acc)
+  in
+  {
+    plan;
+    agg;
+    metrics;
+    states;
+    subs = subscribers plan;
+    sources;
+    source_wm = 0;
+    rows = Vec.create ();
+    closed = false;
+  }
 
 let root_deliver t msg =
-  let nodes = Plan.nodes t.plan in
-  Array.iteri
-    (fun id op ->
-      match op with Plan.Source -> t.handlers.(id) msg | _ -> ())
-    nodes
+  Array.iter (fun id -> deliver t id msg) t.sources
 
 let feed t e =
   if t.closed then invalid_arg "Stream_exec.feed: executor is closed";
@@ -238,10 +384,10 @@ let advance t time =
 let close t ~horizon =
   advance t horizon;
   t.closed <- true;
-  Row.sort t.rows
+  Row.sort (Vec.to_list t.rows)
 
-let run ?metrics plan ~horizon events =
-  let t = create ?metrics plan in
+let run ?metrics ?mode plan ~horizon events =
+  let t = create ?metrics ?mode plan in
   List.iter
     (fun e -> if e.Event.time < horizon then feed t e)
     (Event.sort events);

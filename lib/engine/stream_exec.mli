@@ -2,12 +2,29 @@
 
     Executes a {!Fw_plan.Plan.t} as a dataflow of operators, the way a
     stream processing engine would: events are pushed through the DAG
-    in event-time order; window operators keep per-(instance, key)
-    sub-aggregate states and fire an instance when the watermark passes
-    its upper bound; multicasts replicate items; the final union feeds
-    the result sink.  Windows fed by another window consume that
-    window's {e sub-aggregate emissions} instead of raw events — the
-    shared computation the rewriting creates.
+    in event-time order; window operators fire an instance when the
+    watermark passes its upper bound; multicasts replicate items; the
+    final union feeds the result sink.  Windows fed by another window
+    consume that window's {e sub-aggregate emissions} instead of raw
+    events — the shared computation the rewriting creates.
+
+    Two execution {!mode}s are offered for window aggregates:
+
+    - {!Naive} (the default): every event is folded into all pending
+      instances containing it — O(r/s) states touched per event.  The
+      per-window item counters of this mode match the paper's analytic
+      cost model exactly, which the differential invariants pin.
+    - {!Incremental}: raw events fold into one open {e per-slide pane}
+      ({!Fw_agg.Pane}); sealed panes feed per-key sliding queues
+      ({!Fw_agg.Swag}) so each event is touched O(1) amortized times
+      regardless of r/s.  A window falls back to the per-instance path
+      when panes don't apply: holistic aggregates (no constant-size
+      sub-aggregate), non-aligned geometries (the instance doesn't tile
+      into panes), or a window fed by another window (irregular
+      sub-aggregate input).  Results are identical in both modes; the
+      incremental mode's metrics charge the final-combine work (pane
+      states merged per fired instance) rather than per-instance
+      insertions.
 
     Watermarks are strictly monotone: feeding an event older than the
     current watermark raises {!Late_event} (the engine assumes ordered
@@ -16,10 +33,13 @@
 
 exception Late_event of Event.t
 
+type mode = Naive | Incremental
+
 type t
 
-val create : ?metrics:Metrics.t -> Fw_plan.Plan.t -> t
-(** Raises [Invalid_argument] if the plan fails {!Fw_plan.Validate}. *)
+val create : ?metrics:Metrics.t -> ?mode:mode -> Fw_plan.Plan.t -> t
+(** Raises [Invalid_argument] if the plan fails {!Fw_plan.Validate}.
+    [mode] defaults to {!Naive}. *)
 
 val feed : t -> Event.t -> unit
 (** Push one event; may trigger window firings for instances that the
@@ -35,9 +55,26 @@ val close : t -> horizon:int -> Row.t list
 
 val run :
   ?metrics:Metrics.t ->
+  ?mode:mode ->
   Fw_plan.Plan.t ->
   horizon:int ->
   Event.t list ->
   Row.t list
 (** Convenience: create, feed all (sorted) events with [time < horizon],
     close. *)
+
+(** {2 Instance arithmetic}
+
+    Exposed for boundary testing: which window instances an event or a
+    sub-aggregate interval lands in is where off-by-one bugs live. *)
+
+val instances_containing : Fw_window.Window.t -> int -> int list
+(** Instance indices [m] of the window whose interval
+    [[m·s, m·s + r)] contains the time — ascending.  Instances with
+    negative indices do not exist, so a time [t < r] belongs to fewer
+    than r/s instances (stream start ramp-up). *)
+
+val instances_enclosing : Fw_window.Window.t -> lo:int -> hi:int -> int list
+(** Instance indices of the window whose interval includes [[lo, hi)]
+    {e entirely} — ascending; empty when [hi - lo > r].  Used to fold a
+    sub-aggregate emission into every instance it is a fragment of. *)

@@ -43,51 +43,46 @@ let slice_index boundaries t =
   done;
   !lo
 
-module Key_map = Map.Make (String)
+module Pane = Fw_agg.Pane
 
-(* One slicing structure over the horizon: boundaries + per-slice
-   per-key partial states. *)
+(* One slicing structure over the horizon: boundaries + one per-key
+   pane per slice (the same {!Fw_agg.Pane} buffer the incremental
+   streaming engine pre-aggregates into). *)
 type structure = {
   boundaries : int array;
-  mutable partials : Combine.state Key_map.t array;
+  partials : Pane.t array;
 }
 
-let build_structure ~period ~edges ~horizon =
+let build_structure agg ~period ~edges ~horizon =
   let boundaries = structure_boundaries ~period ~edges ~horizon in
-  { boundaries; partials = Array.make (Array.length boundaries) Key_map.empty }
+  {
+    boundaries;
+    partials =
+      Array.init (Array.length boundaries) (fun _ -> Pane.create agg);
+  }
 
-let fold_event agg structure counter e =
+let fold_event structure counter e =
   let i = slice_index structure.boundaries e.Event.time in
   incr counter;
-  structure.partials.(i) <-
-    Key_map.update e.Event.key
-      (function
-        | None -> Some (Combine.of_value agg e.Event.value)
-        | Some st -> Some (Combine.add st e.Event.value))
-      structure.partials.(i)
+  Pane.add structure.partials.(i) ~key:e.Event.key e.Event.value
 
 (* Combine the slices of one window instance [a, b): slices with
    a <= b_i and b_{i+1} <= b (alignment guarantees exact tiling). *)
-let finalize_instance window structure counter ~lo ~hi =
+let finalize_instance agg window structure counter ~lo ~hi =
   let boundaries = structure.boundaries in
   let first = slice_index boundaries lo in
   assert (boundaries.(first) = lo);
-  let acc = ref Key_map.empty in
+  let acc = Pane.create agg in
   let i = ref first in
   while !i < Array.length boundaries - 1 && boundaries.(!i) < hi do
-    Key_map.iter
+    Pane.iter
       (fun key st ->
         counter := !counter + 1;
-        acc :=
-          Key_map.update key
-            (function
-              | None -> Some st
-              | Some prev -> Some (Combine.merge prev st))
-            !acc)
+        Pane.merge acc ~key st)
       structure.partials.(!i);
     incr i
   done;
-  Key_map.fold
+  Pane.fold
     (fun key st rows ->
       {
         Row.window;
@@ -96,7 +91,7 @@ let finalize_instance window structure counter ~lo ~hi =
         value = Combine.finalize st;
       }
       :: rows)
-    !acc []
+    acc []
 
 let run agg mode slicing ws ~horizon events =
   let ws = Window.dedup ws in
@@ -114,10 +109,10 @@ let run agg mode slicing ws ~horizon events =
           (fun w ->
             let z = make_slicing slicing w in
             let s =
-              build_structure ~period:(Slice.period z) ~edges:(Slice.edges z)
-                ~horizon
+              build_structure agg ~period:(Slice.period z)
+                ~edges:(Slice.edges z) ~horizon
             in
-            List.iter (fold_event agg s partial_counter) events;
+            List.iter (fold_event s partial_counter) events;
             (w, s))
           ws
     | Shared ->
@@ -125,8 +120,8 @@ let run agg mode slicing ws ~horizon events =
         let zs = List.map (make_slicing slicing) ws in
         let period = Compose.common_period zs in
         let edges = Compose.boundaries zs in
-        let s = build_structure ~period ~edges ~horizon in
-        List.iter (fold_event agg s partial_counter) events;
+        let s = build_structure agg ~period ~edges ~horizon in
+        List.iter (fold_event s partial_counter) events;
         List.map (fun w -> (w, s)) ws
   in
   let rows =
@@ -134,8 +129,8 @@ let run agg mode slicing ws ~horizon events =
       (fun (w, s) ->
         List.concat_map
           (fun interval ->
-            finalize_instance w s final_counter ~lo:(Interval.lo interval)
-              ~hi:(Interval.hi interval))
+            finalize_instance agg w s final_counter
+              ~lo:(Interval.lo interval) ~hi:(Interval.hi interval))
           (Interval.instances_until w ~horizon))
       structures
   in

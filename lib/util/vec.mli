@@ -1,0 +1,22 @@
+(** Growable array (amortized O(1) push), for hot-path accumulation
+    where consing a list and reversing it at the end would churn the
+    minor heap — e.g. the streaming engine's result-row buffer. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append at the end; amortized O(1), doubling growth. *)
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a
+
+val to_list : 'a t -> 'a list
+(** Elements in push order. *)
+
+val clear : 'a t -> unit

@@ -141,6 +141,127 @@ let prop_overlapping_minmax f name =
             (Combine.finalize (List.fold_left Combine.merge s ss))
             (finalize_of_list f vs))
 
+(* --- monoid structure: identity and inverse --- *)
+
+let test_identity () =
+  List.iter
+    (fun f ->
+      let vs = [ 3.0; 1.0; 4.0; 1.0; 5.0 ] in
+      let st = Option.get (state_of_chunk f vs) in
+      check_bool
+        (Aggregate.to_string f ^ ": identity neutral on the left")
+        true
+        (close
+           (Combine.finalize (Combine.merge (Combine.identity f) st))
+           (Combine.finalize st));
+      check_bool
+        (Aggregate.to_string f ^ ": identity neutral on the right")
+        true
+        (close
+           (Combine.finalize (Combine.merge st (Combine.identity f)))
+           (Combine.finalize st)))
+    Aggregate.all;
+  List.iter
+    (fun f ->
+      check_int
+        (Aggregate.to_string f ^ ": identity counts nothing")
+        0
+        (Combine.count_of (Combine.identity f)))
+    Aggregate.[ Count; Avg; Stdev; Median ]
+
+let test_invertible_flags () =
+  (* STDEV has an algebraic inverse but subtract-on-evict cancels
+     catastrophically, so the engine must treat it as non-invertible. *)
+  List.iter
+    (fun (f, expect) ->
+      check_bool (Aggregate.to_string f) expect (Combine.invertible f))
+    Aggregate.
+      [
+        (Count, true);
+        (Sum, true);
+        (Avg, true);
+        (Stdev, false);
+        (Min, false);
+        (Max, false);
+        (Median, false);
+      ]
+
+let test_inverse_none () =
+  List.iter
+    (fun f ->
+      let a = Combine.of_value f 1.0 and b = Combine.of_value f 2.0 in
+      check_bool
+        (Aggregate.to_string f ^ ": no inverse")
+        true
+        (Combine.inverse (Combine.merge a b) b = None))
+    Aggregate.[ Min; Max; Median ];
+  (* removing more items than the total holds is refused *)
+  let one = Combine.of_value Aggregate.Count 1.0 in
+  let two = Combine.add (Combine.of_value Aggregate.Count 1.0) 1.0 in
+  check_bool "COUNT: part larger than total" true (Combine.inverse one two = None)
+
+(* inverse (merge a b) b recovers a, up to rounding.  STDEV is checked
+   through its inverse too (the algebra holds; only eviction in the
+   engine avoids it), with a looser tolerance for the M2 cancellation. *)
+let prop_inverse ?(tol = 1e-9) f name =
+  qtest ~count:300 (name ^ ": inverse undoes merge")
+    QCheck2.Gen.(pair gen_values gen_values)
+    QCheck2.Print.(pair (list float) (list float))
+    (fun (va, vb) ->
+      match (state_of_chunk f va, state_of_chunk f vb) with
+      | Some a, Some b -> (
+          let total = Combine.merge a b in
+          match Combine.inverse total b with
+          | None -> false
+          | Some a' ->
+              let x = Combine.finalize a and y = Combine.finalize a' in
+              abs_float (x -. y)
+              <= tol *. Float.max 1.0 (Float.max (abs_float x) (abs_float y)))
+      | _ -> true)
+
+(* --- STDEV numerical stability (Welford/Chan vs sum-of-squares) --- *)
+
+(* Adversarial magnitudes: values near 1e8 with spread ~1.  The naive
+   sum/sumsq formula loses all significant digits of the variance here
+   (sum² and sumsq agree to ~16 digits); Welford accumulation and the
+   Chan merge keep the result within ~1e-6 relative of the two-pass
+   reference.  Offsets are integers so the inputs are exactly
+   representable and the reference is exact. *)
+let prop_stdev_adversarial =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 2 40) (int_range 0 10))
+        (int_range 0 4))
+  in
+  qtest ~count:300 "STDEV: Welford/Chan survive mean >> spread"
+    gen
+    QCheck2.Print.(pair (list int) int)
+    (fun (offsets, cut) ->
+      let vs = List.map (fun o -> 1e8 +. float_of_int o) offsets in
+      let expected = Fw_check.Reference.eval Aggregate.Stdev vs in
+      (* direct Welford fold *)
+      let direct = finalize_of_list Aggregate.Stdev vs in
+      (* Chan merge over a two-chunk partition *)
+      let n = List.length vs in
+      let k = max 1 (cut * n / 5) in
+      let chunk1 = List.filteri (fun i _ -> i < k) vs in
+      let chunk2 = List.filteri (fun i _ -> i >= k) vs in
+      let merged =
+        match
+          (state_of_chunk Aggregate.Stdev chunk1,
+           state_of_chunk Aggregate.Stdev chunk2)
+        with
+        | Some a, Some b -> Combine.finalize (Combine.merge a b)
+        | Some a, None | None, Some a -> Combine.finalize a
+        | None, None -> nan
+      in
+      let ok got =
+        abs_float (got -. expected)
+        <= (1e-6 *. Float.max (abs_float expected) (abs_float got)) +. 1e-9
+      in
+      ok direct && ok merged)
+
 let suite =
   [
     Alcotest.test_case "taxonomy" `Quick test_taxonomy;
@@ -150,6 +271,16 @@ let suite =
     Alcotest.test_case "median" `Quick test_median;
     Alcotest.test_case "merge mismatch" `Quick test_merge_mismatch;
     Alcotest.test_case "count_of" `Quick test_count_of;
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "invertible flags" `Quick test_invertible_flags;
+    Alcotest.test_case "inverse: None cases" `Quick test_inverse_none;
+    prop_inverse Aggregate.Count "COUNT";
+    prop_inverse ~tol:1e-9 Aggregate.Sum "SUM";
+    prop_inverse ~tol:1e-9 Aggregate.Avg "AVG";
+    (* loose: undoing a Chan merge cancels in M2, which is exactly why
+       the engine's eviction path never relies on it *)
+    prop_inverse ~tol:1e-4 Aggregate.Stdev "STDEV";
+    prop_stdev_adversarial;
     prop_partition_merge Aggregate.Min "MIN";
     prop_partition_merge Aggregate.Max "MAX";
     prop_partition_merge Aggregate.Count "COUNT";

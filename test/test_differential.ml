@@ -123,6 +123,58 @@ let test_differential_median_and_hopping () =
   check_int "hopping clean" 0 (List.length (Differential.check sc));
   check_int "hopping invariants" 0 (List.length (Invariants.check sc))
 
+let test_path_roster () =
+  check_int "nine paths" 9 (List.length Paths.all);
+  check_bool "incremental path listed" true
+    (List.mem Paths.Incremental_stream Paths.all);
+  check_string "incremental path name" "incremental-stream"
+    (Paths.name Paths.Incremental_stream)
+
+let test_incremental_path_applicability () =
+  (* The incremental engine falls back per node, so it applies to every
+     scenario: non-aligned windows and holistic aggregates included. *)
+  let events = List.init 40 (fun t -> ev t "k" (float_of_int t)) in
+  let non_aligned =
+    fixed_scenario Aggregate.Avg
+      [ Window.make ~range:10 ~slide:4 ]
+      events ~eta:1 ~horizon:40
+  in
+  check_bool "non-aligned applicable" true
+    (Paths.applicable Paths.Incremental_stream non_aligned);
+  let holistic =
+    fixed_scenario Aggregate.Median [ tumbling 10 ] events ~eta:1 ~horizon:40
+  in
+  check_bool "holistic applicable" true
+    (Paths.applicable Paths.Incremental_stream holistic);
+  check_int "non-aligned clean" 0
+    (List.length
+       (Differential.check ~paths:[ Paths.Incremental_stream ] non_aligned));
+  check_int "holistic clean" 0
+    (List.length
+       (Differential.check ~paths:[ Paths.Incremental_stream ] holistic))
+
+let test_paths_subset_restricts () =
+  (* ?paths really restricts the comparison: a subset runs only those. *)
+  let events = List.init 30 (fun t -> ev t "k" 1.0) in
+  let sc = fixed_scenario Aggregate.Sum [ tumbling 10 ] events ~eta:1 ~horizon:30 in
+  check_int "subset clean" 0
+    (List.length
+       (Differential.check
+          ~paths:[ Paths.Naive_stream; Paths.Incremental_stream ]
+          sc))
+
+let test_incremental_prob_zero_skips () =
+  (* With probability 0 the incremental path is excluded but the rest of
+     the oracle still runs. *)
+  match
+    Harness.check_seed ~incremental_prob:0.0 Scenario.default_gen 42
+  with
+  | Ok _ -> ()
+  | Error f ->
+      Alcotest.fail
+        ("seed 42 failed with incremental off: "
+        ^ Format.asprintf "%a" Harness.pp_failure f)
+
 let test_non_aligned_paths () =
   (* Non-aligned windows: rewritten paths must be skipped, slicing and
      the naive stream must still agree with the reference. *)
@@ -208,6 +260,13 @@ let suite =
     Alcotest.test_case "differential median + hopping" `Quick
       test_differential_median_and_hopping;
     Alcotest.test_case "non-aligned path gating" `Quick test_non_aligned_paths;
+    Alcotest.test_case "path roster (9 paths)" `Quick test_path_roster;
+    Alcotest.test_case "incremental path applicability" `Quick
+      test_incremental_path_applicability;
+    Alcotest.test_case "paths subset restricts" `Quick
+      test_paths_subset_restricts;
+    Alcotest.test_case "incremental-prob 0 skips" `Quick
+      test_incremental_prob_zero_skips;
     Alcotest.test_case "shrink list minimal" `Quick test_shrink_list_minimal;
     Alcotest.test_case "shrink list order" `Quick
       test_shrink_list_preserves_order;

@@ -266,6 +266,132 @@ let test_single_key_skew () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "skew mismatch: %s" e
 
+(* --- instance boundary arithmetic --- *)
+
+let test_instances_containing_boundaries () =
+  let wd = w ~r:10 ~s:2 in
+  (* t < r: ramp-up, fewer than r/s instances exist *)
+  check_bool "t=0" true (Stream_exec.instances_containing wd 0 = [ 0 ]);
+  check_bool "t=1" true (Stream_exec.instances_containing wd 1 = [ 0 ]);
+  check_bool "t=2" true (Stream_exec.instances_containing wd 2 = [ 0; 1 ]);
+  check_bool "t=9" true (Stream_exec.instances_containing wd 9 = [ 0; 1; 2; 3; 4 ]);
+  (* t exactly on a slide boundary at full depth: oldest instance
+     [0,10) no longer contains t=10, newest [10,20) starts there *)
+  check_bool "t=10" true
+    (Stream_exec.instances_containing wd 10 = [ 1; 2; 3; 4; 5 ]);
+  check_bool "t=11" true
+    (Stream_exec.instances_containing wd 11 = [ 1; 2; 3; 4; 5 ]);
+  (* tumbling: exactly one instance, switching at the boundary *)
+  let tw = tumbling 10 in
+  check_bool "tumbling t=9" true (Stream_exec.instances_containing tw 9 = [ 0 ]);
+  check_bool "tumbling t=10" true (Stream_exec.instances_containing tw 10 = [ 1 ])
+
+let test_instances_enclosing_boundaries () =
+  let wd = w ~r:10 ~s:2 in
+  (* interval width exactly r: only the instance it coincides with *)
+  check_bool "[0,10)" true
+    (Stream_exec.instances_enclosing wd ~lo:0 ~hi:10 = [ 0 ]);
+  check_bool "[2,12)" true
+    (Stream_exec.instances_enclosing wd ~lo:2 ~hi:12 = [ 1 ]);
+  (* width r but not slide-positioned: no instance encloses it *)
+  check_bool "[1,11)" true
+    (Stream_exec.instances_enclosing wd ~lo:1 ~hi:11 = []);
+  (* wider than r: impossible *)
+  check_bool "[0,11)" true
+    (Stream_exec.instances_enclosing wd ~lo:0 ~hi:11 = []);
+  (* a slide-sized fragment lands in every covering instance *)
+  check_bool "[10,12)" true
+    (Stream_exec.instances_enclosing wd ~lo:10 ~hi:12 = [ 1; 2; 3; 4; 5 ]);
+  (* ramp-up: negative instances don't exist *)
+  check_bool "[0,2)" true
+    (Stream_exec.instances_enclosing wd ~lo:0 ~hi:2 = [ 0 ]);
+  check_bool "[2,4)" true
+    (Stream_exec.instances_enclosing wd ~lo:2 ~hi:4 = [ 0; 1 ])
+
+(* --- incremental (pane) mode --- *)
+
+let inc = Stream_exec.Incremental
+
+let test_incremental_simple () =
+  let plan = Plan.naive Aggregate.Sum [ w ~r:10 ~s:2 ] in
+  let events = List.init 40 (fun t -> ev t "k" (float_of_int ((t * 7) mod 11))) in
+  let naive = Stream_exec.run plan ~horizon:40 events in
+  let incr = Stream_exec.run ~mode:inc plan ~horizon:40 events in
+  check_bool "modes agree" true (Row.equal_sets naive incr)
+
+let test_incremental_late_event () =
+  let plan = Plan.naive Aggregate.Sum [ w ~r:10 ~s:2 ] in
+  let t = Stream_exec.create ~mode:inc plan in
+  Stream_exec.feed t (ev 5 "k" 1.0);
+  match Stream_exec.feed t (ev 3 "k" 1.0) with
+  | exception Stream_exec.Late_event _ -> ()
+  | _ -> Alcotest.fail "late event must raise in incremental mode too"
+
+let test_incremental_punctuation_fires () =
+  let plan = Plan.naive Aggregate.Count [ w ~r:4 ~s:2 ] in
+  let t = Stream_exec.create ~mode:inc plan in
+  Stream_exec.feed t (ev 1 "k" 1.0);
+  Stream_exec.advance t 4;
+  let rows = Stream_exec.close t ~horizon:8 in
+  (* event at t=1 is in instances [0,4) only (instance [-2,2) doesn't
+     exist); [2,6)/[4,8) are empty and produce no rows *)
+  check_int "one row" 1 (List.length rows);
+  check_bool "the [0,4) instance" true
+    (Interval.equal (List.hd rows).Row.interval (Interval.make ~lo:0 ~hi:4))
+
+(* Every aggregate (incl. MEDIAN via fallback), random windows
+   (aligned and not — j > 0 breaks alignment, forcing the per-instance
+   fallback), random streams: incremental = naive. *)
+let gen_incremental_case =
+  QCheck2.Gen.(
+    let gen_any_window =
+      let* s = int_range 2 10 in
+      let* k = int_range 1 6 in
+      let* j = int_range 0 (s - 1) in
+      return (Window.make ~range:((k * s) + j) ~slide:s)
+    in
+    let* n = int_range 1 4 in
+    let* ws = list_repeat n gen_any_window in
+    let* agg = oneofl Aggregate.all in
+    let* seed = int_range 0 10000 in
+    let* eta = int_range 1 3 in
+    return (Window.dedup ws, agg, seed, eta))
+
+let prop_incremental_equals_naive =
+  qtest ~count:120 "incremental mode = naive mode (random cases)"
+    gen_incremental_case print_equiv_case
+    (fun (ws, agg, seed, eta) ->
+      let plan = Plan.naive agg ws in
+      let horizon = equiv_horizon ws in
+      let prng = Fw_util.Prng.create seed in
+      let events =
+        Fw_workload.Event_gen.varied prng
+          Fw_workload.Event_gen.default_config ~eta_max:eta ~horizon
+      in
+      Row.equal_sets
+        (Stream_exec.run plan ~horizon events)
+        (Stream_exec.run ~mode:inc plan ~horizon events))
+
+let prop_incremental_rewritten_equals_oracle =
+  (* Rewritten plans under incremental mode: root windows read the
+     stream (pane path), downstream windows consume sub-aggregates
+     (fallback path) — both must still match the batch oracle. *)
+  qtest ~count:80 "incremental rewritten plan = batch oracle"
+    gen_equiv_case print_equiv_case
+    (fun (ws, agg, seed, eta) ->
+      match Rewrite.optimize ~eta agg ws with
+      | exception _ -> true
+      | outcome ->
+          let horizon = equiv_horizon ws in
+          let prng = Fw_util.Prng.create seed in
+          let events =
+            Fw_workload.Event_gen.steady prng
+              Fw_workload.Event_gen.default_config ~eta ~horizon
+          in
+          Row.equal_sets
+            (Stream_exec.run ~mode:inc outcome.Rewrite.plan ~horizon events)
+            (Batch.run agg ws ~horizon events))
+
 (* --- watermark / punctuation / close edge cases --- *)
 
 let test_advance_fires_without_events () =
@@ -361,9 +487,20 @@ let suite =
       test_metrics_naive_matches_baseline;
     Alcotest.test_case "run verify and compare" `Quick
       test_run_verify_and_compare;
+    Alcotest.test_case "instances_containing boundaries" `Quick
+      test_instances_containing_boundaries;
+    Alcotest.test_case "instances_enclosing boundaries" `Quick
+      test_instances_enclosing_boundaries;
+    Alcotest.test_case "incremental simple" `Quick test_incremental_simple;
+    Alcotest.test_case "incremental late event" `Quick
+      test_incremental_late_event;
+    Alcotest.test_case "incremental punctuation fires" `Quick
+      test_incremental_punctuation_fires;
     prop_optimized_equals_oracle;
     prop_naive_equals_oracle;
     prop_batch_plan_equals_direct;
+    prop_incremental_equals_naive;
+    prop_incremental_rewritten_equals_oracle;
     Alcotest.test_case "median end to end" `Quick test_median_naive_end_to_end;
     Alcotest.test_case "no events" `Quick test_no_events;
     Alcotest.test_case "key skew" `Quick test_single_key_skew;

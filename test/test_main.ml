@@ -8,6 +8,7 @@ let () =
       ("coverage", Test_coverage.suite);
       ("order", Test_order.suite);
       ("agg", Test_agg.suite);
+      ("swag", Test_swag.suite);
       ("wcg", Test_wcg.suite);
       ("factor", Test_factor.suite);
       ("slicing", Test_slicing.suite);

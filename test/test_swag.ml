@@ -1,0 +1,110 @@
+(* Sliding-window aggregation queues (Fw_agg.Swag): both the
+   subtract-on-evict and two-stacks representations must answer every
+   query exactly like a brute-force re-merge of the entries currently
+   enqueued, under any interleaving of pushes and evictions. *)
+
+open Helpers
+module Aggregate = Fw_agg.Aggregate
+module Combine = Fw_agg.Combine
+module Swag = Fw_agg.Swag
+
+let close = Combine.equal_result
+
+let test_empty () =
+  List.iter
+    (fun f ->
+      let q = Swag.create f in
+      check_bool "empty" true (Swag.is_empty q);
+      check_int "length" 0 (Swag.length q);
+      check_bool "query None" true (Swag.query q = None);
+      Swag.evict_below q 100;
+      check_bool "evict on empty" true (Swag.query q = None))
+    Aggregate.all
+
+let test_single_window_roundtrip () =
+  (* k = 3 sliding over panes 0..5, SUM: instance m = panes [m, m+3) *)
+  let q = Swag.create Aggregate.Sum in
+  let pane p = Combine.of_value Aggregate.Sum (float_of_int (10 * p)) in
+  for p = 0 to 5 do
+    Swag.push q ~idx:p (pane p)
+  done;
+  Swag.evict_below q 3;
+  check_int "3 panes left" 3 (Swag.length q);
+  match Swag.query q with
+  | None -> Alcotest.fail "expected a state"
+  | Some st ->
+      check_bool "sum of panes 3,4,5" true
+        (close (Combine.finalize st) (float_of_int (30 + 40 + 50)))
+
+let test_two_stacks_flip () =
+  (* MIN exercises the two-stacks flip: evict past the front repeatedly *)
+  let q = Swag.create Aggregate.Min in
+  let vs = [| 5.0; 3.0; 8.0; 1.0; 9.0; 2.0; 7.0 |] in
+  Array.iteri (fun p v -> Swag.push q ~idx:p (Combine.of_value Aggregate.Min v)) vs;
+  let min_of lo =
+    Array.fold_left min infinity (Array.sub vs lo (Array.length vs - lo))
+  in
+  for m = 1 to Array.length vs - 1 do
+    Swag.evict_below q m;
+    match Swag.query q with
+    | None -> Alcotest.fail "drained too early"
+    | Some st -> check_bool "suffix min" true (close (Combine.finalize st) (min_of m))
+  done;
+  Swag.evict_below q (Array.length vs);
+  check_bool "drained" true (Swag.is_empty q)
+
+(* Random interleavings checked against a model list.  Operations are
+   encoded as (value, advance): push a pane with the value, then evict
+   everything below the index advanced to. *)
+let prop_vs_model f name =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (pair (float_range (-100.0) 100.0) (int_range 0 3)))
+  in
+  qtest ~count:300 (name ^ ": query = brute-force re-merge")
+    gen
+    QCheck2.Print.(list (pair float int))
+    (fun ops ->
+      let q = Swag.create f in
+      let model = ref [] in
+      let lowest = ref 0 in
+      let idx = ref 0 in
+      List.for_all
+        (fun (v, adv) ->
+          Swag.push q ~idx:!idx (Combine.of_value f v);
+          model := (!idx, v) :: !model;
+          incr idx;
+          lowest := min !idx (!lowest + adv);
+          Swag.evict_below q !lowest;
+          model := List.filter (fun (i, _) -> i >= !lowest) !model;
+          let expected =
+            match List.rev_map snd !model with
+            | [] -> None
+            | v :: vs ->
+                Some
+                  (Combine.finalize
+                     (List.fold_left Combine.add (Combine.of_value f v) vs))
+          in
+          match (Swag.query q, expected) with
+          | None, None -> Swag.length q = List.length !model
+          | Some st, Some e ->
+              Swag.length q = List.length !model
+              && close (Combine.finalize st) e
+          | None, Some _ | Some _, None -> false)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty queues" `Quick test_empty;
+    Alcotest.test_case "subtractive roundtrip (SUM)" `Quick
+      test_single_window_roundtrip;
+    Alcotest.test_case "two-stacks flip (MIN)" `Quick test_two_stacks_flip;
+    prop_vs_model Aggregate.Sum "SUM (subtractive)";
+    prop_vs_model Aggregate.Count "COUNT (subtractive)";
+    prop_vs_model Aggregate.Avg "AVG (subtractive)";
+    prop_vs_model Aggregate.Min "MIN (two-stacks)";
+    prop_vs_model Aggregate.Max "MAX (two-stacks)";
+    prop_vs_model Aggregate.Stdev "STDEV (two-stacks)";
+    prop_vs_model Aggregate.Median "MEDIAN (two-stacks)";
+  ]
