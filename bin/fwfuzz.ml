@@ -75,6 +75,14 @@ let quiet_arg =
   let doc = "Suppress progress output." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
 
+let artifacts_arg =
+  let doc =
+    "On failure, write the shrunk repro and a metrics/trace snapshot of \
+     the failing scenario (naive and incremental engine runs) into \
+     $(docv) as seed-N-repro.txt / seed-N-metrics.json."
+  in
+  Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR" ~doc)
+
 let gen_config max_windows eta_max horizon_max no_holistic =
   {
     Scenario.default_gen with
@@ -84,7 +92,16 @@ let gen_config max_windows eta_max horizon_max no_holistic =
     allow_holistic = not no_holistic;
   }
 
-let replay gen ~invariants ~incremental_prob seed =
+let dump_artifacts artifacts failure =
+  match artifacts with
+  | None -> ()
+  | Some dir -> (
+      match Fw_check.Artifacts.dump ~dir failure with
+      | Ok files ->
+          List.iter (fun f -> Printf.printf "artifact: %s\n" f) files
+      | Error e -> Printf.eprintf "fwfuzz: artifact dump failed: %s\n" e)
+
+let replay gen ~invariants ~incremental_prob ~artifacts seed =
   match Harness.check_seed ~invariants ~incremental_prob gen seed with
   | Ok sc ->
       Printf.printf "seed %d: %s\n" seed (Scenario.summary sc);
@@ -105,10 +122,11 @@ let replay gen ~invariants ~incremental_prob seed =
       0
   | Error failure ->
       Format.printf "%a@." Harness.pp_failure failure;
+      dump_artifacts artifacts failure;
       1
 
 let campaign gen ~invariants ~incremental_prob ~iterations ~base_seed
-    ~max_failures ~quiet =
+    ~max_failures ~quiet ~artifacts =
   let cfg =
     {
       Harness.iterations;
@@ -145,11 +163,15 @@ let campaign gen ~invariants ~incremental_prob ~iterations ~base_seed
   | failures ->
       Printf.printf "fwfuzz: %d scenarios checked, %d FAILURE(S):\n"
         outcome.Harness.checked (List.length failures);
-      List.iter (fun f -> Format.printf "%a@.@." Harness.pp_failure f) failures;
+      List.iter
+        (fun f ->
+          Format.printf "%a@.@." Harness.pp_failure f;
+          dump_artifacts artifacts f)
+        failures;
       1
 
 let main iterations seed do_replay max_windows eta_max horizon_max
-    no_invariants no_holistic incremental_prob max_failures quiet =
+    no_invariants no_holistic incremental_prob max_failures quiet artifacts =
   let bad name v =
     Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
     exit 124
@@ -166,10 +188,10 @@ let main iterations seed do_replay max_windows eta_max horizon_max
   end;
   let gen = gen_config max_windows eta_max horizon_max no_holistic in
   let invariants = not no_invariants in
-  if do_replay then replay gen ~invariants ~incremental_prob seed
+  if do_replay then replay gen ~invariants ~incremental_prob ~artifacts seed
   else
     campaign gen ~invariants ~incremental_prob ~iterations ~base_seed:seed
-      ~max_failures ~quiet
+      ~max_failures ~quiet ~artifacts
 
 let cmd =
   let info =
@@ -182,6 +204,6 @@ let cmd =
     Term.(
       const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
       $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
-      $ incremental_prob_arg $ max_failures_arg $ quiet_arg)
+      $ incremental_prob_arg $ max_failures_arg $ quiet_arg $ artifacts_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -126,7 +126,15 @@ let optimize_cmd =
 
 let run_cmd =
   let action query file eta no_factor seed horizon show_rows shuffle lateness
-      events_file csv_out =
+      events_file csv_out incremental stats =
+    let stats =
+      match stats with
+      | None -> None
+      | Some ("json" | "prom" | "text" as fmt) -> Some fmt
+      | Some other ->
+          Printf.eprintf "unknown --stats format %s (json|prom|text)\n" other;
+          exit 2
+    in
     match
       Optimizer.of_query ~eta ~factor_windows:(not no_factor)
         (load_query query file)
@@ -164,16 +172,43 @@ let run_cmd =
             stats.Fw_engine.Reorder.dropped_late
             stats.Fw_engine.Reorder.buffered_peak (List.length rows)
         end;
-        let report = Optimizer.execute t ~horizon events in
-        Printf.printf
-          "verified against the naive plan; %d result rows, %d items \
-           processed (naive model cost %s).\n"
-          (List.length report.Fw_engine.Run.rows)
-          (Fw_engine.Metrics.total_processed report.Fw_engine.Run.metrics)
-          (match Optimizer.naive_cost t with
-          | Some c -> string_of_int c
-          | None -> "n/a");
-        Format.printf "%a@." Fw_engine.Metrics.pp report.Fw_engine.Run.metrics;
+        let mode =
+          if incremental then Fw_engine.Stream_exec.Incremental
+          else Fw_engine.Stream_exec.Naive
+        in
+        let trace =
+          (* a trace makes the executor sample every activation; only
+             pay for that when the snapshot will carry it *)
+          match stats with
+          | Some "json" -> Some (Fw_obs.Trace.create ())
+          | _ -> None
+        in
+        let report = Optimizer.execute ~mode ?trace t ~horizon events in
+        let metrics = report.Fw_engine.Run.metrics in
+        (match stats with
+        | Some "json" -> print_endline (Fw_engine.Metrics.snapshot_json metrics)
+        | Some "prom" -> print_string (Fw_engine.Metrics.prometheus metrics)
+        | _ ->
+            Printf.printf
+              "verified against the naive plan; %d result rows, %d items \
+               processed (naive model cost %s).\n"
+              (List.length report.Fw_engine.Run.rows)
+              (Fw_engine.Metrics.total_processed metrics)
+              (match Optimizer.naive_cost t with
+              | Some c -> string_of_int c
+              | None -> "n/a");
+            Format.printf "%a@." Fw_engine.Metrics.pp metrics;
+            if stats = Some "text" then begin
+              (match Fw_engine.Metrics.fallbacks metrics with
+              | [] -> ()
+              | fbs ->
+                  print_endline "incremental fallbacks:";
+                  List.iter
+                    (fun (node, w, reason, n) ->
+                      Printf.printf "  node %d %s: %s (x%d)\n" node w reason n)
+                    fbs);
+              print_string (Fw_engine.Metrics.prometheus metrics)
+            end);
         if csv_out then
           print_string (Fw_engine.Csv_io.rows_to_csv report.Fw_engine.Run.rows)
         else if show_rows then
@@ -209,13 +244,28 @@ let run_cmd =
     Arg.(value & flag
          & info [ "csv" ] ~doc:"Emit result rows as CSV on stdout.")
   in
+  let incremental =
+    Arg.(value & flag
+         & info [ "incremental" ]
+             ~doc:"Execute with the pane-based incremental engine (nodes \
+                   where panes don't apply fall back per node; the stats \
+                   snapshot counts the fallbacks with their reasons).")
+  in
+  let stats =
+    Arg.(value
+         & opt (some string) None ~vopt:(Some "text")
+         & info [ "stats" ] ~docv:"FMT"
+             ~doc:"Emit the run's metrics snapshot: $(b,json) (registry + \
+                   trace), $(b,prom) (Prometheus text exposition) or \
+                   $(b,text) (human summary + exposition).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile a query, execute it on synthetic events (or a CSV \
              file) and verify.")
     Term.(const action $ query_arg $ file_arg $ eta_arg $ no_factor_arg
           $ seed_arg $ horizon $ show_rows $ shuffle $ lateness $ events_file
-          $ csv_out)
+          $ csv_out $ incremental $ stats)
 
 (* --- gen --- *)
 

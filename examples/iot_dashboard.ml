@@ -57,22 +57,22 @@ let () =
       | Error e ->
           Printf.eprintf "plans disagree: %s\n" e;
           exit 1
-      | Ok (naive_report, opt_report) ->
-          let rows w m = string_of_int (Metrics.processed m w) in
+      | Ok cmp ->
+          let naive_report = cmp.Run.baseline
+          and opt_report = cmp.Run.rewritten in
           let table =
             Report.table
               ~header:[ "window"; "naive items"; "rewritten items"; "saving" ]
               (List.map
-                 (fun w ->
-                   let n = Metrics.processed naive_report.Run.metrics w in
-                   let o = Metrics.processed opt_report.Run.metrics w in
+                 (fun (s : Run.saving) ->
                    [
-                     Fw_window.Window.to_string w;
-                     rows w naive_report.Run.metrics;
-                     rows w opt_report.Run.metrics;
-                     Report.ratio n (max 1 o);
+                     Fw_window.Window.to_string s.Run.window;
+                     string_of_int s.Run.baseline_items;
+                     string_of_int s.Run.rewritten_items;
+                     Report.ratio s.Run.baseline_items
+                       (max 1 s.Run.rewritten_items);
                    ])
-                 t.Optimizer.windows)
+                 cmp.Run.savings)
           in
           print_endline "\n=== measured work per window ===";
           print_endline table;

@@ -1,18 +1,24 @@
 type t = {
   agg : Aggregate.t;
   tbl : (string, Combine.state) Hashtbl.t;
+  (* lifetime counters (not reset by [clear]) for observability *)
+  mutable adds : int;
+  mutable merges : int;
 }
 
-let create ?(size_hint = 16) agg = { agg; tbl = Hashtbl.create size_hint }
+let create ?(size_hint = 16) agg =
+  { agg; tbl = Hashtbl.create size_hint; adds = 0; merges = 0 }
 
 let aggregate t = t.agg
 
 let add t ~key v =
+  t.adds <- t.adds + 1;
   match Hashtbl.find_opt t.tbl key with
   | None -> Hashtbl.replace t.tbl key (Combine.of_value t.agg v)
   | Some st -> Hashtbl.replace t.tbl key (Combine.add st v)
 
 let merge t ~key state =
+  t.merges <- t.merges + 1;
   match Hashtbl.find_opt t.tbl key with
   | None -> Hashtbl.replace t.tbl key state
   | Some st -> Hashtbl.replace t.tbl key (Combine.merge st state)
@@ -23,3 +29,5 @@ let fold f t acc = Hashtbl.fold f t.tbl acc
 let size t = Hashtbl.length t.tbl
 let is_empty t = Hashtbl.length t.tbl = 0
 let clear t = Hashtbl.reset t.tbl
+let adds t = t.adds
+let merges t = t.merges

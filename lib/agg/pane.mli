@@ -29,3 +29,15 @@ val is_empty : t -> bool
 
 val clear : t -> unit
 (** Empty the pane for reuse (the engine recycles one open pane). *)
+
+(** {2 Introspection}
+
+    Cumulative lifetime counters (they survive {!clear}) for the
+    observability layer: how many raw values and sub-aggregate states
+    this buffer absorbed over its life. *)
+
+val adds : t -> int
+(** {!add} calls so far. *)
+
+val merges : t -> int
+(** {!merge} calls so far. *)

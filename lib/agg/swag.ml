@@ -16,7 +16,14 @@ type subtractive = {
 
 type repr = Two_stacks of two_stacks | Subtractive of subtractive
 
-type t = { mutable len : int; repr : repr }
+type t = {
+  mutable len : int;
+  repr : repr;
+  (* lifetime counters for the observability layer; plain increments *)
+  mutable evicted : int;
+  mutable flips : int;
+  mutable merges : int;
+}
 
 let create agg =
   {
@@ -25,10 +32,16 @@ let create agg =
       (if Combine.invertible agg then
          Subtractive { q = Queue.create (); acc = None }
        else Two_stacks { front = []; back = []; back_acc = None });
+    evicted = 0;
+    flips = 0;
+    merges = 0;
   }
 
 let length t = t.len
 let is_empty t = t.len = 0
+let evicted t = t.evicted
+let flips t = t.flips
+let merges t = t.merges
 
 let push t ~idx st =
   t.len <- t.len + 1;
@@ -39,25 +52,34 @@ let push t ~idx st =
         Some
           (match ts.back_acc with
           | None -> st
-          | Some acc -> Combine.merge acc st)
+          | Some acc ->
+              t.merges <- t.merges + 1;
+              Combine.merge acc st)
   | Subtractive s ->
       Queue.add { idx; st } s.q;
       s.acc <-
         Some
           (match s.acc with
           | None -> st
-          | Some acc -> Combine.merge acc st)
+          | Some acc ->
+              t.merges <- t.merges + 1;
+              Combine.merge acc st)
 
 (* Rebuild the front stack from the back stack: visit back entries
    youngest to oldest, prepending each cumulative cell, which leaves the
    oldest entry at the head carrying the whole aggregate.  Each entry is
    flipped at most once, so pushes and evictions stay O(1) amortized. *)
-let flip ts back =
+let flip t ts back =
+  t.flips <- t.flips + 1;
   let rec go acc built = function
     | [] -> built
     | e :: rest ->
         let cum =
-          match acc with None -> e.st | Some a -> Combine.merge e.st a
+          match acc with
+          | None -> e.st
+          | Some a ->
+              t.merges <- t.merges + 1;
+              Combine.merge e.st a
         in
         go (Some cum) ({ idx = e.idx; st = cum } :: built) rest
   in
@@ -70,11 +92,12 @@ let evict_below t m =
   | Two_stacks ts ->
       let rec go () =
         if t.len > 0 then begin
-          (match ts.front with [] -> flip ts ts.back | _ -> ());
+          (match ts.front with [] -> flip t ts ts.back | _ -> ());
           match ts.front with
           | e :: rest when e.idx < m ->
               ts.front <- rest;
               t.len <- t.len - 1;
+              t.evicted <- t.evicted + 1;
               go ()
           | _ -> ()
         end
@@ -87,7 +110,9 @@ let evict_below t m =
             Some
               (match acc with
               | None -> e.st
-              | Some a -> Combine.merge a e.st))
+              | Some a ->
+                  t.merges <- t.merges + 1;
+                  Combine.merge a e.st))
           None s.q
       in
       let rec go () =
@@ -95,6 +120,7 @@ let evict_below t m =
         | Some e when e.idx < m ->
             ignore (Queue.pop s.q);
             t.len <- t.len - 1;
+            t.evicted <- t.evicted + 1;
             (s.acc <-
                (if Queue.is_empty s.q then None
                 else

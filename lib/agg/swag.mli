@@ -35,3 +35,20 @@ val query : t -> Combine.state option
 
 val length : t -> int
 val is_empty : t -> bool
+
+(** {2 Introspection}
+
+    Cumulative lifetime counters, maintained with O(1) increments, for
+    the observability layer and the amortized-complexity tests (a
+    queue's flip count, for instance, is bounded by its push count). *)
+
+val evicted : t -> int
+(** Entries dropped by {!evict_below} so far. *)
+
+val flips : t -> int
+(** Two-stacks front rebuilds so far; always [0] for the subtractive
+    representation. *)
+
+val merges : t -> int
+(** {!Combine.merge} calls performed internally so far (push
+    accumulation, flips, and non-invertible recomputes). *)

@@ -1,0 +1,88 @@
+(* On-disk artifacts for fuzzing failures.
+
+   A failure's one-line repro is enough to replay it, but diagnosing
+   *why* the paths diverged usually starts with "what did each engine
+   actually do?".  [dump] re-executes the shrunk scenario through the
+   two streaming paths with a fresh metrics registry and an attached
+   span trace, and writes the observability snapshots next to the
+   repro so the whole picture travels with the seed. *)
+
+module Plan = Fw_plan.Plan
+module Stream_exec = Fw_engine.Stream_exec
+module Metrics = Fw_engine.Metrics
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755
+    with Sys_error _ ->
+      (* mkdir -p for one missing parent: enough for `out/artifacts` *)
+      let parent = Filename.dirname dir in
+      if not (Sys.file_exists parent) then Sys.mkdir parent 0o755;
+      Sys.mkdir dir 0o755
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* Run the shrunk scenario through one streaming mode, capturing
+   metrics + trace.  The scenario may crash an engine (that can be the
+   very bug being reported); keep whatever was recorded up to the
+   exception. *)
+let observed_snapshot ~mode (sc : Scenario.t) =
+  let metrics = Metrics.create () in
+  Metrics.set_trace metrics (Fw_obs.Trace.create ());
+  let crash =
+    try
+      ignore
+        (Stream_exec.run ~metrics ~mode
+           (Plan.naive sc.Scenario.agg sc.Scenario.windows)
+           ~horizon:sc.Scenario.horizon sc.Scenario.events);
+      None
+    with exn -> Some (Printexc.to_string exn)
+  in
+  (Metrics.snapshot_json metrics, crash)
+
+let mode_name = function
+  | Stream_exec.Naive -> "naive-stream"
+  | Stream_exec.Incremental -> "incremental-stream"
+
+let repro_text (f : Harness.failure) =
+  Format.asprintf "%a@." Harness.pp_failure f
+
+let metrics_json (f : Harness.failure) =
+  let j = Fw_obs.Export.json_string in
+  let path mode =
+    let snapshot, crash = observed_snapshot ~mode f.Harness.shrunk in
+    Printf.sprintf "%s:{\"snapshot\":%s,\"crash\":%s}"
+      (j (mode_name mode))
+      snapshot
+      (match crash with None -> "null" | Some e -> j e)
+  in
+  let problems =
+    String.concat ","
+      (List.map
+         (fun (p : Harness.problem) ->
+           Printf.sprintf "{\"source\":%s,\"detail\":%s}" (j p.Harness.source)
+             (j p.Harness.detail))
+         f.Harness.shrunk_problems)
+  in
+  Printf.sprintf
+    "{\"seed\":%d,\"repro\":%s,\"problems\":[%s],\"paths\":{%s,%s}}"
+    f.Harness.seed
+    (j (Scenario.to_repro f.Harness.shrunk))
+    problems
+    (path Stream_exec.Naive)
+    (path Stream_exec.Incremental)
+
+let dump ~dir (f : Harness.failure) =
+  try
+    ensure_dir dir;
+    let base = Printf.sprintf "seed-%d" f.Harness.seed in
+    let repro = Filename.concat dir (base ^ "-repro.txt") in
+    let metrics = Filename.concat dir (base ^ "-metrics.json") in
+    write_file repro (repro_text f);
+    write_file metrics (metrics_json f);
+    Ok [ repro; metrics ]
+  with Sys_error e -> Error e

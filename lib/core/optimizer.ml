@@ -59,8 +59,8 @@ let explain t =
   add "rewritten plan:@.%s@." (trill t);
   Buffer.contents buf
 
-let execute t ~horizon events =
-  Fw_engine.Run.execute (optimized_plan t) ~horizon events
+let execute ?mode ?trace t ~horizon events =
+  Fw_engine.Run.execute ?mode ?trace (optimized_plan t) ~horizon events
 
 let verify t ~horizon events =
   match

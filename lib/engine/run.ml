@@ -1,11 +1,27 @@
+open Fw_window
 module Plan = Fw_plan.Plan
 module Validate = Fw_plan.Validate
 
 type report = { rows : Row.t list; metrics : Metrics.t }
 
-let execute plan ~horizon events =
+type saving = {
+  window : Window.t;
+  baseline_items : int;
+  rewritten_items : int;
+}
+
+type comparison = {
+  baseline : report;
+  rewritten : report;
+  savings : saving list;
+}
+
+let saved s = s.baseline_items - s.rewritten_items
+
+let execute ?mode ?trace plan ~horizon events =
   let metrics = Metrics.create () in
-  let rows = Stream_exec.run ~metrics plan ~horizon events in
+  (match trace with Some tr -> Metrics.set_trace metrics tr | None -> ());
+  let rows = Stream_exec.run ~metrics ?mode plan ~horizon events in
   { rows; metrics }
 
 let describe_diff diff =
@@ -29,11 +45,43 @@ let verify_against_naive plan ~horizon events =
   if Row.equal_sets rows oracle then Ok ()
   else Error (describe_diff (Row.diff rows oracle))
 
+(* Per-operator delta over the union of both runs' windows: where the
+   rewriting saved work node by node, not just in total.  Factor
+   windows appear only on the rewritten side (baseline 0, a negative
+   saving — the investment the downstream savings pay for). *)
+let per_window_savings a b =
+  let keys =
+    Window.Set.union
+      (Window.Set.of_list (List.map fst (Metrics.per_window a.metrics)))
+      (Window.Set.of_list (List.map fst (Metrics.per_window b.metrics)))
+  in
+  List.map
+    (fun window ->
+      {
+        window;
+        baseline_items = Metrics.processed a.metrics window;
+        rewritten_items = Metrics.processed b.metrics window;
+      })
+    (Window.Set.elements keys)
+
+let pp_savings ppf savings =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+         Format.fprintf ppf "%a: %d -> %d (%+d)" Window.pp s.window
+           s.baseline_items s.rewritten_items (- (saved s))))
+    savings
+
 let compare_plans a b ~horizon events =
   match Validate.check_equivalent a b with
   | Error _ as e -> e
   | Ok () ->
       let ra = execute a ~horizon events in
       let rb = execute b ~horizon events in
-      if Row.equal_sets ra.rows rb.rows then Ok (ra, rb)
+      if Row.equal_sets ra.rows rb.rows then
+        Ok
+          {
+            baseline = ra;
+            rewritten = rb;
+            savings = per_window_savings ra rb;
+          }
       else Error (describe_diff (Row.diff ra.rows rb.rows))

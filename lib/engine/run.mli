@@ -6,8 +6,33 @@ type report = {
   metrics : Metrics.t;
 }
 
-val execute : Fw_plan.Plan.t -> horizon:int -> Event.t list -> report
-(** Stream-execute a plan with fresh metrics. *)
+type saving = {
+  window : Fw_window.Window.t;
+  baseline_items : int;  (** items the first plan charged the window *)
+  rewritten_items : int;  (** items the second plan charged it *)
+}
+
+type comparison = {
+  baseline : report;  (** the first plan's run *)
+  rewritten : report;  (** the second plan's run *)
+  savings : saving list;
+      (** per-operator delta over the union of both plans' windows,
+          sorted; factor windows show up with [baseline_items = 0] *)
+}
+
+val saved : saving -> int
+(** [baseline_items - rewritten_items]; negative for added work. *)
+
+val execute :
+  ?mode:Stream_exec.mode ->
+  ?trace:Fw_obs.Trace.t ->
+  Fw_plan.Plan.t ->
+  horizon:int ->
+  Event.t list ->
+  report
+(** Stream-execute a plan with fresh metrics; [trace] attaches a span
+    trace before the executor is built so every activation is
+    recorded. *)
 
 val verify_against_naive :
   Fw_plan.Plan.t -> horizon:int -> Event.t list -> (unit, string) result
@@ -15,12 +40,17 @@ val verify_against_naive :
     over the plan's exposed windows — the end-to-end correctness check
     for rewritten plans. *)
 
+val per_window_savings : report -> report -> saving list
+(** The per-operator delta between two reports, sorted by window. *)
+
+val pp_savings : Format.formatter -> saving list -> unit
+
 val compare_plans :
   Fw_plan.Plan.t ->
   Fw_plan.Plan.t ->
   horizon:int ->
   Event.t list ->
-  (report * report, string) result
-(** Execute two equivalent plans and fail if their row sets differ;
-    on success return both reports (metrics show the computation
-    saved). *)
+  (comparison, string) result
+(** Execute two equivalent plans and fail if their row sets differ; on
+    success return both reports plus the per-operator savings (where
+    the computation went, window by window — not just the totals). *)

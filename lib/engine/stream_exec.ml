@@ -6,6 +6,8 @@ module Aggregate = Fw_agg.Aggregate
 module Vec = Fw_util.Vec
 module Plan = Fw_plan.Plan
 module Validate = Fw_plan.Validate
+module Counter = Fw_obs.Counter
+module Clock = Fw_obs.Clock
 
 exception Late_event of Event.t
 
@@ -77,6 +79,10 @@ type t = {
   agg : Aggregate.t;
   metrics : Metrics.t;
   states : node_state array;
+  obs : Metrics.node_stats array;  (** per-node stats, same index as states *)
+  observe : bool;
+  sample_mask : int;
+      (** activation-latency sampling: clock every (mask+1)-th firing *)
   subs : int array array;
   sources : int array;
   mutable source_wm : int;
@@ -133,9 +139,31 @@ let instances_enclosing w ~lo:u ~hi:v =
     in
     collect lo_m []
 
+(* Span recording for a window activation: latencies are sampled (the
+   clock call is the only instrumentation cost that isn't a plain field
+   increment), every 16th activation normally, every activation when a
+   trace is attached so short traced runs aren't empty. *)
+let trace_span t ~name ~id ~start_ns ~dur_ns ~items_in ~items_out ~window =
+  match Metrics.trace t.metrics with
+  | None -> ()
+  | Some tr ->
+      Fw_obs.Trace.record tr
+        {
+          Fw_obs.Trace.name;
+          node = id;
+          start_ns;
+          dur_ns;
+          items_in;
+          items_out;
+          attrs = [ ("window", Window.to_string window) ];
+        }
+
 (* --- dispatch ------------------------------------------------------- *)
 
 let rec deliver t id msg =
+  (match msg with
+  | Item _ -> if t.observe then Counter.inc t.obs.(id).Metrics.rows_in
+  | Watermark _ -> ());
   match t.states.(id) with
   | N_forward -> forward t id msg
   | N_filter pred -> (
@@ -161,6 +189,9 @@ let rec deliver t id msg =
   | N_pane ps -> pane_deliver t id ps msg
 
 and forward t id msg =
+  (match msg with
+  | Item _ -> if t.observe then Counter.inc t.obs.(id).Metrics.rows_out
+  | Watermark _ -> ());
   let subs = t.subs.(id) in
   for i = 0 to Array.length subs - 1 do
     deliver t subs.(i) msg
@@ -185,18 +216,41 @@ and win_add_instance st m key state_update =
       st.pending
 
 and win_fire t id st wm =
-  let rec go () =
-    match Pending.min_binding_opt st.pending with
-    | Some (fk, (state, items)) when fk.Fire_key.hi <= wm ->
-        st.pending <- Pending.remove fk st.pending;
-        Metrics.record t.metrics st.window items;
-        let interval = Interval.make ~lo:fk.Fire_key.lo ~hi:fk.Fire_key.hi in
-        forward t id
-          (Item (Sub { window = st.window; interval; key = fk.Fire_key.key; state }));
-        go ()
-    | Some _ | None -> ()
-  in
-  go ()
+  (* Cheap emptiness probe first: the clock and the counters only move
+     when at least one instance actually fires. *)
+  match Pending.min_binding_opt st.pending with
+  | Some (fk0, _) when fk0.Fire_key.hi <= wm ->
+      let ns = t.obs.(id) in
+      let sampled = t.observe && ns.Metrics.activations land t.sample_mask = 0 in
+      ns.Metrics.activations <- ns.Metrics.activations + 1;
+      let t0 = if sampled then Clock.now_ns () else 0 in
+      let fired = ref 0 and items_tot = ref 0 in
+      let rec go () =
+        match Pending.min_binding_opt st.pending with
+        | Some (fk, (state, items)) when fk.Fire_key.hi <= wm ->
+            st.pending <- Pending.remove fk st.pending;
+            Metrics.record t.metrics st.window items;
+            incr fired;
+            items_tot := !items_tot + items;
+            let interval = Interval.make ~lo:fk.Fire_key.lo ~hi:fk.Fire_key.hi in
+            forward t id
+              (Item
+                 (Sub
+                    { window = st.window; interval; key = fk.Fire_key.key; state }));
+            go ()
+        | Some _ | None -> ()
+      in
+      go ();
+      if t.observe then begin
+        Counter.add ns.Metrics.fires !fired;
+        if sampled then begin
+          let dur = Clock.elapsed_ns ~since:t0 in
+          Fw_obs.Histogram.record ns.Metrics.fire_ns dur;
+          trace_span t ~name:"win-fire" ~id ~start_ns:t0 ~dur_ns:dur
+            ~items_in:!items_tot ~items_out:!fired ~window:st.window
+        end
+      end
+  | Some _ | None -> ()
 
 and win_deliver t id st msg =
   match msg with
@@ -232,10 +286,13 @@ and fire_pane t id ps m =
   let lo = m * ps.slide in
   let interval = Interval.make ~lo ~hi:(lo + Window.range ps.p_window) in
   let items = ref 0 in
+  let evicted = ref 0 in
   let dead = ref [] in
   Hashtbl.iter
     (fun key q ->
+      let before = Swag.length q in
       Swag.evict_below q m;
+      evicted := !evicted + before - Swag.length q;
       match Swag.query q with
       | None -> dead := key :: !dead
       | Some state ->
@@ -244,33 +301,59 @@ and fire_pane t id ps m =
             (Item (Sub { window = ps.p_window; interval; key; state })))
     ps.queues;
   List.iter (Hashtbl.remove ps.queues) !dead;
+  if t.observe then begin
+    let ns = t.obs.(id) in
+    Counter.add ns.Metrics.swag_evictions !evicted;
+    if !items > 0 then Counter.inc ns.Metrics.fires
+  end;
   if !items > 0 then Metrics.record t.metrics ps.p_window !items
 
 (* Seal every pane fully to the left of [upto], interleaving seals with
    the instance firings they complete so each queue holds at most [k]
    panes per key when queried. *)
 and pane_roll t id ps ~upto =
-  while (ps.cur_pane + 1) * ps.slide <= upto do
-    let p = ps.cur_pane in
-    if not (Pane.is_empty ps.open_pane) then begin
-      Pane.iter
-        (fun key state ->
-          let q =
-            match Hashtbl.find_opt ps.queues key with
-            | Some q -> q
-            | None ->
-                let q = Swag.create t.agg in
-                Hashtbl.replace ps.queues key q;
-                q
-          in
-          Swag.push q ~idx:p state)
-        ps.open_pane;
-      Pane.clear ps.open_pane
-    end;
-    let m = p + 1 - ps.k in
-    if m >= 0 then fire_pane t id ps m;
-    ps.cur_pane <- p + 1
-  done
+  (* Same emptiness probe as [win_fire]: no seal pending, no clock. *)
+  if (ps.cur_pane + 1) * ps.slide <= upto then begin
+    let ns = t.obs.(id) in
+    let sampled = t.observe && ns.Metrics.activations land t.sample_mask = 0 in
+    ns.Metrics.activations <- ns.Metrics.activations + 1;
+    let t0 = if sampled then Clock.now_ns () else 0 in
+    let fires0 = Counter.get ns.Metrics.fires in
+    let flushed = ref 0 in
+    while (ps.cur_pane + 1) * ps.slide <= upto do
+      let p = ps.cur_pane in
+      if not (Pane.is_empty ps.open_pane) then begin
+        Pane.iter
+          (fun key state ->
+            let q =
+              match Hashtbl.find_opt ps.queues key with
+              | Some q -> q
+              | None ->
+                  let q = Swag.create t.agg in
+                  Hashtbl.replace ps.queues key q;
+                  q
+            in
+            Swag.push q ~idx:p state)
+          ps.open_pane;
+        Pane.clear ps.open_pane;
+        incr flushed
+      end;
+      let m = p + 1 - ps.k in
+      if m >= 0 then fire_pane t id ps m;
+      ps.cur_pane <- p + 1
+    done;
+    if t.observe then begin
+      Counter.add ns.Metrics.pane_flushes !flushed;
+      if sampled then begin
+        let dur = Clock.elapsed_ns ~since:t0 in
+        Fw_obs.Histogram.record ns.Metrics.fire_ns dur;
+        trace_span t ~name:"pane-roll" ~id ~start_ns:t0 ~dur_ns:dur
+          ~items_in:!flushed
+          ~items_out:(Counter.get ns.Metrics.fires - fires0)
+          ~window:ps.p_window
+      end
+    end
+  end
 
 and pane_deliver t id ps msg =
   match msg with
@@ -293,7 +376,8 @@ and pane_deliver t id ps msg =
 
 (* --- construction --------------------------------------------------- *)
 
-let create ?(metrics = Metrics.create ()) ?(mode = Naive) plan =
+let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
+    plan =
   (match Validate.check plan with
   | [] -> ()
   | errors ->
@@ -317,9 +401,20 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) plan =
        | `Stream -> true
        | `Window _ -> false
   in
+  (* Why an incremental-mode window ran the per-instance fallback, in
+     precedence order (a node can be disqualified for several reasons;
+     the first is the one reported). *)
+  let fallback_reason window =
+    if Aggregate.kind agg = Aggregate.Holistic then Some "holistic-aggregate"
+    else
+      match Plan.window_input plan window with
+      | `Window _ -> Some "window-fed-input"
+      | `Stream ->
+          if Window.is_aligned window then None else Some "non-aligned-window"
+  in
   let states =
-    Array.map
-      (fun op ->
+    Array.mapi
+      (fun id op ->
         match op with
         | Plan.Source | Plan.Multicast _ -> N_forward
         | Plan.Filter { pred; _ } -> N_filter pred
@@ -336,12 +431,34 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) plan =
                   queues = Hashtbl.create 16;
                   p_wm = 0;
                 }
-            else N_win { window; pending = Pending.empty; wm = 0 })
+            else begin
+              if mode = Incremental then
+                (match fallback_reason window with
+                | Some reason ->
+                    Metrics.record_fallback metrics ~id ~window ~reason
+                | None -> ());
+              N_win { window; pending = Pending.empty; wm = 0 }
+            end)
       nodes
   in
   (match states.(output) with
   | N_union _ -> states.(output) <- N_union { sink = true }
   | N_forward | N_filter _ | N_win _ | N_pane _ -> ());
+  let obs =
+    Array.mapi
+      (fun id op ->
+        let kind, window =
+          match (op, states.(id)) with
+          | Plan.Source, _ -> ("source", None)
+          | Plan.Multicast _, _ -> ("multicast", None)
+          | Plan.Filter _, _ -> ("filter", None)
+          | Plan.Union _, _ -> ("union", None)
+          | Plan.Win_agg { window; _ }, N_pane _ -> ("win-pane", Some window)
+          | Plan.Win_agg { window; _ }, _ -> ("win-naive", Some window)
+        in
+        Metrics.node metrics ~id ~kind ?window ())
+      nodes
+  in
   let sources =
     let acc = ref [] in
     Array.iteri
@@ -354,6 +471,9 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) plan =
     agg;
     metrics;
     states;
+    obs;
+    observe;
+    sample_mask = (match Metrics.trace metrics with Some _ -> 0 | None -> 15);
     subs = subscribers plan;
     sources;
     source_wm = 0;
@@ -386,8 +506,8 @@ let close t ~horizon =
   t.closed <- true;
   Row.sort (Vec.to_list t.rows)
 
-let run ?metrics ?mode plan ~horizon events =
-  let t = create ?metrics ?mode plan in
+let run ?metrics ?mode ?observe plan ~horizon events =
+  let t = create ?metrics ?mode ?observe plan in
   List.iter
     (fun e -> if e.Event.time < horizon then feed t e)
     (Event.sort events);

@@ -29,7 +29,20 @@
     Watermarks are strictly monotone: feeding an event older than the
     current watermark raises {!Late_event} (the engine assumes ordered
     input; see {!Fw_workload.Event_gen} which produces ordered
-    streams). *)
+    streams).
+
+    {b Observability.}  Every node maintains {!Metrics.node_stats}
+    (rows in/out as plain counter increments; instance fires, pane
+    flushes and sliding-queue evictions on the firing path) in the
+    run's {!Metrics.t}.  Activation latencies are sampled into a
+    histogram — one clock pair per 16 firing activations, or every
+    activation when a trace is attached to the metrics {e before}
+    {!create} (each sampled activation then also records a span).
+    Incremental-mode nodes that fall back to the per-instance path are
+    counted with their reason ([holistic-aggregate], [window-fed-input]
+    or [non-aligned-window]).  [~observe:false] skips all of it — the
+    toggle exists so the bench [obs] section can price the
+    instrumentation itself. *)
 
 exception Late_event of Event.t
 
@@ -37,9 +50,10 @@ type mode = Naive | Incremental
 
 type t
 
-val create : ?metrics:Metrics.t -> ?mode:mode -> Fw_plan.Plan.t -> t
+val create :
+  ?metrics:Metrics.t -> ?mode:mode -> ?observe:bool -> Fw_plan.Plan.t -> t
 (** Raises [Invalid_argument] if the plan fails {!Fw_plan.Validate}.
-    [mode] defaults to {!Naive}. *)
+    [mode] defaults to {!Naive}; [observe] defaults to [true]. *)
 
 val feed : t -> Event.t -> unit
 (** Push one event; may trigger window firings for instances that the
@@ -56,6 +70,7 @@ val close : t -> horizon:int -> Row.t list
 val run :
   ?metrics:Metrics.t ->
   ?mode:mode ->
+  ?observe:bool ->
   Fw_plan.Plan.t ->
   horizon:int ->
   Event.t list ->

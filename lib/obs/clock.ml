@@ -1,0 +1,6 @@
+let real () = int_of_float (Unix.gettimeofday () *. 1e9)
+let source = ref real
+let now_ns () = !source ()
+let elapsed_ns ~since = max 0 (now_ns () - since)
+let set_source f = source := f
+let use_real () = source := real

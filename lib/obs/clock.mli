@@ -1,0 +1,20 @@
+(** Nanosecond clock behind a swappable source.
+
+    Instrumentation reads time through {!now_ns} so tests can install a
+    deterministic source.  The default source is [Unix.gettimeofday]
+    scaled to integer nanoseconds — wall clock, not strictly monotonic,
+    but the only clock available without adding a dependency; callers
+    that compute durations clamp negatives to zero. *)
+
+val now_ns : unit -> int
+(** Current time in nanoseconds from the active source. *)
+
+val elapsed_ns : since:int -> int
+(** [now_ns () - since], clamped to [>= 0] (the wall clock can step
+    backwards). *)
+
+val set_source : (unit -> int) -> unit
+(** Install a fake source (tests). *)
+
+val use_real : unit -> unit
+(** Restore the default [Unix.gettimeofday] source. *)

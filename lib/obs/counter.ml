@@ -1,0 +1,7 @@
+type t = { mutable n : int }
+
+let make () = { n = 0 }
+let inc t = t.n <- t.n + 1
+let add t k = t.n <- t.n + k
+let get t = t.n
+let reset t = t.n <- 0

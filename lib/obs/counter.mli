@@ -1,0 +1,10 @@
+(** Monotone integer counter: a single mutable cell, so an increment on
+    the hot path costs one load/add/store and never allocates. *)
+
+type t
+
+val make : unit -> t
+val inc : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val reset : t -> unit

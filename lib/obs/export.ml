@@ -1,0 +1,155 @@
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let labels_json labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> json_string k ^ ":" ^ json_string v)
+         labels)
+  ^ "}"
+
+let quantile_or_zero h q = Option.value ~default:0 (Histogram.quantile h q)
+
+let histogram_json name labels h =
+  let buckets =
+    String.concat ","
+      (List.map
+         (fun (lo, hi, n) -> Printf.sprintf "[%d,%d,%d]" lo hi n)
+         (Histogram.nonzero_buckets h))
+  in
+  Printf.sprintf
+    "{\"name\":%s,\"labels\":%s,\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%.1f,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"buckets\":[%s]}"
+    (json_string name) (labels_json labels) (Histogram.count h)
+    (Histogram.sum h)
+    (Option.value ~default:0 (Histogram.min_value h))
+    (Option.value ~default:0 (Histogram.max_value h))
+    (Option.value ~default:0.0 (Histogram.mean h))
+    (quantile_or_zero h 0.5) (quantile_or_zero h 0.9)
+    (quantile_or_zero h 0.99) buckets
+
+let registry_json reg =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (e : Registry.entry) ->
+      match e.Registry.metric with
+      | Registry.Counter c ->
+          counters :=
+            Printf.sprintf "{\"name\":%s,\"labels\":%s,\"value\":%d}"
+              (json_string e.Registry.name)
+              (labels_json e.Registry.labels)
+              (Counter.get c)
+            :: !counters
+      | Registry.Gauge g ->
+          gauges :=
+            Printf.sprintf "{\"name\":%s,\"labels\":%s,\"value\":%g}"
+              (json_string e.Registry.name)
+              (labels_json e.Registry.labels)
+              (Gauge.get g)
+            :: !gauges
+      | Registry.Histogram h ->
+          histograms :=
+            histogram_json e.Registry.name e.Registry.labels h :: !histograms)
+    (Registry.entries reg);
+  Printf.sprintf
+    "{\"counters\":[%s],\"gauges\":[%s],\"histograms\":[%s]}"
+    (String.concat "," (List.rev !counters))
+    (String.concat "," (List.rev !gauges))
+    (String.concat "," (List.rev !histograms))
+
+let span_json (s : Trace.span) =
+  Printf.sprintf
+    "{\"name\":%s,\"node\":%d,\"start_ns\":%d,\"dur_ns\":%d,\"items_in\":%d,\"items_out\":%d,\"attrs\":%s}"
+    (json_string s.Trace.name) s.Trace.node s.Trace.start_ns s.Trace.dur_ns
+    s.Trace.items_in s.Trace.items_out
+    (labels_json s.Trace.attrs)
+
+let trace_json tr =
+  Printf.sprintf "{\"dropped\":%d,\"spans\":[%s]}" (Trace.dropped tr)
+    (String.concat "," (List.map span_json (Trace.to_list tr)))
+
+let snapshot_json ?trace reg =
+  match trace with
+  | None -> Printf.sprintf "{\"metrics\":%s}" (registry_json reg)
+  | Some tr ->
+      Printf.sprintf "{\"metrics\":%s,\"trace\":%s}" (registry_json reg)
+        (trace_json tr)
+
+(* --- Prometheus text exposition --- *)
+
+let prom_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               let escaped =
+                 String.concat "\\\\"
+                   (String.split_on_char '\\' v)
+               in
+               let escaped =
+                 String.concat "\\\""
+                   (String.split_on_char '"' escaped)
+               in
+               Printf.sprintf "%s=\"%s\"" k escaped)
+             labels)
+      ^ "}"
+
+let prometheus reg =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header name kind help =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.replace seen_header name ();
+      if help <> "" then Printf.bprintf buf "# HELP %s %s\n" name help;
+      Printf.bprintf buf "# TYPE %s %s\n" name kind
+    end
+  in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let name = e.Registry.name and labels = e.Registry.labels in
+      match e.Registry.metric with
+      | Registry.Counter c ->
+          header name "counter" e.Registry.help;
+          Printf.bprintf buf "%s%s %d\n" name (prom_labels labels)
+            (Counter.get c)
+      | Registry.Gauge g ->
+          header name "gauge" e.Registry.help;
+          Printf.bprintf buf "%s%s %g\n" name (prom_labels labels)
+            (Gauge.get g)
+      | Registry.Histogram h ->
+          header name "histogram" e.Registry.help;
+          let cum = ref 0 in
+          List.iter
+            (fun (_, hi, n) ->
+              cum := !cum + n;
+              Printf.bprintf buf "%s_bucket%s %d\n" name
+                (prom_labels (labels @ [ ("le", string_of_int hi) ]))
+                !cum)
+            (Histogram.nonzero_buckets h);
+          Printf.bprintf buf "%s_bucket%s %d\n" name
+            (prom_labels (labels @ [ ("le", "+Inf") ]))
+            (Histogram.count h);
+          Printf.bprintf buf "%s_sum%s %d\n" name (prom_labels labels)
+            (Histogram.sum h);
+          Printf.bprintf buf "%s_count%s %d\n" name (prom_labels labels)
+            (Histogram.count h))
+    (Registry.entries reg);
+  Buffer.contents buf

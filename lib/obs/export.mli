@@ -1,0 +1,25 @@
+(** Exporters: JSON snapshot and Prometheus text exposition.
+
+    Both renderings are deterministic — entries come out of
+    {!Registry.entries} sorted — so snapshots can be golden-tested and
+    diffed across runs.  JSON is hand-rolled (the tree keeps zero
+    external dependencies); strings are escaped per RFC 8259. *)
+
+val json_string : string -> string
+(** Quote + escape a string as a JSON literal. *)
+
+val registry_json : Registry.t -> string
+(** [{"counters": [...], "gauges": [...], "histograms": [...]}]; each
+    histogram carries count/sum/min/max, p50/p90/p99 and its non-empty
+    buckets. *)
+
+val trace_json : Trace.t -> string
+(** [{"dropped": n, "spans": [...]}], spans oldest first. *)
+
+val snapshot_json : ?trace:Trace.t -> Registry.t -> string
+(** Registry plus optional trace under one object. *)
+
+val prometheus : Registry.t -> string
+(** Text exposition format: [# HELP] / [# TYPE] headers, counters and
+    gauges as samples, histograms as cumulative [_bucket{le="..."}]
+    series plus [_sum] / [_count]. *)

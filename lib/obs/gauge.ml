@@ -1,0 +1,6 @@
+type t = { mutable v : float }
+
+let make () = { v = 0.0 }
+let set t v = t.v <- v
+let add t d = t.v <- t.v +. d
+let get t = t.v

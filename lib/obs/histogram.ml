@@ -1,0 +1,112 @@
+(* floor(log2 v) + 1 for v >= 1 needs at most 62 + 1 buckets plus the
+   zero bucket on a 64-bit OCaml int. *)
+let n_buckets = 64
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0; min_v = max_int; max_v = 0; buckets = Array.make n_buckets 0 }
+
+(* Bucket of a (clamped non-negative) value: 0 for 0, otherwise
+   floor(log2 v) + 1, computed with an unrolled binary search — O(1),
+   branch-light. *)
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let v = ref v and b = ref 0 in
+    if !v >= 1 lsl 32 then begin v := !v lsr 32; b := !b + 32 end;
+    if !v >= 1 lsl 16 then begin v := !v lsr 16; b := !b + 16 end;
+    if !v >= 1 lsl 8 then begin v := !v lsr 8; b := !b + 8 end;
+    if !v >= 1 lsl 4 then begin v := !v lsr 4; b := !b + 4 end;
+    if !v >= 1 lsl 2 then begin v := !v lsr 2; b := !b + 2 end;
+    if !v >= 2 then incr b;
+    !b + 1
+  end
+
+let bucket_bounds i =
+  if i <= 0 then (0, 0)
+  else
+    let lo = 1 lsl (i - 1) in
+    let hi = if i >= 62 then max_int else (1 lsl i) - 1 in
+    (lo, hi)
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let i = bucket_index v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then None else Some t.min_v
+let max_value t = if t.count = 0 then None else Some t.max_v
+
+let mean t =
+  if t.count = 0 then None
+  else Some (float_of_int t.sum /. float_of_int t.count)
+
+let quantile t q =
+  if t.count = 0 then None
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    (* cumulative walk to the bucket holding the rank-th smallest *)
+    let i = ref 0 and cum = ref 0 in
+    while !cum + t.buckets.(!i) < rank do
+      cum := !cum + t.buckets.(!i);
+      incr i
+    done;
+    let lo, hi = bucket_bounds !i in
+    let b = t.buckets.(!i) in
+    let est =
+      lo
+      + int_of_float
+          (float_of_int (hi - lo) *. float_of_int (rank - !cum) /. float_of_int b)
+    in
+    let est = if est < t.min_v then t.min_v else est in
+    let est = if est > t.max_v then t.max_v else est in
+    Some est
+  end
+
+let merge_into ~into t =
+  into.count <- into.count + t.count;
+  into.sum <- into.sum + t.sum;
+  if t.count > 0 then begin
+    if t.min_v < into.min_v then into.min_v <- t.min_v;
+    if t.max_v > into.max_v then into.max_v <- t.max_v
+  end;
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) t.buckets
+
+let merged a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then
+      let lo, hi = bucket_bounds i in
+      acc := (lo, hi, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let pp ppf t =
+  if t.count = 0 then Format.pp_print_string ppf "empty"
+  else
+    let q p = Option.value ~default:0 (quantile t p) in
+    Format.fprintf ppf "n=%d mean=%.0f p50=%d p90=%d p99=%d max=%d" t.count
+      (Option.value ~default:0.0 (mean t))
+      (q 0.5) (q 0.9) (q 0.99) t.max_v

@@ -1,0 +1,55 @@
+(** Fixed-bucket log₂ histogram for non-negative integer samples
+    (latencies in nanoseconds, batch sizes, ...).
+
+    Bucket 0 holds the value 0 (negative samples are clamped); bucket
+    [i >= 1] holds the half-open range [[2^(i-1), 2^i)].  There are
+    {!n_buckets} buckets — enough for every OCaml [int] — so a record
+    is one array increment plus a handful of shifts: O(1), no
+    allocation, safe on the hot path.
+
+    Quantiles are estimated by rank: the bucket containing the rank-q
+    sample is found by a cumulative walk and the value is interpolated
+    linearly inside the bucket, then clamped to the observed
+    [min]/[max].  The estimate is therefore always within a factor of
+    two of the true sample quantile (both live in the same power-of-two
+    bucket), which the property tests pin down. *)
+
+type t
+
+val n_buckets : int
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Add one sample; negative values are clamped to 0. *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_value : t -> int option
+val max_value : t -> int option
+
+val mean : t -> float option
+
+val quantile : t -> float -> int option
+(** [quantile t q] for [q] in [[0, 1]]; [None] when empty.  [q <= 0]
+    is the minimum, [q >= 1] the maximum. *)
+
+val merge_into : into:t -> t -> unit
+(** Add every sample of the second histogram into [into] (bucket-wise;
+    exact). *)
+
+val merged : t -> t -> t
+(** Fresh histogram holding both inputs' samples. *)
+
+val bucket_index : int -> int
+(** The bucket a value falls into. *)
+
+val bucket_bounds : int -> int * int
+(** [(lo, hi)] inclusive bounds of a bucket's range. *)
+
+val nonzero_buckets : t -> (int * int * int) list
+(** [(lo, hi, count)] for each non-empty bucket, ascending. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: count, mean, p50/p90/p99, max. *)

@@ -1,0 +1,52 @@
+type span = {
+  name : string;
+  node : int;
+  start_ns : int;
+  dur_ns : int;
+  items_in : int;
+  items_out : int;
+  attrs : (string * string) list;
+}
+
+type t = {
+  ring : span option array;
+  mutable next : int;  (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Fw_obs.Trace.create: capacity < 1";
+  { ring = Array.make capacity None; next = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.ring
+
+let record t span =
+  if t.len = capacity t then t.dropped <- t.dropped + 1
+  else t.len <- t.len + 1;
+  t.ring.(t.next) <- Some span;
+  t.next <- (t.next + 1) mod capacity t
+
+let span t ~name ~node ?(attrs = []) f =
+  let start_ns = Clock.now_ns () in
+  let result, items_in, items_out = f () in
+  let dur_ns = Clock.elapsed_ns ~since:start_ns in
+  record t { name; node; start_ns; dur_ns; items_in; items_out; attrs };
+  result
+
+let length t = t.len
+let dropped t = t.dropped
+
+let to_list t =
+  let cap = capacity t in
+  let first = (t.next - t.len + cap) mod cap in
+  List.init t.len (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some s -> s
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 (capacity t) None;
+  t.next <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,44 @@
+(** Structured trace: one {!span} per operator activation, collected in
+    a bounded ring buffer.
+
+    A span records which plan node did what, when, for how long, and
+    how much data moved through it — enough to reconstruct where a
+    run's time went without a profiler.  The ring keeps the most
+    recent [capacity] spans and counts the ones it dropped, so tracing
+    a long run is safe; recording is O(1). *)
+
+type span = {
+  name : string;  (** activation kind, e.g. ["win-fire"], ["pane-roll"] *)
+  node : int;  (** plan node id; [-1] when not tied to a node *)
+  start_ns : int;
+  dur_ns : int;
+  items_in : int;  (** items consumed by the activation *)
+  items_out : int;  (** rows / sub-aggregates emitted *)
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 spans. *)
+
+val record : t -> span -> unit
+
+val span :
+  t ->
+  name:string ->
+  node:int ->
+  ?attrs:(string * string) list ->
+  (unit -> 'a * int * int) ->
+  'a
+(** [span tr ~name ~node f] times [f]; [f] returns
+    [(result, items_in, items_out)]. *)
+
+val length : t -> int
+val dropped : t -> int
+(** Spans evicted because the ring was full. *)
+
+val to_list : t -> span list
+(** Retained spans, oldest first. *)
+
+val clear : t -> unit

@@ -93,7 +93,10 @@ let finalize_instance agg window structure counter ~lo ~hi =
       :: rows)
     acc []
 
-let run agg mode slicing ws ~horizon events =
+let mode_label = function Unshared -> "unshared" | Shared -> "shared"
+let slicing_label = function Paned_slicing -> "paned" | Paired_slicing -> "paired"
+
+let run ?registry agg mode slicing ws ~horizon events =
   let ws = Window.dedup ws in
   if ws = [] then invalid_arg "Slicing exec: empty window set";
   let events =
@@ -127,13 +130,46 @@ let run agg mode slicing ws ~horizon events =
   let rows =
     List.concat_map
       (fun (w, s) ->
-        List.concat_map
-          (fun interval ->
-            finalize_instance agg w s final_counter
-              ~lo:(Interval.lo interval) ~hi:(Interval.hi interval))
-          (Interval.instances_until w ~horizon))
+        (* One clock pair per window, not per instance: the final pass
+           over all of a window's instances is the Table-1 "final" cost
+           and the granularity worth a histogram sample. *)
+        let t0 =
+          match registry with
+          | None -> 0
+          | Some _ -> Fw_obs.Clock.now_ns ()
+        in
+        let rows =
+          List.concat_map
+            (fun interval ->
+              finalize_instance agg w s final_counter
+                ~lo:(Interval.lo interval) ~hi:(Interval.hi interval))
+            (Interval.instances_until w ~horizon)
+        in
+        (match registry with
+        | None -> ()
+        | Some reg ->
+            Fw_obs.Histogram.record
+              (Fw_obs.Registry.histogram reg "slicing_window_finalize_ns"
+                 ~labels:[ ("window", Window.to_string w) ]
+                 ~help:"Final-combine pass latency per window (ns)")
+              (Fw_obs.Clock.elapsed_ns ~since:t0));
+        rows)
       structures
   in
+  (match registry with
+  | None -> ()
+  | Some reg ->
+      let labels =
+        [ ("mode", mode_label mode); ("slicing", slicing_label slicing) ]
+      in
+      Fw_obs.Counter.add
+        (Fw_obs.Registry.counter reg "slicing_partial_items_total" ~labels
+           ~help:"(event, structure) insertions — Table 1 partial cost")
+        !partial_counter;
+      Fw_obs.Counter.add
+        (Fw_obs.Registry.counter reg "slicing_final_items_total" ~labels
+           ~help:"(instance, key, slice) combinations — Table 1 final cost")
+        !final_counter);
   {
     rows = Row.sort rows;
     partial_items = !partial_counter;

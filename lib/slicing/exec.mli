@@ -12,7 +12,14 @@
 
     Counters mirror Table 1: [partial_items] counts (event, structure)
     insertions — [n·T] unshared, [T] shared — and [final_items] counts
-    (instance, key, slice) combinations. *)
+    (instance, key, slice) combinations.
+
+    Passing [?registry] additionally publishes the run into an
+    {!Fw_obs.Registry.t}: the two Table-1 counters
+    ([slicing_partial_items_total] / [slicing_final_items_total],
+    labelled with mode and slicing) and one
+    [slicing_window_finalize_ns] latency histogram per window timing
+    the final-combine pass over all of that window's instances. *)
 
 type mode = Unshared | Shared
 type slicing = Paned_slicing | Paired_slicing
@@ -24,6 +31,7 @@ type report = {
 }
 
 val run :
+  ?registry:Fw_obs.Registry.t ->
   Fw_agg.Aggregate.t ->
   mode ->
   slicing ->

@@ -154,6 +154,141 @@ let test_metrics_naive_matches_baseline () =
   ignore (Stream_exec.run ~metrics plan ~horizon:120 events);
   check_int "naive total 480" 480 (Metrics.total_processed metrics)
 
+(* The pinned lookup contract: windows the plan never charged read as
+   0 (cost-model comparisons probe windows cheap plans don't touch). *)
+let test_metrics_unknown_window_zero () =
+  let m = Metrics.create () in
+  check_int "fresh metrics" 0 (Metrics.processed m (tumbling 77));
+  check_int "fresh total" 0 (Metrics.total_processed m);
+  Metrics.record m (tumbling 10) 5;
+  check_int "other window still 0" 0 (Metrics.processed m (tumbling 77));
+  check_int "recorded window" 5 (Metrics.processed m (tumbling 10))
+
+let test_metrics_pp_golden () =
+  let m = Metrics.create () in
+  Metrics.record_ingest m 7;
+  (* record out of window order: pp must sort *)
+  Metrics.record m (tumbling 20) 3;
+  Metrics.record m (tumbling 10) 2;
+  check_string "stable sorted rendering"
+    "ingested: 7\nW<10,10> processed 2\nW<20,20> processed 3\ntotal \
+     processed: 5"
+    (Format.asprintf "%a" Metrics.pp m);
+  check_string "idempotent" (Format.asprintf "%a" Metrics.pp m)
+    (Format.asprintf "%a" Metrics.pp m)
+
+(* --- per-operator observability ------------------------------------ *)
+
+let node_counter_values m name =
+  List.filter_map
+    (fun (e : Fw_obs.Registry.entry) ->
+      if e.Fw_obs.Registry.name = name then
+        match e.Fw_obs.Registry.metric with
+        | Fw_obs.Registry.Counter c ->
+            Some (e.Fw_obs.Registry.labels, Fw_obs.Counter.get c)
+        | _ -> None
+      else None)
+    (Fw_obs.Registry.entries (Metrics.registry m))
+
+let test_per_node_rows () =
+  let plan = Plan.naive Aggregate.Sum example6_windows in
+  let events = List.init 120 (fun t -> ev t "k" 1.0) in
+  let metrics = Metrics.create () in
+  ignore (Stream_exec.run ~metrics plan ~horizon:120 events);
+  let rows_in = node_counter_values metrics "node_rows_in_total" in
+  let kind labels = List.assoc "kind" labels in
+  let source_in =
+    List.filter (fun (l, _) -> kind l = "source") rows_in
+  in
+  (match source_in with
+  | [ (_, n) ] -> check_int "source saw every event" 120 n
+  | l -> Alcotest.failf "expected 1 source node, got %d" (List.length l));
+  (* every window operator of the naive plan sees the whole stream *)
+  let win_in =
+    List.filter (fun (l, _) -> kind l = "win-naive") rows_in
+  in
+  check_int "one operator per window" 4 (List.length win_in);
+  List.iter (fun (_, n) -> check_int "window saw every event" 120 n) win_in;
+  (* rows_out of the source equals each subscriber's rows_in *)
+  let rows_out = node_counter_values metrics "node_rows_out_total" in
+  (match List.filter (fun (l, _) -> kind l = "source") rows_out with
+  | [ (_, n) ] -> check_int "source forwarded every event" 120 n
+  | _ -> Alcotest.fail "missing source rows_out")
+
+let test_fallback_reasons () =
+  (* holistic aggregate: every window node falls back *)
+  let m1 = Metrics.create () in
+  ignore
+    (Stream_exec.run ~metrics:m1 ~mode:Stream_exec.Incremental
+       (Plan.naive Aggregate.Median [ tumbling 10 ])
+       ~horizon:40
+       (List.init 40 (fun t -> ev t "k" 1.0)));
+  (match Metrics.fallbacks m1 with
+  | [ (_, _, reason, 1) ] -> check_string "holistic" "holistic-aggregate" reason
+  | l -> Alcotest.failf "expected 1 fallback, got %d" (List.length l));
+  (* non-aligned geometry *)
+  let m2 = Metrics.create () in
+  ignore
+    (Stream_exec.run ~metrics:m2 ~mode:Stream_exec.Incremental
+       (Plan.naive Aggregate.Sum [ w ~r:15 ~s:4 ])
+       ~horizon:40
+       (List.init 40 (fun t -> ev t "k" 1.0)));
+  (match Metrics.fallbacks m2 with
+  | [ (_, _, reason, 1) ] ->
+      check_string "non-aligned" "non-aligned-window" reason
+  | l -> Alcotest.failf "expected 1 fallback, got %d" (List.length l));
+  (* naive mode records none *)
+  let m3 = Metrics.create () in
+  ignore
+    (Stream_exec.run ~metrics:m3
+       (Plan.naive Aggregate.Median [ tumbling 10 ])
+       ~horizon:40
+       (List.init 40 (fun t -> ev t "k" 1.0)));
+  check_int "no fallbacks in naive mode" 0 (List.length (Metrics.fallbacks m3))
+
+(* Figure-11-style workload: a generated general window set; the
+   rewritten plan's per-operator totals must sum below the naive
+   plan's, and the comparison's savings must reconcile with both
+   plans' metrics. *)
+let test_compare_plans_savings () =
+  let prng = Fw_util.Prng.create 1106 in
+  let ws =
+    Fw_workload.Set_gen.random prng Fw_workload.Set_gen.default_config ~n:5
+  in
+  let outcome = Rewrite.optimize ~eta:2 Aggregate.Sum ws in
+  let events =
+    Fw_workload.Event_gen.steady (Fw_util.Prng.create 7)
+      Fw_workload.Event_gen.default_config ~eta:2 ~horizon:400
+  in
+  match
+    Run.compare_plans outcome.Rewrite.naive_plan outcome.Rewrite.plan
+      ~horizon:400 events
+  with
+  | Error e -> Alcotest.failf "plans disagree: %s" e
+  | Ok cmp ->
+      let baseline_total =
+        List.fold_left (fun a s -> a + s.Run.baseline_items) 0 cmp.Run.savings
+      and rewritten_total =
+        List.fold_left (fun a s -> a + s.Run.rewritten_items) 0 cmp.Run.savings
+      in
+      check_int "savings cover the baseline metrics"
+        (Metrics.total_processed cmp.Run.baseline.Run.metrics)
+        baseline_total;
+      check_int "savings cover the rewritten metrics"
+        (Metrics.total_processed cmp.Run.rewritten.Run.metrics)
+        rewritten_total;
+      check_bool "rewritten per-operator totals sum below naive" true
+        (rewritten_total < baseline_total);
+      List.iter
+        (fun s ->
+          check_int "baseline side matches its metrics"
+            (Metrics.processed cmp.Run.baseline.Run.metrics s.Run.window)
+            s.Run.baseline_items;
+          check_int "saved is the difference"
+            (s.Run.baseline_items - s.Run.rewritten_items)
+            (Run.saved s))
+        cmp.Run.savings
+
 let test_run_verify_and_compare () =
   let outcome = Rewrite.optimize Aggregate.Avg example6_windows in
   let prng = Fw_util.Prng.create 5 in
@@ -168,10 +303,10 @@ let test_run_verify_and_compare () =
     Run.compare_plans outcome.Rewrite.naive_plan outcome.Rewrite.plan
       ~horizon:120 events
   with
-  | Ok (naive_report, opt_report) ->
+  | Ok cmp ->
       check_bool "sharing saves work" true
-        (Metrics.total_processed opt_report.Run.metrics
-        < Metrics.total_processed naive_report.Run.metrics)
+        (Metrics.total_processed cmp.Run.rewritten.Run.metrics
+        < Metrics.total_processed cmp.Run.baseline.Run.metrics)
   | Error e -> Alcotest.failf "plans disagree: %s" e
 
 (* The central equivalence property: for random window sets, aggregates
@@ -487,6 +622,14 @@ let suite =
       test_metrics_naive_matches_baseline;
     Alcotest.test_case "run verify and compare" `Quick
       test_run_verify_and_compare;
+    Alcotest.test_case "metrics unknown window reads 0" `Quick
+      test_metrics_unknown_window_zero;
+    Alcotest.test_case "metrics pp golden" `Quick test_metrics_pp_golden;
+    Alcotest.test_case "per-node rows in/out" `Quick test_per_node_rows;
+    Alcotest.test_case "incremental fallback reasons" `Quick
+      test_fallback_reasons;
+    Alcotest.test_case "compare_plans per-operator savings" `Quick
+      test_compare_plans_savings;
     Alcotest.test_case "instances_containing boundaries" `Quick
       test_instances_containing_boundaries;
     Alcotest.test_case "instances_enclosing boundaries" `Quick

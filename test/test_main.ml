@@ -7,6 +7,7 @@ let () =
       ("interval", Test_interval.suite);
       ("coverage", Test_coverage.suite);
       ("order", Test_order.suite);
+      ("obs", Test_obs.suite);
       ("agg", Test_agg.suite);
       ("swag", Test_swag.suite);
       ("wcg", Test_wcg.suite);

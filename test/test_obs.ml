@@ -1,0 +1,327 @@
+(* Fw_obs: histogram estimates vs an exact sorted-array reference,
+   registry interning, exporters, trace ring, swappable clock. *)
+
+open Helpers
+module Counter = Fw_obs.Counter
+module Gauge = Fw_obs.Gauge
+module Histogram = Fw_obs.Histogram
+module Registry = Fw_obs.Registry
+module Trace = Fw_obs.Trace
+module Export = Fw_obs.Export
+module Clock = Fw_obs.Clock
+
+(* --- exact reference: keep every sample, quantile by rank ---------- *)
+
+let ref_quantile samples q =
+  match List.sort compare samples with
+  | [] -> None
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        if q <= 0.0 then 1
+        else if q >= 1.0 then n
+        else max 1 (min n (int_of_float (ceil (q *. float_of_int n))))
+      in
+      Some (List.nth sorted (rank - 1))
+
+let of_samples samples =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) samples;
+  h
+
+(* The histogram's contract: the estimate lives in the same log2
+   bucket as the true rank-q sample, i.e. it is within a factor of two
+   (plus it is clamped into [observed min, observed max]). *)
+let same_bucket est truth =
+  Histogram.bucket_index est = Histogram.bucket_index truth
+
+(* --- generators ---------------------------------------------------- *)
+
+(* Latency-shaped samples: mostly small, some zero, occasional huge
+   outliers beyond 2^30 ns (the >1s spikes the mli calls out). *)
+let gen_sample =
+  QCheck2.Gen.(
+    frequency
+      [
+        (1, return 0);
+        (6, int_range 1 5_000);
+        (3, int_range 5_000 50_000_000);
+        (1, int_range (1 lsl 30) (1 lsl 40));
+      ])
+
+let gen_samples = QCheck2.Gen.(list_size (int_range 0 200) gen_sample)
+let print_samples l = "[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+
+let quantiles = [ 0.0; 0.01; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+(* --- properties ---------------------------------------------------- *)
+
+let prop_quantile_matches_reference samples =
+  let h = of_samples samples in
+  List.for_all
+    (fun q ->
+      match (Histogram.quantile h q, ref_quantile samples q) with
+      | None, None -> samples = []
+      | Some est, Some truth ->
+          (* clamping can only pull the estimate toward the truth *)
+          same_bucket est truth
+          || (est >= (Option.get (Histogram.min_value h))
+             && est <= Option.get (Histogram.max_value h)
+             && same_bucket est truth)
+      | _ -> false)
+    quantiles
+
+let prop_merge_is_exact (a, b) =
+  let ha = of_samples a and hb = of_samples b in
+  let merged = Histogram.merged ha hb in
+  let all = of_samples (a @ b) in
+  Histogram.count merged = Histogram.count all
+  && Histogram.sum merged = Histogram.sum all
+  && Histogram.min_value merged = Histogram.min_value all
+  && Histogram.max_value merged = Histogram.max_value all
+  && Histogram.nonzero_buckets merged = Histogram.nonzero_buckets all
+
+let prop_merge_into_keeps_source (a, b) =
+  let ha = of_samples a and hb = of_samples b in
+  Histogram.merge_into ~into:ha hb;
+  Histogram.count ha = List.length a + List.length b
+  && Histogram.count hb = List.length b
+
+(* --- unit cases the mli pins --------------------------------------- *)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  check_int "count" 0 (Histogram.count h);
+  check_int "sum" 0 (Histogram.sum h);
+  Alcotest.(check (option int)) "min" None (Histogram.min_value h);
+  Alcotest.(check (option int)) "q" None (Histogram.quantile h 0.5);
+  Alcotest.(check (option (float 1e-9))) "mean" None (Histogram.mean h)
+
+let test_histogram_single_sample () =
+  let h = of_samples [ 1234 ] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "q=%.2f is the sample" q)
+        (Some 1234) (Histogram.quantile h q))
+    quantiles
+
+let test_histogram_outlier () =
+  (* one >2^30 outlier among small samples: p50 stays small, p100
+     reports the outlier exactly *)
+  let outlier = (1 lsl 30) + 7 in
+  let h = of_samples [ 10; 11; 12; 13; outlier ] in
+  let p50 = Option.get (Histogram.quantile h 0.5) in
+  Alcotest.(check bool) "p50 small" true (p50 < 64);
+  Alcotest.(check (option int)) "max exact" (Some outlier)
+    (Histogram.quantile h 1.0);
+  check_int "bucket of outlier" 31 (Histogram.bucket_index outlier)
+
+let test_histogram_negative_clamped () =
+  let h = of_samples [ -5; -1 ] in
+  check_int "count" 2 (Histogram.count h);
+  Alcotest.(check (option int)) "min 0" (Some 0) (Histogram.min_value h);
+  Alcotest.(check (option int)) "p99 0" (Some 0) (Histogram.quantile h 0.99)
+
+let test_bucket_bounds () =
+  check_int "0 -> bucket 0" 0 (Histogram.bucket_index 0);
+  check_int "1 -> bucket 1" 1 (Histogram.bucket_index 1);
+  check_int "2 -> bucket 2" 2 (Histogram.bucket_index 2);
+  check_int "3 -> bucket 2" 2 (Histogram.bucket_index 3);
+  check_int "1024 -> bucket 11" 11 (Histogram.bucket_index 1024);
+  let lo, hi = Histogram.bucket_bounds 2 in
+  check_int "bucket 2 lo" 2 lo;
+  check_int "bucket 2 hi" 3 hi;
+  (* every representable int lands in a bucket *)
+  check_bool "max_int in range" true
+    (Histogram.bucket_index max_int < Histogram.n_buckets)
+
+(* --- registry ------------------------------------------------------ *)
+
+let test_registry_interning () =
+  let r = Registry.create () in
+  let c1 = Registry.counter r ~labels:[ ("b", "2"); ("a", "1") ] "reqs_total" in
+  (* same metric, labels in the other order: same cell *)
+  let c2 = Registry.counter r ~labels:[ ("a", "1"); ("b", "2") ] "reqs_total" in
+  Counter.inc c1;
+  Counter.add c2 4;
+  check_int "one shared cell" 5 (Counter.get c1);
+  Alcotest.(check (option int))
+    "lookup" (Some 5)
+    (Registry.counter_value r ~labels:[ ("a", "1"); ("b", "2") ] "reqs_total");
+  Alcotest.(check (option int))
+    "unknown name" None
+    (Registry.counter_value r "nope_total");
+  check_int "one entry" 1 (List.length (Registry.entries r))
+
+let test_registry_type_conflict () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "x_total");
+  Alcotest.check_raises "re-register as gauge"
+    (Invalid_argument "Fw_obs.Registry: x_total already registered as a counter")
+    (fun () -> ignore (Registry.gauge r "x_total"))
+
+let test_registry_entries_sorted () =
+  let r = Registry.create () in
+  ignore (Registry.counter r ~labels:[ ("n", "2") ] "b_total");
+  ignore (Registry.counter r ~labels:[ ("n", "1") ] "b_total");
+  ignore (Registry.gauge r "a_depth");
+  let names =
+    List.map
+      (fun (e : Registry.entry) ->
+        (e.Registry.name, e.Registry.labels))
+      (Registry.entries r)
+  in
+  Alcotest.(check (list (pair string (list (pair string string)))))
+    "sorted by name then labels"
+    [
+      ("a_depth", []);
+      ("b_total", [ ("n", "1") ]);
+      ("b_total", [ ("n", "2") ]);
+    ]
+    names
+
+(* --- exporters ----------------------------------------------------- *)
+
+let contains ~needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let test_export_json () =
+  check_string "escaping" {|"a\"b\\c\n"|} (Export.json_string "a\"b\\c\n");
+  let r = Registry.create () in
+  Counter.add (Registry.counter r ~labels:[ ("w", "W<10,10>") ] "items_total") 7;
+  let h = Registry.histogram r "lat_ns" in
+  Histogram.record h 100;
+  Histogram.record h 200;
+  let json = Export.registry_json r in
+  check_bool "counter present" true
+    (contains ~needle:{|"name":"items_total"|} json);
+  check_bool "counter value" true (contains ~needle:{|"value":7|} json);
+  check_bool "histogram count" true (contains ~needle:{|"count":2|} json);
+  check_bool "p50 present" true (contains ~needle:{|"p50":|} json);
+  check_bool "p99 present" true (contains ~needle:{|"p99":|} json);
+  let tr = Trace.create () in
+  Trace.record tr
+    {
+      Trace.name = "win-fire";
+      node = 3;
+      start_ns = 1;
+      dur_ns = 2;
+      items_in = 4;
+      items_out = 5;
+      attrs = [ ("window", "W<10,10>") ];
+    };
+  let snap = Export.snapshot_json ~trace:tr r in
+  check_bool "snapshot has metrics" true (contains ~needle:{|"metrics":|} snap);
+  check_bool "snapshot has trace" true
+    (contains ~needle:{|"name":"win-fire"|} snap)
+
+let test_export_prometheus () =
+  let r = Registry.create () in
+  Counter.add (Registry.counter r ~help:"Items" ~labels:[ ("k", "v") ] "items_total") 3;
+  let h = Registry.histogram r "lat_ns" in
+  Histogram.record h 3;
+  let text = Export.prometheus r in
+  check_bool "help line" true (contains ~needle:"# HELP items_total Items" text);
+  check_bool "type line" true (contains ~needle:"# TYPE items_total counter" text);
+  check_bool "sample" true (contains ~needle:{|items_total{k="v"} 3|} text);
+  check_bool "histogram type" true
+    (contains ~needle:"# TYPE lat_ns histogram" text);
+  check_bool "le bucket" true (contains ~needle:{|lat_ns_bucket{le="3"} 1|} text);
+  check_bool "inf bucket" true
+    (contains ~needle:{|lat_ns_bucket{le="+Inf"} 1|} text);
+  check_bool "sum" true (contains ~needle:"lat_ns_sum 3" text);
+  check_bool "count" true (contains ~needle:"lat_ns_count 1" text)
+
+(* --- trace ring ---------------------------------------------------- *)
+
+let mk_span i =
+  {
+    Trace.name = Printf.sprintf "s%d" i;
+    node = i;
+    start_ns = i;
+    dur_ns = 1;
+    items_in = 0;
+    items_out = 0;
+    attrs = [];
+  }
+
+let test_trace_ring () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.record tr (mk_span i)
+  done;
+  check_int "length capped" 4 (Trace.length tr);
+  check_int "dropped" 2 (Trace.dropped tr);
+  Alcotest.(check (list string))
+    "oldest first, oldest two evicted"
+    [ "s3"; "s4"; "s5"; "s6" ]
+    (List.map (fun s -> s.Trace.name) (Trace.to_list tr));
+  Trace.clear tr;
+  check_int "cleared" 0 (Trace.length tr);
+  check_int "dropped reset" 0 (Trace.dropped tr)
+
+let test_trace_span_combinator () =
+  Clock.set_source (fun () -> 42);
+  Fun.protect ~finally:Clock.use_real (fun () ->
+      let tr = Trace.create () in
+      let v =
+        Trace.span tr ~name:"work" ~node:7 (fun () -> ("result", 3, 2))
+      in
+      check_string "passes result through" "result" v;
+      match Trace.to_list tr with
+      | [ s ] ->
+          check_string "name" "work" s.Trace.name;
+          check_int "node" 7 s.Trace.node;
+          check_int "start" 42 s.Trace.start_ns;
+          check_int "dur (frozen clock)" 0 s.Trace.dur_ns;
+          check_int "in" 3 s.Trace.items_in;
+          check_int "out" 2 s.Trace.items_out
+      | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
+
+(* --- clock --------------------------------------------------------- *)
+
+let test_clock_source () =
+  let t = ref 100 in
+  Clock.set_source (fun () -> !t);
+  Fun.protect ~finally:Clock.use_real (fun () ->
+      check_int "fake now" 100 (Clock.now_ns ());
+      t := 175;
+      check_int "elapsed" 75 (Clock.elapsed_ns ~since:100);
+      t := 50;
+      check_int "backwards clamped" 0 (Clock.elapsed_ns ~since:100));
+  check_bool "real clock ticks" true (Clock.now_ns () > 0)
+
+let suite =
+  [
+    Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram: single sample" `Quick
+      test_histogram_single_sample;
+    Alcotest.test_case "histogram: >2^30 outlier" `Quick test_histogram_outlier;
+    Alcotest.test_case "histogram: negatives clamp to 0" `Quick
+      test_histogram_negative_clamped;
+    Alcotest.test_case "histogram: bucket bounds" `Quick test_bucket_bounds;
+    qtest ~count:300 "histogram: quantiles within a bucket of exact"
+      gen_samples print_samples prop_quantile_matches_reference;
+    qtest ~count:300 "histogram: merge equals rebuilt"
+      QCheck2.Gen.(pair gen_samples gen_samples)
+      (fun (a, b) -> print_samples a ^ " + " ^ print_samples b)
+      prop_merge_is_exact;
+    qtest ~count:100 "histogram: merge_into leaves source intact"
+      QCheck2.Gen.(pair gen_samples gen_samples)
+      (fun (a, b) -> print_samples a ^ " + " ^ print_samples b)
+      prop_merge_into_keeps_source;
+    Alcotest.test_case "registry: interning" `Quick test_registry_interning;
+    Alcotest.test_case "registry: type conflict raises" `Quick
+      test_registry_type_conflict;
+    Alcotest.test_case "registry: entries sorted" `Quick
+      test_registry_entries_sorted;
+    Alcotest.test_case "export: json" `Quick test_export_json;
+    Alcotest.test_case "export: prometheus" `Quick test_export_prometheus;
+    Alcotest.test_case "trace: ring buffer" `Quick test_trace_ring;
+    Alcotest.test_case "trace: span combinator" `Quick
+      test_trace_span_combinator;
+    Alcotest.test_case "clock: swappable source" `Quick test_clock_source;
+  ]

@@ -121,6 +121,51 @@ let prop_trace_consistent =
                  | _ -> false)
                t.Explain.steps)
 
+(* fwfuzz --artifacts: a fabricated failure dumps a repro and a
+   metrics/trace snapshot of both streaming engines. *)
+let test_fuzz_artifacts_dump () =
+  let sc = Fw_check.Scenario.of_seed Fw_check.Scenario.default_gen 42 in
+  let problem =
+    { Fw_check.Harness.source = "test"; detail = "fabricated failure" }
+  in
+  let failure =
+    {
+      Fw_check.Harness.seed = 42;
+      scenario = sc;
+      problems = [ problem ];
+      shrunk = sc;
+      shrunk_problems = [ problem ];
+    }
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fw-artifacts-%d" (Unix.getpid ()))
+  in
+  match Fw_check.Artifacts.dump ~dir failure with
+  | Error e -> Alcotest.failf "dump failed: %s" e
+  | Ok files ->
+      check_int "repro + metrics" 2 (List.length files);
+      List.iter
+        (fun f -> check_bool (f ^ " written") true (Sys.file_exists f))
+        files;
+      let json =
+        In_channel.with_open_text (List.nth files 1) In_channel.input_all
+      in
+      check_bool "records the seed" true
+        (Astring_contains.contains json "\"seed\":42");
+      check_bool "carries the problem" true
+        (Astring_contains.contains json "fabricated failure");
+      check_bool "naive engine snapshot" true
+        (Astring_contains.contains json "\"naive-stream\"");
+      check_bool "incremental engine snapshot" true
+        (Astring_contains.contains json "\"incremental-stream\"");
+      check_bool "per-node metrics present" true
+        (Astring_contains.contains json "node_rows_in_total");
+      check_bool "trace attached" true
+        (Astring_contains.contains json "\"spans\"");
+      List.iter Sys.remove files;
+      Sys.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "csv round trip" `Quick test_csv_roundtrip;
@@ -134,4 +179,5 @@ let suite =
       test_trace_choices_minimal;
     Alcotest.test_case "trace render" `Quick test_trace_render;
     prop_trace_consistent;
+    Alcotest.test_case "fuzz artifacts dump" `Quick test_fuzz_artifacts_dump;
   ]
