@@ -6,10 +6,11 @@
    Usage:  main.exe [--seed N] [--section NAME]... [--engine-events N]
    With no --section, every section runs.  Section names: examples,
    table1, fig11, fig12, fig13, fig14, fig15, validate, measured,
-   ablation, timing, engine, obs, fuzz.  The engine section also writes
-   machine-readable throughput numbers to BENCH_engine.json; the obs
-   section prices the observability instrumentation and writes
-   BENCH_obs.json. *)
+   ablation, timing, engine, obs, snap, fuzz.  The engine section also
+   writes machine-readable throughput numbers to BENCH_engine.json; the
+   obs section prices the observability instrumentation and writes
+   BENCH_obs.json; the snap section prices checkpointing (and times a
+   crash/recovery round trip) into BENCH_snap.json. *)
 
 open Fw_window
 module Evaluation = Factor_windows.Evaluation
@@ -865,6 +866,209 @@ let section_obs () =
   print_endline "wrote BENCH_obs.json"
 
 (* ------------------------------------------------------------------ *)
+(* Checkpointing overhead: the durable pipeline vs the bare engine,    *)
+(* snapshot sizes, pause times, and a timed crash/recovery round trip. *)
+(* ------------------------------------------------------------------ *)
+
+let section_snap () =
+  heading "Checkpointing overhead: incremental engine, rs50x10, SUM";
+  let n_events = !engine_events in
+  let eta = 4 in
+  let horizon = max 1 (n_events / eta) in
+  let events =
+    Event_gen.steady
+      (Fw_util.Prng.create (!seed + 12))
+      Event_gen.default_config ~eta ~horizon
+  in
+  let n_events = List.length events in
+  (* feed the same order Stream_exec.run would: same-timestamp events
+     must fold in the same order for bit-identical float sums *)
+  let sorted_events = Fw_engine.Event.sort events in
+  let ws = List.assoc "rs50x10" engine_window_sets in
+  let plan = Fw_plan.Plan.naive Aggregate.Sum ws in
+  let every = max 1 (n_events / 5) in
+  let mode = Fw_engine.Stream_exec.Incremental in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "fw_bench_snap" in
+  let clear_dir () =
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir)
+  in
+  let feed_all cp =
+    List.iter
+      (fun e ->
+        if e.Fw_engine.Event.time < horizon then Fw_snap.Checkpoint.feed cp e)
+      sorted_events
+  in
+  let plain_rows = ref [] in
+  let run_plain () =
+    plain_rows := Fw_engine.Stream_exec.run ~mode plan ~horizon events
+  in
+  let run_checkpointed () =
+    clear_dir ();
+    let cp = Fw_snap.Checkpoint.create ~dir ~every ~mode plan in
+    feed_all cp;
+    ignore (Fw_snap.Checkpoint.close cp ~horizon)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* same protocol as the obs section: warm up, interleave the
+     repeats, compare per-variant minima *)
+  run_plain ();
+  run_checkpointed ();
+  let repeats = 7 in
+  let plain = ref [] and durable = ref [] in
+  for _ = 1 to repeats do
+    plain := time run_plain :: !plain;
+    durable := time run_checkpointed :: !durable
+  done;
+  let best l = List.fold_left min (List.hd l) (List.tl l) in
+  let plain_dt = best !plain and durable_dt = best !durable in
+  let overhead_pct = (durable_dt -. plain_dt) /. plain_dt *. 100.0 in
+  let rate dt = float_of_int n_events /. dt in
+  Printf.printf
+    "%d events (eta=%d, horizon=%d), snapshot every %d events, %d \
+     interleaved repeats, best times\n"
+    n_events eta horizon every repeats;
+  Printf.printf "  bare engine    %.1f ev/s\n" (rate plain_dt);
+  Printf.printf "  checkpointed   %.1f ev/s\n" (rate durable_dt);
+  Printf.printf
+    "  durability price  %.2f%% (WAL flush per event + checkpoints, \
+     informational)\n"
+    overhead_pct;
+  (* one instrumented run for snapshot sizes and pause quantiles; also
+     timed, to express the checkpoint pauses as a fraction of the wall
+     time — that fraction is the gated number: the WAL flush is the
+     per-event price of durability, the pause is what snapshotting
+     itself steals from the pipeline *)
+  clear_dir ();
+  let metrics = Fw_engine.Metrics.create () in
+  let cp = Fw_snap.Checkpoint.create ~dir ~every ~metrics ~mode plan in
+  let instr_dt =
+    time (fun () ->
+        feed_all cp;
+        ignore (Fw_snap.Checkpoint.close cp ~horizon))
+  in
+  let registry = Fw_engine.Metrics.registry metrics in
+  let hist name =
+    match Fw_obs.Registry.find registry name with
+    | Some (Fw_obs.Registry.Histogram h) -> Some h
+    | _ -> None
+  in
+  let q h p = Option.value ~default:0 (Fw_obs.Histogram.quantile h p) in
+  let checkpoints =
+    Option.value ~default:0
+      (Fw_obs.Registry.counter_value registry "snap_checkpoints_total")
+  in
+  let bytes_h = hist "snap_checkpoint_bytes" in
+  let pause_h = hist "snap_checkpoint_pause_ns" in
+  let pause_total_pct =
+    match pause_h with
+    | Some p ->
+        float_of_int (Fw_obs.Histogram.sum p) /. (instr_dt *. 1e9) *. 100.0
+    | None -> 0.0
+  in
+  (match (bytes_h, pause_h) with
+  | Some b, Some p ->
+      Printf.printf
+        "  %d snapshots: %d..%d bytes (p50 %d); pause p50 %.1f us, p99 %.1f \
+         us\n"
+        checkpoints
+        (Option.value ~default:0 (Fw_obs.Histogram.min_value b))
+        (Option.value ~default:0 (Fw_obs.Histogram.max_value b))
+        (q b 0.5)
+        (float_of_int (q p 0.5) /. 1e3)
+        (float_of_int (q p 0.99) /. 1e3)
+  | _ -> print_endline "  (no checkpoint metrics recorded)");
+  Printf.printf "  checkpoint pause  %.2f%% of wall time (target < 5%%) %s\n"
+    pause_total_pct
+    (if pause_total_pct < 5.0 then "[ok]" else "[OVER TARGET]");
+  (* timed crash/recovery round trip: kill the pipeline halfway
+     through the stream, recover from disk, finish, compare *)
+  clear_dir ();
+  let cp = Fw_snap.Checkpoint.create ~dir ~every ~mode plan in
+  let k = n_events / 2 in
+  List.iteri
+    (fun i e ->
+      if i < k && e.Fw_engine.Event.time < horizon then
+        Fw_snap.Checkpoint.feed cp e)
+    sorted_events;
+  (* abandoned, never closed: exactly what a dead process leaves *)
+  let t0 = Unix.gettimeofday () in
+  let recovery =
+    match Fw_snap.Recover.load ~dir ~every ~mode plan with
+    | Error m ->
+        Printf.printf "  RECOVERY FAILED: %s\n" m;
+        None
+    | Ok r ->
+        let load_dt = Unix.gettimeofday () -. t0 in
+        List.iteri
+          (fun i e ->
+            if i >= k && e.Fw_engine.Event.time < horizon then
+              Fw_snap.Checkpoint.feed r.Fw_snap.Recover.checkpoint e)
+          sorted_events;
+        let rows =
+          Fw_snap.Checkpoint.close r.Fw_snap.Recover.checkpoint ~horizon
+        in
+        let rows_match = rows = !plain_rows in
+        Printf.printf
+          "  recovery: snapshot %s, %d events replayed, load %.2f ms, rows \
+           byte-identical: %s\n"
+          (match r.Fw_snap.Recover.recovered_from with
+          | Some g -> string_of_int g
+          | None -> "none")
+          r.Fw_snap.Recover.replayed_events (load_dt *. 1e3)
+          (if rows_match then "yes" else "NO");
+        Some (load_dt, r.Fw_snap.Recover.replayed_events, rows_match)
+  in
+  clear_dir ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"seed\": %d,\n" !seed;
+  Printf.bprintf buf "  \"events\": %d,\n" n_events;
+  Printf.bprintf buf "  \"eta\": %d,\n" eta;
+  Printf.bprintf buf "  \"horizon\": %d,\n" horizon;
+  Printf.bprintf buf "  \"window_set\": \"rs50x10\",\n";
+  Printf.bprintf buf "  \"aggregate\": \"SUM\",\n";
+  Printf.bprintf buf "  \"every\": %d,\n" every;
+  Printf.bprintf buf "  \"repeats\": %d,\n" repeats;
+  Printf.bprintf buf "  \"plain_events_per_sec\": %.1f,\n" (rate plain_dt);
+  Printf.bprintf buf "  \"checkpointed_events_per_sec\": %.1f,\n"
+    (rate durable_dt);
+  Printf.bprintf buf "  \"overhead_pct\": %.3f,\n" overhead_pct;
+  Printf.bprintf buf "  \"pause_total_pct\": %.3f,\n" pause_total_pct;
+  Printf.bprintf buf "  \"checkpoints\": %d,\n" checkpoints;
+  (match (bytes_h, pause_h) with
+  | Some b, Some p ->
+      Printf.bprintf buf "  \"snapshot_bytes_p50\": %d,\n" (q b 0.5);
+      Printf.bprintf buf "  \"snapshot_bytes_max\": %d,\n"
+        (Option.value ~default:0 (Fw_obs.Histogram.max_value b));
+      Printf.bprintf buf "  \"pause_ns_p50\": %d,\n" (q p 0.5);
+      Printf.bprintf buf "  \"pause_ns_p99\": %d,\n" (q p 0.99)
+  | _ ->
+      Buffer.add_string buf "  \"snapshot_bytes_p50\": null,\n";
+      Buffer.add_string buf "  \"snapshot_bytes_max\": null,\n";
+      Buffer.add_string buf "  \"pause_ns_p50\": null,\n";
+      Buffer.add_string buf "  \"pause_ns_p99\": null,\n");
+  (match recovery with
+  | Some (load_dt, replayed, rows_match) ->
+      Printf.bprintf buf
+        "  \"recovery\": {\"load_ms\": %.3f, \"replayed_events\": %d, \
+         \"rows_match\": %b}\n"
+        (load_dt *. 1e3) replayed rows_match
+  | None -> Buffer.add_string buf "  \"recovery\": null\n");
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_snap.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  print_endline "wrote BENCH_snap.json"
+
+(* ------------------------------------------------------------------ *)
 (* Differential fuzzing smoke: the fwfuzz campaign, bounded, with      *)
 (* throughput and scenario-mix statistics (full campaigns: fwfuzz).    *)
 (* ------------------------------------------------------------------ *)
@@ -926,5 +1130,6 @@ let () =
   if enabled "timing" then section_timing ();
   if enabled "engine" then section_engine ();
   if enabled "obs" then section_obs ();
+  if enabled "snap" then section_snap ();
   if enabled "fuzz" then section_fuzz ();
   print_newline ()

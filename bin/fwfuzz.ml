@@ -6,7 +6,9 @@
    execution path — reference evaluator, naive streaming plan, the
    pane-based incremental engine (--incremental-prob to sample),
    rewritten plans with/without factor windows, paned/paired slicing
-   shared/unshared — asserts row-for-row equality, and checks the
+   shared/unshared, and (--crash-prob to sample) the checkpointing
+   pipeline killed mid-stream by an injected fault and recovered from
+   disk — asserts row-for-row equality, and checks the
    structural invariants (Theorem 7 forest shape, cost monotonicity,
    plan validation, metrics-vs-cost-model exactness).  Failures are
    shrunk to a minimal repro and reported with the one-line replay
@@ -67,6 +69,16 @@ let incremental_prob_arg =
   Arg.(value & opt float 1.0
        & info [ "incremental-prob" ] ~docv:"P" ~doc)
 
+let crash_prob_arg =
+  let doc =
+    "Probability that an iteration also runs the crash-restart paths: the \
+     checkpointing pipeline is killed at a scenario-derived event (sometimes \
+     with a torn snapshot write), recovered from disk, finished, and its \
+     rows and counters compared byte-for-byte with an uninterrupted run.  \
+     Decided deterministically per seed, so replays match the campaign."
+  in
+  Arg.(value & opt float 0.0 & info [ "crash-prob" ] ~docv:"P" ~doc)
+
 let max_failures_arg =
   let doc = "Stop the campaign after this many failures." in
   Arg.(value & opt int 5 & info [ "max-failures" ] ~docv:"F" ~doc)
@@ -101,8 +113,9 @@ let dump_artifacts artifacts failure =
           List.iter (fun f -> Printf.printf "artifact: %s\n" f) files
       | Error e -> Printf.eprintf "fwfuzz: artifact dump failed: %s\n" e)
 
-let replay gen ~invariants ~incremental_prob ~artifacts seed =
-  match Harness.check_seed ~invariants ~incremental_prob gen seed with
+let replay gen ~invariants ~incremental_prob ~crash_prob ~artifacts seed =
+  match Harness.check_seed ~invariants ~incremental_prob ~crash_prob gen seed
+  with
   | Ok sc ->
       Printf.printf "seed %d: %s\n" seed (Scenario.summary sc);
       List.iter
@@ -125,8 +138,8 @@ let replay gen ~invariants ~incremental_prob ~artifacts seed =
       dump_artifacts artifacts failure;
       1
 
-let campaign gen ~invariants ~incremental_prob ~iterations ~base_seed
-    ~max_failures ~quiet ~artifacts =
+let campaign gen ~invariants ~incremental_prob ~crash_prob ~iterations
+    ~base_seed ~max_failures ~quiet ~artifacts =
   let cfg =
     {
       Harness.iterations;
@@ -134,6 +147,7 @@ let campaign gen ~invariants ~incremental_prob ~iterations ~base_seed
       gen;
       invariants;
       incremental_prob;
+      crash_prob;
       max_failures;
     }
   in
@@ -171,7 +185,8 @@ let campaign gen ~invariants ~incremental_prob ~iterations ~base_seed
       1
 
 let main iterations seed do_replay max_windows eta_max horizon_max
-    no_invariants no_holistic incremental_prob max_failures quiet artifacts =
+    no_invariants no_holistic incremental_prob crash_prob max_failures quiet
+    artifacts =
   let bad name v =
     Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
     exit 124
@@ -186,12 +201,18 @@ let main iterations seed do_replay max_windows eta_max horizon_max
       incremental_prob;
     exit 124
   end;
+  if crash_prob < 0.0 || crash_prob > 1.0 then begin
+    Printf.eprintf "fwfuzz: --crash-prob must be in [0, 1] (got %g)\n"
+      crash_prob;
+    exit 124
+  end;
   let gen = gen_config max_windows eta_max horizon_max no_holistic in
   let invariants = not no_invariants in
-  if do_replay then replay gen ~invariants ~incremental_prob ~artifacts seed
+  if do_replay then
+    replay gen ~invariants ~incremental_prob ~crash_prob ~artifacts seed
   else
-    campaign gen ~invariants ~incremental_prob ~iterations ~base_seed:seed
-      ~max_failures ~quiet ~artifacts
+    campaign gen ~invariants ~incremental_prob ~crash_prob ~iterations
+      ~base_seed:seed ~max_failures ~quiet ~artifacts
 
 let cmd =
   let info =
@@ -204,6 +225,7 @@ let cmd =
     Term.(
       const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
       $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
-      $ incremental_prob_arg $ max_failures_arg $ quiet_arg $ artifacts_arg)
+      $ incremental_prob_arg $ crash_prob_arg $ max_failures_arg $ quiet_arg
+      $ artifacts_arg)
 
 let () = exit (Cmd.eval' cmd)

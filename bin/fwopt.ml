@@ -124,9 +124,69 @@ let optimize_cmd =
 
 (* --- run --- *)
 
+(* Checkpointed execution for `run --checkpoint/--recover`: same
+   report shape as Optimizer.execute, but the stream goes through the
+   durable pipeline.  --crash-after dies (cleanly, exit 0) mid-stream
+   leaving the directory behind, so a shell script can exercise the
+   whole crash/recover cycle. *)
+exception Simulated_crash
+
+let run_checkpointed ~dir ~every ~crash_after ~mode plan ~horizon events =
+  let cp = Fw_snap.Checkpoint.create ~dir ~every ~mode plan in
+  (try
+     List.iteri
+       (fun i e ->
+         (match crash_after with
+         | Some k when i >= k -> raise Simulated_crash
+         | _ -> ());
+         if e.Fw_engine.Event.time < horizon then Fw_snap.Checkpoint.feed cp e)
+       (Fw_engine.Event.sort events)
+   with Simulated_crash ->
+     Printf.printf
+       "simulated crash after %d events; durable state in %s (resume with \
+        --recover %s)\n"
+       (match crash_after with Some k -> k | None -> 0)
+       dir dir;
+     exit 0);
+  let rows = Fw_snap.Checkpoint.close cp ~horizon in
+  { Fw_engine.Run.rows; metrics = Fw_snap.Checkpoint.metrics cp }
+
+let run_recovered ~dir ~every ~mode plan ~horizon events =
+  match Fw_snap.Recover.load ~dir ~every ~mode plan with
+  | Error m ->
+      Printf.eprintf "recovery failed: %s\n" m;
+      exit 1
+  | Ok r ->
+      Printf.printf "recovered from %s (snapshot %s, %d events + %d \
+                     punctuations replayed); resuming\n"
+        dir
+        (match r.Fw_snap.Recover.recovered_from with
+        | Some g -> string_of_int g
+        | None -> "none, full log")
+        r.Fw_snap.Recover.replayed_events r.Fw_snap.Recover.replayed_advances;
+      List.iter
+        (fun (g, e) -> Printf.printf "  skipped snapshot %d: %s\n" g e)
+        r.Fw_snap.Recover.skipped;
+      (* the event stream is regenerated deterministically from the
+         seed; everything already durable (= ingested so far) is
+         skipped, the tail is fed as if the crash never happened *)
+      let already = Fw_engine.Metrics.ingested r.Fw_snap.Recover.metrics in
+      let fed = ref 0 in
+      List.iter
+        (fun e ->
+          if e.Fw_engine.Event.time < horizon then begin
+            incr fed;
+            if !fed > already then
+              Fw_snap.Checkpoint.feed r.Fw_snap.Recover.checkpoint e
+          end)
+        (Fw_engine.Event.sort events);
+      let rows = Fw_snap.Checkpoint.close r.Fw_snap.Recover.checkpoint ~horizon in
+      { Fw_engine.Run.rows; metrics = r.Fw_snap.Recover.metrics }
+
 let run_cmd =
   let action query file eta no_factor seed horizon show_rows shuffle lateness
-      events_file csv_out incremental stats =
+      events_file csv_out incremental stats checkpoint_dir every recover_dir
+      crash_after =
     let stats =
       match stats with
       | None -> None
@@ -135,6 +195,26 @@ let run_cmd =
           Printf.eprintf "unknown --stats format %s (json|prom|text)\n" other;
           exit 2
     in
+    (match (checkpoint_dir, recover_dir) with
+    | Some _, Some _ ->
+        Printf.eprintf
+          "--checkpoint and --recover are mutually exclusive (a fresh run \
+           vs resuming one)\n";
+        exit 2
+    | _ -> ());
+    if every < 1 then begin
+      Printf.eprintf "--every must be >= 1 (got %d)\n" every;
+      exit 2
+    end;
+    (match crash_after with
+    | Some k when k < 1 ->
+        Printf.eprintf "--crash-after must be >= 1 (got %d)\n" k;
+        exit 2
+    | Some _ when checkpoint_dir = None ->
+        Printf.eprintf "--crash-after requires --checkpoint (nothing would \
+                        survive the crash)\n";
+        exit 2
+    | _ -> ());
     match
       Optimizer.of_query ~eta ~factor_windows:(not no_factor)
         (load_query query file)
@@ -183,7 +263,16 @@ let run_cmd =
           | Some "json" -> Some (Fw_obs.Trace.create ())
           | _ -> None
         in
-        let report = Optimizer.execute ~mode ?trace t ~horizon events in
+        let report =
+          match (checkpoint_dir, recover_dir) with
+          | Some dir, _ ->
+              run_checkpointed ~dir ~every ~crash_after ~mode
+                (Optimizer.optimized_plan t) ~horizon events
+          | None, Some dir ->
+              run_recovered ~dir ~every ~mode (Optimizer.optimized_plan t)
+                ~horizon events
+          | None, None -> Optimizer.execute ~mode ?trace t ~horizon events
+        in
         let metrics = report.Fw_engine.Run.metrics in
         (match stats with
         | Some "json" -> print_endline (Fw_engine.Metrics.snapshot_json metrics)
@@ -259,13 +348,44 @@ let run_cmd =
                    trace), $(b,prom) (Prometheus text exposition) or \
                    $(b,text) (human summary + exposition).")
   in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"DIR"
+             ~doc:"Execute through the durable checkpointing pipeline: \
+                   snapshots and a write-ahead event log land in $(docv) \
+                   (created if needed), a snapshot every $(b,--every) \
+                   events.")
+  in
+  let every =
+    Arg.(value & opt int 1000
+         & info [ "every" ] ~docv:"N"
+             ~doc:"Checkpoint cadence (events between snapshots) for \
+                   --checkpoint / --recover.")
+  in
+  let recover_dir =
+    Arg.(value & opt (some string) None
+         & info [ "recover" ] ~docv:"DIR"
+             ~doc:"Resume a crashed --checkpoint run: load the newest valid \
+                   snapshot from $(docv) (falling back past corrupt ones), \
+                   replay the log tail, skip the already-durable prefix of \
+                   the regenerated stream and finish the run.  The rows and \
+                   counters match an uninterrupted run exactly.")
+  in
+  let crash_after =
+    Arg.(value & opt (some int) None
+         & info [ "crash-after" ] ~docv:"K"
+             ~doc:"With --checkpoint: stop dead after $(docv) events \
+                   (exit 0), leaving the directory for --recover — lets a \
+                   script exercise the full crash/recovery cycle.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile a query, execute it on synthetic events (or a CSV \
              file) and verify.")
     Term.(const action $ query_arg $ file_arg $ eta_arg $ no_factor_arg
           $ seed_arg $ horizon $ show_rows $ shuffle $ lateness $ events_file
-          $ csv_out $ incremental $ stats)
+          $ csv_out $ incremental $ stats $ checkpoint_dir $ every
+          $ recover_dir $ crash_after)
 
 (* --- gen --- *)
 

@@ -147,6 +147,47 @@ let aggregate_of : state -> Aggregate.t = function
   | S_stdev _ -> Stdev
   | S_median _ -> Median
 
+(* The serializable view mirrors the state constructors one-for-one.
+   [of_view] re-validates counts so a decoded snapshot can never smuggle
+   a state that [add]/[merge] would have refused to build. *)
+type view =
+  | V_min of float
+  | V_max of float
+  | V_count of int
+  | V_sum of float
+  | V_avg of { sum : float; count : int }
+  | V_stdev of { count : int; mean : float; m2 : float }
+  | V_median of float list
+
+let view = function
+  | S_min m -> V_min m
+  | S_max m -> V_max m
+  | S_count n -> V_count n
+  | S_sum s -> V_sum s
+  | S_avg { sum; count } -> V_avg { sum; count }
+  | S_stdev { count; mean; m2 } -> V_stdev { count; mean; m2 }
+  | S_median vs -> V_median vs
+
+let of_view v =
+  let check_count what n =
+    if n < 0 then
+      invalid_arg (Printf.sprintf "Combine.of_view: negative %s count" what)
+  in
+  match v with
+  | V_min m -> S_min m
+  | V_max m -> S_max m
+  | V_count n ->
+      check_count "COUNT" n;
+      S_count n
+  | V_sum s -> S_sum s
+  | V_avg { sum; count } ->
+      check_count "AVG" count;
+      S_avg { sum; count }
+  | V_stdev { count; mean; m2 } ->
+      check_count "STDEV" count;
+      S_stdev { count; mean; m2 }
+  | V_median vs -> S_median vs
+
 let pp ppf s =
   Format.fprintf ppf "%a-state(%g)" Aggregate.pp (aggregate_of s)
     (finalize s)

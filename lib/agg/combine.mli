@@ -75,6 +75,31 @@ val count_of : state -> int
 
 val aggregate_of : state -> Aggregate.t
 
+(** {2 Serializable view}
+
+    A one-to-one public mirror of the state constructors so the
+    checkpoint codec ({!Fw_snap.Codec}) can serialize engine state
+    without this module growing an I/O dependency.  The view is the
+    {e exact} internal representation — round-tripping through it
+    preserves every float bit, which the byte-identical recovery
+    guarantee relies on. *)
+
+type view =
+  | V_min of float
+  | V_max of float
+  | V_count of int
+  | V_sum of float
+  | V_avg of { sum : float; count : int }
+  | V_stdev of { count : int; mean : float; m2 : float }
+      (** Welford / Chan running (count, mean, M2) *)
+  | V_median of float list  (** holistic: the raw multiset, newest first *)
+
+val view : state -> view
+
+val of_view : view -> state
+(** Raises [Invalid_argument] on a view no sequence of
+    {!of_value}/{!add}/{!merge} could have produced (negative counts). *)
+
 val pp : Format.formatter -> state -> unit
 
 val equal_result : float -> float -> bool

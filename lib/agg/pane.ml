@@ -31,3 +31,28 @@ let is_empty t = Hashtbl.length t.tbl = 0
 let clear t = Hashtbl.reset t.tbl
 let adds t = t.adds
 let merges t = t.merges
+
+(* --- snapshot support ---------------------------------------------- *)
+
+type export = {
+  x_entries : (string * Combine.state) list;  (* sorted by key *)
+  x_adds : int;
+  x_merges : int;
+}
+
+let export t =
+  {
+    x_entries =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k st acc -> (k, st) :: acc) t.tbl []);
+    x_adds = t.adds;
+    x_merges = t.merges;
+  }
+
+let import ?(size_hint = 16) agg x =
+  let t = create ~size_hint agg in
+  List.iter (fun (k, st) -> Hashtbl.replace t.tbl k st) x.x_entries;
+  t.adds <- x.x_adds;
+  t.merges <- x.x_merges;
+  t

@@ -41,3 +41,17 @@ val adds : t -> int
 
 val merges : t -> int
 (** {!merge} calls so far. *)
+
+(** {2 Snapshot support} *)
+
+type export = {
+  x_entries : (string * Combine.state) list;  (** sorted by key *)
+  x_adds : int;
+  x_merges : int;
+}
+
+val export : t -> export
+(** Deterministic (key-sorted) capture of the pane's contents and
+    lifetime counters, for the checkpoint codec. *)
+
+val import : ?size_hint:int -> Aggregate.t -> export -> t

@@ -135,6 +135,78 @@ let evict_below t m =
       in
       go ()
 
+(* --- snapshot support ---------------------------------------------- *)
+
+(* The export is the exact internal shape, cumulative front states
+   included: re-pushing the entries into a fresh queue would regroup
+   the pending merges and change float rounding, so recovery restores
+   the two-stacks split verbatim to keep results byte-identical. *)
+type xentry = { x_idx : int; x_state : Combine.state }
+
+type xrepr =
+  | X_two_stacks of {
+      xfront : xentry list;
+      xback : xentry list;
+      xback_acc : Combine.state option;
+    }
+  | X_subtractive of { xentries : xentry list; xacc : Combine.state option }
+
+type export = {
+  x_repr : xrepr;
+  x_evicted : int;
+  x_flips : int;
+  x_merges : int;
+}
+
+let export t =
+  let entry e = { x_idx = e.idx; x_state = e.st } in
+  let x_repr =
+    match t.repr with
+    | Two_stacks ts ->
+        X_two_stacks
+          {
+            xfront = List.map entry ts.front;
+            xback = List.map entry ts.back;
+            xback_acc = ts.back_acc;
+          }
+    | Subtractive s ->
+        X_subtractive
+          {
+            xentries = List.map entry (List.of_seq (Queue.to_seq s.q));
+            xacc = s.acc;
+          }
+  in
+  { x_repr; x_evicted = t.evicted; x_flips = t.flips; x_merges = t.merges }
+
+let import agg x =
+  let entry e = { idx = e.x_idx; st = e.x_state } in
+  let len, repr =
+    match (x.x_repr, Combine.invertible agg) with
+    | X_two_stacks { xfront; xback; xback_acc }, false ->
+        ( List.length xfront + List.length xback,
+          Two_stacks
+            {
+              front = List.map entry xfront;
+              back = List.map entry xback;
+              back_acc = xback_acc;
+            } )
+    | X_subtractive { xentries; xacc }, true ->
+        let q = Queue.create () in
+        List.iter (fun e -> Queue.add (entry e) q) xentries;
+        (List.length xentries, Subtractive { q; acc = xacc })
+    | X_two_stacks _, true | X_subtractive _, false ->
+        invalid_arg
+          "Swag.import: representation does not match the aggregate's \
+           invertibility"
+  in
+  {
+    len;
+    repr;
+    evicted = x.x_evicted;
+    flips = x.x_flips;
+    merges = x.x_merges;
+  }
+
 let query t =
   match t.repr with
   | Subtractive s -> s.acc

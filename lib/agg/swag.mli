@@ -52,3 +52,39 @@ val flips : t -> int
 val merges : t -> int
 (** {!Combine.merge} calls performed internally so far (push
     accumulation, flips, and non-invertible recomputes). *)
+
+(** {2 Snapshot support}
+
+    {!export} captures the queue's {e exact} internal shape — including
+    the two-stacks front/back split and the cumulative front states —
+    and {!import} restores it verbatim.  Re-pushing entries into a
+    fresh queue instead would regroup merges and perturb float
+    rounding, breaking the recovery subsystem's byte-identical-results
+    guarantee. *)
+
+type xentry = { x_idx : int; x_state : Combine.state }
+
+type xrepr =
+  | X_two_stacks of {
+      xfront : xentry list;  (** oldest first; cumulative suffix states *)
+      xback : xentry list;  (** youngest first; raw states *)
+      xback_acc : Combine.state option;
+    }
+  | X_subtractive of {
+      xentries : xentry list;  (** oldest first; raw states *)
+      xacc : Combine.state option;
+    }
+
+type export = {
+  x_repr : xrepr;
+  x_evicted : int;
+  x_flips : int;
+  x_merges : int;
+}
+
+val export : t -> export
+
+val import : Aggregate.t -> export -> t
+(** Raises [Invalid_argument] when the representation kind does not
+    match {!Combine.invertible} for the aggregate (a snapshot from a
+    different aggregate or a corrupted decode). *)

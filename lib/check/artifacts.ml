@@ -76,6 +76,38 @@ let metrics_json (f : Harness.failure) =
     (path Stream_exec.Naive)
     (path Stream_exec.Incremental)
 
+(* When a crash-restart path failed, the repro alone replays the bug
+   but the *disk state the dead process left behind* is the evidence:
+   re-run the shrunk scenario's pre-crash process (same deterministic
+   fault plan) into a sibling directory, leaving the snapshot files and
+   the flushed log — torn bytes included — next to the repro, so
+   [Recover.load] can be pointed at them offline. *)
+let crash_modes (f : Harness.failure) =
+  List.filter_map
+    (fun (p : Harness.problem) ->
+      match p.Harness.source with
+      | "crash-restart-naive" -> Some Stream_exec.Naive
+      | "crash-restart-incremental" -> Some Stream_exec.Incremental
+      | _ -> None)
+    f.Harness.shrunk_problems
+  |> List.sort_uniq compare
+
+let dump_precrash ~dir base mode (sc : Scenario.t) =
+  let sub =
+    Filename.concat dir
+      (Printf.sprintf "%s-precrash-%s" base
+         (match mode with
+         | Stream_exec.Naive -> "naive"
+         | Stream_exec.Incremental -> "incremental"))
+  in
+  ensure_dir sub;
+  (match Paths.crash_first_process ~dir:sub mode sc with
+  | Paths.Crashed -> ()
+  | Paths.Completed cp ->
+      ignore (Fw_snap.Checkpoint.close cp ~horizon:sc.Scenario.horizon));
+  Sys.readdir sub |> Array.to_list |> List.sort compare
+  |> List.map (Filename.concat sub)
+
 let dump ~dir (f : Harness.failure) =
   try
     ensure_dir dir;
@@ -84,5 +116,10 @@ let dump ~dir (f : Harness.failure) =
     let metrics = Filename.concat dir (base ^ "-metrics.json") in
     write_file repro (repro_text f);
     write_file metrics (metrics_json f);
-    Ok [ repro; metrics ]
+    let precrash =
+      List.concat_map
+        (fun mode -> dump_precrash ~dir base mode f.Harness.shrunk)
+        (crash_modes f)
+    in
+    Ok ([ repro; metrics ] @ precrash)
   with Sys_error e -> Error e

@@ -15,7 +15,15 @@
 
     If an engine crashes on the scenario (possibly the bug itself),
     the snapshot keeps whatever was recorded before the exception and
-    carries the exception text in the [crash] field. *)
+    carries the exception text in the [crash] field.
+
+    When a crash-restart path ({!Paths.Crash_restart}) is among the
+    shrunk failures, the shrunk scenario's {e pre-crash} process is
+    additionally re-run — same deterministic fault plan — into
+    [seed-N-precrash-MODE/], leaving the snapshot files and the
+    flushed event log (torn bytes included) exactly as the simulated
+    dead process would: point {!Fw_snap.Recover.load} at that
+    directory to step through the failing recovery offline. *)
 
 val dump : dir:string -> Harness.failure -> (string list, string) result
 (** [dump ~dir failure] writes the artifact files, creating [dir] (and

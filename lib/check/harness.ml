@@ -14,6 +14,7 @@ type config = {
   gen : Scenario.gen_config;
   invariants : bool;
   incremental_prob : float;
+  crash_prob : float;
   max_failures : int;
 }
 
@@ -24,6 +25,7 @@ let default_config =
     gen = Scenario.default_gen;
     invariants = true;
     incremental_prob = 1.0;
+    crash_prob = 0.0;
     max_failures = 5;
   }
 
@@ -53,19 +55,35 @@ let problems_of ~invariants ~paths sc =
    engine as a checked path.  Decided deterministically from the seed
    (not a global counter) so a failure replays identically under
    [--replay --seed N] no matter which iteration found it. *)
-let paths_for ~incremental_prob seed =
+let paths_for ~incremental_prob ~crash_prob seed =
+  let base =
+    if
+      incremental_prob >= 1.0
+      || Fw_util.Prng.bernoulli
+           (Fw_util.Prng.create (seed lxor 0x1ec4e81))
+           incremental_prob
+    then Paths.all
+    else List.filter (fun p -> p <> Paths.Incremental_stream) Paths.all
+  in
+  (* the crash-restart paths are opt-in (they run three executions and
+     touch disk per scenario); same per-seed determinism, distinct
+     stream *)
   if
-    incremental_prob >= 1.0
-    || Fw_util.Prng.bernoulli
-         (Fw_util.Prng.create (seed lxor 0x1ec4e81))
-         incremental_prob
-  then Paths.all
+    crash_prob > 0.0
+    && (crash_prob >= 1.0
+       || Fw_util.Prng.bernoulli
+            (Fw_util.Prng.create (seed lxor 0x5eed5a9))
+            crash_prob)
+  then base
   else
-    List.filter (fun p -> p <> Paths.Incremental_stream) Paths.all
+    List.filter
+      (fun p -> match p with Paths.Crash_restart _ -> false | _ -> true)
+      base
 
-let check_seed ?(invariants = true) ?(incremental_prob = 1.0) gen seed =
+let check_seed ?(invariants = true) ?(incremental_prob = 1.0)
+    ?(crash_prob = 0.0) gen seed =
   let sc = Scenario.of_seed gen seed in
-  let paths = paths_for ~incremental_prob seed in
+  let paths = paths_for ~incremental_prob ~crash_prob seed in
   match problems_of ~invariants ~paths sc with
   | [] -> Ok sc
   | problems ->
@@ -88,7 +106,8 @@ let run ?progress cfg =
        let seed = cfg.base_seed + i in
        (match
           check_seed ~invariants:cfg.invariants
-            ~incremental_prob:cfg.incremental_prob cfg.gen seed
+            ~incremental_prob:cfg.incremental_prob ~crash_prob:cfg.crash_prob
+            cfg.gen seed
         with
        | Ok _ -> ()
        | Error failure ->

@@ -30,23 +30,32 @@ type config = {
       (** probability that a seed's iteration also runs the incremental
           engine ({!Paths.Incremental_stream}) as a checked path;
           decided deterministically per seed so replays match *)
+  crash_prob : float;
+      (** probability that a seed's iteration also runs the
+          crash-restart paths ({!Paths.Crash_restart}, both engine
+          modes) — killed, recovered from disk, finished, compared.
+          [0.0] (the default) skips them: each one costs three
+          executions plus checkpoint I/O.  Same per-seed determinism as
+          [incremental_prob], on an independent coin. *)
   max_failures : int;  (** stop the campaign after this many failures *)
 }
 
 val default_config : config
 (** 1000 iterations, base seed 42, invariants on, incremental path
-    always on, stop after 5 failures. *)
+    always on, crash-restart paths off, stop after 5 failures. *)
 
 type outcome = { checked : int; failures : failure list }
 
 val check_seed :
   ?invariants:bool ->
   ?incremental_prob:float ->
+  ?crash_prob:float ->
   Scenario.gen_config ->
   int ->
   (Scenario.t, failure) result
 (** Check a single seed; [Ok] returns the (clean) scenario so replay
-    tooling can describe it.  [incremental_prob] defaults to [1.0]. *)
+    tooling can describe it.  [incremental_prob] defaults to [1.0],
+    [crash_prob] to [0.0]. *)
 
 val run : ?progress:(int -> unit) -> config -> outcome
 (** Run the campaign; [progress] is called after each iteration with

@@ -1,7 +1,10 @@
 module Plan = Fw_plan.Plan
 module Rewrite = Fw_plan.Rewrite
 module Stream_exec = Fw_engine.Stream_exec
+module Metrics = Fw_engine.Metrics
+module Event = Fw_engine.Event
 module Row = Fw_engine.Row
+module Window = Fw_window.Window
 module Exec = Fw_slicing.Exec
 
 type path =
@@ -11,6 +14,7 @@ type path =
   | Rewritten
   | Rewritten_no_factor
   | Sliced of Exec.mode * Exec.slicing
+  | Crash_restart of Stream_exec.mode
 
 let all =
   [
@@ -23,6 +27,8 @@ let all =
     Sliced (Exec.Shared, Exec.Paned_slicing);
     Sliced (Exec.Unshared, Exec.Paired_slicing);
     Sliced (Exec.Shared, Exec.Paired_slicing);
+    Crash_restart Stream_exec.Naive;
+    Crash_restart Stream_exec.Incremental;
   ]
 
 let name = function
@@ -37,6 +43,8 @@ let name = function
         (match slicing with
         | Exec.Paned_slicing -> "paned"
         | Exec.Paired_slicing -> "paired")
+  | Crash_restart Stream_exec.Naive -> "crash-restart-naive"
+  | Crash_restart Stream_exec.Incremental -> "crash-restart-incremental"
 
 (* The optimizer's cost model assumes aligned windows (footnote 4), so
    the rewritten paths only apply to aligned scenarios; every other
@@ -47,12 +55,134 @@ let name = function
 let applicable path sc =
   match path with
   | Rewritten | Rewritten_no_factor -> Scenario.aligned sc
-  | Reference_path | Naive_stream | Incremental_stream | Sliced _ -> true
+  | Reference_path | Naive_stream | Incremental_stream | Sliced _
+  | Crash_restart _ ->
+      true
 
 let rewritten_plan ~factor_windows (sc : Scenario.t) =
   (Rewrite.optimize ~eta:sc.Scenario.eta ~factor_windows sc.Scenario.agg
      sc.Scenario.windows)
     .Rewrite.plan
+
+(* --- crash-restart path -------------------------------------------- *)
+
+(* The input the streaming paths actually consume: sorted, clipped at
+   the horizon (mirrors [Stream_exec.run]). *)
+let fed_events (sc : Scenario.t) =
+  List.filter
+    (fun e -> e.Event.time < sc.Scenario.horizon)
+    (Event.sort sc.Scenario.events)
+
+type crash_params = { every : int; crash_at : int; torn_bytes : int option }
+
+(* Crash geometry derived deterministically from the scenario text, so
+   a replayed or shrunk scenario reproduces the exact same crash:
+   checkpoint cadence ~ a third of the stream, death somewhere inside
+   it, and a torn snapshot write on a quarter of the scenarios. *)
+let crash_params (sc : Scenario.t) =
+  let n = List.length (fed_events sc) in
+  let h = Hashtbl.hash (Scenario.to_repro sc) land max_int in
+  {
+    every = 1 + (h mod max 1 (n / 3));
+    crash_at = 1 + (h / 13 mod max 1 n);
+    torn_bytes = (if h mod 4 = 0 then Some (1 + (h / 53 mod 8)) else None);
+  }
+
+type first_outcome = Crashed | Completed of Fw_snap.Checkpoint.t
+
+(* Run the pre-crash process into [dir]: checkpointing pipeline, fault
+   plan armed.  [Crashed] leaves the directory exactly as the dead
+   process would have (snapshots, flushed log, possibly a torn newest
+   snapshot); [Completed] only happens on an empty stream. *)
+let crash_first_process ~dir mode (sc : Scenario.t) =
+  let p = crash_params sc in
+  let fault =
+    Fw_snap.Fault.create ~crash_at_event:p.crash_at ?torn_bytes:p.torn_bytes ()
+  in
+  let cp =
+    Fw_snap.Checkpoint.create ~dir ~every:p.every ~fault ~mode
+      (Plan.naive sc.Scenario.agg sc.Scenario.windows)
+  in
+  try
+    List.iter (Fw_snap.Checkpoint.feed cp) (fed_events sc);
+    Completed cp
+  with Fw_snap.Fault.Crash _ -> Crashed
+
+let fresh_temp_dir () =
+  let base = Filename.temp_file "fwsnap" ".d" in
+  Sys.remove base;
+  Sys.mkdir base 0o700;
+  base
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+(* Crash the pipeline mid-stream, recover from disk, finish the run —
+   then insist both the rows and the cost-model counters are exactly
+   what an uninterrupted run produces.  A counter mismatch raises
+   (surfacing as a crashed path in the report) because row equality
+   alone would miss silently double-charged or lost work. *)
+let crash_restart_rows mode (sc : Scenario.t) =
+  let plan = Plan.naive sc.Scenario.agg sc.Scenario.windows in
+  let horizon = sc.Scenario.horizon in
+  let m0 = Metrics.create () in
+  let rows0 =
+    Stream_exec.run ~metrics:m0 ~mode plan ~horizon sc.Scenario.events
+  in
+  let dir = fresh_temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let rows1, m1 =
+        match crash_first_process ~dir mode sc with
+        | Completed cp ->
+            (Fw_snap.Checkpoint.close cp ~horizon, Fw_snap.Checkpoint.metrics cp)
+        | Crashed -> (
+            match Fw_snap.Recover.load ~dir ~mode plan with
+            | Error m -> failwith ("recovery failed: " ^ m)
+            | Ok r ->
+                let k = (crash_params sc).crash_at in
+                List.iteri
+                  (fun i e ->
+                    if i >= k then
+                      Fw_snap.Checkpoint.feed r.Fw_snap.Recover.checkpoint e)
+                  (fed_events sc);
+                ( Fw_snap.Checkpoint.close r.Fw_snap.Recover.checkpoint ~horizon,
+                  r.Fw_snap.Recover.metrics ))
+      in
+      (* stronger than the harness's tolerant multiset check: recovery
+         promises bit-identical rows, float rounding included *)
+      if rows1 <> rows0 then
+        failwith
+          (Printf.sprintf
+             "recovered rows are not byte-identical to the uninterrupted \
+              run's (%d vs %d rows)"
+             (List.length rows1) (List.length rows0));
+      if Metrics.ingested m0 <> Metrics.ingested m1 then
+        failwith
+          (Printf.sprintf
+             "ingest counter diverged across restart: %d uninterrupted vs %d \
+              recovered"
+             (Metrics.ingested m0) (Metrics.ingested m1));
+      let pw m =
+        List.map
+          (fun (w, n) -> Printf.sprintf "%s=%d" (Window.to_string w) n)
+          (Metrics.per_window m)
+      in
+      if pw m0 <> pw m1 then
+        failwith
+          (Printf.sprintf
+             "per-window counters diverged across restart: [%s] uninterrupted \
+              vs [%s] recovered"
+             (String.concat " " (pw m0))
+             (String.concat " " (pw m1)));
+      rows1)
 
 let rows path (sc : Scenario.t) =
   let horizon = sc.Scenario.horizon in
@@ -79,5 +209,6 @@ let rows path (sc : Scenario.t) =
       | Sliced (mode, slicing) ->
           (Exec.run sc.Scenario.agg mode slicing sc.Scenario.windows ~horizon
              events)
-            .Exec.rows)
+            .Exec.rows
+      | Crash_restart mode -> crash_restart_rows mode sc)
   with exn -> Error (Printexc.to_string exn)

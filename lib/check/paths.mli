@@ -15,7 +15,14 @@
     - {!Rewritten_no_factor}: plain Algorithm 1 rewriting;
     - {!Sliced}: the executable paned [Li et al. 2005] / paired
       [Krishnamurthy et al. 2006] baselines, shared and unshared
-      ({!Fw_slicing.Exec}). *)
+      ({!Fw_slicing.Exec});
+    - {!Crash_restart}: the naive plan through a checkpointing pipeline
+      ({!Fw_snap.Checkpoint}) that is killed mid-stream by an injected
+      fault — sometimes with a torn snapshot write — recovered from
+      disk ({!Fw_snap.Recover}) and run to completion.  Beyond the
+      harness's row comparison, the path itself insists the recovered
+      rows and cost-model counters are {e byte-identical} to an
+      uninterrupted run's, and raises otherwise. *)
 
 type path =
   | Reference_path
@@ -24,9 +31,10 @@ type path =
   | Rewritten
   | Rewritten_no_factor
   | Sliced of Fw_slicing.Exec.mode * Fw_slicing.Exec.slicing
+  | Crash_restart of Fw_engine.Stream_exec.mode
 
 val all : path list
-(** The nine concrete paths, reference first. *)
+(** The eleven concrete paths, reference first. *)
 
 val name : path -> string
 (** Stable identifier used in reports ("rewritten", "shared-paired", ...). *)
@@ -39,3 +47,24 @@ val applicable : path -> Scenario.t -> bool
 val rows : path -> Scenario.t -> (Fw_engine.Row.t list, string) result
 (** Execute one path; [Error] carries the exception text if the path
     crashed (a crash is a finding too, not a harness failure). *)
+
+(** {2 Crash-restart internals (shared with {!Artifacts})} *)
+
+type crash_params = {
+  every : int;  (** checkpoint cadence of the injected run *)
+  crash_at : int;  (** event ordinal at which the process dies *)
+  torn_bytes : int option;
+      (** when set, the newest snapshot loses this many tail bytes *)
+}
+
+val crash_params : Scenario.t -> crash_params
+(** Crash geometry, derived deterministically from the scenario text so
+    shrunk or replayed scenarios reproduce the identical crash. *)
+
+type first_outcome = Crashed | Completed of Fw_snap.Checkpoint.t
+
+val crash_first_process :
+  dir:string -> Fw_engine.Stream_exec.mode -> Scenario.t -> first_outcome
+(** Run the pre-crash process into [dir] under the scenario's fault
+    plan.  On [Crashed], [dir] holds exactly what the dead process
+    left behind — {!Artifacts} copies it next to the repro. *)

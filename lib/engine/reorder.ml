@@ -1,10 +1,22 @@
+module Counter = Fw_obs.Counter
+module Gauge = Fw_obs.Gauge
+
 type stats = { buffered_peak : int; released : int; dropped_late : int }
 
 module Time_map = Map.Make (Int)
 
+(* Registry cells mirroring the [stats] record, so late-data behavior
+   shows up in `--stats` exports next to the engine metrics. *)
+type obs_cells = {
+  released_c : Counter.t;
+  dropped_c : Counter.t;
+  peak_g : Gauge.t;
+}
+
 type t = {
   lateness : int;
   exec : Stream_exec.t;
+  obs : obs_cells option;  (* None when ~observe:false *)
   mutable buffer : Event.t list Time_map.t;  (* newest first per time *)
   mutable buffered : int;
   mutable peak : int;
@@ -14,11 +26,33 @@ type t = {
   mutable max_seen : int;
 }
 
-let create ~lateness plan ?metrics () =
+let make_obs ~observe metrics =
+  if not observe then None
+  else
+    let registry = Metrics.registry metrics in
+    Some
+      {
+        released_c =
+          Fw_obs.Registry.counter registry "reorder_released_total"
+            ~help:"Events released downstream in timestamp order";
+        dropped_c =
+          Fw_obs.Registry.counter registry "reorder_dropped_late_total"
+            ~help:"Events dropped behind the released frontier";
+        peak_g =
+          Fw_obs.Registry.gauge registry "reorder_buffered_peak"
+            ~help:"High-water mark of the reorder buffer";
+      }
+
+let create ~lateness ?mode ?(observe = true) plan ?metrics () =
   if lateness < 0 then invalid_arg "Reorder.create: negative lateness";
+  (* Materialize the metrics even when the caller passes none: the
+     reorder counters live in the same registry as the engine's. *)
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let obs = make_obs ~observe metrics in
   {
     lateness;
-    exec = Stream_exec.create ?metrics plan;
+    exec = Stream_exec.create ~metrics ?mode ~observe plan;
+    obs;
     buffer = Time_map.empty;
     buffered = 0;
     peak = 0;
@@ -37,20 +71,31 @@ let release_until t bound =
         (fun e ->
           Stream_exec.feed t.exec e;
           t.released <- t.released + 1;
+          (match t.obs with
+          | Some o -> Counter.inc o.released_c
+          | None -> ());
           t.buffered <- t.buffered - 1)
         (List.rev events))
     ready;
   if bound > t.frontier then t.frontier <- bound
 
 let feed t e =
-  if e.Event.time < t.frontier then t.dropped <- t.dropped + 1
+  if e.Event.time < t.frontier then begin
+    t.dropped <- t.dropped + 1;
+    match t.obs with Some o -> Counter.inc o.dropped_c | None -> ()
+  end
   else begin
     t.buffer <-
       Time_map.update e.Event.time
         (function None -> Some [ e ] | Some es -> Some (e :: es))
         t.buffer;
     t.buffered <- t.buffered + 1;
-    t.peak <- max t.peak t.buffered;
+    if t.buffered > t.peak then begin
+      t.peak <- t.buffered;
+      match t.obs with
+      | Some o -> Gauge.set o.peak_g (float_of_int t.peak)
+      | None -> ()
+    end;
     t.max_seen <- max t.max_seen e.Event.time;
     release_until t (t.max_seen - t.lateness)
   end
@@ -62,7 +107,68 @@ let close t ~horizon =
     { buffered_peak = t.peak; released = t.released; dropped_late = t.dropped }
   )
 
-let run ~lateness ?metrics plan ~horizon events =
-  let t = create ~lateness plan ?metrics () in
+let run ~lateness ?mode ?observe ?metrics plan ~horizon events =
+  let t = create ~lateness ?mode ?observe plan ?metrics () in
   List.iter (fun e -> if e.Event.time < horizon then feed t e) events;
   close t ~horizon
+
+(* --- snapshot support ---------------------------------------------- *)
+
+type export = {
+  x_lateness : int;
+  x_groups : Event.t list list;
+  x_peak : int;
+  x_released : int;
+  x_dropped : int;
+  x_frontier : int;
+  x_max_seen : int;
+  x_exec : Stream_exec.export;
+}
+
+let export t =
+  {
+    x_lateness = t.lateness;
+    x_groups = List.map snd (Time_map.bindings t.buffer);
+    x_peak = t.peak;
+    x_released = t.released;
+    x_dropped = t.dropped;
+    x_frontier = t.frontier;
+    x_max_seen = t.max_seen;
+    x_exec = Stream_exec.export t.exec;
+  }
+
+let import ?metrics ?(observe = true) plan x =
+  if x.x_lateness < 0 then invalid_arg "Reorder.import: negative lateness";
+  if x.x_peak < 0 || x.x_released < 0 || x.x_dropped < 0 then
+    invalid_arg "Reorder.import: negative statistic";
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let exec = Stream_exec.import ~metrics ~observe plan x.x_exec in
+  let buffer, buffered =
+    List.fold_left
+      (fun (m, n) group ->
+        match group with
+        | [] -> invalid_arg "Reorder.import: empty buffer group"
+        | e :: _ ->
+            if
+              List.exists (fun e' -> e'.Event.time <> e.Event.time) group
+              || Time_map.mem e.Event.time m
+            then invalid_arg "Reorder.import: malformed buffer grouping";
+            (Time_map.add e.Event.time group m, n + List.length group))
+      (Time_map.empty, 0) x.x_groups
+  in
+  let obs = make_obs ~observe metrics in
+  (match obs with
+  | Some o -> Gauge.set o.peak_g (float_of_int x.x_peak)
+  | None -> ());
+  {
+    lateness = x.x_lateness;
+    exec;
+    obs;
+    buffer;
+    buffered;
+    peak = x.x_peak;
+    released = x.x_released;
+    dropped = x.x_dropped;
+    frontier = x.x_frontier;
+    max_seen = x.x_max_seen;
+  }

@@ -15,10 +15,26 @@ type stats = {
   dropped_late : int;
 }
 
-val create : lateness:int -> Fw_plan.Plan.t -> ?metrics:Metrics.t -> unit -> t
+val create :
+  lateness:int ->
+  ?mode:Stream_exec.mode ->
+  ?observe:bool ->
+  Fw_plan.Plan.t ->
+  ?metrics:Metrics.t ->
+  unit ->
+  t
 (** [lateness] is the slack (in ticks) granted to stragglers; [0] means
-    input must already be ordered.  Raises [Invalid_argument] on
-    negative lateness or an invalid plan. *)
+    input must already be ordered.  [mode] selects the wrapped
+    executor's engine (defaults to {!Stream_exec.Naive}, like
+    {!Stream_exec.create}).  Raises [Invalid_argument] on negative
+    lateness or an invalid plan.
+
+    Unless [~observe:false], the buffer publishes its statistics into
+    the metrics registry as it runs — [reorder_released_total],
+    [reorder_dropped_late_total] (counters) and [reorder_buffered_peak]
+    (gauge) — so late-data behavior appears in [--stats] exports
+    alongside the engine's per-node metrics.  The toggle also reaches
+    the wrapped executor. *)
 
 val feed : t -> Event.t -> unit
 (** Accepts events in any order within the lateness bound. *)
@@ -28,9 +44,43 @@ val close : t -> horizon:int -> Row.t list * stats
 
 val run :
   lateness:int ->
+  ?mode:Stream_exec.mode ->
+  ?observe:bool ->
   ?metrics:Metrics.t ->
   Fw_plan.Plan.t ->
   horizon:int ->
   Event.t list ->
   Row.t list * stats
 (** Convenience wrapper over [create]/[feed]/[close]. *)
+
+(** {2 Snapshot support}
+
+    Mirror of the buffer's exact shape for the checkpoint codec
+    ({!Fw_snap.Codec}), like {!Stream_exec.export}: a restored buffer
+    releases the same events in the same order, so rows and statistics
+    after a restore are identical to an uninterrupted run. *)
+
+type export = {
+  x_lateness : int;
+  x_groups : Event.t list list;
+      (** buffered events: one group per distinct timestamp, groups in
+          ascending time order, events within a group newest-first
+          (the internal insertion order) *)
+  x_peak : int;
+  x_released : int;
+  x_dropped : int;
+  x_frontier : int;
+  x_max_seen : int;
+  x_exec : Stream_exec.export;  (** the wrapped executor's state *)
+}
+
+val export : t -> export
+
+val import :
+  ?metrics:Metrics.t -> ?observe:bool -> Fw_plan.Plan.t -> export -> t
+(** Rebuild a reorder buffer (and its wrapped executor) from an export.
+    Raises [Invalid_argument] on malformed buffer groups, negative
+    statistics, or an executor/plan mismatch.  Registry counters in
+    [metrics] are {e not} restored — as with {!Stream_exec.import},
+    the caller replays them; the [stats] record itself is restored
+    exactly. *)

@@ -77,6 +77,7 @@ type node_state =
 type t = {
   plan : Plan.t;
   agg : Aggregate.t;
+  mode : mode;
   metrics : Metrics.t;
   states : node_state array;
   obs : Metrics.node_stats array;  (** per-node stats, same index as states *)
@@ -469,6 +470,7 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
   {
     plan;
     agg;
+    mode;
     metrics;
     states;
     obs;
@@ -480,6 +482,118 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
     rows = Vec.create ();
     closed = false;
   }
+
+(* --- snapshot support ---------------------------------------------- *)
+
+(* The export is a plain public mirror of every mutable cell: the
+   pending per-instance states, the pane ring position, the per-key
+   sliding queues (exact internal shape, see {!Fw_agg.Swag.export}),
+   the watermark, and the rows emitted so far.  Restoring it through
+   [import] onto the same plan and mode yields an executor whose
+   subsequent behavior is indistinguishable from the original —
+   including float rounding, which is why the queues are not rebuilt by
+   replaying pushes. *)
+type node_export =
+  | X_stateless
+  | X_win of {
+      x_pending : (int * int * string * Combine.state * int) list;
+          (* (hi, lo, key, state, items), in Fire_key order *)
+      x_wm : int;
+    }
+  | X_pane of {
+      x_cur_pane : int;
+      x_p_wm : int;
+      x_open_pane : Pane.export;
+      x_queues : (string * Swag.export) list;  (* sorted by key *)
+    }
+
+type export = {
+  x_mode : mode;
+  x_source_wm : int;
+  x_rows : Row.t list;  (* in emission order *)
+  x_nodes : node_export array;
+}
+
+let row_count t = Vec.length t.rows
+let row t i = Vec.get t.rows i
+
+let export ?(rows = true) t =
+  if t.closed then invalid_arg "Stream_exec.export: executor is closed";
+  let node_x st =
+    match st with
+    | N_forward | N_filter _ | N_union _ -> X_stateless
+    | N_win w ->
+        X_win
+          {
+            x_pending =
+              List.map
+                (fun (fk, (state, items)) ->
+                  (fk.Fire_key.hi, fk.Fire_key.lo, fk.Fire_key.key, state, items))
+                (Pending.bindings w.pending);
+            x_wm = w.wm;
+          }
+    | N_pane ps ->
+        X_pane
+          {
+            x_cur_pane = ps.cur_pane;
+            x_p_wm = ps.p_wm;
+            x_open_pane = Pane.export ps.open_pane;
+            x_queues =
+              List.sort
+                (fun (a, _) (b, _) -> String.compare a b)
+                (Hashtbl.fold
+                   (fun k q acc -> (k, Swag.export q) :: acc)
+                   ps.queues []);
+          }
+  in
+  {
+    x_mode = t.mode;
+    x_source_wm = t.source_wm;
+    x_rows = (if rows then Vec.to_list t.rows else []);
+    x_nodes = Array.map node_x t.states;
+  }
+
+let import ?metrics ?observe plan x =
+  let t = create ?metrics ~mode:x.x_mode ?observe plan in
+  if Array.length t.states <> Array.length x.x_nodes then
+    invalid_arg
+      "Stream_exec.import: node count mismatch (snapshot from a different \
+       plan)";
+  Array.iteri
+    (fun id nx ->
+      match (t.states.(id), nx) with
+      | (N_forward | N_filter _ | N_union _), X_stateless -> ()
+      | N_win st, X_win { x_pending; x_wm } ->
+          st.wm <- x_wm;
+          st.pending <-
+            List.fold_left
+              (fun acc (hi, lo, key, state, items) ->
+                Pending.add { Fire_key.hi; lo; key } (state, items) acc)
+              Pending.empty x_pending
+      | N_pane ps, X_pane { x_cur_pane; x_p_wm; x_open_pane; x_queues } ->
+          let queues = Hashtbl.create 16 in
+          List.iter
+            (fun (k, xq) -> Hashtbl.replace queues k (Swag.import t.agg xq))
+            x_queues;
+          t.states.(id) <-
+            N_pane
+              {
+                ps with
+                cur_pane = x_cur_pane;
+                p_wm = x_p_wm;
+                open_pane = Pane.import t.agg x_open_pane;
+                queues;
+              }
+      | (N_forward | N_filter _ | N_union _ | N_win _ | N_pane _), _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Stream_exec.import: node %d shape mismatch (snapshot from a \
+                different plan or mode)"
+               id))
+    x.x_nodes;
+  t.source_wm <- x.x_source_wm;
+  List.iter (Vec.push t.rows) x.x_rows;
+  t
 
 let root_deliver t msg =
   Array.iter (fun id -> deliver t id msg) t.sources

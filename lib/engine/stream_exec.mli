@@ -78,6 +78,59 @@ val run :
 (** Convenience: create, feed all (sorted) events with [time < horizon],
     close. *)
 
+(** {2 Snapshot support}
+
+    A public, serializable mirror of every mutable cell of a running
+    executor, consumed by the checkpoint subsystem ({!Fw_snap}).
+    {!export} captures the state verbatim — pending instance states in
+    firing order, the pane ring position, each per-key sliding queue's
+    exact internal shape — and {!import} restores it onto the same
+    (plan, mode): the restored executor's subsequent rows and metrics
+    are byte-identical to the original's, float rounding included. *)
+
+type node_export =
+  | X_stateless  (** source / filter / multicast / union *)
+  | X_win of {
+      x_pending : (int * int * string * Fw_agg.Combine.state * int) list;
+          (** (hi, lo, key, state, items folded), in firing order *)
+      x_wm : int;
+    }
+  | X_pane of {
+      x_cur_pane : int;
+      x_p_wm : int;
+      x_open_pane : Fw_agg.Pane.export;
+      x_queues : (string * Fw_agg.Swag.export) list;  (** sorted by key *)
+    }
+
+type export = {
+  x_mode : mode;
+  x_source_wm : int;
+  x_rows : Row.t list;  (** rows emitted so far, in emission order *)
+  x_nodes : node_export array;  (** same index as the plan's nodes *)
+}
+
+val export : ?rows:bool -> t -> export
+(** Raises [Invalid_argument] on a closed executor.  [~rows:false]
+    leaves [x_rows] empty — the checkpoint runtime persists rows
+    incrementally to a side log instead of re-serializing the whole
+    output on every snapshot, which would make checkpoints O(rows
+    emitted so far). *)
+
+val row_count : t -> int
+(** Rows emitted so far (cheap); [row t i] reads the [i]-th in emission
+    order.  Lets the checkpoint runtime drain newly-emitted rows after
+    each feed without materializing the full list. *)
+
+val row : t -> int -> Row.t
+
+val import :
+  ?metrics:Metrics.t -> ?observe:bool -> Fw_plan.Plan.t -> export -> t
+(** Rebuild an executor from an export.  The plan must be the one the
+    export was taken from (the snapshot codec guards this with a plan
+    fingerprint); raises [Invalid_argument] on a node-shape mismatch.
+    Counters in [metrics] are {e not} restored here — the caller
+    replays them (see {!Fw_snap.Recover}). *)
+
 (** {2 Instance arithmetic}
 
     Exposed for boundary testing: which window instances an event or a

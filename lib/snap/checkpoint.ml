@@ -1,0 +1,241 @@
+module Counter = Fw_obs.Counter
+module Histogram = Fw_obs.Histogram
+module Clock = Fw_obs.Clock
+module Metrics = Fw_engine.Metrics
+module Stream_exec = Fw_engine.Stream_exec
+module Event = Fw_engine.Event
+module Row = Fw_engine.Row
+module Plan = Fw_plan.Plan
+
+let chk_name g = Printf.sprintf "chk-%09d.fws" g
+let wal_name g = Printf.sprintf "wal-%09d.log" g
+let rows_name = "rows.log"
+
+let parse_seq ~prefix ~suffix name =
+  let pl = String.length prefix and sl = String.length suffix in
+  let n = String.length name in
+  if
+    n > pl + sl
+    && String.sub name 0 pl = prefix
+    && String.sub name (n - sl) sl = suffix
+  then int_of_string_opt (String.sub name pl (n - pl - sl))
+  else None
+
+let chk_seq = parse_seq ~prefix:"chk-" ~suffix:".fws"
+let wal_seq = parse_seq ~prefix:"wal-" ~suffix:".log"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ())
+  end
+
+type obs = {
+  checkpoints_c : Counter.t;
+  bytes_h : Histogram.t;
+  pause_h : Histogram.t;
+}
+
+type t = {
+  dir : string;
+  every : int;
+  on_punctuation : bool;
+  retain : int;
+  fault : Fault.t;
+  plan : Plan.t;
+  metrics : Metrics.t;
+  exec : Stream_exec.t;
+  obs : obs option;
+  mutable seq : int;  (* highest checkpoint sequence written / inherited *)
+  mutable wal : out_channel option;  (* Some once construction finishes *)
+  mutable rows_oc : out_channel option;  (* append-only emitted-row log *)
+  mutable rows_seen : int;  (* rows drained to the row log (buffered) *)
+  mutable since : int;  (* events since last checkpoint *)
+  mutable ordinal : int;  (* events fed by this process, drives Fault *)
+  mutable closed : bool;
+}
+
+let metrics t = t.metrics
+let seq t = t.seq
+
+let make_obs ~observe metrics =
+  if not observe then None
+  else
+    let registry = Metrics.registry metrics in
+    Some
+      {
+        checkpoints_c =
+          Fw_obs.Registry.counter registry "snap_checkpoints_total"
+            ~help:"Snapshots written (write-then-rename)";
+        bytes_h =
+          Fw_obs.Registry.histogram registry "snap_checkpoint_bytes"
+            ~help:"Encoded snapshot size per checkpoint";
+        pause_h =
+          Fw_obs.Registry.histogram registry "snap_checkpoint_pause_ns"
+            ~help:"Pipeline pause per checkpoint (encode + write + rename)";
+      }
+
+let append t rec_ =
+  match t.wal with
+  | Some oc ->
+      output_string oc (Codec.encode_wal_record rec_);
+      (* flushed per record: after a crash everything fed is durable *)
+      flush oc
+  | None -> assert false
+
+(* Copy newly-emitted rows into the row log's channel buffer.  Not
+   flushed here — row durability is only promised up to the last
+   checkpoint, so the flush happens in [checkpoint_now] (and [close]). *)
+let drain_rows t =
+  match t.rows_oc with
+  | Some oc ->
+      let n = Stream_exec.row_count t.exec in
+      while t.rows_seen < n do
+        output_string oc
+          (Codec.encode_row_record (Stream_exec.row t.exec t.rows_seen));
+        t.rows_seen <- t.rows_seen + 1
+      done
+  | None -> assert false
+
+let prune t =
+  let oldest = max 1 (t.seq - t.retain + 1) in
+  Array.iter
+    (fun f ->
+      let stale =
+        match chk_seq f with
+        | Some g -> g < oldest
+        | None -> (
+            (* keep one log segment below the oldest snapshot so
+               recovery can still fall back past a corrupt newest one *)
+            match wal_seq f with Some g -> g < oldest - 1 | None -> false)
+      in
+      if stale then try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ())
+    (Sys.readdir t.dir)
+
+let checkpoint_now t =
+  if t.closed then invalid_arg "Checkpoint: already closed";
+  let t0 = Clock.now_ns () in
+  (* make the row-log prefix durable before the snapshot that claims
+     it: a valid snapshot's count never exceeds the decodable log *)
+  drain_rows t;
+  (match t.rows_oc with Some oc -> flush oc | None -> ());
+  let snap =
+    {
+      Codec.s_export = Stream_exec.export ~rows:false t.exec;
+      s_rows_persisted = t.rows_seen;
+      s_ingested = Metrics.ingested t.metrics;
+      s_processed = Metrics.per_window t.metrics;
+    }
+  in
+  let data = Codec.encode_snapshot ~plan:t.plan snap in
+  let g = t.seq + 1 in
+  let final = Filename.concat t.dir (chk_name g) in
+  let tmp = final ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+  Sys.rename tmp final;
+  Fault.on_checkpoint_written t.fault final;
+  (* rotate the log: segment [g] holds exactly the post-checkpoint-[g]
+     input, so recovery from snapshot [g] replays segments [g..] *)
+  (match t.wal with Some oc -> close_out oc | None -> ());
+  t.wal <- Some (open_out_bin (Filename.concat t.dir (wal_name g)));
+  t.seq <- g;
+  t.since <- 0;
+  prune t;
+  match t.obs with
+  | Some o ->
+      Counter.inc o.checkpoints_c;
+      Histogram.record o.bytes_h (String.length data);
+      Histogram.record o.pause_h (Clock.elapsed_ns ~since:t0)
+  | None -> ()
+
+let make ~dir ~every ~on_punctuation ~retain ~fault ~observe ~plan ~metrics
+    ~exec ~seq =
+  if every < 1 then invalid_arg "Checkpoint: every must be >= 1";
+  if retain < 1 then invalid_arg "Checkpoint: retain must be >= 1";
+  mkdir_p dir;
+  {
+    dir;
+    every;
+    on_punctuation;
+    retain;
+    fault;
+    plan;
+    metrics;
+    exec;
+    obs = make_obs ~observe metrics;
+    seq;
+    wal = None;
+    rows_oc = None;
+    rows_seen = 0;
+    since = 0;
+    ordinal = 0;
+    closed = false;
+  }
+
+let create ~dir ?(every = 1000) ?(on_punctuation = false) ?(retain = 3)
+    ?(fault = Fault.passive ()) ?metrics ?(mode = Stream_exec.Naive)
+    ?(observe = true) plan =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let exec = Stream_exec.create ~metrics ~mode ~observe plan in
+  let t =
+    make ~dir ~every ~on_punctuation ~retain ~fault ~observe ~plan ~metrics
+      ~exec ~seq:0
+  in
+  t.wal <- Some (open_out_bin (Filename.concat dir (wal_name 0)));
+  t.rows_oc <- Some (open_out_bin (Filename.concat dir rows_name));
+  t
+
+let resume ~dir ?(every = 1000) ?(on_punctuation = false) ?(retain = 3)
+    ?(fault = Fault.passive ()) ?(observe = true) ~plan ~metrics ~seq
+    ~rows_persisted exec =
+  let t =
+    make ~dir ~every ~on_punctuation ~retain ~fault ~observe ~plan ~metrics
+      ~exec ~seq
+  in
+  (* recovery truncated the row log to exactly [rows_persisted] whole
+     records; append after them.  Rows the executor re-emitted during
+     WAL replay sit in its buffer beyond that point and are drained by
+     the immediate checkpoint below. *)
+  t.rows_oc <-
+    Some
+      (open_out_gen
+         [ Open_wronly; Open_append; Open_binary ]
+         0o644
+         (Filename.concat dir rows_name));
+  t.rows_seen <- rows_persisted;
+  (* an immediate snapshot: the new process never appends to an old
+     (possibly torn) log segment, it starts its own *)
+  checkpoint_now t;
+  t
+
+let feed t e =
+  if t.closed then invalid_arg "Checkpoint: already closed";
+  append t (Codec.Wal_event e);
+  Stream_exec.feed t.exec e;
+  drain_rows t;
+  t.ordinal <- t.ordinal + 1;
+  t.since <- t.since + 1;
+  Fault.on_event t.fault t.ordinal;
+  if t.since >= t.every then checkpoint_now t
+
+let advance t time =
+  if t.closed then invalid_arg "Checkpoint: already closed";
+  append t (Codec.Wal_advance time);
+  Stream_exec.advance t.exec time;
+  drain_rows t;
+  if t.on_punctuation then checkpoint_now t
+
+let close t ~horizon =
+  if t.closed then invalid_arg "Checkpoint: already closed";
+  let rows = Stream_exec.close t.exec ~horizon in
+  t.closed <- true;
+  (match t.wal with Some oc -> close_out oc | None -> ());
+  t.wal <- None;
+  (* the horizon flush emits the last rows; make the log complete *)
+  drain_rows t;
+  (match t.rows_oc with Some oc -> close_out oc | None -> ());
+  t.rows_oc <- None;
+  rows

@@ -1,0 +1,92 @@
+(** Checkpointing runtime: a {!Fw_engine.Stream_exec} wrapped with a
+    durable snapshot policy and a write-ahead event log.
+
+    Layout of a checkpoint directory:
+
+    - [chk-NNNNNNNNN.fws] — snapshot [g] (sequence numbers from 1),
+      written to a temp file then {!Sys.rename}d into place so a crash
+      never leaves a half-visible snapshot under the final name;
+    - [wal-NNNNNNNNN.log] — log segment [g] holding exactly the input
+      fed {e after} snapshot [g] (segment 0: from stream start).  Each
+      record is CRC-framed and flushed on append, so after a crash
+      every event ever fed is durable and a torn tail is detectable;
+    - [rows.log] — emitted result rows, appended in emission order and
+      flushed at checkpoint time only.  A snapshot records how many of
+      them it covers instead of embedding them, keeping checkpoint cost
+      proportional to live operator state rather than to total output.
+
+    Recovery from snapshot [g] therefore replays segments [g..latest]
+    — see {!Recover}.  Snapshots beyond the retention count are pruned
+    (with one extra log segment kept below the oldest, so recovery can
+    fall back past a corrupt newest snapshot).
+
+    Checkpoints fire every [every] events, on every punctuation when
+    [on_punctuation], and on {!checkpoint_now}.  Each one publishes
+    [snap_checkpoints_total], [snap_checkpoint_bytes] and
+    [snap_checkpoint_pause_ns] into the run's metrics registry, so the
+    bench [snap] section and [--stats] can price the pause. *)
+
+type t
+
+val create :
+  dir:string ->
+  ?every:int ->
+  ?on_punctuation:bool ->
+  ?retain:int ->
+  ?fault:Fault.t ->
+  ?metrics:Fw_engine.Metrics.t ->
+  ?mode:Fw_engine.Stream_exec.mode ->
+  ?observe:bool ->
+  Fw_plan.Plan.t ->
+  t
+(** Fresh pipeline over an empty (or to-be-created) directory.
+    [every] defaults to 1000 events, [retain] to 3 snapshots.  Raises
+    [Invalid_argument] on non-positive [every]/[retain] or an invalid
+    plan. *)
+
+val resume :
+  dir:string ->
+  ?every:int ->
+  ?on_punctuation:bool ->
+  ?retain:int ->
+  ?fault:Fault.t ->
+  ?observe:bool ->
+  plan:Fw_plan.Plan.t ->
+  metrics:Fw_engine.Metrics.t ->
+  seq:int ->
+  rows_persisted:int ->
+  Fw_engine.Stream_exec.t ->
+  t
+(** Wrap an executor rebuilt by {!Recover}, continuing the sequence
+    numbering above [seq].  [rows_persisted] is the whole-record length
+    recovery truncated [rows.log] to; appending continues after it.
+    Takes an immediate snapshot so the new process starts its own log
+    segment instead of appending after a possibly-torn tail. *)
+
+val feed : t -> Fw_engine.Event.t -> unit
+(** Log (durably), then feed the executor, then run the fault hooks,
+    then checkpoint if the policy says so.  Propagates
+    {!Fw_engine.Stream_exec.Late_event} and {!Fault.Crash}. *)
+
+val advance : t -> int -> unit
+(** Log and apply a punctuation. *)
+
+val checkpoint_now : t -> unit
+(** Force a snapshot regardless of policy. *)
+
+val close : t -> horizon:int -> Fw_engine.Row.t list
+(** Close the log and the executor; returns the sorted rows. *)
+
+val metrics : t -> Fw_engine.Metrics.t
+
+val seq : t -> int
+(** Sequence number of the newest snapshot written (0 = none yet). *)
+
+(** {2 Directory naming (shared with {!Recover} and tests)} *)
+
+val chk_name : int -> string
+val wal_name : int -> string
+val rows_name : string
+
+val chk_seq : string -> int option
+val wal_seq : string -> int option

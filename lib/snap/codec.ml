@@ -1,0 +1,670 @@
+(* Versioned, CRC-guarded binary codec for engine snapshots and the
+   write-ahead event log.
+
+   Everything is hand-rolled over [Buffer] / [String] — no new
+   dependencies.  Integers are fixed 64-bit little-endian (an OCaml
+   [int] round-trips losslessly through [Int64]); floats are their IEEE
+   bit patterns, so a decoded state is bit-identical to the encoded
+   one, which the recovery subsystem's byte-identical-results guarantee
+   rests on.  Strings and lists are length-prefixed with bounds checks
+   so a corrupted length can never trigger a giant allocation.
+
+   A snapshot frame is:
+
+     "FWSNAP" | version u16 | plan fingerprint i64 | payload len i64
+     | payload | crc32(payload) u32
+
+   Decoding fails closed: unknown version, mismatched plan fingerprint
+   (the FNV-1a hash of the plan's structural rendering plus the
+   execution mode), truncation, and CRC mismatch each produce a
+   descriptive [Error] — never a garbage state. *)
+
+module Combine = Fw_agg.Combine
+module Swag = Fw_agg.Swag
+module Pane = Fw_agg.Pane
+module Aggregate = Fw_agg.Aggregate
+module Stream_exec = Fw_engine.Stream_exec
+module Event = Fw_engine.Event
+module Row = Fw_engine.Row
+module Window = Fw_window.Window
+module Interval = Fw_window.Interval
+module Plan = Fw_plan.Plan
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let version = 1
+let magic = "FWSNAP"
+
+(* --- CRC-32 (IEEE 802.3, polynomial 0xEDB88320) -------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub s pos len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = crc32_sub s 0 (String.length s)
+
+(* --- writer primitives --------------------------------------------- *)
+
+let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+let w_u16 b n = Buffer.add_int16_le b n
+let w_u32 b n = Buffer.add_int32_le b (Int32.of_int n)
+let w_i64 b n = Buffer.add_int64_le b (Int64.of_int n)
+let w_raw64 b n = Buffer.add_int64_le b n
+let w_float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let w_string b s =
+  w_i64 b (String.length s);
+  Buffer.add_string b s
+
+let w_list b f xs =
+  w_i64 b (List.length xs);
+  List.iter (f b) xs
+
+let w_option b f = function
+  | None -> w_u8 b 0
+  | Some v ->
+      w_u8 b 1;
+      f b v
+
+(* --- reader primitives --------------------------------------------- *)
+
+type reader = { src : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?limit src =
+  let limit = match limit with Some l -> l | None -> String.length src in
+  { src; pos; limit }
+
+let remaining r = r.limit - r.pos
+
+let need r n what =
+  if n < 0 || remaining r < n then
+    corrupt "truncated %s (%d bytes needed, %d available)" what n (remaining r)
+
+let r_u8 r =
+  need r 1 "byte";
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u16 r =
+  need r 2 "u16";
+  let v = Char.code r.src.[r.pos] lor (Char.code r.src.[r.pos + 1] lsl 8) in
+  r.pos <- r.pos + 2;
+  v
+
+let r_u32 r =
+  need r 4 "u32";
+  let v = Int32.to_int (String.get_int32_le r.src r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let r_raw64 r =
+  need r 8 "i64";
+  let v = String.get_int64_le r.src r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let r_i64 r = Int64.to_int (r_raw64 r)
+let r_float r = Int64.float_of_bits (r_raw64 r)
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> corrupt "invalid boolean byte %d" n
+
+let r_string r =
+  let len = r_i64 r in
+  need r len "string";
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let r_list r f =
+  let n = r_i64 r in
+  (* every element occupies at least one byte, so a count beyond the
+     remaining bytes is corruption, not a large list *)
+  if n < 0 || n > remaining r then
+    corrupt "invalid list length %d (%d bytes remaining)" n (remaining r);
+  List.init n (fun _ -> f r)
+
+let r_option r f = match r_bool r with false -> None | true -> Some (f r)
+
+(* --- aggregate state ----------------------------------------------- *)
+
+let w_state b st =
+  match Combine.view st with
+  | Combine.V_min m ->
+      w_u8 b 0;
+      w_float b m
+  | Combine.V_max m ->
+      w_u8 b 1;
+      w_float b m
+  | Combine.V_count n ->
+      w_u8 b 2;
+      w_i64 b n
+  | Combine.V_sum s ->
+      w_u8 b 3;
+      w_float b s
+  | Combine.V_avg { sum; count } ->
+      w_u8 b 4;
+      w_float b sum;
+      w_i64 b count
+  | Combine.V_stdev { count; mean; m2 } ->
+      w_u8 b 5;
+      w_i64 b count;
+      w_float b mean;
+      w_float b m2
+  | Combine.V_median vs ->
+      w_u8 b 6;
+      w_list b w_float vs
+
+let r_state r =
+  let view =
+    match r_u8 r with
+    | 0 -> Combine.V_min (r_float r)
+    | 1 -> Combine.V_max (r_float r)
+    | 2 -> Combine.V_count (r_i64 r)
+    | 3 -> Combine.V_sum (r_float r)
+    | 4 ->
+        let sum = r_float r in
+        let count = r_i64 r in
+        Combine.V_avg { sum; count }
+    | 5 ->
+        let count = r_i64 r in
+        let mean = r_float r in
+        let m2 = r_float r in
+        Combine.V_stdev { count; mean; m2 }
+    | 6 -> Combine.V_median (r_list r r_float)
+    | tag -> corrupt "unknown aggregate state tag %d" tag
+  in
+  try Combine.of_view view
+  with Invalid_argument m -> corrupt "invalid aggregate state: %s" m
+
+let state_to_string st =
+  let b = Buffer.create 32 in
+  w_state b st;
+  Buffer.contents b
+
+let state_of_string s =
+  let r = reader s in
+  let st = r_state r in
+  if remaining r <> 0 then
+    corrupt "trailing bytes after aggregate state (%d)" (remaining r);
+  st
+
+(* --- sliding queue / pane ------------------------------------------ *)
+
+let w_xentry b (e : Swag.xentry) =
+  w_i64 b e.Swag.x_idx;
+  w_state b e.Swag.x_state
+
+let r_xentry r =
+  let x_idx = r_i64 r in
+  let x_state = r_state r in
+  { Swag.x_idx; x_state }
+
+let w_swag b (x : Swag.export) =
+  (match x.Swag.x_repr with
+  | Swag.X_two_stacks { xfront; xback; xback_acc } ->
+      w_u8 b 0;
+      w_list b w_xentry xfront;
+      w_list b w_xentry xback;
+      w_option b w_state xback_acc
+  | Swag.X_subtractive { xentries; xacc } ->
+      w_u8 b 1;
+      w_list b w_xentry xentries;
+      w_option b w_state xacc);
+  w_i64 b x.Swag.x_evicted;
+  w_i64 b x.Swag.x_flips;
+  w_i64 b x.Swag.x_merges
+
+let r_swag r =
+  let x_repr =
+    match r_u8 r with
+    | 0 ->
+        let xfront = r_list r r_xentry in
+        let xback = r_list r r_xentry in
+        let xback_acc = r_option r r_state in
+        Swag.X_two_stacks { xfront; xback; xback_acc }
+    | 1 ->
+        let xentries = r_list r r_xentry in
+        let xacc = r_option r r_state in
+        Swag.X_subtractive { xentries; xacc }
+    | tag -> corrupt "unknown sliding-queue representation tag %d" tag
+  in
+  let x_evicted = r_i64 r in
+  let x_flips = r_i64 r in
+  let x_merges = r_i64 r in
+  { Swag.x_repr; x_evicted; x_flips; x_merges }
+
+let w_pane b (x : Pane.export) =
+  w_list b
+    (fun b (k, st) ->
+      w_string b k;
+      w_state b st)
+    x.Pane.x_entries;
+  w_i64 b x.Pane.x_adds;
+  w_i64 b x.Pane.x_merges
+
+let r_pane r =
+  let x_entries =
+    r_list r (fun r ->
+        let k = r_string r in
+        let st = r_state r in
+        (k, st))
+  in
+  let x_adds = r_i64 r in
+  let x_merges = r_i64 r in
+  { Pane.x_entries; x_adds; x_merges }
+
+(* --- windows, rows, events ----------------------------------------- *)
+
+let w_window b w =
+  w_i64 b (Window.range w);
+  w_i64 b (Window.slide w)
+
+let r_window r =
+  let range = r_i64 r in
+  let slide = r_i64 r in
+  try Window.make ~range ~slide
+  with Invalid_argument m -> corrupt "invalid window in snapshot: %s" m
+
+let w_row b (row : Row.t) =
+  w_window b row.Row.window;
+  w_i64 b (Interval.lo row.Row.interval);
+  w_i64 b (Interval.hi row.Row.interval);
+  w_string b row.Row.key;
+  w_float b row.Row.value
+
+let r_row r =
+  let window = r_window r in
+  let lo = r_i64 r in
+  let hi = r_i64 r in
+  let key = r_string r in
+  let value = r_float r in
+  let interval =
+    try Interval.make ~lo ~hi
+    with Invalid_argument m -> corrupt "invalid interval in snapshot: %s" m
+  in
+  { Row.window; interval; key; value }
+
+(* --- executor export ----------------------------------------------- *)
+
+let w_node b = function
+  | Stream_exec.X_stateless -> w_u8 b 0
+  | Stream_exec.X_win { x_pending; x_wm } ->
+      w_u8 b 1;
+      w_list b
+        (fun b (hi, lo, key, state, items) ->
+          w_i64 b hi;
+          w_i64 b lo;
+          w_string b key;
+          w_state b state;
+          w_i64 b items)
+        x_pending;
+      w_i64 b x_wm
+  | Stream_exec.X_pane { x_cur_pane; x_p_wm; x_open_pane; x_queues } ->
+      w_u8 b 2;
+      w_i64 b x_cur_pane;
+      w_i64 b x_p_wm;
+      w_pane b x_open_pane;
+      w_list b
+        (fun b (k, q) ->
+          w_string b k;
+          w_swag b q)
+        x_queues
+
+let r_node r =
+  match r_u8 r with
+  | 0 -> Stream_exec.X_stateless
+  | 1 ->
+      let x_pending =
+        r_list r (fun r ->
+            let hi = r_i64 r in
+            let lo = r_i64 r in
+            let key = r_string r in
+            let state = r_state r in
+            let items = r_i64 r in
+            (hi, lo, key, state, items))
+      in
+      let x_wm = r_i64 r in
+      Stream_exec.X_win { x_pending; x_wm }
+  | 2 ->
+      let x_cur_pane = r_i64 r in
+      let x_p_wm = r_i64 r in
+      let x_open_pane = r_pane r in
+      let x_queues =
+        r_list r (fun r ->
+            let k = r_string r in
+            let q = r_swag r in
+            (k, q))
+      in
+      Stream_exec.X_pane { x_cur_pane; x_p_wm; x_open_pane; x_queues }
+  | tag -> corrupt "unknown node state tag %d" tag
+
+let mode_byte = function
+  | Stream_exec.Naive -> 0
+  | Stream_exec.Incremental -> 1
+
+let mode_of_byte = function
+  | 0 -> Stream_exec.Naive
+  | 1 -> Stream_exec.Incremental
+  | n -> corrupt "unknown execution mode byte %d" n
+
+let mode_name = function
+  | Stream_exec.Naive -> "naive"
+  | Stream_exec.Incremental -> "incremental"
+
+(* --- snapshot payload ---------------------------------------------- *)
+
+(* The snapshot deliberately does NOT contain the emitted rows: the
+   checkpoint runtime streams those to an append-only row log as they
+   are produced, and the snapshot just records how many of them it
+   covers ([s_rows_persisted]).  Serializing the full output on every
+   snapshot would make checkpoint cost grow with everything ever
+   emitted; this keeps it proportional to live operator state. *)
+type snapshot = {
+  s_export : Stream_exec.export;  (* x_rows is always [] here *)
+  s_rows_persisted : int;
+  s_ingested : int;
+  s_processed : (Window.t * int) list;
+}
+
+let w_snapshot b s =
+  w_u8 b (mode_byte s.s_export.Stream_exec.x_mode);
+  w_i64 b s.s_export.Stream_exec.x_source_wm;
+  w_i64 b s.s_rows_persisted;
+  w_i64 b s.s_ingested;
+  w_list b
+    (fun b (w, n) ->
+      w_window b w;
+      w_i64 b n)
+    s.s_processed;
+  w_list b w_node (Array.to_list s.s_export.Stream_exec.x_nodes)
+
+let r_snapshot r =
+  let x_mode = mode_of_byte (r_u8 r) in
+  let x_source_wm = r_i64 r in
+  let s_rows_persisted = r_i64 r in
+  if s_rows_persisted < 0 then corrupt "negative persisted-row count";
+  let s_ingested = r_i64 r in
+  let s_processed =
+    r_list r (fun r ->
+        let w = r_window r in
+        let n = r_i64 r in
+        (w, n))
+  in
+  let x_nodes = Array.of_list (r_list r r_node) in
+  {
+    s_export = { Stream_exec.x_mode; x_source_wm; x_rows = []; x_nodes };
+    s_rows_persisted;
+    s_ingested;
+    s_processed;
+  }
+
+(* --- plan fingerprint ---------------------------------------------- *)
+
+(* FNV-1a over the plan's structural rendering (operators, windows,
+   predicate, aggregate — everything {!Plan.pp} prints) plus the
+   execution mode.  Stable across processes and OCaml versions, unlike
+   [Hashtbl.hash] on the plan value itself. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let plan_fingerprint plan mode =
+  fnv1a64
+    (Format.asprintf "%s|%s|%a" (mode_name mode)
+       (Aggregate.to_string (Plan.agg plan))
+       Plan.pp plan)
+
+(* --- snapshot frame ------------------------------------------------ *)
+
+let header_len = String.length magic + 2 + 8 + 8
+
+(* Every payload opens with a kind byte, so an engine snapshot can
+   never be decoded as a reorder snapshot (or vice versa) even when the
+   plan fingerprints agree. *)
+let kind_engine = 0
+let kind_reorder = 1
+
+let kind_name = function
+  | 0 -> "engine"
+  | 1 -> "reorder"
+  | _ -> "unknown"
+
+let encode_frame ~fingerprint payload =
+  let b = Buffer.create (header_len + String.length payload + 4) in
+  Buffer.add_string b magic;
+  w_u16 b version;
+  w_raw64 b fingerprint;
+  w_i64 b (String.length payload);
+  Buffer.add_string b payload;
+  w_u32 b (crc32 payload);
+  Buffer.contents b
+
+let decode_frame ~plan ~mode ~kind decode s =
+  try
+    let r = reader s in
+    need r header_len "snapshot header";
+    let m = String.sub s 0 (String.length magic) in
+    if m <> magic then
+      corrupt "bad magic %S (not a factor-windows snapshot)" m;
+    r.pos <- String.length magic;
+    let v = r_u16 r in
+    if v <> version then
+      corrupt
+        "unsupported snapshot version %d (this build reads version %d); \
+         refusing to resume"
+        v version;
+    let fp = r_raw64 r in
+    let expected = plan_fingerprint plan mode in
+    if not (Int64.equal fp expected) then
+      corrupt
+        "plan fingerprint mismatch (snapshot 0x%Lx, current %s-mode plan \
+         0x%Lx); refusing to resume on a different plan"
+        fp (mode_name mode) expected;
+    let payload_len = r_i64 r in
+    if payload_len < 0 || remaining r <> payload_len + 4 then
+      corrupt "truncated snapshot (payload length %d, %d bytes present)"
+        payload_len (remaining r);
+    let payload_pos = r.pos in
+    r.pos <- r.pos + payload_len;
+    let crc = r_u32 r in
+    let actual = crc32_sub s payload_pos payload_len in
+    if crc <> actual then
+      corrupt "payload CRC mismatch (stored %08x, computed %08x): torn or \
+               corrupted write"
+        crc actual;
+    let pr = reader ~pos:payload_pos ~limit:(payload_pos + payload_len) s in
+    let k = r_u8 pr in
+    if k <> kind then
+      corrupt "payload holds a %s snapshot where a %s snapshot was expected"
+        (kind_name k) (kind_name kind);
+    let value = decode pr in
+    if remaining pr <> 0 then
+      corrupt "trailing bytes after snapshot payload (%d)" (remaining pr);
+    Ok value
+  with
+  | Corrupt m -> Error m
+  | Invalid_argument m -> Error ("invalid state in snapshot: " ^ m)
+
+let encode_snapshot ~plan s =
+  let payload = Buffer.create 4096 in
+  w_u8 payload kind_engine;
+  w_snapshot payload s;
+  encode_frame
+    ~fingerprint:(plan_fingerprint plan s.s_export.Stream_exec.x_mode)
+    (Buffer.contents payload)
+
+let decode_snapshot ~plan ~mode s =
+  decode_frame ~plan ~mode ~kind:kind_engine r_snapshot s
+
+(* --- framed append-only logs --------------------------------------- *)
+
+(* Both on-disk logs (the event WAL and the emitted-row log) share one
+   record framing: [len u32][payload][crc32(payload) u32], flushed in
+   whole records.  [decode_frames] scans an image and stops cleanly at
+   the first torn or corrupt record: a crash can leave a partial record
+   at the tail, and everything before it is still good. *)
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  w_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  w_u32 b (crc32 payload);
+  Buffer.contents b
+
+let decode_frames decode s =
+  let n = String.length s in
+  let rec go pos acc =
+    if n - pos < 4 then List.rev acc
+    else
+      let r = reader ~pos s in
+      let len = r_u32 r in
+      if len <= 0 || len > n - r.pos - 4 then List.rev acc
+      else
+        let payload_pos = r.pos in
+        let crc_pos = payload_pos + len in
+        let crc = (reader ~pos:crc_pos s |> r_u32) in
+        if crc <> crc32_sub s payload_pos len then List.rev acc
+        else
+          let pr = reader ~pos:payload_pos ~limit:crc_pos s in
+          match decode pr with
+          | rec_ when remaining pr = 0 -> go (crc_pos + 4) (rec_ :: acc)
+          | _ -> List.rev acc
+          | exception Corrupt _ -> List.rev acc
+          | exception Invalid_argument _ -> List.rev acc
+  in
+  go 0 []
+
+(* --- write-ahead log ----------------------------------------------- *)
+
+type wal_record = Wal_event of Event.t | Wal_advance of int
+
+let encode_wal_record rec_ =
+  let payload = Buffer.create 32 in
+  (match rec_ with
+  | Wal_event e ->
+      w_u8 payload 1;
+      w_i64 payload e.Event.time;
+      w_string payload e.Event.key;
+      w_float payload e.Event.value
+  | Wal_advance t ->
+      w_u8 payload 2;
+      w_i64 payload t);
+  frame (Buffer.contents payload)
+
+let decode_wal_record r =
+  match r_u8 r with
+  | 1 ->
+      let time = r_i64 r in
+      let key = r_string r in
+      let value = r_float r in
+      if time < 0 then corrupt "negative event time in log";
+      Wal_event (Event.make ~time ~key ~value)
+  | 2 -> Wal_advance (r_i64 r)
+  | tag -> corrupt "unknown log record tag %d" tag
+
+let decode_wal s = decode_frames decode_wal_record s
+
+(* --- emitted-row log ----------------------------------------------- *)
+
+let encode_row_record row =
+  let payload = Buffer.create 48 in
+  w_row payload row;
+  frame (Buffer.contents payload)
+
+let decode_rows s = decode_frames r_row s
+
+(* --- reorder snapshots --------------------------------------------- *)
+
+(* A reorder snapshot is self-contained: unlike the engine snapshot it
+   carries the wrapped executor's emitted rows inline, because the
+   reorder codec path has no companion row log — it captures the whole
+   pipeline (buffer + executor) in one blob. *)
+
+module Reorder = Fw_engine.Reorder
+
+let w_event b (e : Event.t) =
+  w_i64 b e.Event.time;
+  w_string b e.Event.key;
+  w_float b e.Event.value
+
+let r_event r =
+  let time = r_i64 r in
+  let key = r_string r in
+  let value = r_float r in
+  if time < 0 then corrupt "negative event time in snapshot";
+  Event.make ~time ~key ~value
+
+let w_reorder b (x : Reorder.export) =
+  w_i64 b x.Reorder.x_lateness;
+  w_list b (fun b g -> w_list b w_event g) x.Reorder.x_groups;
+  w_i64 b x.Reorder.x_peak;
+  w_i64 b x.Reorder.x_released;
+  w_i64 b x.Reorder.x_dropped;
+  w_i64 b x.Reorder.x_frontier;
+  w_i64 b x.Reorder.x_max_seen;
+  let e = x.Reorder.x_exec in
+  w_u8 b (mode_byte e.Stream_exec.x_mode);
+  w_i64 b e.Stream_exec.x_source_wm;
+  w_list b w_row e.Stream_exec.x_rows;
+  w_list b w_node (Array.to_list e.Stream_exec.x_nodes)
+
+let r_reorder r =
+  let x_lateness = r_i64 r in
+  if x_lateness < 0 then corrupt "negative lateness in snapshot";
+  let x_groups = r_list r (fun r -> r_list r r_event) in
+  let x_peak = r_i64 r in
+  let x_released = r_i64 r in
+  let x_dropped = r_i64 r in
+  if x_peak < 0 || x_released < 0 || x_dropped < 0 then
+    corrupt "negative reorder statistic in snapshot";
+  let x_frontier = r_i64 r in
+  let x_max_seen = r_i64 r in
+  let x_mode = mode_of_byte (r_u8 r) in
+  let x_source_wm = r_i64 r in
+  let x_rows = r_list r r_row in
+  let x_nodes = Array.of_list (r_list r r_node) in
+  {
+    Reorder.x_lateness;
+    x_groups;
+    x_peak;
+    x_released;
+    x_dropped;
+    x_frontier;
+    x_max_seen;
+    x_exec = { Stream_exec.x_mode; x_source_wm; x_rows; x_nodes };
+  }
+
+let encode_reorder ~plan (x : Reorder.export) =
+  let payload = Buffer.create 4096 in
+  w_u8 payload kind_reorder;
+  w_reorder payload x;
+  encode_frame
+    ~fingerprint:(plan_fingerprint plan x.Reorder.x_exec.Stream_exec.x_mode)
+    (Buffer.contents payload)
+
+let decode_reorder ~plan ~mode s =
+  decode_frame ~plan ~mode ~kind:kind_reorder r_reorder s

@@ -1,0 +1,114 @@
+(** Versioned binary codec for snapshots and the write-ahead log.
+
+    Dependency-free: fixed little-endian integers, IEEE float bit
+    patterns (decoded states are bit-identical to the encoded ones) and
+    length-prefixed strings over [Buffer]/[String].  A snapshot frame
+    carries a magic, a format {!version}, a {!plan_fingerprint} and a
+    CRC-32 over the payload; {!decode_snapshot} fails closed — unknown
+    version, foreign plan, truncation and bit rot each yield a
+    descriptive [Error], never a garbage executor. *)
+
+exception Corrupt of string
+(** Raised by low-level decoders on malformed input.  The snapshot and
+    log entry points catch it; it only escapes the [state_of_string]
+    test helper. *)
+
+val version : int
+(** Current snapshot format version (encoded as a u16). *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of the whole string. *)
+
+val plan_fingerprint :
+  Fw_plan.Plan.t -> Fw_engine.Stream_exec.mode -> int64
+(** FNV-1a 64-bit hash of the plan's structural rendering plus the
+    execution mode.  Stable across processes (unlike [Hashtbl.hash]);
+    two (plan, mode) pairs with different operators, windows, predicate,
+    aggregate or mode fingerprint differently. *)
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  s_export : Fw_engine.Stream_exec.export;
+      (** full executor state; [x_rows] is always [] — emitted rows
+          live in the row log, not the snapshot, so checkpoint cost is
+          proportional to live operator state rather than to all output
+          ever produced *)
+  s_rows_persisted : int;
+      (** emitted rows covered by this snapshot: the row-log prefix
+          that was durable when it was taken *)
+  s_ingested : int;  (** {!Fw_engine.Metrics.ingested} at capture *)
+  s_processed : (Fw_window.Window.t * int) list;
+      (** per-window processed-item counters at capture, so cost-model
+          accounting survives a restart exactly *)
+}
+
+val encode_snapshot : plan:Fw_plan.Plan.t -> snapshot -> string
+
+val decode_snapshot :
+  plan:Fw_plan.Plan.t ->
+  mode:Fw_engine.Stream_exec.mode ->
+  string ->
+  (snapshot, string) result
+(** Verifies magic, version, fingerprint of [(plan, mode)], length and
+    CRC before touching the payload. *)
+
+(** {2 Write-ahead log}
+
+    One record per input action.  Each record is independently framed
+    ([length | payload | crc32]) so {!decode_wal} can stop cleanly at a
+    torn tail — everything before the first bad frame is valid. *)
+
+type wal_record =
+  | Wal_event of Fw_engine.Event.t
+  | Wal_advance of int  (** an explicit punctuation *)
+
+val encode_wal_record : wal_record -> string
+
+val decode_wal : string -> wal_record list
+(** Decode a log image, silently discarding the torn/corrupt tail. *)
+
+(** {2 Emitted-row log}
+
+    Result rows are streamed to an append-only side log as the engine
+    emits them (same per-record framing as the WAL); the snapshot only
+    records how many are covered.  The log is flushed at checkpoint
+    time, just before the snapshot rename, so a valid snapshot's count
+    never exceeds the decodable prefix of the log. *)
+
+val encode_row_record : Fw_engine.Row.t -> string
+
+val decode_rows : string -> Fw_engine.Row.t list
+(** Decode a row-log image, silently discarding the torn/corrupt
+    tail. *)
+
+(** {2 Reorder snapshots}
+
+    A second snapshot kind covering the bounded-lateness reorder buffer
+    {e and} the executor it wraps, in one self-contained blob (unlike
+    engine snapshots it carries the emitted rows inline — there is no
+    companion row log on this path).  Shares the frame of
+    {!encode_snapshot}: same magic, version, plan fingerprint and CRC
+    guard.  A payload kind byte keeps the two apart, so decoding an
+    engine snapshot as a reorder snapshot (or vice versa) fails closed
+    even when the fingerprints agree. *)
+
+val encode_reorder :
+  plan:Fw_plan.Plan.t -> Fw_engine.Reorder.export -> string
+
+val decode_reorder :
+  plan:Fw_plan.Plan.t ->
+  mode:Fw_engine.Stream_exec.mode ->
+  string ->
+  (Fw_engine.Reorder.export, string) result
+(** Same fail-closed checks as {!decode_snapshot}, plus validation of
+    the reorder statistics (non-negative) and event times. *)
+
+(** {2 Test helpers} *)
+
+val state_to_string : Fw_agg.Combine.state -> string
+(** Unframed encoding of a single aggregate state (no CRC), for
+    round-trip and corrupt-byte property tests. *)
+
+val state_of_string : string -> Fw_agg.Combine.state
+(** Raises {!Corrupt} on malformed input (including trailing bytes). *)

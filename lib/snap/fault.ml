@@ -1,0 +1,35 @@
+exception Crash of string
+
+type t = {
+  crash_at_event : int option;
+  torn_bytes : int option;
+  mutable last_checkpoint : string option;
+}
+
+let create ?crash_at_event ?torn_bytes () =
+  (match crash_at_event with
+  | Some k when k < 1 -> invalid_arg "Fault.create: crash_at_event must be >= 1"
+  | _ -> ());
+  (match torn_bytes with
+  | Some n when n < 1 -> invalid_arg "Fault.create: torn_bytes must be >= 1"
+  | _ -> ());
+  { crash_at_event; torn_bytes; last_checkpoint = None }
+
+let passive () = create ()
+
+let truncate_file path n =
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let keep = max 0 (String.length data - n) in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub data 0 keep))
+
+let on_checkpoint_written t path = t.last_checkpoint <- Some path
+
+let on_event t ordinal =
+  match t.crash_at_event with
+  | Some k when ordinal >= k ->
+      (match (t.torn_bytes, t.last_checkpoint) with
+      | Some n, Some path -> truncate_file path n
+      | _ -> ());
+      raise (Crash (Printf.sprintf "injected crash after event %d" ordinal))
+  | _ -> ()

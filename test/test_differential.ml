@@ -124,11 +124,17 @@ let test_differential_median_and_hopping () =
   check_int "hopping invariants" 0 (List.length (Invariants.check sc))
 
 let test_path_roster () =
-  check_int "nine paths" 9 (List.length Paths.all);
+  check_int "eleven paths" 11 (List.length Paths.all);
   check_bool "incremental path listed" true
     (List.mem Paths.Incremental_stream Paths.all);
   check_string "incremental path name" "incremental-stream"
-    (Paths.name Paths.Incremental_stream)
+    (Paths.name Paths.Incremental_stream);
+  check_bool "crash-restart paths listed" true
+    (List.mem (Paths.Crash_restart Fw_engine.Stream_exec.Naive) Paths.all
+    && List.mem (Paths.Crash_restart Fw_engine.Stream_exec.Incremental)
+         Paths.all);
+  check_string "crash path name" "crash-restart-incremental"
+    (Paths.name (Paths.Crash_restart Fw_engine.Stream_exec.Incremental))
 
 let test_incremental_path_applicability () =
   (* The incremental engine falls back per node, so it applies to every
@@ -240,6 +246,27 @@ let test_bounded_campaign () =
       Alcotest.fail
         ("campaign failure: " ^ Format.asprintf "%a" Harness.pp_failure f)
 
+let test_bounded_crash_campaign () =
+  (* The acceptance property: under --crash-prob 0.3 the crash-restart
+     paths (both engine modes, deterministic crash points and torn
+     snapshot writes included) recover byte-identically across a
+     bounded campaign. *)
+  let cfg =
+    {
+      Harness.default_config with
+      Harness.iterations = 40;
+      base_seed = 1300;
+      crash_prob = 0.3;
+    }
+  in
+  let outcome = Harness.run cfg in
+  check_int "all scenarios checked" 40 outcome.Harness.checked;
+  match outcome.Harness.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        ("crash campaign failure: " ^ Format.asprintf "%a" Harness.pp_failure f)
+
 let test_check_seed_ok () =
   match Harness.check_seed Scenario.default_gen 42 with
   | Ok sc -> check_bool "scenario described" true (Scenario.summary sc <> "")
@@ -260,7 +287,7 @@ let suite =
     Alcotest.test_case "differential median + hopping" `Quick
       test_differential_median_and_hopping;
     Alcotest.test_case "non-aligned path gating" `Quick test_non_aligned_paths;
-    Alcotest.test_case "path roster (9 paths)" `Quick test_path_roster;
+    Alcotest.test_case "path roster (11 paths)" `Quick test_path_roster;
     Alcotest.test_case "incremental path applicability" `Quick
       test_incremental_path_applicability;
     Alcotest.test_case "paths subset restricts" `Quick
@@ -275,5 +302,7 @@ let suite =
       test_shrink_scenario_pipeline;
     Alcotest.test_case "bounded campaign (60 seeds)" `Quick
       test_bounded_campaign;
+    Alcotest.test_case "bounded crash campaign (40 seeds, p=0.3)" `Quick
+      test_bounded_crash_campaign;
     Alcotest.test_case "check_seed ok" `Quick test_check_seed_ok;
   ]

@@ -25,4 +25,5 @@ let () =
       ("predicate", Test_predicate.suite);
       ("tools", Test_tools.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("snap", Test_snap.suite);
     ]
