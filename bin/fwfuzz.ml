@@ -6,9 +6,11 @@
    execution path — reference evaluator, naive streaming plan, the
    pane-based incremental engine (--incremental-prob to sample),
    rewritten plans with/without factor windows, paned/paired slicing
-   shared/unshared, and (--crash-prob to sample) the checkpointing
+   shared/unshared, (--crash-prob to sample) the checkpointing
    pipeline killed mid-stream by an injected fault and recovered from
-   disk — asserts row-for-row equality, and checks the
+   disk, and (--shard-prob to sample) the multicore runner: the plan
+   key-partitioned across 2-8 worker domains, byte-compared against
+   single-shard runs — asserts row-for-row equality, and checks the
    structural invariants (Theorem 7 forest shape, cost monotonicity,
    plan validation, metrics-vs-cost-model exactness).  Failures are
    shrunk to a minimal repro and reported with the one-line replay
@@ -69,6 +71,16 @@ let incremental_prob_arg =
   Arg.(value & opt float 1.0
        & info [ "incremental-prob" ] ~docv:"P" ~doc)
 
+let shard_prob_arg =
+  let doc =
+    "Probability that an iteration also runs the sharded path: the naive \
+     plan key-partitioned across the scenario's shard count (2-8 worker \
+     domains), both engine modes, byte-compared against single-shard runs \
+     with exact cost-counter reconciliation.  Decided deterministically per \
+     seed, so replays match the campaign."
+  in
+  Arg.(value & opt float 0.0 & info [ "shard-prob" ] ~docv:"P" ~doc)
+
 let crash_prob_arg =
   let doc =
     "Probability that an iteration also runs the crash-restart paths: the \
@@ -113,8 +125,11 @@ let dump_artifacts artifacts failure =
           List.iter (fun f -> Printf.printf "artifact: %s\n" f) files
       | Error e -> Printf.eprintf "fwfuzz: artifact dump failed: %s\n" e)
 
-let replay gen ~invariants ~incremental_prob ~crash_prob ~artifacts seed =
-  match Harness.check_seed ~invariants ~incremental_prob ~crash_prob gen seed
+let replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
+    ~artifacts seed =
+  match
+    Harness.check_seed ~invariants ~incremental_prob ~crash_prob ~shard_prob
+      gen seed
   with
   | Ok sc ->
       Printf.printf "seed %d: %s\n" seed (Scenario.summary sc);
@@ -138,8 +153,8 @@ let replay gen ~invariants ~incremental_prob ~crash_prob ~artifacts seed =
       dump_artifacts artifacts failure;
       1
 
-let campaign gen ~invariants ~incremental_prob ~crash_prob ~iterations
-    ~base_seed ~max_failures ~quiet ~artifacts =
+let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
+    ~iterations ~base_seed ~max_failures ~quiet ~artifacts =
   let cfg =
     {
       Harness.iterations;
@@ -148,6 +163,7 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~iterations
       invariants;
       incremental_prob;
       crash_prob;
+      shard_prob;
       max_failures;
     }
   in
@@ -185,8 +201,8 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~iterations
       1
 
 let main iterations seed do_replay max_windows eta_max horizon_max
-    no_invariants no_holistic incremental_prob crash_prob max_failures quiet
-    artifacts =
+    no_invariants no_holistic incremental_prob crash_prob shard_prob
+    max_failures quiet artifacts =
   let bad name v =
     Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
     exit 124
@@ -206,13 +222,19 @@ let main iterations seed do_replay max_windows eta_max horizon_max
       crash_prob;
     exit 124
   end;
+  if shard_prob < 0.0 || shard_prob > 1.0 then begin
+    Printf.eprintf "fwfuzz: --shard-prob must be in [0, 1] (got %g)\n"
+      shard_prob;
+    exit 124
+  end;
   let gen = gen_config max_windows eta_max horizon_max no_holistic in
   let invariants = not no_invariants in
   if do_replay then
-    replay gen ~invariants ~incremental_prob ~crash_prob ~artifacts seed
+    replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
+      ~artifacts seed
   else
-    campaign gen ~invariants ~incremental_prob ~crash_prob ~iterations
-      ~base_seed:seed ~max_failures ~quiet ~artifacts
+    campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
+      ~iterations ~base_seed:seed ~max_failures ~quiet ~artifacts
 
 let cmd =
   let info =
@@ -225,7 +247,7 @@ let cmd =
     Term.(
       const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
       $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
-      $ incremental_prob_arg $ crash_prob_arg $ max_failures_arg $ quiet_arg
-      $ artifacts_arg)
+      $ incremental_prob_arg $ crash_prob_arg $ shard_prob_arg
+      $ max_failures_arg $ quiet_arg $ artifacts_arg)
 
 let () = exit (Cmd.eval' cmd)

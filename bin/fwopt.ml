@@ -186,7 +186,7 @@ let run_recovered ~dir ~every ~mode plan ~horizon events =
 let run_cmd =
   let action query file eta no_factor seed horizon show_rows shuffle lateness
       events_file csv_out incremental stats checkpoint_dir every recover_dir
-      crash_after =
+      crash_after shards key_skew keys_n =
     let stats =
       match stats with
       | None -> None
@@ -215,6 +215,32 @@ let run_cmd =
                         survive the crash)\n";
         exit 2
     | _ -> ());
+    if shards < 1 then begin
+      Printf.eprintf "--shards must be >= 1 (got %d)\n" shards;
+      exit 2
+    end;
+    if shards > 1 && (checkpoint_dir <> None || recover_dir <> None) then begin
+      Printf.eprintf
+        "--shards cannot combine with --checkpoint/--recover (the durable \
+         pipeline is single-shard)\n";
+      exit 2
+    end;
+    if shards > 1 && shuffle then begin
+      Printf.eprintf
+        "--shards cannot combine with --shuffle (the reorder buffer feeds a \
+         single stream)\n";
+      exit 2
+    end;
+    if key_skew < 0.0 || not (Float.is_finite key_skew) then begin
+      Printf.eprintf "--key-skew must be a finite float >= 0 (got %g)\n"
+        key_skew;
+      exit 2
+    end;
+    (match keys_n with
+    | Some k when k < 1 ->
+        Printf.eprintf "--keys must be >= 1 (got %d)\n" k;
+        exit 2
+    | _ -> ());
     match
       Optimizer.of_query ~eta ~factor_windows:(not no_factor)
         (load_query query file)
@@ -224,9 +250,21 @@ let run_cmd =
         exit 1
     | Ok t ->
         let prng = Fw_util.Prng.create seed in
+        let gen_config =
+          {
+            Event_gen.default_config with
+            Event_gen.keys =
+              (match keys_n with
+              | None -> Event_gen.default_config.Event_gen.keys
+              | Some k -> Event_gen.key_pool k);
+            key_dist =
+              (if key_skew > 0.0 then Event_gen.Zipf key_skew
+               else Event_gen.Uniform);
+          }
+        in
         let events =
           match events_file with
-          | None -> Event_gen.steady prng Event_gen.default_config ~eta ~horizon
+          | None -> Event_gen.steady prng gen_config ~eta ~horizon
           | Some path -> (
               match Fw_engine.Csv_io.load_events path with
               | Ok events -> Fw_engine.Event.sort events
@@ -271,6 +309,34 @@ let run_cmd =
           | None, Some dir ->
               run_recovered ~dir ~every ~mode (Optimizer.optimized_plan t)
                 ~horizon events
+          | None, None when shards > 1 ->
+              (* Sharded execution: rows and cost-model counters are
+                 byte-identical to the single-shard run (which the CI
+                 run-diff smoke pins), so only the shards:-prefixed
+                 lines differ. *)
+              let r =
+                Fw_shard.Runner.run ~mode ~shards
+                  (Optimizer.optimized_plan t) ~horizon events
+              in
+              let st = r.Fw_shard.Runner.stats in
+              let ints a =
+                String.concat "/"
+                  (Array.to_list (Array.map string_of_int a))
+              in
+              Printf.printf "shards: %d workers%s, rows per shard %s\n"
+                st.Fw_shard.Runner.shards
+                (match st.Fw_shard.Runner.degraded with
+                | Some reason -> Printf.sprintf " (degraded: %s)" reason
+                | None -> "")
+                (ints st.Fw_shard.Runner.rows_per_shard);
+              Printf.printf
+                "shards: backpressure waits %s, peak queue depth %s\n"
+                (ints st.Fw_shard.Runner.backpressure_waits)
+                (ints st.Fw_shard.Runner.queue_peaks);
+              {
+                Fw_engine.Run.rows = r.Fw_shard.Runner.rows;
+                metrics = r.Fw_shard.Runner.metrics;
+              }
           | None, None -> Optimizer.execute ~mode ?trace t ~horizon events
         in
         let metrics = report.Fw_engine.Run.metrics in
@@ -378,6 +444,30 @@ let run_cmd =
                    (exit 0), leaving the directory for --recover — lets a \
                    script exercise the full crash/recovery cycle.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Execute across $(docv) worker domains, events \
+                   hash-partitioned by key (FNV-1a).  Rows and cost-model \
+                   counters are byte-identical to the single-shard run; \
+                   per-shard plumbing is reported on $(b,shards:)-prefixed \
+                   lines.  Mutually exclusive with --checkpoint, --recover \
+                   and --shuffle.")
+  in
+  let key_skew =
+    Arg.(value & opt float 0.0
+         & info [ "key-skew" ] ~docv:"S"
+             ~doc:"Zipf exponent for the generated keys (0 = uniform; the \
+                   i-th key is weighted 1/i^$(docv)).  Skewed keys \
+                   concentrate load on few shards — watch the imbalance \
+                   gauge and backpressure counters in --stats.")
+  in
+  let keys_n =
+    Arg.(value & opt (some int) None
+         & info [ "keys" ] ~docv:"K"
+             ~doc:"Size of the generated key pool (default: the 4 stock \
+                   device keys).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile a query, execute it on synthetic events (or a CSV \
@@ -385,7 +475,7 @@ let run_cmd =
     Term.(const action $ query_arg $ file_arg $ eta_arg $ no_factor_arg
           $ seed_arg $ horizon $ show_rows $ shuffle $ lateness $ events_file
           $ csv_out $ incremental $ stats $ checkpoint_dir $ every
-          $ recover_dir $ crash_after)
+          $ recover_dir $ crash_after $ shards $ key_skew $ keys_n)
 
 (* --- gen --- *)
 

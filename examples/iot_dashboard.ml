@@ -42,6 +42,7 @@ let () =
             List.init 8 (Printf.sprintf "device-%02d");
           value_min = 15.0;
           value_max = 40.0;
+          key_dist = Fw_workload.Event_gen.Uniform;
         }
       in
       let events =

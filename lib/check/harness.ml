@@ -15,6 +15,7 @@ type config = {
   invariants : bool;
   incremental_prob : float;
   crash_prob : float;
+  shard_prob : float;
   max_failures : int;
 }
 
@@ -26,6 +27,7 @@ let default_config =
     invariants = true;
     incremental_prob = 1.0;
     crash_prob = 0.0;
+    shard_prob = 0.0;
     max_failures = 5;
   }
 
@@ -55,7 +57,7 @@ let problems_of ~invariants ~paths sc =
    engine as a checked path.  Decided deterministically from the seed
    (not a global counter) so a failure replays identically under
    [--replay --seed N] no matter which iteration found it. *)
-let paths_for ~incremental_prob ~crash_prob seed =
+let paths_for ~incremental_prob ~crash_prob ~shard_prob seed =
   let base =
     if
       incremental_prob >= 1.0
@@ -68,22 +70,35 @@ let paths_for ~incremental_prob ~crash_prob seed =
   (* the crash-restart paths are opt-in (they run three executions and
      touch disk per scenario); same per-seed determinism, distinct
      stream *)
+  let base =
+    if
+      crash_prob > 0.0
+      && (crash_prob >= 1.0
+         || Fw_util.Prng.bernoulli
+              (Fw_util.Prng.create (seed lxor 0x5eed5a9))
+              crash_prob)
+    then base
+    else
+      List.filter
+        (fun p -> match p with Paths.Crash_restart _ -> false | _ -> true)
+        base
+  in
+  (* the sharded path is opt-in too: it runs four extra executions
+     (both modes, sharded and single-shard) and spawns domains per
+     scenario; same per-seed determinism, its own coin *)
   if
-    crash_prob > 0.0
-    && (crash_prob >= 1.0
+    shard_prob > 0.0
+    && (shard_prob >= 1.0
        || Fw_util.Prng.bernoulli
-            (Fw_util.Prng.create (seed lxor 0x5eed5a9))
-            crash_prob)
+            (Fw_util.Prng.create (seed lxor 0x3a2d6b5))
+            shard_prob)
   then base
-  else
-    List.filter
-      (fun p -> match p with Paths.Crash_restart _ -> false | _ -> true)
-      base
+  else List.filter (fun p -> p <> Paths.Sharded_stream) base
 
 let check_seed ?(invariants = true) ?(incremental_prob = 1.0)
-    ?(crash_prob = 0.0) gen seed =
+    ?(crash_prob = 0.0) ?(shard_prob = 0.0) gen seed =
   let sc = Scenario.of_seed gen seed in
-  let paths = paths_for ~incremental_prob ~crash_prob seed in
+  let paths = paths_for ~incremental_prob ~crash_prob ~shard_prob seed in
   match problems_of ~invariants ~paths sc with
   | [] -> Ok sc
   | problems ->
@@ -107,7 +122,7 @@ let run ?progress cfg =
        (match
           check_seed ~invariants:cfg.invariants
             ~incremental_prob:cfg.incremental_prob ~crash_prob:cfg.crash_prob
-            cfg.gen seed
+            ~shard_prob:cfg.shard_prob cfg.gen seed
         with
        | Ok _ -> ()
        | Error failure ->

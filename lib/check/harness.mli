@@ -37,12 +37,21 @@ type config = {
           [0.0] (the default) skips them: each one costs three
           executions plus checkpoint I/O.  Same per-seed determinism as
           [incremental_prob], on an independent coin. *)
+  shard_prob : float;
+      (** probability that a seed's iteration also runs the sharded
+          path ({!Paths.Sharded_stream}) — the scenario's shard count
+          (drawn in [\[2, 8\]]) of worker domains, both engine modes,
+          byte-compared against single-shard runs with metric
+          reconciliation.  [0.0] (the default) skips it: it costs four
+          extra executions and spawns domains per scenario.  Same
+          per-seed determinism, its own coin. *)
   max_failures : int;  (** stop the campaign after this many failures *)
 }
 
 val default_config : config
 (** 1000 iterations, base seed 42, invariants on, incremental path
-    always on, crash-restart paths off, stop after 5 failures. *)
+    always on, crash-restart and sharded paths off, stop after 5
+    failures. *)
 
 type outcome = { checked : int; failures : failure list }
 
@@ -50,12 +59,13 @@ val check_seed :
   ?invariants:bool ->
   ?incremental_prob:float ->
   ?crash_prob:float ->
+  ?shard_prob:float ->
   Scenario.gen_config ->
   int ->
   (Scenario.t, failure) result
 (** Check a single seed; [Ok] returns the (clean) scenario so replay
     tooling can describe it.  [incremental_prob] defaults to [1.0],
-    [crash_prob] to [0.0]. *)
+    [crash_prob] and [shard_prob] to [0.0]. *)
 
 val run : ?progress:(int -> unit) -> config -> outcome
 (** Run the campaign; [progress] is called after each iteration with

@@ -15,6 +15,7 @@ type path =
   | Rewritten_no_factor
   | Sliced of Exec.mode * Exec.slicing
   | Crash_restart of Stream_exec.mode
+  | Sharded_stream
 
 let all =
   [
@@ -29,6 +30,7 @@ let all =
     Sliced (Exec.Shared, Exec.Paired_slicing);
     Crash_restart Stream_exec.Naive;
     Crash_restart Stream_exec.Incremental;
+    Sharded_stream;
   ]
 
 let name = function
@@ -45,6 +47,7 @@ let name = function
         | Exec.Paired_slicing -> "paired")
   | Crash_restart Stream_exec.Naive -> "crash-restart-naive"
   | Crash_restart Stream_exec.Incremental -> "crash-restart-incremental"
+  | Sharded_stream -> "sharded-stream"
 
 (* The optimizer's cost model assumes aligned windows (footnote 4), so
    the rewritten paths only apply to aligned scenarios; every other
@@ -56,7 +59,7 @@ let applicable path sc =
   match path with
   | Rewritten | Rewritten_no_factor -> Scenario.aligned sc
   | Reference_path | Naive_stream | Incremental_stream | Sliced _
-  | Crash_restart _ ->
+  | Crash_restart _ | Sharded_stream ->
       true
 
 let rewritten_plan ~factor_windows (sc : Scenario.t) =
@@ -184,6 +187,64 @@ let crash_restart_rows mode (sc : Scenario.t) =
              (String.concat " " (pw m1)));
       rows1)
 
+(* --- sharded path --------------------------------------------------- *)
+
+(* Run the naive plan sharded across the scenario's worker-domain count
+   in both engine modes, and insist — stronger than the harness's row
+   comparison — that each mode's merged rows are byte-identical to the
+   corresponding single-shard run's and that the cost-model counters
+   (ingest, per-window items) reconcile exactly across the shard
+   merge.  Only the cost-model counters are compared: per-node counters
+   like instance fires are per-replica (one instance can fire in
+   several shards), so they legitimately exceed the single-shard
+   values. *)
+let sharded_rows (sc : Scenario.t) =
+  let plan = Plan.naive sc.Scenario.agg sc.Scenario.windows in
+  let horizon = sc.Scenario.horizon in
+  let check_mode mode mode_name =
+    let m0 = Metrics.create () in
+    let rows0 =
+      Stream_exec.run ~metrics:m0 ~mode plan ~horizon sc.Scenario.events
+    in
+    let r =
+      Fw_shard.Runner.run ~mode ~shards:sc.Scenario.shards plan ~horizon
+        sc.Scenario.events
+    in
+    if r.Fw_shard.Runner.rows <> rows0 then
+      failwith
+        (Printf.sprintf
+           "%d-shard %s rows are not byte-identical to the single-shard \
+            run's (%d vs %d rows)"
+           sc.Scenario.shards mode_name
+           (List.length r.Fw_shard.Runner.rows)
+           (List.length rows0));
+    let m1 = r.Fw_shard.Runner.metrics in
+    if Metrics.ingested m0 <> Metrics.ingested m1 then
+      failwith
+        (Printf.sprintf
+           "%s ingest counter did not reconcile across %d shards: %d \
+            single-shard vs %d merged"
+           mode_name sc.Scenario.shards (Metrics.ingested m0)
+           (Metrics.ingested m1));
+    let pw m =
+      List.map
+        (fun (w, n) -> Printf.sprintf "%s=%d" (Window.to_string w) n)
+        (Metrics.per_window m)
+    in
+    if pw m0 <> pw m1 then
+      failwith
+        (Printf.sprintf
+           "%s per-window counters did not reconcile across %d shards: [%s] \
+            single-shard vs [%s] merged"
+           mode_name sc.Scenario.shards
+           (String.concat " " (pw m0))
+           (String.concat " " (pw m1)));
+    rows0
+  in
+  let rows = check_mode Stream_exec.Naive "naive" in
+  let (_ : Row.t list) = check_mode Stream_exec.Incremental "incremental" in
+  rows
+
 let rows path (sc : Scenario.t) =
   let horizon = sc.Scenario.horizon in
   let events = sc.Scenario.events in
@@ -210,5 +271,6 @@ let rows path (sc : Scenario.t) =
           (Exec.run sc.Scenario.agg mode slicing sc.Scenario.windows ~horizon
              events)
             .Exec.rows
-      | Crash_restart mode -> crash_restart_rows mode sc)
+      | Crash_restart mode -> crash_restart_rows mode sc
+      | Sharded_stream -> sharded_rows sc)
   with exn -> Error (Printexc.to_string exn)

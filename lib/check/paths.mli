@@ -22,7 +22,14 @@
       disk ({!Fw_snap.Recover}) and run to completion.  Beyond the
       harness's row comparison, the path itself insists the recovered
       rows and cost-model counters are {e byte-identical} to an
-      uninterrupted run's, and raises otherwise. *)
+      uninterrupted run's, and raises otherwise;
+    - {!Sharded_stream}: the naive plan key-partitioned across the
+      scenario's worker-domain count ({!Fw_shard.Runner}), in both
+      engine modes.  Like the crash path it carries checks stronger
+      than the harness's: each mode's merged rows must be
+      byte-identical to the corresponding single-shard run's, and the
+      cost-model counters (ingest, per-window items) must reconcile
+      exactly across the shard merge. *)
 
 type path =
   | Reference_path
@@ -32,9 +39,10 @@ type path =
   | Rewritten_no_factor
   | Sliced of Fw_slicing.Exec.mode * Fw_slicing.Exec.slicing
   | Crash_restart of Fw_engine.Stream_exec.mode
+  | Sharded_stream
 
 val all : path list
-(** The eleven concrete paths, reference first. *)
+(** The twelve concrete paths, reference first. *)
 
 val name : path -> string
 (** Stable identifier used in reports ("rewritten", "shared-paired", ...). *)

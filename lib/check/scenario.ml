@@ -44,6 +44,7 @@ type t = {
   events : Event.t list;
   shape : shape;
   tumbling : bool;
+  shards : int;
 }
 
 let draw_windows prng cfg ~shape ~tumbling ~n =
@@ -107,6 +108,9 @@ let draw prng cfg =
   in
   let tumbling = Prng.bool g_shape in
   let n = Prng.int_in g_shape 1 cfg.max_windows in
+  (* drawn from the already-consumed shape generator so every other
+     dimension of a given seed is unchanged by the sharding path *)
+  let shards = Prng.int_in g_shape 2 8 in
   let windows = draw_windows g_win cfg ~shape ~tumbling ~n in
   let windows =
     if Prng.bernoulli g_win cfg.non_aligned_prob then
@@ -124,12 +128,12 @@ let draw prng cfg =
   let eta = Prng.int_in g_eta 1 cfg.eta_max in
   let horizon = Prng.int_in g_horizon cfg.horizon_min cfg.horizon_max in
   let events = draw_events g_events ~eta ~horizon in
-  { agg; windows; eta; horizon; events; shape; tumbling }
+  { agg; windows; eta; horizon; events; shape; tumbling; shards }
 
 let of_seed cfg seed = draw (Prng.create seed) cfg
 
 let summary t =
-  Printf.sprintf "%s over %s (%s%s), eta=%d horizon=%d |events|=%d"
+  Printf.sprintf "%s over %s (%s%s), eta=%d horizon=%d |events|=%d shards=%d"
     (Aggregate.to_string t.agg)
     ("["
     ^ String.concat "; " (List.map Window.to_string t.windows)
@@ -140,6 +144,7 @@ let summary t =
      else "")
     t.eta t.horizon
     (List.length t.events)
+    t.shards
 
 let pp ppf t = Format.pp_print_string ppf (summary t)
 
@@ -159,7 +164,8 @@ let to_repro t =
      windows  = %s@,\
      eta      = %d@,\
      horizon  = %d@,\
+     shards   = %d@,\
      events   = @[<hov 2>[%a]@]@]"
     (Aggregate.to_string t.agg)
     (String.concat " " (List.map Window.to_string t.windows))
-    t.eta t.horizon pp_events t.events
+    t.eta t.horizon t.shards pp_events t.events

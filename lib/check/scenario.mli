@@ -38,6 +38,9 @@ type t = {
   events : Fw_engine.Event.t list;  (** time-ordered *)
   shape : shape;
   tumbling : bool;
+  shards : int;
+      (** worker-domain count for the sharded path, drawn in [\[2, 8\]];
+          shrunk like any other dimension when a failure minimizes *)
 }
 
 val draw : Fw_util.Prng.t -> gen_config -> t

@@ -42,12 +42,21 @@ let windows still_fails ws =
   in
   go ws
 
+(* Smallest shard count (>= 2: one shard is not a sharded run) that
+   keeps the failure alive, scanning upward from 2. *)
+let shards still_fails n =
+  if n <= 2 then n
+  else
+    let rec from k = if k >= n then n else if still_fails k then k else from (k + 1) in
+    from 2
+
 let scenario still_fails (sc : Scenario.t) =
   let with_events sc evs = { sc with Scenario.events = evs } in
   let with_windows sc ws = { sc with Scenario.windows = ws } in
+  let with_shards sc n = { sc with Scenario.shards = n } in
   (* events first (usually the big list), then windows, then a second
      event pass — a smaller window set often unlocks further stream
-     reduction. *)
+     reduction — and finally the shard count. *)
   let sc =
     with_events sc
       (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)
@@ -58,5 +67,9 @@ let scenario still_fails (sc : Scenario.t) =
          (fun ws -> still_fails (with_windows sc ws))
          sc.Scenario.windows)
   in
-  with_events sc
-    (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)
+  let sc =
+    with_events sc
+      (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)
+  in
+  with_shards sc
+    (shards (fun n -> still_fails (with_shards sc n)) sc.Scenario.shards)

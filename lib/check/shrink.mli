@@ -23,7 +23,11 @@ val windows :
   Fw_window.Window.t list
 (** Greedy single-window removal to a fixpoint; never empties the set. *)
 
+val shards : (int -> bool) -> int -> int
+(** Smallest shard count in [\[2, n\]] that still fails (2 is the floor:
+    one shard is not a sharded run). *)
+
 val scenario : (Scenario.t -> bool) -> Scenario.t -> Scenario.t
 (** Full pipeline: shrink the event stream, then the window set, then
     the events once more (a smaller window set often unlocks further
-    stream reduction). *)
+    stream reduction), then the shard count. *)

@@ -134,6 +134,14 @@ let fallbacks t =
     (Registry.entries t.registry)
   |> List.sort compare
 
+(* Registry-level merge, then re-intern the source's window counters so
+   the facade's Window.Map sees the cells the merge created (or found):
+   [window_counter] resolves through the registry by (name, labels), so
+   no count is ever added twice. *)
+let merge_into ~into src =
+  Fw_obs.Registry.merge_into ~into:into.registry src.registry;
+  List.iter (fun (w, _) -> ignore (window_counter into w)) (per_window src)
+
 let set_trace t tr = t.trace <- Some tr
 let trace t = t.trace
 let snapshot_json t = Fw_obs.Export.snapshot_json ?trace:t.trace t.registry

@@ -73,6 +73,15 @@ val fallbacks : t -> (int * string * string * int) list
 (** [(node, window, reason, count)] for every fallback recorded,
     sorted. *)
 
+val merge_into : into:t -> t -> unit
+(** Fold another run's metrics into [into]: every registry cell
+    combines via {!Fw_obs.Registry.merge_into} (counters/gauges add,
+    histograms merge exactly) and the legacy window counters stay
+    visible through {!processed}/{!per_window} on the merged value.
+    This is how the sharded runner ({!Fw_shard.Runner}) reconciles
+    per-shard accounting: summed cost-model counters equal a
+    single-shard run's.  The source must no longer be written to. *)
+
 val set_trace : t -> Fw_obs.Trace.t -> unit
 (** Attach a span trace.  Attach it {e before} creating the executor:
     the executor reads it once at construction to pick its sampling

@@ -1,5 +1,10 @@
 (** Monotone integer counter: a single mutable cell, so an increment on
-    the hot path costs one load/add/store and never allocates. *)
+    the hot path costs one load/add/store and never allocates.
+
+    Not atomic: the cell expects a single writer domain (concurrent
+    increments are memory-safe in OCaml 5 but can lose updates).  For
+    multicore use, give each domain its own counter and combine them at
+    drain time via {!Registry.merge_into}. *)
 
 type t
 

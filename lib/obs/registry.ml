@@ -10,9 +10,19 @@ type entry = {
   metric : metric;
 }
 
-type t = { tbl : (string * (string * string) list, entry) Hashtbl.t }
+(* The table is the only piece of a registry that several domains may
+   touch at once (sharded workers interning metrics while the driver
+   lists them); a plain Hashtbl corrupts under that race, so every
+   table access goes through [mu].  The returned handles are NOT
+   guarded — a metric cell stays single-writer-per-domain, and
+   cross-domain aggregation goes through [merge_into] at drain time
+   (see the .mli's threading contract). *)
+type t = {
+  tbl : (string * (string * string) list, entry) Hashtbl.t;
+  mu : Mutex.t;
+}
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; mu = Mutex.create () }
 
 let canon_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -25,19 +35,20 @@ let kind_name = function
 let register t ~labels ~help name make same =
   let labels = canon_labels labels in
   let key = (name, labels) in
-  match Hashtbl.find_opt t.tbl key with
-  | Some e -> (
-      match same e.metric with
-      | Some cell -> cell
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e -> (
+          match same e.metric with
+          | Some cell -> cell
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Fw_obs.Registry: %s already registered as a %s" name
+                   (kind_name e.metric)))
       | None ->
-          invalid_arg
-            (Printf.sprintf
-               "Fw_obs.Registry: %s already registered as a %s" name
-               (kind_name e.metric)))
-  | None ->
-      let cell, metric = make () in
-      Hashtbl.replace t.tbl key { name; labels; help; metric };
-      cell
+          let cell, metric = make () in
+          Hashtbl.replace t.tbl key { name; labels; help; metric };
+          cell)
 
 let counter t ?(labels = []) ?(help = "") name =
   register t ~labels ~help name
@@ -55,7 +66,10 @@ let histogram t ?(labels = []) ?(help = "") name =
     (function Histogram h -> Some h | _ -> None)
 
 let entries t =
-  let all = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [] in
+  let all =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [])
+  in
   List.sort
     (fun a b ->
       match String.compare a.name b.name with
@@ -64,11 +78,31 @@ let entries t =
     all
 
 let find t ?(labels = []) name =
+  let key = (name, canon_labels labels) in
   Option.map
     (fun e -> e.metric)
-    (Hashtbl.find_opt t.tbl (name, canon_labels labels))
+    (Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.tbl key))
 
 let counter_value t ?labels name =
   match find t ?labels name with
   | Some (Counter c) -> Some (Counter.get c)
   | _ -> None
+
+let merge_into ~into src =
+  if into == src then invalid_arg "Fw_obs.Registry.merge_into: same registry";
+  List.iter
+    (fun e ->
+      match e.metric with
+      | Counter c ->
+          Counter.add
+            (counter into ~labels:e.labels ~help:e.help e.name)
+            (Counter.get c)
+      | Gauge g ->
+          Gauge.add
+            (gauge into ~labels:e.labels ~help:e.help e.name)
+            (Gauge.get g)
+      | Histogram h ->
+          Histogram.merge_into
+            ~into:(histogram into ~labels:e.labels ~help:e.help e.name)
+            h)
+    (entries src)

@@ -8,7 +8,18 @@
 
     Names follow the Prometheus convention ([snake_case], unit suffix,
     [_total] for counters); labels are [(key, value)] pairs.  Listing
-    is sorted by name then labels, so every export is stable. *)
+    is sorted by name then labels, so every export is stable.
+
+    {b Threading.}  The registry table itself is domain-safe: interning
+    ({!counter}/{!gauge}/{!histogram}), {!find} and {!entries} are
+    serialized by an internal mutex, so several domains may register
+    into — and a driver may list — one registry concurrently without
+    corrupting it.  The returned metric {e cells} are deliberately not
+    locked: an increment stays one load/add/store.  The supported
+    multicore pattern is therefore single-writer-per-cell — in
+    practice, one registry per domain (see {!Fw_engine.Metrics} per
+    shard) whose cells are only ever mutated by that domain, combined
+    at drain time with {!merge_into}. *)
 
 type t
 
@@ -37,3 +48,13 @@ val find : t -> ?labels:(string * string) list -> string -> metric option
 
 val counter_value : t -> ?labels:(string * string) list -> string -> int option
 (** Convenience for tests and reports. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold every metric of the second registry into [into], matching on
+    (name, labels): counters and gauges add, histograms merge
+    bucket-wise (exact, {!Histogram.merge_into}).  Metrics absent from
+    [into] are registered first, so merging per-shard registries into a
+    fresh one reproduces the union.  Raises [Invalid_argument] if the
+    two registries disagree on a metric's type, or if [into] is the
+    source itself.  Call it only once the source registry's writer
+    domain has finished (the drain barrier). *)

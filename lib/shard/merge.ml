@@ -1,0 +1,14 @@
+(* Tournament-style pairwise merging: each row participates in O(log k)
+   List.merge passes instead of the O(k) of a left fold. *)
+let rows lists =
+  let rec round = function
+    | [] -> []
+    | [ l ] -> [ l ]
+    | a :: b :: rest -> List.merge Fw_engine.Row.compare a b :: round rest
+  in
+  let rec go = function
+    | [] -> []
+    | [ l ] -> l
+    | ls -> go (round ls)
+  in
+  go lists

@@ -1,0 +1,15 @@
+(** Deterministic k-way merge of per-shard result rows.
+
+    Each shard's {!Fw_engine.Stream_exec.close} returns its rows sorted
+    by {!Fw_engine.Row.compare} — a total order on (window, instance
+    interval, key, value) — and key partitioning puts every (window,
+    interval, key) result on exactly one shard, so the per-shard lists
+    are disjoint sorted runs of the single-shard output.  Merging them
+    under the same comparison therefore reproduces the single-shard row
+    list {e byte for byte}; the differential path [Sharded_stream] and
+    the CLI run-diff smoke both pin this. *)
+
+val rows : Fw_engine.Row.t list list -> Fw_engine.Row.t list
+(** Merge sorted row lists into one sorted list.  Deterministic: the
+    result depends only on the multiset of input rows (ties, should the
+    inputs overlap, resolve by the stable left-to-right list order). *)

@@ -1,0 +1,32 @@
+type extractor =
+  | Keyed of (Fw_engine.Event.t -> string)
+  | Keyless of string
+
+let by_event_key = Keyed (fun e -> e.Fw_engine.Event.key)
+
+(* FNV-1a, 64-bit parameters (offset basis 14695981039346656037, prime
+   1099511628211), computed in the native int and masked to clear the
+   sign bit so [mod] gives a non-negative shard id. *)
+let fnv1a s =
+  let h = ref (-3750763034362895579) (* 0xcbf29ce484222325 as int64 *) in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 1099511628211)
+    s;
+  !h land max_int
+
+let shard_of ~shards key =
+  if shards < 1 then invalid_arg "Partition.shard_of: shards must be >= 1";
+  fnv1a key mod shards
+
+type resolved = { shards : int; reason : string option }
+
+let resolve ?(extractor = by_event_key) ~shards (_plan : Fw_plan.Plan.t) =
+  if shards < 1 then invalid_arg "Partition.resolve: shards must be >= 1";
+  (* Every current plan operator keeps strictly per-key state (see the
+     .mli's argument), so the only structural obstacle to key
+     partitioning today is the absence of a key.  The plan parameter is
+     threaded through so that a future cross-key operator degrades here
+     instead of sharding unsoundly. *)
+  match extractor with
+  | Keyless reason -> { shards = 1; reason = Some reason }
+  | Keyed _ -> { shards; reason = None }

@@ -1,0 +1,59 @@
+(** Key → shard assignment for the multicore runner.
+
+    Sharding this engine by the event key is {e semantics-preserving}:
+    every stateful cell in every execution path is already per-key —
+    naive pending instances are keyed [(hi, lo, key)], the incremental
+    pane holds per-key partials feeding per-key sliding queues, filters
+    are per-event, and sub-aggregate rows flowing between windows carry
+    their key — so two events with different keys never meet in any
+    state.  Routing each key to a fixed shard therefore partitions the
+    computation exactly; the per-key state evolution (float rounding
+    included) is identical to a single-shard run's, which is what lets
+    {!Merge} promise byte-identical output.
+
+    The assignment hashes the partition key with FNV-1a (64-bit) and
+    reduces it modulo the shard count.  FNV-1a is a pure function of
+    the bytes, so the placement is stable across runs, processes and
+    architectures — a replayed stream lands every event on the same
+    shard, and the qcheck suite pins this.
+
+    The key {e extractor} is pluggable: the default reads the event's
+    key field, but a stream whose key is not the grouping dimension can
+    supply its own.  A {!Keyless} extractor declares that no partition
+    key exists; {!resolve} then degrades the plan to one shard and
+    surfaces the reason, mirroring the incremental engine's per-node
+    fallback pattern (run correctly, report why it could not go
+    parallel). *)
+
+type extractor =
+  | Keyed of (Fw_engine.Event.t -> string)
+  | Keyless of string
+      (** No partition key; the payload names the reason surfaced by
+          {!resolve} (e.g. ["keyless-stream"]). *)
+
+val by_event_key : extractor
+(** The default: partition on {!Fw_engine.Event.t}'s [key] field — the
+    grouping key of every aggregate in this engine. *)
+
+val fnv1a : string -> int
+(** 64-bit FNV-1a of the bytes, truncated to OCaml's int (the sign bit
+    is cleared so callers can [mod] it directly). *)
+
+val shard_of : shards:int -> string -> int
+(** [shard_of ~shards key] in [\[0, shards)].  Pure: depends only on
+    the bytes and the count.  Raises [Invalid_argument] if
+    [shards < 1]. *)
+
+type resolved = {
+  shards : int;  (** the shard count actually used *)
+  reason : string option;
+      (** why the request was degraded to one shard, if it was *)
+}
+
+val resolve : ?extractor:extractor -> shards:int -> Fw_plan.Plan.t -> resolved
+(** Decide the effective shard count for a plan: a {!Keyless} extractor
+    degrades to [{ shards = 1; reason = Some _ }]; a request for one
+    shard stays one shard (no reason — nothing was lost).  The plan
+    argument keeps the decision honest as the plan language grows: any
+    future operator whose state crosses keys must degrade here rather
+    than shard unsoundly.  Raises [Invalid_argument] if [shards < 1]. *)

@@ -1,0 +1,190 @@
+type t = {
+  resolved : Partition.resolved;
+  route : Fw_engine.Event.t -> int;
+  queues : Worker.msg Spsc.t array;
+  workers : Worker.handle array;
+  bufs : Fw_engine.Event.t list array;  (* newest first *)
+  buf_lens : int array;
+  batch : int;
+  metrics : Fw_engine.Metrics.t;
+  mutable wm : int;
+  mutable closed : bool;
+}
+
+type stats = {
+  shards : int;
+  degraded : string option;
+  rows_per_shard : int array;
+  queue_peaks : int array;
+  backpressure_waits : int array;
+}
+
+type result = {
+  rows : Fw_engine.Row.t list;
+  metrics : Fw_engine.Metrics.t;
+  stats : stats;
+}
+
+let create ?metrics ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true)
+    ?(extractor = Partition.by_event_key) ?(capacity = 64) ?(batch = 64)
+    ~shards plan =
+  if batch < 1 then invalid_arg "Runner.create: batch must be >= 1";
+  let metrics =
+    match metrics with Some m -> m | None -> Fw_engine.Metrics.create ()
+  in
+  let resolved = Partition.resolve ~extractor ~shards plan in
+  let n = resolved.Partition.shards in
+  let route =
+    match (resolved.Partition.reason, extractor) with
+    | Some _, _ | _, Partition.Keyless _ -> fun _ -> 0
+    | None, Partition.Keyed extract ->
+        if n = 1 then fun _ -> 0
+        else fun e -> Partition.shard_of ~shards:n (extract e)
+  in
+  (match resolved.Partition.reason with
+  | None -> ()
+  | Some reason ->
+      (* Mirror the incremental engine's fallback pattern: degrade
+         loudly, through the registry. *)
+      Fw_obs.Counter.inc
+        (Fw_obs.Registry.counter
+           (Fw_engine.Metrics.registry metrics)
+           ~labels:[ ("reason", reason) ]
+           ~help:"Sharding requests degraded to a single shard"
+           "shard_degraded_total"));
+  let queues = Array.init n (fun _ -> Spsc.create ~capacity) in
+  let workers =
+    Array.map (fun q -> Worker.spawn ~mode ~observe plan q) queues
+  in
+  {
+    resolved;
+    route;
+    queues;
+    workers;
+    bufs = Array.make n [];
+    buf_lens = Array.make n 0;
+    batch;
+    metrics;
+    wm = min_int;
+    closed = false;
+  }
+
+let shards t = t.resolved.Partition.shards
+let degraded t = t.resolved.Partition.reason
+
+let check_open t what =
+  if t.closed then invalid_arg (Printf.sprintf "Runner.%s: runner is closed" what)
+
+let flush_shard t i =
+  if t.buf_lens.(i) > 0 then begin
+    let evs = Array.of_list (List.rev t.bufs.(i)) in
+    t.bufs.(i) <- [];
+    t.buf_lens.(i) <- 0;
+    Spsc.push t.queues.(i) (Worker.Events evs)
+  end
+
+let flush_all t =
+  for i = 0 to Array.length t.queues - 1 do
+    flush_shard t i
+  done
+
+let feed t ev =
+  check_open t "feed";
+  if ev.Fw_engine.Event.time < t.wm then
+    raise (Fw_engine.Stream_exec.Late_event ev);
+  t.wm <- ev.Fw_engine.Event.time;
+  let i = t.route ev in
+  t.bufs.(i) <- ev :: t.bufs.(i);
+  t.buf_lens.(i) <- t.buf_lens.(i) + 1;
+  if t.buf_lens.(i) >= t.batch then flush_shard t i
+
+let advance t wm =
+  check_open t "advance";
+  (* Batches still buffered hold events older than the punctuation:
+     deliver them first so each shard's stream stays in time order. *)
+  flush_all t;
+  if wm > t.wm then t.wm <- wm;
+  Array.iter (fun q -> Spsc.push q (Worker.Advance wm)) t.queues
+
+let publish (t : t) ~rows_per_shard =
+  let reg = Fw_engine.Metrics.registry t.metrics in
+  Array.iteri
+    (fun i q ->
+      let labels = [ ("shard", string_of_int i) ] in
+      Fw_obs.Gauge.set
+        (Fw_obs.Registry.gauge reg ~labels
+           ~help:"Peak occupancy of the shard's SPSC ring" "shard_queue_depth")
+        (float_of_int (Spsc.peak_depth q));
+      Fw_obs.Counter.add
+        (Fw_obs.Registry.counter reg ~labels
+           ~help:"Feeder stalls on a full shard ring (backpressure)"
+           "shard_backpressure_waits_total")
+        (Spsc.push_waits q);
+      Fw_obs.Counter.add
+        (Fw_obs.Registry.counter reg ~labels
+           ~help:"Result rows produced by the shard" "shard_rows_total")
+        rows_per_shard.(i))
+    t.queues;
+  let n = Array.length rows_per_shard in
+  let total = Array.fold_left ( + ) 0 rows_per_shard in
+  let imbalance =
+    if total = 0 then 1.0
+    else
+      let mean = float_of_int total /. float_of_int n in
+      float_of_int (Array.fold_left max 0 rows_per_shard) /. mean
+  in
+  Fw_obs.Gauge.set
+    (Fw_obs.Registry.gauge reg
+       ~help:"Max/mean result rows per shard (1.0 = perfectly balanced)"
+       "shard_imbalance_ratio")
+    imbalance
+
+let close t ~horizon =
+  check_open t "close";
+  flush_all t;
+  Array.iter (fun q -> Spsc.push q (Worker.Close horizon)) t.queues;
+  t.closed <- true;
+  let outcomes = Array.map Worker.join t.workers in
+  (* Every domain is joined before any error propagates. *)
+  Array.iter
+    (function Error e -> raise e | Ok _ -> ())
+    outcomes;
+  let shard_rows =
+    Array.map (function Ok (rows, _) -> rows | Error _ -> assert false) outcomes
+  in
+  Array.iter
+    (function
+      | Ok (_, m) -> Fw_engine.Metrics.merge_into ~into:t.metrics m
+      | Error _ -> assert false)
+    outcomes;
+  let rows_per_shard = Array.map List.length shard_rows in
+  publish t ~rows_per_shard;
+  {
+    rows = Merge.rows (Array.to_list shard_rows);
+    metrics = t.metrics;
+    stats =
+      {
+        shards = Array.length t.workers;
+        degraded = t.resolved.Partition.reason;
+        rows_per_shard;
+        queue_peaks = Array.map Spsc.peak_depth t.queues;
+        backpressure_waits = Array.map Spsc.push_waits t.queues;
+      };
+  }
+
+let run ?metrics ?mode ?observe ?extractor ?capacity ?batch ~shards plan
+    ~horizon events =
+  let t =
+    create ?metrics ?mode ?observe ?extractor ?capacity ?batch ~shards plan
+  in
+  (match
+     List.iter
+       (fun ev -> if ev.Fw_engine.Event.time < horizon then feed t ev)
+       (Fw_engine.Event.sort events)
+   with
+  | () -> ()
+  | exception e ->
+      (* Unblock and reap the workers before re-raising. *)
+      (try ignore (close t ~horizon) with _ -> ());
+      raise e);
+  close t ~horizon

@@ -1,0 +1,102 @@
+(** Sharded execution driver: spawn, feed, drain.
+
+    A runner looks like a {!Fw_engine.Stream_exec} from the outside —
+    [feed] events in order, [advance] punctuations, [close] at a
+    horizon — but behind it sit N worker domains, each running a full
+    executor replica over the slice of keys {!Partition} routes to it.
+    Events are batched per shard and pushed through bounded {!Spsc}
+    rings (so a slow shard backpressures the feeder instead of buffering
+    unboundedly); punctuations are {e broadcast} to every shard, because
+    a watermark is a property of the whole stream — a shard that happens
+    to receive no events near the horizon must still learn that time has
+    passed so its pending instances fire.  Pending batches are always
+    flushed to a shard {e before} a punctuation is sent to it, keeping
+    each per-shard message stream in event-time order.
+
+    [close] flushes, broadcasts {!Worker.Close}, joins every domain,
+    k-way merges the per-shard rows ({!Merge.rows} — byte-identical to a
+    single-shard run), and folds the per-shard metrics into one
+    {!Fw_engine.Metrics.t} via [merge_into], so cost-model accounting
+    (ingested events, per-window processed items) reconciles exactly
+    with a single-shard run.  The combined registry additionally
+    carries the sharding-specific series
+    [shard_queue_depth{shard}] (peak ring occupancy),
+    [shard_backpressure_waits_total{shard}] (feeder stalls),
+    [shard_rows_total{shard}] and [shard_imbalance_ratio]
+    (max/mean rows per shard), and — when the plan degraded to one
+    shard — [shard_degraded_total{reason}], all flowing through the
+    existing JSON / Prometheus exporters unchanged.
+
+    Ordering contract: input must arrive in event-time order, exactly
+    as for the single-shard executor; a regressing event raises
+    {!Fw_engine.Stream_exec.Late_event} at the runner boundary. *)
+
+type t
+
+(** Per-shard plumbing statistics, reported once at {!close}. *)
+type stats = {
+  shards : int;  (** worker domains actually run *)
+  degraded : string option;
+      (** reason the request was degraded to one shard, if it was *)
+  rows_per_shard : int array;
+  queue_peaks : int array;  (** {!Spsc.peak_depth} per ring *)
+  backpressure_waits : int array;  (** {!Spsc.push_waits} per ring *)
+}
+
+type result = {
+  rows : Fw_engine.Row.t list;  (** merged, sorted — single-shard identical *)
+  metrics : Fw_engine.Metrics.t;  (** per-shard metrics folded together *)
+  stats : stats;
+}
+
+val create :
+  ?metrics:Fw_engine.Metrics.t ->
+  ?mode:Fw_engine.Stream_exec.mode ->
+  ?observe:bool ->
+  ?extractor:Partition.extractor ->
+  ?capacity:int ->
+  ?batch:int ->
+  shards:int ->
+  Fw_plan.Plan.t ->
+  t
+(** Resolve the partition ({!Partition.resolve}) and spawn one worker
+    domain per effective shard.  [metrics] is the registry the combined
+    accounting lands in at [close] (default: a fresh one); [capacity]
+    is each ring's bound in {e messages} (default 64); [batch] the
+    events per {!Worker.Events} message (default 64).  Raises
+    [Invalid_argument] if [shards < 1], [capacity < 1] or [batch < 1],
+    or if the plan fails validation. *)
+
+val shards : t -> int
+(** Effective shard count (1 when degraded). *)
+
+val degraded : t -> string option
+
+val feed : t -> Fw_engine.Event.t -> unit
+(** Route one event to its shard's batch.  Raises
+    {!Fw_engine.Stream_exec.Late_event} if the event is older than the
+    watermark, [Invalid_argument] after [close]. *)
+
+val advance : t -> int -> unit
+(** Broadcast a punctuation (flushing pending batches first). *)
+
+val close : t -> horizon:int -> result
+(** Flush, broadcast [Close horizon], join all workers, merge rows and
+    metrics, publish the per-shard series.  If a worker died, joins the
+    rest and re-raises the first worker's exception.  The runner must
+    not be used afterwards. *)
+
+val run :
+  ?metrics:Fw_engine.Metrics.t ->
+  ?mode:Fw_engine.Stream_exec.mode ->
+  ?observe:bool ->
+  ?extractor:Partition.extractor ->
+  ?capacity:int ->
+  ?batch:int ->
+  shards:int ->
+  Fw_plan.Plan.t ->
+  horizon:int ->
+  Fw_engine.Event.t list ->
+  result
+(** Convenience mirroring {!Fw_engine.Stream_exec.run}: create, feed
+    every (sorted) event with [time < horizon], close. *)

@@ -1,0 +1,67 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* next pop position *)
+  mutable tail : int;  (* next push position *)
+  mutable len : int;
+  mu : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  mutable push_waits : int;
+  mutable pop_waits : int;
+  mutable peak : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    tail = 0;
+    len = 0;
+    mu = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    push_waits = 0;
+    pop_waits = 0;
+    peak = 0;
+  }
+
+let capacity t = Array.length t.buf
+
+let push t x =
+  Mutex.protect t.mu (fun () ->
+      if t.len = Array.length t.buf then begin
+        t.push_waits <- t.push_waits + 1;
+        while t.len = Array.length t.buf do
+          Condition.wait t.not_full t.mu
+        done
+      end;
+      t.buf.(t.tail) <- Some x;
+      t.tail <- (t.tail + 1) mod Array.length t.buf;
+      t.len <- t.len + 1;
+      if t.len > t.peak then t.peak <- t.len;
+      Condition.signal t.not_empty)
+
+let pop t =
+  Mutex.protect t.mu (fun () ->
+      if t.len = 0 then begin
+        t.pop_waits <- t.pop_waits + 1;
+        while t.len = 0 do
+          Condition.wait t.not_empty t.mu
+        done
+      end;
+      let x =
+        match t.buf.(t.head) with
+        | Some x -> x
+        | None -> assert false (* len > 0 guarantees an occupied slot *)
+      in
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.buf;
+      t.len <- t.len - 1;
+      Condition.signal t.not_full;
+      x)
+
+let length t = Mutex.protect t.mu (fun () -> t.len)
+let push_waits t = Mutex.protect t.mu (fun () -> t.push_waits)
+let pop_waits t = Mutex.protect t.mu (fun () -> t.pop_waits)
+let peak_depth t = Mutex.protect t.mu (fun () -> t.peak)

@@ -1,0 +1,40 @@
+(** Bounded single-producer / single-consumer queue.
+
+    The channel between the feeding domain and one shard worker: a
+    fixed-capacity ring guarded by a stdlib [Mutex] with two
+    [Condition]s (not-full / not-empty).  {!push} blocks when the ring
+    is full — that is the backpressure that keeps a slow shard from
+    letting the producer run arbitrarily far ahead — and every such
+    stall is counted, so the runner can publish
+    [shard_backpressure_waits_total{shard}] per queue.
+
+    Single producer, single consumer is a {e contract}, not an enforced
+    property: the runner owns the producing side, the worker domain the
+    consuming side.  The counters ({!push_waits}, {!pop_waits},
+    {!peak_depth}) are written under the same mutex as the ring, so
+    they are exact, and reading them concurrently is safe. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue, blocking while the ring is full. *)
+
+val pop : 'a t -> 'a
+(** Dequeue, blocking while the ring is empty. *)
+
+val length : 'a t -> int
+(** Messages currently queued. *)
+
+val capacity : 'a t -> int
+
+val push_waits : 'a t -> int
+(** Times the producer blocked on a full ring (backpressure stalls). *)
+
+val pop_waits : 'a t -> int
+(** Times the consumer blocked on an empty ring (idle stalls). *)
+
+val peak_depth : 'a t -> int
+(** High-water mark of {!length} over the queue's lifetime. *)

@@ -1,0 +1,37 @@
+type msg =
+  | Events of Fw_engine.Event.t array
+  | Advance of int
+  | Close of int
+
+type outcome = (Fw_engine.Row.t list * Fw_engine.Metrics.t, exn) result
+
+type handle = outcome Domain.t
+
+let serve ~mode ~observe plan q : outcome =
+  let metrics = Fw_engine.Metrics.create () in
+  match
+    let exec = Fw_engine.Stream_exec.create ~metrics ~mode ~observe plan in
+    let rec loop () =
+      match Spsc.pop q with
+      | Events evs ->
+          Array.iter (Fw_engine.Stream_exec.feed exec) evs;
+          loop ()
+      | Advance wm ->
+          Fw_engine.Stream_exec.advance exec wm;
+          loop ()
+      | Close horizon -> Fw_engine.Stream_exec.close exec ~horizon
+    in
+    loop ()
+  with
+  | rows -> Ok (rows, metrics)
+  | exception e ->
+      (* Keep consuming until the producer's Close: a dead consumer on a
+         full ring would deadlock the feeding domain. *)
+      let rec drain () = match Spsc.pop q with Close _ -> () | _ -> drain () in
+      drain ();
+      Error e
+
+let spawn ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true) plan q =
+  Domain.spawn (fun () -> serve ~mode ~observe plan q)
+
+let join = Domain.join

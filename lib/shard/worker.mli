@@ -1,0 +1,41 @@
+(** One shard = one [Domain] running a full {!Fw_engine.Stream_exec}
+    replica.
+
+    The worker owns every piece of mutable state it touches: it creates
+    its own {!Fw_engine.Metrics.t} {e inside} the spawned domain (so no
+    metric cell is ever written from two domains — the single-writer
+    contract of {!Fw_obs}), builds its executor from the shared
+    (immutable) plan, and then serves its {!Spsc} queue until a
+    {!Close} arrives.  {!join} hands back the shard's sorted rows and
+    its metrics, which the runner folds together with
+    {!Fw_engine.Metrics.merge_into}.
+
+    If the executor raises mid-stream, the worker keeps draining its
+    queue until the [Close] message — otherwise the producer could
+    block forever on a full ring — and {!join} returns the exception
+    instead of a result. *)
+
+type msg =
+  | Events of Fw_engine.Event.t array
+      (** A batch of events for this shard, in event-time order. *)
+  | Advance of int
+      (** A broadcast punctuation: advance the watermark. *)
+  | Close of int
+      (** Close the executor at this horizon and terminate. *)
+
+type handle
+
+val spawn :
+  ?mode:Fw_engine.Stream_exec.mode ->
+  ?observe:bool ->
+  Fw_plan.Plan.t ->
+  msg Spsc.t ->
+  handle
+(** Spawn the shard domain.  [mode] and [observe] default as in
+    {!Fw_engine.Stream_exec.create}. *)
+
+val join : handle -> (Fw_engine.Row.t list * Fw_engine.Metrics.t, exn) result
+(** Block until the worker terminates.  [Ok (rows, metrics)] carries
+    the shard's {!Fw_engine.Stream_exec.close} result (sorted) and the
+    metrics of its private registry — safe to read and merge, the
+    writer domain is gone. *)

@@ -1,22 +1,63 @@
 module Prng = Fw_util.Prng
 module Event = Fw_engine.Event
 
-type config = { keys : string list; value_min : float; value_max : float }
+type key_dist = Uniform | Zipf of float
+
+type config = {
+  keys : string list;
+  value_min : float;
+  value_max : float;
+  key_dist : key_dist;
+}
 
 let default_config =
   {
     keys = [ "device-1"; "device-2"; "device-3"; "device-4" ];
     value_min = 0.0;
     value_max = 100.0;
+    key_dist = Uniform;
   }
+
+let key_pool n =
+  if n < 1 then invalid_arg "Event_gen.key_pool: need at least one key";
+  List.init n (fun i -> Printf.sprintf "device-%03d" (i + 1))
 
 let check config =
   if config.keys = [] then invalid_arg "Event_gen: no keys";
   if config.value_max < config.value_min then
-    invalid_arg "Event_gen: empty value range"
+    invalid_arg "Event_gen: empty value range";
+  match config.key_dist with
+  | Uniform -> ()
+  | Zipf s ->
+      if s < 0.0 || not (Float.is_finite s) then
+        invalid_arg "Event_gen: Zipf exponent must be finite and >= 0"
 
-let one prng config ~time =
-  let key = Prng.choose prng config.keys in
+(* Key sampler, built once per stream: uniform draws straight from the
+   list; Zipf(s) weights the i-th key (1-based) by 1/i^s and inverts
+   the cumulative distribution with a linear scan — key pools are small
+   enough that a binary search would not pay for itself.  Zipf 0 is
+   uniform by construction. *)
+let key_sampler config =
+  match config.key_dist with
+  | Uniform -> fun prng -> Prng.choose prng config.keys
+  | Zipf s ->
+      let keys = Array.of_list config.keys in
+      let n = Array.length keys in
+      let cdf = Array.make n 0.0 in
+      let total = ref 0.0 in
+      for i = 0 to n - 1 do
+        total := !total +. (1.0 /. (float_of_int (i + 1) ** s));
+        cdf.(i) <- !total
+      done;
+      fun prng ->
+        let u = Prng.float prng !total in
+        let rec scan i =
+          if i >= n - 1 || u < cdf.(i) then keys.(i) else scan (i + 1)
+        in
+        scan 0
+
+let event_at sample_key prng config ~time =
+  let key = sample_key prng in
   let value =
     config.value_min
     +. Prng.float prng (config.value_max -. config.value_min)
@@ -26,9 +67,11 @@ let one prng config ~time =
 let with_rate prng config ~rate_at ~horizon =
   check config;
   if horizon < 0 then invalid_arg "Event_gen: negative horizon";
+  let sample_key = key_sampler config in
   List.concat
     (List.init horizon (fun time ->
-         List.init (rate_at time) (fun _ -> one prng config ~time)))
+         List.init (rate_at time) (fun _ ->
+             event_at sample_key prng config ~time)))
 
 let steady prng config ~eta ~horizon =
   if eta < 1 then invalid_arg "Event_gen.steady: eta must be >= 1";

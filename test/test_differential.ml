@@ -97,6 +97,7 @@ let fixed_scenario agg windows events ~eta ~horizon =
     events = Event.sort events;
     shape = Scenario.Random_shape;
     tumbling = List.for_all Window.is_tumbling windows;
+    shards = 4;
   }
 
 let test_differential_example6 () =
@@ -124,7 +125,7 @@ let test_differential_median_and_hopping () =
   check_int "hopping invariants" 0 (List.length (Invariants.check sc))
 
 let test_path_roster () =
-  check_int "eleven paths" 11 (List.length Paths.all);
+  check_int "twelve paths" 12 (List.length Paths.all);
   check_bool "incremental path listed" true
     (List.mem Paths.Incremental_stream Paths.all);
   check_string "incremental path name" "incremental-stream"
@@ -134,7 +135,11 @@ let test_path_roster () =
     && List.mem (Paths.Crash_restart Fw_engine.Stream_exec.Incremental)
          Paths.all);
   check_string "crash path name" "crash-restart-incremental"
-    (Paths.name (Paths.Crash_restart Fw_engine.Stream_exec.Incremental))
+    (Paths.name (Paths.Crash_restart Fw_engine.Stream_exec.Incremental));
+  check_bool "sharded path listed" true
+    (List.mem Paths.Sharded_stream Paths.all);
+  check_string "sharded path name" "sharded-stream"
+    (Paths.name Paths.Sharded_stream)
 
 let test_incremental_path_applicability () =
   (* The incremental engine falls back per node, so it applies to every
@@ -287,7 +292,7 @@ let suite =
     Alcotest.test_case "differential median + hopping" `Quick
       test_differential_median_and_hopping;
     Alcotest.test_case "non-aligned path gating" `Quick test_non_aligned_paths;
-    Alcotest.test_case "path roster (11 paths)" `Quick test_path_roster;
+    Alcotest.test_case "path roster (12 paths)" `Quick test_path_roster;
     Alcotest.test_case "incremental path applicability" `Quick
       test_incremental_path_applicability;
     Alcotest.test_case "paths subset restricts" `Quick

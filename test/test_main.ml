@@ -26,4 +26,5 @@ let () =
       ("tools", Test_tools.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("snap", Test_snap.suite);
+      ("shard", Test_shard.suite);
     ]

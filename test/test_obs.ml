@@ -181,6 +181,44 @@ let test_registry_entries_sorted () =
     ]
     names
 
+(* --- domain safety ------------------------------------------------- *)
+
+(* Two domains intern and bump overlapping metrics in ONE shared
+   registry — the sharded runner does exactly this when per-shard
+   series land in the merged registry.  Without the registry mutex the
+   intern table corrupts or increments vanish. *)
+let test_registry_two_domain_stress () =
+  let r = Registry.create () in
+  let rounds = 2_000 and cells = 50 in
+  let hammer () =
+    for i = 0 to rounds - 1 do
+      let labels = [ ("cell", string_of_int (i mod cells)) ] in
+      Counter.inc (Registry.counter r ~labels "stress_total");
+      Gauge.set (Registry.gauge r ~labels "stress_depth")
+        (float_of_int (i mod cells));
+      Histogram.record (Registry.histogram r "stress_lat_ns") i
+    done
+  in
+  let d1 = Domain.spawn hammer and d2 = Domain.spawn hammer in
+  Domain.join d1;
+  Domain.join d2;
+  let total = ref 0 in
+  for c = 0 to cells - 1 do
+    match
+      Registry.counter_value r
+        ~labels:[ ("cell", string_of_int c) ]
+        "stress_total"
+    with
+    | Some v -> total := !total + v
+    | None -> Alcotest.failf "cell %d missing" c
+  done;
+  check_int "no lost increments" (2 * rounds) !total;
+  check_int "histogram saw every record" (2 * rounds)
+    (Histogram.count (Registry.histogram r "stress_lat_ns"));
+  check_int "each series interned once"
+    ((2 * cells) + 1)
+    (List.length (Registry.entries r))
+
 (* --- exporters ----------------------------------------------------- *)
 
 let contains ~needle hay =
@@ -318,6 +356,8 @@ let suite =
       test_registry_type_conflict;
     Alcotest.test_case "registry: entries sorted" `Quick
       test_registry_entries_sorted;
+    Alcotest.test_case "registry: 2-domain stress" `Quick
+      test_registry_two_domain_stress;
     Alcotest.test_case "export: json" `Quick test_export_json;
     Alcotest.test_case "export: prometheus" `Quick test_export_prometheus;
     Alcotest.test_case "trace: ring buffer" `Quick test_trace_ring;

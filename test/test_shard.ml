@@ -1,0 +1,319 @@
+(* Fw_shard: partition stability, SPSC ring semantics under two
+   domains, k-way merge determinism, runner degrade, and the central
+   promise — sharded execution byte-identical to single-shard with
+   exactly reconciling cost-model counters. *)
+
+open Helpers
+open Fw_window
+module Partition = Fw_shard.Partition
+module Spsc = Fw_shard.Spsc
+module Worker = Fw_shard.Worker
+module Merge = Fw_shard.Merge
+module Runner = Fw_shard.Runner
+module Stream_exec = Fw_engine.Stream_exec
+module Metrics = Fw_engine.Metrics
+module Event = Fw_engine.Event
+module Row = Fw_engine.Row
+module Plan = Fw_plan.Plan
+module Event_gen = Fw_workload.Event_gen
+module Set_gen = Fw_workload.Set_gen
+module Aggregate = Fw_agg.Aggregate
+module Prng = Fw_util.Prng
+
+(* --- partition ----------------------------------------------------- *)
+
+(* FNV-1a is a pure function of the bytes; pinning concrete values pins
+   the placement across runs, processes and future refactors (a changed
+   constant would silently re-shard every replayed stream). *)
+let test_fnv1a_golden () =
+  Alcotest.(check int) "empty" 860922984064492325 (Partition.fnv1a "");
+  Alcotest.(check int) "a" 3414815163700866188 (Partition.fnv1a "a");
+  Alcotest.(check int) "device-001" 2776541379012912065
+    (Partition.fnv1a "device-001");
+  Alcotest.(check int) "device-042" 2772606226896301796
+    (Partition.fnv1a "device-042")
+
+let gen_key =
+  QCheck2.Gen.(
+    oneof
+      [
+        string_size ~gen:printable (int_range 0 24);
+        (let* n = int_range 1 999 in
+         return (Printf.sprintf "device-%03d" n));
+      ])
+
+let prop_shard_in_range (key, shards) =
+  let s = Partition.shard_of ~shards key in
+  s >= 0 && s < shards && s = Partition.shard_of ~shards key
+
+let test_partition_keyless_degrades () =
+  let plan = Plan.naive Aggregate.Sum example6_windows in
+  let r =
+    Partition.resolve ~extractor:(Partition.Keyless "no-partition-key")
+      ~shards:8 plan
+  in
+  check_int "one shard" 1 r.Partition.shards;
+  Alcotest.(check (option string))
+    "reason surfaced"
+    (Some "no-partition-key") r.Partition.reason;
+  let r = Partition.resolve ~shards:8 plan in
+  check_int "keyed keeps request" 8 r.Partition.shards;
+  Alcotest.(check (option string)) "no reason" None r.Partition.reason
+
+(* --- spsc ---------------------------------------------------------- *)
+
+(* One producer domain, one consumer domain, a ring far smaller than
+   the stream: every element must come out exactly once in push order,
+   and the producer must have hit the full ring (backpressure). *)
+let test_spsc_two_domain_order () =
+  let n = 10_000 in
+  let q = Spsc.create ~capacity:2 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Spsc.push q i
+        done)
+  in
+  (* give the producer time to fill the tiny ring and block *)
+  Unix.sleepf 0.02;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Spsc.pop q <> i then ok := false
+  done;
+  Domain.join producer;
+  check_bool "fifo order" true !ok;
+  check_int "drained" 0 (Spsc.length q);
+  check_bool "producer saw backpressure" true (Spsc.push_waits q > 0);
+  check_bool "peak bounded by capacity" true (Spsc.peak_depth q <= 2)
+
+let test_spsc_validation () =
+  match Spsc.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 rejected"
+
+(* --- worker -------------------------------------------------------- *)
+
+(* A worker whose executor dies mid-stream must keep draining its queue
+   until Close (otherwise the producer deadlocks on a full ring) and
+   report the exception through join. *)
+let test_worker_error_drains () =
+  let plan = Plan.naive Aggregate.Sum example6_windows in
+  let q = Spsc.create ~capacity:1 in
+  let h = Worker.spawn plan q in
+  Spsc.push q (Worker.Events [| Event.make ~time:5 ~key:"k" ~value:1.0 |]);
+  Spsc.push q (Worker.Advance 10);
+  (* late event: the executor raises inside the worker domain *)
+  Spsc.push q (Worker.Events [| Event.make ~time:1 ~key:"k" ~value:1.0 |]);
+  (* these would deadlock a dead consumer on a capacity-1 ring *)
+  for t = 11 to 30 do
+    Spsc.push q (Worker.Events [| Event.make ~time:t ~key:"k" ~value:1.0 |])
+  done;
+  Spsc.push q (Worker.Close 40);
+  match Worker.join h with
+  | Error (Stream_exec.Late_event _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "late event should surface as an error"
+
+(* --- merge --------------------------------------------------------- *)
+
+let gen_rows_and_split =
+  QCheck2.Gen.(
+    let* n = int_range 0 60 in
+    let* k = int_range 1 6 in
+    let* cells =
+      list_repeat n (pair (int_range 0 40) (int_range 0 (k - 1)))
+    in
+    return (k, cells))
+
+(* Any order-preserving split of a sorted row list merges back to the
+   original — the exact claim the runner relies on at close. *)
+let prop_merge_reproduces_unsplit (k, cells) =
+  let rows =
+    Row.sort
+      (List.mapi
+         (fun i (lo, _) ->
+           {
+             Row.window = w ~r:10 ~s:2;
+             interval = Interval.make ~lo ~hi:(lo + 10);
+             key = Printf.sprintf "k%d" (i mod 5);
+             value = float_of_int (i * 3 mod 17);
+           })
+         cells)
+  in
+  let buckets = Array.make k [] in
+  List.iteri
+    (fun i row ->
+      let _, b = List.nth cells i in
+      buckets.(b) <- row :: buckets.(b))
+    (List.rev rows);
+  Merge.rows (Array.to_list (Array.map (fun l -> Row.sort l) buckets)) = rows
+
+(* --- runner -------------------------------------------------------- *)
+
+let fig11_style_windows =
+  (* a Figure-11-style random general set from the paper's own
+     generator (Algorithm 5) *)
+  Set_gen.random (Prng.create 1101) Set_gen.default_config ~n:5
+
+let key_heavy_events ~horizon =
+  Event_gen.steady (Prng.create 7)
+    {
+      Event_gen.default_config with
+      Event_gen.keys = Event_gen.key_pool 32;
+    }
+    ~eta:3 ~horizon
+
+let per_window_strings m =
+  List.map
+    (fun (win, n) -> Printf.sprintf "%s=%d" (Window.to_string win) n)
+    (Metrics.per_window m)
+
+(* The acceptance property, as an alcotest: for a Figure-11-style
+   window set, the sharded run's rows are byte-identical to the
+   single-shard run's and the merged cost-model counters sum to exactly
+   the single-shard values — in both engine modes. *)
+let test_sharded_matches_single () =
+  let horizon = 120 in
+  let events = key_heavy_events ~horizon in
+  let plan = Plan.naive Aggregate.Sum fig11_style_windows in
+  List.iter
+    (fun (mode, name) ->
+      let m0 = Metrics.create () in
+      let rows0 = Stream_exec.run ~metrics:m0 ~mode plan ~horizon events in
+      List.iter
+        (fun shards ->
+          let r = Runner.run ~mode ~shards plan ~horizon events in
+          check_bool
+            (Printf.sprintf "%s rows byte-identical at %d shards" name shards)
+            true
+            (r.Runner.rows = rows0);
+          check_int
+            (Printf.sprintf "%s ingest reconciles at %d shards" name shards)
+            (Metrics.ingested m0)
+            (Metrics.ingested r.Runner.metrics);
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s per-window counters reconcile at %d shards"
+               name shards)
+            (per_window_strings m0)
+            (per_window_strings r.Runner.metrics))
+        [ 2; 4; 8 ])
+    [ (Stream_exec.Naive, "naive"); (Stream_exec.Incremental, "incremental") ]
+
+let test_runner_publishes_shard_series () =
+  let horizon = 60 in
+  let events = key_heavy_events ~horizon in
+  let plan = Plan.naive Aggregate.Sum example6_windows in
+  let r = Runner.run ~shards:3 plan ~horizon events in
+  let prom = Metrics.prometheus r.Runner.metrics in
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " exported") true
+        (Astring_contains.contains prom needle))
+    [
+      "shard_queue_depth";
+      "shard_backpressure_waits_total";
+      "shard_rows_total";
+      "shard_imbalance_ratio";
+      "shard=\"2\"";
+    ];
+  check_int "one row count per shard" 3
+    (Array.length r.Runner.stats.Runner.rows_per_shard);
+  check_int "rows split across shards"
+    (List.length r.Runner.rows)
+    (Array.fold_left ( + ) 0 r.Runner.stats.Runner.rows_per_shard)
+
+let test_runner_degrades_keyless () =
+  let horizon = 60 in
+  let events = key_heavy_events ~horizon in
+  let plan = Plan.naive Aggregate.Sum example6_windows in
+  let rows0 = Stream_exec.run plan ~horizon events in
+  let r =
+    Runner.run
+      ~extractor:(Partition.Keyless "keyless-stream")
+      ~shards:4 plan ~horizon events
+  in
+  check_int "degraded to one shard" 1 r.Runner.stats.Runner.shards;
+  Alcotest.(check (option string))
+    "reason surfaced" (Some "keyless-stream") r.Runner.stats.Runner.degraded;
+  check_bool "rows still correct" true (r.Runner.rows = rows0);
+  check_bool "degrade counted" true
+    (Astring_contains.contains
+       (Metrics.prometheus r.Runner.metrics)
+       "shard_degraded_total")
+
+let test_runner_rejects_late () =
+  let plan = Plan.naive Aggregate.Sum example6_windows in
+  let t = Runner.create ~shards:2 plan in
+  Runner.feed t (Event.make ~time:10 ~key:"a" ~value:1.0);
+  (match Runner.feed t (Event.make ~time:3 ~key:"b" ~value:1.0) with
+  | exception Stream_exec.Late_event _ -> ()
+  | () -> Alcotest.fail "late event accepted");
+  let r = Runner.close t ~horizon:20 in
+  check_bool "still closes cleanly" true (r.Runner.rows <> [])
+
+(* Explicit punctuations must fire instances on shards that never see
+   an event near the watermark (broadcast), and buffered batches must
+   be flushed before the punctuation (ordering). *)
+let test_runner_advance_broadcast () =
+  let plan = Plan.naive Aggregate.Sum [ w ~r:4 ~s:4 ] in
+  let t = Runner.create ~shards:4 ~batch:64 plan in
+  Runner.feed t (Event.make ~time:1 ~key:"only-one-shard" ~value:2.0);
+  Runner.advance t 4;
+  Runner.feed t (Event.make ~time:5 ~key:"only-one-shard" ~value:3.0);
+  let r = Runner.close t ~horizon:8 in
+  let direct =
+    Stream_exec.run plan ~horizon:8
+      [
+        Event.make ~time:1 ~key:"only-one-shard" ~value:2.0;
+        Event.make ~time:5 ~key:"only-one-shard" ~value:3.0;
+      ]
+  in
+  check_bool "rows match direct run" true (r.Runner.rows = direct)
+
+(* A short all-paths campaign with the sharded path forced on: the
+   differential harness itself is the strongest consumer of the
+   subsystem. *)
+let test_sharded_fuzz_campaign () =
+  for seed = 4200 to 4224 do
+    match
+      Fw_check.Harness.check_seed ~shard_prob:1.0
+        Fw_check.Scenario.default_gen seed
+    with
+    | Ok _ -> ()
+    | Error f ->
+        Alcotest.failf "seed %d failed: %s" seed
+          (Format.asprintf "%a" Fw_check.Harness.pp_failure f)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "fnv1a golden values" `Quick test_fnv1a_golden;
+    qtest ~count:500 "shard_of in range and deterministic"
+      QCheck2.Gen.(pair gen_key (int_range 1 16))
+      (fun (k, s) -> Printf.sprintf "(%S, %d)" k s)
+      prop_shard_in_range;
+    Alcotest.test_case "keyless resolve degrades" `Quick
+      test_partition_keyless_degrades;
+    Alcotest.test_case "spsc: 2-domain fifo + backpressure" `Quick
+      test_spsc_two_domain_order;
+    Alcotest.test_case "spsc: validation" `Quick test_spsc_validation;
+    Alcotest.test_case "worker: error drains queue" `Quick
+      test_worker_error_drains;
+    qtest ~count:300 "merge: any split reproduces unsplit order"
+      gen_rows_and_split
+      (fun (k, cells) ->
+        Printf.sprintf "k=%d n=%d" k (List.length cells))
+      prop_merge_reproduces_unsplit;
+    Alcotest.test_case "sharded = single-shard (rows + counters)" `Slow
+      test_sharded_matches_single;
+    Alcotest.test_case "runner publishes shard series" `Quick
+      test_runner_publishes_shard_series;
+    Alcotest.test_case "runner degrades keyless" `Quick
+      test_runner_degrades_keyless;
+    Alcotest.test_case "runner rejects late events" `Quick
+      test_runner_rejects_late;
+    Alcotest.test_case "advance broadcasts punctuations" `Quick
+      test_runner_advance_broadcast;
+    Alcotest.test_case "sharded fuzz campaign" `Slow
+      test_sharded_fuzz_campaign;
+  ]

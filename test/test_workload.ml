@@ -168,6 +168,70 @@ let test_event_gen_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "no keys rejected"
 
+let test_event_gen_key_pool () =
+  Alcotest.(check (list string))
+    "names" [ "device-001"; "device-002" ] (Event_gen.key_pool 2);
+  check_int "size" 64 (List.length (Event_gen.key_pool 64));
+  match Event_gen.key_pool 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty pool rejected"
+
+let key_counts events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = e.Event.key in
+      Hashtbl.replace tbl k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    events;
+  fun k -> Option.value ~default:0 (Hashtbl.find_opt tbl k)
+
+let test_event_gen_zipf_skews () =
+  let prng = Prng.create 14 in
+  let cfg =
+    {
+      Event_gen.default_config with
+      Event_gen.keys = Event_gen.key_pool 16;
+      key_dist = Event_gen.Zipf 1.2;
+    }
+  in
+  let events = Event_gen.steady prng cfg ~eta:8 ~horizon:500 in
+  let n = key_counts events in
+  let first = n "device-001" in
+  (* Zipf 1.2 over 16 keys gives the head key ~36% of the mass; demand
+     well above the 1/16 uniform share and a monotone head-vs-tail. *)
+  check_bool "head key dominates uniform share" true
+    (first * 16 > 2 * List.length events);
+  check_bool "head >= tail" true (first >= n "device-016");
+  check_bool "ordered" true (Event.is_time_ordered events)
+
+let test_event_gen_zipf_zero_uniform () =
+  let prng = Prng.create 15 in
+  let cfg =
+    { Event_gen.default_config with Event_gen.key_dist = Event_gen.Zipf 0.0 }
+  in
+  let events = Event_gen.steady prng cfg ~eta:4 ~horizon:1000 in
+  let n = key_counts events in
+  let expect = List.length events / 4 in
+  List.iter
+    (fun k ->
+      check_bool (k ^ " near uniform share") true
+        (n k > expect * 8 / 10 && n k < expect * 12 / 10))
+    cfg.Event_gen.keys
+
+let test_event_gen_zipf_validation () =
+  let bad s =
+    let cfg =
+      { Event_gen.default_config with Event_gen.key_dist = Event_gen.Zipf s }
+    in
+    match Event_gen.steady (Prng.create 1) cfg ~eta:1 ~horizon:5 with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "Zipf %f accepted" s
+  in
+  bad (-1.0);
+  bad Float.nan;
+  bad Float.infinity
+
 let prop_generated_sets_usable =
   qtest ~count:60 "generated sets always accepted by the optimizer"
     QCheck2.Gen.(int_range 0 5000)
@@ -198,5 +262,11 @@ let suite =
     Alcotest.test_case "event_gen varied" `Quick test_event_gen_varied;
     Alcotest.test_case "event_gen spiky" `Quick test_event_gen_spiky;
     Alcotest.test_case "event_gen validation" `Quick test_event_gen_validation;
+    Alcotest.test_case "event_gen key_pool" `Quick test_event_gen_key_pool;
+    Alcotest.test_case "event_gen zipf skews" `Quick test_event_gen_zipf_skews;
+    Alcotest.test_case "event_gen zipf 0 is uniform" `Quick
+      test_event_gen_zipf_zero_uniform;
+    Alcotest.test_case "event_gen zipf validation" `Quick
+      test_event_gen_zipf_validation;
     prop_generated_sets_usable;
   ]
