@@ -618,8 +618,30 @@ let engine_window_sets =
 let engine_aggregates =
   Aggregate.[ Sum; Min; Max; Avg; Stdev ]
 
+(* The columnar mirror of [Stream_exec.run]: sort, clip, chunk into
+   fixed-size batches, push through [feed_batch], close.  Same feed
+   order as the per-event path, so rows must be byte-identical. *)
+let engine_batch_size = 1024
+
+let run_batched ?mode plan ~batch ~horizon events =
+  let exec = Fw_engine.Stream_exec.create ?mode plan in
+  let b = Fw_engine.Batch.create () in
+  List.iter
+    (fun e ->
+      if e.Fw_engine.Event.time < horizon then begin
+        Fw_engine.Batch.push b e;
+        if Fw_engine.Batch.length b >= batch then begin
+          Fw_engine.Stream_exec.feed_batch exec b;
+          Fw_engine.Batch.reset b
+        end
+      end)
+    (Fw_engine.Event.sort events);
+  if not (Fw_engine.Batch.is_empty b) then
+    Fw_engine.Stream_exec.feed_batch exec b;
+  Fw_engine.Stream_exec.close exec ~horizon
+
 let section_engine () =
-  heading "Engine throughput: naive vs incremental (pane) execution";
+  heading "Engine throughput: naive vs incremental, per-event vs batched";
   let n_events = !engine_events in
   let eta = 4 in
   let horizon = max 1 (n_events / eta) in
@@ -629,9 +651,11 @@ let section_engine () =
       Event_gen.default_config ~eta ~horizon
   in
   let n_events = List.length events in
-  Printf.printf "%d events (eta=%d, horizon=%d ticks), %d window sets\n"
+  Printf.printf
+    "%d events (eta=%d, horizon=%d ticks), %d window sets, batch=%d\n"
     n_events eta horizon
-    (List.length engine_window_sets);
+    (List.length engine_window_sets)
+    engine_batch_size;
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -647,27 +671,47 @@ let section_engine () =
               time (fun () ->
                   Fw_engine.Stream_exec.run plan ~horizon events)
             in
+            let naive_brows, naive_bdt =
+              time (fun () ->
+                  run_batched plan ~batch:engine_batch_size ~horizon events)
+            in
             let inc_rows, inc_dt =
               time (fun () ->
                   Fw_engine.Stream_exec.run
                     ~mode:Fw_engine.Stream_exec.Incremental plan ~horizon
                     events)
             in
-            let rows_match = Fw_engine.Row.equal_sets naive_rows inc_rows in
-            (set_name, ws, agg, naive_dt, inc_dt, rows_match))
+            let inc_brows, inc_bdt =
+              time (fun () ->
+                  run_batched ~mode:Fw_engine.Stream_exec.Incremental plan
+                    ~batch:engine_batch_size ~horizon events)
+            in
+            let rows_match =
+              Fw_engine.Row.equal_sets naive_rows inc_rows
+              (* batched vs per-event is the stricter contract:
+                 byte-identical, not just equal within tolerance *)
+              && naive_brows = naive_rows
+              && inc_brows = inc_rows
+            in
+            (set_name, ws, agg, naive_dt, naive_bdt, inc_dt, inc_bdt,
+             rows_match))
           engine_aggregates)
       engine_window_sets
   in
   let rate dt = float_of_int n_events /. dt in
   let rows =
     List.map
-      (fun (set_name, _, agg, naive_dt, inc_dt, rows_match) ->
+      (fun (set_name, _, agg, naive_dt, naive_bdt, inc_dt, inc_bdt,
+            rows_match) ->
         [
           set_name;
           Aggregate.to_string agg;
           Printf.sprintf "%.0f" (rate naive_dt);
+          Printf.sprintf "%.0f" (rate naive_bdt);
           Printf.sprintf "%.0f" (rate inc_dt);
+          Printf.sprintf "%.0f" (rate inc_bdt);
           Printf.sprintf "x%.1f" (naive_dt /. inc_dt);
+          Printf.sprintf "x%.2f" (inc_dt /. inc_bdt);
           (if rows_match then "yes" else "NO");
         ])
       results
@@ -675,7 +719,17 @@ let section_engine () =
   print_endline
     (Report.table
        ~header:
-         [ "window set"; "agg"; "naive ev/s"; "incr ev/s"; "speedup"; "rows =" ]
+         [
+           "window set";
+           "agg";
+           "naive ev/s";
+           "naive-B ev/s";
+           "incr ev/s";
+           "incr-B ev/s";
+           "incr/naive";
+           "batch gain";
+           "rows =";
+         ]
        rows);
   (* Machine-readable artifact (hand-rolled JSON; no JSON dep). *)
   let buf = Buffer.create 4096 in
@@ -684,19 +738,26 @@ let section_engine () =
   Printf.bprintf buf "  \"events\": %d,\n" n_events;
   Printf.bprintf buf "  \"eta\": %d,\n" eta;
   Printf.bprintf buf "  \"horizon\": %d,\n" horizon;
+  Printf.bprintf buf "  \"batch\": %d,\n" engine_batch_size;
   Buffer.add_string buf "  \"results\": [\n";
   List.iteri
-    (fun i (set_name, ws, agg, naive_dt, inc_dt, rows_match) ->
+    (fun i (set_name, ws, agg, naive_dt, naive_bdt, inc_dt, inc_bdt,
+            rows_match) ->
       Printf.bprintf buf
         "    {\"window_set\": \"%s\", \"windows\": \"%s\", \"aggregate\": \
          \"%s\", \"naive_events_per_sec\": %.1f, \
-         \"incremental_events_per_sec\": %.1f, \"speedup\": %.3f, \
-         \"rows_match\": %b}%s\n"
+         \"naive_batched_events_per_sec\": %.1f, \
+         \"incremental_events_per_sec\": %.1f, \
+         \"incremental_batched_events_per_sec\": %.1f, \"speedup\": %.3f, \
+         \"batch_speedup_naive\": %.3f, \"batch_speedup_incremental\": \
+         %.3f, \"rows_match\": %b}%s\n"
         set_name
         (String.concat " " (List.map Window.to_string ws))
         (Aggregate.to_string agg)
-        (rate naive_dt) (rate inc_dt)
+        (rate naive_dt) (rate naive_bdt) (rate inc_dt) (rate inc_bdt)
         (naive_dt /. inc_dt)
+        (naive_dt /. naive_bdt)
+        (inc_dt /. inc_bdt)
         rows_match
         (if i = List.length results - 1 then "" else ",")
     )
@@ -1204,6 +1265,37 @@ let section_shard () =
           (Array.map string_of_int skew_stats.Fw_shard.Runner.rows_per_shard)))
     imbalance backpressure
     (if skew_identical then "identical" else "DIVERGED");
+  (* Single-shard engine, per-event vs batched feed: the whole-batch
+     ring messages only pay off if the executor's own batched entry
+     point is at least as fast as per-event dispatch — this pair is the
+     throughput-regression guard CI compares across runs. *)
+  subheading "single-shard engine: per-event vs batched feed (batch=%d)"
+    engine_batch_size;
+  let single_pair mode name =
+    let rows_ref = Fw_engine.Stream_exec.run ~mode plan ~horizon events in
+    let per_dt =
+      time_best (fun () -> Fw_engine.Stream_exec.run ~mode plan ~horizon events)
+    in
+    let brows =
+      run_batched ~mode plan ~batch:engine_batch_size ~horizon events
+    in
+    let b_dt =
+      time_best (fun () ->
+          run_batched ~mode plan ~batch:engine_batch_size ~horizon events)
+    in
+    let identical = brows = rows_ref in
+    Printf.printf "%-12s per-event %.0f ev/s, batched %.0f ev/s (x%.2f) %s\n"
+      name (rate per_dt) (rate b_dt)
+      (per_dt /. b_dt)
+      (if identical then "" else "ROWS DIVERGED");
+    (per_dt, b_dt, identical)
+  in
+  let nv_per, nv_b, nv_ident =
+    single_pair Fw_engine.Stream_exec.Naive "naive"
+  in
+  let in_per, in_b, in_ident =
+    single_pair Fw_engine.Stream_exec.Incremental "incremental"
+  in
   (* The acceptance gate: >= 2x throughput at 4 shards vs 1.  Only
      enforceable where 4 domains actually have 4 cores to run on; a
      1-core container records the curve but cannot fail it. *)
@@ -1214,7 +1306,7 @@ let section_shard () =
   in
   let gate_enforced = cores >= 4 in
   let all_identical =
-    skew_identical
+    skew_identical && nv_ident && in_ident
     && List.for_all (fun (_, _, _, i) -> i) naive_points
     && List.for_all (fun (_, _, _, i) -> i) inc_points
   in
@@ -1228,9 +1320,20 @@ let section_shard () =
   Printf.bprintf buf "  \"horizon\": %d,\n" horizon;
   Printf.bprintf buf "  \"keys\": 64,\n";
   Printf.bprintf buf "  \"cores\": %d,\n" cores;
+  Printf.bprintf buf "  \"ring_batch\": 64,\n";
   Printf.bprintf buf "  \"gate_enforced\": %b,\n" gate_enforced;
   Printf.bprintf buf "  \"speedup_at_4_shards\": %.3f,\n" speedup4;
   Printf.bprintf buf "  \"pass\": %b,\n" pass;
+  Printf.bprintf buf
+    "  \"single_shard\": {\"batch\": %d, \"naive\": \
+     {\"per_event_events_per_sec\": %.1f, \"batched_events_per_sec\": %.1f, \
+     \"batch_speedup\": %.3f}, \"incremental\": \
+     {\"per_event_events_per_sec\": %.1f, \"batched_events_per_sec\": %.1f, \
+     \"batch_speedup\": %.3f}},\n"
+    engine_batch_size (rate nv_per) (rate nv_b)
+    (nv_per /. nv_b)
+    (rate in_per) (rate in_b)
+    (in_per /. in_b);
   let curve_json name points =
     Printf.bprintf buf "  \"%s\": [\n" name;
     List.iteri

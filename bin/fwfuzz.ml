@@ -8,13 +8,18 @@
    rewritten plans with/without factor windows, paned/paired slicing
    shared/unshared, (--crash-prob to sample) the checkpointing
    pipeline killed mid-stream by an injected fault and recovered from
-   disk, and (--shard-prob to sample) the multicore runner: the plan
+   disk, (--shard-prob to sample) the multicore runner: the plan
    key-partitioned across 2-8 worker domains, byte-compared against
-   single-shard runs — asserts row-for-row equality, and checks the
-   structural invariants (Theorem 7 forest shape, cost monotonicity,
-   plan validation, metrics-vs-cost-model exactness).  Failures are
-   shrunk to a minimal repro and reported with the one-line replay
-   command.
+   single-shard runs, and (--batch-prob to sample, on by default) the
+   vectorized paths: the same stream pushed through feed_batch under
+   scenario-drawn batch sizes (--batch-size-range) with punctuation
+   marks injected mid-batch, byte-compared against the per-event run —
+   composing with the sharded and crash families when their coins also
+   land — asserts row-for-row equality, and checks the structural
+   invariants (Theorem 7 forest shape, cost monotonicity, plan
+   validation, metrics-vs-cost-model exactness).  Failures are shrunk
+   to a minimal repro (batch size included) and reported with the
+   one-line replay command.
 
    Exit status: 0 = no discrepancy, 1 = discrepancies found. *)
 
@@ -91,6 +96,26 @@ let crash_prob_arg =
   in
   Arg.(value & opt float 0.0 & info [ "crash-prob" ] ~docv:"P" ~doc)
 
+let batch_prob_arg =
+  let doc =
+    "Probability that an iteration also runs the batched execution paths: \
+     the stream pushed through the engine's vectorized feed_batch entry \
+     point (and, when the shard/crash coins also land, through the batched \
+     sharded runner and the batched checkpointing pipeline), byte-compared \
+     against the per-event run.  Decided deterministically per seed, so \
+     replays match the campaign."
+  in
+  Arg.(value & opt float 1.0 & info [ "batch-prob" ] ~docv:"P" ~doc)
+
+let batch_size_range_arg =
+  let doc =
+    "Range LO,HI the per-scenario nominal batch size is drawn from; the \
+     deterministic partitioning then draws each batch's size in [1, \
+     nominal], so size-1 batches stay reachable from any range."
+  in
+  Arg.(value & opt string "1,16"
+       & info [ "batch-size-range" ] ~docv:"LO,HI" ~doc)
+
 let max_failures_arg =
   let doc = "Stop the campaign after this many failures." in
   Arg.(value & opt int 5 & info [ "max-failures" ] ~docv:"F" ~doc)
@@ -107,13 +132,16 @@ let artifacts_arg =
   in
   Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR" ~doc)
 
-let gen_config max_windows eta_max horizon_max no_holistic =
+let gen_config max_windows eta_max horizon_max no_holistic ~batch_min
+    ~batch_max =
   {
     Scenario.default_gen with
     Scenario.max_windows;
     eta_max;
     horizon_max;
     allow_holistic = not no_holistic;
+    batch_min;
+    batch_max;
   }
 
 let dump_artifacts artifacts failure =
@@ -126,10 +154,10 @@ let dump_artifacts artifacts failure =
       | Error e -> Printf.eprintf "fwfuzz: artifact dump failed: %s\n" e)
 
 let replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-    ~artifacts seed =
+    ~batch_prob ~artifacts seed =
   match
     Harness.check_seed ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      gen seed
+      ~batch_prob gen seed
   with
   | Ok sc ->
       Printf.printf "seed %d: %s\n" seed (Scenario.summary sc);
@@ -154,7 +182,7 @@ let replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
       1
 
 let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-    ~iterations ~base_seed ~max_failures ~quiet ~artifacts =
+    ~batch_prob ~iterations ~base_seed ~max_failures ~quiet ~artifacts =
   let cfg =
     {
       Harness.iterations;
@@ -164,6 +192,7 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
       incremental_prob;
       crash_prob;
       shard_prob;
+      batch_prob;
       max_failures;
     }
   in
@@ -202,7 +231,7 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
 
 let main iterations seed do_replay max_windows eta_max horizon_max
     no_invariants no_holistic incremental_prob crash_prob shard_prob
-    max_failures quiet artifacts =
+    batch_prob batch_size_range max_failures quiet artifacts =
   let bad name v =
     Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
     exit 124
@@ -227,14 +256,38 @@ let main iterations seed do_replay max_windows eta_max horizon_max
       shard_prob;
     exit 124
   end;
-  let gen = gen_config max_windows eta_max horizon_max no_holistic in
+  if batch_prob < 0.0 || batch_prob > 1.0 then begin
+    Printf.eprintf "fwfuzz: --batch-prob must be in [0, 1] (got %g)\n"
+      batch_prob;
+    exit 124
+  end;
+  let batch_min, batch_max =
+    let fail () =
+      Printf.eprintf
+        "fwfuzz: --batch-size-range must be LO,HI with 1 <= LO <= HI (got \
+         %S)\n"
+        batch_size_range;
+      exit 124
+    in
+    match String.split_on_char ',' batch_size_range with
+    | [ lo; hi ] -> (
+        match (int_of_string_opt (String.trim lo),
+               int_of_string_opt (String.trim hi)) with
+        | Some lo, Some hi when 1 <= lo && lo <= hi -> (lo, hi)
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let gen =
+    gen_config max_windows eta_max horizon_max no_holistic ~batch_min
+      ~batch_max
+  in
   let invariants = not no_invariants in
   if do_replay then
     replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      ~artifacts seed
+      ~batch_prob ~artifacts seed
   else
     campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      ~iterations ~base_seed:seed ~max_failures ~quiet ~artifacts
+      ~batch_prob ~iterations ~base_seed:seed ~max_failures ~quiet ~artifacts
 
 let cmd =
   let info =
@@ -248,6 +301,7 @@ let cmd =
       const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
       $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
       $ incremental_prob_arg $ crash_prob_arg $ shard_prob_arg
-      $ max_failures_arg $ quiet_arg $ artifacts_arg)
+      $ batch_prob_arg $ batch_size_range_arg $ max_failures_arg $ quiet_arg
+      $ artifacts_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -131,16 +131,33 @@ let optimize_cmd =
    whole crash/recover cycle. *)
 exception Simulated_crash
 
-let run_checkpointed ~dir ~every ~crash_after ~mode plan ~horizon events =
+let run_checkpointed ~dir ~every ~crash_after ~batch ~mode plan ~horizon
+    events =
   let cp = Fw_snap.Checkpoint.create ~dir ~every ~mode plan in
+  (* [--batch 1] is byte-identical to per-event feeding (feed is a
+     batch-of-1 wrapper); larger sizes go through the vectorized
+     [Checkpoint.feed_batch], which keeps the same WAL/snapshot cuts. *)
+  let buf = Fw_engine.Batch.create () in
+  let flush () =
+    if not (Fw_engine.Batch.is_empty buf) then begin
+      Fw_snap.Checkpoint.feed_batch cp buf;
+      Fw_engine.Batch.reset buf
+    end
+  in
   (try
      List.iteri
        (fun i e ->
          (match crash_after with
-         | Some k when i >= k -> raise Simulated_crash
+         | Some k when i >= k ->
+             flush ();
+             raise Simulated_crash
          | _ -> ());
-         if e.Fw_engine.Event.time < horizon then Fw_snap.Checkpoint.feed cp e)
-       (Fw_engine.Event.sort events)
+         if e.Fw_engine.Event.time < horizon then begin
+           Fw_engine.Batch.push buf e;
+           if Fw_engine.Batch.length buf >= batch then flush ()
+         end)
+       (Fw_engine.Event.sort events);
+     flush ()
    with Simulated_crash ->
      Printf.printf
        "simulated crash after %d events; durable state in %s (resume with \
@@ -151,7 +168,7 @@ let run_checkpointed ~dir ~every ~crash_after ~mode plan ~horizon events =
   let rows = Fw_snap.Checkpoint.close cp ~horizon in
   { Fw_engine.Run.rows; metrics = Fw_snap.Checkpoint.metrics cp }
 
-let run_recovered ~dir ~every ~mode plan ~horizon events =
+let run_recovered ~dir ~every ~batch ~mode plan ~horizon events =
   match Fw_snap.Recover.load ~dir ~every ~mode plan with
   | Error m ->
       Printf.eprintf "recovery failed: %s\n" m;
@@ -172,21 +189,31 @@ let run_recovered ~dir ~every ~mode plan ~horizon events =
          skipped, the tail is fed as if the crash never happened *)
       let already = Fw_engine.Metrics.ingested r.Fw_snap.Recover.metrics in
       let fed = ref 0 in
+      let buf = Fw_engine.Batch.create () in
+      let flush () =
+        if not (Fw_engine.Batch.is_empty buf) then begin
+          Fw_snap.Checkpoint.feed_batch r.Fw_snap.Recover.checkpoint buf;
+          Fw_engine.Batch.reset buf
+        end
+      in
       List.iter
         (fun e ->
           if e.Fw_engine.Event.time < horizon then begin
             incr fed;
-            if !fed > already then
-              Fw_snap.Checkpoint.feed r.Fw_snap.Recover.checkpoint e
+            if !fed > already then begin
+              Fw_engine.Batch.push buf e;
+              if Fw_engine.Batch.length buf >= batch then flush ()
+            end
           end)
         (Fw_engine.Event.sort events);
+      flush ();
       let rows = Fw_snap.Checkpoint.close r.Fw_snap.Recover.checkpoint ~horizon in
       { Fw_engine.Run.rows; metrics = r.Fw_snap.Recover.metrics }
 
 let run_cmd =
   let action query file eta no_factor seed horizon show_rows shuffle lateness
       events_file csv_out incremental stats checkpoint_dir every recover_dir
-      crash_after shards key_skew keys_n =
+      crash_after shards batch_opt key_skew keys_n =
     let stats =
       match stats with
       | None -> None
@@ -213,6 +240,11 @@ let run_cmd =
     | Some _ when checkpoint_dir = None ->
         Printf.eprintf "--crash-after requires --checkpoint (nothing would \
                         survive the crash)\n";
+        exit 2
+    | _ -> ());
+    (match batch_opt with
+    | Some b when b < 1 ->
+        Printf.eprintf "--batch must be >= 1 (got %d)\n" b;
         exit 2
     | _ -> ());
     if shards < 1 then begin
@@ -304,18 +336,20 @@ let run_cmd =
         let report =
           match (checkpoint_dir, recover_dir) with
           | Some dir, _ ->
-              run_checkpointed ~dir ~every ~crash_after ~mode
-                (Optimizer.optimized_plan t) ~horizon events
+              run_checkpointed ~dir ~every ~crash_after
+                ~batch:(Option.value batch_opt ~default:1)
+                ~mode (Optimizer.optimized_plan t) ~horizon events
           | None, Some dir ->
-              run_recovered ~dir ~every ~mode (Optimizer.optimized_plan t)
-                ~horizon events
+              run_recovered ~dir ~every
+                ~batch:(Option.value batch_opt ~default:1)
+                ~mode (Optimizer.optimized_plan t) ~horizon events
           | None, None when shards > 1 ->
               (* Sharded execution: rows and cost-model counters are
                  byte-identical to the single-shard run (which the CI
                  run-diff smoke pins), so only the shards:-prefixed
                  lines differ. *)
               let r =
-                Fw_shard.Runner.run ~mode ~shards
+                Fw_shard.Runner.run ?batch:batch_opt ~mode ~shards
                   (Optimizer.optimized_plan t) ~horizon events
               in
               let st = r.Fw_shard.Runner.stats in
@@ -336,6 +370,35 @@ let run_cmd =
               {
                 Fw_engine.Run.rows = r.Fw_shard.Runner.rows;
                 metrics = r.Fw_shard.Runner.metrics;
+              }
+          | None, None when Option.value batch_opt ~default:1 > 1 ->
+              (* Vectorized single-shard execution: the stream goes
+                 through [feed_batch] in fixed-size chunks.  Rows and
+                 cost-model counters are byte-identical to the
+                 per-event run (the feed/feed_batch contract). *)
+              let batch = Option.value batch_opt ~default:1 in
+              let plan = Optimizer.optimized_plan t in
+              let metrics = Fw_engine.Metrics.create () in
+              let exec = Fw_engine.Stream_exec.create ~metrics ~mode plan in
+              let buf = Fw_engine.Batch.create () in
+              let flush () =
+                if not (Fw_engine.Batch.is_empty buf) then begin
+                  Fw_engine.Stream_exec.feed_batch exec buf;
+                  Fw_engine.Batch.reset buf
+                end
+              in
+              List.iter
+                (fun e ->
+                  if e.Fw_engine.Event.time < horizon then begin
+                    Fw_engine.Batch.push buf e;
+                    if Fw_engine.Batch.length buf >= batch then flush ()
+                  end)
+                (Fw_engine.Event.sort events);
+              flush ();
+              {
+                Fw_engine.Run.rows =
+                  Fw_engine.Stream_exec.close exec ~horizon;
+                metrics;
               }
           | None, None -> Optimizer.execute ~mode ?trace t ~horizon events
         in
@@ -454,6 +517,16 @@ let run_cmd =
                    lines.  Mutually exclusive with --checkpoint, --recover \
                    and --shuffle.")
   in
+  let batch =
+    Arg.(value & opt (some int) None
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Feed the stream in columnar batches of $(docv) events \
+                   through the engine's vectorized path (with --shards: the \
+                   runner's per-shard flush size; with --checkpoint / \
+                   --recover: batched durable ingestion).  Rows and \
+                   cost-model counters are byte-identical to the per-event \
+                   run at any size.")
+  in
   let key_skew =
     Arg.(value & opt float 0.0
          & info [ "key-skew" ] ~docv:"S"
@@ -475,7 +548,7 @@ let run_cmd =
     Term.(const action $ query_arg $ file_arg $ eta_arg $ no_factor_arg
           $ seed_arg $ horizon $ show_rows $ shuffle $ lateness $ events_file
           $ csv_out $ incremental $ stats $ checkpoint_dir $ every
-          $ recover_dir $ crash_after $ shards $ key_skew $ keys_n)
+          $ recover_dir $ crash_after $ shards $ batch $ key_skew $ keys_n)
 
 (* --- gen --- *)
 

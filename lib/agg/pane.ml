@@ -17,6 +17,21 @@ let add t ~key v =
   | None -> Hashtbl.replace t.tbl key (Combine.of_value t.agg v)
   | Some st -> Hashtbl.replace t.tbl key (Combine.add st v)
 
+(* Columnar entry point: fold a run of events given as parallel key /
+   value columns and a selection-index window.  Element order and
+   per-element hashtable operations are identical to repeated [add]
+   calls, so the result — and the lifetime counter — is bit-for-bit
+   the same; only the per-call overhead is amortized. *)
+let add_run t ~keys ~values ~sel ~lo ~hi =
+  for i = lo to hi - 1 do
+    let j = sel.(i) in
+    let key : string = keys.(j) in
+    (match Hashtbl.find_opt t.tbl key with
+    | None -> Hashtbl.replace t.tbl key (Combine.of_value t.agg values.(j))
+    | Some st -> Hashtbl.replace t.tbl key (Combine.add st values.(j)));
+  done;
+  t.adds <- t.adds + (hi - lo)
+
 let merge t ~key state =
   t.merges <- t.merges + 1;
   match Hashtbl.find_opt t.tbl key with

@@ -17,6 +17,15 @@ val add : t -> key:string -> float -> unit
 (** Fold one raw value into the key's state ([of_value] on first
     sight, [Combine.add] afterwards). *)
 
+val add_run : t -> keys:string array -> values:float array ->
+  sel:int array -> lo:int -> hi:int -> unit
+(** Batched {!add}: fold events [sel.(lo .. hi-1)] of the parallel
+    [keys]/[values] columns, in selection order.  Exactly equivalent to
+    the per-event loop — same fold order, same final lifetime counter
+    ([adds] grows by [hi - lo]) — with the per-call overhead amortized
+    across the run.  The columnar hot path of
+    {!Fw_engine.Stream_exec}'s [feed_batch]. *)
+
 val merge : t -> key:string -> Combine.state -> unit
 (** Fold a whole sub-aggregate state into the key's slot (used when a
     pane accumulates upstream sub-aggregates rather than raw values). *)

@@ -215,3 +215,11 @@ let query t =
       | [], acc -> acc
       | e :: _, None -> Some e.st
       | e :: _, Some acc -> Some (Combine.merge e.st acc))
+
+(* Fused evict + query, the batched firing path's single entry point:
+   exactly [evict_below] then [query], so every counter and every
+   internal merge happens in the same order as the two separate
+   calls — byte-identical states, one call per fired instance. *)
+let slide t ~below =
+  evict_below t below;
+  query t

@@ -33,6 +33,12 @@ val evict_below : t -> int -> unit
 val query : t -> Combine.state option
 (** Merge of all enqueued states; [None] when empty. *)
 
+val slide : t -> below:int -> Combine.state option
+(** Fused {!evict_below} + {!query}: slide the window forward and
+    answer in one call.  Semantically exactly the two calls in
+    sequence (same merges, same counters, same float rounding); the
+    single entry point the batched firing path uses per instance. *)
+
 val length : t -> int
 val is_empty : t -> bool
 

@@ -16,6 +16,7 @@ type config = {
   incremental_prob : float;
   crash_prob : float;
   shard_prob : float;
+  batch_prob : float;
   max_failures : int;
 }
 
@@ -28,6 +29,7 @@ let default_config =
     incremental_prob = 1.0;
     crash_prob = 0.0;
     shard_prob = 0.0;
+    batch_prob = 1.0;
     max_failures = 5;
   }
 
@@ -53,52 +55,41 @@ let problems_of ~invariants ~paths sc =
   in
   diffs @ invs
 
-(* Whether this seed's campaign iteration also runs the incremental
-   engine as a checked path.  Decided deterministically from the seed
+(* Which optional paths this seed's campaign iteration runs.  Each
+   family is decided deterministically from the seed on its own coin
    (not a global counter) so a failure replays identically under
-   [--replay --seed N] no matter which iteration found it. *)
-let paths_for ~incremental_prob ~crash_prob ~shard_prob seed =
-  let base =
-    if
-      incremental_prob >= 1.0
-      || Fw_util.Prng.bernoulli
-           (Fw_util.Prng.create (seed lxor 0x1ec4e81))
-           incremental_prob
-    then Paths.all
-    else List.filter (fun p -> p <> Paths.Incremental_stream) Paths.all
+   [--replay --seed N] no matter which iteration found it.  The
+   composed batched paths require both coins: [Sharded_batched] spawns
+   domains like the sharded path, [Crash_batched] touches disk like the
+   crash paths, so neither may run when its expensive family is off. *)
+let paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob seed =
+  let coin prob salt =
+    prob >= 1.0
+    || prob > 0.0
+       && Fw_util.Prng.bernoulli (Fw_util.Prng.create (seed lxor salt)) prob
   in
-  (* the crash-restart paths are opt-in (they run three executions and
-     touch disk per scenario); same per-seed determinism, distinct
-     stream *)
-  let base =
-    if
-      crash_prob > 0.0
-      && (crash_prob >= 1.0
-         || Fw_util.Prng.bernoulli
-              (Fw_util.Prng.create (seed lxor 0x5eed5a9))
-              crash_prob)
-    then base
-    else
-      List.filter
-        (fun p -> match p with Paths.Crash_restart _ -> false | _ -> true)
-        base
-  in
-  (* the sharded path is opt-in too: it runs four extra executions
-     (both modes, sharded and single-shard) and spawns domains per
-     scenario; same per-seed determinism, its own coin *)
-  if
-    shard_prob > 0.0
-    && (shard_prob >= 1.0
-       || Fw_util.Prng.bernoulli
-            (Fw_util.Prng.create (seed lxor 0x3a2d6b5))
-            shard_prob)
-  then base
-  else List.filter (fun p -> p <> Paths.Sharded_stream) base
+  let incremental = coin incremental_prob 0x1ec4e81 in
+  let crash = coin crash_prob 0x5eed5a9 in
+  let shard = coin shard_prob 0x3a2d6b5 in
+  let batch = coin batch_prob 0x6a7c3b1 in
+  List.filter
+    (fun p ->
+      match p with
+      | Paths.Incremental_stream -> incremental
+      | Paths.Crash_restart _ -> crash
+      | Paths.Sharded_stream -> shard
+      | Paths.Batched_stream -> batch
+      | Paths.Sharded_batched -> batch && shard
+      | Paths.Crash_batched _ -> batch && crash
+      | _ -> true)
+    Paths.all
 
 let check_seed ?(invariants = true) ?(incremental_prob = 1.0)
-    ?(crash_prob = 0.0) ?(shard_prob = 0.0) gen seed =
+    ?(crash_prob = 0.0) ?(shard_prob = 0.0) ?(batch_prob = 1.0) gen seed =
   let sc = Scenario.of_seed gen seed in
-  let paths = paths_for ~incremental_prob ~crash_prob ~shard_prob seed in
+  let paths =
+    paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob seed
+  in
   match problems_of ~invariants ~paths sc with
   | [] -> Ok sc
   | problems ->
@@ -122,7 +113,7 @@ let run ?progress cfg =
        (match
           check_seed ~invariants:cfg.invariants
             ~incremental_prob:cfg.incremental_prob ~crash_prob:cfg.crash_prob
-            ~shard_prob:cfg.shard_prob cfg.gen seed
+            ~shard_prob:cfg.shard_prob ~batch_prob:cfg.batch_prob cfg.gen seed
         with
        | Ok _ -> ()
        | Error failure ->

@@ -45,13 +45,21 @@ type config = {
           reconciliation.  [0.0] (the default) skips it: it costs four
           extra executions and spawns domains per scenario.  Same
           per-seed determinism, its own coin. *)
+  batch_prob : float;
+      (** probability that a seed's iteration also runs the batched
+          paths: {!Paths.Batched_stream} always when the coin lands,
+          {!Paths.Sharded_batched} additionally requires the shard
+          coin, {!Paths.Crash_batched} the crash coin — the composed
+          paths inherit the expensive family's opt-in.  Defaults to
+          [1.0]: the plain batched path costs two extra in-process
+          executions, cheap enough to always difference. *)
   max_failures : int;  (** stop the campaign after this many failures *)
 }
 
 val default_config : config
-(** 1000 iterations, base seed 42, invariants on, incremental path
-    always on, crash-restart and sharded paths off, stop after 5
-    failures. *)
+(** 1000 iterations, base seed 42, invariants on, incremental and
+    batched paths always on, crash-restart and sharded paths off, stop
+    after 5 failures. *)
 
 type outcome = { checked : int; failures : failure list }
 
@@ -60,12 +68,13 @@ val check_seed :
   ?incremental_prob:float ->
   ?crash_prob:float ->
   ?shard_prob:float ->
+  ?batch_prob:float ->
   Scenario.gen_config ->
   int ->
   (Scenario.t, failure) result
 (** Check a single seed; [Ok] returns the (clean) scenario so replay
-    tooling can describe it.  [incremental_prob] defaults to [1.0],
-    [crash_prob] and [shard_prob] to [0.0]. *)
+    tooling can describe it.  [incremental_prob] and [batch_prob]
+    default to [1.0], [crash_prob] and [shard_prob] to [0.0]. *)
 
 val run : ?progress:(int -> unit) -> config -> outcome
 (** Run the campaign; [progress] is called after each iteration with

@@ -16,6 +16,9 @@ type path =
   | Sliced of Exec.mode * Exec.slicing
   | Crash_restart of Stream_exec.mode
   | Sharded_stream
+  | Batched_stream
+  | Sharded_batched
+  | Crash_batched of Stream_exec.mode
 
 let all =
   [
@@ -31,6 +34,10 @@ let all =
     Crash_restart Stream_exec.Naive;
     Crash_restart Stream_exec.Incremental;
     Sharded_stream;
+    Batched_stream;
+    Sharded_batched;
+    Crash_batched Stream_exec.Naive;
+    Crash_batched Stream_exec.Incremental;
   ]
 
 let name = function
@@ -48,6 +55,10 @@ let name = function
   | Crash_restart Stream_exec.Naive -> "crash-restart-naive"
   | Crash_restart Stream_exec.Incremental -> "crash-restart-incremental"
   | Sharded_stream -> "sharded-stream"
+  | Batched_stream -> "batched-stream"
+  | Sharded_batched -> "sharded-batched"
+  | Crash_batched Stream_exec.Naive -> "crash-batched-naive"
+  | Crash_batched Stream_exec.Incremental -> "crash-batched-incremental"
 
 (* The optimizer's cost model assumes aligned windows (footnote 4), so
    the rewritten paths only apply to aligned scenarios; every other
@@ -59,7 +70,8 @@ let applicable path sc =
   match path with
   | Rewritten | Rewritten_no_factor -> Scenario.aligned sc
   | Reference_path | Naive_stream | Incremental_stream | Sliced _
-  | Crash_restart _ | Sharded_stream ->
+  | Crash_restart _ | Sharded_stream | Batched_stream | Sharded_batched
+  | Crash_batched _ ->
       true
 
 let rewritten_plan ~factor_windows (sc : Scenario.t) =
@@ -75,6 +87,55 @@ let fed_events (sc : Scenario.t) =
   List.filter
     (fun e -> e.Event.time < sc.Scenario.horizon)
     (Event.sort sc.Scenario.events)
+
+(* --- deterministic batch geometry ----------------------------------- *)
+
+(* Partition an event list into columnar batches: per-batch sizes drawn
+   from a tiny LCG seeded with [hash] in [1, batch] — so single-event
+   batches and batches spanning many distinct times both occur — with
+   punctuation marks injected mid-batch between distinct event times.
+   A mark's watermark is either the previous event's time (a stale
+   punctuation the engine must coalesce away) or strictly inside the
+   gap (a live one that fires pending instances mid-batch); neither can
+   make the following event late.  Deterministic in (hash, batch,
+   events), so shrunk and replayed scenarios rebuild the exact same
+   batch boundaries. *)
+let batches_of_events ~hash ~batch evs =
+  let module Batch = Fw_engine.Batch in
+  let state = ref (hash land max_int) in
+  let rand bound =
+    state := ((!state * 25214903917) + 11) land max_int;
+    !state lsr 13 mod bound
+  in
+  let fresh_size () = 1 + rand (max 1 batch) in
+  let out = ref [] in
+  let cur = ref (Batch.create ()) in
+  let budget = ref (fresh_size ()) in
+  let prev = ref min_int in
+  List.iter
+    (fun e ->
+      if !prev > min_int && e.Event.time > !prev && rand 3 = 0 then
+        Batch.push_punct !cur
+          (if rand 2 = 0 then !prev
+           else !prev + 1 + rand (e.Event.time - !prev));
+      Batch.push !cur e;
+      prev := e.Event.time;
+      decr budget;
+      if !budget <= 0 then begin
+        out := !cur :: !out;
+        cur := Batch.create ();
+        budget := fresh_size ()
+      end)
+    evs;
+  if not (Fw_engine.Batch.is_empty !cur) then out := !cur :: !out;
+  List.rev !out
+
+let scenario_hash (sc : Scenario.t) =
+  Hashtbl.hash (Scenario.to_repro sc) land max_int
+
+let batches_of (sc : Scenario.t) =
+  batches_of_events ~hash:(scenario_hash sc) ~batch:sc.Scenario.batch
+    (fed_events sc)
 
 type crash_params = { every : int; crash_at : int; torn_bytes : int option }
 
@@ -96,8 +157,11 @@ type first_outcome = Crashed | Completed of Fw_snap.Checkpoint.t
 (* Run the pre-crash process into [dir]: checkpointing pipeline, fault
    plan armed.  [Crashed] leaves the directory exactly as the dead
    process would have (snapshots, flushed log, possibly a torn newest
-   snapshot); [Completed] only happens on an empty stream. *)
-let crash_first_process ~dir mode (sc : Scenario.t) =
+   snapshot); [Completed] only happens on an empty stream.  [batched]
+   feeds via {!Fw_snap.Checkpoint.feed_batch} under the scenario's
+   batch geometry, so checkpoints and the injected death land
+   mid-batch. *)
+let crash_first_process ?(batched = false) ~dir mode (sc : Scenario.t) =
   let p = crash_params sc in
   let fault =
     Fw_snap.Fault.create ~crash_at_event:p.crash_at ?torn_bytes:p.torn_bytes ()
@@ -107,7 +171,9 @@ let crash_first_process ~dir mode (sc : Scenario.t) =
       (Plan.naive sc.Scenario.agg sc.Scenario.windows)
   in
   try
-    List.iter (Fw_snap.Checkpoint.feed cp) (fed_events sc);
+    (if batched then
+       List.iter (Fw_snap.Checkpoint.feed_batch cp) (batches_of sc)
+     else List.iter (Fw_snap.Checkpoint.feed cp) (fed_events sc));
     Completed cp
   with Fw_snap.Fault.Crash _ -> Crashed
 
@@ -131,7 +197,7 @@ let rm_rf dir =
    what an uninterrupted run produces.  A counter mismatch raises
    (surfacing as a crashed path in the report) because row equality
    alone would miss silently double-charged or lost work. *)
-let crash_restart_rows mode (sc : Scenario.t) =
+let crash_restart_rows ?(batched = false) mode (sc : Scenario.t) =
   let plan = Plan.naive sc.Scenario.agg sc.Scenario.windows in
   let horizon = sc.Scenario.horizon in
   let m0 = Metrics.create () in
@@ -143,7 +209,7 @@ let crash_restart_rows mode (sc : Scenario.t) =
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
       let rows1, m1 =
-        match crash_first_process ~dir mode sc with
+        match crash_first_process ~batched ~dir mode sc with
         | Completed cp ->
             (Fw_snap.Checkpoint.close cp ~horizon, Fw_snap.Checkpoint.metrics cp)
         | Crashed -> (
@@ -151,11 +217,22 @@ let crash_restart_rows mode (sc : Scenario.t) =
             | Error m -> failwith ("recovery failed: " ^ m)
             | Ok r ->
                 let k = (crash_params sc).crash_at in
-                List.iteri
-                  (fun i e ->
-                    if i >= k then
-                      Fw_snap.Checkpoint.feed r.Fw_snap.Recover.checkpoint e)
-                  (fed_events sc);
+                let rest =
+                  List.filteri (fun i _ -> i >= k) (fed_events sc)
+                in
+                (if batched then
+                   (* the restarted process ingests batched too; a
+                      distinct hash stream keeps its batch boundaries
+                      independent of the pre-crash ones *)
+                   List.iter
+                     (Fw_snap.Checkpoint.feed_batch r.Fw_snap.Recover.checkpoint)
+                     (batches_of_events
+                        ~hash:(scenario_hash sc lxor 0x9e3779b9)
+                        ~batch:sc.Scenario.batch rest)
+                 else
+                   List.iter
+                     (Fw_snap.Checkpoint.feed r.Fw_snap.Recover.checkpoint)
+                     rest);
                 ( Fw_snap.Checkpoint.close r.Fw_snap.Recover.checkpoint ~horizon,
                   r.Fw_snap.Recover.metrics ))
       in
@@ -198,7 +275,7 @@ let crash_restart_rows mode (sc : Scenario.t) =
    like instance fires are per-replica (one instance can fire in
    several shards), so they legitimately exceed the single-shard
    values. *)
-let sharded_rows (sc : Scenario.t) =
+let sharded_rows ?batch (sc : Scenario.t) =
   let plan = Plan.naive sc.Scenario.agg sc.Scenario.windows in
   let horizon = sc.Scenario.horizon in
   let check_mode mode mode_name =
@@ -207,8 +284,8 @@ let sharded_rows (sc : Scenario.t) =
       Stream_exec.run ~metrics:m0 ~mode plan ~horizon sc.Scenario.events
     in
     let r =
-      Fw_shard.Runner.run ~mode ~shards:sc.Scenario.shards plan ~horizon
-        sc.Scenario.events
+      Fw_shard.Runner.run ?batch ~mode ~shards:sc.Scenario.shards plan
+        ~horizon sc.Scenario.events
     in
     if r.Fw_shard.Runner.rows <> rows0 then
       failwith
@@ -245,6 +322,55 @@ let sharded_rows (sc : Scenario.t) =
   let (_ : Row.t list) = check_mode Stream_exec.Incremental "incremental" in
   rows
 
+(* --- batched path ---------------------------------------------------- *)
+
+(* Feed the exact per-event stream through {!Stream_exec.feed_batch}
+   under the scenario's batch geometry — batch-internal punctuation
+   included — in both engine modes, and insist on the feed/feed_batch
+   equivalence contract end to end: byte-identical rows and bit-for-bit
+   cost-model counters against the per-event run. *)
+let batched_rows (sc : Scenario.t) =
+  let plan = Plan.naive sc.Scenario.agg sc.Scenario.windows in
+  let horizon = sc.Scenario.horizon in
+  let check_mode mode mode_name =
+    let m0 = Metrics.create () in
+    let rows0 =
+      Stream_exec.run ~metrics:m0 ~mode plan ~horizon sc.Scenario.events
+    in
+    let m1 = Metrics.create () in
+    let exec = Stream_exec.create ~metrics:m1 ~mode plan in
+    List.iter (Stream_exec.feed_batch exec) (batches_of sc);
+    let rows1 = Stream_exec.close exec ~horizon in
+    if rows1 <> rows0 then
+      failwith
+        (Printf.sprintf
+           "batched %s rows are not byte-identical to the per-event run's \
+            (%d vs %d rows)"
+           mode_name (List.length rows1) (List.length rows0));
+    if Metrics.ingested m0 <> Metrics.ingested m1 then
+      failwith
+        (Printf.sprintf
+           "batched %s ingest counter diverged: %d per-event vs %d batched"
+           mode_name (Metrics.ingested m0) (Metrics.ingested m1));
+    let pw m =
+      List.map
+        (fun (w, n) -> Printf.sprintf "%s=%d" (Window.to_string w) n)
+        (Metrics.per_window m)
+    in
+    if pw m0 <> pw m1 then
+      failwith
+        (Printf.sprintf
+           "batched %s per-window counters diverged: [%s] per-event vs [%s] \
+            batched"
+           mode_name
+           (String.concat " " (pw m0))
+           (String.concat " " (pw m1)));
+    rows0
+  in
+  let rows = check_mode Stream_exec.Naive "naive" in
+  let (_ : Row.t list) = check_mode Stream_exec.Incremental "incremental" in
+  rows
+
 let rows path (sc : Scenario.t) =
   let horizon = sc.Scenario.horizon in
   let events = sc.Scenario.events in
@@ -272,5 +398,12 @@ let rows path (sc : Scenario.t) =
              events)
             .Exec.rows
       | Crash_restart mode -> crash_restart_rows mode sc
-      | Sharded_stream -> sharded_rows sc)
+      | Sharded_stream -> sharded_rows sc
+      | Batched_stream -> batched_rows sc
+      | Sharded_batched ->
+          (* pin the runner's flush geometry to the scenario's (small)
+             batch size: ring boundaries and flush-on-punctuation get
+             exercised at many sizes, including 1 *)
+          sharded_rows ~batch:sc.Scenario.batch sc
+      | Crash_batched mode -> crash_restart_rows ~batched:true mode sc)
   with exn -> Error (Printexc.to_string exn)

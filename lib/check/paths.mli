@@ -29,7 +29,21 @@
       than the harness's: each mode's merged rows must be
       byte-identical to the corresponding single-shard run's, and the
       cost-model counters (ingest, per-window items) must reconcile
-      exactly across the shard merge. *)
+      exactly across the shard merge;
+    - {!Batched_stream}: the same stream pushed through
+      {!Fw_engine.Stream_exec.feed_batch} under deterministic
+      scenario-derived batch geometry — sizes in [\[1, batch\]],
+      punctuation marks injected {e inside} batches — in both engine
+      modes, byte-compared (rows and cost-model counters bit-for-bit)
+      against the per-event run: the feed/feed_batch equivalence
+      contract, checked end to end;
+    - {!Sharded_batched}: {!Sharded_stream} with the runner's flush
+      geometry pinned to the scenario's batch size, so ring boundaries
+      and flush-on-punctuation are exercised at many sizes including 1;
+    - {!Crash_batched}: {!Crash_restart} with batched ingestion on both
+      sides of the crash ({!Fw_snap.Checkpoint.feed_batch}), so
+      checkpoints and the injected death land mid-batch and recovery
+      must still be byte-identical. *)
 
 type path =
   | Reference_path
@@ -40,9 +54,12 @@ type path =
   | Sliced of Fw_slicing.Exec.mode * Fw_slicing.Exec.slicing
   | Crash_restart of Fw_engine.Stream_exec.mode
   | Sharded_stream
+  | Batched_stream
+  | Sharded_batched
+  | Crash_batched of Fw_engine.Stream_exec.mode
 
 val all : path list
-(** The twelve concrete paths, reference first. *)
+(** The sixteen concrete paths, reference first. *)
 
 val name : path -> string
 (** Stable identifier used in reports ("rewritten", "shared-paired", ...). *)
@@ -72,7 +89,27 @@ val crash_params : Scenario.t -> crash_params
 type first_outcome = Crashed | Completed of Fw_snap.Checkpoint.t
 
 val crash_first_process :
-  dir:string -> Fw_engine.Stream_exec.mode -> Scenario.t -> first_outcome
+  ?batched:bool ->
+  dir:string ->
+  Fw_engine.Stream_exec.mode ->
+  Scenario.t ->
+  first_outcome
 (** Run the pre-crash process into [dir] under the scenario's fault
     plan.  On [Crashed], [dir] holds exactly what the dead process
-    left behind — {!Artifacts} copies it next to the repro. *)
+    left behind — {!Artifacts} copies it next to the repro.
+    [batched] (default [false]) ingests via
+    {!Fw_snap.Checkpoint.feed_batch} under the scenario's batch
+    geometry instead of per-event {!Fw_snap.Checkpoint.feed}. *)
+
+(** {2 Batch geometry (shared with tests)} *)
+
+val batches_of_events :
+  hash:int -> batch:int -> Fw_engine.Event.t list -> Fw_engine.Batch.t list
+(** Deterministically partition a time-ordered event list into columnar
+    batches with sizes in [\[1, batch\]] and punctuation marks injected
+    between distinct event times — some stale (equal to the previous
+    time), some live (inside the gap), none making a later event late. *)
+
+val batches_of : Scenario.t -> Fw_engine.Batch.t list
+(** {!batches_of_events} under the scenario's hash, batch size and fed
+    (sorted, horizon-clipped) stream. *)

@@ -22,6 +22,8 @@ type gen_config = {
   allow_holistic : bool;
   non_aligned_prob : float;
   window_params : Window_gen.params;
+  batch_min : int;
+  batch_max : int;
 }
 
 let default_gen =
@@ -34,6 +36,10 @@ let default_gen =
     allow_holistic = true;
     non_aligned_prob = 0.2;
     window_params = Window_gen.default_params;
+    (* size 1 must stay drawable: batch-of-1 is the degenerate case the
+       batched paths are differenced against *)
+    batch_min = 1;
+    batch_max = 16;
   }
 
 type t = {
@@ -45,6 +51,7 @@ type t = {
   shape : shape;
   tumbling : bool;
   shards : int;
+  batch : int;  (** nominal batch size for the batched execution paths *)
 }
 
 let draw_windows prng cfg ~shape ~tumbling ~n =
@@ -111,6 +118,9 @@ let draw prng cfg =
   (* drawn from the already-consumed shape generator so every other
      dimension of a given seed is unchanged by the sharding path *)
   let shards = Prng.int_in g_shape 2 8 in
+  (* likewise additive: appending the batch draw leaves the window /
+     aggregate / event streams of existing seeds untouched *)
+  let batch = Prng.int_in g_shape cfg.batch_min (max cfg.batch_min cfg.batch_max) in
   let windows = draw_windows g_win cfg ~shape ~tumbling ~n in
   let windows =
     if Prng.bernoulli g_win cfg.non_aligned_prob then
@@ -128,12 +138,13 @@ let draw prng cfg =
   let eta = Prng.int_in g_eta 1 cfg.eta_max in
   let horizon = Prng.int_in g_horizon cfg.horizon_min cfg.horizon_max in
   let events = draw_events g_events ~eta ~horizon in
-  { agg; windows; eta; horizon; events; shape; tumbling; shards }
+  { agg; windows; eta; horizon; events; shape; tumbling; shards; batch }
 
 let of_seed cfg seed = draw (Prng.create seed) cfg
 
 let summary t =
-  Printf.sprintf "%s over %s (%s%s), eta=%d horizon=%d |events|=%d shards=%d"
+  Printf.sprintf
+    "%s over %s (%s%s), eta=%d horizon=%d |events|=%d shards=%d batch=%d"
     (Aggregate.to_string t.agg)
     ("["
     ^ String.concat "; " (List.map Window.to_string t.windows)
@@ -144,7 +155,7 @@ let summary t =
      else "")
     t.eta t.horizon
     (List.length t.events)
-    t.shards
+    t.shards t.batch
 
 let pp ppf t = Format.pp_print_string ppf (summary t)
 
@@ -165,7 +176,8 @@ let to_repro t =
      eta      = %d@,\
      horizon  = %d@,\
      shards   = %d@,\
+     batch    = %d@,\
      events   = @[<hov 2>[%a]@]@]"
     (Aggregate.to_string t.agg)
     (String.concat " " (List.map Window.to_string t.windows))
-    t.eta t.horizon t.shards pp_events t.events
+    t.eta t.horizon t.shards t.batch pp_events t.events

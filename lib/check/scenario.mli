@@ -26,6 +26,12 @@ type gen_config = {
           optimizer paths and invariants are skipped for them (the cost
           model's footnote-4 assumption). *)
   window_params : Fw_workload.Window_gen.params;
+  batch_min : int;
+  batch_max : int;
+      (** batch size for the batched execution paths drawn in
+          [\[batch_min, batch_max\]] ([fwfuzz --batch-size-range]);
+          the default range starts at 1 so the degenerate batch-of-1
+          case stays reachable *)
 }
 
 val default_gen : gen_config
@@ -41,6 +47,11 @@ type t = {
   shards : int;
       (** worker-domain count for the sharded path, drawn in [\[2, 8\]];
           shrunk like any other dimension when a failure minimizes *)
+  batch : int;
+      (** nominal batch size for the batched execution paths; the
+          deterministic partitioning in {!Paths} draws per-batch sizes
+          in [\[1, batch\]], so punctuation-straddling and single-event
+          batches both occur.  Shrunk toward 1 on failure. *)
 }
 
 val draw : Fw_util.Prng.t -> gen_config -> t

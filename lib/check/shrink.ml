@@ -50,13 +50,23 @@ let shards still_fails n =
     let rec from k = if k >= n then n else if still_fails k then k else from (k + 1) in
     from 2
 
+(* Smallest batch size that keeps the failure alive, scanning upward
+   from 1 (batch-of-1 is the per-event degenerate case, so a failure
+   that survives it localizes away from the batching itself). *)
+let batch still_fails n =
+  if n <= 1 then n
+  else
+    let rec from k = if k >= n then n else if still_fails k then k else from (k + 1) in
+    from 1
+
 let scenario still_fails (sc : Scenario.t) =
   let with_events sc evs = { sc with Scenario.events = evs } in
   let with_windows sc ws = { sc with Scenario.windows = ws } in
   let with_shards sc n = { sc with Scenario.shards = n } in
+  let with_batch sc n = { sc with Scenario.batch = n } in
   (* events first (usually the big list), then windows, then a second
      event pass — a smaller window set often unlocks further stream
-     reduction — and finally the shard count. *)
+     reduction — and finally the shard count and batch size. *)
   let sc =
     with_events sc
       (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)
@@ -71,5 +81,9 @@ let scenario still_fails (sc : Scenario.t) =
     with_events sc
       (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)
   in
-  with_shards sc
-    (shards (fun n -> still_fails (with_shards sc n)) sc.Scenario.shards)
+  let sc =
+    with_shards sc
+      (shards (fun n -> still_fails (with_shards sc n)) sc.Scenario.shards)
+  in
+  with_batch sc
+    (batch (fun n -> still_fails (with_batch sc n)) sc.Scenario.batch)

@@ -27,7 +27,12 @@ val shards : (int -> bool) -> int -> int
 (** Smallest shard count in [\[2, n\]] that still fails (2 is the floor:
     one shard is not a sharded run). *)
 
+val batch : (int -> bool) -> int -> int
+(** Smallest batch size in [\[1, n\]] that still fails; reaching 1 means
+    the failure survives per-event-sized batches and is not about
+    batching at all. *)
+
 val scenario : (Scenario.t -> bool) -> Scenario.t -> Scenario.t
 (** Full pipeline: shrink the event stream, then the window set, then
     the events once more (a smaller window set often unlocks further
-    stream reduction), then the shard count. *)
+    stream reduction), then the shard count and batch size. *)

@@ -1,133 +1,104 @@
-open Fw_window
-module Aggregate = Fw_agg.Aggregate
-module Combine = Fw_agg.Combine
-module Plan = Fw_plan.Plan
+module Vec = Fw_util.Vec
 
-let keys_of events =
-  List.sort_uniq String.compare (List.map (fun e -> e.Event.key) events)
+type mark = { at : int; wm : int }
 
-let window_rows agg window ~horizon events =
-  let instances = Interval.instances_until window ~horizon in
-  let keys = keys_of events in
-  List.concat_map
-    (fun interval ->
-      List.filter_map
-        (fun key ->
-          let hits =
-            List.filter
-              (fun e ->
-                String.equal e.Event.key key
-                && Interval.contains interval e.Event.time)
-              events
-          in
-          match hits with
-          | [] -> None
-          | first :: rest ->
-              let state =
-                List.fold_left
-                  (fun st e -> Combine.add st e.Event.value)
-                  (Combine.of_value agg first.Event.value)
-                  rest
-              in
-              Some
-                { Row.window; interval; key; value = Combine.finalize state })
-        keys)
-    instances
+type t = {
+  times : int Vec.t;
+  keys : string Vec.t;
+  values : float Vec.t;
+  marks : mark Vec.t;  (* ascending [at]; at most one mark per position *)
+}
 
-let run agg ws ~horizon events =
-  let ws = Window.dedup ws in
-  Row.sort (List.concat_map (fun w -> window_rows agg w ~horizon events) ws)
+type slot = Ev of Event.t | Punct of int
 
-(* --- Batch execution of a full plan, sharing sub-aggregates. --- *)
+let create () =
+  {
+    times = Vec.create ();
+    keys = Vec.create ();
+    values = Vec.create ();
+    marks = Vec.create ();
+  }
 
-module Slot = struct
-  type t = Interval.t * string
+let length b = Vec.length b.times
+let mark_count b = Vec.length b.marks
+let is_empty b = Vec.length b.times = 0 && Vec.length b.marks = 0
 
-  let compare (i1, k1) (i2, k2) =
-    match Interval.compare i1 i2 with
-    | 0 -> String.compare k1 k2
-    | c -> c
-end
+let reset b =
+  Vec.reset b.times;
+  Vec.reset b.keys;
+  Vec.reset b.values;
+  Vec.reset b.marks
 
-module Slot_map = Map.Make (Slot)
+let push b e =
+  Vec.push b.times e.Event.time;
+  Vec.push b.keys e.Event.key;
+  Vec.push b.values e.Event.value
 
-(* Per-window table: (instance interval, key) -> sub-aggregate state. *)
-let from_stream agg window ~horizon events =
-  let instances = Interval.instances_until window ~horizon in
-  List.fold_left
-    (fun table e ->
-      List.fold_left
-        (fun table interval ->
-          if Interval.contains interval e.Event.time then
-            Slot_map.update
-              (interval, e.Event.key)
-              (function
-                | None -> Some (Combine.of_value agg e.Event.value)
-                | Some st -> Some (Combine.add st e.Event.value))
-              table
-          else table)
-        table instances)
-    Slot_map.empty events
+let push_punct b wm =
+  let n = Vec.length b.times in
+  let m = Vec.length b.marks in
+  if m > 0 && (Vec.get b.marks (m - 1)).at = n then begin
+    (* coalesce consecutive punctuations at one position: only the
+       largest watermark is observable (watermarks are monotone) *)
+    let last = Vec.get b.marks (m - 1) in
+    if wm > last.wm then (Vec.unsafe_data b.marks).(m - 1) <- { last with wm }
+  end
+  else Vec.push b.marks { at = n; wm }
 
-let from_upstream window ~upstream ~upstream_table ~horizon =
-  let instances = Interval.instances_until window ~horizon in
-  List.fold_left
-    (fun table interval ->
-      let cover =
-        Fw_window.Coverage.covering_set ~covered:window ~by:upstream interval
-      in
-      Slot_map.fold
-        (fun (up_interval, key) state table ->
-          if List.exists (Interval.equal up_interval) cover then
-            Slot_map.update (interval, key)
-              (function
-                | None -> Some state
-                | Some st -> Some (Combine.merge st state))
-              table
-          else table)
-        upstream_table table)
-    Slot_map.empty instances
+let time b i = Vec.get b.times i
+let key b i = Vec.get b.keys i
+let value b i = Vec.get b.values i
 
-let apply_filter plan events =
-  match Plan.source_filter plan with
-  | None -> events
-  | Some pred ->
-      List.filter
-        (fun e ->
-          Fw_plan.Predicate.eval pred ~key:e.Event.key ~value:e.Event.value
-            ~time:e.Event.time)
-        events
+let event b i =
+  { Event.time = Vec.get b.times i; key = Vec.get b.keys i; value = Vec.get b.values i }
 
-let run_plan plan ~horizon events =
-  let agg = Plan.agg plan in
-  let events = apply_filter plan events in
-  let tables = Hashtbl.create 16 in
-  (* window tables computed in plan order: inputs precede consumers *)
-  let rows = ref [] in
-  Array.iter
-    (fun op ->
-      match op with
-      | Plan.Source | Plan.Filter _ | Plan.Multicast _ | Plan.Union _ -> ()
-      | Plan.Win_agg { window; expose; _ } ->
-          let table =
-            match Plan.window_input plan window with
-            | `Stream -> from_stream agg window ~horizon events
-            | `Window upstream ->
-                let upstream_table = Hashtbl.find tables upstream in
-                from_upstream window ~upstream ~upstream_table ~horizon
-          in
-          Hashtbl.replace tables window table;
-          if expose then
-            Slot_map.iter
-              (fun (interval, key) state ->
-                rows :=
-                  {
-                    Row.window;
-                    interval;
-                    key;
-                    value = Combine.finalize state;
-                  }
-                  :: !rows)
-              table)
-    (Plan.nodes plan);
-  Row.sort !rows
+let mark b j = let m = Vec.get b.marks j in (m.at, m.wm)
+
+let times b = Vec.unsafe_data b.times
+let keys b = Vec.unsafe_data b.keys
+let values b = Vec.unsafe_data b.values
+
+let of_events events =
+  let b = create () in
+  List.iter (push b) events;
+  b
+
+let of_slots slots =
+  let b = create () in
+  List.iter
+    (function Ev e -> push b e | Punct wm -> push_punct b wm)
+    slots;
+  b
+
+(* Walk events and punctuation in interleaved order: a mark at
+   position [p] fires after event [p - 1] and before event [p]. *)
+let iter_slots f b =
+  let n = Vec.length b.times and nm = Vec.length b.marks in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    while !j < nm && (Vec.get b.marks !j).at <= i do
+      f (Punct (Vec.get b.marks !j).wm);
+      incr j
+    done;
+    f (Ev (event b i))
+  done;
+  while !j < nm do
+    f (Punct (Vec.get b.marks !j).wm);
+    incr j
+  done
+
+let to_slots b =
+  let acc = ref [] in
+  iter_slots (fun s -> acc := s :: !acc) b;
+  List.rev !acc
+
+let is_time_ordered b =
+  let n = Vec.length b.times in
+  let ok = ref true in
+  let prev = ref min_int in
+  for i = 0 to n - 1 do
+    let t = Vec.get b.times i in
+    if t < !prev then ok := false;
+    prev := t
+  done;
+  !ok

@@ -1,0 +1,133 @@
+open Fw_window
+module Aggregate = Fw_agg.Aggregate
+module Combine = Fw_agg.Combine
+module Plan = Fw_plan.Plan
+
+let keys_of events =
+  List.sort_uniq String.compare (List.map (fun e -> e.Event.key) events)
+
+let window_rows agg window ~horizon events =
+  let instances = Interval.instances_until window ~horizon in
+  let keys = keys_of events in
+  List.concat_map
+    (fun interval ->
+      List.filter_map
+        (fun key ->
+          let hits =
+            List.filter
+              (fun e ->
+                String.equal e.Event.key key
+                && Interval.contains interval e.Event.time)
+              events
+          in
+          match hits with
+          | [] -> None
+          | first :: rest ->
+              let state =
+                List.fold_left
+                  (fun st e -> Combine.add st e.Event.value)
+                  (Combine.of_value agg first.Event.value)
+                  rest
+              in
+              Some
+                { Row.window; interval; key; value = Combine.finalize state })
+        keys)
+    instances
+
+let run agg ws ~horizon events =
+  let ws = Window.dedup ws in
+  Row.sort (List.concat_map (fun w -> window_rows agg w ~horizon events) ws)
+
+(* --- Batch execution of a full plan, sharing sub-aggregates. --- *)
+
+module Slot = struct
+  type t = Interval.t * string
+
+  let compare (i1, k1) (i2, k2) =
+    match Interval.compare i1 i2 with
+    | 0 -> String.compare k1 k2
+    | c -> c
+end
+
+module Slot_map = Map.Make (Slot)
+
+(* Per-window table: (instance interval, key) -> sub-aggregate state. *)
+let from_stream agg window ~horizon events =
+  let instances = Interval.instances_until window ~horizon in
+  List.fold_left
+    (fun table e ->
+      List.fold_left
+        (fun table interval ->
+          if Interval.contains interval e.Event.time then
+            Slot_map.update
+              (interval, e.Event.key)
+              (function
+                | None -> Some (Combine.of_value agg e.Event.value)
+                | Some st -> Some (Combine.add st e.Event.value))
+              table
+          else table)
+        table instances)
+    Slot_map.empty events
+
+let from_upstream window ~upstream ~upstream_table ~horizon =
+  let instances = Interval.instances_until window ~horizon in
+  List.fold_left
+    (fun table interval ->
+      let cover =
+        Fw_window.Coverage.covering_set ~covered:window ~by:upstream interval
+      in
+      Slot_map.fold
+        (fun (up_interval, key) state table ->
+          if List.exists (Interval.equal up_interval) cover then
+            Slot_map.update (interval, key)
+              (function
+                | None -> Some state
+                | Some st -> Some (Combine.merge st state))
+              table
+          else table)
+        upstream_table table)
+    Slot_map.empty instances
+
+let apply_filter plan events =
+  match Plan.source_filter plan with
+  | None -> events
+  | Some pred ->
+      List.filter
+        (fun e ->
+          Fw_plan.Predicate.eval pred ~key:e.Event.key ~value:e.Event.value
+            ~time:e.Event.time)
+        events
+
+let run_plan plan ~horizon events =
+  let agg = Plan.agg plan in
+  let events = apply_filter plan events in
+  let tables = Hashtbl.create 16 in
+  (* window tables computed in plan order: inputs precede consumers *)
+  let rows = ref [] in
+  Array.iter
+    (fun op ->
+      match op with
+      | Plan.Source | Plan.Filter _ | Plan.Multicast _ | Plan.Union _ -> ()
+      | Plan.Win_agg { window; expose; _ } ->
+          let table =
+            match Plan.window_input plan window with
+            | `Stream -> from_stream agg window ~horizon events
+            | `Window upstream ->
+                let upstream_table = Hashtbl.find tables upstream in
+                from_upstream window ~upstream ~upstream_table ~horizon
+          in
+          Hashtbl.replace tables window table;
+          if expose then
+            Slot_map.iter
+              (fun (interval, key) state ->
+                rows :=
+                  {
+                    Row.window;
+                    interval;
+                    key;
+                    value = Combine.finalize state;
+                  }
+                  :: !rows)
+              table)
+    (Plan.nodes plan);
+  Row.sort !rows

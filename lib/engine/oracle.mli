@@ -1,0 +1,35 @@
+(** Batch oracle executor.
+
+    Computes every window aggregate directly from the raw events by
+    definition — one pass per (window, instance) — with no sharing and
+    no incremental state.  Deliberately simple and obviously correct:
+    the streaming executor and the rewritten plans are tested against
+    it. *)
+
+val window_rows :
+  Fw_agg.Aggregate.t ->
+  Fw_window.Window.t ->
+  horizon:int ->
+  Event.t list ->
+  Row.t list
+(** Aggregate one window over all complete instances within the
+    horizon; instances with no events produce no row. *)
+
+val run :
+  Fw_agg.Aggregate.t ->
+  Fw_window.Window.t list ->
+  horizon:int ->
+  Event.t list ->
+  Row.t list
+(** All windows (deduplicated), rows sorted. *)
+
+val apply_filter : Fw_plan.Plan.t -> Event.t list -> Event.t list
+(** Drop the events rejected by the plan's source filter (identity when
+    the plan has none). *)
+
+val run_plan : Fw_plan.Plan.t -> horizon:int -> Event.t list -> Row.t list
+(** Execute a plan in batch mode: each window aggregate materializes
+    per-instance sub-aggregate states from its input (raw events or the
+    covering set of its upstream window's states), and exposed windows
+    contribute rows.  Validates the plan's sharing logic without the
+    streaming machinery. *)

@@ -39,8 +39,8 @@ let describe_diff diff =
 let verify_against_naive plan ~horizon events =
   let { rows; _ } = execute plan ~horizon events in
   let oracle =
-    Batch.run (Plan.agg plan) (Plan.exposed_windows plan) ~horizon
-      (Batch.apply_filter plan events)
+    Oracle.run (Plan.agg plan) (Plan.exposed_windows plan) ~horizon
+      (Oracle.apply_filter plan events)
   in
   if Row.equal_sets rows oracle then Ok ()
   else Error (describe_diff (Row.diff rows oracle))

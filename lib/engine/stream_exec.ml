@@ -13,8 +13,10 @@ exception Late_event of Event.t
 
 type mode = Naive | Incremental
 
+(* Raw events travel only through the columnar batch path
+   ([bdeliver] below); the per-message path carries the irregular
+   traffic — sub-aggregate emissions and watermarks. *)
 type item =
-  | Raw of Event.t
   | Sub of {
       window : Window.t;
       interval : Interval.t;
@@ -88,6 +90,8 @@ type t = {
   sources : int array;
   mutable source_wm : int;
   rows : Row.t Vec.t;
+  scratch : Batch.t;  (** reused one-event batch backing the [feed] wrapper *)
+  mutable iota : int array;  (** identity selection [0; 1; ...] for batch roots *)
   mutable closed : bool;
 }
 
@@ -167,14 +171,10 @@ let rec deliver t id msg =
   | Watermark _ -> ());
   match t.states.(id) with
   | N_forward -> forward t id msg
-  | N_filter pred -> (
-      match msg with
-      | Item (Raw e) ->
-          if
-            Fw_plan.Predicate.eval pred ~key:e.Event.key ~value:e.Event.value
-              ~time:e.Event.time
-          then forward t id msg
-      | Item (Sub _) | Watermark _ -> forward t id msg)
+  | N_filter _ ->
+      (* raw events are filtered on the columnar path ([bdeliver]);
+         sub-aggregates and watermarks pass through *)
+      forward t id msg
   | N_union { sink } ->
       (* The union merges its inputs; when it is the plan output it also
          acts as the result sink.  (Watermarks of the separate inputs
@@ -184,7 +184,7 @@ let rec deliver t id msg =
       | Item (Sub { window; interval; key; state }) when sink ->
           Vec.push t.rows
             { Row.window; interval; key; value = Combine.finalize state }
-      | Item (Sub _ | Raw _) | Watermark _ -> ());
+      | Item (Sub _) | Watermark _ -> ());
       forward t id msg
   | N_win st -> win_deliver t id st msg
   | N_pane ps -> pane_deliver t id ps msg
@@ -255,13 +255,6 @@ and win_fire t id st wm =
 
 and win_deliver t id st msg =
   match msg with
-  | Item (Raw e) ->
-      List.iter
-        (fun m ->
-          win_add_instance st m e.Event.key (function
-            | None -> Combine.of_value t.agg e.Event.value
-            | Some s -> Combine.add s e.Event.value))
-        (instances_containing st.window e.Event.time)
   | Item (Sub { interval; key; state; _ }) ->
       List.iter
         (fun m ->
@@ -292,9 +285,9 @@ and fire_pane t id ps m =
   Hashtbl.iter
     (fun key q ->
       let before = Swag.length q in
-      Swag.evict_below q m;
+      let answer = Swag.slide q ~below:m in
       evicted := !evicted + before - Swag.length q;
-      match Swag.query q with
+      match answer with
       | None -> dead := key :: !dead
       | Some state ->
           items := !items + Swag.length q;
@@ -358,12 +351,6 @@ and pane_roll t id ps ~upto =
 
 and pane_deliver t id ps msg =
   match msg with
-  | Item (Raw e) ->
-      (* An event ahead of the last watermark proves every pane before
-         its timestamp complete (ingestion is time-ordered), so roll
-         first: the open pane is always the event's own pane. *)
-      pane_roll t id ps ~upto:e.Event.time;
-      Pane.add ps.open_pane ~key:e.Event.key e.Event.value
   | Item (Sub _) ->
       (* [create] only assigns pane states to windows reading the raw
          stream. *)
@@ -480,6 +467,8 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
     sources;
     source_wm = 0;
     rows = Vec.create ();
+    scratch = Batch.create ();
+    iota = [||];
     closed = false;
   }
 
@@ -598,15 +587,163 @@ let import ?metrics ?observe plan x =
 let root_deliver t msg =
   Array.iter (fun id -> deliver t id msg) t.sources
 
+(* --- batched dispatch ----------------------------------------------- *)
+
+(* Vectorized delivery of raw events: one node visit per batch segment
+   instead of one per event.  [sel.(lo .. hi-1)] are column indices
+   into [b]; filters narrow the selection, window operators fold the
+   whole run inline.  Watermarks still travel through the per-message
+   [deliver] above — firing is where rows are born and order matters,
+   so that path stays shared between the per-event and batched modes.
+
+   The equivalence argument (why coalescing per-event watermarks to
+   segment boundaries is invisible): an event at time [t] only folds
+   into instances with [hi > t], which is disjoint from the instances
+   a watermark [<= t] fires; firing pops {!Pending} in ascending
+   (hi, lo, key) order, so the per-node emission order of a coalesced
+   fire equals the concatenation of the per-event fires; and the
+   cost-model counters are order-insensitive sums.  Engine state at
+   every punctuation boundary is therefore exactly the per-event
+   state — which is what makes mid-batch checkpoints sound
+   ({!Fw_snap.Checkpoint}).  Per-node activation counts and sampled
+   latencies may legitimately differ (fewer, larger activations). *)
+let rec bdeliver t id b sel lo hi =
+  if hi > lo then begin
+    if t.observe then Counter.add t.obs.(id).Metrics.rows_in (hi - lo);
+    match t.states.(id) with
+    | N_forward -> bforward t id b sel lo hi
+    | N_filter pred ->
+        let times = Batch.times b
+        and keys = Batch.keys b
+        and values = Batch.values b in
+        let keep = Array.make (hi - lo) 0 in
+        let m = ref 0 in
+        for i = lo to hi - 1 do
+          let j = sel.(i) in
+          if
+            Fw_plan.Predicate.eval pred ~key:keys.(j) ~value:values.(j)
+              ~time:times.(j)
+          then begin
+            keep.(!m) <- j;
+            incr m
+          end
+        done;
+        bforward t id b keep 0 !m
+    | N_union _ ->
+        (* raw events never become rows at the sink; pass through *)
+        bforward t id b sel lo hi
+    | N_win st -> bwin_add t st b sel lo hi
+    | N_pane ps -> bpane_add t id ps b sel lo hi
+  end
+
+and bforward t id b sel lo hi =
+  if t.observe then Counter.add t.obs.(id).Metrics.rows_out (hi - lo);
+  let subs = t.subs.(id) in
+  for i = 0 to Array.length subs - 1 do
+    bdeliver t subs.(i) b sel lo hi
+  done
+
+(* Per-instance fold of a run: the instance loop is inlined (no
+   per-event index-list allocation), visiting the same instances in
+   the same ascending order as {!instances_containing}. *)
+and bwin_add t st b sel lo hi =
+  let times = Batch.times b
+  and keys = Batch.keys b
+  and values = Batch.values b in
+  let r = Window.range st.window and s = Window.slide st.window in
+  for i = lo to hi - 1 do
+    let j = sel.(i) in
+    let tm = times.(j) in
+    let v = values.(j) in
+    let hi_m = tm / s in
+    let lo_m = if tm < r then 0 else ((tm - r) / s) + 1 in
+    for m = lo_m to hi_m do
+      let l = m * s in
+      if l <= tm && tm < l + r then
+        win_add_instance st m keys.(j) (function
+          | None -> Combine.of_value t.agg v
+          | Some st' -> Combine.add st' v)
+    done
+  done
+
+(* Pane fold of a run: roll once per pane boundary, then absorb the
+   maximal run landing in the open pane with one columnar
+   {!Pane.add_run} — the events between two boundaries would each have
+   hit [pane_roll] as a no-op in the per-event path. *)
+and bpane_add t id ps b sel lo hi =
+  let times = Batch.times b
+  and keys = Batch.keys b
+  and values = Batch.values b in
+  let i = ref lo in
+  while !i < hi do
+    pane_roll t id ps ~upto:times.(sel.(!i));
+    let bound = (ps.cur_pane + 1) * ps.slide in
+    let j = ref (!i + 1) in
+    while !j < hi && times.(sel.(!j)) < bound do
+      incr j
+    done;
+    Pane.add_run ps.open_pane ~keys ~values ~sel ~lo:!i ~hi:!j;
+    i := !j
+  done
+
+let ensure_iota t n =
+  if Array.length t.iota < n then
+    t.iota <- Array.init (max n (2 * Array.length t.iota)) (fun i -> i)
+
+let feed_batch t b =
+  if t.closed then invalid_arg "Stream_exec.feed_batch: executor is closed";
+  let n = Batch.length b in
+  let nm = Batch.mark_count b in
+  let times = Batch.times b in
+  (* Atomic validation: replay the interleaved slot order against the
+     watermark before touching any state, so a late event rejects the
+     whole batch with no partial effects. *)
+  let running = ref t.source_wm in
+  let mj = ref 0 in
+  for i = 0 to n - 1 do
+    while !mj < nm && fst (Batch.mark b !mj) <= i do
+      let _, wm = Batch.mark b !mj in
+      if wm > !running then running := wm;
+      incr mj
+    done;
+    if times.(i) < !running then raise (Late_event (Batch.event b i));
+    if times.(i) > !running then running := times.(i)
+  done;
+  if n > 0 then Metrics.record_ingest t.metrics n;
+  ensure_iota t n;
+  let iota = t.iota in
+  (* Deliver one segment of events, then broadcast its trailing
+     watermark (the last event's time): per-event execution would have
+     broadcast after every time increase, but no state distinguishable
+     at a segment boundary depends on the intermediate broadcasts. *)
+  let seg lo hi =
+    if hi > lo then begin
+      Array.iter (fun id -> bdeliver t id b iota lo hi) t.sources;
+      let tm = times.(hi - 1) in
+      if tm > t.source_wm then begin
+        t.source_wm <- tm;
+        root_deliver t (Watermark tm)
+      end
+    end
+  in
+  let pos = ref 0 in
+  for j = 0 to nm - 1 do
+    let at, wm = Batch.mark b j in
+    let at = min (max at !pos) n in
+    seg !pos at;
+    pos := at;
+    if wm > t.source_wm then begin
+      t.source_wm <- wm;
+      root_deliver t (Watermark wm)
+    end
+  done;
+  seg !pos n
+
 let feed t e =
   if t.closed then invalid_arg "Stream_exec.feed: executor is closed";
-  if e.Event.time < t.source_wm then raise (Late_event e);
-  Metrics.record_ingest t.metrics 1;
-  root_deliver t (Item (Raw e));
-  if e.Event.time > t.source_wm then begin
-    t.source_wm <- e.Event.time;
-    root_deliver t (Watermark t.source_wm)
-  end
+  Batch.reset t.scratch;
+  Batch.push t.scratch e;
+  feed_batch t t.scratch
 
 let advance t time =
   if t.closed then invalid_arg "Stream_exec.advance: executor is closed";

@@ -57,7 +57,32 @@ val create :
 
 val feed : t -> Event.t -> unit
 (** Push one event; may trigger window firings for instances that the
-    event's timestamp proves complete. *)
+    event's timestamp proves complete.  Implemented as a batch of one
+    ({!feed_batch} over a recycled one-slot scratch batch), so the two
+    entry points cannot drift apart semantically. *)
+
+val feed_batch : t -> Batch.t -> unit
+(** Push a whole columnar batch with one amortized dispatch per plan
+    node per segment, instead of one per event.  Punctuation marks
+    inside the batch split it into segments; pending instances fire at
+    exactly the marked points, and once more at the end of each
+    segment (the last event's time), so watermark semantics are
+    preserved mid-batch.
+
+    Equivalence contract (pinned by [test/test_batch.ml] and the
+    [batched-stream] differential path): any partition of an event
+    stream into batches, with any placement of punctuation marks,
+    yields byte-identical rows and bit-for-bit identical cost-model
+    counters ({!Metrics.ingested}, {!Metrics.per_window}) versus the
+    per-event {!feed}/{!advance} sequence, and the engine state at
+    every punctuation boundary equals the per-event state — which is
+    what makes mid-batch checkpoints recoverable
+    ({!Fw_snap.Checkpoint}).  Per-node activation counts and sampled
+    latency histograms may differ (fewer, larger activations).
+
+    The batch is validated atomically against the watermark before any
+    state changes: a late event anywhere in it raises {!Late_event}
+    and leaves the executor untouched. *)
 
 val advance : t -> int -> unit
 (** Advance the watermark without an event (a punctuation): all

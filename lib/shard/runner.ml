@@ -3,8 +3,7 @@ type t = {
   route : Fw_engine.Event.t -> int;
   queues : Worker.msg Spsc.t array;
   workers : Worker.handle array;
-  bufs : Fw_engine.Event.t list array;  (* newest first *)
-  buf_lens : int array;
+  bufs : Fw_engine.Batch.t array;  (* open columnar batch per shard *)
   batch : int;
   metrics : Fw_engine.Metrics.t;
   mutable wm : int;
@@ -61,8 +60,7 @@ let create ?metrics ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true)
     route;
     queues;
     workers;
-    bufs = Array.make n [];
-    buf_lens = Array.make n 0;
+    bufs = Array.init n (fun _ -> Fw_engine.Batch.create ());
     batch;
     metrics;
     wm = min_int;
@@ -75,12 +73,13 @@ let degraded t = t.resolved.Partition.reason
 let check_open t what =
   if t.closed then invalid_arg (Printf.sprintf "Runner.%s: runner is closed" what)
 
+(* Ship the shard's open batch whole; ownership moves to the worker
+   domain, so the slot gets a fresh batch rather than a reset one. *)
 let flush_shard t i =
-  if t.buf_lens.(i) > 0 then begin
-    let evs = Array.of_list (List.rev t.bufs.(i)) in
-    t.bufs.(i) <- [];
-    t.buf_lens.(i) <- 0;
-    Spsc.push t.queues.(i) (Worker.Events evs)
+  if not (Fw_engine.Batch.is_empty t.bufs.(i)) then begin
+    let b = t.bufs.(i) in
+    t.bufs.(i) <- Fw_engine.Batch.create ();
+    Spsc.push t.queues.(i) (Worker.Batch b)
   end
 
 let flush_all t =
@@ -94,9 +93,8 @@ let feed t ev =
     raise (Fw_engine.Stream_exec.Late_event ev);
   t.wm <- ev.Fw_engine.Event.time;
   let i = t.route ev in
-  t.bufs.(i) <- ev :: t.bufs.(i);
-  t.buf_lens.(i) <- t.buf_lens.(i) + 1;
-  if t.buf_lens.(i) >= t.batch then flush_shard t i
+  Fw_engine.Batch.push t.bufs.(i) ev;
+  if Fw_engine.Batch.length t.bufs.(i) >= t.batch then flush_shard t i
 
 let advance t wm =
   check_open t "advance";

@@ -8,6 +8,11 @@
     stall is counted, so the runner can publish
     [shard_backpressure_waits_total{shard}] per queue.
 
+    Messages are whole columnar batches ({!Worker.msg}), not single
+    events: the ring pays one mutex round-trip per batch, so the
+    per-event synchronization cost — the dominant term the earlier
+    shard bench exposed — is amortized across the batch size.
+
     Single producer, single consumer is a {e contract}, not an enforced
     property: the runner owns the producing side, the worker domain the
     consuming side.  The counters ({!push_waits}, {!pop_waits},

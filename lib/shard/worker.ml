@@ -1,5 +1,5 @@
 type msg =
-  | Events of Fw_engine.Event.t array
+  | Batch of Fw_engine.Batch.t
   | Advance of int
   | Close of int
 
@@ -13,8 +13,8 @@ let serve ~mode ~observe plan q : outcome =
     let exec = Fw_engine.Stream_exec.create ~metrics ~mode ~observe plan in
     let rec loop () =
       match Spsc.pop q with
-      | Events evs ->
-          Array.iter (Fw_engine.Stream_exec.feed exec) evs;
+      | Batch b ->
+          Fw_engine.Stream_exec.feed_batch exec b;
           loop ()
       | Advance wm ->
           Fw_engine.Stream_exec.advance exec wm;

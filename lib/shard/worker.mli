@@ -16,10 +16,15 @@
     instead of a result. *)
 
 type msg =
-  | Events of Fw_engine.Event.t array
-      (** A batch of events for this shard, in event-time order. *)
+  | Batch of Fw_engine.Batch.t
+      (** A columnar batch of this shard's events, in event-time order,
+          consumed whole via {!Fw_engine.Stream_exec.feed_batch}.
+          Ownership transfers with the message: the producer must not
+          touch the batch after pushing it. *)
   | Advance of int
-      (** A broadcast punctuation: advance the watermark. *)
+      (** A broadcast punctuation: advance the watermark.  The runner
+          flushes a shard's pending batch before sending one, so the
+          per-shard message stream stays in time order. *)
   | Close of int
       (** Close the executor at this horizon and terminate. *)
 

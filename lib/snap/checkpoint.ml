@@ -76,13 +76,18 @@ let make_obs ~observe metrics =
             ~help:"Pipeline pause per checkpoint (encode + write + rename)";
       }
 
-let append t rec_ =
+let append_noflush t rec_ =
   match t.wal with
-  | Some oc ->
-      output_string oc (Codec.encode_wal_record rec_);
-      (* flushed per record: after a crash everything fed is durable *)
-      flush oc
+  | Some oc -> output_string oc (Codec.encode_wal_record rec_)
   | None -> assert false
+
+let flush_wal t =
+  match t.wal with Some oc -> flush oc | None -> assert false
+
+let append t rec_ =
+  append_noflush t rec_;
+  (* flushed per record: after a crash everything fed is durable *)
+  flush_wal t
 
 (* Copy newly-emitted rows into the row log's channel buffer.  Not
    flushed here — row durability is only promised up to the last
@@ -227,6 +232,62 @@ let advance t time =
   Stream_exec.advance t.exec time;
   drain_rows t;
   if t.on_punctuation then checkpoint_now t
+
+(* Batched ingestion with the per-event durability and policy contract
+   kept exact: the batch is split into sub-batches cut at every point
+   where the per-event path would have done something observable — a
+   punctuation mark (advance + optional snapshot), the every-N
+   checkpoint cadence, and the fault plan's crash ordinal.  Inside a
+   sub-batch the WAL records are appended (one flush for the whole
+   sub-batch, still strictly before the events are fed) and the engine
+   consumes the events via [feed_batch]; at each cut the engine state
+   equals the per-event state, so snapshots taken at batch-internal
+   punctuations recover byte-identically. *)
+let feed_batch t b =
+  if t.closed then invalid_arg "Checkpoint: already closed";
+  let module Batch = Fw_engine.Batch in
+  let sub = Batch.create () in
+  let flush_sub () =
+    let n = Batch.length sub in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        append_noflush t (Codec.Wal_event (Batch.event sub i))
+      done;
+      flush_wal t;
+      Stream_exec.feed_batch t.exec sub;
+      drain_rows t;
+      (* the cuts guarantee a checkpoint or crash ordinal can only land
+         on the last event of a sub-batch, where the engine state is
+         exactly the per-event state *)
+      for _ = 1 to n do
+        t.ordinal <- t.ordinal + 1;
+        t.since <- t.since + 1;
+        Fault.on_event t.fault t.ordinal;
+        if t.since >= t.every then checkpoint_now t
+      done;
+      Batch.reset sub
+    end
+  in
+  Batch.iter_slots
+    (function
+      | Batch.Ev e ->
+          Batch.push sub e;
+          let pending = Batch.length sub in
+          let cut_every = t.since + pending >= t.every in
+          let cut_fault =
+            match Fault.crash_at_event t.fault with
+            | Some k -> t.ordinal + pending >= k
+            | None -> false
+          in
+          if cut_every || cut_fault then flush_sub ()
+      | Batch.Punct wm ->
+          flush_sub ();
+          append t (Codec.Wal_advance wm);
+          Stream_exec.advance t.exec wm;
+          drain_rows t;
+          if t.on_punctuation then checkpoint_now t)
+    b;
+  flush_sub ()
 
 let close t ~horizon =
   if t.closed then invalid_arg "Checkpoint: already closed";

@@ -71,6 +71,19 @@ val feed : t -> Fw_engine.Event.t -> unit
 val advance : t -> int -> unit
 (** Log and apply a punctuation. *)
 
+val feed_batch : t -> Fw_engine.Batch.t -> unit
+(** Batched ingestion with the per-event contract kept exact.  The
+    batch is split at every point where {!feed}/{!advance} would act:
+    batch-internal punctuation marks (logged and applied in place, with
+    an [on_punctuation] snapshot if configured — i.e. checkpoints can
+    land {e mid-batch} and recover byte-identically), the [every]-event
+    checkpoint cadence, and the fault plan's crash ordinal.  Every
+    event is logged before it is fed (one WAL flush per sub-batch,
+    still strictly ahead of the feed), so a {!Fault.Crash} raised
+    mid-batch leaves the log holding exactly the events fed — the same
+    durable prefix a per-event run would have.  Propagates
+    {!Fw_engine.Stream_exec.Late_event} and {!Fault.Crash}. *)
+
 val checkpoint_now : t -> unit
 (** Force a snapshot regardless of policy. *)
 

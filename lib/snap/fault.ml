@@ -16,6 +16,7 @@ let create ?crash_at_event ?torn_bytes () =
   { crash_at_event; torn_bytes; last_checkpoint = None }
 
 let passive () = create ()
+let crash_at_event t = t.crash_at_event
 
 let truncate_file path n =
   let data = In_channel.with_open_bin path In_channel.input_all in

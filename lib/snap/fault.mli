@@ -32,6 +32,11 @@ val create : ?crash_at_event:int -> ?torn_bytes:int -> unit -> t
 val passive : unit -> t
 (** Injects nothing — the default for production checkpointing. *)
 
+val crash_at_event : t -> int option
+(** The configured crash ordinal, if any.  Batched ingestion cuts its
+    sub-batches here so the crash lands after exactly the same events
+    as under per-event feeding. *)
+
 (** {2 Hooks (called by {!Checkpoint})} *)
 
 val on_event : t -> int -> unit

@@ -36,3 +36,7 @@ let to_list v = List.init v.len (fun i -> v.data.(i))
 let clear v =
   v.data <- [||];
   v.len <- 0
+
+let reset v = v.len <- 0
+
+let unsafe_data v = v.data

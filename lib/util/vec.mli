@@ -20,3 +20,15 @@ val to_list : 'a t -> 'a list
 (** Elements in push order. *)
 
 val clear : 'a t -> unit
+(** Empty the vector and release its storage. *)
+
+val reset : 'a t -> unit
+(** Empty the vector but keep its storage for reuse (hot-path
+    recycling, e.g. a columnar batch refilled every flush).  Boxed
+    elements beyond the new length stay reachable until overwritten. *)
+
+val unsafe_data : 'a t -> 'a array
+(** The backing array; only indices [0 .. length v - 1] are
+    meaningful, and a later [push] may swap the array out entirely.
+    For tight read loops (columnar batch dispatch) that would
+    otherwise pay a bounds check per {!get}. *)

@@ -14,7 +14,7 @@ module Harness = Fw_check.Harness
 module Aggregate = Fw_agg.Aggregate
 module Event = Fw_engine.Event
 module Row = Fw_engine.Row
-module Batch = Fw_engine.Batch
+module Oracle = Fw_engine.Oracle
 
 let ev t k v = Event.make ~time:t ~key:k ~value:v
 
@@ -56,7 +56,7 @@ let prop_reference_equals_batch =
       in
       Row.equal_sets
         (Reference.run agg ws ~horizon:80 events)
-        (Batch.run agg ws ~horizon:80 events))
+        (Oracle.run agg ws ~horizon:80 events))
 
 (* --- scenario generation --- *)
 
@@ -98,6 +98,7 @@ let fixed_scenario agg windows events ~eta ~horizon =
     shape = Scenario.Random_shape;
     tumbling = List.for_all Window.is_tumbling windows;
     shards = 4;
+    batch = 7;
   }
 
 let test_differential_example6 () =
@@ -125,7 +126,7 @@ let test_differential_median_and_hopping () =
   check_int "hopping invariants" 0 (List.length (Invariants.check sc))
 
 let test_path_roster () =
-  check_int "twelve paths" 12 (List.length Paths.all);
+  check_int "sixteen paths" 16 (List.length Paths.all);
   check_bool "incremental path listed" true
     (List.mem Paths.Incremental_stream Paths.all);
   check_string "incremental path name" "incremental-stream"
@@ -139,7 +140,19 @@ let test_path_roster () =
   check_bool "sharded path listed" true
     (List.mem Paths.Sharded_stream Paths.all);
   check_string "sharded path name" "sharded-stream"
-    (Paths.name Paths.Sharded_stream)
+    (Paths.name Paths.Sharded_stream);
+  check_bool "batched paths listed" true
+    (List.mem Paths.Batched_stream Paths.all
+    && List.mem Paths.Sharded_batched Paths.all
+    && List.mem (Paths.Crash_batched Fw_engine.Stream_exec.Naive) Paths.all
+    && List.mem (Paths.Crash_batched Fw_engine.Stream_exec.Incremental)
+         Paths.all);
+  check_string "batched path name" "batched-stream"
+    (Paths.name Paths.Batched_stream);
+  check_string "sharded-batched path name" "sharded-batched"
+    (Paths.name Paths.Sharded_batched);
+  check_string "crash-batched path name" "crash-batched-incremental"
+    (Paths.name (Paths.Crash_batched Fw_engine.Stream_exec.Incremental))
 
 let test_incremental_path_applicability () =
   (* The incremental engine falls back per node, so it applies to every
@@ -272,6 +285,49 @@ let test_bounded_crash_campaign () =
       Alcotest.fail
         ("crash campaign failure: " ^ Format.asprintf "%a" Harness.pp_failure f)
 
+let test_bounded_batched_campaign () =
+  (* The batched acceptance property: under full batch/shard/crash
+     composition the vectorized paths — feed_batch with mid-batch
+     punctuation, batch-per-message shard rings at the scenario's
+     batch size, checkpoints landing inside batches — all recover
+     byte-identical rows and bit-for-bit cost counters across a
+     bounded campaign. *)
+  let cfg =
+    {
+      Harness.default_config with
+      Harness.iterations = 30;
+      base_seed = 4200;
+      crash_prob = 0.25;
+      shard_prob = 0.25;
+      batch_prob = 1.0;
+    }
+  in
+  let outcome = Harness.run cfg in
+  check_int "all scenarios checked" 30 outcome.Harness.checked;
+  match outcome.Harness.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        ("batched campaign failure: "
+        ^ Format.asprintf "%a" Harness.pp_failure f)
+
+let test_shrink_scenario_batch_dimension () =
+  (* a synthetic failure that depends on the batch size shrinks it to
+     the smallest size that still fails, and one that doesn't depend on
+     it lands on 1 *)
+  let events = List.init 20 (fun t -> ev t "k" 1.0) in
+  let sc =
+    {
+      (fixed_scenario Aggregate.Sum [ tumbling 10 ] events ~eta:1 ~horizon:20)
+      with
+      Scenario.batch = 13;
+    }
+  in
+  let shrunk = Shrink.scenario (fun sc -> sc.Scenario.batch >= 5) sc in
+  check_int "batch shrunk to smallest failing" 5 shrunk.Scenario.batch;
+  let shrunk = Shrink.scenario (fun _ -> true) sc in
+  check_int "batch-independent failure lands on 1" 1 shrunk.Scenario.batch
+
 let test_check_seed_ok () =
   match Harness.check_seed Scenario.default_gen 42 with
   | Ok sc -> check_bool "scenario described" true (Scenario.summary sc <> "")
@@ -292,7 +348,7 @@ let suite =
     Alcotest.test_case "differential median + hopping" `Quick
       test_differential_median_and_hopping;
     Alcotest.test_case "non-aligned path gating" `Quick test_non_aligned_paths;
-    Alcotest.test_case "path roster (12 paths)" `Quick test_path_roster;
+    Alcotest.test_case "path roster (16 paths)" `Quick test_path_roster;
     Alcotest.test_case "incremental path applicability" `Quick
       test_incremental_path_applicability;
     Alcotest.test_case "paths subset restricts" `Quick
@@ -309,5 +365,9 @@ let suite =
       test_bounded_campaign;
     Alcotest.test_case "bounded crash campaign (40 seeds, p=0.3)" `Quick
       test_bounded_crash_campaign;
+    Alcotest.test_case "bounded batched campaign (30 seeds, composed)" `Quick
+      test_bounded_batched_campaign;
+    Alcotest.test_case "shrink scenario batch dimension" `Quick
+      test_shrink_scenario_batch_dimension;
     Alcotest.test_case "check_seed ok" `Quick test_check_seed_ok;
   ]

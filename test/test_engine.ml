@@ -2,7 +2,7 @@ open Helpers
 open Fw_window
 module Event = Fw_engine.Event
 module Row = Fw_engine.Row
-module Batch = Fw_engine.Batch
+module Oracle = Fw_engine.Oracle
 module Stream_exec = Fw_engine.Stream_exec
 module Metrics = Fw_engine.Metrics
 module Run = Fw_engine.Run
@@ -48,7 +48,7 @@ let test_row_equal_sets () =
 
 let test_batch_window_rows () =
   let events = [ ev 0 "a" 5.0; ev 3 "a" 2.0; ev 12 "a" 7.0; ev 5 "b" 1.0 ] in
-  let rows = Batch.window_rows Aggregate.Min (tumbling 10) ~horizon:20 events in
+  let rows = Oracle.window_rows Aggregate.Min (tumbling 10) ~horizon:20 events in
   check_bool "expected rows" true
     (Row.equal_sets rows
        [
@@ -58,13 +58,13 @@ let test_batch_window_rows () =
        ])
 
 let test_batch_empty_instances () =
-  let rows = Batch.window_rows Aggregate.Sum (tumbling 10) ~horizon:30 [ ev 25 "a" 4.0 ] in
+  let rows = Oracle.window_rows Aggregate.Sum (tumbling 10) ~horizon:30 [ ev 25 "a" 4.0 ] in
   check_int "only one row" 1 (List.length rows)
 
 let test_batch_hopping () =
   (* W(10,5): instances [0,10), [5,15); event at 7 lands in both. *)
   let rows =
-    Batch.window_rows Aggregate.Count (w ~r:10 ~s:5) ~horizon:15 [ ev 7 "a" 1.0 ]
+    Oracle.window_rows Aggregate.Count (w ~r:10 ~s:5) ~horizon:15 [ ev 7 "a" 1.0 ]
   in
   check_int "two rows" 2 (List.length rows);
   List.iter (fun r -> check_bool "count 1" true (r.Row.value = 1.0)) rows
@@ -75,7 +75,7 @@ let test_stream_matches_oracle_simple () =
   let plan = Plan.naive Aggregate.Min example6_windows in
   let events = List.init 120 (fun t -> ev t "k" (float_of_int ((t * 17) mod 31))) in
   let rows = Stream_exec.run plan ~horizon:120 events in
-  let oracle = Batch.run Aggregate.Min example6_windows ~horizon:120 events in
+  let oracle = Oracle.run Aggregate.Min example6_windows ~horizon:120 events in
   check_bool "match" true (Row.equal_sets rows oracle)
 
 let test_stream_late_event () =
@@ -376,8 +376,8 @@ let prop_batch_plan_equals_direct =
             Fw_workload.Event_gen.steady prng
               Fw_workload.Event_gen.default_config ~eta ~horizon
           in
-          let via_plan = Batch.run_plan outcome.Rewrite.plan ~horizon events in
-          let direct = Batch.run agg ws ~horizon events in
+          let via_plan = Oracle.run_plan outcome.Rewrite.plan ~horizon events in
+          let direct = Oracle.run agg ws ~horizon events in
           Row.equal_sets via_plan direct)
 
 let test_median_naive_end_to_end () =
@@ -525,7 +525,7 @@ let prop_incremental_rewritten_equals_oracle =
           in
           Row.equal_sets
             (Stream_exec.run ~mode:inc outcome.Rewrite.plan ~horizon events)
-            (Batch.run agg ws ~horizon events))
+            (Oracle.run agg ws ~horizon events))
 
 (* --- watermark / punctuation / close edge cases --- *)
 

@@ -27,4 +27,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("snap", Test_snap.suite);
       ("shard", Test_shard.suite);
+      ("batch", Test_batch.suite);
     ]

@@ -14,6 +14,7 @@ module Stream_exec = Fw_engine.Stream_exec
 module Metrics = Fw_engine.Metrics
 module Event = Fw_engine.Event
 module Row = Fw_engine.Row
+module Batch = Fw_engine.Batch
 module Plan = Fw_plan.Plan
 module Event_gen = Fw_workload.Event_gen
 module Set_gen = Fw_workload.Set_gen
@@ -100,13 +101,13 @@ let test_worker_error_drains () =
   let plan = Plan.naive Aggregate.Sum example6_windows in
   let q = Spsc.create ~capacity:1 in
   let h = Worker.spawn plan q in
-  Spsc.push q (Worker.Events [| Event.make ~time:5 ~key:"k" ~value:1.0 |]);
+  Spsc.push q (Worker.Batch (Batch.of_events [ Event.make ~time:5 ~key:"k" ~value:1.0 ]));
   Spsc.push q (Worker.Advance 10);
   (* late event: the executor raises inside the worker domain *)
-  Spsc.push q (Worker.Events [| Event.make ~time:1 ~key:"k" ~value:1.0 |]);
+  Spsc.push q (Worker.Batch (Batch.of_events [ Event.make ~time:1 ~key:"k" ~value:1.0 ]));
   (* these would deadlock a dead consumer on a capacity-1 ring *)
   for t = 11 to 30 do
-    Spsc.push q (Worker.Events [| Event.make ~time:t ~key:"k" ~value:1.0 |])
+    Spsc.push q (Worker.Batch (Batch.of_events [ Event.make ~time:t ~key:"k" ~value:1.0 ]))
   done;
   Spsc.push q (Worker.Close 40);
   match Worker.join h with
