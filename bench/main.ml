@@ -613,6 +613,18 @@ let engine_window_sets =
         Window.make ~range:8 ~slide:2;
         Window.make ~range:30 ~slide:3;
       ] );
+    (* Count-domain mirror of hopping4: same geometry but on the
+       per-key ordinal axis, exercising the count-window operator in
+       both modes (incremental mode reports it as a fallback). *)
+    ( "count4",
+      [
+        Window.count_hop ~range:10 ~slide:2;
+        Window.count_hop ~range:12 ~slide:4;
+        Window.count_hop ~range:8 ~slide:2;
+        Window.count_hop ~range:30 ~slide:3;
+      ] );
+    (* Session windows: the per-key gap-tracking fallback operator. *)
+    ("session2", [ Window.session ~gap:3; Window.session ~gap:11 ]);
   ]
 
 let engine_aggregates =

@@ -17,8 +17,11 @@
    composing with the sharded and crash families when their coins also
    land — asserts row-for-row equality, and checks the structural
    invariants (Theorem 7 forest shape, cost monotonicity, plan
-   validation, metrics-vs-cost-model exactness).  Failures are shrunk
-   to a minimal repro (batch size included) and reported with the
+   validation, metrics-vs-cost-model exactness).  --family-prob mutates
+   drawn window sets across window families (count/ROWS hops, session
+   windows), pushing every path through the per-key ordinal and
+   gap-tracking operators.  Failures are shrunk to a minimal repro
+   (batch size and window family included) and reported with the
    one-line replay command.
 
    Exit status: 0 = no discrepancy, 1 = discrepancies found. *)
@@ -107,6 +110,18 @@ let batch_prob_arg =
   in
   Arg.(value & opt float 1.0 & info [ "batch-prob" ] ~docv:"P" ~doc)
 
+let family_prob_arg =
+  let doc =
+    "Probability that a scenario's drawn window set is mutated across \
+     window families: each window then independently stays a time hop, \
+     becomes a count (ROWS) hop with the same range/slide, or becomes a \
+     session window with a small gap.  0 (the default) draws pure \
+     time-domain scenarios, bit-identical to earlier generator versions; \
+     shrinking degrades count/session windows back toward time windows, \
+     so surviving families are load-bearing."
+  in
+  Arg.(value & opt float 0.0 & info [ "family-prob" ] ~docv:"P" ~doc)
+
 let batch_size_range_arg =
   let doc =
     "Range LO,HI the per-scenario nominal batch size is drawn from; the \
@@ -132,14 +147,15 @@ let artifacts_arg =
   in
   Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR" ~doc)
 
-let gen_config max_windows eta_max horizon_max no_holistic ~batch_min
-    ~batch_max =
+let gen_config max_windows eta_max horizon_max no_holistic ~family_prob
+    ~batch_min ~batch_max =
   {
     Scenario.default_gen with
     Scenario.max_windows;
     eta_max;
     horizon_max;
     allow_holistic = not no_holistic;
+    family_prob;
     batch_min;
     batch_max;
   }
@@ -164,7 +180,7 @@ let replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
       List.iter
         (fun path ->
           if not (Paths.applicable path sc) then
-            Printf.printf "  %-22s skipped (non-aligned windows)\n"
+            Printf.printf "  %-22s skipped (inapplicable window family)\n"
               (Paths.name path)
           else
             match Paths.rows path sc with
@@ -231,7 +247,7 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
 
 let main iterations seed do_replay max_windows eta_max horizon_max
     no_invariants no_holistic incremental_prob crash_prob shard_prob
-    batch_prob batch_size_range max_failures quiet artifacts =
+    batch_prob family_prob batch_size_range max_failures quiet artifacts =
   let bad name v =
     Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
     exit 124
@@ -261,6 +277,11 @@ let main iterations seed do_replay max_windows eta_max horizon_max
       batch_prob;
     exit 124
   end;
+  if family_prob < 0.0 || family_prob > 1.0 then begin
+    Printf.eprintf "fwfuzz: --family-prob must be in [0, 1] (got %g)\n"
+      family_prob;
+    exit 124
+  end;
   let batch_min, batch_max =
     let fail () =
       Printf.eprintf
@@ -278,8 +299,8 @@ let main iterations seed do_replay max_windows eta_max horizon_max
     | _ -> fail ()
   in
   let gen =
-    gen_config max_windows eta_max horizon_max no_holistic ~batch_min
-      ~batch_max
+    gen_config max_windows eta_max horizon_max no_holistic ~family_prob
+      ~batch_min ~batch_max
   in
   let invariants = not no_invariants in
   if do_replay then
@@ -301,7 +322,7 @@ let cmd =
       const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
       $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
       $ incremental_prob_arg $ crash_prob_arg $ shard_prob_arg
-      $ batch_prob_arg $ batch_size_range_arg $ max_failures_arg $ quiet_arg
-      $ artifacts_arg)
+      $ batch_prob_arg $ family_prob_arg $ batch_size_range_arg
+      $ max_failures_arg $ quiet_arg $ artifacts_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -60,18 +60,20 @@ let name = function
   | Crash_batched Stream_exec.Naive -> "crash-batched-naive"
   | Crash_batched Stream_exec.Incremental -> "crash-batched-incremental"
 
-(* The optimizer's cost model assumes aligned windows (footnote 4), so
-   the rewritten paths only apply to aligned scenarios; every other
-   path handles arbitrary hopping windows. *)
 (* The incremental engine handles every scenario: windows where panes
-   don't apply (holistic aggregate, non-aligned geometry) fall back to
-   the per-instance path node by node. *)
+   don't apply (holistic aggregate, non-aligned geometry, count or
+   session family) fall back to a dedicated path node by node.  The
+   rewritten paths are also total now — {!Fw_plan.Rewrite.optimize}
+   routes non-aligned hops and session windows around the WCG as
+   exposed fallback aggregates — so the only gated paths are the
+   slicing ones: session windows have no static slice geometry. *)
 let applicable path sc =
   match path with
-  | Rewritten | Rewritten_no_factor -> Scenario.aligned sc
-  | Reference_path | Naive_stream | Incremental_stream | Sliced _
-  | Crash_restart _ | Sharded_stream | Batched_stream | Sharded_batched
-  | Crash_batched _ ->
+  | Sliced _ ->
+      not (List.exists Window.is_session sc.Scenario.windows)
+  | Reference_path | Naive_stream | Incremental_stream | Rewritten
+  | Rewritten_no_factor | Crash_restart _ | Sharded_stream | Batched_stream
+  | Sharded_batched | Crash_batched _ ->
       true
 
 let rewritten_plan ~factor_windows (sc : Scenario.t) =

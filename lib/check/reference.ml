@@ -37,7 +37,9 @@ let eval agg values =
             and b = List.nth sorted (n / 2) in
             (a +. b) /. 2.0)
 
-let window_rows agg w ~horizon events =
+(* Time-hop evaluator: every instance over the horizon, one scan per
+   instance. *)
+let hop_rows agg w ~horizon events =
   List.concat_map
     (fun interval ->
       let lo = Interval.lo interval and hi = Interval.hi interval in
@@ -64,6 +66,85 @@ let window_rows agg w ~horizon events =
           :: rows)
         by_key [])
     (Interval.instances_until w ~horizon)
+
+(* Per-key value lists in the engine's feed order ({!Event.sort},
+   horizon-clipped) — the coordinate system of the count and session
+   families. *)
+let per_key ~horizon events =
+  let events =
+    List.filter (fun e -> e.Event.time < horizon) (Event.sort events)
+  in
+  List.fold_left
+    (fun acc e ->
+      Key_map.update e.Event.key
+        (function None -> Some [ e ] | Some es -> Some (e :: es))
+        acc)
+    Key_map.empty events
+  |> Key_map.map List.rev
+
+(* Count-hop evaluator: instance [m] of a key covers that key's event
+   ordinals [m·s, m·s+r); only fully-seen instances exist. *)
+let count_rows agg w ~horizon events =
+  let r = Window.range w and s = Window.slide w in
+  Key_map.fold
+    (fun key evs rows ->
+      let values = Array.of_list (List.map (fun e -> e.Event.value) evs) in
+      let n = Array.length values in
+      let rec go m rows =
+        let lo = m * s in
+        if lo + r > n then rows
+        else
+          go (m + 1)
+            ({
+               Row.window = w;
+               interval = Interval.make ~lo ~hi:(lo + r);
+               key;
+               value = eval agg (Array.to_list (Array.sub values lo r));
+             }
+            :: rows)
+      in
+      go 0 rows)
+    (per_key ~horizon events) []
+
+(* Session evaluator: cluster each key's events by gap; a session is
+   emitted, with interval [first, last+gap), once its deadline falls at
+   or before the horizon. *)
+let session_rows agg w ~horizon events =
+  let gap = Window.gap w in
+  Key_map.fold
+    (fun key evs rows ->
+      let close rows = function
+        | None -> rows
+        | Some (first, last, values) ->
+            if last + gap <= horizon then
+              {
+                Row.window = w;
+                interval = Interval.make ~lo:first ~hi:(last + gap);
+                key;
+                value = eval agg (List.rev values);
+              }
+              :: rows
+            else rows
+      in
+      let rows, last_session =
+        List.fold_left
+          (fun (rows, session) e ->
+            match session with
+            | Some (first, last, values) when e.Event.time < last + gap ->
+                (rows, Some (first, e.Event.time, e.Event.value :: values))
+            | _ ->
+                ( close rows session,
+                  Some (e.Event.time, e.Event.time, [ e.Event.value ]) ))
+          (rows, None) evs
+      in
+      close rows last_session)
+    (per_key ~horizon events) []
+
+let window_rows agg w ~horizon events =
+  match Window.hop_domain w with
+  | Some Window.Time -> hop_rows agg w ~horizon events
+  | Some Window.Count -> count_rows agg w ~horizon events
+  | None -> session_rows agg w ~horizon events
 
 let run agg windows ~horizon events =
   Row.sort

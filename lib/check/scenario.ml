@@ -21,6 +21,7 @@ type gen_config = {
   period_bound : int;
   allow_holistic : bool;
   non_aligned_prob : float;
+  family_prob : float;
   window_params : Window_gen.params;
   batch_min : int;
   batch_max : int;
@@ -35,6 +36,7 @@ let default_gen =
     period_bound = 20_000;
     allow_holistic = true;
     non_aligned_prob = 0.2;
+    family_prob = 0.0;
     window_params = Window_gen.default_params;
     (* size 1 must stay drawable: batch-of-1 is the degenerate case the
        batched paths are differenced against *)
@@ -130,6 +132,27 @@ let draw prng cfg =
            windows)
     else windows
   in
+  (* Window-family mutation, drawn additively from the already-consumed
+     shape generator (after the batch draw) so that seeds drawn with
+     [family_prob = 0] are bit-identical to pre-family scenarios.  Each
+     window independently keeps its time geometry, moves to the count
+     domain (same range/slide — coverage structure preserved, now over
+     per-key event ordinals), or becomes a session window; mixed sets
+     exercise the per-domain optimizer split and the fallback plans. *)
+  let windows =
+    if Prng.bernoulli g_shape cfg.family_prob then
+      Window.dedup
+        (List.map
+           (fun w ->
+             match Prng.int g_shape 4 with
+             | 0 | 1 ->
+                 Window.count_hop ~range:(Window.range w)
+                   ~slide:(Window.slide w)
+             | 2 -> Window.session ~gap:(Prng.int_in g_shape 1 12)
+             | _ -> w)
+           windows)
+    else windows
+  in
   let aggs =
     if cfg.allow_holistic then Aggregate.all
     else List.filter Aggregate.shareable Aggregate.all
@@ -150,7 +173,9 @@ let summary t =
     ^ String.concat "; " (List.map Window.to_string t.windows)
     ^ "]")
     (shape_to_string t.shape)
-    (if t.tumbling then ", tumbling"
+    (if List.exists (fun w -> Window.hop_domain w <> Some Window.Time) t.windows
+     then ", families"
+     else if t.tumbling then ", tumbling"
      else if not (aligned t) then ", non-aligned"
      else "")
     t.eta t.horizon

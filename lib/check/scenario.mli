@@ -25,6 +25,14 @@ type gen_config = {
           paths that Algorithm 5's aligned output never reaches.  The
           optimizer paths and invariants are skipped for them (the cost
           model's footnote-4 assumption). *)
+  family_prob : float;
+      (** probability ([fwfuzz --family-prob]) of mutating a drawn set's
+          window families: each window then independently stays a time
+          hop, moves to the count domain with the same range/slide
+          (coverage structure preserved over per-key event ordinals), or
+          becomes a session window with a small gap.  [0.0] (the
+          default) leaves every seed bit-identical to the pre-family
+          generator. *)
   window_params : Fw_workload.Window_gen.params;
   batch_min : int;
   batch_max : int;

@@ -42,6 +42,36 @@ let windows still_fails ws =
   in
   go ws
 
+(* Family degradation to a fixpoint: a failing count or session window
+   often fails for family-independent reasons, so try each one's
+   time-domain shadow (count hop -> the same-geometry time hop, session
+   -> a tumbling window of the gap).  A shrunk repro that still carries
+   a count or session window then implicates the family itself. *)
+let families still_fails ws =
+  let module Window = Fw_window.Window in
+  let shadow w =
+    match Window.hop_domain w with
+    | Some Window.Time -> None
+    | Some Window.Count ->
+        Some (Window.make ~range:(Window.range w) ~slide:(Window.slide w))
+    | None -> Some (Window.tumbling (Window.gap w))
+  in
+  let rec go ws =
+    let try_at i w =
+      match shadow w with
+      | None -> None
+      | Some w' ->
+          let candidate =
+            Window.dedup (List.mapi (fun j x -> if j = i then w' else x) ws)
+          in
+          if still_fails candidate then Some candidate else None
+    in
+    match List.find_map Fun.id (List.mapi try_at ws) with
+    | Some degraded -> go degraded
+    | None -> ws
+  in
+  go ws
+
 (* Smallest shard count (>= 2: one shard is not a sharded run) that
    keeps the failure alive, scanning upward from 2. *)
 let shards still_fails n =
@@ -64,9 +94,10 @@ let scenario still_fails (sc : Scenario.t) =
   let with_windows sc ws = { sc with Scenario.windows = ws } in
   let with_shards sc n = { sc with Scenario.shards = n } in
   let with_batch sc n = { sc with Scenario.batch = n } in
-  (* events first (usually the big list), then windows, then a second
-     event pass — a smaller window set often unlocks further stream
-     reduction — and finally the shard count and batch size. *)
+  (* events first (usually the big list), then windows — removal, then
+     family degradation of the survivors — then a second event pass (a
+     smaller window set often unlocks further stream reduction) and
+     finally the shard count and batch size. *)
   let sc =
     with_events sc
       (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)
@@ -74,6 +105,12 @@ let scenario still_fails (sc : Scenario.t) =
   let sc =
     with_windows sc
       (windows
+         (fun ws -> still_fails (with_windows sc ws))
+         sc.Scenario.windows)
+  in
+  let sc =
+    with_windows sc
+      (families
          (fun ws -> still_fails (with_windows sc ws))
          sc.Scenario.windows)
   in

@@ -23,6 +23,15 @@ val windows :
   Fw_window.Window.t list
 (** Greedy single-window removal to a fixpoint; never empties the set. *)
 
+val families :
+  (Fw_window.Window.t list -> bool) ->
+  Fw_window.Window.t list ->
+  Fw_window.Window.t list
+(** Family degradation to a fixpoint: replace count hops by their
+    same-geometry time hops and session windows by tumbling windows of
+    the gap wherever the failure survives, so a shrunk repro carries a
+    non-time family only when the family itself matters. *)
+
 val shards : (int -> bool) -> int -> int
 (** Smallest shard count in [\[2, n\]] that still fails (2 is the floor:
     one shard is not a sharded run). *)
@@ -33,6 +42,7 @@ val batch : (int -> bool) -> int -> int
     batching at all. *)
 
 val scenario : (Scenario.t -> bool) -> Scenario.t -> Scenario.t
-(** Full pipeline: shrink the event stream, then the window set, then
-    the events once more (a smaller window set often unlocks further
-    stream reduction), then the shard count and batch size. *)
+(** Full pipeline: shrink the event stream, then the window set
+    (removal, then family degradation), then the events once more (a
+    smaller window set often unlocks further stream reduction), then
+    the shard count and batch size. *)

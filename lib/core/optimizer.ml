@@ -46,9 +46,24 @@ let explain t =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        Fw_window.Window.pp)
     t.windows;
+  (match
+     List.filter
+       (fun w -> not (Fw_window.Window.is_aligned w))
+       t.windows
+   with
+  | [] -> ()
+  | fallback ->
+      add "fallback (stream-fed, outside the WCG): %a@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Fw_window.Window.pp)
+        fallback);
   (match t.outcome.Rewrite.optimization with
   | None ->
-      add "aggregate is holistic: no sharing is sound, naive plan kept@."
+      if Fw_agg.Aggregate.shareable t.agg then
+        add "no coverable windows: every window runs stream-fed@."
+      else
+        add "aggregate is holistic: no sharing is sound, naive plan kept@."
   | Some result -> (
       add "%a@." Algorithm1.pp_result result;
       match (naive_cost t, improvement_percent t) with

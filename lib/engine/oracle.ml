@@ -6,40 +6,6 @@ module Plan = Fw_plan.Plan
 let keys_of events =
   List.sort_uniq String.compare (List.map (fun e -> e.Event.key) events)
 
-let window_rows agg window ~horizon events =
-  let instances = Interval.instances_until window ~horizon in
-  let keys = keys_of events in
-  List.concat_map
-    (fun interval ->
-      List.filter_map
-        (fun key ->
-          let hits =
-            List.filter
-              (fun e ->
-                String.equal e.Event.key key
-                && Interval.contains interval e.Event.time)
-              events
-          in
-          match hits with
-          | [] -> None
-          | first :: rest ->
-              let state =
-                List.fold_left
-                  (fun st e -> Combine.add st e.Event.value)
-                  (Combine.of_value agg first.Event.value)
-                  rest
-              in
-              Some
-                { Row.window; interval; key; value = Combine.finalize state })
-        keys)
-    instances
-
-let run agg ws ~horizon events =
-  let ws = Window.dedup ws in
-  Row.sort (List.concat_map (fun w -> window_rows agg w ~horizon events) ws)
-
-(* --- Batch execution of a full plan, sharing sub-aggregates. --- *)
-
 module Slot = struct
   type t = Interval.t * string
 
@@ -51,23 +17,160 @@ end
 
 module Slot_map = Map.Make (Slot)
 
+(* --- data-dependent families ----------------------------------------- *)
+
+(* Per-key event lists in stream order (the engine's feed order:
+   [Event.sort], horizon-clipped) — the coordinate system of the count
+   and session families, whose instances depend on the data. *)
+let per_key_streams ~horizon events =
+  let events =
+    List.filter (fun e -> e.Event.time < horizon) (Event.sort events)
+  in
+  let tbl : (string, Event.t list) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt tbl e.Event.key with
+      | None ->
+          order := e.Event.key :: !order;
+          Hashtbl.replace tbl e.Event.key [ e ]
+      | Some es -> Hashtbl.replace tbl e.Event.key (e :: es))
+    events;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let state_of_events agg = function
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun st e -> Combine.add st e.Event.value)
+           (Combine.of_value agg first.Event.value)
+           rest)
+
+(* Count hop: instance [m] of key [k] spans that key's event ordinals
+   [m·s, m·s+r); only instances the key has fully seen exist. *)
+let count_slots agg window ~horizon events =
+  let r = Window.range window and s = Window.slide window in
+  List.fold_left
+    (fun table (key, evs) ->
+      let evs = Array.of_list evs in
+      let n = Array.length evs in
+      let rec go m table =
+        let lo = m * s in
+        if lo + r > n then table
+        else
+          let state =
+            Option.get
+              (state_of_events agg (Array.to_list (Array.sub evs lo r)))
+          in
+          go (m + 1)
+            (Slot_map.add (Interval.make ~lo ~hi:(lo + r), key) state table)
+      in
+      go 0 table)
+    Slot_map.empty
+    (per_key_streams ~horizon events)
+
+(* Session: per-key gap clustering — an event extends its key's open
+   session iff it lands before [last + gap]; a session is complete (and
+   emitted with interval [first, last+gap)) once its deadline is at or
+   before the horizon the engine closes at. *)
+let session_slots agg window ~horizon events =
+  let gap = Window.gap window in
+  List.fold_left
+    (fun table (key, evs) ->
+      let close table = function
+        | None -> table
+        | Some (first, last, sess) ->
+            if last + gap <= horizon then
+              Slot_map.add
+                (Interval.make ~lo:first ~hi:(last + gap), key)
+                (Option.get (state_of_events agg (List.rev sess)))
+                table
+            else table
+      in
+      let table, open_session =
+        List.fold_left
+          (fun (table, open_session) e ->
+            match open_session with
+            | Some (first, last, sess) when e.Event.time < last + gap ->
+                (table, Some (first, e.Event.time, e :: sess))
+            | _ ->
+                ( close table open_session,
+                  Some (e.Event.time, e.Event.time, [ e ]) ))
+          (table, None) evs
+      in
+      close table open_session)
+    Slot_map.empty
+    (per_key_streams ~horizon events)
+
+(* --- per-window tables ------------------------------------------------ *)
+
 (* Per-window table: (instance interval, key) -> sub-aggregate state. *)
 let from_stream agg window ~horizon events =
-  let instances = Interval.instances_until window ~horizon in
-  List.fold_left
-    (fun table e ->
+  match Window.hop_domain window with
+  | None -> session_slots agg window ~horizon events
+  | Some Window.Count -> count_slots agg window ~horizon events
+  | Some Window.Time ->
+      let instances = Interval.instances_until window ~horizon in
       List.fold_left
-        (fun table interval ->
-          if Interval.contains interval e.Event.time then
-            Slot_map.update
-              (interval, e.Event.key)
-              (function
-                | None -> Some (Combine.of_value agg e.Event.value)
-                | Some st -> Some (Combine.add st e.Event.value))
-              table
-          else table)
-        table instances)
-    Slot_map.empty events
+        (fun table e ->
+          List.fold_left
+            (fun table interval ->
+              if Interval.contains interval e.Event.time then
+                Slot_map.update
+                  (interval, e.Event.key)
+                  (function
+                    | None -> Some (Combine.of_value agg e.Event.value)
+                    | Some st -> Some (Combine.add st e.Event.value))
+                  table
+              else table)
+            table instances)
+        Slot_map.empty events
+
+let window_rows agg window ~horizon events =
+  match Window.hop_domain window with
+  | None | Some Window.Count ->
+      Slot_map.fold
+        (fun (interval, key) state rows ->
+          { Row.window; interval; key; value = Combine.finalize state }
+          :: rows)
+        (from_stream agg window ~horizon events)
+        []
+  | Some Window.Time ->
+      (* kept as the original direct per-instance scan, not routed
+         through the slot tables, so the time family has two
+         independently-written evaluations in the repo *)
+      let instances = Interval.instances_until window ~horizon in
+      let keys = keys_of events in
+      List.concat_map
+        (fun interval ->
+          List.filter_map
+            (fun key ->
+              let hits =
+                List.filter
+                  (fun e ->
+                    String.equal e.Event.key key
+                    && Interval.contains interval e.Event.time)
+                  events
+              in
+              match state_of_events agg hits with
+              | None -> None
+              | Some state ->
+                  Some
+                    {
+                      Row.window;
+                      interval;
+                      key;
+                      value = Combine.finalize state;
+                    })
+            keys)
+        instances
+
+let run agg ws ~horizon events =
+  let ws = Window.dedup ws in
+  Row.sort (List.concat_map (fun w -> window_rows agg w ~horizon events) ws)
+
+(* --- Batch execution of a full plan, sharing sub-aggregates. --- *)
 
 let from_upstream window ~upstream ~upstream_table ~horizon =
   let instances = Interval.instances_until window ~horizon in

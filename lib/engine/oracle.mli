@@ -4,7 +4,14 @@
     definition — one pass per (window, instance) — with no sharing and
     no incremental state.  Deliberately simple and obviously correct:
     the streaming executor and the rewritten plans are tested against
-    it. *)
+    it.
+
+    All three window families are supported.  Time hops enumerate
+    instances over the horizon; count hops enumerate each key's ordinal
+    instances [[m·s, m·s+r)] over that key's horizon-clipped event
+    stream (in {!Event.sort} order, the engine's feed order); session
+    windows cluster each key's events by gap and emit the sessions
+    whose deadline [last + gap] falls at or before the horizon. *)
 
 val window_rows :
   Fw_agg.Aggregate.t ->

@@ -67,6 +67,53 @@ type pane_state = {
   mutable p_wm : int;
 }
 
+module Imap = Map.Make (Int)
+
+(* Count-window (ROWS frame) execution state: instance [m] of key [k]
+   covers that key's event {e ordinals} [[m·s, m·s + r)], so the
+   operator is watermark-free — an instance completes, and fires, the
+   moment ordinal [m·s + r − 1] of its key arrives.  Per-key pending
+   instances are keyed by their ordinal upper bound [hi] ([lo] is
+   always [hi − r]).  Sub-fed nodes (WCG rewrites within the count
+   domain) track the key's ordinal high-water from arriving
+   sub-intervals instead: upstream emits per key in ascending [hi], so
+   the final covering sub of an instance — the one ending exactly at
+   the instance's [hi] — arrives last and doubles as the completion
+   signal. *)
+type cwin_key = {
+  mutable seen : int;  (** ordinal high-water: events seen (stream-fed)
+                           or max sub interval end (sub-fed) *)
+  mutable kpend : (Combine.state * int) Imap.t;  (** keyed by instance hi *)
+}
+
+type cwin_state = {
+  c_window : Window.t;
+  c_keys : (string, cwin_key) Hashtbl.t;
+}
+
+(* Session-window execution state: one open (growable) session per key
+   plus rotated/expired sessions awaiting their deadline.  Join and
+   rotation decisions depend only on the event sequence (an event at
+   [t] joins iff [t < last + gap]), never on watermarks, so coalescing
+   per-event watermarks to batch-segment boundaries cannot change
+   which sessions exist — only when they are emitted, which [close]'s
+   row sort makes invisible. *)
+type open_session = {
+  mutable s_first : int;
+  mutable s_last : int;
+  mutable s_state : Combine.state;
+  mutable s_items : int;
+}
+
+type session_state = {
+  s_window : Window.t;
+  s_gap : int;
+  s_open : (string, open_session) Hashtbl.t;
+  mutable s_pending : (Combine.state * int) Pending.t;
+      (** rotated/expired sessions, keyed {hi = last + gap; lo = first} *)
+  mutable s_wm : int;
+}
+
 (* Flat operator-state array: one cell per plan node, dispatched with a
    single match in [deliver] instead of an array of closures. *)
 type node_state =
@@ -75,6 +122,8 @@ type node_state =
   | N_union of { sink : bool }
   | N_win of win_state
   | N_pane of pane_state
+  | N_cwin of cwin_state
+  | N_session of session_state
 
 type t = {
   plan : Plan.t;
@@ -188,6 +237,8 @@ let rec deliver t id msg =
       forward t id msg
   | N_win st -> win_deliver t id st msg
   | N_pane ps -> pane_deliver t id ps msg
+  | N_cwin st -> cwin_deliver t id st msg
+  | N_session st -> session_deliver t id st msg
 
 and forward t id msg =
   (match msg with
@@ -362,6 +413,157 @@ and pane_deliver t id ps msg =
         forward t id (Watermark w)
       end
 
+(* --- count-window (ROWS frame) operator ----------------------------- *)
+
+and cwin_key_state st key =
+  match Hashtbl.find_opt st.c_keys key with
+  | Some kc -> kc
+  | None ->
+      let kc = { seen = 0; kpend = Imap.empty } in
+      Hashtbl.replace st.c_keys key kc;
+      kc
+
+and cwin_fold st kc m state_update =
+  let hi = (m * Window.slide st.c_window) + Window.range st.c_window in
+  kc.kpend <-
+    Imap.update hi
+      (function
+        | None -> Some (state_update None, 1)
+        | Some (s, items) -> Some (state_update (Some s), items + 1))
+      kc.kpend
+
+(* Fire every pending instance of [key] whose ordinal upper bound has
+   been reached; a {e complete} stream-fed instance folded exactly [r]
+   items and a sub-fed one exactly its covering multiplier, so the
+   metrics measure the same quantity the cost model prices.
+   Incomplete instances (the key never reaches [hi]) never fire. *)
+and cwin_fire t id st key kc ~upto =
+  match Imap.min_binding_opt kc.kpend with
+  | Some (hi0, _) when hi0 <= upto ->
+      let ns = t.obs.(id) in
+      ns.Metrics.activations <- ns.Metrics.activations + 1;
+      let fired = ref 0 in
+      let rec go () =
+        match Imap.min_binding_opt kc.kpend with
+        | Some (hi, (state, items)) when hi <= upto ->
+            kc.kpend <- Imap.remove hi kc.kpend;
+            Metrics.record t.metrics st.c_window items;
+            incr fired;
+            let interval =
+              Interval.make ~lo:(hi - Window.range st.c_window) ~hi
+            in
+            forward t id
+              (Item (Sub { window = st.c_window; interval; key; state }));
+            go ()
+        | Some _ | None -> ()
+      in
+      go ();
+      if t.observe then Counter.add ns.Metrics.fires !fired
+  | Some _ | None -> ()
+
+and cwin_deliver t id st msg =
+  match msg with
+  | Item (Sub { interval; key; state; _ }) ->
+      (* Sub intervals live in the same per-key ordinal space: fold
+         into every enclosing downstream instance, then advance the
+         key's high-water to the sub's end. *)
+      let kc = cwin_key_state st key in
+      List.iter
+        (fun m ->
+          cwin_fold st kc m (function
+            | None -> state
+            | Some s -> Combine.merge s state))
+        (instances_enclosing st.c_window ~lo:(Interval.lo interval)
+           ~hi:(Interval.hi interval));
+      if Interval.hi interval > kc.seen then kc.seen <- Interval.hi interval;
+      cwin_fire t id st key kc ~upto:kc.seen
+  | Watermark w ->
+      (* count instances are watermark-free; punctuation passes through
+         for any time-domain consumers downstream of the union *)
+      forward t id (Watermark w)
+
+(* --- session-window operator ----------------------------------------- *)
+
+(* Rotate [key]'s open session into the pending (deadline-ordered)
+   map. *)
+and session_rotate st key os =
+  Hashtbl.remove st.s_open key;
+  let fk = { Fire_key.hi = os.s_last + st.s_gap; lo = os.s_first; key } in
+  st.s_pending <- Pending.add fk (os.s_state, os.s_items) st.s_pending
+
+(* An event at [tm] joins its key's open session iff it lands strictly
+   before the session's deadline [last + gap]; otherwise the old
+   session is rotated out and a fresh one opens.  Purely event-driven:
+   no watermark can change this decision. *)
+and session_add t st key tm value =
+  match Hashtbl.find_opt st.s_open key with
+  | Some os when tm < os.s_last + st.s_gap ->
+      if tm > os.s_last then os.s_last <- tm;
+      os.s_state <- Combine.add os.s_state value;
+      os.s_items <- os.s_items + 1
+  | prev ->
+      (match prev with Some os -> session_rotate st key os | None -> ());
+      Hashtbl.replace st.s_open key
+        {
+          s_first = tm;
+          s_last = tm;
+          s_state = Combine.of_value t.agg value;
+          s_items = 1;
+        }
+
+(* Watermark [wm]: first expire open sessions whose deadline passed
+   (no future event has time < wm, so they can never be joined again),
+   then emit every pending session whose deadline is due, in ascending
+   (deadline, first, key) order. *)
+and session_advance t id st wm =
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun key os -> if os.s_last + st.s_gap <= wm then dead := (key, os) :: !dead)
+    st.s_open;
+  List.iter (fun (key, os) -> session_rotate st key os) !dead;
+  match Pending.min_binding_opt st.s_pending with
+  | Some (fk0, _) when fk0.Fire_key.hi <= wm ->
+      let ns = t.obs.(id) in
+      ns.Metrics.activations <- ns.Metrics.activations + 1;
+      let fired = ref 0 in
+      let rec go () =
+        match Pending.min_binding_opt st.s_pending with
+        | Some (fk, (state, items)) when fk.Fire_key.hi <= wm ->
+            st.s_pending <- Pending.remove fk st.s_pending;
+            Metrics.record t.metrics st.s_window items;
+            incr fired;
+            let interval =
+              Interval.make ~lo:fk.Fire_key.lo ~hi:fk.Fire_key.hi
+            in
+            forward t id
+              (Item
+                 (Sub
+                    {
+                      window = st.s_window;
+                      interval;
+                      key = fk.Fire_key.key;
+                      state;
+                    }));
+            go ()
+        | Some _ | None -> ()
+      in
+      go ();
+      if t.observe then Counter.add ns.Metrics.fires !fired
+  | Some _ | None -> ()
+
+and session_deliver t id st msg =
+  match msg with
+  | Item (Sub _) ->
+      (* sessions have no static coverage, so the optimizer never feeds
+         them sub-aggregates *)
+      invalid_arg "Stream_exec: session window fed sub-aggregates"
+  | Watermark w ->
+      if w > st.s_wm then begin
+        st.s_wm <- w;
+        session_advance t id st w;
+        forward t id (Watermark w)
+      end
+
 (* --- construction --------------------------------------------------- *)
 
 let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
@@ -407,31 +609,56 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
         | Plan.Source | Plan.Multicast _ -> N_forward
         | Plan.Filter { pred; _ } -> N_filter pred
         | Plan.Union _ -> N_union { sink = false }
-        | Plan.Win_agg { window; _ } ->
-            if mode = Incremental && panes_apply window then
-              N_pane
-                {
-                  p_window = window;
-                  slide = Window.slide window;
-                  k = Window.k_ratio window;
-                  open_pane = Pane.create agg;
-                  cur_pane = 0;
-                  queues = Hashtbl.create 16;
-                  p_wm = 0;
-                }
-            else begin
-              if mode = Incremental then
-                (match fallback_reason window with
-                | Some reason ->
-                    Metrics.record_fallback metrics ~id ~window ~reason
-                | None -> ());
-              N_win { window; pending = Pending.empty; wm = 0 }
-            end)
+        | Plan.Win_agg { window; _ } -> (
+            match (window : Window.t) with
+            | Window.Session { gap } ->
+                (* Key-dependent extents: the dedicated gap-tracking
+                   fallback operator in both modes.  Incremental mode
+                   surfaces it through the fallback metric. *)
+                if mode = Incremental then
+                  Metrics.record_fallback metrics ~id ~window
+                    ~reason:"session-window";
+                N_session
+                  {
+                    s_window = window;
+                    s_gap = gap;
+                    s_open = Hashtbl.create 16;
+                    s_pending = Pending.empty;
+                    s_wm = 0;
+                  }
+            | Window.Hop { domain = Window.Count; _ } ->
+                (* Ordinal-space instances: the dedicated count operator
+                   in both modes (panes pre-aggregate per time slide, so
+                   they never apply on the count axis). *)
+                if mode = Incremental then
+                  Metrics.record_fallback metrics ~id ~window
+                    ~reason:"count-window";
+                N_cwin { c_window = window; c_keys = Hashtbl.create 16 }
+            | Window.Hop { domain = Window.Time; _ } ->
+                if mode = Incremental && panes_apply window then
+                  N_pane
+                    {
+                      p_window = window;
+                      slide = Window.slide window;
+                      k = Window.k_ratio window;
+                      open_pane = Pane.create agg;
+                      cur_pane = 0;
+                      queues = Hashtbl.create 16;
+                      p_wm = 0;
+                    }
+                else begin
+                  if mode = Incremental then
+                    (match fallback_reason window with
+                    | Some reason ->
+                        Metrics.record_fallback metrics ~id ~window ~reason
+                    | None -> ());
+                  N_win { window; pending = Pending.empty; wm = 0 }
+                end))
       nodes
   in
   (match states.(output) with
   | N_union _ -> states.(output) <- N_union { sink = true }
-  | N_forward | N_filter _ | N_win _ | N_pane _ -> ());
+  | N_forward | N_filter _ | N_win _ | N_pane _ | N_cwin _ | N_session _ -> ());
   let obs =
     Array.mapi
       (fun id op ->
@@ -442,6 +669,9 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
           | Plan.Filter _, _ -> ("filter", None)
           | Plan.Union _, _ -> ("union", None)
           | Plan.Win_agg { window; _ }, N_pane _ -> ("win-pane", Some window)
+          | Plan.Win_agg { window; _ }, N_cwin _ -> ("win-count", Some window)
+          | Plan.Win_agg { window; _ }, N_session _ ->
+              ("win-session", Some window)
           | Plan.Win_agg { window; _ }, _ -> ("win-naive", Some window)
         in
         Metrics.node metrics ~id ~kind ?window ())
@@ -495,6 +725,17 @@ type node_export =
       x_open_pane : Pane.export;
       x_queues : (string * Swag.export) list;  (* sorted by key *)
     }
+  | X_cwin of {
+      xc_keys : (string * int * (int * Combine.state * int) list) list;
+          (* (key, seen, [(hi, state, items)] ascending), sorted by key *)
+    }
+  | X_session of {
+      xs_open : (string * int * int * Combine.state * int) list;
+          (* (key, first, last, state, items), sorted by key *)
+      xs_pending : (int * int * string * Combine.state * int) list;
+          (* (hi, lo, key, state, items), in Fire_key order *)
+      xs_wm : int;
+    }
 
 type export = {
   x_mode : mode;
@@ -533,6 +774,40 @@ let export ?(rows = true) t =
                 (Hashtbl.fold
                    (fun k q acc -> (k, Swag.export q) :: acc)
                    ps.queues []);
+          }
+    | N_cwin st ->
+        X_cwin
+          {
+            xc_keys =
+              List.sort
+                (fun (a, _, _) (b, _, _) -> String.compare a b)
+                (Hashtbl.fold
+                   (fun key kc acc ->
+                     ( key,
+                       kc.seen,
+                       List.map
+                         (fun (hi, (state, items)) -> (hi, state, items))
+                         (Imap.bindings kc.kpend) )
+                     :: acc)
+                   st.c_keys []);
+          }
+    | N_session st ->
+        X_session
+          {
+            xs_open =
+              List.sort
+                (fun (a, _, _, _, _) (b, _, _, _, _) -> String.compare a b)
+                (Hashtbl.fold
+                   (fun key os acc ->
+                     (key, os.s_first, os.s_last, os.s_state, os.s_items)
+                     :: acc)
+                   st.s_open []);
+            xs_pending =
+              List.map
+                (fun (fk, (state, items)) ->
+                  (fk.Fire_key.hi, fk.Fire_key.lo, fk.Fire_key.key, state, items))
+                (Pending.bindings st.s_pending);
+            xs_wm = st.s_wm;
           }
   in
   {
@@ -573,7 +848,36 @@ let import ?metrics ?observe plan x =
                 open_pane = Pane.import t.agg x_open_pane;
                 queues;
               }
-      | (N_forward | N_filter _ | N_union _ | N_win _ | N_pane _), _ ->
+      | N_cwin st, X_cwin { xc_keys } ->
+          Hashtbl.reset st.c_keys;
+          List.iter
+            (fun (key, seen, pend) ->
+              Hashtbl.replace st.c_keys key
+                {
+                  seen;
+                  kpend =
+                    List.fold_left
+                      (fun acc (hi, state, items) ->
+                        Imap.add hi (state, items) acc)
+                      Imap.empty pend;
+                })
+            xc_keys
+      | N_session st, X_session { xs_open; xs_pending; xs_wm } ->
+          Hashtbl.reset st.s_open;
+          List.iter
+            (fun (key, s_first, s_last, s_state, s_items) ->
+              Hashtbl.replace st.s_open key
+                { s_first; s_last; s_state; s_items })
+            xs_open;
+          st.s_pending <-
+            List.fold_left
+              (fun acc (hi, lo, key, state, items) ->
+                Pending.add { Fire_key.hi; lo; key } (state, items) acc)
+              Pending.empty xs_pending;
+          st.s_wm <- xs_wm
+      | ( ( N_forward | N_filter _ | N_union _ | N_win _ | N_pane _ | N_cwin _
+          | N_session _ ),
+          _ ) ->
           invalid_arg
             (Printf.sprintf
                "Stream_exec.import: node %d shape mismatch (snapshot from a \
@@ -634,6 +938,8 @@ let rec bdeliver t id b sel lo hi =
         bforward t id b sel lo hi
     | N_win st -> bwin_add t st b sel lo hi
     | N_pane ps -> bpane_add t id ps b sel lo hi
+    | N_cwin st -> bcwin_add t id st b sel lo hi
+    | N_session st -> bsession_add t st b sel lo hi
   end
 
 and bforward t id b sel lo hi =
@@ -664,6 +970,44 @@ and bwin_add t st b sel lo hi =
           | None -> Combine.of_value t.agg v
           | Some st' -> Combine.add st' v)
     done
+  done
+
+(* Count-window fold of a run: firing happens inside the event loop
+   (instances complete on arrival, not at punctuation), so downstream
+   consumers see sub-aggregates in exactly the per-event order —
+   byte-identity at any batch size is structural, not argued. *)
+and bcwin_add t id st b sel lo hi =
+  let keys = Batch.keys b
+  and values = Batch.values b in
+  let r = Window.range st.c_window and s = Window.slide st.c_window in
+  for i = lo to hi - 1 do
+    let j = sel.(i) in
+    let kc = cwin_key_state st keys.(j) in
+    let n = kc.seen in
+    kc.seen <- n + 1;
+    let v = values.(j) in
+    let hi_m = n / s in
+    let lo_m = if n < r then 0 else ((n - r) / s) + 1 in
+    for m = lo_m to hi_m do
+      let l = m * s in
+      if l <= n && n < l + r then
+        cwin_fold st kc m (function
+          | None -> Combine.of_value t.agg v
+          | Some st' -> Combine.add st' v)
+    done;
+    cwin_fire t id st keys.(j) kc ~upto:kc.seen
+  done
+
+(* Session fold of a run: join/rotate per event (order-dependent but
+   watermark-free); emission happens at the segment's trailing
+   watermark through the shared per-message path. *)
+and bsession_add t st b sel lo hi =
+  let times = Batch.times b
+  and keys = Batch.keys b
+  and values = Batch.values b in
+  for i = lo to hi - 1 do
+    let j = sel.(i) in
+    session_add t st keys.(j) times.(j) values.(j)
   done
 
 (* Pane fold of a run: roll once per pane boundary, then absorb the

@@ -42,7 +42,21 @@
     counted with their reason ([holistic-aggregate], [window-fed-input]
     or [non-aligned-window]).  [~observe:false] skips all of it — the
     toggle exists so the bench [obs] section can price the
-    instrumentation itself. *)
+    instrumentation itself.
+
+    {b Window families.}  Count hops ([R⟨r,s⟩], ROWS frames) run on a
+    dedicated per-key ordinal operator in {e both} modes: instance [m]
+    of key [k] covers that key's event ordinals [[m·s, m·s+r)] and
+    fires the moment ordinal [m·s+r−1] arrives — watermark-free, so
+    batched execution is structurally identical to per-event.  Count
+    windows fed by an upstream count window (WCG rewrites) complete
+    when the covering sub ending exactly at the instance's bound
+    arrives.  Session windows ([S⟨gap⟩]) run a per-key gap-tracking
+    operator: an event joins its key's open session iff it lands
+    before [last + gap]; rotated/expired sessions emit at the first
+    watermark past their deadline with interval [[first, last+gap)].
+    In {!Incremental} mode both surface through the fallback metric
+    with reasons [count-window] and [session-window]. *)
 
 exception Late_event of Event.t
 
@@ -125,6 +139,20 @@ type node_export =
       x_p_wm : int;
       x_open_pane : Fw_agg.Pane.export;
       x_queues : (string * Fw_agg.Swag.export) list;  (** sorted by key *)
+    }
+  | X_cwin of {
+      xc_keys : (string * int * (int * Fw_agg.Combine.state * int) list) list;
+          (** (key, ordinal high-water, [(hi, state, items)] ascending),
+              sorted by key *)
+    }
+  | X_session of {
+      xs_open : (string * int * int * Fw_agg.Combine.state * int) list;
+          (** open sessions (key, first, last, state, items), sorted by
+              key *)
+      xs_pending : (int * int * string * Fw_agg.Combine.state * int) list;
+          (** rotated sessions awaiting their deadline
+              (hi, lo, key, state, items), in firing order *)
+      xs_wm : int;
     }
 
 type export = {

@@ -12,14 +12,26 @@ let find_best env semantics ~exclude ~target ~downstream =
       Candidates.best env ~semantics ~exclude ~target ~downstream
 
 (* Insertion points of the augmented WCG: the virtual root S (downstream
-   = the WCG's roots) plus every window with outgoing edges. *)
+   = the WCG's roots) plus every window with outgoing edges.  Mixed
+   window sets get one Stream point per hop domain — a factor window
+   can only serve downstream windows of its own domain, so the root
+   set is split before candidate generation (At-w points are
+   domain-homogeneous by construction: WCG edges never cross
+   domains). *)
 let insertion_points g =
-  let root_point =
-    match Graph.roots g with
-    | [] -> []
-    | roots -> [ (Benefit.Stream, roots) ]
+  let root_points =
+    let roots = Graph.roots g in
+    let in_domain d =
+      List.filter (fun w -> Window.hop_domain w = Some d) roots
+    in
+    List.filter_map
+      (fun d ->
+        match in_domain d with
+        | [] -> None
+        | group -> Some (Benefit.Stream, group))
+      [ Window.Time; Window.Count ]
   in
-  root_point
+  root_points
   @ List.filter_map
       (fun w ->
         match Graph.out_neighbors g w with

@@ -1,10 +1,21 @@
 open Fw_window
 module Arith = Fw_util.Arith
 
+(* Factor candidates live in the same domain as the windows they will
+   feed: coverage is only defined within a domain, so a candidate in
+   any other domain could never relate to [downstream].  Callers hand
+   us a domain-homogeneous group (Algorithm 2 splits its insertion
+   points per domain). *)
+let downstream_domain downstream =
+  match downstream with
+  | w :: _ -> Option.value (Window.hop_domain w) ~default:Window.Time
+  | [] -> Window.Time
+
 let generate env ~semantics ~exclude ~target ~downstream =
   match downstream with
   | [] -> []
   | _ ->
+      let domain = downstream_domain downstream in
       let slides = List.map Window.slide downstream in
       let ranges = List.map Window.range downstream in
       let s_d = Arith.gcd_list slides in
@@ -16,7 +27,7 @@ let generate env ~semantics ~exclude ~target ~downstream =
       let candidates_for_slide s_f =
         let n_ranges = r_min / s_f in
         List.init n_ranges (fun i ->
-            Window.make ~range:((i + 1) * s_f) ~slide:s_f)
+            Window.hop ~domain ~range:((i + 1) * s_f) ~slide:s_f)
       in
       let all = List.concat_map candidates_for_slide eligible_slides in
       let valid w_f =
@@ -56,6 +67,7 @@ let dedup_sorted xs = List.sort_uniq Int.compare xs
    under [semantics] while being covered by the target. *)
 let enumerate_candidates ~semantics ~target ~downstream =
   let s_w = Benefit.target_slide target in
+  let domain = downstream_domain downstream in
   match semantics with
   | Coverage.Partitioned_by ->
       (* Tumbling candidates (Theorem 4); the range must divide some
@@ -67,7 +79,10 @@ let enumerate_candidates ~semantics ~target ~downstream =
              downstream)
       in
       List.filter_map
-        (fun r_f -> if r_f mod s_w = 0 then Some (Window.tumbling r_f) else None)
+        (fun r_f ->
+          if r_f mod s_w = 0 then
+            Some (Window.hop ~domain ~range:r_f ~slide:r_f)
+          else None)
         ranges
   | Coverage.Covered_by ->
       let slides =
@@ -81,7 +96,7 @@ let enumerate_candidates ~semantics ~target ~downstream =
       List.concat_map
         (fun s_f ->
           List.init (r_max / s_f) (fun i ->
-              Window.make ~range:((i + 1) * s_f) ~slide:s_f))
+              Window.hop ~domain ~range:((i + 1) * s_f) ~slide:s_f))
         slides
 
 let score_candidate env ~semantics ~target ~downstream factor =

@@ -70,9 +70,14 @@ let pick_best env ~exclude ~target ~downstream =
          (fun w -> Coverage.strictly_partitioned_by w w_f)
          downstream
   in
+  let domain =
+    match downstream with
+    | w :: _ -> Option.value (Window.hop_domain w) ~default:Window.Time
+    | [] -> Window.Time
+  in
   let candidates =
     candidate_ranges ~target ~downstream
-    |> List.map Window.tumbling
+    |> List.map (fun r -> Window.hop ~domain ~range:r ~slide:r)
     |> List.filter valid
     |> List.filter (fun w_f -> helps env ~target ~downstream ~factor:w_f)
   in

@@ -57,13 +57,16 @@ let naive ?filter agg ws =
   let output = Builder.push b (Union aggs) in
   Builder.finish b ~agg ~output
 
-let of_forest ?filter agg trees =
-  if trees = [] then invalid_arg "Plan.of_forest: empty forest";
+let of_forest ?filter ?(fallback = []) agg trees =
+  if trees = [] && fallback = [] then
+    invalid_arg "Plan.of_forest: empty forest";
   let b = Builder.create () in
   let source = push_source ?filter b in
   let root_input =
-    match trees with
-    | [ _ ] -> source
+    (* fallback windows read the raw stream too, so they count as
+       source consumers when deciding whether a multicast is needed *)
+    match (trees, fallback) with
+    | [ _ ], [] | [], [ _ ] -> source
     | _ -> Builder.push b (Multicast source)
   in
   let union_inputs = ref [] in
@@ -80,6 +83,15 @@ let of_forest ?filter agg trees =
         List.iter (emit mcast) children
   in
   List.iter (emit root_input) trees;
+  (* Windows outside the coverage machinery (sessions, non-aligned
+     hops): exposed, stream-fed, no sharing. *)
+  List.iter
+    (fun window ->
+      let node =
+        Builder.push b (Win_agg { window; input = root_input; expose = true })
+      in
+      union_inputs := node :: !union_inputs)
+    fallback;
   let output = Builder.push b (Union (List.rev !union_inputs)) in
   Builder.finish b ~agg ~output
 

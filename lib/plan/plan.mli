@@ -44,11 +44,19 @@ val naive :
     deduplicated.  Raises [Invalid_argument] on an empty list. *)
 
 val of_forest :
-  ?filter:Predicate.t -> Fw_agg.Aggregate.t -> Fw_wcg.Forest.tree list -> t
+  ?filter:Predicate.t ->
+  ?fallback:Fw_window.Window.t list ->
+  Fw_agg.Aggregate.t ->
+  Fw_wcg.Forest.tree list ->
+  t
 (** The Section 3.3 rewriting: roots read from the source (through a
     multicast if there are several), every window with children feeds
     them through a per-window multicast, query windows link to the
-    final union, factor windows do not. *)
+    final union, factor windows do not.  [fallback] windows (sessions,
+    non-aligned hops — anything outside the coverage machinery) are
+    appended as exposed stream-fed aggregates alongside the forest.
+    Raises [Invalid_argument] when both the forest and [fallback] are
+    empty. *)
 
 val exposed_windows : t -> Fw_window.Window.t list
 (** Windows whose results reach the output, in plan order. *)

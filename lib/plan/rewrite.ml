@@ -9,28 +9,44 @@ type outcome = {
   naive_cost : int option;
 }
 
-let plan_of_result ?filter agg (result : Algorithm1.result) =
-  Plan.of_forest ?filter agg (Forest.of_graph result.Algorithm1.graph)
+let plan_of_result ?filter ?fallback agg (result : Algorithm1.result) =
+  Plan.of_forest ?filter ?fallback agg (Forest.of_graph result.Algorithm1.graph)
 
 let optimize ?eta ?(factor_windows = true) ?filter agg ws =
   let ws = Fw_window.Window.dedup ws in
   let naive_plan = Plan.naive ?filter agg ws in
   match Fw_agg.Aggregate.semantics agg with
   | None -> { plan = naive_plan; naive_plan; optimization = None; naive_cost = None }
-  | Some semantics ->
-      let result =
-        if factor_windows then Fw_factor.Algorithm2.best_of ?eta semantics ws
-        else Algorithm1.run ?eta semantics ws
+  | Some semantics -> (
+      (* Coverage theory only speaks about aligned hops (time or
+         count); sessions and non-aligned hops bypass the WCG as
+         exposed stream-fed fallback aggregates. *)
+      let coverable, fallback =
+        List.partition Fw_window.Window.is_aligned ws
       in
-      let naive_cost =
-        Cost_model.naive_total result.Algorithm1.env ws
-      in
-      {
-        plan = plan_of_result ?filter agg result;
-        naive_plan;
-        optimization = Some result;
-        naive_cost = Some naive_cost;
-      }
+      match coverable with
+      | [] ->
+          {
+            plan = naive_plan;
+            naive_plan;
+            optimization = None;
+            naive_cost = None;
+          }
+      | _ ->
+          let result =
+            if factor_windows then
+              Fw_factor.Algorithm2.best_of ?eta semantics coverable
+            else Algorithm1.run ?eta semantics coverable
+          in
+          let naive_cost =
+            Cost_model.naive_total result.Algorithm1.env coverable
+          in
+          {
+            plan = plan_of_result ?filter ~fallback agg result;
+            naive_plan;
+            optimization = Some result;
+            naive_cost = Some naive_cost;
+          })
 
 let improvement_percent outcome =
   match (outcome.optimization, outcome.naive_cost) with

@@ -9,9 +9,13 @@ type outcome = {
   plan : Plan.t;
   naive_plan : Plan.t;
   optimization : Fw_wcg.Algorithm1.result option;
-      (** [None] when the aggregate is holistic (naive fallback). *)
+      (** [None] when the aggregate is holistic or no window is
+          coverable (naive fallback). *)
   naive_cost : int option;
-      (** Baseline cost over the common period, when defined. *)
+      (** Baseline cost over the common period of the {e coverable}
+          windows, when defined.  Sessions and non-aligned hops have no
+          static cost model and are excluded from both sides of the
+          comparison. *)
 }
 
 val optimize :
@@ -27,8 +31,14 @@ val optimize :
     model, which prices the post-filter rate). *)
 
 val plan_of_result :
-  ?filter:Predicate.t -> Fw_agg.Aggregate.t -> Fw_wcg.Algorithm1.result -> Plan.t
-(** Just the Section 3.3 construction on an optimizer result. *)
+  ?filter:Predicate.t ->
+  ?fallback:Fw_window.Window.t list ->
+  Fw_agg.Aggregate.t ->
+  Fw_wcg.Algorithm1.result ->
+  Plan.t
+(** Just the Section 3.3 construction on an optimizer result;
+    [fallback] windows are appended as exposed stream-fed
+    aggregates. *)
 
 val improvement_percent : outcome -> float option
 (** [100·(1 − C_opt/C_naive)], when both costs are defined. *)

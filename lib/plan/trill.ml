@@ -6,10 +6,20 @@ let camel agg =
   String.capitalize_ascii s
 
 let window_combinator w =
-  if Window.is_tumbling w then
-    Printf.sprintf ".Tumbling(\"_%d\")" (Window.range w)
-  else
-    Printf.sprintf ".Hopping(\"_%d_%d\")" (Window.range w) (Window.slide w)
+  match Window.hop_domain w with
+  | None -> Printf.sprintf ".SessionTimeoutWindow(\"_%d\")" (Window.gap w)
+  | Some Window.Count ->
+      if Window.is_tumbling w then
+        Printf.sprintf ".CountTumbling(%d)" (Window.range w)
+      else
+        Printf.sprintf ".CountHopping(%d,%d)" (Window.range w)
+          (Window.slide w)
+  | Some Window.Time ->
+      if Window.is_tumbling w then
+        Printf.sprintf ".Tumbling(\"_%d\")" (Window.range w)
+      else
+        Printf.sprintf ".Hopping(\"_%d_%d\")" (Window.range w)
+          (Window.slide w)
 
 let group_aggregate agg ~field =
   let f = camel agg in

@@ -61,8 +61,11 @@ let build_structure agg ~period ~edges ~horizon =
       Array.init (Array.length boundaries) (fun _ -> Pane.create agg);
   }
 
-let fold_event structure counter e =
-  let i = slice_index structure.boundaries e.Event.time in
+(* [coord] is the event's coordinate on the structure's axis: its time
+   for time-domain structures, its key's event ordinal for
+   count-domain ones. *)
+let fold_event structure counter ~coord e =
+  let i = slice_index structure.boundaries coord in
   incr counter;
   Pane.add structure.partials.(i) ~key:e.Event.key e.Event.value
 
@@ -99,11 +102,52 @@ let slicing_label = function Paned_slicing -> "paned" | Paired_slicing -> "paire
 let run ?registry agg mode slicing ws ~horizon events =
   let ws = Window.dedup ws in
   if ws = [] then invalid_arg "Slicing exec: empty window set";
+  List.iter
+    (fun w ->
+      if Window.is_session w then
+        invalid_arg
+          (Format.asprintf
+             "Slicing exec: %a is a session window (no static slice \
+              geometry)"
+             Window.pp w))
+    ws;
   let events =
     List.filter (fun e -> e.Event.time < horizon) (Event.sort events)
   in
+  (* Count-domain structures slice per-key event ordinals instead of
+     event time: annotate each event with its key's running ordinal and
+     keep the final per-key counts — they are both the ordinal-space
+     horizon and the completeness filter applied after finalize. *)
+  let key_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let coords =
+    List.map
+      (fun e ->
+        let n =
+          Option.value (Hashtbl.find_opt key_counts e.Event.key) ~default:0
+        in
+        Hashtbl.replace key_counts e.Event.key (n + 1);
+        (e, n))
+      events
+  in
+  let count_horizon = Hashtbl.fold (fun _ n acc -> max n acc) key_counts 0 in
+  let domain_of w =
+    Option.value (Window.hop_domain w) ~default:Window.Time
+  in
+  let coord_of w =
+    match domain_of w with
+    | Window.Time -> fun (e, _) -> e.Event.time
+    | Window.Count -> fun (_, n) -> n
+  in
+  let horizon_of w =
+    match domain_of w with
+    | Window.Time -> horizon
+    | Window.Count -> count_horizon
+  in
   let partial_counter = ref 0 in
   let final_counter = ref 0 in
+  let fold_all s coord =
+    List.iter (fun (e, n) -> fold_event s partial_counter ~coord:(coord (e, n)) e) coords
+  in
   let structures =
     match mode with
     | Unshared ->
@@ -113,19 +157,32 @@ let run ?registry agg mode slicing ws ~horizon events =
             let z = make_slicing slicing w in
             let s =
               build_structure agg ~period:(Slice.period z)
-                ~edges:(Slice.edges z) ~horizon
+                ~edges:(Slice.edges z) ~horizon:(horizon_of w)
             in
-            List.iter (fold_event s partial_counter) events;
+            fold_all s (coord_of w);
             (w, s))
           ws
     | Shared ->
-        (* one composed structure shared by all windows *)
-        let zs = List.map (make_slicing slicing) ws in
-        let period = Compose.common_period zs in
-        let edges = Compose.boundaries zs in
-        let s = build_structure agg ~period ~edges ~horizon in
-        List.iter (fold_event s partial_counter) events;
-        List.map (fun w -> (w, s)) ws
+        (* one composed structure per hop domain, shared by that
+           domain's windows — slide arithmetic only composes within one
+           coordinate space *)
+        let share group_ws =
+          match group_ws with
+          | [] -> []
+          | rep :: _ ->
+              let zs = List.map (make_slicing slicing) group_ws in
+              let period = Compose.common_period zs in
+              let edges = Compose.boundaries zs in
+              let s =
+                build_structure agg ~period ~edges ~horizon:(horizon_of rep)
+              in
+              fold_all s (coord_of rep);
+              List.map (fun w -> (w, s)) group_ws
+        in
+        let time_ws, count_ws =
+          List.partition (fun w -> domain_of w = Window.Time) ws
+        in
+        share time_ws @ share count_ws
   in
   let rows =
     List.concat_map
@@ -138,12 +195,26 @@ let run ?registry agg mode slicing ws ~horizon events =
           | None -> 0
           | Some _ -> Fw_obs.Clock.now_ns ()
         in
+        let keep =
+          match domain_of w with
+          | Window.Time -> fun _ _ -> true
+          | Window.Count ->
+              (* an instance [lo, hi) is complete for a key only once
+                 that key has seen hi events *)
+              fun hi (r : Row.t) ->
+                Option.value
+                  (Hashtbl.find_opt key_counts r.Row.key)
+                  ~default:0
+                >= hi
+        in
         let rows =
           List.concat_map
             (fun interval ->
-              finalize_instance agg w s final_counter
-                ~lo:(Interval.lo interval) ~hi:(Interval.hi interval))
-            (Interval.instances_until w ~horizon)
+              let hi = Interval.hi interval in
+              List.filter (keep hi)
+                (finalize_instance agg w s final_counter
+                   ~lo:(Interval.lo interval) ~hi))
+            (Interval.instances_until w ~horizon:(horizon_of w))
         in
         (match registry with
         | None -> ()

@@ -14,6 +14,16 @@
     insertions — [n·T] unshared, [T] shared — and [final_items] counts
     (instance, key, slice) combinations.
 
+    {b Window families.}  Count hops slice exactly like time hops, on a
+    per-key ordinal axis: each event's coordinate is its key's running
+    event ordinal, the ordinal-space horizon is the largest per-key
+    count, and after the final pass an instance's rows are filtered to
+    keys that have actually seen [hi] events (incomplete instances never
+    fire).  In {!Shared} mode windows compose per hop domain — one
+    structure for the time windows, one for the count windows — since
+    slide arithmetic only composes within one coordinate space.
+    Session windows have no static slice geometry and are rejected.
+
     Passing [?registry] additionally publishes the run into an
     {!Fw_obs.Registry.t}: the two Table-1 counters
     ([slicing_partial_items_total] / [slicing_final_items_total],
@@ -39,5 +49,6 @@ val run :
   horizon:int ->
   Fw_engine.Event.t list ->
   report
-(** Raises [Invalid_argument] on an empty window set, and
-    {!Fw_util.Arith.Overflow} if the composed period overflows. *)
+(** Raises [Invalid_argument] on an empty window set or a session
+    window, and {!Fw_util.Arith.Overflow} if the composed period
+    overflows. *)

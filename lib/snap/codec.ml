@@ -34,7 +34,10 @@ exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
-let version = 1
+(* v2: windows carry a family tag byte (time hop / count hop /
+   session) and node exports add the count-window (tag 3) and
+   session-window (tag 4) operator states. *)
+let version = 2
 let magic = "FWSNAP"
 
 (* --- CRC-32 (IEEE 802.3, polynomial 0xEDB88320) -------------------- *)
@@ -275,14 +278,38 @@ let r_pane r =
 
 (* --- windows, rows, events ----------------------------------------- *)
 
-let w_window b w =
-  w_i64 b (Window.range w);
-  w_i64 b (Window.slide w)
+(* Family tag byte: 0 = time hop, 1 = count hop, 2 = session (the v2
+   framing addition). *)
+let w_window b (w : Window.t) =
+  match w with
+  | Window.Hop { domain = Window.Time; range; slide } ->
+      w_u8 b 0;
+      w_i64 b range;
+      w_i64 b slide
+  | Window.Hop { domain = Window.Count; range; slide } ->
+      w_u8 b 1;
+      w_i64 b range;
+      w_i64 b slide
+  | Window.Session { gap } ->
+      w_u8 b 2;
+      w_i64 b gap
 
 let r_window r =
-  let range = r_i64 r in
-  let slide = r_i64 r in
-  try Window.make ~range ~slide
+  let tag = r_u8 r in
+  try
+    match tag with
+    | 0 ->
+        let range = r_i64 r in
+        let slide = r_i64 r in
+        Window.make ~range ~slide
+    | 1 ->
+        let range = r_i64 r in
+        let slide = r_i64 r in
+        Window.count_hop ~range ~slide
+    | 2 ->
+        let gap = r_i64 r in
+        Window.session ~gap
+    | tag -> corrupt "unknown window family tag %d" tag
   with Invalid_argument m -> corrupt "invalid window in snapshot: %s" m
 
 let w_row b (row : Row.t) =
@@ -329,6 +356,38 @@ let w_node b = function
           w_string b k;
           w_swag b q)
         x_queues
+  | Stream_exec.X_cwin { xc_keys } ->
+      w_u8 b 3;
+      w_list b
+        (fun b (key, seen, pend) ->
+          w_string b key;
+          w_i64 b seen;
+          w_list b
+            (fun b (hi, state, items) ->
+              w_i64 b hi;
+              w_state b state;
+              w_i64 b items)
+            pend)
+        xc_keys
+  | Stream_exec.X_session { xs_open; xs_pending; xs_wm } ->
+      w_u8 b 4;
+      w_list b
+        (fun b (key, first, last, state, items) ->
+          w_string b key;
+          w_i64 b first;
+          w_i64 b last;
+          w_state b state;
+          w_i64 b items)
+        xs_open;
+      w_list b
+        (fun b (hi, lo, key, state, items) ->
+          w_i64 b hi;
+          w_i64 b lo;
+          w_string b key;
+          w_state b state;
+          w_i64 b items)
+        xs_pending;
+      w_i64 b xs_wm
 
 let r_node r =
   match r_u8 r with
@@ -356,6 +415,42 @@ let r_node r =
             (k, q))
       in
       Stream_exec.X_pane { x_cur_pane; x_p_wm; x_open_pane; x_queues }
+  | 3 ->
+      let xc_keys =
+        r_list r (fun r ->
+            let key = r_string r in
+            let seen = r_i64 r in
+            let pend =
+              r_list r (fun r ->
+                  let hi = r_i64 r in
+                  let state = r_state r in
+                  let items = r_i64 r in
+                  (hi, state, items))
+            in
+            (key, seen, pend))
+      in
+      Stream_exec.X_cwin { xc_keys }
+  | 4 ->
+      let xs_open =
+        r_list r (fun r ->
+            let key = r_string r in
+            let first = r_i64 r in
+            let last = r_i64 r in
+            let state = r_state r in
+            let items = r_i64 r in
+            (key, first, last, state, items))
+      in
+      let xs_pending =
+        r_list r (fun r ->
+            let hi = r_i64 r in
+            let lo = r_i64 r in
+            let key = r_string r in
+            let state = r_state r in
+            let items = r_i64 r in
+            (hi, lo, key, state, items))
+      in
+      let xs_wm = r_i64 r in
+      Stream_exec.X_session { xs_open; xs_pending; xs_wm }
   | tag -> corrupt "unknown node state tag %d" tag
 
 let mode_byte = function

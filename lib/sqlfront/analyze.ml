@@ -48,7 +48,14 @@ let analyzed_windows (q : Ast.t) =
       let windows =
         List.map (fun { Ast.def; _ } -> Ast.window_of_def def) specs
       in
-      match List.find_opt (fun w -> not (Window.is_aligned w)) windows with
+      (* Alignment is a hop-family notion (time or count); session
+         windows have no range/slide and are admitted as fallback
+         aggregates instead. *)
+      match
+        List.find_opt
+          (fun w -> Window.is_hop w && not (Window.is_aligned w))
+          windows
+      with
       | Some w -> Error (Unaligned_window w)
       | None ->
           let deduped = Window.dedup windows in
@@ -56,6 +63,20 @@ let analyzed_windows (q : Ast.t) =
             if List.length deduped < List.length windows then
               [ "duplicate windows in the WINDOWS(...) clause were merged" ]
             else []
+          in
+          let warnings =
+            warnings
+            @ List.filter_map
+                (fun w ->
+                  if Window.is_session w then
+                    Some
+                      (Format.asprintf
+                         "%a is a session window: no static coverage \
+                          exists, so it bypasses the optimizer and runs \
+                          on the gap-tracking fallback operator"
+                         Window.pp w)
+                  else None)
+                deduped
           in
           Ok (deduped, warnings))
 

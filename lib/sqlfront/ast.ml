@@ -4,6 +4,8 @@ open Fw_window
 type window_def =
   | Tumbling of { unit_ : Duration.unit_; size : int }
   | Hopping of { unit_ : Duration.unit_; size : int; hop : int }
+  | Count_rows of { size : int; hop : int }
+  | Session of { unit_ : Duration.unit_; gap : int }
 
 type window_spec = { label : string option; def : window_def }
 
@@ -44,21 +46,35 @@ let window_of_def = function
       let range = Duration.to_ticks (Duration.make unit_ size) in
       let slide = Duration.to_ticks (Duration.make unit_ hop) in
       Window.make ~range ~slide
+  | Count_rows { size; hop } ->
+      if hop > size then
+        invalid_arg "Ast.window_of_def: hop must not exceed the window size";
+      Window.count_hop ~range:size ~slide:hop
+  | Session { unit_; gap } ->
+      Window.session ~gap:(Duration.to_ticks (Duration.make unit_ gap))
+
+let unit_for n =
+  let open Duration in
+  if n mod seconds_per Day = 0 then Day
+  else if n mod seconds_per Hour = 0 then Hour
+  else if n mod seconds_per Minute = 0 then Minute
+  else Second
 
 let def_of_window w =
-  let r = Window.range w and s = Window.slide w in
-  let unit_for n =
-    let open Duration in
-    if n mod seconds_per Day = 0 then Day
-    else if n mod seconds_per Hour = 0 then Hour
-    else if n mod seconds_per Minute = 0 then Minute
-    else Second
-  in
-  let g = Fw_util.Arith.gcd r s in
-  let unit_ = unit_for g in
-  let per = Duration.seconds_per unit_ in
-  if Window.is_tumbling w then Tumbling { unit_; size = r / per }
-  else Hopping { unit_; size = r / per; hop = s / per }
+  match Window.hop_domain w with
+  | None ->
+      let gap = Window.gap w in
+      let unit_ = unit_for gap in
+      Session { unit_; gap = gap / Duration.seconds_per unit_ }
+  | Some Window.Count ->
+      Count_rows { size = Window.range w; hop = Window.slide w }
+  | Some Window.Time ->
+      let r = Window.range w and s = Window.slide w in
+      let g = Fw_util.Arith.gcd r s in
+      let unit_ = unit_for g in
+      let per = Duration.seconds_per unit_ in
+      if Window.is_tumbling w then Tumbling { unit_; size = r / per }
+      else Hopping { unit_; size = r / per; hop = s / per }
 
 let aggregates q =
   List.filter_map

@@ -12,11 +12,21 @@
     v}
 
     A single window may also be given directly:
-    [GROUP BY DeviceID, TUMBLINGWINDOW(minute, 10)]. *)
+    [GROUP BY DeviceID, TUMBLINGWINDOW(minute, 10)].
+
+    Beyond the time-hop forms, the dialect covers the other two window
+    families: [COUNTWINDOW(n)] / [COUNTWINDOW(n, hop)] is a ROWS frame
+    over each key's last [n] events advancing every [hop] events, and
+    [SESSIONWINDOW(unit, gap)] groups each key's events separated by
+    less than [gap]. *)
 
 type window_def =
   | Tumbling of { unit_ : Fw_util.Duration.unit_; size : int }
   | Hopping of { unit_ : Fw_util.Duration.unit_; size : int; hop : int }
+  | Count_rows of { size : int; hop : int }
+      (** [COUNTWINDOW(size, hop)] — counts are unit-free, so no
+          duration unit *)
+  | Session of { unit_ : Fw_util.Duration.unit_; gap : int }
 
 type window_spec = {
   label : string option;  (** the ['10 min'] name of a WINDOW(...) entry *)
@@ -57,12 +67,13 @@ type t = {
 }
 
 val window_of_def : window_def -> Fw_window.Window.t
-(** Normalize to ticks.  Raises [Invalid_argument] on non-positive
-    sizes or [hop > size]. *)
+(** Normalize to ticks (count sizes pass through unscaled).  Raises
+    [Invalid_argument] on non-positive sizes or [hop > size]. *)
 
 val def_of_window : Fw_window.Window.t -> window_def
 (** Inverse normalization picking the coarsest unit that divides both
-    parameters. *)
+    parameters (time hops and session gaps; count windows are
+    unit-free). *)
 
 val aggregates : t -> (Fw_agg.Aggregate.t * string) list
 (** The aggregate calls of the SELECT list, in order. *)

@@ -55,6 +55,18 @@ let explain { ast = _; analysis; outcome } =
        Fw_window.Window.pp)
     analysis.Analyze.windows;
   List.iter (fun w -> add "warning: %s@." w) analysis.Analyze.warnings;
+  (match
+     List.filter
+       (fun w -> not (Fw_window.Window.is_aligned w))
+       analysis.Analyze.windows
+   with
+  | [] -> ()
+  | fallback ->
+      add "fallback (stream-fed, outside the WCG): %a@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Fw_window.Window.pp)
+        fallback);
   (match outcome.Rewrite.optimization with
   | None -> add "no sharing possible; executing the naive plan@."
   | Some result ->

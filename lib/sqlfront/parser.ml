@@ -61,9 +61,33 @@ let parse_unit st =
   | Some u -> u
   | None -> error st "unknown time unit %s" name
 
-(* TUMBLINGWINDOW(unit, n) / HOPPINGWINDOW(unit, n, hop) *)
+(* TUMBLINGWINDOW(unit, n) / HOPPINGWINDOW(unit, n, hop) /
+   COUNTWINDOW(n[, hop]) / SESSIONWINDOW(unit, gap) *)
 let parse_window_def st =
-  if is_keyword st "tumblingwindow" then begin
+  if is_keyword st "countwindow" then begin
+    advance st;
+    expect st Token.Lparen;
+    let size = eat_int st in
+    let hop =
+      if Token.equal (peek_token st) Token.Comma then begin
+        advance st;
+        eat_int st
+      end
+      else size
+    in
+    expect st Token.Rparen;
+    Ast.Count_rows { size; hop }
+  end
+  else if is_keyword st "sessionwindow" then begin
+    advance st;
+    expect st Token.Lparen;
+    let unit_ = parse_unit st in
+    expect st Token.Comma;
+    let gap = eat_int st in
+    expect st Token.Rparen;
+    Ast.Session { unit_; gap }
+  end
+  else if is_keyword st "tumblingwindow" then begin
     advance st;
     expect st Token.Lparen;
     let unit_ = parse_unit st in
@@ -84,8 +108,10 @@ let parse_window_def st =
     Ast.Hopping { unit_; size; hop }
   end
   else
-    error st "expected TUMBLINGWINDOW or HOPPINGWINDOW, found %a" Token.pp
-      (peek_token st)
+    error st
+      "expected TUMBLINGWINDOW, HOPPINGWINDOW, COUNTWINDOW or \
+       SESSIONWINDOW, found %a"
+      Token.pp (peek_token st)
 
 (* WINDOW('label', <def>) or WINDOW(<def>) *)
 let parse_window_entry st =
@@ -104,7 +130,10 @@ let parse_window_entry st =
   { Ast.label; def }
 
 let is_window_def_start st =
-  is_keyword st "tumblingwindow" || is_keyword st "hoppingwindow"
+  is_keyword st "tumblingwindow"
+  || is_keyword st "hoppingwindow"
+  || is_keyword st "countwindow"
+  || is_keyword st "sessionwindow"
 
 let parse_select_item st =
   match peek_token st with

@@ -7,6 +7,12 @@ let window_def = function
   | Ast.Hopping { unit_; size; hop } ->
       Printf.sprintf "HOPPINGWINDOW(%s, %d, %d)"
         (Duration.unit_to_string unit_) size hop
+  | Ast.Count_rows { size; hop } ->
+      if hop = size then Printf.sprintf "COUNTWINDOW(%d)" size
+      else Printf.sprintf "COUNTWINDOW(%d, %d)" size hop
+  | Ast.Session { unit_; gap } ->
+      Printf.sprintf "SESSIONWINDOW(%s, %d)" (Duration.unit_to_string unit_)
+        gap
 
 let window_entry { Ast.label; def } =
   match label with

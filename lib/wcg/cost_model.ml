@@ -12,7 +12,13 @@ let make_env ?(eta = 1) ws =
   if ws = [] then invalid_arg "Cost_model.make_env: empty window set";
   List.iter
     (fun w ->
-      if not (Window.is_aligned w) then
+      if Window.is_session w then
+        invalid_arg
+          (Format.asprintf
+             "Cost_model.make_env: %a is a session window (no static cost \
+              model)"
+             Window.pp w)
+      else if not (Window.is_aligned w) then
         invalid_arg
           (Format.asprintf
              "Cost_model.make_env: %a is not aligned (range must be a \
@@ -39,8 +45,17 @@ let recurrence_count env w =
           in period %d" Window.pp w env.period);
   1 + ((env.period - r) / s)
 
+(* Stream-fed item count per instance: a time-domain instance of range
+   r sees eta events per tick, so eta*r items; a count-domain instance
+   is *defined* as r events per key, so exactly r items regardless of
+   the arrival rate. *)
 let raw_cost env w =
-  Arith.mul (recurrence_count env w) (Arith.mul env.eta (Window.range w))
+  let per_instance =
+    match Window.hop_domain w with
+    | Some Window.Count -> Window.range w
+    | _ -> Arith.mul env.eta (Window.range w)
+  in
+  Arith.mul (recurrence_count env w) per_instance
 
 let edge_cost env ~covered ~by =
   Arith.mul (recurrence_count env covered) (Coverage.multiplier ~covered ~by)

@@ -18,9 +18,10 @@ type env = private { eta : int; period : int }
 val make_env : ?eta:int -> Fw_window.Window.t list -> env
 (** [make_env ~eta ws] computes the common period [R] of the query
     windows.  Default [eta] is 1.  Raises [Invalid_argument] if [ws] is
-    empty, [eta < 1], or some window is not aligned (the paper's
-    footnote-4 assumption); raises {!Fw_util.Arith.Overflow} if [R]
-    does not fit in an [int]. *)
+    empty, [eta < 1], some window is a session (no static cost model),
+    or some hop is not aligned (the paper's footnote-4 assumption);
+    raises {!Fw_util.Arith.Overflow} if [R] does not fit in an
+    [int]. *)
 
 val env_with_period : ?eta:int -> int -> env
 (** Escape hatch used by tests and the slicing comparison (which
@@ -37,7 +38,9 @@ val recurrence_count : env -> Fw_window.Window.t -> int
 
 val raw_cost : env -> Fw_window.Window.t -> int
 (** Cost of computing the window directly from the input stream:
-    [n·η·r]. *)
+    [n·η·r] for a time hop; [n·r] for a count hop (an instance is
+    defined as [r] events per key, independent of the arrival
+    rate). *)
 
 val edge_cost : env -> covered:Fw_window.Window.t -> by:Fw_window.Window.t -> int
 (** Cost of computing [covered] from [by]'s sub-aggregates:

@@ -1,6 +1,12 @@
 open Fw_window
 
-let node_id w = Printf.sprintf "\"w_%d_%d\"" (Window.range w) (Window.slide w)
+let node_id w =
+  match (w : Window.t) with
+  | Window.Hop { domain = Window.Time; range; slide } ->
+      Printf.sprintf "\"w_%d_%d\"" range slide
+  | Window.Hop { domain = Window.Count; range; slide } ->
+      Printf.sprintf "\"r_%d_%d\"" range slide
+  | Window.Session { gap } -> Printf.sprintf "\"s_%d\"" gap
 
 let node_attrs g w label =
   match Graph.kind g w with

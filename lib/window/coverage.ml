@@ -4,7 +4,14 @@ let pp_semantics ppf = function
   | Covered_by -> Format.pp_print_string ppf "covered-by"
   | Partitioned_by -> Format.pp_print_string ppf "partitioned-by"
 
+(* Coverage is only defined within a single hop domain: a time hop can
+   never cover a count hop (the axes are incomparable) and sessions
+   have no static extents at all.  Every relation therefore starts
+   with a [same_domain] guard, which statically excludes cross-family
+   edges from the WCG. *)
 let strictly_covered_by w1 w2 =
+  Window.same_domain w1 w2
+  &&
   let r1 = Window.range w1 and s1 = Window.slide w1 in
   let r2 = Window.range w2 and s2 = Window.slide w2 in
   r1 > r2 && s1 mod s2 = 0 && (r1 - r2) mod s2 = 0
@@ -12,6 +19,8 @@ let strictly_covered_by w1 w2 =
 let covered_by w1 w2 = Window.equal w1 w2 || strictly_covered_by w1 w2
 
 let strictly_partitioned_by w1 w2 =
+  Window.same_domain w1 w2
+  &&
   let r1 = Window.range w1 and s1 = Window.slide w1 in
   let r2 = Window.range w2 and s2 = Window.slide w2 in
   r1 > r2 && s1 mod s2 = 0 && r1 mod s2 = 0 && r2 = s2
@@ -24,7 +33,7 @@ let related sem w1 w2 =
   | Partitioned_by -> strictly_partitioned_by w1 w2
 
 let multiplier ~covered ~by =
-  if not (covered_by covered by) then
+  if (not (Window.same_domain covered by)) || not (covered_by covered by) then
     invalid_arg
       (Format.asprintf "Coverage.multiplier: %a is not covered by %a"
          Window.pp covered Window.pp by);
@@ -45,8 +54,10 @@ let intervals_within w i =
   collect first []
 
 let covering_set ~covered ~by i =
-  if not (covered_by covered by) then
-    invalid_arg "Coverage.covering_set: windows are not in coverage relation";
+  if (not (Window.same_domain covered by)) || not (covered_by covered by) then
+    invalid_arg
+      (Format.asprintf "Coverage.covering_set: %a is not covered by %a"
+         Window.pp covered Window.pp by);
   intervals_within by i
 
 (* --- Semantic (definition-level) checks, for validation only. --- *)
@@ -59,6 +70,7 @@ let flanked_exactly i candidates =
 
 let covered_by_semantic ?(instances = 25) w1 w2 =
   if Window.equal w1 w2 then true
+  else if not (Window.same_domain w1 w2) then false
   else if Window.range w1 <= Window.range w2 then false
   else
     let check m =

@@ -15,7 +15,14 @@
     - Theorem 4: [W₁] partitioned by [W₂] iff [s₂ | s₁], [s₂ | r₁] and
       [r₂ = s₂] ([W₂] tumbling).
     - Theorem 3: the covering multiplier is
-      [M(W₁,W₂) = 1 + (r₁ − r₂)/s₂]. *)
+      [M(W₁,W₂) = 1 + (r₁ − r₂)/s₂].
+
+    The theorems are domain-agnostic: they hold verbatim for count
+    hops (ROWS frames) with ranges/slides read as per-key event
+    ordinals.  Coverage is only defined {e within} a hop domain —
+    every relation here returns [false] across domains and for
+    session windows, which statically excludes cross-family WCG
+    edges. *)
 
 type semantics = Covered_by | Partitioned_by
 (** Which relation an aggregate function may exploit (Section 3.1):

@@ -1,12 +1,26 @@
-type t = { range : int; slide : int }
+type domain = Time | Count
 
-let make ~range ~slide =
+type t =
+  | Hop of { domain : domain; range : int; slide : int }
+  | Session of { gap : int }
+
+let pp ppf = function
+  | Hop { domain = Time; range; slide } ->
+      Format.fprintf ppf "W<%d,%d>" range slide
+  | Hop { domain = Count; range; slide } ->
+      Format.fprintf ppf "R<%d,%d>" range slide
+  | Session { gap } -> Format.fprintf ppf "S<%d>" gap
+
+let to_string w = Format.asprintf "%a" pp w
+
+let hop ~domain ~range ~slide =
   if slide <= 0 || slide > range then
     invalid_arg
       (Printf.sprintf "Window.make: need 0 < slide <= range, got r=%d s=%d"
          range slide);
-  { range; slide }
+  Hop { domain; range; slide }
 
+let make ~range ~slide = hop ~domain:Time ~range ~slide
 let tumbling r = make ~range:r ~slide:r
 
 let hopping ~range ~slide =
@@ -14,27 +28,93 @@ let hopping ~range ~slide =
     invalid_arg "Window.hopping: a hopping window needs slide < range";
   make ~range ~slide
 
-let range w = w.range
-let slide w = w.slide
-let is_tumbling w = w.slide = w.range
-let is_aligned w = w.range mod w.slide = 0
+let count_hop ~range ~slide = hop ~domain:Count ~range ~slide
+let count_tumbling r = count_hop ~range:r ~slide:r
+
+let session ~gap =
+  if gap <= 0 then
+    invalid_arg (Printf.sprintf "Window.session: need gap > 0, got %d" gap);
+  Session { gap }
+
+let range w =
+  match w with
+  | Hop { range; _ } -> range
+  | Session _ ->
+      invalid_arg
+        (Format.asprintf "Window.range: %a is a session window (no fixed range)"
+           pp w)
+
+let slide w =
+  match w with
+  | Hop { slide; _ } -> slide
+  | Session _ ->
+      invalid_arg
+        (Format.asprintf "Window.slide: %a is a session window (no fixed slide)"
+           pp w)
+
+let gap w =
+  match w with
+  | Session { gap } -> gap
+  | Hop _ ->
+      invalid_arg
+        (Format.asprintf "Window.gap: %a is not a session window" pp w)
+
+let is_session = function Session _ -> true | Hop _ -> false
+let is_hop = function Hop _ -> true | Session _ -> false
+let hop_domain = function Hop { domain; _ } -> Some domain | Session _ -> None
+
+let same_domain a b =
+  match (a, b) with
+  | Hop { domain = da; _ }, Hop { domain = db; _ } -> da = db
+  | _ -> false
+
+let is_tumbling = function
+  | Hop { range; slide; _ } -> slide = range
+  | Session _ -> false
+
+let is_aligned = function
+  | Hop { range; slide; _ } -> range mod slide = 0
+  | Session _ -> false
 
 let k_ratio w =
-  if not (is_aligned w) then
-    invalid_arg "Window.k_ratio: window range is not a multiple of its slide";
-  w.range / w.slide
+  match w with
+  | Session _ ->
+      invalid_arg
+        (Format.asprintf "Window.k_ratio: %a is a session window (no \
+                          range/slide ratio)"
+           pp w)
+  | Hop { range; slide; _ } ->
+      if range mod slide <> 0 then
+        invalid_arg
+          (Format.asprintf
+             "Window.k_ratio: %a is not aligned (range %d is not a multiple \
+              of slide %d)"
+             pp w range slide);
+      range / slide
 
-let equal a b = a.range = b.range && a.slide = b.slide
+let compare_domain a b =
+  match (a, b) with
+  | Time, Time | Count, Count -> 0
+  | Time, Count -> -1
+  | Count, Time -> 1
 
 let compare a b =
-  match Int.compare a.range b.range with
-  | 0 -> Int.compare a.slide b.slide
-  | c -> c
+  match (a, b) with
+  | ( Hop { domain = da; range = ra; slide = sa },
+      Hop { domain = db; range = rb; slide = sb } ) -> (
+      match compare_domain da db with
+      | 0 -> ( match Int.compare ra rb with 0 -> Int.compare sa sb | c -> c)
+      | c -> c)
+  | Hop _, Session _ -> -1
+  | Session _, Hop _ -> 1
+  | Session { gap = ga }, Session { gap = gb } -> Int.compare ga gb
 
-let hash w = (w.range * 31) + w.slide
+let equal a b = compare a b = 0
 
-let pp ppf w = Format.fprintf ppf "W<%d,%d>" w.range w.slide
-let to_string w = Format.asprintf "%a" pp w
+let hash = function
+  | Hop { domain = Time; range; slide } -> (range * 31) + slide
+  | Hop { domain = Count; range; slide } -> ((((range * 31) + slide) * 31) + 1)
+  | Session { gap } -> (gap * 31) + 2
 
 module Ord = struct
   type nonrec t = t

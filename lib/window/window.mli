@@ -1,15 +1,38 @@
-(** Windows in the range/slide representation of the paper (Section 2.1).
+(** Windows as a first-class family type.
 
-    A window [W⟨r, s⟩] has a {e range} [r] (its duration) and a {e slide}
-    [s] (the gap between two consecutive firings), with [0 < s <= r].
-    ASA calls [W] a {e hopping} window when [s < r] and a {e tumbling}
-    window when [s = r].  Ranges and slides are integer tick counts; the
-    unit is carried externally (see {!Fw_util.Duration}). *)
+    The paper's [W⟨r, s⟩] (Section 2.1) is the {e time hop}: a window
+    with a {e range} [r] (its duration) and a {e slide} [s] (the gap
+    between two consecutive firings), [0 < s <= r].  ASA calls it
+    {e hopping} when [s < r] and {e tumbling} when [s = r].  The
+    coverage theory (Theorems 1–4) is domain-agnostic: the same
+    range/slide pair over a per-key {e row-count} axis (a ROWS frame)
+    obeys the identical theorems, so count hops are the same
+    constructor with a different {!domain}.  {e Session} windows
+    (gap-based, key-dependent extents) have no static coverage
+    structure at all and are executed by an explicit fallback operator.
 
-type t = private { range : int; slide : int }
+    Ranges, slides and gaps are integer tick (or row) counts; the unit
+    is carried externally (see {!Fw_util.Duration}). *)
+
+type domain =
+  | Time  (** instance extents are tick intervals; printed [W<r,s>] *)
+  | Count
+      (** instance extents are per-key event-ordinal intervals (ROWS
+          frames); printed [R<r,s>] *)
+
+type t = private
+  | Hop of { domain : domain; range : int; slide : int }
+      (** hopping/tumbling window over [domain] *)
+  | Session of { gap : int }
+      (** per-key session: extents close [gap] ticks after the last
+          event; printed [S<gap>] *)
+
+val hop : domain:domain -> range:int -> slide:int -> t
+(** Raises [Invalid_argument] unless [0 < slide <= range]. *)
 
 val make : range:int -> slide:int -> t
-(** Raises [Invalid_argument] unless [0 < slide <= range]. *)
+(** Time-domain hop; raises [Invalid_argument] unless
+    [0 < slide <= range]. *)
 
 val tumbling : int -> t
 (** [tumbling r] is [W⟨r, r⟩]. *)
@@ -17,30 +40,66 @@ val tumbling : int -> t
 val hopping : range:int -> slide:int -> t
 (** Same as {!make} but insists [slide < range]. *)
 
+val count_hop : range:int -> slide:int -> t
+(** Count-domain hop [R⟨r, s⟩]: instance [m] of key [k] covers that
+    key's event ordinals [[m·s, m·s + r)]. *)
+
+val count_tumbling : int -> t
+(** [count_tumbling r] is [R⟨r, r⟩]. *)
+
+val session : gap:int -> t
+(** [session ~gap] is [S⟨gap⟩]; raises [Invalid_argument] unless
+    [gap > 0]. *)
+
 val range : t -> int
+(** Raises [Invalid_argument] (naming the window) on a session
+    window, which has no fixed range. *)
+
 val slide : t -> int
+(** Raises [Invalid_argument] (naming the window) on a session
+    window, which has no fixed slide. *)
+
+val gap : t -> int
+(** Raises [Invalid_argument] (naming the window) on a hop window. *)
+
+val is_session : t -> bool
+val is_hop : t -> bool
+
+val hop_domain : t -> domain option
+(** [Some domain] for hops, [None] for sessions. *)
+
+val same_domain : t -> t -> bool
+(** True iff both are hops over the same domain.  Coverage is only
+    defined within a domain; sessions are never same-domain with
+    anything (including other sessions). *)
 
 val is_tumbling : t -> bool
-(** [slide = range]. *)
+(** [slide = range]; false for sessions. *)
 
 val is_aligned : t -> bool
 (** True iff [range] is a multiple of [slide].  The paper's cost model
     (Section 3.2.1, footnote 4) assumes aligned windows so that
     recurrence counts are integers; Algorithm 5 only generates aligned
-    windows. *)
+    windows.  Sessions are never aligned — this single predicate gates
+    them out of the optimizer, slicing and the metrics invariants. *)
 
 val k_ratio : t -> int
-(** [range / slide] for an aligned window (the paper's [k_i]).
-    Raises [Invalid_argument] when the window is not aligned. *)
+(** [range / slide] for an aligned hop (the paper's [k_i]).
+    Raises [Invalid_argument] — naming the offending window — when the
+    window is a session or not aligned. *)
 
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
-(** Total order: by range, then slide.  Used for sorting and sets; it is
-    {e not} the coverage partial order. *)
+(** Total order: time hops, then count hops, then sessions; within a
+    hop domain by range then slide, sessions by gap.  Used for sorting
+    and sets; it is {e not} the coverage partial order. *)
 
 val hash : t -> int
+
 val pp : Format.formatter -> t -> unit
-(** Prints [W⟨r,s⟩]. *)
+(** Prints [W<r,s>] (time hop), [R<r,s>] (count hop) or [S<gap>]
+    (session). *)
 
 val to_string : t -> string
 

@@ -36,6 +36,15 @@ let gen_tumbling_window =
     let* k = int_range 1 8 in
     return (Window.tumbling (k * s)))
 
+(* Same geometry distribution as [gen_window], count domain. *)
+let gen_count_window =
+  QCheck2.Gen.(
+    let* s = int_range 1 12 in
+    let* k = int_range 1 8 in
+    return (Window.count_hop ~range:(k * s) ~slide:s))
+
+let gen_count_window_pair = QCheck2.Gen.pair gen_count_window gen_count_window
+
 let gen_window_pair = QCheck2.Gen.pair gen_window gen_window
 
 let gen_window_set ?(max_size = 6) () =

@@ -134,6 +134,58 @@ let prop_partition_disjoint_cover =
         Interval.pairwise_disjoint cover && Interval.union_covers i cover
       else true)
 
+(* --- Count-domain instances of the theorems.  The coverage code is
+   parameterized by domain, so these exercise the same arithmetic over
+   count hops (and would catch a domain guard placed wrongly). --- *)
+
+let prop_theorem1_count =
+  qtest ~count:400 "Theorem 1 <=> Definition 1 (count domain)"
+    gen_count_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      Coverage.covered_by w1 w2 = Coverage.covered_by_semantic w1 w2)
+
+let prop_theorem4_count =
+  qtest ~count:400 "Theorem 4 <=> Definition 5 (count domain)"
+    gen_count_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      Coverage.partitioned_by w1 w2 = Coverage.partitioned_by_semantic w1 w2)
+
+let prop_theorem3_count =
+  qtest ~count:400 "Theorem 3: multiplier = |covering set| (count domain)"
+    QCheck2.Gen.(triple gen_count_window gen_count_window (int_range 0 10))
+    QCheck2.Print.(triple print_window print_window int)
+    (fun (w1, w2, m) ->
+      if Coverage.covered_by w1 w2 then
+        let i = Interval.instance w1 m in
+        List.length (Coverage.covering_set ~covered:w1 ~by:w2 i)
+        = Coverage.multiplier ~covered:w1 ~by:w2
+      else true)
+
+let prop_cross_domain_never_covers =
+  qtest ~count:400 "cross-domain pairs are never related"
+    gen_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      (* Re-seat w2's geometry in the count domain: even when the
+         range/slide arithmetic of Theorem 1 would hold, the pair must
+         be excluded (and the semantic check must agree). *)
+      let c2 = Window.count_hop ~range:(Window.range w2) ~slide:(Window.slide w2) in
+      (not (Coverage.covered_by w1 c2))
+      && (not (Coverage.covered_by_semantic w1 c2))
+      && (not (Coverage.partitioned_by w1 c2))
+      && not (Coverage.partitioned_by_semantic w1 c2))
+
+let prop_count_mirrors_time =
+  qtest ~count:400 "coverage is domain-invariant on equal geometry"
+    gen_window_pair
+    QCheck2.Print.(pair print_window print_window)
+    (fun (w1, w2) ->
+      let c w = Window.count_hop ~range:(Window.range w) ~slide:(Window.slide w) in
+      Coverage.covered_by w1 w2 = Coverage.covered_by (c w1) (c w2)
+      && Coverage.partitioned_by w1 w2 = Coverage.partitioned_by (c w1) (c w2))
+
 let prop_tumbling_coverage_is_divisibility =
   qtest "tumbling coverage = range divisibility"
     QCheck2.Gen.(pair gen_tumbling_window gen_tumbling_window)
@@ -158,5 +210,10 @@ let suite =
     prop_antisymmetry;
     prop_transitivity;
     prop_partition_disjoint_cover;
+    prop_theorem1_count;
+    prop_theorem4_count;
+    prop_theorem3_count;
+    prop_cross_domain_never_covers;
+    prop_count_mirrors_time;
     prop_tumbling_coverage_is_divisibility;
   ]

@@ -200,13 +200,14 @@ let test_incremental_prob_zero_skips () =
         ^ Format.asprintf "%a" Harness.pp_failure f)
 
 let test_non_aligned_paths () =
-  (* Non-aligned windows: rewritten paths must be skipped, slicing and
+  (* Non-aligned windows: the rewritten paths now apply (the optimizer
+     routes them around the WCG as fallback aggregates); slicing and
      the naive stream must still agree with the reference. *)
   let nw = Window.make ~range:10 ~slide:4 in
   let events = List.init 40 (fun t -> ev t "k" (float_of_int t)) in
   let sc = fixed_scenario Aggregate.Avg [ nw ] events ~eta:1 ~horizon:40 in
   check_bool "not aligned" false (Scenario.aligned sc);
-  check_bool "rewritten inapplicable" false
+  check_bool "rewritten applicable" true
     (Paths.applicable Paths.Rewritten sc);
   check_bool "slicing applicable" true
     (Paths.applicable (Paths.Sliced (Fw_slicing.Exec.Shared, Fw_slicing.Exec.Paired_slicing)) sc);

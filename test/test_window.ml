@@ -28,8 +28,43 @@ let test_aligned () =
   check_int "k_ratio tumbling" 1 (Window.k_ratio (tumbling 9));
   Alcotest.check_raises "k_ratio unaligned"
     (Invalid_argument
-       "Window.k_ratio: window range is not a multiple of its slide")
+       "Window.k_ratio: W<10,3> is not aligned (range 10 is not a multiple \
+        of slide 3)")
     (fun () -> ignore (Window.k_ratio (w ~r:10 ~s:3)))
+
+let test_families () =
+  let c = Window.count_hop ~range:12 ~slide:4 in
+  let ct = Window.count_tumbling 6 in
+  let s = Window.session ~gap:30 in
+  check_int "count range" 12 (Window.range c);
+  check_int "count slide" 4 (Window.slide c);
+  check_bool "count tumbling" true (Window.is_tumbling ct);
+  check_bool "count aligned" true (Window.is_aligned c);
+  check_int "count k_ratio" 3 (Window.k_ratio c);
+  check_bool "session not aligned" false (Window.is_aligned s);
+  check_bool "session is_session" true (Window.is_session s);
+  check_int "session gap" 30 (Window.gap s);
+  check_bool "domains differ" false
+    (Window.same_domain c (Window.make ~range:12 ~slide:4));
+  check_bool "same domain" true (Window.same_domain c ct);
+  check_string "count pp" "R<12,4>" (Window.to_string c);
+  check_string "session pp" "S<30>" (Window.to_string s);
+  check_bool "cross-family not equal" false
+    (Window.equal c (Window.make ~range:12 ~slide:4));
+  Alcotest.check_raises "session range named"
+    (Invalid_argument "Window.range: S<30> is a session window (no fixed range)")
+    (fun () -> ignore (Window.range s));
+  Alcotest.check_raises "session k_ratio named"
+    (Invalid_argument
+       "Window.k_ratio: S<30> is a session window (no range/slide ratio)")
+    (fun () -> ignore (Window.k_ratio s));
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Window.session ~gap:0);
+  expect_invalid (fun () -> Window.gap c)
 
 let test_equality_order () =
   check_bool "equal" true (Window.equal (w ~r:10 ~s:2) (w ~r:10 ~s:2));
@@ -71,6 +106,7 @@ let suite =
     Alcotest.test_case "make valid" `Quick test_make_valid;
     Alcotest.test_case "make invalid" `Quick test_make_invalid;
     Alcotest.test_case "aligned" `Quick test_aligned;
+    Alcotest.test_case "families" `Quick test_families;
     Alcotest.test_case "equality and order" `Quick test_equality_order;
     Alcotest.test_case "dedup" `Quick test_dedup;
     Alcotest.test_case "pp" `Quick test_pp;
