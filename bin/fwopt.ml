@@ -131,9 +131,22 @@ let optimize_cmd =
    whole crash/recover cycle. *)
 exception Simulated_crash
 
-let run_checkpointed ~dir ~every ~crash_after ~batch ~mode plan ~horizon
-    events =
-  let cp = Fw_snap.Checkpoint.create ~dir ~every ~mode plan in
+(* --throttle: cap the feed rate (events per wall-clock second) so a
+   live run lasts long enough to scrape and watch. *)
+let pacer = function
+  | None -> fun () -> ()
+  | Some rate ->
+      let t0 = Unix.gettimeofday () in
+      let fed = ref 0 in
+      fun () ->
+        incr fed;
+        let target = float_of_int !fed /. rate in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if target > elapsed then Unix.sleepf (target -. elapsed)
+
+let run_checkpointed ~metrics ~pace ~dir ~every ~crash_after ~batch ~mode plan
+    ~horizon events =
+  let cp = Fw_snap.Checkpoint.create ~metrics ~dir ~every ~mode plan in
   (* [--batch 1] is byte-identical to per-event feeding (feed is a
      batch-of-1 wrapper); larger sizes go through the vectorized
      [Checkpoint.feed_batch], which keeps the same WAL/snapshot cuts. *)
@@ -154,7 +167,8 @@ let run_checkpointed ~dir ~every ~crash_after ~batch ~mode plan ~horizon
          | _ -> ());
          if e.Fw_engine.Event.time < horizon then begin
            Fw_engine.Batch.push buf e;
-           if Fw_engine.Batch.length buf >= batch then flush ()
+           if Fw_engine.Batch.length buf >= batch then flush ();
+           pace ()
          end)
        (Fw_engine.Event.sort events);
      flush ()
@@ -213,7 +227,7 @@ let run_recovered ~dir ~every ~batch ~mode plan ~horizon events =
 let run_cmd =
   let action query file eta no_factor seed horizon show_rows shuffle lateness
       events_file csv_out incremental stats checkpoint_dir every recover_dir
-      crash_after shards batch_opt key_skew keys_n =
+      crash_after shards batch_opt key_skew keys_n serve_port throttle drift =
     let stats =
       match stats with
       | None -> None
@@ -271,6 +285,32 @@ let run_cmd =
     (match keys_n with
     | Some k when k < 1 ->
         Printf.eprintf "--keys must be >= 1 (got %d)\n" k;
+        exit 2
+    | _ -> ());
+    (match serve_port with
+    | Some p when p < 0 || p > 65535 ->
+        Printf.eprintf "--serve port must be in 0..65535 (got %d)\n" p;
+        exit 2
+    | Some _ when recover_dir <> None ->
+        Printf.eprintf
+          "--serve cannot combine with --recover (recovery replays a \
+           durable log, not a live stream)\n";
+        exit 2
+    | _ -> ());
+    (match throttle with
+    | Some r when r <= 0.0 || not (Float.is_finite r) ->
+        Printf.eprintf
+          "--throttle must be a finite rate > 0 events/sec (got %g)\n" r;
+        exit 2
+    | Some _ when recover_dir <> None || shuffle ->
+        Printf.eprintf
+          "--throttle applies to live feeding (not --recover or \
+           --shuffle)\n";
+        exit 2
+    | _ -> ());
+    (match drift with
+    | Some th when th <= 1.0 || not (Float.is_finite th) ->
+        Printf.eprintf "--drift threshold must be > 1.0 (got %g)\n" th;
         exit 2
     | _ -> ());
     match
@@ -333,10 +373,30 @@ let run_cmd =
           | Some "json" -> Some (Fw_obs.Trace.create ())
           | _ -> None
         in
-        let report =
+        (* One metrics registry up front, threaded through every
+           execution path, so --serve can expose it while the run is
+           still feeding.  (--recover keeps its own: its metrics are
+           reconstructed from the durable log.) *)
+        let metrics = Fw_engine.Metrics.create () in
+        (match trace with
+        | Some tr -> Fw_engine.Metrics.set_trace metrics tr
+        | None -> ());
+        let pace = pacer throttle in
+        let server =
+          match serve_port with
+          | None -> None
+          | Some port ->
+              let reg = Fw_engine.Metrics.registry metrics in
+              let meter = Fw_obs.Meter.create reg in
+              let s = Fw_obs.Scrape.start ~meter ~port reg in
+              Printf.eprintf "serving metrics on http://127.0.0.1:%d/metrics\n%!"
+                (Fw_obs.Scrape.port s);
+              Some s
+        in
+        let execute () =
           match (checkpoint_dir, recover_dir) with
           | Some dir, _ ->
-              run_checkpointed ~dir ~every ~crash_after
+              run_checkpointed ~metrics ~pace ~dir ~every ~crash_after
                 ~batch:(Option.value batch_opt ~default:1)
                 ~mode (Optimizer.optimized_plan t) ~horizon events
           | None, Some dir ->
@@ -349,8 +409,42 @@ let run_cmd =
                  run-diff smoke pins), so only the shards:-prefixed
                  lines differ. *)
               let r =
-                Fw_shard.Runner.run ?batch:batch_opt ~mode ~shards
-                  (Optimizer.optimized_plan t) ~horizon events
+                match throttle with
+                | None ->
+                    Fw_shard.Runner.run ~metrics ?batch:batch_opt ~mode
+                      ~shards (Optimizer.optimized_plan t) ~horizon events
+                | Some _ ->
+                    (* Manual feed loop: pace the stream and punctuate
+                       at every tick so the served watermark and queue
+                       gauges move while the run executes.  The extra
+                       punctuations don't change rows — the engine
+                       would advance to the same watermark on the next
+                       event anyway. *)
+                    let rt =
+                      Fw_shard.Runner.create ~metrics ?batch:batch_opt ~mode
+                        ~shards (Optimizer.optimized_plan t)
+                    in
+                    let last_t = ref min_int in
+                    (match
+                       List.iter
+                         (fun ev ->
+                           if ev.Fw_engine.Event.time < horizon then begin
+                             if
+                               ev.Fw_engine.Event.time > !last_t
+                               && !last_t > min_int
+                             then Fw_shard.Runner.advance rt !last_t;
+                             last_t := ev.Fw_engine.Event.time;
+                             Fw_shard.Runner.feed rt ev;
+                             pace ()
+                           end)
+                         (Fw_engine.Event.sort events)
+                     with
+                    | () -> ()
+                    | exception e ->
+                        (try ignore (Fw_shard.Runner.close rt ~horizon)
+                         with _ -> ());
+                        raise e);
+                    Fw_shard.Runner.close rt ~horizon
               in
               let st = r.Fw_shard.Runner.stats in
               let ints a =
@@ -371,14 +465,18 @@ let run_cmd =
                 Fw_engine.Run.rows = r.Fw_shard.Runner.rows;
                 metrics = r.Fw_shard.Runner.metrics;
               }
-          | None, None when Option.value batch_opt ~default:1 > 1 ->
+          | None, None
+            when Option.value batch_opt ~default:1 > 1 || throttle <> None
+            ->
               (* Vectorized single-shard execution: the stream goes
                  through [feed_batch] in fixed-size chunks.  Rows and
                  cost-model counters are byte-identical to the
-                 per-event run (the feed/feed_batch contract). *)
+                 per-event run (the feed/feed_batch contract) — which
+                 is also why a throttled run takes this path at batch
+                 size 1: the loop is pace-able without changing the
+                 result. *)
               let batch = Option.value batch_opt ~default:1 in
               let plan = Optimizer.optimized_plan t in
-              let metrics = Fw_engine.Metrics.create () in
               let exec = Fw_engine.Stream_exec.create ~metrics ~mode plan in
               let buf = Fw_engine.Batch.create () in
               let flush () =
@@ -391,7 +489,8 @@ let run_cmd =
                 (fun e ->
                   if e.Fw_engine.Event.time < horizon then begin
                     Fw_engine.Batch.push buf e;
-                    if Fw_engine.Batch.length buf >= batch then flush ()
+                    if Fw_engine.Batch.length buf >= batch then flush ();
+                    pace ()
                   end)
                 (Fw_engine.Event.sort events);
               flush ();
@@ -400,7 +499,13 @@ let run_cmd =
                   Fw_engine.Stream_exec.close exec ~horizon;
                 metrics;
               }
-          | None, None -> Optimizer.execute ~mode ?trace t ~horizon events
+          | None, None ->
+              Optimizer.execute ~metrics ~mode ?trace t ~horizon events
+        in
+        let report =
+          Fun.protect
+            ~finally:(fun () -> Option.iter Fw_obs.Scrape.stop server)
+            execute
         in
         let metrics = report.Fw_engine.Run.metrics in
         (match stats with
@@ -427,6 +532,37 @@ let run_cmd =
                     fbs);
               print_string (Fw_engine.Metrics.prometheus metrics)
             end);
+        (match drift with
+        | None -> ()
+        | Some threshold -> (
+            match t.Optimizer.outcome.Fw_plan.Rewrite.optimization with
+            | Some result
+              when List.for_all
+                     (fun w -> Window.hop_domain w = Some Window.Time)
+                     t.Optimizer.windows ->
+                (* sub-aggregate traffic is per key: predict with the
+                   key count the stream actually carried *)
+                let keys =
+                  List.length
+                    (List.sort_uniq String.compare
+                       (List.filter_map
+                          (fun e ->
+                            if e.Fw_engine.Event.time < horizon then
+                              Some e.Fw_engine.Event.key
+                            else None)
+                          events))
+                in
+                print_endline
+                  (Report.drift_table ~threshold ~keys:(max 1 keys) ~horizon
+                     result metrics)
+            | Some _ ->
+                print_endline
+                  "drift: n/a (count/session windows have no static cost \
+                   model)"
+            | None ->
+                print_endline
+                  "drift: n/a (no cost model — holistic aggregate or naive \
+                   fallback)"));
         if csv_out then
           print_string (Fw_engine.Csv_io.rows_to_csv report.Fw_engine.Run.rows)
         else if show_rows then
@@ -541,6 +677,37 @@ let run_cmd =
              ~doc:"Size of the generated key pool (default: the 4 stock \
                    device keys).")
   in
+  let serve =
+    Arg.(value & opt (some int) None
+         & info [ "serve" ] ~docv:"PORT"
+             ~doc:"Serve live metrics over HTTP on 127.0.0.1:$(docv) while \
+                   the run executes: $(b,/metrics) (Prometheus text), \
+                   $(b,/metrics.json) (timestamped snapshot) and \
+                   $(b,/healthz).  Scrapes also refresh derived \
+                   $(b,*_per_sec) rates and $(b,engine_watermark_lag_ns).  \
+                   Port 0 picks an ephemeral one (printed on stderr).  \
+                   Combine with --throttle and watch with $(b,fwtop).  Not \
+                   available with --recover.")
+  in
+  let throttle =
+    Arg.(value & opt (some float) None
+         & info [ "throttle" ] ~docv:"RATE"
+             ~doc:"Cap the feed at $(docv) events per wall-clock second, so \
+                   a served run lasts long enough to scrape.  Rows and \
+                   counters are unchanged — only the pacing differs.")
+  in
+  let drift =
+    Arg.(value
+         & opt (some float) None ~vopt:(Some 1.5)
+         & info [ "drift" ] ~docv:"THRESH"
+             ~doc:"After the run, compare the cost model's predicted \
+                   per-window item counts (scaled from the common period to \
+                   the horizon) against the engine's measured counters and \
+                   flag windows whose actual/predicted ratio escapes \
+                   [1/$(docv), $(docv)] (default 1.5).  Assumes the steady \
+                   generated stream; with --events the report shows how far \
+                   reality drifted from the steady-state model.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile a query, execute it on synthetic events (or a CSV \
@@ -548,7 +715,8 @@ let run_cmd =
     Term.(const action $ query_arg $ file_arg $ eta_arg $ no_factor_arg
           $ seed_arg $ horizon $ show_rows $ shuffle $ lateness $ events_file
           $ csv_out $ incremental $ stats $ checkpoint_dir $ every
-          $ recover_dir $ crash_after $ shards $ batch $ key_skew $ keys_n)
+          $ recover_dir $ crash_after $ shards $ batch $ key_skew $ keys_n
+          $ serve $ throttle $ drift)
 
 (* --- gen --- *)
 

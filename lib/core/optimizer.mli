@@ -41,15 +41,18 @@ val explain : t -> string
 (** Human-readable optimization report. *)
 
 val execute :
+  ?metrics:Fw_engine.Metrics.t ->
   ?mode:Fw_engine.Stream_exec.mode ->
   ?trace:Fw_obs.Trace.t ->
   t ->
   horizon:int ->
   Fw_engine.Event.t list ->
   Fw_engine.Run.report
-(** Run the optimized plan on events.  [mode] selects the executor
-    path (default {!Fw_engine.Stream_exec.Naive}); [trace] attaches a
-    span trace to the run's metrics. *)
+(** Run the optimized plan on events.  [metrics] supplies the
+    recording registry (fresh by default; pass a served one for live
+    scraping); [mode] selects the executor path (default
+    {!Fw_engine.Stream_exec.Naive}); [trace] attaches a span trace to
+    the run's metrics. *)
 
 val verify :
   t -> horizon:int -> Fw_engine.Event.t list -> (unit, string) result

@@ -31,6 +31,91 @@ let int_row label cells = label :: List.map string_of_int cells
 let ratio a b =
   if b = 0 then "n/a" else Printf.sprintf "x%.2f" (float_of_int a /. float_of_int b)
 
+(* --- cost-model drift ---------------------------------------------- *)
+
+type drift_row = {
+  drift_window : Fw_window.Window.t;
+  predicted : float;
+  actual : int;
+  drift_ratio : float;
+  flagged : bool;
+}
+
+(* The prediction re-evaluates the model at horizon scale: the same
+   parent assignment Algorithm 1 chose, but with the environment's
+   period stretched to the horizon, so instance counts include the
+   start-up ramp exactly (a per-period cost scaled by horizon/period
+   would not — the first period fires fewer instances of any window
+   with range > slide).  Sub-aggregates are per key, so parent-fed
+   windows scale with the number of distinct keys; raw-fed windows
+   count events and do not.  When the horizon does not align with a
+   window's slide the exact recount is undefined and the prediction
+   falls back to period scaling. *)
+let predicted_items ~eta ~keys ~horizon (result : Fw_wcg.Algorithm1.result) w
+    (a : Fw_wcg.Algorithm1.assignment) =
+  let key_mult =
+    match a.Fw_wcg.Algorithm1.parent with None -> 1 | Some _ -> keys
+  in
+  match
+    Fw_wcg.Cost_model.parent_cost
+      (Fw_wcg.Cost_model.env_with_period ~eta horizon)
+      w ~parent:a.Fw_wcg.Algorithm1.parent
+  with
+  | c -> float_of_int (c * key_mult)
+  | exception Invalid_argument _ ->
+      let period = result.Fw_wcg.Algorithm1.env.Fw_wcg.Cost_model.period in
+      float_of_int (a.Fw_wcg.Algorithm1.cost * key_mult)
+      *. (float_of_int horizon /. float_of_int period)
+
+let drift ?(threshold = 1.5) ?(keys = 1) ~horizon
+    (result : Fw_wcg.Algorithm1.result) metrics =
+  if threshold <= 1.0 then
+    invalid_arg "Report.drift: threshold must be > 1.0";
+  if keys < 1 then invalid_arg "Report.drift: keys must be >= 1";
+  let eta = result.Fw_wcg.Algorithm1.env.Fw_wcg.Cost_model.eta in
+  Fw_window.Window.Map.fold
+    (fun w (a : Fw_wcg.Algorithm1.assignment) acc ->
+      let predicted = predicted_items ~eta ~keys ~horizon result w a in
+      let actual = Fw_engine.Metrics.processed metrics w in
+      let drift_ratio =
+        if predicted <= 0.0 then if actual = 0 then 1.0 else Float.infinity
+        else float_of_int actual /. predicted
+      in
+      let flagged =
+        drift_ratio > threshold || drift_ratio < 1.0 /. threshold
+      in
+      { drift_window = w; predicted; actual; drift_ratio; flagged } :: acc)
+    result.Fw_wcg.Algorithm1.assignments []
+  |> List.rev
+
+let drift_table ?(threshold = 1.5) ?(keys = 1) ~horizon result metrics =
+  let rows = drift ~threshold ~keys ~horizon result metrics in
+  let period = result.Fw_wcg.Algorithm1.env.Fw_wcg.Cost_model.period in
+  let body =
+    List.map
+      (fun r ->
+        [
+          Fw_window.Window.to_string r.drift_window;
+          Printf.sprintf "%.0f" r.predicted;
+          string_of_int r.actual;
+          (if Float.is_finite r.drift_ratio then
+             Printf.sprintf "x%.2f" r.drift_ratio
+           else "inf");
+          (if r.flagged then "DRIFT" else "ok");
+        ])
+      rows
+  in
+  let flagged = List.length (List.filter (fun r -> r.flagged) rows) in
+  Printf.sprintf
+    "cost-model drift: horizon %d = %.2f periods, threshold x%.2f, %d/%d \
+     windows flagged\n%s"
+    horizon
+    (float_of_int horizon /. float_of_int period)
+    threshold flagged (List.length rows)
+    (table
+       ~header:[ "window"; "predicted"; "actual"; "ratio"; "verdict" ]
+       body)
+
 let series ~title ~techniques costs_list =
   let header =
     "technique"

@@ -11,6 +11,50 @@ val ratio : int -> int -> string
 (** ["x4.27"]-style ratio of two costs ("n/a" when the denominator is
     zero). *)
 
+(** {1 Cost-model drift}
+
+    Compares what the optimizer's cost model {e predicted} each
+    window-processing operator would do against what the engine's
+    per-window counters {e measured}, scaled from the model's common
+    period to the run's horizon.  A healthy run sits near x1.00; a
+    window whose actual/predicted ratio escapes
+    [\[1/threshold, threshold\]] is flagged — the plan was chosen on
+    numbers the execution didn't honour (skewed input, non-steady
+    rate, or a model bug). *)
+
+type drift_row = {
+  drift_window : Fw_window.Window.t;
+  predicted : float;  (** model cost x (horizon / period) *)
+  actual : int;  (** the engine's processed-items counter *)
+  drift_ratio : float;  (** actual / predicted; [1.0] when both are 0 *)
+  flagged : bool;
+}
+
+val drift :
+  ?threshold:float ->
+  ?keys:int ->
+  horizon:int ->
+  Fw_wcg.Algorithm1.result ->
+  Fw_engine.Metrics.t ->
+  drift_row list
+(** One row per window in the optimizer's assignment, in window order.
+    The prediction re-evaluates each window's assigned cost with the
+    model period stretched to [horizon] (exact on a steady stream,
+    including the start-up ramp; falls back to period scaling when the
+    horizon doesn't align), and multiplies parent-fed windows by
+    [keys] (default 1) because sub-aggregates are per key.
+    [threshold] defaults to 1.5; raises [Invalid_argument] if
+    [threshold <= 1.0] or [keys < 1]. *)
+
+val drift_table :
+  ?threshold:float ->
+  ?keys:int ->
+  horizon:int ->
+  Fw_wcg.Algorithm1.result ->
+  Fw_engine.Metrics.t ->
+  string
+(** Rendered drift report (summary line + {!table}). *)
+
 val series :
   title:string ->
   techniques:Evaluation.technique list ->

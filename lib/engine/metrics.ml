@@ -1,5 +1,6 @@
 open Fw_window
 module Counter = Fw_obs.Counter
+module Gauge = Fw_obs.Gauge
 module Registry = Fw_obs.Registry
 
 type node_stats = {
@@ -9,12 +10,15 @@ type node_stats = {
   pane_flushes : Counter.t;
   swag_evictions : Counter.t;
   fire_ns : Fw_obs.Histogram.t;
+  fire_delay_ns : Fw_obs.Histogram.t;
   mutable activations : int;
 }
 
 type t = {
   registry : Registry.t;
   ingested_c : Counter.t;
+  wm_ticks : Gauge.t;
+  wm_advance_ts : Gauge.t;
   mutable processed : Counter.t Window.Map.t;
   nodes : (int, node_stats) Hashtbl.t;
   mutable trace : Fw_obs.Trace.t option;
@@ -27,6 +31,14 @@ let create () =
     ingested_c =
       Registry.counter registry "engine_ingested_events_total"
         ~help:"Events accepted by the source";
+    wm_ticks =
+      Registry.gauge registry "engine_watermark_ticks"
+        ~help:"Event-time watermark (ticks); merges by max across shards";
+    wm_advance_ts =
+      Registry.gauge registry "engine_watermark_advance_ts_ns"
+        ~help:
+          "Wall clock (ns) of the last watermark advance; the meter \
+           derives engine_watermark_lag_ns from it";
     processed = Window.Map.empty;
     nodes = Hashtbl.create 16;
     trace = None;
@@ -50,6 +62,10 @@ let window_counter t w =
 
 let record t w n = Counter.add (window_counter t w) n
 let record_ingest t n = Counter.add t.ingested_c n
+
+let record_watermark t ~wm ~at_ns =
+  Gauge.set t.wm_ticks (float_of_int wm);
+  Gauge.set t.wm_advance_ts (float_of_int at_ns)
 
 let processed t w =
   match Window.Map.find_opt w t.processed with
@@ -96,6 +112,11 @@ let node t ~id ~kind ?window () =
           fire_ns =
             Registry.histogram t.registry "node_fire_ns" ~labels
               ~help:"Sampled activation latency (ns)";
+          fire_delay_ns =
+            Registry.histogram t.registry "node_fire_delay_ns" ~labels
+              ~help:
+                "Sampled watermark-to-fire delay (ns): wall time from \
+                 the triggering watermark broadcast to the activation";
           activations = 0;
         }
       in

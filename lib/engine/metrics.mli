@@ -26,6 +26,10 @@ type node_stats = {
   pane_flushes : Fw_obs.Counter.t;  (** pane mode: panes sealed *)
   swag_evictions : Fw_obs.Counter.t;  (** pane mode: queue entries evicted *)
   fire_ns : Fw_obs.Histogram.t;  (** sampled activation latency *)
+  fire_delay_ns : Fw_obs.Histogram.t;
+      (** sampled wall-clock delay from the triggering watermark
+          broadcast (under sharding: from the driver stamping the
+          punctuation, so queueing shows up) to the activation *)
   mutable activations : int;  (** activation count, drives sampling *)
 }
 
@@ -37,6 +41,13 @@ val record : t -> Fw_window.Window.t -> int -> unit
 (** [record m w n] adds [n] processed items to window [w]. *)
 
 val record_ingest : t -> int -> unit
+
+val record_watermark : t -> wm:int -> at_ns:int -> unit
+(** Publish watermark progress: sets the [engine_watermark_ticks]
+    gauge to [wm] and [engine_watermark_advance_ts_ns] to [at_ns] (a
+    wall-clock stamp).  A {!Fw_obs.Meter} sampling the registry turns
+    the latter into [engine_watermark_lag_ns].  The executor calls
+    this on every watermark broadcast when observing. *)
 
 val processed : t -> Fw_window.Window.t -> int
 (** Per contract, [0] for windows never recorded — callers comparing

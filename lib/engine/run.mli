@@ -24,14 +24,17 @@ val saved : saving -> int
 (** [baseline_items - rewritten_items]; negative for added work. *)
 
 val execute :
+  ?metrics:Metrics.t ->
   ?mode:Stream_exec.mode ->
   ?trace:Fw_obs.Trace.t ->
   Fw_plan.Plan.t ->
   horizon:int ->
   Event.t list ->
   report
-(** Stream-execute a plan with fresh metrics; [trace] attaches a span
-    trace before the executor is built so every activation is
+(** Stream-execute a plan; [metrics] supplies the registry to record
+    into (fresh by default) — pass one whose registry is already being
+    served ({!Fw_obs.Scrape}) to watch the run live.  [trace] attaches
+    a span trace before the executor is built so every activation is
     recorded. *)
 
 val verify_against_naive :

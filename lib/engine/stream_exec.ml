@@ -138,6 +138,11 @@ type t = {
   subs : int array array;
   sources : int array;
   mutable source_wm : int;
+  mutable wm_wall : int;
+      (** wall ns when the current watermark's broadcast began (0 until
+          the first observed broadcast) — the fire-delay baseline.
+          Deliberately absent from the export: it is transient
+          wall-clock state, and checkpoints stay deterministic. *)
   rows : Row.t Vec.t;
   scratch : Batch.t;  (** reused one-event batch backing the [feed] wrapper *)
   mutable iota : int array;  (** identity selection [0; 1; ...] for batch roots *)
@@ -298,6 +303,9 @@ and win_fire t id st wm =
         if sampled then begin
           let dur = Clock.elapsed_ns ~since:t0 in
           Fw_obs.Histogram.record ns.Metrics.fire_ns dur;
+          if t.wm_wall > 0 then
+            Fw_obs.Histogram.record ns.Metrics.fire_delay_ns
+              (max 0 (t0 - t.wm_wall));
           trace_span t ~name:"win-fire" ~id ~start_ns:t0 ~dur_ns:dur
             ~items_in:!items_tot ~items_out:!fired ~window:st.window
         end
@@ -392,6 +400,9 @@ and pane_roll t id ps ~upto =
       if sampled then begin
         let dur = Clock.elapsed_ns ~since:t0 in
         Fw_obs.Histogram.record ns.Metrics.fire_ns dur;
+        if t.wm_wall > 0 then
+          Fw_obs.Histogram.record ns.Metrics.fire_delay_ns
+            (max 0 (t0 - t.wm_wall));
         trace_span t ~name:"pane-roll" ~id ~start_ns:t0 ~dur_ns:dur
           ~items_in:!flushed
           ~items_out:(Counter.get ns.Metrics.fires - fires0)
@@ -696,6 +707,7 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
     subs = subscribers plan;
     sources;
     source_wm = 0;
+    wm_wall = 0;
     rows = Vec.create ();
     scratch = Batch.create ();
     iota = [||];
@@ -1034,6 +1046,23 @@ let ensure_iota t n =
   if Array.length t.iota < n then
     t.iota <- Array.init (max n (2 * Array.length t.iota)) (fun i -> i)
 
+(* Broadcast a new source watermark.  [stamp] is the wall clock when
+   the punctuation entered the engine — taken lazily, at most once per
+   feed_batch call (or pre-filled by the sharding driver, so queue
+   wait is visible in the delay): the clock is only read when a
+   watermark actually advances, keeping observe-mode clock cost off
+   the per-event path.  It baselines the sampled watermark-to-fire
+   delay and feeds the progress gauges the meter turns into watermark
+   lag. *)
+let broadcast_wm t ~stamp wm =
+  t.source_wm <- wm;
+  if t.observe then begin
+    if !stamp = 0 then stamp := Clock.now_ns ();
+    t.wm_wall <- !stamp;
+    Metrics.record_watermark t.metrics ~wm ~at_ns:t.wm_wall
+  end;
+  root_deliver t (Watermark wm)
+
 let feed_batch t b =
   if t.closed then invalid_arg "Stream_exec.feed_batch: executor is closed";
   let n = Batch.length b in
@@ -1056,6 +1085,8 @@ let feed_batch t b =
   if n > 0 then Metrics.record_ingest t.metrics n;
   ensure_iota t n;
   let iota = t.iota in
+  (* one lazy wall-clock stamp per batch: every broadcast below shares it *)
+  let stamp = ref 0 in
   (* Deliver one segment of events, then broadcast its trailing
      watermark (the last event's time): per-event execution would have
      broadcast after every time increase, but no state distinguishable
@@ -1064,10 +1095,7 @@ let feed_batch t b =
     if hi > lo then begin
       Array.iter (fun id -> bdeliver t id b iota lo hi) t.sources;
       let tm = times.(hi - 1) in
-      if tm > t.source_wm then begin
-        t.source_wm <- tm;
-        root_deliver t (Watermark tm)
-      end
+      if tm > t.source_wm then broadcast_wm t ~stamp tm
     end
   in
   let pos = ref 0 in
@@ -1076,10 +1104,7 @@ let feed_batch t b =
     let at = min (max at !pos) n in
     seg !pos at;
     pos := at;
-    if wm > t.source_wm then begin
-      t.source_wm <- wm;
-      root_deliver t (Watermark wm)
-    end
+    if wm > t.source_wm then broadcast_wm t ~stamp wm
   done;
   seg !pos n
 
@@ -1089,12 +1114,9 @@ let feed t e =
   Batch.push t.scratch e;
   feed_batch t t.scratch
 
-let advance t time =
+let advance ?(at_ns = 0) t time =
   if t.closed then invalid_arg "Stream_exec.advance: executor is closed";
-  if time > t.source_wm then begin
-    t.source_wm <- time;
-    root_deliver t (Watermark time)
-  end
+  if time > t.source_wm then broadcast_wm t ~stamp:(ref at_ns) time
 
 let close t ~horizon =
   advance t horizon;

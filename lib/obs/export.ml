@@ -83,14 +83,26 @@ let trace_json tr =
   Printf.sprintf "{\"dropped\":%d,\"spans\":[%s]}" (Trace.dropped tr)
     (String.concat "," (List.map span_json (Trace.to_list tr)))
 
-let snapshot_json ?trace reg =
+let snapshot_json ?ts_ns ?trace reg =
+  let ts =
+    match ts_ns with
+    | None -> ""
+    | Some t -> Printf.sprintf "\"ts_ns\":%d," t
+  in
   match trace with
-  | None -> Printf.sprintf "{\"metrics\":%s}" (registry_json reg)
+  | None -> Printf.sprintf "{%s\"metrics\":%s}" ts (registry_json reg)
   | Some tr ->
-      Printf.sprintf "{\"metrics\":%s,\"trace\":%s}" (registry_json reg)
+      Printf.sprintf "{%s\"metrics\":%s,\"trace\":%s}" ts (registry_json reg)
         (trace_json tr)
 
 (* --- Prometheus text exposition --- *)
+
+(* Label-value escaping per the exposition format: backslash first,
+   then quote, then newline. *)
+let prom_escape v =
+  let escaped = String.concat "\\\\" (String.split_on_char '\\' v) in
+  let escaped = String.concat "\\\"" (String.split_on_char '"' escaped) in
+  String.concat "\\n" (String.split_on_char '\n' escaped)
 
 let prom_labels labels =
   match labels with
@@ -99,16 +111,7 @@ let prom_labels labels =
       "{"
       ^ String.concat ","
           (List.map
-             (fun (k, v) ->
-               let escaped =
-                 String.concat "\\\\"
-                   (String.split_on_char '\\' v)
-               in
-               let escaped =
-                 String.concat "\\\""
-                   (String.split_on_char '"' escaped)
-               in
-               Printf.sprintf "%s=\"%s\"" k escaped)
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
              labels)
       ^ "}"
 
@@ -153,3 +156,77 @@ let prometheus reg =
             (Histogram.count h))
     (Registry.entries reg);
   Buffer.contents buf
+
+(* --- exposition parsing (fwtop, round-trip tests) --- *)
+
+(* One sample line: [name{k="v",...} value] or [name value].  The
+   label-value scanner honours the escaping rules of [prom_escape]. *)
+let parse_sample line =
+  let n = String.length line in
+  let rec name_end i =
+    if i >= n then i
+    else match line.[i] with '{' | ' ' -> i | _ -> name_end (i + 1)
+  in
+  let ne = name_end 0 in
+  if ne = 0 then None
+  else
+    let name = String.sub line 0 ne in
+    let labels = ref [] in
+    let pos = ref ne in
+    let ok = ref true in
+    if !pos < n && line.[!pos] = '{' then begin
+      incr pos;
+      let rec pairs () =
+        if !pos < n && line.[!pos] = '}' then incr pos
+        else begin
+          let ks = !pos in
+          while !pos < n && line.[!pos] <> '=' do incr pos done;
+          let k = String.sub line ks (!pos - ks) in
+          if !pos + 1 >= n || line.[!pos + 1] <> '"' then ok := false
+          else begin
+            pos := !pos + 2;
+            let b = Buffer.create 16 in
+            let rec value () =
+              if !pos >= n then ok := false
+              else
+                match line.[!pos] with
+                | '"' -> incr pos
+                | '\\' when !pos + 1 < n ->
+                    (match line.[!pos + 1] with
+                    | 'n' -> Buffer.add_char b '\n'
+                    | c -> Buffer.add_char b c);
+                    pos := !pos + 2;
+                    value ()
+                | c ->
+                    Buffer.add_char b c;
+                    incr pos;
+                    value ()
+            in
+            value ();
+            if !ok then begin
+              labels := (k, Buffer.contents b) :: !labels;
+              if !pos < n && line.[!pos] = ',' then begin
+                incr pos;
+                pairs ()
+              end
+              else if !pos < n && line.[!pos] = '}' then incr pos
+              else ok := false
+            end
+          end
+        end
+      in
+      pairs ()
+    end;
+    if not !ok then None
+    else
+      let rest = String.trim (String.sub line !pos (n - !pos)) in
+      match float_of_string_opt rest with
+      | Some v -> Some (name, List.rev !labels, v)
+      | None -> None
+
+let parse_prometheus text =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None else parse_sample line)
+    (String.split_on_char '\n' text)

@@ -16,10 +16,21 @@ val registry_json : Registry.t -> string
 val trace_json : Trace.t -> string
 (** [{"dropped": n, "spans": [...]}], spans oldest first. *)
 
-val snapshot_json : ?trace:Trace.t -> Registry.t -> string
-(** Registry plus optional trace under one object. *)
+val snapshot_json : ?ts_ns:int -> ?trace:Trace.t -> Registry.t -> string
+(** Registry plus optional trace under one object.  [ts_ns] stamps the
+    snapshot with the scrape wall-clock ([{"ts_ns": ...}] leading key),
+    so pollers can order and rate-derive snapshots. *)
 
 val prometheus : Registry.t -> string
 (** Text exposition format: [# HELP] / [# TYPE] headers, counters and
     gauges as samples, histograms as cumulative [_bucket{le="..."}]
-    series plus [_sum] / [_count]. *)
+    series plus [_sum] / [_count].  Label values are escaped
+    (backslash, double quote, newline); output order is
+    {!Registry.entries} order, so the rendering is stable and
+    golden-testable. *)
+
+val parse_prometheus : string -> (string * (string * string) list * float) list
+(** Parse exposition text back into [(name, labels, value)] samples
+    (comments and [# HELP]/[# TYPE] lines skipped, label escapes
+    undone).  Inverse of {!prometheus} on the sample lines; used by
+    [fwtop] and the round-trip tests. *)

@@ -1,6 +1,12 @@
-(* floor(log2 v) + 1 for v >= 1 needs at most 62 + 1 buckets plus the
-   zero bucket on a 64-bit OCaml int. *)
-let n_buckets = 64
+(* HDR-lite bucket layout: values 0..7 get one exact bucket each; every
+   larger power-of-two range [2^b, 2^(b+1)) is split into 4 equal linear
+   sub-buckets of width 2^(b-2).  The relative quantile error is
+   therefore bounded by 25% (one sub-bucket) instead of the factor of
+   two a plain log2 histogram allows — enough to make p99.9 meaningful
+   for tail-latency gating.  OCaml's 63-bit ints need b up to 61, so
+   exactly 8 + (61 - 3 + 1) * 4 = 244 buckets — every index is
+   reachable and has well-defined bounds. *)
+let n_buckets = 244
 
 type t = {
   mutable count : int;
@@ -13,28 +19,35 @@ type t = {
 let create () =
   { count = 0; sum = 0; min_v = max_int; max_v = 0; buckets = Array.make n_buckets 0 }
 
-(* Bucket of a (clamped non-negative) value: 0 for 0, otherwise
-   floor(log2 v) + 1, computed with an unrolled binary search — O(1),
-   branch-light. *)
+(* floor(log2 v) for v >= 1, unrolled binary search — O(1), branch-light. *)
+let floor_log2 v =
+  let v = ref v and b = ref 0 in
+  if !v >= 1 lsl 32 then begin v := !v lsr 32; b := !b + 32 end;
+  if !v >= 1 lsl 16 then begin v := !v lsr 16; b := !b + 16 end;
+  if !v >= 1 lsl 8 then begin v := !v lsr 8; b := !b + 8 end;
+  if !v >= 1 lsl 4 then begin v := !v lsr 4; b := !b + 4 end;
+  if !v >= 1 lsl 2 then begin v := !v lsr 2; b := !b + 2 end;
+  if !v >= 2 then incr b;
+  !b
+
 let bucket_index v =
   if v <= 0 then 0
-  else begin
-    let v = ref v and b = ref 0 in
-    if !v >= 1 lsl 32 then begin v := !v lsr 32; b := !b + 32 end;
-    if !v >= 1 lsl 16 then begin v := !v lsr 16; b := !b + 16 end;
-    if !v >= 1 lsl 8 then begin v := !v lsr 8; b := !b + 8 end;
-    if !v >= 1 lsl 4 then begin v := !v lsr 4; b := !b + 4 end;
-    if !v >= 1 lsl 2 then begin v := !v lsr 2; b := !b + 2 end;
-    if !v >= 2 then incr b;
-    !b + 1
-  end
+  else if v < 8 then v
+  else
+    let b = floor_log2 v in
+    8 + ((b - 3) * 4) + ((v - (1 lsl b)) lsr (b - 2))
 
 let bucket_bounds i =
   if i <= 0 then (0, 0)
+  else if i < 8 then (i, i)
   else
-    let lo = 1 lsl (i - 1) in
-    let hi = if i >= 62 then max_int else (1 lsl i) - 1 in
-    (lo, hi)
+    let k = i - 8 in
+    let b = 3 + (k / 4) and s = k mod 4 in
+    let w = 1 lsl (b - 2) in
+    let lo = (1 lsl b) + (s * w) in
+    let hi = lo + w - 1 in
+    (* the top sub-bucket of the top power overflows; clamp *)
+    if hi < lo then (lo, max_int) else (lo, hi)
 
 let record t v =
   let v = if v < 0 then 0 else v in
@@ -107,6 +120,7 @@ let pp ppf t =
   if t.count = 0 then Format.pp_print_string ppf "empty"
   else
     let q p = Option.value ~default:0 (quantile t p) in
-    Format.fprintf ppf "n=%d mean=%.0f p50=%d p90=%d p99=%d max=%d" t.count
+    Format.fprintf ppf "n=%d mean=%.0f p50=%d p90=%d p99=%d p99.9=%d max=%d"
+      t.count
       (Option.value ~default:0.0 (mean t))
-      (q 0.5) (q 0.9) (q 0.99) t.max_v
+      (q 0.5) (q 0.9) (q 0.99) (q 0.999) t.max_v

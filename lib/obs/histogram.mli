@@ -1,18 +1,23 @@
-(** Fixed-bucket log₂ histogram for non-negative integer samples
-    (latencies in nanoseconds, batch sizes, ...).
+(** Fixed-bucket latency histogram for non-negative integer samples
+    (latencies in nanoseconds, batch sizes, ...), with HDR-style linear
+    sub-buckets so deep tail quantiles stay meaningful.
 
-    Bucket 0 holds the value 0 (negative samples are clamped); bucket
-    [i >= 1] holds the half-open range [[2^(i-1), 2^i)].  There are
-    {!n_buckets} buckets — enough for every OCaml [int] — so a record
-    is one array increment plus a handful of shifts: O(1), no
-    allocation, safe on the hot path.
+    Layout: bucket [i] for [i < 8] holds exactly the value [i]
+    (negative samples are clamped to 0); above that, every power-of-two
+    range [[2^b, 2^(b+1))] ([b >= 3]) is split into 4 equal linear
+    sub-buckets of width [2^(b-2)].  There are {!n_buckets} buckets —
+    enough for every OCaml [int] — so a record is one array increment
+    plus a handful of shifts: O(1), no allocation, safe on the hot
+    path.
 
     Quantiles are estimated by rank: the bucket containing the rank-q
     sample is found by a cumulative walk and the value is interpolated
     linearly inside the bucket, then clamped to the observed
-    [min]/[max].  The estimate is therefore always within a factor of
-    two of the true sample quantile (both live in the same power-of-two
-    bucket), which the property tests pin down. *)
+    [min]/[max].  The estimate therefore always lands in the same
+    sub-bucket as the true sample quantile — a relative error bound of
+    25% (one sub-bucket), tight enough to gate p99.9, which the
+    property tests pin down.  Merging adds bucket counts and is
+    exact. *)
 
 type t
 
@@ -52,4 +57,4 @@ val nonzero_buckets : t -> (int * int * int) list
 (** [(lo, hi, count)] for each non-empty bucket, ascending. *)
 
 val pp : Format.formatter -> t -> unit
-(** One line: count, mean, p50/p90/p99, max. *)
+(** One line: count, mean, p50/p90/p99/p99.9, max. *)

@@ -1,0 +1,114 @@
+(* One monitored cumulative series: a small ring of (ts_ns, value)
+   samples plus the gauge the derived rate is published through.  The
+   ring keeps the last [window] observations, so the rate is a sliding
+   average over up to [window - 1] sampling intervals — smooth at a
+   1 Hz scrape without hiding a stall for more than a few seconds. *)
+type series = {
+  ring : (int * int) array;
+  mutable len : int;
+  mutable head : int;  (* oldest retained sample *)
+  gauge : Gauge.t;
+  mutable last_rate : float;
+}
+
+type t = {
+  registry : Registry.t;
+  window : int;
+  series : (string * (string * string) list, series) Hashtbl.t;
+}
+
+let create ?(window = 8) registry =
+  if window < 2 then invalid_arg "Fw_obs.Meter.create: window must be >= 2";
+  { registry; window; series = Hashtbl.create 32 }
+
+(* engine_ingested_events_total -> engine_ingested_events_per_sec *)
+let rate_name name =
+  let base =
+    if Filename.check_suffix name "_total" then
+      Filename.chop_suffix name "_total"
+    else name
+  in
+  base ^ "_per_sec"
+
+let lag_suffix = "_advance_ts_ns"
+
+let lag_name name =
+  String.sub name 0 (String.length name - String.length lag_suffix) ^ "_lag_ns"
+
+let series_of t name labels =
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.series key with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          ring = Array.make t.window (0, 0);
+          len = 0;
+          head = 0;
+          gauge =
+            Registry.gauge t.registry (rate_name name) ~labels
+              ~help:"Sliding-window rate derived by Fw_obs.Meter";
+          last_rate = 0.0;
+        }
+      in
+      Hashtbl.replace t.series key s;
+      s
+
+let observe t ~now name labels value =
+  let s = series_of t name labels in
+  let n = Array.length s.ring in
+  if s.len < n then begin
+    s.ring.((s.head + s.len) mod n) <- (now, value);
+    s.len <- s.len + 1
+  end
+  else begin
+    s.ring.(s.head) <- (now, value);
+    s.head <- (s.head + 1) mod n
+  end;
+  if s.len >= 2 then begin
+    let t0, v0 = s.ring.(s.head) in
+    let t1, v1 = s.ring.((s.head + s.len - 1) mod n) in
+    if t1 > t0 then begin
+      let rate =
+        Float.max 0.0 (float_of_int (v1 - v0) /. (float_of_int (t1 - t0) /. 1e9))
+      in
+      s.last_rate <- rate;
+      Gauge.set s.gauge rate
+    end
+  end
+
+let sample t =
+  let now = Clock.now_ns () in
+  List.iter
+    (fun (e : Registry.entry) ->
+      match e.Registry.metric with
+      | Registry.Counter c ->
+          observe t ~now e.Registry.name e.Registry.labels (Counter.get c)
+      | Registry.Histogram h ->
+          (* the sum is the cumulative quantity (bytes, ns, ...); its
+             derivative is the live throughput of whatever the
+             histogram prices *)
+          observe t ~now (e.Registry.name ^ "_sum") e.Registry.labels
+            (Histogram.sum h)
+      | Registry.Gauge g ->
+          (* progress timestamps published by the engine turn into
+             freshness lags: *_advance_ts_ns -> *_lag_ns = now - ts *)
+          if Filename.check_suffix e.Registry.name lag_suffix then begin
+            let ts = int_of_float (Gauge.get g) in
+            let lag = if ts <= 0 then 0 else max 0 (now - ts) in
+            Gauge.set
+              (Registry.gauge t.registry
+                 (lag_name e.Registry.name)
+                 ~labels:e.Registry.labels
+                 ~help:"Wall-clock ns since the progress timestamp advanced")
+              (float_of_int lag)
+          end)
+    (Registry.entries t.registry)
+
+let rate t ?(labels = []) name =
+  let labels =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  in
+  match Hashtbl.find_opt t.series (name, labels) with
+  | Some s when s.len >= 2 -> Some s.last_rate
+  | _ -> None

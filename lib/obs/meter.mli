@@ -1,0 +1,46 @@
+(** Sliding-window rate derivation over a registry's cumulative
+    metrics, turning monotone totals into live health numbers.
+
+    Each {!sample} snapshots every counter (and every histogram's sum)
+    in the registry into a small per-series ring of [(ts_ns, value)]
+    pairs, then publishes the rate over the retained window as a gauge
+    back into the {e same} registry:
+
+    - [foo_total] (counter) → [foo_per_sec] (gauge);
+    - [bar_ns] (histogram) → [bar_ns_sum_per_sec] (gauge) — e.g.
+      [snap_checkpoint_bytes] yields checkpoint bytes/sec;
+    - [*_advance_ts_ns] (gauge, a wall-clock progress timestamp such as
+      {!Fw_engine}'s [engine_watermark_advance_ts_ns]) →
+      [*_lag_ns] (gauge): nanoseconds since the timestamp last moved —
+      the watermark-lag / staleness signal.
+
+    Because the rates land in the registry, every exporter
+    ({!Export.prometheus}, {!Export.snapshot_json}, {!Scrape}) carries
+    them with no further wiring.
+
+    {b Threading.}  A meter belongs to one sampling domain (typically
+    the scrape server's): it reads the engine's cells racily — safe,
+    single-word reads of monotone values — and is the only writer of
+    the gauges it derives, honouring the registry's
+    single-writer-per-cell contract. *)
+
+type t
+
+val create : ?window:int -> Registry.t -> t
+(** [window] is the number of retained samples per series (default 8,
+    minimum 2): at a 1 Hz scrape the rate is smoothed over ~7 s.
+    Raises [Invalid_argument] if [window < 2]. *)
+
+val sample : t -> unit
+(** Take one observation of every cumulative series and refresh the
+    derived gauges.  Call it at scrape time (1 Hz is plenty); the cost
+    is one registry listing plus O(series). *)
+
+val rate : t -> ?labels:(string * string) list -> string -> float option
+(** Last derived rate for the cumulative series [name] (the source
+    name, e.g. ["engine_ingested_events_total"]), or [None] before two
+    samples have landed. *)
+
+val rate_name : string -> string
+(** The derived gauge's name: strips a [_total] suffix and appends
+    [_per_sec]. *)

@@ -88,6 +88,14 @@ let counter_value t ?labels name =
   | Some (Counter c) -> Some (Counter.get c)
   | _ -> None
 
+(* Progress gauges — watermarks, wall-clock stamps — are high-water
+   marks, not quantities: summing them across shards would report a
+   4-shard run's watermark four times too high.  The naming convention
+   picks the merge rule. *)
+let progress_gauge name =
+  String.ends_with ~suffix:"_ticks" name
+  || String.ends_with ~suffix:"_ts_ns" name
+
 let merge_into ~into src =
   if into == src then invalid_arg "Fw_obs.Registry.merge_into: same registry";
   List.iter
@@ -97,6 +105,9 @@ let merge_into ~into src =
           Counter.add
             (counter into ~labels:e.labels ~help:e.help e.name)
             (Counter.get c)
+      | Gauge g when progress_gauge e.name ->
+          let dst = gauge into ~labels:e.labels ~help:e.help e.name in
+          Gauge.set dst (Float.max (Gauge.get dst) (Gauge.get g))
       | Gauge g ->
           Gauge.add
             (gauge into ~labels:e.labels ~help:e.help e.name)

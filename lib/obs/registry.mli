@@ -52,7 +52,10 @@ val counter_value : t -> ?labels:(string * string) list -> string -> int option
 val merge_into : into:t -> t -> unit
 (** Fold every metric of the second registry into [into], matching on
     (name, labels): counters and gauges add, histograms merge
-    bucket-wise (exact, {!Histogram.merge_into}).  Metrics absent from
+    bucket-wise (exact, {!Histogram.merge_into}).  Exception: gauges
+    named [*_ticks] or [*_ts_ns] are progress marks (watermarks,
+    wall-clock stamps) and merge by [max] — summing a watermark over
+    four shards would quadruple it.  Metrics absent from
     [into] are registered first, so merging per-shard registries into a
     fresh one reproduces the union.  Raises [Invalid_argument] if the
     two registries disagree on a metric's type, or if [into] is the

@@ -6,6 +6,15 @@ type t = {
   bufs : Fw_engine.Batch.t array;  (* open columnar batch per shard *)
   batch : int;
   metrics : Fw_engine.Metrics.t;
+  observe : bool;
+  depth_gauges : Fw_obs.Gauge.t array;
+      (* live shard_queue_depth{shard=i}; driver-owned (single writer),
+         refreshed at punctuation cadence so a concurrent scrape sees
+         current occupancy, not just the post-run peak *)
+  fed : Fw_obs.Counter.t;
+      (* driver-side event count: the workers' engine_ingested counters
+         live in private registries until the close-time merge, so this
+         is the only live ingest signal a mid-run scrape can see *)
   mutable wm : int;
   mutable closed : bool;
 }
@@ -55,6 +64,14 @@ let create ?metrics ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true)
   let workers =
     Array.map (fun q -> Worker.spawn ~mode ~observe plan q) queues
   in
+  let reg = Fw_engine.Metrics.registry metrics in
+  let depth_gauges =
+    Array.init n (fun i ->
+        Fw_obs.Registry.gauge reg
+          ~labels:[ ("shard", string_of_int i) ]
+          ~help:"Occupancy of the shard's SPSC ring (live; peak at close)"
+          "shard_queue_depth")
+  in
   {
     resolved;
     route;
@@ -63,6 +80,12 @@ let create ?metrics ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true)
     bufs = Array.init n (fun _ -> Fw_engine.Batch.create ());
     batch;
     metrics;
+    observe;
+    depth_gauges;
+    fed =
+      Fw_obs.Registry.counter reg
+        ~help:"Events routed to shard workers (driver side, live)"
+        "shard_fed_events_total";
     wm = min_int;
     closed = false;
   }
@@ -92,6 +115,7 @@ let feed t ev =
   if ev.Fw_engine.Event.time < t.wm then
     raise (Fw_engine.Stream_exec.Late_event ev);
   t.wm <- ev.Fw_engine.Event.time;
+  if t.observe then Fw_obs.Counter.inc t.fed;
   let i = t.route ev in
   Fw_engine.Batch.push t.bufs.(i) ev;
   if Fw_engine.Batch.length t.bufs.(i) >= t.batch then flush_shard t i
@@ -102,17 +126,27 @@ let advance t wm =
      deliver them first so each shard's stream stays in time order. *)
   flush_all t;
   if wm > t.wm then t.wm <- wm;
-  Array.iter (fun q -> Spsc.push q (Worker.Advance wm)) t.queues
+  let at_ns = if t.observe then Fw_obs.Clock.now_ns () else 0 in
+  (* The workers' watermark gauges live in their private registries
+     until the close-time merge; publish the broadcast progress on the
+     driver's registry too, so a concurrent scrape sees it move.
+     Progress gauges merge by max, so this never double-counts. *)
+  if t.observe then
+    Fw_engine.Metrics.record_watermark t.metrics ~wm:t.wm ~at_ns;
+  Array.iteri
+    (fun i q ->
+      Spsc.push q (Worker.Advance { wm; at_ns });
+      if t.observe then
+        Fw_obs.Gauge.set t.depth_gauges.(i) (float_of_int (Spsc.length q)))
+    t.queues
 
 let publish (t : t) ~rows_per_shard =
   let reg = Fw_engine.Metrics.registry t.metrics in
   Array.iteri
     (fun i q ->
       let labels = [ ("shard", string_of_int i) ] in
-      Fw_obs.Gauge.set
-        (Fw_obs.Registry.gauge reg ~labels
-           ~help:"Peak occupancy of the shard's SPSC ring" "shard_queue_depth")
-        (float_of_int (Spsc.peak_depth q));
+      (* the live gauge's final exported value is the run's peak *)
+      Fw_obs.Gauge.set t.depth_gauges.(i) (float_of_int (Spsc.peak_depth q));
       Fw_obs.Counter.add
         (Fw_obs.Registry.counter reg ~labels
            ~help:"Feeder stalls on a full shard ring (backpressure)"

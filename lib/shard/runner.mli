@@ -20,12 +20,23 @@
     (ingested events, per-window processed items) reconciles exactly
     with a single-shard run.  The combined registry additionally
     carries the sharding-specific series
-    [shard_queue_depth{shard}] (peak ring occupancy),
+    [shard_queue_depth{shard}] (ring occupancy — refreshed live at
+    every punctuation so a concurrent scrape sees current depth, set
+    to the run's peak at close),
     [shard_backpressure_waits_total{shard}] (feeder stalls),
     [shard_rows_total{shard}] and [shard_imbalance_ratio]
     (max/mean rows per shard), and — when the plan degraded to one
     shard — [shard_degraded_total{reason}], all flowing through the
     existing JSON / Prometheus exporters unchanged.
+
+    Live scraping: the workers' engine metrics sit in per-domain
+    private registries until the close-time merge, so a scrape taken
+    {e during} the run sees only what the driver publishes —
+    [shard_fed_events_total] (events routed so far), the live
+    [shard_queue_depth] gauges, and the watermark progress gauges
+    ([engine_watermark_ticks] / [engine_watermark_advance_ts_ns],
+    re-published at every {!advance}; they merge by max, so the
+    close-time merge never double-counts them).
 
     Ordering contract: input must arrive in event-time order, exactly
     as for the single-shard executor; a regressing event raises

@@ -1,6 +1,6 @@
 type msg =
   | Batch of Fw_engine.Batch.t
-  | Advance of int
+  | Advance of { wm : int; at_ns : int }
   | Close of int
 
 type outcome = (Fw_engine.Row.t list * Fw_engine.Metrics.t, exn) result
@@ -16,8 +16,8 @@ let serve ~mode ~observe plan q : outcome =
       | Batch b ->
           Fw_engine.Stream_exec.feed_batch exec b;
           loop ()
-      | Advance wm ->
-          Fw_engine.Stream_exec.advance exec wm;
+      | Advance { wm; at_ns } ->
+          Fw_engine.Stream_exec.advance ~at_ns exec wm;
           loop ()
       | Close horizon -> Fw_engine.Stream_exec.close exec ~horizon
     in

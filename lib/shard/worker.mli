@@ -21,10 +21,14 @@ type msg =
           consumed whole via {!Fw_engine.Stream_exec.feed_batch}.
           Ownership transfers with the message: the producer must not
           touch the batch after pushing it. *)
-  | Advance of int
+  | Advance of { wm : int; at_ns : int }
       (** A broadcast punctuation: advance the watermark.  The runner
           flushes a shard's pending batch before sending one, so the
-          per-shard message stream stays in time order. *)
+          per-shard message stream stays in time order.  [at_ns] is the
+          driver's wall-clock stamp from just before the enqueue ([0] =
+          unstamped): the executor baselines its fire-delay histograms
+          on it, so time spent queued behind batches is part of the
+          measured delay. *)
   | Close of int
       (** Close the executor at this horizon and terminate. *)
 

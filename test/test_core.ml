@@ -78,6 +78,60 @@ let test_report_ratio () =
   check_string "x2.00" "x2.00" (Report.ratio 4 2);
   check_string "n/a" "n/a" (Report.ratio 4 0)
 
+let test_report_drift () =
+  (* model eta must match the stream's actual events/tick, or the
+     stream-fed windows legitimately drift *)
+  let t = Optimizer.optimize ~eta:4 Aggregate.Sum example7_windows in
+  let horizon = 240 in
+  let events =
+    Fw_workload.Event_gen.steady
+      (Fw_util.Prng.create 77)
+      Fw_workload.Event_gen.default_config ~eta:4 ~horizon
+  in
+  let keys =
+    List.length
+      (List.sort_uniq String.compare
+         (List.map (fun e -> e.Fw_engine.Event.key) events))
+  in
+  let metrics = Fw_engine.Metrics.create () in
+  ignore (Optimizer.execute ~metrics t ~horizon events);
+  match t.Optimizer.outcome.Fw_plan.Rewrite.optimization with
+  | None -> Alcotest.fail "expected an optimization result"
+  | Some result ->
+      let rows = Report.drift ~keys ~horizon result metrics in
+      (* one row per window in the assignment: the three query windows
+         plus the discovered factor window *)
+      check_bool "covers every query window" true
+        (List.for_all
+           (fun w ->
+             List.exists
+               (fun (r : Report.drift_row) -> r.Report.drift_window = w)
+               rows)
+           example7_windows);
+      check_bool "factor window adds a row" true
+        (List.length rows > List.length example7_windows);
+      (* a steady stream is exactly what the model prices: nothing
+         drifts *)
+      List.iter
+        (fun (r : Report.drift_row) ->
+          check_bool
+            (Printf.sprintf "%s ratio %.2f within threshold"
+               (Fw_window.Window.to_string r.Report.drift_window)
+               r.Report.drift_ratio)
+            false r.Report.flagged)
+        rows;
+      let s = Report.drift_table ~keys ~horizon result metrics in
+      check_bool "verdict column" true (Astring_contains.contains s "ok");
+      check_bool "summary line" true (Astring_contains.contains s "drift");
+      (* predicting for a doubled horizon halves every ratio: the
+         flag trips *)
+      let stretched = Report.drift ~keys ~horizon:(2 * horizon) result metrics in
+      check_bool "doubled horizon flags drift" true
+        (List.exists (fun (r : Report.drift_row) -> r.Report.flagged) stretched);
+      Alcotest.check_raises "threshold must exceed 1.0"
+        (Invalid_argument "Report.drift: threshold must be > 1.0") (fun () ->
+          ignore (Report.drift ~threshold:1.0 ~horizon result metrics))
+
 let test_report_series () =
   let costs = Evaluation.evaluate semantics_partitioned example6_windows in
   let s =
@@ -97,5 +151,6 @@ let suite =
     prop_wcgfw_never_worse_than_wcg;
     Alcotest.test_case "report table" `Quick test_report_table;
     Alcotest.test_case "report ratio" `Quick test_report_ratio;
+    Alcotest.test_case "report drift" `Quick test_report_drift;
     Alcotest.test_case "report series" `Quick test_report_series;
   ]

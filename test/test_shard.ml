@@ -102,7 +102,7 @@ let test_worker_error_drains () =
   let q = Spsc.create ~capacity:1 in
   let h = Worker.spawn plan q in
   Spsc.push q (Worker.Batch (Batch.of_events [ Event.make ~time:5 ~key:"k" ~value:1.0 ]));
-  Spsc.push q (Worker.Advance 10);
+  Spsc.push q (Worker.Advance { wm = 10; at_ns = 0 });
   (* late event: the executor raises inside the worker domain *)
   Spsc.push q (Worker.Batch (Batch.of_events [ Event.make ~time:1 ~key:"k" ~value:1.0 ]));
   (* these would deadlock a dead consumer on a capacity-1 ring *)
