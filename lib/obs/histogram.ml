@@ -74,18 +74,26 @@ let quantile t q =
       let r = int_of_float (ceil (q *. float_of_int t.count)) in
       if r < 1 then 1 else if r > t.count then t.count else r
     in
-    (* cumulative walk to the bucket holding the rank-th smallest *)
+    (* Cumulative walk to the bucket holding the rank-th smallest.
+       [record] and [merge_into] bump [count] before the buckets, so a
+       racy reader can observe count > sum(buckets); bound the walk at
+       the last bucket so quantile stays total under such reads (the
+       module's threading contract), degrading the estimate to the top
+       range — still clamped to the observed min/max below. *)
     let i = ref 0 and cum = ref 0 in
-    while !cum + t.buckets.(!i) < rank do
+    while !i < n_buckets - 1 && !cum + t.buckets.(!i) < rank do
       cum := !cum + t.buckets.(!i);
       incr i
     done;
     let lo, hi = bucket_bounds !i in
     let b = t.buckets.(!i) in
     let est =
-      lo
-      + int_of_float
-          (float_of_int (hi - lo) *. float_of_int (rank - !cum) /. float_of_int b)
+      if b <= 0 || rank - !cum >= b then hi
+      else
+        lo
+        + int_of_float
+            (float_of_int (hi - lo) *. float_of_int (rank - !cum)
+           /. float_of_int b)
     in
     let est = if est < t.min_v then t.min_v else est in
     let est = if est > t.max_v then t.max_v else est in

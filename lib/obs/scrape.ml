@@ -40,7 +40,27 @@ let respond fd ~status ~content_type body =
   write_all 0
 
 (* Read until the blank line ending the request head (we never accept
-   bodies), bounded so a misbehaving client cannot grow the buffer. *)
+   bodies), bounded so a misbehaving client cannot grow the buffer.
+   Both CRLF and bare-LF line endings terminate the head, so a casual
+   [printf '...\n\n' | nc] is answered immediately instead of riding
+   out the receive timeout (after which we still answer with whatever
+   arrived — a read timeout and EOF both end the head). *)
+let head_complete s =
+  let n = String.length s in
+  let rec go i =
+    if i + 2 > n then false
+    else if s.[i] = '\n' && s.[i + 1] = '\n' then true
+    else if
+      i + 4 <= n
+      && s.[i] = '\r'
+      && s.[i + 1] = '\n'
+      && s.[i + 2] = '\r'
+      && s.[i + 3] = '\n'
+    then true
+    else go (i + 1)
+  in
+  go 0
+
 let read_head fd =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 512 in
@@ -52,11 +72,7 @@ let read_head fd =
       else begin
         Buffer.add_subbytes buf chunk 0 n;
         let s = Buffer.contents buf in
-        let rec has_terminator i =
-          i + 4 <= String.length s
-          && (String.sub s i 4 = "\r\n\r\n" || has_terminator (i + 1))
-        in
-        if has_terminator 0 then s else go ()
+        if head_complete s then s else go ()
       end
   in
   go ()
@@ -108,8 +124,16 @@ let serve t ~registry ~meter ~healthy =
         (* bound a stalled client so the endpoint cannot wedge *)
         (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0
          with Unix.Unix_error _ -> ());
-        (try handle t ~registry ~meter ~healthy client
-         with Unix.Unix_error _ | Sys_error _ -> ());
+        (try handle t ~registry ~meter ~healthy client with
+        | Unix.Unix_error _ | Sys_error _ -> ()
+        | _ ->
+            (* any other escaped exception (a broken metric, a
+               registry conflict) must not take the endpoint down:
+               answer 500 and keep accepting *)
+            (try
+               respond client ~status:"500 Internal Server Error"
+                 ~content_type:"text/plain" "internal error\n"
+             with _ -> ()));
         (try Unix.close client with Unix.Unix_error _ -> ());
         if not (Atomic.get t.stopping) then loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
@@ -122,6 +146,12 @@ let serve t ~registry ~meter ~healthy =
 
 let start ?(host = "127.0.0.1") ?meter ?(healthy = fun () -> true) ~port
     registry =
+  (* A scraper that disconnects mid-response (curl timeout, fwtop
+     killed) turns our next write into a SIGPIPE, whose default
+     disposition kills the whole process; ignore it so the write
+     surfaces as EPIPE, which [respond] already swallows. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let addr = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try

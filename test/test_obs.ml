@@ -624,6 +624,94 @@ let test_scrape_during_merge () =
         (Some (float_of_int merges))
         (v "merge_lat_ns_count"))
 
+(* Quantile must stay total while another domain is recording: record
+   bumps count before the buckets, so a racy reader can see
+   count > sum(buckets).  The walk is bounded at the last bucket —
+   without the bound this raises Invalid_argument, which would kill
+   the scrape domain mid-run. *)
+let test_quantile_during_record () =
+  let r = Registry.create () in
+  let h = Registry.histogram r "race_lat_ns" in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          Histogram.record h (1 + (!i * 7919 mod 1_000_000))
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join writer)
+    (fun () ->
+      for _ = 1 to 5_000 do
+        List.iter
+          (fun q ->
+            match Histogram.quantile h q with
+            | None -> ()
+            | Some v -> check_bool "quantile in range" true (v >= 0))
+          [ 0.5; 0.99; 0.999; 1.0 ]
+      done)
+
+(* A head terminated with bare LFs (printf '...\n\n' | nc) must be
+   answered immediately, not after the 5 s receive timeout. *)
+let test_scrape_bare_lf_request () =
+  let r = Registry.create () in
+  let s = Fw_obs.Scrape.start ~port:0 r in
+  Fun.protect
+    ~finally:(fun () -> Fw_obs.Scrape.stop s)
+    (fun () ->
+      let addr =
+        Unix.ADDR_INET (Unix.inet_addr_loopback, Fw_obs.Scrape.port s)
+      in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect sock addr;
+          let req = "GET /healthz HTTP/1.1\nHost: t\n\n" in
+          let t0 = Unix.gettimeofday () in
+          ignore (Unix.write_substring sock req 0 (String.length req));
+          let chunk = Bytes.create 4096 in
+          let n = Unix.read sock chunk 0 4096 in
+          check_bool "answered before the receive timeout" true
+            (Unix.gettimeofday () -. t0 < 4.0);
+          check_bool "got a response" true (n > 0);
+          let resp = Bytes.sub_string chunk 0 n in
+          check_bool "200 on bare-LF head" true
+            (contains ~needle:"200 OK" resp)))
+
+(* A scraper that connects and vanishes without reading (curl timeout,
+   fwtop killed) must not take the server down: the resulting EPIPE is
+   swallowed (SIGPIPE ignored), and the next scrape succeeds. *)
+let test_scrape_client_disconnect () =
+  let r = Registry.create () in
+  Counter.add (Registry.counter r "reqs_total") 3;
+  let s = Fw_obs.Scrape.start ~port:0 r in
+  Fun.protect
+    ~finally:(fun () -> Fw_obs.Scrape.stop s)
+    (fun () ->
+      let port = Fw_obs.Scrape.port s in
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      for _ = 1 to 10 do
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect sock addr;
+           let req = "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n" in
+           ignore (Unix.write_substring sock req 0 (String.length req));
+           (* abort without reading the response: the server's write
+              lands on a dead socket *)
+           Unix.setsockopt_optint sock Unix.SO_LINGER (Some 0)
+         with Unix.Unix_error _ -> ());
+        (try Unix.close sock with Unix.Unix_error _ -> ())
+      done;
+      let st, body = http_get ~port ~path:"/metrics" in
+      check_int "server still alive" 200 (status_code st);
+      check_bool "payload intact" true
+        (contains ~needle:"reqs_total 3" body))
+
 (* --- clock --------------------------------------------------------- *)
 
 let test_clock_source () =
@@ -674,6 +762,12 @@ let suite =
     Alcotest.test_case "scrape: HTTP round-trip" `Quick test_scrape_roundtrip;
     Alcotest.test_case "scrape: concurrent with merge" `Quick
       test_scrape_during_merge;
+    Alcotest.test_case "histogram: quantile total during record" `Quick
+      test_quantile_during_record;
+    Alcotest.test_case "scrape: bare-LF request head" `Quick
+      test_scrape_bare_lf_request;
+    Alcotest.test_case "scrape: client disconnect mid-response" `Quick
+      test_scrape_client_disconnect;
     Alcotest.test_case "trace: ring buffer" `Quick test_trace_ring;
     Alcotest.test_case "trace: span combinator" `Quick
       test_trace_span_combinator;
