@@ -7,7 +7,7 @@
            [--key-skew S]
    With no --section, every section runs.  Section names: examples,
    table1, fig11, fig12, fig13, fig14, fig15, validate, measured,
-   ablation, timing, engine, obs, snap, shard, fuzz.  The engine
+   ablation, timing, engine, obs, snap, shard, serve, fuzz.  The engine
    section also writes machine-readable throughput numbers to
    BENCH_engine.json; the obs section prices the observability
    instrumentation and writes BENCH_obs.json; the snap section prices
@@ -15,7 +15,11 @@
    BENCH_snap.json; the shard section measures multicore scaling on a
    key-heavy workload (--key-skew sets the Zipf exponent of its skewed
    run) and writes BENCH_shard.json, enforcing the >=2x @ 4-shards
-   gate when the machine has at least 4 cores. *)
+   gate when the machine has at least 4 cores; the serve section
+   measures the multi-query server's shared-vs-unshared ingest at
+   1/10/100 registered queries plus cold/warm plan-cache registration
+   latency and writes BENCH_serve.json, enforcing the >1x sharing and
+   >=5x warm-registration gates. *)
 
 open Fw_window
 module Evaluation = Factor_windows.Evaluation
@@ -1536,6 +1540,205 @@ let section_shard () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Multi-query server: sustained ingest at 1/10/100 registered        *)
+(* queries with cross-query sharing on vs off, and cold vs warm       *)
+(* plan-cache registration latency.  Writes BENCH_serve.json and      *)
+(* enforces two gates: sharing must beat unshared execution at the    *)
+(* 100-query overlap point (>1x), and a warm (cache-hit)              *)
+(* registration must be at least 5x faster than a cold compile.       *)
+(* ------------------------------------------------------------------ *)
+
+let section_serve () =
+  heading "Serve: multi-query ingest and plan-cache registration (Fw_serve)";
+  let module Server = Fw_serve.Server in
+  let fail_reject r = failwith (Server.reject_message r) in
+  let eta = 4 in
+  let horizon = max 1 (min !engine_events 8_000 / eta) in
+  let events =
+    Event_gen.steady
+      (Fw_util.Prng.create (!seed + 23))
+      Event_gen.default_config ~eta ~horizon
+  in
+  let n_events = List.length events in
+  (* Prefix-closed tumbling chains over one aggregate: every query's
+     optimized plan is a prefix of the longest chain, so the sharing
+     planner merges the whole population into one engine — the overlap
+     profile the factor-window rewrite is built for. *)
+  let chain = [ 10; 20; 40; 80 ] in
+  let text k =
+    let ws = List.filteri (fun i _ -> i < k) chain in
+    Printf.sprintf "SELECT SUM(value) FROM input GROUP BY key, WINDOWS(%s)"
+      (String.concat ", "
+         (List.map
+            (fun s -> Printf.sprintf "WINDOW(TUMBLINGWINDOW(second, %d))" s)
+            ws))
+  in
+  Printf.printf
+    "%d events (eta=%d, horizon=%d ticks), chain T%s, SUM\n" n_events eta
+    horizon
+    (String.concat "/T" (List.map string_of_int chain));
+  let run ~sharing nq =
+    let cfg =
+      {
+        Server.default_config with
+        Server.eta;
+        sharing;
+        max_queries = nq + 8;
+        tenant_quota = nq + 8;
+        cache_capacity = 256;
+      }
+    in
+    let server =
+      match Server.create cfg with Ok s -> s | Error e -> failwith e
+    in
+    for i = 0 to nq - 1 do
+      match
+        Server.register server ~tenant:"bench"
+          (text (1 + (i mod List.length chain)))
+      with
+      | Ok _ -> ()
+      | Error r -> fail_reject r
+    done;
+    let groups = Server.group_count server in
+    let t0 = Unix.gettimeofday () in
+    (match Server.feed server events with
+    | Ok _ -> ()
+    | Error r -> fail_reject r);
+    (match Server.close server ~horizon with
+    | Ok () -> ()
+    | Error r -> fail_reject r);
+    let dt = Unix.gettimeofday () -. t0 in
+    let rows =
+      List.fold_left
+        (fun acc i -> acc + i.Server.i_rows)
+        0 (Server.list_queries server)
+    in
+    (float_of_int n_events /. dt, groups, rows)
+  in
+  subheading "sustained ingest: shared vs unshared engines";
+  let points =
+    List.map
+      (fun nq ->
+        let u_eps, _, u_rows = run ~sharing:false nq in
+        let s_eps, s_groups, s_rows = run ~sharing:true nq in
+        let speedup = s_eps /. u_eps in
+        Printf.printf
+          "%4d queries  unshared (%d engines) %8.0f ev/s   shared (%d \
+           engine%s) %8.0f ev/s   x%.2f %s\n"
+          nq nq u_eps s_groups
+          (if s_groups = 1 then "" else "s")
+          s_eps speedup
+          (if s_rows = u_rows then "" else "ROWS DIVERGED");
+        (nq, u_eps, s_eps, s_groups, speedup, s_rows = u_rows))
+      [ 1; 10; 100 ]
+  in
+  (* Cold vs warm registration: distinct window chains so every cold
+     registration really runs the optimizer; the warm pass re-registers
+     the same canonical text and must come out of the plan cache.
+     Sharing off so the measurement isolates compile-vs-cache, not the
+     group replanner. *)
+  subheading "registration latency: cold compile vs plan-cache hit";
+  let n_reg = 32 in
+  let reg_cfg =
+    {
+      Server.default_config with
+      Server.sharing = false;
+      max_queries = 4 * n_reg;
+      tenant_quota = 4 * n_reg;
+      cache_capacity = 4 * n_reg;
+    }
+  in
+  let reg_server =
+    match Server.create reg_cfg with Ok s -> s | Error e -> failwith e
+  in
+  let reg_text i =
+    (* twelve-window sets so the cold path prices what it actually is —
+       a full optimizer run — not just parser overhead *)
+    let base = 5 + i in
+    Printf.sprintf "SELECT SUM(value) FROM input GROUP BY key, WINDOWS(%s)"
+      (String.concat ", "
+         (List.map
+            (fun k ->
+              Printf.sprintf "WINDOW(TUMBLINGWINDOW(second, %d))" (k * base))
+            [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 96 ]))
+  in
+  let time_register text =
+    let t0 = Unix.gettimeofday () in
+    match Server.register reg_server ~tenant:"bench" text with
+    | Ok r -> (Unix.gettimeofday () -. t0, r.Server.r_cached)
+    | Error r -> fail_reject r
+  in
+  let cold = Array.make n_reg 0.0 and warm = Array.make n_reg 0.0 in
+  for i = 0 to n_reg - 1 do
+    let dt, cached = time_register (reg_text i) in
+    if cached then failwith "cold registration unexpectedly hit the cache";
+    cold.(i) <- dt;
+    let dt, cached = time_register (reg_text i) in
+    if not cached then failwith "warm registration missed the cache";
+    warm.(i) <- dt
+  done;
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let cold_med = median cold and warm_med = median warm in
+  let warm_speedup = cold_med /. warm_med in
+  Printf.printf
+    "%d registrations: cold p50 %.0f us, warm p50 %.0f us (x%.1f)\n" n_reg
+    (cold_med *. 1e6) (warm_med *. 1e6) warm_speedup;
+  (* gates: sharing must win at the 100-query overlap point, and a
+     cache hit must be >= 5x faster than a cold compile *)
+  let sharing_speedup =
+    match List.find_opt (fun (nq, _, _, _, _, _) -> nq = 100) points with
+    | Some (_, _, _, _, sp, _) -> sp
+    | None -> 0.0
+  in
+  let rows_ok = List.for_all (fun (_, _, _, _, _, ok) -> ok) points in
+  let pass = rows_ok && sharing_speedup > 1.0 && warm_speedup >= 5.0 in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"seed\": %d,\n" !seed;
+  Printf.bprintf buf "  \"events\": %d,\n" n_events;
+  Printf.bprintf buf "  \"eta\": %d,\n" eta;
+  Printf.bprintf buf "  \"horizon\": %d,\n" horizon;
+  Printf.bprintf buf "  \"chain\": \"T%s\",\n"
+    (String.concat "/T" (List.map string_of_int chain));
+  Printf.bprintf buf "  \"aggregate\": \"SUM\",\n";
+  Buffer.add_string buf "  \"throughput\": [\n";
+  List.iteri
+    (fun i (nq, u, s, groups, sp, ok) ->
+      Printf.bprintf buf
+        "    {\"queries\": %d, \"unshared_events_per_sec\": %.1f, \
+         \"shared_events_per_sec\": %.1f, \"shared_groups\": %d, \
+         \"sharing_speedup\": %.3f, \"rows_identical\": %b}%s\n"
+        nq u s groups sp ok
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"registration\": {\"samples\": %d, \"cold_p50_us\": %.1f, \
+     \"warm_p50_us\": %.1f, \"warm_speedup\": %.3f},\n"
+    n_reg (cold_med *. 1e6) (warm_med *. 1e6) warm_speedup;
+  Printf.bprintf buf "  \"sharing_speedup_at_100\": %.3f,\n" sharing_speedup;
+  Printf.bprintf buf "  \"pass\": %b\n" pass;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_serve.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_serve.json (sharing x%.2f at 100 queries, warm x%.1f, %s)\n"
+    sharing_speedup warm_speedup
+    (if pass then "PASS" else "FAIL");
+  if not pass then begin
+    Printf.eprintf
+      "serve section gate failed: rows_identical=%b sharing_speedup=%.2f \
+       (need > 1.0) warm_speedup=%.2f (need >= 5.0)\n"
+      rows_ok sharing_speedup warm_speedup;
+    exit 1
+  end
+
 let section_fuzz () =
   heading "Differential fuzzing smoke (Fw_check)";
   let iterations = 250 in
@@ -1595,5 +1798,6 @@ let () =
   if enabled "obs" then section_obs ();
   if enabled "snap" then section_snap ();
   if enabled "shard" then section_shard ();
+  if enabled "serve" then section_serve ();
   if enabled "fuzz" then section_fuzz ();
   print_newline ()

@@ -110,6 +110,17 @@ let batch_prob_arg =
   in
   Arg.(value & opt float 1.0 & info [ "batch-prob" ] ~docv:"P" ~doc)
 
+let serve_prob_arg =
+  let doc =
+    "Probability that an iteration also runs the served path: overlapping \
+     sub-queries of the scenario's window set registered as SQL with one \
+     in-process query server, fed the shared stream once, every query's \
+     tap byte-compared against an independent single-query run of its own \
+     text.  Decided deterministically per seed, so replays match the \
+     campaign."
+  in
+  Arg.(value & opt float 0.0 & info [ "serve-prob" ] ~docv:"P" ~doc)
+
 let family_prob_arg =
   let doc =
     "Probability that a scenario's drawn window set is mutated across \
@@ -170,10 +181,10 @@ let dump_artifacts artifacts failure =
       | Error e -> Printf.eprintf "fwfuzz: artifact dump failed: %s\n" e)
 
 let replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-    ~batch_prob ~artifacts seed =
+    ~batch_prob ~serve_prob ~artifacts seed =
   match
     Harness.check_seed ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      ~batch_prob gen seed
+      ~batch_prob ~serve_prob gen seed
   with
   | Ok sc ->
       Printf.printf "seed %d: %s\n" seed (Scenario.summary sc);
@@ -198,7 +209,8 @@ let replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
       1
 
 let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-    ~batch_prob ~iterations ~base_seed ~max_failures ~quiet ~artifacts =
+    ~batch_prob ~serve_prob ~iterations ~base_seed ~max_failures ~quiet
+    ~artifacts =
   let cfg =
     {
       Harness.iterations;
@@ -209,6 +221,7 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
       crash_prob;
       shard_prob;
       batch_prob;
+      serve_prob;
       max_failures;
     }
   in
@@ -247,7 +260,8 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
 
 let main iterations seed do_replay max_windows eta_max horizon_max
     no_invariants no_holistic incremental_prob crash_prob shard_prob
-    batch_prob family_prob batch_size_range max_failures quiet artifacts =
+    batch_prob serve_prob family_prob batch_size_range max_failures quiet
+    artifacts =
   let bad name v =
     Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
     exit 124
@@ -275,6 +289,11 @@ let main iterations seed do_replay max_windows eta_max horizon_max
   if batch_prob < 0.0 || batch_prob > 1.0 then begin
     Printf.eprintf "fwfuzz: --batch-prob must be in [0, 1] (got %g)\n"
       batch_prob;
+    exit 124
+  end;
+  if serve_prob < 0.0 || serve_prob > 1.0 then begin
+    Printf.eprintf "fwfuzz: --serve-prob must be in [0, 1] (got %g)\n"
+      serve_prob;
     exit 124
   end;
   if family_prob < 0.0 || family_prob > 1.0 then begin
@@ -305,10 +324,11 @@ let main iterations seed do_replay max_windows eta_max horizon_max
   let invariants = not no_invariants in
   if do_replay then
     replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      ~batch_prob ~artifacts seed
+      ~batch_prob ~serve_prob ~artifacts seed
   else
     campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      ~batch_prob ~iterations ~base_seed:seed ~max_failures ~quiet ~artifacts
+      ~batch_prob ~serve_prob ~iterations ~base_seed:seed ~max_failures
+      ~quiet ~artifacts
 
 let cmd =
   let info =
@@ -322,7 +342,8 @@ let cmd =
       const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
       $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
       $ incremental_prob_arg $ crash_prob_arg $ shard_prob_arg
-      $ batch_prob_arg $ family_prob_arg $ batch_size_range_arg
+      $ batch_prob_arg $ serve_prob_arg $ family_prob_arg
+      $ batch_size_range_arg
       $ max_failures_arg $ quiet_arg $ artifacts_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,118 @@
+(* fwserve: the multi-query daemon.
+
+   Accepts SQL query registration over HTTP, feeds one shared ingest
+   stream to every registered query (merging chain-compatible queries
+   onto shared engines), streams each query's rows back out, and —
+   with --state — checkpoints every engine so a restart re-registers
+   the manifest warm from the plan cache and recovers mid-stream.
+
+   The process serves until SIGINT/SIGTERM; with --state the shutdown
+   path forces a final checkpoint so the next start replays as little
+   of the log as possible. *)
+
+open Cmdliner
+
+let shutdown = Atomic.make false
+
+let install_signals () =
+  let handle _ = Atomic.set shutdown true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle handle)
+   with Sys_error _ | Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+  with Sys_error _ | Invalid_argument _ -> ()
+
+let serve host port cfg =
+  match Fw_serve.Server.create cfg with
+  | Error e ->
+      Printf.eprintf "fwserve: %s\n%!" e;
+      1
+  | Ok server ->
+      let http = Fw_serve.Http.start ~host ~port server in
+      install_signals ();
+      Printf.printf "fwserve: listening on http://%s:%d (%d queries registered)\n%!"
+        host
+        (Fw_serve.Http.port http)
+        (Fw_serve.Server.query_count server);
+      (* handlers run in the accept domain; this thread only waits *)
+      while not (Atomic.get shutdown) do
+        Unix.sleepf 0.1
+      done;
+      Printf.printf "fwserve: shutting down\n%!";
+      Fw_serve.Http.stop http;
+      (* after stop the accept domain is joined: safe to touch the core *)
+      (match cfg.Fw_serve.Server.state_dir with
+      | Some _ when not (Fw_serve.Server.is_closed server) ->
+          ignore (Fw_serve.Server.checkpoint server)
+      | _ -> ());
+      0
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Address to bind.")
+
+let port =
+  Arg.(value & opt int 8080 & info [ "port"; "p" ] ~docv:"PORT"
+         ~doc:"Port to bind (0 picks an ephemeral port).")
+
+let eta =
+  Arg.(value & opt int 1 & info [ "eta" ] ~docv:"N"
+         ~doc:"Events per tick assumed by the cost model.")
+
+let incremental =
+  Arg.(value & flag & info [ "incremental" ]
+         ~doc:"Run engines in incremental (pane/SWAG) mode.")
+
+let no_factor =
+  Arg.(value & flag & info [ "no-factor-windows" ]
+         ~doc:"Restrict planning to Algorithm 1 (no factor windows).")
+
+let no_sharing =
+  Arg.(value & flag & info [ "no-sharing" ]
+         ~doc:"Give every query an independent engine (no cross-query \
+               sharing).")
+
+let max_queries =
+  Arg.(value & opt int 64 & info [ "max-queries" ] ~docv:"N"
+         ~doc:"Admission control: total registered-query cap.")
+
+let tenant_quota =
+  Arg.(value & opt int 16 & info [ "tenant-quota" ] ~docv:"N"
+         ~doc:"Admission control: per-tenant registered-query cap.")
+
+let cache_capacity =
+  Arg.(value & opt int 128 & info [ "cache-capacity" ] ~docv:"N"
+         ~doc:"Plan cache capacity (canonical query texts).")
+
+let state =
+  Arg.(value & opt (some string) None & info [ "state" ] ~docv:"DIR"
+         ~doc:"Durable mode: checkpoint engines under $(docv) and \
+               recover from it on restart.")
+
+let every =
+  Arg.(value & opt int 1000 & info [ "every" ] ~docv:"N"
+         ~doc:"Checkpoint cadence in events (durable mode).")
+
+let cmd =
+  let wire host port eta incremental no_factor no_sharing max_queries
+      tenant_quota cache_capacity state every =
+    serve host port
+      {
+        Fw_serve.Server.eta;
+        incremental;
+        factor_windows = not no_factor;
+        sharing = not no_sharing;
+        max_queries;
+        tenant_quota;
+        cache_capacity;
+        state_dir = state;
+        every;
+      }
+  in
+  let doc = "long-running multi-query window-aggregate server" in
+  Cmd.v
+    (Cmd.info "fwserve" ~doc)
+    Term.(
+      const wire $ host $ port $ eta $ incremental $ no_factor $ no_sharing
+      $ max_queries $ tenant_quota $ cache_capacity $ state $ every)
+
+let () = exit (Cmd.eval' cmd)

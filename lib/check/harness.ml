@@ -17,6 +17,7 @@ type config = {
   crash_prob : float;
   shard_prob : float;
   batch_prob : float;
+  serve_prob : float;
   max_failures : int;
 }
 
@@ -30,6 +31,7 @@ let default_config =
     crash_prob = 0.0;
     shard_prob = 0.0;
     batch_prob = 1.0;
+    serve_prob = 0.0;
     max_failures = 5;
   }
 
@@ -62,7 +64,8 @@ let problems_of ~invariants ~paths sc =
    composed batched paths require both coins: [Sharded_batched] spawns
    domains like the sharded path, [Crash_batched] touches disk like the
    crash paths, so neither may run when its expensive family is off. *)
-let paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob seed =
+let paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob
+    ~serve_prob seed =
   let coin prob salt =
     prob >= 1.0
     || prob > 0.0
@@ -72,6 +75,7 @@ let paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob seed =
   let crash = coin crash_prob 0x5eed5a9 in
   let shard = coin shard_prob 0x3a2d6b5 in
   let batch = coin batch_prob 0x6a7c3b1 in
+  let serve = coin serve_prob 0x2b1c9d7 in
   List.filter
     (fun p ->
       match p with
@@ -81,14 +85,17 @@ let paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob seed =
       | Paths.Batched_stream -> batch
       | Paths.Sharded_batched -> batch && shard
       | Paths.Crash_batched _ -> batch && crash
+      | Paths.Served -> serve
       | _ -> true)
     Paths.all
 
 let check_seed ?(invariants = true) ?(incremental_prob = 1.0)
-    ?(crash_prob = 0.0) ?(shard_prob = 0.0) ?(batch_prob = 1.0) gen seed =
+    ?(crash_prob = 0.0) ?(shard_prob = 0.0) ?(batch_prob = 1.0)
+    ?(serve_prob = 0.0) gen seed =
   let sc = Scenario.of_seed gen seed in
   let paths =
-    paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob seed
+    paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob
+      ~serve_prob seed
   in
   match problems_of ~invariants ~paths sc with
   | [] -> Ok sc
@@ -113,7 +120,8 @@ let run ?progress cfg =
        (match
           check_seed ~invariants:cfg.invariants
             ~incremental_prob:cfg.incremental_prob ~crash_prob:cfg.crash_prob
-            ~shard_prob:cfg.shard_prob ~batch_prob:cfg.batch_prob cfg.gen seed
+            ~shard_prob:cfg.shard_prob ~batch_prob:cfg.batch_prob
+            ~serve_prob:cfg.serve_prob cfg.gen seed
         with
        | Ok _ -> ()
        | Error failure ->

@@ -53,6 +53,13 @@ type config = {
           paths inherit the expensive family's opt-in.  Defaults to
           [1.0]: the plain batched path costs two extra in-process
           executions, cheap enough to always difference. *)
+  serve_prob : float;
+      (** probability that a seed's iteration also runs the served path
+          ({!Paths.Served}) — overlapping sub-queries registered as SQL
+          with an in-process query server, every tap byte-compared
+          against an independent single-query run.  [0.0] (the default)
+          skips it: it costs one server plus one standalone execution
+          per sub-query.  Same per-seed determinism, its own coin. *)
   max_failures : int;  (** stop the campaign after this many failures *)
 }
 
@@ -69,12 +76,14 @@ val check_seed :
   ?crash_prob:float ->
   ?shard_prob:float ->
   ?batch_prob:float ->
+  ?serve_prob:float ->
   Scenario.gen_config ->
   int ->
   (Scenario.t, failure) result
 (** Check a single seed; [Ok] returns the (clean) scenario so replay
     tooling can describe it.  [incremental_prob] and [batch_prob]
-    default to [1.0], [crash_prob] and [shard_prob] to [0.0]. *)
+    default to [1.0], [crash_prob], [shard_prob] and [serve_prob] to
+    [0.0]. *)
 
 val run : ?progress:(int -> unit) -> config -> outcome
 (** Run the campaign; [progress] is called after each iteration with

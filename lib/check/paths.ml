@@ -19,6 +19,7 @@ type path =
   | Batched_stream
   | Sharded_batched
   | Crash_batched of Stream_exec.mode
+  | Served
 
 let all =
   [
@@ -38,6 +39,7 @@ let all =
     Sharded_batched;
     Crash_batched Stream_exec.Naive;
     Crash_batched Stream_exec.Incremental;
+    Served;
   ]
 
 let name = function
@@ -59,6 +61,7 @@ let name = function
   | Sharded_batched -> "sharded-batched"
   | Crash_batched Stream_exec.Naive -> "crash-batched-naive"
   | Crash_batched Stream_exec.Incremental -> "crash-batched-incremental"
+  | Served -> "served"
 
 (* The incremental engine handles every scenario: windows where panes
    don't apply (holistic aggregate, non-aligned geometry, count or
@@ -71,6 +74,13 @@ let applicable path sc =
   match path with
   | Sliced _ ->
       not (List.exists Window.is_session sc.Scenario.windows)
+  | Served ->
+      (* the SQL front gate: non-aligned hops are rejected at analyze
+         time, so they cannot be registered over the wire *)
+      not
+        (List.exists
+           (fun w -> Window.is_hop w && not (Window.is_aligned w))
+           sc.Scenario.windows)
   | Reference_path | Naive_stream | Incremental_stream | Rewritten
   | Rewritten_no_factor | Crash_restart _ | Sharded_stream | Batched_stream
   | Sharded_batched | Crash_batched _ ->
@@ -373,6 +383,96 @@ let batched_rows (sc : Scenario.t) =
   let (_ : Row.t list) = check_mode Stream_exec.Incremental "incremental" in
   rows
 
+(* --- served path ----------------------------------------------------- *)
+
+(* SQL text for a sub-query over a subset of the scenario's windows:
+   the wire format the query server registers.  The window definitions
+   go through the parser/printer round trip ([Ast.def_of_window] /
+   [Printer.window_def]), which the qcheck suite pins as exact. *)
+let sql_of_windows (sc : Scenario.t) windows =
+  Printf.sprintf "SELECT %s(value) FROM input GROUP BY key, WINDOWS(%s)"
+    (Fw_agg.Aggregate.to_string sc.Scenario.agg)
+    (String.concat ", "
+       (List.map
+          (fun w ->
+            Printf.sprintf "WINDOW(%s)"
+              (Fw_sql.Printer.window_def (Fw_sql.Ast.def_of_window w)))
+          windows))
+
+(* Register overlapping sub-queries of the scenario's window set with
+   one in-process query server, feed the shared stream once, and insist
+   every query's tap is byte-identical to an independent single-query
+   run of its own SQL text — the server's core promise: sharing (or
+   degrading) never changes a single float bit of anyone's answer.  The
+   full-set query doubles as the path's row result, so the harness also
+   diffs the served output against every other execution path. *)
+let served_rows (sc : Scenario.t) =
+  let module Server = Fw_serve.Server in
+  let horizon = sc.Scenario.horizon in
+  let windows = Window.dedup sc.Scenario.windows in
+  let n = List.length windows in
+  let subsets =
+    let candidates =
+      [ windows ]
+      @ (if n > 1 then [ [ List.hd windows ] ] else [])
+      @ if n > 2 then [ List.filteri (fun i _ -> i >= n / 2) windows ] else []
+    in
+    let rec dedup seen = function
+      | [] -> []
+      | s :: tl ->
+          if List.mem s seen then dedup seen tl else s :: dedup (s :: seen) tl
+    in
+    dedup [] candidates
+  in
+  let cfg = { Server.default_config with eta = sc.Scenario.eta } in
+  let server =
+    match Server.create cfg with
+    | Ok s -> s
+    | Error e -> failwith ("server creation failed: " ^ e)
+  in
+  let ids =
+    List.map
+      (fun ws ->
+        let text = sql_of_windows sc ws in
+        match Server.register server ~tenant:"fuzz" text with
+        | Ok r -> (r.Server.r_id, text)
+        | Error rej ->
+            failwith
+              (Printf.sprintf "registration of %S refused: %s" text
+                 (Server.reject_message rej)))
+      subsets
+  in
+  (match Server.feed server (fed_events sc) with
+  | Ok _ -> ()
+  | Error rej -> failwith ("feed refused: " ^ Server.reject_message rej));
+  (match Server.close server ~horizon with
+  | Ok () -> ()
+  | Error rej -> failwith ("close refused: " ^ Server.reject_message rej));
+  let result = ref [] in
+  List.iteri
+    (fun i (id, text) ->
+      let standalone =
+        match Fw_sql.Compile.compile ~eta:sc.Scenario.eta text with
+        | Ok c ->
+            Stream_exec.run c.Fw_sql.Compile.outcome.Rewrite.plan ~horizon
+              sc.Scenario.events
+        | Error e -> failwith ("standalone compile failed: " ^ e)
+      in
+      let served =
+        match Server.rows_from server id ~from:0 with
+        | Ok rows -> Row.sort rows
+        | Error rej -> failwith (Server.reject_message rej)
+      in
+      if served <> standalone then
+        failwith
+          (Printf.sprintf
+             "served query %d (%s) rows are not byte-identical to its \
+              independent run's (%d vs %d rows)"
+             id text (List.length served) (List.length standalone));
+      if i = 0 then result := served)
+    ids;
+  !result
+
 let rows path (sc : Scenario.t) =
   let horizon = sc.Scenario.horizon in
   let events = sc.Scenario.events in
@@ -407,5 +507,6 @@ let rows path (sc : Scenario.t) =
              batch size: ring boundaries and flush-on-punctuation get
              exercised at many sizes, including 1 *)
           sharded_rows ~batch:sc.Scenario.batch sc
-      | Crash_batched mode -> crash_restart_rows ~batched:true mode sc)
+      | Crash_batched mode -> crash_restart_rows ~batched:true mode sc
+      | Served -> served_rows sc)
   with exn -> Error (Printexc.to_string exn)

@@ -43,7 +43,14 @@
     - {!Crash_batched}: {!Crash_restart} with batched ingestion on both
       sides of the crash ({!Fw_snap.Checkpoint.feed_batch}), so
       checkpoints and the injected death land mid-batch and recovery
-      must still be byte-identical. *)
+      must still be byte-identical;
+    - {!Served}: overlapping sub-queries of the scenario's window set
+      registered as SQL with one in-process query server
+      ({!Fw_serve.Server}) and fed the shared stream once.  Beyond the
+      harness's row comparison, the path insists {e every} registered
+      query's tap is byte-identical to an independent single-query run
+      of its own text — cross-query sharing (or its degrade) must never
+      change a float bit of anyone's answer. *)
 
 type path =
   | Reference_path
@@ -57,17 +64,19 @@ type path =
   | Batched_stream
   | Sharded_batched
   | Crash_batched of Fw_engine.Stream_exec.mode
+  | Served
 
 val all : path list
-(** The sixteen concrete paths, reference first. *)
+(** The seventeen concrete paths, reference first. *)
 
 val name : path -> string
 (** Stable identifier used in reports ("rewritten", "shared-paired", ...). *)
 
 val applicable : path -> Scenario.t -> bool
-(** Whether the path supports the scenario: the rewritten paths require
-    aligned windows (the cost model's footnote-4 assumption); all other
-    paths accept any window set. *)
+(** Whether the path supports the scenario: the slicing paths have no
+    session geometry, and the served path cannot register non-aligned
+    hops (the SQL front's analyze gate rejects them); all other paths
+    accept any window set. *)
 
 val rows : path -> Scenario.t -> (Fw_engine.Row.t list, string) result
 (** Execute one path; [Error] carries the exception text if the path

@@ -1,196 +1,47 @@
-(* A scrape endpoint small enough to keep the tree dependency-free:
-   blocking HTTP/1.1 over a loopback TCP socket, one background domain
-   accepting and answering requests sequentially.  A metrics scrape is
-   a ~1 Hz, single-reader workload — request pipelining, keep-alive and
-   TLS would all be dead weight here.
+(* The metrics scrape endpoint, now a thin handler over the shared
+   HTTP core ({!Httpd}): the transport hardening — bounded reads,
+   SIGPIPE suppression, per-request catch-all 500, bare-LF heads,
+   idempotent stop — lives there, shared with the query server.
 
-   Concurrency argument: the accept domain only ever (a) lists the
-   registry through its mutex, (b) racily reads metric cells the engine
-   domains write — single-word reads of monotone values, the OCaml
-   memory model returns some written value, never a torn one — and
-   (c) writes the gauges its own meter derives, of which it is the only
-   writer.  So a scrape can run concurrently with the engine's hot path
-   and with sharded workers merging into the registry. *)
+   Concurrency argument (unchanged from when the plumbing was inline):
+   the accept domain only ever (a) lists the registry through its
+   mutex, (b) racily reads metric cells the engine domains write —
+   single-word reads of monotone values, the OCaml memory model
+   returns some written value, never a torn one — and (c) writes the
+   gauges its own meter derives, of which it is the only writer.  So a
+   scrape can run concurrently with the engine's hot path and with
+   sharded workers merging into the registry. *)
 
-type t = {
-  sock : Unix.file_descr;
-  port : int;
-  stopping : bool Atomic.t;
-  mutable domain : unit Domain.t option;
-  scrapes : Counter.t;
-}
+type t = { httpd : Httpd.t; scrapes : Counter.t }
 
-let respond fd ~status ~content_type body =
-  let head =
-    Printf.sprintf
-      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-       close\r\n\r\n"
-      status content_type (String.length body)
-  in
-  let msg = head ^ body in
-  let n = String.length msg in
-  let buf = Bytes.unsafe_of_string msg in
-  let rec write_all off =
-    if off < n then
-      match Unix.write fd buf off (n - off) with
-      | 0 -> ()
-      | k -> write_all (off + k)
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
-  in
-  write_all 0
-
-(* Read until the blank line ending the request head (we never accept
-   bodies), bounded so a misbehaving client cannot grow the buffer.
-   Both CRLF and bare-LF line endings terminate the head, so a casual
-   [printf '...\n\n' | nc] is answered immediately instead of riding
-   out the receive timeout (after which we still answer with whatever
-   arrived — a read timeout and EOF both end the head). *)
-let head_complete s =
-  let n = String.length s in
-  let rec go i =
-    if i + 2 > n then false
-    else if s.[i] = '\n' && s.[i + 1] = '\n' then true
-    else if
-      i + 4 <= n
-      && s.[i] = '\r'
-      && s.[i + 1] = '\n'
-      && s.[i + 2] = '\r'
-      && s.[i + 3] = '\n'
-    then true
-    else go (i + 1)
-  in
-  go 0
-
-let read_head fd =
-  let buf = Buffer.create 256 in
-  let chunk = Bytes.create 512 in
-  let rec go () =
-    if Buffer.length buf > 8192 then Buffer.contents buf
-    else
-      let n = try Unix.read fd chunk 0 512 with Unix.Unix_error _ -> 0 in
-      if n = 0 then Buffer.contents buf
-      else begin
-        Buffer.add_subbytes buf chunk 0 n;
-        let s = Buffer.contents buf in
-        if head_complete s then s else go ()
-      end
-  in
-  go ()
-
-let request_path head =
-  match String.index_opt head '\n' with
-  | None -> None
-  | Some eol -> (
-      let line = String.trim (String.sub head 0 eol) in
-      match String.split_on_char ' ' line with
-      | meth :: path :: _ when String.uppercase_ascii meth = "GET" ->
-          (* strip any query string; the endpoints take none *)
-          Some
-            (match String.index_opt path '?' with
-            | Some q -> String.sub path 0 q
-            | None -> path)
-      | _ -> None)
-
-let handle t ~registry ~meter ~healthy fd =
-  let head = read_head fd in
-  Counter.inc t.scrapes;
-  match request_path head with
-  | Some "/metrics" ->
+let handler ~registry ~meter ~healthy (req : Httpd.request) =
+  match (req.Httpd.meth, req.Httpd.path) with
+  | "GET", "/metrics" ->
       (match meter with Some m -> Meter.sample m | None -> ());
-      respond fd ~status:"200 OK"
+      Httpd.ok
         ~content_type:"text/plain; version=0.0.4; charset=utf-8"
         (Export.prometheus registry)
-  | Some "/metrics.json" ->
+  | "GET", "/metrics.json" ->
       (match meter with Some m -> Meter.sample m | None -> ());
-      respond fd ~status:"200 OK" ~content_type:"application/json"
+      Httpd.ok ~content_type:"application/json"
         (Export.snapshot_json ~ts_ns:(Clock.now_ns ()) registry)
-  | Some "/healthz" ->
-      if healthy () then
-        respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n"
-      else
-        respond fd ~status:"503 Service Unavailable"
-          ~content_type:"text/plain" "unhealthy\n"
-  | Some _ ->
-      respond fd ~status:"404 Not Found" ~content_type:"text/plain"
-        "not found\n"
-  | None ->
-      respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
-        "bad request\n"
+  | "GET", "/healthz" ->
+      if healthy () then Httpd.ok "ok\n"
+      else Httpd.response ~status:"503 Service Unavailable" "unhealthy\n"
+  | "GET", _ -> Httpd.not_found "not found\n"
+  | _ -> Httpd.bad_request "bad request\n"
 
-let serve t ~registry ~meter ~healthy =
-  let rec loop () =
-    match Unix.accept t.sock with
-    | client, _ ->
-        (* bound a stalled client so the endpoint cannot wedge *)
-        (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0
-         with Unix.Unix_error _ -> ());
-        (try handle t ~registry ~meter ~healthy client with
-        | Unix.Unix_error _ | Sys_error _ -> ()
-        | _ ->
-            (* any other escaped exception (a broken metric, a
-               registry conflict) must not take the endpoint down:
-               answer 500 and keep accepting *)
-            (try
-               respond client ~status:"500 Internal Server Error"
-                 ~content_type:"text/plain" "internal error\n"
-             with _ -> ()));
-        (try Unix.close client with Unix.Unix_error _ -> ());
-        if not (Atomic.get t.stopping) then loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-        if not (Atomic.get t.stopping) then loop ()
-    | exception Unix.Unix_error _ ->
-        (* the listen socket was closed under us: stop requested *)
-        ()
+let start ?host ?meter ?(healthy = fun () -> true) ~port registry =
+  let scrapes =
+    Registry.counter registry "scrape_requests_total"
+      ~help:"HTTP requests answered by the scrape endpoint"
   in
-  loop ()
-
-let start ?(host = "127.0.0.1") ?meter ?(healthy = fun () -> true) ~port
-    registry =
-  (* A scraper that disconnects mid-response (curl timeout, fwtop
-     killed) turns our next write into a SIGPIPE, whose default
-     disposition kills the whole process; ignore it so the write
-     surfaces as EPIPE, which [respond] already swallows. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ | Sys_error _ -> ());
-  let addr = Unix.inet_addr_of_string host in
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt sock Unix.SO_REUSEADDR true;
-     Unix.bind sock (Unix.ADDR_INET (addr, port));
-     Unix.listen sock 8
-   with e ->
-     (try Unix.close sock with Unix.Unix_error _ -> ());
-     raise e);
-  let port =
-    match Unix.getsockname sock with
-    | Unix.ADDR_INET (_, p) -> p
-    | Unix.ADDR_UNIX _ -> port
+  let httpd =
+    Httpd.start ?host ~port
+      ~on_request:(fun () -> Counter.inc scrapes)
+      (handler ~registry ~meter ~healthy)
   in
-  let t =
-    {
-      sock;
-      port;
-      stopping = Atomic.make false;
-      domain = None;
-      scrapes =
-        Registry.counter registry "scrape_requests_total"
-          ~help:"HTTP requests answered by the scrape endpoint";
-    }
-  in
-  t.domain <- Some (Domain.spawn (fun () -> serve t ~registry ~meter ~healthy));
-  t
+  { httpd; scrapes }
 
-let port t = t.port
-
-let stop t =
-  if not (Atomic.exchange t.stopping true) then begin
-    (* close the listen socket to kick accept(2); a connect straggler
-       racing the close is answered or dropped, both fine *)
-    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    (try Unix.close t.sock with Unix.Unix_error _ -> ());
-    match t.domain with
-    | Some d ->
-        Domain.join d;
-        t.domain <- None
-    | None -> ()
-  end
+let port t = Httpd.port t.httpd
+let stop t = Httpd.stop t.httpd

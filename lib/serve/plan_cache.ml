@@ -1,0 +1,81 @@
+module Registry = Fw_obs.Registry
+module Counter = Fw_obs.Counter
+module Gauge = Fw_obs.Gauge
+
+type entry = { compiled : Fw_sql.Compile.compiled; mutable tick : int }
+
+type t = {
+  cap : int;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  hits_c : Counter.t;
+  misses_c : Counter.t;
+  evictions_c : Counter.t;
+  size_g : Gauge.t;
+}
+
+let create ?(capacity = 128) registry =
+  if capacity < 1 then invalid_arg "Plan_cache: capacity must be >= 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create 64;
+    clock = 0;
+    hits_c =
+      Registry.counter registry "serve_plan_cache_hits_total"
+        ~help:"Registrations answered from the plan cache";
+    misses_c =
+      Registry.counter registry "serve_plan_cache_misses_total"
+        ~help:"Registrations that had to compile";
+    evictions_c =
+      Registry.counter registry "serve_plan_cache_evictions_total"
+        ~help:"Entries evicted (least recently used) at capacity";
+    size_g =
+      Registry.gauge registry "serve_plan_cache_size"
+        ~help:"Entries currently cached";
+  }
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      Counter.inc t.hits_c;
+      touch t e;
+      Some e.compiled
+  | None ->
+      Counter.inc t.misses_c;
+      None
+
+(* O(size) victim scan — the capacity is a handful of hundreds of
+   registered query texts, not a data plane. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, tick) when tick <= e.tick -> ()
+      | _ -> victim := Some (key, e.tick))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      Counter.inc t.evictions_c
+  | None -> ()
+
+let add t key compiled =
+  (match Hashtbl.find_opt t.table key with
+  | Some e -> touch t e
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      let e = { compiled; tick = 0 } in
+      touch t e;
+      Hashtbl.add t.table key e);
+  Gauge.set t.size_g (float_of_int (Hashtbl.length t.table))
+
+let size t = Hashtbl.length t.table
+let capacity t = t.cap
+let hits t = Counter.get t.hits_c
+let misses t = Counter.get t.misses_c
+let evictions t = Counter.get t.evictions_c

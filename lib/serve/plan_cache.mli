@@ -1,0 +1,29 @@
+(** Plan cache: compiled queries keyed on canonical query text.
+
+    The key is {!Fw_sql.Normalize.canonical} — two registrations that
+    differ only in whitespace, keyword case or comments hit the same
+    entry; different literals or window parameters are different keys.
+    Eviction is least-recently-used at a fixed capacity.  Hit, miss and
+    eviction totals (plus the current size) are published into the
+    server's registry as [serve_plan_cache_*]. *)
+
+type t
+
+val create : ?capacity:int -> Fw_obs.Registry.t -> t
+(** [capacity] defaults to 128; raises [Invalid_argument] when it is
+    not positive. *)
+
+val find : t -> string -> Fw_sql.Compile.compiled option
+(** Lookup by canonical text; counts a hit or a miss and refreshes the
+    entry's recency. *)
+
+val add : t -> string -> Fw_sql.Compile.compiled -> unit
+(** Insert (or refresh) an entry, evicting the least recently used one
+    when the cache is full.  Only successful compilations belong in the
+    cache — errors must be recomputed so their messages stay fresh. *)
+
+val size : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

@@ -1,0 +1,57 @@
+module Window = Fw_window.Window
+module Plan = Fw_plan.Plan
+module Predicate = Fw_plan.Predicate
+
+type key = {
+  agg : Fw_agg.Aggregate.t;
+  filter : Predicate.t option;
+}
+
+let key_of (a : Fw_sql.Analyze.analysis) =
+  { agg = a.Fw_sql.Analyze.agg; filter = a.Fw_sql.Analyze.filter }
+
+let key_equal a b =
+  a.agg = b.agg
+  &&
+  match (a.filter, b.filter) with
+  | None, None -> true
+  | Some p, Some q -> Predicate.equal p q
+  | _ -> false
+
+let input_equal a b =
+  match (a, b) with
+  | `Stream, `Stream -> true
+  | `Window p, `Window q -> Window.equal p q
+  | _ -> false
+
+let rec first_error = function
+  | [] -> Ok ()
+  | w :: ws -> ( match w () with Ok () -> first_error ws | Error _ as e -> e)
+
+let compatible ~member ~group =
+  let exposed_group = Plan.exposed_windows group in
+  let exposure w () =
+    if List.exists (Window.equal w) exposed_group then Ok ()
+    else
+      Error
+        (Printf.sprintf "window %s is not exposed by the group plan"
+           (Window.to_string w))
+  in
+  let chain w () =
+    match Plan.window_input group w with
+    | group_input ->
+        if input_equal group_input (Plan.window_input member w) then Ok ()
+        else
+          Error
+            (Printf.sprintf "window %s reads a different input in the group plan"
+               (Window.to_string w))
+    | exception Not_found ->
+        Error
+          (Printf.sprintf "window %s is absent from the group plan"
+             (Window.to_string w))
+  in
+  first_error
+    (List.map exposure (Plan.exposed_windows member)
+    @ List.map chain (Plan.all_windows member))
+
+let union_windows a b = Window.dedup (a @ b)

@@ -59,6 +59,15 @@ type t = {
 let metrics t = t.metrics
 let seq t = t.seq
 
+(* Incremental row access for drivers that stream results out while
+   the pipeline runs (the query server's per-query taps).  Delegates
+   to the executor's row store, which on a resumed pipeline already
+   holds the recovered emission history (Recover imports the row log's
+   covered prefix), so a tap rebuilt after a restart sees every row
+   ever emitted. *)
+let row_count t = Stream_exec.row_count t.exec
+let row t i = Stream_exec.row t.exec i
+
 let make_obs ~observe metrics =
   if not observe then None
   else

@@ -95,6 +95,14 @@ val metrics : t -> Fw_engine.Metrics.t
 val seq : t -> int
 (** Sequence number of the newest snapshot written (0 = none yet). *)
 
+val row_count : t -> int
+(** Rows emitted so far, in emission order ({!row} reads the [i]-th) —
+    on a pipeline resumed by {!Recover} this includes the recovered
+    emission history, so a driver streaming rows out incrementally
+    (the query server's taps) survives restarts without re-execution. *)
+
+val row : t -> int -> Fw_engine.Row.t
+
 (** {2 Directory naming (shared with {!Recover} and tests)} *)
 
 val chk_name : int -> string

@@ -105,6 +105,26 @@ let tokenize input =
         | '-' when peek2 st = Some '-' ->
             skip_line_comment st;
             next acc
+        | '-' when (match peek2 st with Some c -> is_digit c | None -> false)
+          ->
+            (* a negative literal: the dialect has no binary minus, so a
+               sign glued to digits is unambiguous ([--] is a comment) *)
+            let p = pos st in
+            advance st;
+            let digits = take_while st is_digit in
+            let token =
+              match (peek st, peek2 st) with
+              | Some '.', Some c when is_digit c ->
+                  advance st;
+                  let frac = take_while st is_digit in
+                  Token.Float (-.float_of_string (digits ^ "." ^ frac))
+              | _ -> Token.Int (-int_of_string digits)
+            in
+            (match peek st with
+            | Some c when is_ident_start c ->
+                error st "identifier may not start with a digit"
+            | Some _ | None -> ());
+            next ({ Token.token; pos = p } :: acc)
         | '=' ->
             let p = pos st in
             advance st;

@@ -1,0 +1,11 @@
+let canonical_ast ast = Printer.query ast
+
+let canonical text =
+  match Parser.parse_result text with
+  | Ok ast -> Ok (canonical_ast ast)
+  | Error _ as e -> e
+
+let equivalent a b =
+  match (canonical a, canonical b) with
+  | Ok ca, Ok cb -> ca = cb
+  | _ -> false

@@ -1,0 +1,21 @@
+(** Canonical query text: the plan-cache key.
+
+    Two query texts that differ only in whitespace, keyword case,
+    comments or parenthesization normalize to the same string; texts
+    whose {e semantics} differ — other literals, other window
+    parameters, other aggregates — normalize to different strings.
+    The canonical form is the parser/printer round trip: parse the
+    text, print the AST with {!Printer.query}.  The printer is
+    injective up to AST equality and [parse (print ast) = ast] (the
+    round-trip property pinned by the qcheck suite in
+    [test/test_sql.ml]), so the normalized text is a faithful key for
+    the analyzed meaning of the query. *)
+
+val canonical : string -> (string, string) result
+(** The canonical text, or the parse error. *)
+
+val canonical_ast : Ast.t -> string
+(** Canonical text of an already-parsed query. *)
+
+val equivalent : string -> string -> bool
+(** Both parse and normalize to the same text. *)

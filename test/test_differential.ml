@@ -126,7 +126,7 @@ let test_differential_median_and_hopping () =
   check_int "hopping invariants" 0 (List.length (Invariants.check sc))
 
 let test_path_roster () =
-  check_int "sixteen paths" 16 (List.length Paths.all);
+  check_int "seventeen paths" 17 (List.length Paths.all);
   check_bool "incremental path listed" true
     (List.mem Paths.Incremental_stream Paths.all);
   check_string "incremental path name" "incremental-stream"
@@ -152,7 +152,9 @@ let test_path_roster () =
   check_string "sharded-batched path name" "sharded-batched"
     (Paths.name Paths.Sharded_batched);
   check_string "crash-batched path name" "crash-batched-incremental"
-    (Paths.name (Paths.Crash_batched Fw_engine.Stream_exec.Incremental))
+    (Paths.name (Paths.Crash_batched Fw_engine.Stream_exec.Incremental));
+  check_bool "served path listed" true (List.mem Paths.Served Paths.all);
+  check_string "served path name" "served" (Paths.name Paths.Served)
 
 let test_incremental_path_applicability () =
   (* The incremental engine falls back per node, so it applies to every
@@ -312,6 +314,29 @@ let test_bounded_batched_campaign () =
         ("batched campaign failure: "
         ^ Format.asprintf "%a" Harness.pp_failure f)
 
+let test_bounded_served_campaign () =
+  (* The serving acceptance property: under --serve-prob 1.0 every
+     scenario's overlapping sub-queries, registered as SQL with one
+     in-process server and fed the shared stream once, tap rows
+     byte-identical to independent single-query runs — the cross-query
+     sharing correctness gate, fuzzed across a bounded campaign. *)
+  let cfg =
+    {
+      Harness.default_config with
+      Harness.iterations = 30;
+      base_seed = 7100;
+      serve_prob = 1.0;
+    }
+  in
+  let outcome = Harness.run cfg in
+  check_int "all scenarios checked" 30 outcome.Harness.checked;
+  match outcome.Harness.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        ("served campaign failure: "
+        ^ Format.asprintf "%a" Harness.pp_failure f)
+
 let test_shrink_scenario_batch_dimension () =
   (* a synthetic failure that depends on the batch size shrinks it to
      the smallest size that still fails, and one that doesn't depend on
@@ -349,7 +374,7 @@ let suite =
     Alcotest.test_case "differential median + hopping" `Quick
       test_differential_median_and_hopping;
     Alcotest.test_case "non-aligned path gating" `Quick test_non_aligned_paths;
-    Alcotest.test_case "path roster (16 paths)" `Quick test_path_roster;
+    Alcotest.test_case "path roster (17 paths)" `Quick test_path_roster;
     Alcotest.test_case "incremental path applicability" `Quick
       test_incremental_path_applicability;
     Alcotest.test_case "paths subset restricts" `Quick
@@ -368,6 +393,8 @@ let suite =
       test_bounded_crash_campaign;
     Alcotest.test_case "bounded batched campaign (30 seeds, composed)" `Quick
       test_bounded_batched_campaign;
+    Alcotest.test_case "bounded served campaign (30 seeds, p=1)" `Quick
+      test_bounded_served_campaign;
     Alcotest.test_case "shrink scenario batch dimension" `Quick
       test_shrink_scenario_batch_dimension;
     Alcotest.test_case "check_seed ok" `Quick test_check_seed_ok;

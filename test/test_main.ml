@@ -28,4 +28,5 @@ let () =
       ("snap", Test_snap.suite);
       ("shard", Test_shard.suite);
       ("batch", Test_batch.suite);
+      ("serve", Test_serve.suite);
     ]

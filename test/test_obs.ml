@@ -712,6 +712,85 @@ let test_scrape_client_disconnect () =
       check_bool "payload intact" true
         (contains ~needle:"reqs_total 3" body))
 
+(* --- shared HTTP core: body reading -------------------------------- *)
+
+(* Send raw bytes (optionally cutting the connection short) and read
+   whatever response comes back. *)
+let raw_roundtrip ~port ?(shutdown_after_send = false) payload =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock addr;
+      ignore (Unix.write_substring sock payload 0 (String.length payload));
+      if shutdown_after_send then
+        (try Unix.shutdown sock Unix.SHUTDOWN_SEND
+         with Unix.Unix_error _ -> ());
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 1024 in
+      let rec drain () =
+        match Unix.read sock chunk 0 1024 with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            drain ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+(* An echo server with a tiny body bound: the shared core must refuse
+   an oversized Content-Length with 413 before reading the body, and
+   answer 400 on a body the client cut short — never hand a torn body
+   to the handler. *)
+let test_httpd_body_limits () =
+  let seen = ref [] in
+  let s =
+    Fw_obs.Httpd.start ~max_body:64 ~port:0 (fun req ->
+        seen := req.Fw_obs.Httpd.body :: !seen;
+        Fw_obs.Httpd.ok req.Fw_obs.Httpd.body)
+  in
+  Fun.protect
+    ~finally:(fun () -> Fw_obs.Httpd.stop s)
+    (fun () ->
+      let port = Fw_obs.Httpd.port s in
+      (* in-bounds body echoes fine *)
+      let resp =
+        raw_roundtrip ~port
+          "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello"
+      in
+      check_bool "small body accepted" true (contains ~needle:"200 OK" resp);
+      check_bool "body delivered intact" true
+        (contains ~needle:"hello" resp);
+      (* a Content-Length beyond max_body is refused without reading:
+         only the head is sent, yet the answer comes immediately *)
+      let t0 = Unix.gettimeofday () in
+      let resp =
+        raw_roundtrip ~port
+          "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 100000\r\n\r\n"
+      in
+      check_bool "oversized body refused with 413" true
+        (contains ~needle:"413" resp);
+      check_bool "refused before the receive timeout" true
+        (Unix.gettimeofday () -. t0 < 4.0);
+      (* a torn body — fewer bytes than advertised, then FIN — is a
+         400, and the handler never sees it *)
+      let resp =
+        raw_roundtrip ~port ~shutdown_after_send:true
+          "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\nshort"
+      in
+      check_bool "torn body is a 400" true (contains ~needle:"400" resp);
+      check_bool "torn body never reaches the handler" true
+        (not (List.exists (contains ~needle:"short") !seen));
+      (* a negative Content-Length is plain garbage *)
+      let resp =
+        raw_roundtrip ~port
+          "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: -1\r\n\r\n"
+      in
+      check_bool "negative length is a 400" true
+        (contains ~needle:"400" resp))
+
 (* --- clock --------------------------------------------------------- *)
 
 let test_clock_source () =
@@ -768,6 +847,8 @@ let suite =
       test_scrape_bare_lf_request;
     Alcotest.test_case "scrape: client disconnect mid-response" `Quick
       test_scrape_client_disconnect;
+    Alcotest.test_case "httpd: body bounds (413/400/torn)" `Quick
+      test_httpd_body_limits;
     Alcotest.test_case "trace: ring buffer" `Quick test_trace_ring;
     Alcotest.test_case "trace: span combinator" `Quick
       test_trace_span_combinator;

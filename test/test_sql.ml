@@ -30,6 +30,12 @@ let test_lexer_basic () =
     (tokens_of "'10 min'" = [ Token.String "10 min"; Token.Eof ]);
   check_bool "escaped quote" true
     (tokens_of "'it''s'" = [ Token.String "it's"; Token.Eof ]);
+  check_bool "negative int" true
+    (tokens_of "-42" = [ Token.Int (-42); Token.Eof ]);
+  check_bool "negative float" true
+    (tokens_of "-0.5" = [ Token.Float (-0.5); Token.Eof ]);
+  check_bool "comment still wins over sign" true
+    (tokens_of "-- 5\n7" = [ Token.Int 7; Token.Eof ]);
   check_bool "punct" true
     (tokens_of "(.,*)"
     = [ Token.Lparen; Token.Dot; Token.Comma; Token.Star; Token.Rparen; Token.Eof ])
@@ -159,23 +165,74 @@ let gen_ast =
            oneofl [ Duration.Second; Duration.Minute; Duration.Hour ]
          in
          let* size = int_range 1 30 in
-         let* tumbling = bool in
          let* label = opt (map (Printf.sprintf "w%d") (int_range 0 99)) in
-         if tumbling then return { Ast.label; def = Ast.Tumbling { unit_; size } }
-         else
-           let* hop = int_range 1 size in
-           return { Ast.label; def = Ast.Hopping { unit_; size; hop } })
+         let* def =
+           frequency
+             [
+               (3, return (Ast.Tumbling { unit_; size }));
+               ( 3,
+                 let* hop = int_range 1 size in
+                 return (Ast.Hopping { unit_; size; hop }) );
+               ( 2,
+                 let* hop = int_range 1 size in
+                 return (Ast.Count_rows { size; hop }) );
+               ( 1,
+                 let* gap = int_range 1 30 in
+                 return (Ast.Session { unit_; gap }) );
+             ]
+         in
+         return { Ast.label; def })
+    in
+    (* operands that survive print-then-parse: plain identifiers,
+       numbers [string_of_float] regenerates exactly, quote-free
+       strings *)
+    let gen_operand =
+      frequency
+        [
+          (3, map (fun i -> Ast.Col (Printf.sprintf "c%d" i)) (int_range 0 9));
+          ( 3,
+            map
+              (fun i -> Ast.Number (float_of_int i /. 2.0))
+              (int_range (-20) 20) );
+          (1, map (fun i -> Ast.Str (Printf.sprintf "s%d" i)) (int_range 0 9));
+        ]
+    in
+    let gen_compare =
+      let* left = gen_operand in
+      let* op = oneofl [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+      let* right = gen_operand in
+      return (Ast.Compare { left; op; right })
+    in
+    let rec gen_predicate depth =
+      if depth = 0 then gen_compare
+      else
+        frequency
+          [
+            (3, gen_compare);
+            ( 1,
+              let* a = gen_predicate (depth - 1) in
+              let* b = gen_predicate (depth - 1) in
+              return (Ast.And (a, b)) );
+            ( 1,
+              let* a = gen_predicate (depth - 1) in
+              let* b = gen_predicate (depth - 1) in
+              return (Ast.Or (a, b)) );
+            ( 1,
+              let* a = gen_predicate (depth - 1) in
+              return (Ast.Not a) );
+          ]
     in
     let* f = oneofl Fw_agg.Aggregate.all in
     let* windows = gen_windows in
     let* key = map (Printf.sprintf "key%d") (int_range 0 9) in
+    let* where = opt (gen_predicate 2) in
     return
       {
         Ast.select =
           [ Ast.Column [ key ]; Ast.Agg { func = f; column = "v"; alias = Some "agg" } ];
         from = "input";
         timestamp_by = Some "ts";
-        where = None;
+        where;
         group_keys = [ key ];
         windows;
       })
@@ -254,6 +311,51 @@ let test_compile_error_message () =
   | Error msg -> check_bool "syntax error" true (Astring_contains.contains msg "syntax error")
   | Ok _ -> Alcotest.fail "expected failure"
 
+(* --- Normalize (the plan-cache key) --- *)
+
+let test_normalize_equivalence () =
+  let base = "SELECT SUM(v) FROM input GROUP BY k, TUMBLINGWINDOW(minute, 5)" in
+  (* whitespace, keyword case and comments are not part of the key *)
+  List.iter
+    (fun variant ->
+      check_bool (Printf.sprintf "%S ≡ base" variant) true
+        (Fw_sql.Normalize.equivalent base variant))
+    [
+      "select sum(v) from input group by k, tumblingwindow(minute, 5)";
+      "SELECT  SUM(v)\n\tFROM input\nGROUP BY k, TUMBLINGWINDOW(minute, 5)";
+      "SELECT SUM(v) -- total\nFROM input GROUP BY k, \
+       TUMBLINGWINDOW(minute, 5) /* five */";
+    ];
+  (* semantics are: literals, window parameters, aggregate, predicate *)
+  List.iter
+    (fun other ->
+      check_bool (Printf.sprintf "%S ≢ base" other) false
+        (Fw_sql.Normalize.equivalent base other))
+    [
+      "SELECT SUM(v) FROM input GROUP BY k, TUMBLINGWINDOW(minute, 6)";
+      "SELECT SUM(v) FROM input GROUP BY k, TUMBLINGWINDOW(second, 5)";
+      "SELECT MIN(v) FROM input GROUP BY k, TUMBLINGWINDOW(minute, 5)";
+      "SELECT SUM(v) FROM input WHERE v > 1 GROUP BY k, \
+       TUMBLINGWINDOW(minute, 5)";
+      "SELECT SUM(w) FROM input GROUP BY k, TUMBLINGWINDOW(minute, 5)";
+    ];
+  (* the canonical text is idempotent: normalizing it is a no-op *)
+  match Fw_sql.Normalize.canonical base with
+  | Error e -> Alcotest.failf "canonical failed: %s" e
+  | Ok c -> (
+      match Fw_sql.Normalize.canonical c with
+      | Ok c2 -> check_string "idempotent" c c2
+      | Error e -> Alcotest.failf "re-canonical failed: %s" e)
+
+let test_normalize_parse_error () =
+  (match Fw_sql.Normalize.canonical "SELECT FROM" with
+  | Error msg ->
+      check_bool "carries the parse error" true
+        (Astring_contains.contains msg "syntax error")
+  | Ok _ -> Alcotest.fail "expected parse error");
+  check_bool "garbage is equivalent to nothing" false
+    (Fw_sql.Normalize.equivalent "SELECT FROM" "SELECT FROM")
+
 let suite =
   [
     Alcotest.test_case "lexer basic" `Quick test_lexer_basic;
@@ -278,4 +380,8 @@ let suite =
     Alcotest.test_case "analyze warnings" `Quick test_analyze_warnings;
     Alcotest.test_case "compile fig 1(a)" `Quick test_compile_fig1a;
     Alcotest.test_case "compile error message" `Quick test_compile_error_message;
+    Alcotest.test_case "normalize: key equivalence" `Quick
+      test_normalize_equivalence;
+    Alcotest.test_case "normalize: parse errors" `Quick
+      test_normalize_parse_error;
   ]
