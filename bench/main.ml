@@ -7,7 +7,8 @@
            [--key-skew S]
    With no --section, every section runs.  Section names: examples,
    table1, fig11, fig12, fig13, fig14, fig15, validate, measured,
-   ablation, timing, engine, obs, snap, shard, serve, fuzz.  The engine
+   ablation, timing, engine, obs, snap, shard, serve, spill, fuzz.
+   The engine
    section also writes machine-readable throughput numbers to
    BENCH_engine.json; the obs section prices the observability
    instrumentation and writes BENCH_obs.json; the snap section prices
@@ -19,7 +20,10 @@
    measures the multi-query server's shared-vs-unshared ingest at
    1/10/100 registered queries plus cold/warm plan-cache registration
    latency and writes BENCH_serve.json, enforcing the >1x sharing and
-   >=5x warm-registration gates. *)
+   >=5x warm-registration gates; the spill section runs wide-key
+   workloads (10^5 and 10^6 distinct keys) under memory budgets and
+   writes BENCH_spill.json, enforcing byte-identical rows and the
+   peak-resident <= budget + slack bound. *)
 
 open Fw_window
 module Evaluation = Factor_windows.Evaluation
@@ -1739,6 +1743,169 @@ let section_serve () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Out-of-core state: the spill store under a memory budget on a      *)
+(* wide-key workload.  A budget curve at 10^5 distinct keys proves    *)
+(* the budgeted rows byte-identical to the unbudgeted run's and       *)
+(* prices eviction/fault-in; a 10^6-key run asserts the pool's        *)
+(* enforced bound (peak resident <= budget + bounded slack) while     *)
+(* the full working set lives on disk.  Writes BENCH_spill.json and   *)
+(* exits non-zero when either the bound or row identity fails.        *)
+(* ------------------------------------------------------------------ *)
+
+type spill_run = {
+  sr_budget : int option;
+  sr_rate : float;  (** events per second *)
+  sr_peak : int;
+  sr_max_entry : int;
+  sr_disk : int;
+  sr_evictions : int;
+  sr_faults : int;
+  sr_rows : Fw_engine.Row.t list;
+}
+
+let section_spill () =
+  heading "Out-of-core state: spill under a memory budget (Fw_spill)";
+  let module Pool = Fw_spill.Pool in
+  let eta = 1000 in
+  (* every event carries a distinct key, and the single tumbling
+     window spans the whole horizon: per-key state accumulates until
+     close, so resident state grows with the key count unless evicted *)
+  let mk_event i =
+    Fw_engine.Event.make
+      ~time:((i / eta) + 1)
+      ~key:(Printf.sprintf "k%07d" i)
+      ~value:(float_of_int (i land 0xffff) *. 0.5)
+  in
+  let run_keys ?budget n =
+    let horizon = (n / eta) + 2 in
+    let plan = Fw_plan.Plan.naive Aggregate.Avg [ Window.tumbling horizon ] in
+    let pool = Option.map (fun b -> Pool.create ~budget:b ()) budget in
+    let t0 = Unix.gettimeofday () in
+    let exec = Fw_engine.Stream_exec.create ?spill:pool plan in
+    for i = 0 to n - 1 do
+      Fw_engine.Stream_exec.feed exec (mk_event i)
+    done;
+    let rows = Fw_engine.Stream_exec.close exec ~horizon in
+    let dt = Unix.gettimeofday () -. t0 in
+    let peak, max_entry, disk, evictions, faults =
+      match pool with
+      | None -> (0, 0, 0, 0, 0)
+      | Some p ->
+          let r =
+            ( Pool.peak_resident_bytes p,
+              Pool.max_entry_bytes p,
+              Pool.disk_bytes p,
+              Pool.evictions p,
+              Pool.faults p )
+          in
+          Pool.close p;
+          r
+    in
+    {
+      sr_budget = budget;
+      sr_rate = float_of_int n /. dt;
+      sr_peak = peak;
+      sr_max_entry = max_entry;
+      sr_disk = disk;
+      sr_evictions = evictions;
+      sr_faults = faults;
+      sr_rows = rows;
+    }
+  in
+  (* the bound the pool promises: the budget plus bounded slack — at
+     most the pin depth (bounded by plan depth, << 8) entries of the
+     largest weight, plus accounting granularity *)
+  let slack r = (8 * r.sr_max_entry) + 4096 in
+  let bounded r =
+    match r.sr_budget with
+    | None -> true
+    | Some b -> r.sr_peak <= b + slack r
+  in
+  let n_small = 100_000 in
+  let budgets = [ 16_384; 65_536; 262_144 ] in
+  Printf.printf
+    "\n%d distinct keys, one %d-tick tumbling window, AVG (eta=%d)\n" n_small
+    ((n_small / eta) + 2)
+    eta;
+  let baseline = run_keys n_small in
+  Printf.printf "  %-14s %9.0f ev/s  (all state resident)\n" "unbudgeted"
+    baseline.sr_rate;
+  let curve = List.map (fun b -> run_keys ~budget:b n_small) budgets in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  budget %7d %9.0f ev/s  peak %7d B  disk %9d B  evict %7d  fault \
+         %7d  rows identical: %s  bound: %s\n"
+        (Option.value ~default:0 r.sr_budget)
+        r.sr_rate r.sr_peak r.sr_disk r.sr_evictions r.sr_faults
+        (if r.sr_rows = baseline.sr_rows then "yes" else "NO")
+        (if bounded r then "ok" else "EXCEEDED"))
+    curve;
+  let rows_ok = List.for_all (fun r -> r.sr_rows = baseline.sr_rows) curve in
+  (* the headline: a million keys whose working set cannot fit the
+     budget by two orders of magnitude, resident nonetheless bounded *)
+  let n_large = 1_000_000 in
+  let large_budget = 262_144 in
+  Printf.printf "\n%d distinct keys under a %d-byte budget\n" n_large
+    large_budget;
+  let large = run_keys ~budget:large_budget n_large in
+  Printf.printf
+    "  %9.0f ev/s  peak resident %d B (budget %d + slack %d)  disk %d B  \
+     evictions %d  faults %d\n"
+    large.sr_rate large.sr_peak large_budget (slack large) large.sr_disk
+    large.sr_evictions large.sr_faults;
+  let large_keys_rows = List.length large.sr_rows in
+  Printf.printf "  resident bounded: %s  (%d result rows)\n"
+    (if bounded large then "yes" else "NO")
+    large_keys_rows;
+  let pass = rows_ok && bounded large && List.for_all bounded curve in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"seed\": %d,\n" !seed;
+  Printf.bprintf buf "  \"eta\": %d,\n" eta;
+  Printf.bprintf buf "  \"small_keys\": %d,\n" n_small;
+  Printf.bprintf buf "  \"unbudgeted_events_per_sec\": %.1f,\n"
+    baseline.sr_rate;
+  Buffer.add_string buf "  \"curve\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf
+        "    {\"budget\": %d, \"events_per_sec\": %.1f, \
+         \"peak_resident_bytes\": %d, \"max_entry_bytes\": %d, \
+         \"disk_bytes\": %d, \"evictions\": %d, \"faults\": %d, \
+         \"rows_identical\": %b, \"bounded\": %b}%s\n"
+        (Option.value ~default:0 r.sr_budget)
+        r.sr_rate r.sr_peak r.sr_max_entry r.sr_disk r.sr_evictions
+        r.sr_faults
+        (r.sr_rows = baseline.sr_rows)
+        (bounded r)
+        (if i = List.length curve - 1 then "" else ","))
+    curve;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"large\": {\"keys\": %d, \"budget\": %d, \"events_per_sec\": %.1f, \
+     \"peak_resident_bytes\": %d, \"max_entry_bytes\": %d, \"slack_bytes\": \
+     %d, \"disk_bytes\": %d, \"evictions\": %d, \"faults\": %d, \"bounded\": \
+     %b},\n"
+    n_large large_budget large.sr_rate large.sr_peak large.sr_max_entry
+    (slack large) large.sr_disk large.sr_evictions large.sr_faults
+    (bounded large);
+  Printf.bprintf buf "  \"pass\": %b\n" pass;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_spill.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote BENCH_spill.json (%s)\n"
+    (if pass then "PASS" else "FAIL");
+  if not pass then begin
+    Printf.eprintf
+      "spill section gate failed: rows_identical=%b large_bounded=%b \
+       (peak %d vs budget %d + slack %d)\n"
+      rows_ok (bounded large) large.sr_peak large_budget (slack large);
+    exit 1
+  end
+
 let section_fuzz () =
   heading "Differential fuzzing smoke (Fw_check)";
   let iterations = 250 in
@@ -1799,5 +1966,6 @@ let () =
   if enabled "snap" then section_snap ();
   if enabled "shard" then section_shard ();
   if enabled "serve" then section_serve ();
+  if enabled "spill" then section_spill ();
   if enabled "fuzz" then section_fuzz ();
   print_newline ()

@@ -15,14 +15,18 @@
    scenario-drawn batch sizes (--batch-size-range) with punctuation
    marks injected mid-batch, byte-compared against the per-event run —
    composing with the sharded and crash families when their coins also
-   land — asserts row-for-row equality, and checks the structural
+   land — and (--spill-prob to sample) the out-of-core path: the plan
+   run under a scenario-drawn memory budget (--budget-range, often 0)
+   with cold per-key state spilled to disk and faulted back, both
+   engine modes plus a crash-restart leg, byte-compared against
+   unbudgeted runs — asserts row-for-row equality, and checks the structural
    invariants (Theorem 7 forest shape, cost monotonicity, plan
    validation, metrics-vs-cost-model exactness).  --family-prob mutates
    drawn window sets across window families (count/ROWS hops, session
    windows), pushing every path through the per-key ordinal and
    gap-tracking operators.  Failures are shrunk to a minimal repro
-   (batch size and window family included) and reported with the
-   one-line replay command.
+   (batch size, window family and memory budget included) and reported
+   with the one-line replay command.
 
    Exit status: 0 = no discrepancy, 1 = discrepancies found. *)
 
@@ -121,6 +125,17 @@ let serve_prob_arg =
   in
   Arg.(value & opt float 0.0 & info [ "serve-prob" ] ~docv:"P" ~doc)
 
+let spill_prob_arg =
+  let doc =
+    "Probability that an iteration also runs the spilled path: the naive \
+     plan executed under the scenario's memory budget (drawn from \
+     --budget-range), cold per-key state evicted to an on-disk spill file \
+     and faulted back on touch, both engine modes byte-compared against \
+     unbudgeted runs, plus a crash-restart leg under the same budget.  \
+     Decided deterministically per seed, so replays match the campaign."
+  in
+  Arg.(value & opt float 0.0 & info [ "spill-prob" ] ~docv:"P" ~doc)
+
 let family_prob_arg =
   let doc =
     "Probability that a scenario's drawn window set is mutated across \
@@ -142,6 +157,16 @@ let batch_size_range_arg =
   Arg.(value & opt string "1,16"
        & info [ "batch-size-range" ] ~docv:"LO,HI" ~doc)
 
+let budget_range_arg =
+  let doc =
+    "Range LO,HI (bytes) the per-scenario memory budget for the spilled \
+     path is drawn from; a quarter of the draws pin LO regardless, so with \
+     the default 0,65536 the budget-0 degenerate case (every touched key \
+     round-trips through the spill file) stays common."
+  in
+  Arg.(value & opt string "0,65536"
+       & info [ "budget-range" ] ~docv:"LO,HI" ~doc)
+
 let max_failures_arg =
   let doc = "Stop the campaign after this many failures." in
   Arg.(value & opt int 5 & info [ "max-failures" ] ~docv:"F" ~doc)
@@ -159,7 +184,7 @@ let artifacts_arg =
   Arg.(value & opt (some string) None & info [ "artifacts" ] ~docv:"DIR" ~doc)
 
 let gen_config max_windows eta_max horizon_max no_holistic ~family_prob
-    ~batch_min ~batch_max =
+    ~batch_min ~batch_max ~budget_min ~budget_max =
   {
     Scenario.default_gen with
     Scenario.max_windows;
@@ -169,6 +194,8 @@ let gen_config max_windows eta_max horizon_max no_holistic ~family_prob
     family_prob;
     batch_min;
     batch_max;
+    budget_min;
+    budget_max;
   }
 
 let dump_artifacts artifacts failure =
@@ -181,10 +208,10 @@ let dump_artifacts artifacts failure =
       | Error e -> Printf.eprintf "fwfuzz: artifact dump failed: %s\n" e)
 
 let replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-    ~batch_prob ~serve_prob ~artifacts seed =
+    ~batch_prob ~serve_prob ~spill_prob ~artifacts seed =
   match
     Harness.check_seed ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      ~batch_prob ~serve_prob gen seed
+      ~batch_prob ~serve_prob ~spill_prob gen seed
   with
   | Ok sc ->
       Printf.printf "seed %d: %s\n" seed (Scenario.summary sc);
@@ -209,8 +236,8 @@ let replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
       1
 
 let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-    ~batch_prob ~serve_prob ~iterations ~base_seed ~max_failures ~quiet
-    ~artifacts =
+    ~batch_prob ~serve_prob ~spill_prob ~iterations ~base_seed ~max_failures
+    ~quiet ~artifacts =
   let cfg =
     {
       Harness.iterations;
@@ -222,6 +249,7 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
       shard_prob;
       batch_prob;
       serve_prob;
+      spill_prob;
       max_failures;
     }
   in
@@ -260,8 +288,8 @@ let campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
 
 let main iterations seed do_replay max_windows eta_max horizon_max
     no_invariants no_holistic incremental_prob crash_prob shard_prob
-    batch_prob serve_prob family_prob batch_size_range max_failures quiet
-    artifacts =
+    batch_prob serve_prob spill_prob family_prob batch_size_range
+    budget_range max_failures quiet artifacts =
   let bad name v =
     Printf.eprintf "fwfuzz: %s must be positive (got %d)\n" name v;
     exit 124
@@ -296,6 +324,11 @@ let main iterations seed do_replay max_windows eta_max horizon_max
       serve_prob;
     exit 124
   end;
+  if spill_prob < 0.0 || spill_prob > 1.0 then begin
+    Printf.eprintf "fwfuzz: --spill-prob must be in [0, 1] (got %g)\n"
+      spill_prob;
+    exit 124
+  end;
   if family_prob < 0.0 || family_prob > 1.0 then begin
     Printf.eprintf "fwfuzz: --family-prob must be in [0, 1] (got %g)\n"
       family_prob;
@@ -317,18 +350,33 @@ let main iterations seed do_replay max_windows eta_max horizon_max
         | _ -> fail ())
     | _ -> fail ()
   in
+  let budget_min, budget_max =
+    let fail () =
+      Printf.eprintf
+        "fwfuzz: --budget-range must be LO,HI with 0 <= LO <= HI (got %S)\n"
+        budget_range;
+      exit 124
+    in
+    match String.split_on_char ',' budget_range with
+    | [ lo; hi ] -> (
+        match (int_of_string_opt (String.trim lo),
+               int_of_string_opt (String.trim hi)) with
+        | Some lo, Some hi when 0 <= lo && lo <= hi -> (lo, hi)
+        | _ -> fail ())
+    | _ -> fail ()
+  in
   let gen =
     gen_config max_windows eta_max horizon_max no_holistic ~family_prob
-      ~batch_min ~batch_max
+      ~batch_min ~batch_max ~budget_min ~budget_max
   in
   let invariants = not no_invariants in
   if do_replay then
     replay gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      ~batch_prob ~serve_prob ~artifacts seed
+      ~batch_prob ~serve_prob ~spill_prob ~artifacts seed
   else
     campaign gen ~invariants ~incremental_prob ~crash_prob ~shard_prob
-      ~batch_prob ~serve_prob ~iterations ~base_seed:seed ~max_failures
-      ~quiet ~artifacts
+      ~batch_prob ~serve_prob ~spill_prob ~iterations ~base_seed:seed
+      ~max_failures ~quiet ~artifacts
 
 let cmd =
   let info =
@@ -342,8 +390,8 @@ let cmd =
       const main $ iterations_arg $ seed_arg $ replay_arg $ max_windows_arg
       $ eta_max_arg $ horizon_max_arg $ no_invariants_arg $ no_holistic_arg
       $ incremental_prob_arg $ crash_prob_arg $ shard_prob_arg
-      $ batch_prob_arg $ serve_prob_arg $ family_prob_arg
-      $ batch_size_range_arg
+      $ batch_prob_arg $ serve_prob_arg $ spill_prob_arg $ family_prob_arg
+      $ batch_size_range_arg $ budget_range_arg
       $ max_failures_arg $ quiet_arg $ artifacts_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -144,9 +144,9 @@ let pacer = function
         let elapsed = Unix.gettimeofday () -. t0 in
         if target > elapsed then Unix.sleepf (target -. elapsed)
 
-let run_checkpointed ~metrics ~pace ~dir ~every ~crash_after ~batch ~mode plan
-    ~horizon events =
-  let cp = Fw_snap.Checkpoint.create ~metrics ~dir ~every ~mode plan in
+let run_checkpointed ~metrics ~pace ~dir ~every ~crash_after ~batch ~mode
+    ?spill plan ~horizon events =
+  let cp = Fw_snap.Checkpoint.create ~metrics ~dir ~every ~mode ?spill plan in
   (* [--batch 1] is byte-identical to per-event feeding (feed is a
      batch-of-1 wrapper); larger sizes go through the vectorized
      [Checkpoint.feed_batch], which keeps the same WAL/snapshot cuts. *)
@@ -182,8 +182,8 @@ let run_checkpointed ~metrics ~pace ~dir ~every ~crash_after ~batch ~mode plan
   let rows = Fw_snap.Checkpoint.close cp ~horizon in
   { Fw_engine.Run.rows; metrics = Fw_snap.Checkpoint.metrics cp }
 
-let run_recovered ~dir ~every ~batch ~mode plan ~horizon events =
-  match Fw_snap.Recover.load ~dir ~every ~mode plan with
+let run_recovered ~dir ~every ~batch ~mode ?spill plan ~horizon events =
+  match Fw_snap.Recover.load ~dir ~every ~mode ?spill plan with
   | Error m ->
       Printf.eprintf "recovery failed: %s\n" m;
       exit 1
@@ -227,7 +227,8 @@ let run_recovered ~dir ~every ~batch ~mode plan ~horizon events =
 let run_cmd =
   let action query file eta no_factor seed horizon show_rows shuffle lateness
       events_file csv_out incremental stats checkpoint_dir every recover_dir
-      crash_after shards batch_opt key_skew keys_n serve_port throttle drift =
+      crash_after shards batch_opt key_skew keys_n serve_port throttle drift
+      memory_budget =
     let stats =
       match stats with
       | None -> None
@@ -313,6 +314,11 @@ let run_cmd =
         Printf.eprintf "--drift threshold must be > 1.0 (got %g)\n" th;
         exit 2
     | _ -> ());
+    (match memory_budget with
+    | Some b when b < 0 ->
+        Printf.eprintf "--memory-budget must be >= 0 bytes (got %d)\n" b;
+        exit 2
+    | _ -> ());
     match
       Optimizer.of_query ~eta ~factor_windows:(not no_factor)
         (load_query query file)
@@ -382,6 +388,19 @@ let run_cmd =
         | Some tr -> Fw_engine.Metrics.set_trace metrics tr
         | None -> ());
         let pace = pacer throttle in
+        (* One pool for the whole single-shard run, on the served
+           registry so the spill series are live-scrapable.  Sharded
+           runs skip this: each worker domain builds its own pool
+           (single-writer metric cells) from --memory-budget / shards. *)
+        let spill =
+          match memory_budget with
+          | Some budget when shards = 1 ->
+              Some
+                (Fw_spill.Pool.create
+                   ~registry:(Fw_engine.Metrics.registry metrics)
+                   ~budget ())
+          | _ -> None
+        in
         let server =
           match serve_port with
           | None -> None
@@ -398,11 +417,11 @@ let run_cmd =
           | Some dir, _ ->
               run_checkpointed ~metrics ~pace ~dir ~every ~crash_after
                 ~batch:(Option.value batch_opt ~default:1)
-                ~mode (Optimizer.optimized_plan t) ~horizon events
+                ~mode ?spill (Optimizer.optimized_plan t) ~horizon events
           | None, Some dir ->
               run_recovered ~dir ~every
                 ~batch:(Option.value batch_opt ~default:1)
-                ~mode (Optimizer.optimized_plan t) ~horizon events
+                ~mode ?spill (Optimizer.optimized_plan t) ~horizon events
           | None, None when shards > 1 ->
               (* Sharded execution: rows and cost-model counters are
                  byte-identical to the single-shard run (which the CI
@@ -412,7 +431,8 @@ let run_cmd =
                 match throttle with
                 | None ->
                     Fw_shard.Runner.run ~metrics ?batch:batch_opt ~mode
-                      ~shards (Optimizer.optimized_plan t) ~horizon events
+                      ?budget:memory_budget ~shards
+                      (Optimizer.optimized_plan t) ~horizon events
                 | Some _ ->
                     (* Manual feed loop: pace the stream and punctuate
                        at every tick so the served watermark and queue
@@ -422,7 +442,8 @@ let run_cmd =
                        event anyway. *)
                     let rt =
                       Fw_shard.Runner.create ~metrics ?batch:batch_opt ~mode
-                        ~shards (Optimizer.optimized_plan t)
+                        ?budget:memory_budget ~shards
+                        (Optimizer.optimized_plan t)
                     in
                     let last_t = ref min_int in
                     (match
@@ -477,7 +498,9 @@ let run_cmd =
                  result. *)
               let batch = Option.value batch_opt ~default:1 in
               let plan = Optimizer.optimized_plan t in
-              let exec = Fw_engine.Stream_exec.create ~metrics ~mode plan in
+              let exec =
+                Fw_engine.Stream_exec.create ~metrics ~mode ?spill plan
+              in
               let buf = Fw_engine.Batch.create () in
               let flush () =
                 if not (Fw_engine.Batch.is_empty buf) then begin
@@ -500,11 +523,13 @@ let run_cmd =
                 metrics;
               }
           | None, None ->
-              Optimizer.execute ~metrics ~mode ?trace t ~horizon events
+              Optimizer.execute ~metrics ~mode ?trace ?spill t ~horizon events
         in
         let report =
           Fun.protect
-            ~finally:(fun () -> Option.iter Fw_obs.Scrape.stop server)
+            ~finally:(fun () ->
+              Option.iter Fw_obs.Scrape.stop server;
+              Option.iter Fw_spill.Pool.close spill)
             execute
         in
         let metrics = report.Fw_engine.Run.metrics in
@@ -708,6 +733,18 @@ let run_cmd =
                    generated stream; with --events the report shows how far \
                    reality drifted from the steady-state model.")
   in
+  let memory_budget =
+    Arg.(value & opt (some int) None
+         & info [ "memory-budget" ] ~docv:"BYTES"
+             ~doc:"Bound the engine's resident keyed state to $(docv) bytes: \
+                   cold per-key window state spills to disk and faults back \
+                   in on access.  Rows and cost-model counters are \
+                   byte-identical to the unbounded run at any budget \
+                   (including 0, which forces every access to fault).  With \
+                   --shards each worker gets an equal slice.  Spill traffic \
+                   is reported via the $(b,spill_*) metrics in --stats / \
+                   --serve.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile a query, execute it on synthetic events (or a CSV \
@@ -716,7 +753,7 @@ let run_cmd =
           $ seed_arg $ horizon $ show_rows $ shuffle $ lateness $ events_file
           $ csv_out $ incremental $ stats $ checkpoint_dir $ every
           $ recover_dir $ crash_after $ shards $ batch $ key_skew $ keys_n
-          $ serve $ throttle $ drift)
+          $ serve $ throttle $ drift $ memory_budget)
 
 (* --- gen --- *)
 

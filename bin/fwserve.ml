@@ -92,9 +92,18 @@ let every =
   Arg.(value & opt int 1000 & info [ "every" ] ~docv:"N"
          ~doc:"Checkpoint cadence in events (durable mode).")
 
+let memory_budget =
+  Arg.(value & opt (some int) None
+       & info [ "memory-budget" ] ~docv:"BYTES"
+           ~doc:"Bound resident per-key state to $(docv) bytes total, \
+                 split evenly across the query groups' spill pools (cold \
+                 state spills to disk and faults back on access; rows are \
+                 unchanged).  Registrations that would shrink a group's \
+                 share below the 64 KiB floor are refused with HTTP 429.")
+
 let cmd =
   let wire host port eta incremental no_factor no_sharing max_queries
-      tenant_quota cache_capacity state every =
+      tenant_quota cache_capacity state every memory_budget =
     serve host port
       {
         Fw_serve.Server.eta;
@@ -106,6 +115,7 @@ let cmd =
         cache_capacity;
         state_dir = state;
         every;
+        memory_budget;
       }
   in
   let doc = "long-running multi-query window-aggregate server" in
@@ -113,6 +123,7 @@ let cmd =
     (Cmd.info "fwserve" ~doc)
     Term.(
       const wire $ host $ port $ eta $ incremental $ no_factor $ no_sharing
-      $ max_queries $ tenant_quota $ cache_capacity $ state $ every)
+      $ max_queries $ tenant_quota $ cache_capacity $ state $ every
+      $ memory_budget)
 
 let () = exit (Cmd.eval' cmd)

@@ -97,6 +97,13 @@ let fmt_rate = function
 
 let fmt_count = function None -> "-" | Some v -> Printf.sprintf "%.0f" v
 
+let fmt_bytes = function
+  | None -> "-"
+  | Some v ->
+      if v >= 1048576. then Printf.sprintf "%.1fMiB" (v /. 1048576.)
+      else if v >= 1024. then Printf.sprintf "%.1fKiB" (v /. 1024.)
+      else Printf.sprintf "%.0fB" v
+
 let fmt_lag_ns v =
   if v >= 1e9 then Printf.sprintf "%.2fs" (v /. 1e9)
   else if v >= 1e6 then Printf.sprintf "%.1fms" (v /. 1e6)
@@ -195,6 +202,46 @@ let render ~host ~port samples =
       | ws ->
           String.concat "/"
             (List.map (fun (_, v) -> Printf.sprintf "%.0f" v) ws))
+  end;
+  (* residency section, present only for budgeted (spilling) runs;
+     series are unlabeled for a single-engine run and labeled by
+     {group} when a server runs one pool per query group — sum both *)
+  let spill_sum name =
+    match
+      List.filter_map
+        (fun (n, _, v) -> if n = name then Some v else None)
+        samples
+    with
+    | [] -> None
+    | vs -> Some (List.fold_left ( +. ) 0. vs)
+  in
+  if spill_sum "spill_resident_keys" <> None then begin
+    line "";
+    line "spill: resident %s keys / %s  on disk %s  evictions %s (%s)  \
+          faults %s (%s)  compactions %s"
+      (fmt_count (spill_sum "spill_resident_keys"))
+      (fmt_bytes (spill_sum "spill_resident_bytes"))
+      (fmt_bytes (spill_sum "spill_disk_bytes"))
+      (fmt_count (spill_sum "spill_evictions_total"))
+      (fmt_rate (spill_sum "spill_evictions_per_sec"))
+      (fmt_count (spill_sum "spill_faults_total"))
+      (fmt_rate (spill_sum "spill_faults_per_sec"))
+      (fmt_count (spill_sum "spill_compactions_total"));
+    let groups =
+      List.filter_map
+        (fun (n, ls, v) ->
+          if n = "spill_resident_bytes" then
+            Option.map (fun g -> (g, v)) (List.assoc_opt "group" ls)
+          else None)
+        samples
+      |> List.sort compare
+    in
+    if List.length groups > 1 then
+      line "spill groups: %s"
+        (String.concat "  "
+           (List.map
+              (fun (g, v) -> Printf.sprintf "g%s=%s" g (fmt_bytes (Some v)))
+              groups))
   end;
   Buffer.contents buf
 

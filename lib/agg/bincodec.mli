@@ -1,0 +1,36 @@
+(** Binary encoders for aggregate state ({!Combine} views, {!Swag}
+    exports), shared by the snapshot codec ({!Fw_snap.Codec} re-exports
+    them; byte format unchanged) and the out-of-core state store —
+    evicted entries are serialized with exactly these encoders, so a
+    spilled state faults back in bit-identical (floats as IEEE bit
+    patterns).
+
+    Raises {!Fw_spill.Bin.Corrupt} on malformed input. *)
+
+val w_state : Buffer.t -> Combine.state -> unit
+val r_state : Fw_spill.Bin.reader -> Combine.state
+
+val w_xentry : Buffer.t -> Swag.xentry -> unit
+val r_xentry : Fw_spill.Bin.reader -> Swag.xentry
+
+val w_swag : Buffer.t -> Swag.export -> unit
+val r_swag : Fw_spill.Bin.reader -> Swag.export
+
+(** {2 Spill-store codecs}
+
+    State-kind tag bytes — one per spillable state family; fault-in
+    rejects a record whose tag disagrees with the store's codec.  Tags
+    2–4 are claimed by the engine's private codecs (window pending
+    maps, count-window trackers, open sessions). *)
+
+val kind_combine : int
+val kind_swag : int
+val kind_win : int
+val kind_cwin : int
+val kind_session : int
+
+val state_weight : Combine.state -> int
+val swag_weight : Swag.t -> int
+
+val state_codec : Combine.state Fw_spill.Store.codec
+val swag_codec : Aggregate.t -> Swag.t Fw_spill.Store.codec

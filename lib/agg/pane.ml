@@ -1,49 +1,55 @@
+module Store = Fw_spill.Store
+
 type t = {
   agg : Aggregate.t;
-  tbl : (string, Combine.state) Hashtbl.t;
+  store : Combine.state Store.t;
   (* lifetime counters (not reset by [clear]) for observability *)
   mutable adds : int;
   mutable merges : int;
 }
 
-let create ?(size_hint = 16) agg =
-  { agg; tbl = Hashtbl.create size_hint; adds = 0; merges = 0 }
+(* [size_hint] predates the store backend and is kept for API
+   stability; the store sizes itself. *)
+let create ?size_hint:_ ?pool agg =
+  { agg; store = Store.create ?pool ~name:"pane" Bincodec.state_codec;
+    adds = 0; merges = 0 }
 
 let aggregate t = t.agg
 
 let add t ~key v =
   t.adds <- t.adds + 1;
-  match Hashtbl.find_opt t.tbl key with
-  | None -> Hashtbl.replace t.tbl key (Combine.of_value t.agg v)
-  | Some st -> Hashtbl.replace t.tbl key (Combine.add st v)
+  Store.update t.store key (function
+    | None -> Combine.of_value t.agg v
+    | Some st -> Combine.add st v)
 
 (* Columnar entry point: fold a run of events given as parallel key /
    value columns and a selection-index window.  Element order and
-   per-element hashtable operations are identical to repeated [add]
-   calls, so the result — and the lifetime counter — is bit-for-bit
-   the same; only the per-call overhead is amortized. *)
+   per-element store operations are identical to repeated [add] calls,
+   so the result — and the lifetime counter — is bit-for-bit the same;
+   only the per-call overhead is amortized. *)
 let add_run t ~keys ~values ~sel ~lo ~hi =
   for i = lo to hi - 1 do
     let j = sel.(i) in
     let key : string = keys.(j) in
-    (match Hashtbl.find_opt t.tbl key with
-    | None -> Hashtbl.replace t.tbl key (Combine.of_value t.agg values.(j))
-    | Some st -> Hashtbl.replace t.tbl key (Combine.add st values.(j)));
+    let v = values.(j) in
+    Store.update t.store key (function
+      | None -> Combine.of_value t.agg v
+      | Some st -> Combine.add st v)
   done;
   t.adds <- t.adds + (hi - lo)
 
 let merge t ~key state =
   t.merges <- t.merges + 1;
-  match Hashtbl.find_opt t.tbl key with
-  | None -> Hashtbl.replace t.tbl key state
-  | Some st -> Hashtbl.replace t.tbl key (Combine.merge st state)
+  Store.update t.store key (function
+    | None -> state
+    | Some st -> Combine.merge st state)
 
-let find t key = Hashtbl.find_opt t.tbl key
-let iter f t = Hashtbl.iter f t.tbl
-let fold f t acc = Hashtbl.fold f t.tbl acc
-let size t = Hashtbl.length t.tbl
-let is_empty t = Hashtbl.length t.tbl = 0
-let clear t = Hashtbl.reset t.tbl
+let find t key = Store.find t.store key
+let iter f t = Store.iter f t.store
+let fold f t acc = Store.fold f t.store acc
+let size t = Store.length t.store
+let is_empty t = Store.is_empty t.store
+let clear t = Store.clear t.store
 let adds t = t.adds
 let merges t = t.merges
 
@@ -55,19 +61,21 @@ type export = {
   x_merges : int;
 }
 
+(* Folding a budgeted store faults every spilled entry back in, so the
+   export is self-contained regardless of what was on disk. *)
 let export t =
   {
     x_entries =
       List.sort
         (fun (a, _) (b, _) -> String.compare a b)
-        (Hashtbl.fold (fun k st acc -> (k, st) :: acc) t.tbl []);
+        (Store.fold (fun k st acc -> (k, st) :: acc) t.store []);
     x_adds = t.adds;
     x_merges = t.merges;
   }
 
-let import ?(size_hint = 16) agg x =
-  let t = create ~size_hint agg in
-  List.iter (fun (k, st) -> Hashtbl.replace t.tbl k st) x.x_entries;
+let import ?size_hint ?pool agg x =
+  let t = create ?size_hint ?pool agg in
+  List.iter (fun (k, st) -> Store.set t.store k st) x.x_entries;
   t.adds <- x.x_adds;
   t.merges <- x.x_merges;
   t

@@ -10,7 +10,13 @@
 
 type t
 
-val create : ?size_hint:int -> Aggregate.t -> t
+val create : ?size_hint:int -> ?pool:Fw_spill.Pool.t -> Aggregate.t -> t
+(** Without [pool], per-key states live in a plain hashtable (exact
+    historical semantics).  With [pool], they live in a budgeted
+    {!Fw_spill.Store}: cold keys may be evicted to disk and fault back
+    in bit-identical on access — results are unaffected.  [size_hint]
+    is kept for API stability. *)
+
 val aggregate : t -> Aggregate.t
 
 val add : t -> key:string -> float -> unit
@@ -61,6 +67,8 @@ type export = {
 
 val export : t -> export
 (** Deterministic (key-sorted) capture of the pane's contents and
-    lifetime counters, for the checkpoint codec. *)
+    lifetime counters, for the checkpoint codec.  On a pooled pane this
+    faults every spilled key back in, so the export is self-contained
+    (snapshots never reference spill files). *)
 
-val import : ?size_hint:int -> Aggregate.t -> export -> t
+val import : ?size_hint:int -> ?pool:Fw_spill.Pool.t -> Aggregate.t -> export -> t

@@ -18,6 +18,7 @@ type config = {
   shard_prob : float;
   batch_prob : float;
   serve_prob : float;
+  spill_prob : float;
   max_failures : int;
 }
 
@@ -32,6 +33,7 @@ let default_config =
     shard_prob = 0.0;
     batch_prob = 1.0;
     serve_prob = 0.0;
+    spill_prob = 0.0;
     max_failures = 5;
   }
 
@@ -65,7 +67,7 @@ let problems_of ~invariants ~paths sc =
    domains like the sharded path, [Crash_batched] touches disk like the
    crash paths, so neither may run when its expensive family is off. *)
 let paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob
-    ~serve_prob seed =
+    ~serve_prob ~spill_prob seed =
   let coin prob salt =
     prob >= 1.0
     || prob > 0.0
@@ -76,6 +78,7 @@ let paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob
   let shard = coin shard_prob 0x3a2d6b5 in
   let batch = coin batch_prob 0x6a7c3b1 in
   let serve = coin serve_prob 0x2b1c9d7 in
+  let spill = coin spill_prob 0x4d11a7 in
   List.filter
     (fun p ->
       match p with
@@ -86,16 +89,17 @@ let paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob
       | Paths.Sharded_batched -> batch && shard
       | Paths.Crash_batched _ -> batch && crash
       | Paths.Served -> serve
+      | Paths.Spilled -> spill
       | _ -> true)
     Paths.all
 
 let check_seed ?(invariants = true) ?(incremental_prob = 1.0)
     ?(crash_prob = 0.0) ?(shard_prob = 0.0) ?(batch_prob = 1.0)
-    ?(serve_prob = 0.0) gen seed =
+    ?(serve_prob = 0.0) ?(spill_prob = 0.0) gen seed =
   let sc = Scenario.of_seed gen seed in
   let paths =
     paths_for ~incremental_prob ~crash_prob ~shard_prob ~batch_prob
-      ~serve_prob seed
+      ~serve_prob ~spill_prob seed
   in
   match problems_of ~invariants ~paths sc with
   | [] -> Ok sc
@@ -121,7 +125,7 @@ let run ?progress cfg =
           check_seed ~invariants:cfg.invariants
             ~incremental_prob:cfg.incremental_prob ~crash_prob:cfg.crash_prob
             ~shard_prob:cfg.shard_prob ~batch_prob:cfg.batch_prob
-            ~serve_prob:cfg.serve_prob cfg.gen seed
+            ~serve_prob:cfg.serve_prob ~spill_prob:cfg.spill_prob cfg.gen seed
         with
        | Ok _ -> ()
        | Error failure ->

@@ -60,13 +60,22 @@ type config = {
           against an independent single-query run.  [0.0] (the default)
           skips it: it costs one server plus one standalone execution
           per sub-query.  Same per-seed determinism, its own coin. *)
+  spill_prob : float;
+      (** probability that a seed's iteration also runs the spilled
+          path ({!Paths.Spilled}) — the naive plan under the scenario's
+          memory budget (drawn in [\[budget_min, budget_max\]], often
+          0), both engine modes byte-compared against unbudgeted runs,
+          plus a crash-restart leg under the same budget.  [0.0] (the
+          default) skips it: it costs five extra executions and spill-
+          file I/O per scenario.  Same per-seed determinism, its own
+          coin. *)
   max_failures : int;  (** stop the campaign after this many failures *)
 }
 
 val default_config : config
 (** 1000 iterations, base seed 42, invariants on, incremental and
-    batched paths always on, crash-restart and sharded paths off, stop
-    after 5 failures. *)
+    batched paths always on, crash-restart, sharded, served and spilled
+    paths off, stop after 5 failures. *)
 
 type outcome = { checked : int; failures : failure list }
 
@@ -77,13 +86,14 @@ val check_seed :
   ?shard_prob:float ->
   ?batch_prob:float ->
   ?serve_prob:float ->
+  ?spill_prob:float ->
   Scenario.gen_config ->
   int ->
   (Scenario.t, failure) result
 (** Check a single seed; [Ok] returns the (clean) scenario so replay
     tooling can describe it.  [incremental_prob] and [batch_prob]
-    default to [1.0], [crash_prob], [shard_prob] and [serve_prob] to
-    [0.0]. *)
+    default to [1.0], [crash_prob], [shard_prob], [serve_prob] and
+    [spill_prob] to [0.0]. *)
 
 val run : ?progress:(int -> unit) -> config -> outcome
 (** Run the campaign; [progress] is called after each iteration with

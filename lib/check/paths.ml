@@ -20,6 +20,7 @@ type path =
   | Sharded_batched
   | Crash_batched of Stream_exec.mode
   | Served
+  | Spilled
 
 let all =
   [
@@ -40,6 +41,7 @@ let all =
     Crash_batched Stream_exec.Naive;
     Crash_batched Stream_exec.Incremental;
     Served;
+    Spilled;
   ]
 
 let name = function
@@ -62,6 +64,7 @@ let name = function
   | Crash_batched Stream_exec.Naive -> "crash-batched-naive"
   | Crash_batched Stream_exec.Incremental -> "crash-batched-incremental"
   | Served -> "served"
+  | Spilled -> "spilled"
 
 (* The incremental engine handles every scenario: windows where panes
    don't apply (holistic aggregate, non-aligned geometry, count or
@@ -83,7 +86,7 @@ let applicable path sc =
            sc.Scenario.windows)
   | Reference_path | Naive_stream | Incremental_stream | Rewritten
   | Rewritten_no_factor | Crash_restart _ | Sharded_stream | Batched_stream
-  | Sharded_batched | Crash_batched _ ->
+  | Sharded_batched | Crash_batched _ | Spilled ->
       true
 
 let rewritten_plan ~factor_windows (sc : Scenario.t) =
@@ -172,14 +175,16 @@ type first_outcome = Crashed | Completed of Fw_snap.Checkpoint.t
    snapshot); [Completed] only happens on an empty stream.  [batched]
    feeds via {!Fw_snap.Checkpoint.feed_batch} under the scenario's
    batch geometry, so checkpoints and the injected death land
-   mid-batch. *)
-let crash_first_process ?(batched = false) ~dir mode (sc : Scenario.t) =
+   mid-batch.  [spill] runs the pre-crash process under a memory
+   budget; its pool is scratch (snapshots are self-contained), so the
+   crash legitimately leaves it behind like a dead process would. *)
+let crash_first_process ?(batched = false) ?spill ~dir mode (sc : Scenario.t) =
   let p = crash_params sc in
   let fault =
     Fw_snap.Fault.create ~crash_at_event:p.crash_at ?torn_bytes:p.torn_bytes ()
   in
   let cp =
-    Fw_snap.Checkpoint.create ~dir ~every:p.every ~fault ~mode
+    Fw_snap.Checkpoint.create ~dir ~every:p.every ~fault ~mode ?spill
       (Plan.naive sc.Scenario.agg sc.Scenario.windows)
   in
   try
@@ -208,10 +213,24 @@ let rm_rf dir =
    then insist both the rows and the cost-model counters are exactly
    what an uninterrupted run produces.  A counter mismatch raises
    (surfacing as a crashed path in the report) because row equality
-   alone would miss silently double-charged or lost work. *)
-let crash_restart_rows ?(batched = false) mode (sc : Scenario.t) =
+   alone would miss silently double-charged or lost work.  [budget]
+   runs both sides of the crash under their own {!Fw_spill.Pool} of
+   that many bytes — the dead process's pool is abandoned like its
+   other scratch state, the recovered process starts a fresh one — so
+   checkpoint/crash/recovery and out-of-core state are composed. *)
+let crash_restart_rows ?(batched = false) ?budget mode (sc : Scenario.t) =
   let plan = Plan.naive sc.Scenario.agg sc.Scenario.windows in
   let horizon = sc.Scenario.horizon in
+  (* one pool per simulated process, closed when that process ends *)
+  let with_pool f =
+    match budget with
+    | None -> f None
+    | Some budget ->
+        let pool = Fw_spill.Pool.create ~budget () in
+        Fun.protect
+          ~finally:(fun () -> Fw_spill.Pool.close pool)
+          (fun () -> f (Some pool))
+  in
   let m0 = Metrics.create () in
   let rows0 =
     Stream_exec.run ~metrics:m0 ~mode plan ~horizon sc.Scenario.events
@@ -220,33 +239,44 @@ let crash_restart_rows ?(batched = false) mode (sc : Scenario.t) =
   Fun.protect
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
+      let first =
+        with_pool (fun spill ->
+            match crash_first_process ~batched ?spill ~dir mode sc with
+            | Completed cp ->
+                Some
+                  ( Fw_snap.Checkpoint.close cp ~horizon,
+                    Fw_snap.Checkpoint.metrics cp )
+            | Crashed -> None)
+      in
       let rows1, m1 =
-        match crash_first_process ~batched ~dir mode sc with
-        | Completed cp ->
-            (Fw_snap.Checkpoint.close cp ~horizon, Fw_snap.Checkpoint.metrics cp)
-        | Crashed -> (
-            match Fw_snap.Recover.load ~dir ~mode plan with
-            | Error m -> failwith ("recovery failed: " ^ m)
-            | Ok r ->
-                let k = (crash_params sc).crash_at in
-                let rest =
-                  List.filteri (fun i _ -> i >= k) (fed_events sc)
-                in
-                (if batched then
-                   (* the restarted process ingests batched too; a
-                      distinct hash stream keeps its batch boundaries
-                      independent of the pre-crash ones *)
-                   List.iter
-                     (Fw_snap.Checkpoint.feed_batch r.Fw_snap.Recover.checkpoint)
-                     (batches_of_events
-                        ~hash:(scenario_hash sc lxor 0x9e3779b9)
-                        ~batch:sc.Scenario.batch rest)
-                 else
-                   List.iter
-                     (Fw_snap.Checkpoint.feed r.Fw_snap.Recover.checkpoint)
-                     rest);
-                ( Fw_snap.Checkpoint.close r.Fw_snap.Recover.checkpoint ~horizon,
-                  r.Fw_snap.Recover.metrics ))
+        match first with
+        | Some r -> r
+        | None ->
+            with_pool (fun spill ->
+                match Fw_snap.Recover.load ~dir ~mode ?spill plan with
+                | Error m -> failwith ("recovery failed: " ^ m)
+                | Ok r ->
+                    let k = (crash_params sc).crash_at in
+                    let rest =
+                      List.filteri (fun i _ -> i >= k) (fed_events sc)
+                    in
+                    (if batched then
+                       (* the restarted process ingests batched too; a
+                          distinct hash stream keeps its batch boundaries
+                          independent of the pre-crash ones *)
+                       List.iter
+                         (Fw_snap.Checkpoint.feed_batch
+                            r.Fw_snap.Recover.checkpoint)
+                         (batches_of_events
+                            ~hash:(scenario_hash sc lxor 0x9e3779b9)
+                            ~batch:sc.Scenario.batch rest)
+                     else
+                       List.iter
+                         (Fw_snap.Checkpoint.feed r.Fw_snap.Recover.checkpoint)
+                         rest);
+                    ( Fw_snap.Checkpoint.close r.Fw_snap.Recover.checkpoint
+                        ~horizon,
+                      r.Fw_snap.Recover.metrics ))
       in
       (* stronger than the harness's tolerant multiset check: recovery
          promises bit-identical rows, float rounding included *)
@@ -383,6 +413,67 @@ let batched_rows (sc : Scenario.t) =
   let (_ : Row.t list) = check_mode Stream_exec.Incremental "incremental" in
   rows
 
+(* --- spilled path ---------------------------------------------------- *)
+
+(* Run the naive plan under the scenario's memory budget — every
+   operator's per-key state held in {!Fw_spill.Store}s that evict cold
+   entries to disk and fault them back on touch — in both engine
+   modes, and insist the rows and the cost-model counters are
+   bit-identical to the unbudgeted run's: eviction and fault-in must be
+   invisible to the computation, budget 0 (everything round-trips
+   through the spill file) included.  A final leg composes the budget
+   with the crash-restart pipeline, so checkpoints taken over spilled
+   state and recovery into a fresh pool are differenced too. *)
+let spilled_rows (sc : Scenario.t) =
+  let plan = Plan.naive sc.Scenario.agg sc.Scenario.windows in
+  let horizon = sc.Scenario.horizon in
+  let budget = sc.Scenario.budget in
+  let check_mode mode mode_name =
+    let m0 = Metrics.create () in
+    let rows0 =
+      Stream_exec.run ~metrics:m0 ~mode plan ~horizon sc.Scenario.events
+    in
+    let m1 = Metrics.create () in
+    let pool = Fw_spill.Pool.create ~budget () in
+    let rows1 =
+      Fun.protect
+        ~finally:(fun () -> Fw_spill.Pool.close pool)
+        (fun () ->
+          Stream_exec.run ~metrics:m1 ~mode ~spill:pool plan ~horizon
+            sc.Scenario.events)
+    in
+    if rows1 <> rows0 then
+      failwith
+        (Printf.sprintf
+           "spilled %s rows under budget %d are not byte-identical to the \
+            unbudgeted run's (%d vs %d rows)"
+           mode_name budget (List.length rows1) (List.length rows0));
+    if Metrics.ingested m0 <> Metrics.ingested m1 then
+      failwith
+        (Printf.sprintf
+           "spilled %s ingest counter diverged under budget %d: %d unbudgeted \
+            vs %d spilled"
+           mode_name budget (Metrics.ingested m0) (Metrics.ingested m1));
+    let pw m =
+      List.map
+        (fun (w, n) -> Printf.sprintf "%s=%d" (Window.to_string w) n)
+        (Metrics.per_window m)
+    in
+    if pw m0 <> pw m1 then
+      failwith
+        (Printf.sprintf
+           "spilled %s per-window counters diverged under budget %d: [%s] \
+            unbudgeted vs [%s] spilled"
+           mode_name budget
+           (String.concat " " (pw m0))
+           (String.concat " " (pw m1)));
+    rows0
+  in
+  let rows = check_mode Stream_exec.Naive "naive" in
+  let (_ : Row.t list) = check_mode Stream_exec.Incremental "incremental" in
+  let (_ : Row.t list) = crash_restart_rows ~budget Stream_exec.Naive sc in
+  rows
+
 (* --- served path ----------------------------------------------------- *)
 
 (* SQL text for a sub-query over a subset of the scenario's windows:
@@ -508,5 +599,6 @@ let rows path (sc : Scenario.t) =
              exercised at many sizes, including 1 *)
           sharded_rows ~batch:sc.Scenario.batch sc
       | Crash_batched mode -> crash_restart_rows ~batched:true mode sc
-      | Served -> served_rows sc)
+      | Served -> served_rows sc
+      | Spilled -> spilled_rows sc)
   with exn -> Error (Printexc.to_string exn)

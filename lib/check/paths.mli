@@ -50,7 +50,16 @@
       harness's row comparison, the path insists {e every} registered
       query's tap is byte-identical to an independent single-query run
       of its own text — cross-query sharing (or its degrade) must never
-      change a float bit of anyone's answer. *)
+      change a float bit of anyone's answer;
+    - {!Spilled}: the naive plan run under the scenario's memory budget
+      — every operator's per-key state in {!Fw_spill.Store}s whose cold
+      entries are evicted to an on-disk spill file and faulted back on
+      touch — in both engine modes.  The path insists the rows and
+      cost-model counters are bit-identical to the unbudgeted run's
+      (budget [0], where every touched key round-trips through disk,
+      included), then composes the budget with the crash-restart
+      pipeline: checkpoint over spilled state, die, recover into a
+      fresh pool, still byte-identical. *)
 
 type path =
   | Reference_path
@@ -65,9 +74,10 @@ type path =
   | Sharded_batched
   | Crash_batched of Fw_engine.Stream_exec.mode
   | Served
+  | Spilled
 
 val all : path list
-(** The seventeen concrete paths, reference first. *)
+(** The eighteen concrete paths, reference first. *)
 
 val name : path -> string
 (** Stable identifier used in reports ("rewritten", "shared-paired", ...). *)
@@ -99,6 +109,7 @@ type first_outcome = Crashed | Completed of Fw_snap.Checkpoint.t
 
 val crash_first_process :
   ?batched:bool ->
+  ?spill:Fw_spill.Pool.t ->
   dir:string ->
   Fw_engine.Stream_exec.mode ->
   Scenario.t ->
@@ -108,7 +119,9 @@ val crash_first_process :
     left behind — {!Artifacts} copies it next to the repro.
     [batched] (default [false]) ingests via
     {!Fw_snap.Checkpoint.feed_batch} under the scenario's batch
-    geometry instead of per-event {!Fw_snap.Checkpoint.feed}. *)
+    geometry instead of per-event {!Fw_snap.Checkpoint.feed}.
+    [spill] runs the process under a memory budget; the pool is
+    scratch, abandoned on the simulated death. *)
 
 (** {2 Batch geometry (shared with tests)} *)
 

@@ -25,6 +25,8 @@ type gen_config = {
   window_params : Window_gen.params;
   batch_min : int;
   batch_max : int;
+  budget_min : int;
+  budget_max : int;
 }
 
 let default_gen =
@@ -42,6 +44,10 @@ let default_gen =
        batched paths are differenced against *)
     batch_min = 1;
     batch_max = 16;
+    (* budget 0 must stay drawable (and common): evict-everything is the
+       degenerate case the spilled path is differenced against *)
+    budget_min = 0;
+    budget_max = 65_536;
   }
 
 type t = {
@@ -54,6 +60,7 @@ type t = {
   tumbling : bool;
   shards : int;
   batch : int;  (** nominal batch size for the batched execution paths *)
+  budget : int;  (** resident-state budget (bytes) for the spilled path *)
 }
 
 let draw_windows prng cfg ~shape ~tumbling ~n =
@@ -153,6 +160,17 @@ let draw prng cfg =
            windows)
     else windows
   in
+  (* Budget for the spilled path, additive on the shape generator after
+     every existing draw so pre-budget seeds stay bit-identical.  A
+     quarter of the draws pin the floor ([budget_min], normally 0 —
+     every touched key round-trips through disk); the rest spread over
+     the configured range so partial-residency clock behaviour is
+     exercised too. *)
+  let budget =
+    if Prng.bernoulli g_shape 0.25 then cfg.budget_min
+    else
+      Prng.int_in g_shape cfg.budget_min (max cfg.budget_min cfg.budget_max)
+  in
   let aggs =
     if cfg.allow_holistic then Aggregate.all
     else List.filter Aggregate.shareable Aggregate.all
@@ -161,13 +179,14 @@ let draw prng cfg =
   let eta = Prng.int_in g_eta 1 cfg.eta_max in
   let horizon = Prng.int_in g_horizon cfg.horizon_min cfg.horizon_max in
   let events = draw_events g_events ~eta ~horizon in
-  { agg; windows; eta; horizon; events; shape; tumbling; shards; batch }
+  { agg; windows; eta; horizon; events; shape; tumbling; shards; batch; budget }
 
 let of_seed cfg seed = draw (Prng.create seed) cfg
 
 let summary t =
   Printf.sprintf
-    "%s over %s (%s%s), eta=%d horizon=%d |events|=%d shards=%d batch=%d"
+    "%s over %s (%s%s), eta=%d horizon=%d |events|=%d shards=%d batch=%d \
+     budget=%d"
     (Aggregate.to_string t.agg)
     ("["
     ^ String.concat "; " (List.map Window.to_string t.windows)
@@ -180,7 +199,7 @@ let summary t =
      else "")
     t.eta t.horizon
     (List.length t.events)
-    t.shards t.batch
+    t.shards t.batch t.budget
 
 let pp ppf t = Format.pp_print_string ppf (summary t)
 
@@ -202,7 +221,8 @@ let to_repro t =
      horizon  = %d@,\
      shards   = %d@,\
      batch    = %d@,\
+     budget   = %d@,\
      events   = @[<hov 2>[%a]@]@]"
     (Aggregate.to_string t.agg)
     (String.concat " " (List.map Window.to_string t.windows))
-    t.eta t.horizon t.shards t.batch pp_events t.events
+    t.eta t.horizon t.shards t.batch t.budget pp_events t.events

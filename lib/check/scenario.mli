@@ -40,6 +40,13 @@ type gen_config = {
           [\[batch_min, batch_max\]] ([fwfuzz --batch-size-range]);
           the default range starts at 1 so the degenerate batch-of-1
           case stays reachable *)
+  budget_min : int;
+  budget_max : int;
+      (** resident-state budget (bytes) for the spilled execution path
+          drawn in [\[budget_min, budget_max\]] ([fwfuzz
+          --budget-range]); a quarter of the draws pin [budget_min]
+          (normally [0] — every touched key is evicted and faulted
+          back) so the fully-out-of-core degenerate case stays common *)
 }
 
 val default_gen : gen_config
@@ -60,6 +67,12 @@ type t = {
           deterministic partitioning in {!Paths} draws per-batch sizes
           in [\[1, batch\]], so punctuation-straddling and single-event
           batches both occur.  Shrunk toward 1 on failure. *)
+  budget : int;
+      (** resident-state budget in bytes for the spilled path's
+          {!Fw_spill.Pool}; [0] forces every key through the spill
+          file.  Shrunk toward 0 on failure (a smaller budget spills
+          more, keeping the out-of-core machinery in the shrunk
+          repro). *)
 }
 
 val draw : Fw_util.Prng.t -> gen_config -> t

@@ -89,15 +89,31 @@ let batch still_fails n =
     let rec from k = if k >= n then n else if still_fails k then k else from (k + 1) in
     from 1
 
+(* Smallest budget that keeps the failure alive, scanning upward from 0
+   in doubling steps (budgets span bytes to tens of KiB, so a linear
+   scan would be absurd).  Reaching 0 — everything evicted, every touch
+   a fault — keeps the whole out-of-core machinery in the shrunk repro
+   while removing the clock's partial-residency nondeterminism from the
+   picture. *)
+let budget still_fails n =
+  if n <= 0 then n
+  else if still_fails 0 then 0
+  else
+    let rec from k =
+      if k >= n then n else if still_fails k then k else from (2 * k)
+    in
+    from 1
+
 let scenario still_fails (sc : Scenario.t) =
   let with_events sc evs = { sc with Scenario.events = evs } in
   let with_windows sc ws = { sc with Scenario.windows = ws } in
   let with_shards sc n = { sc with Scenario.shards = n } in
   let with_batch sc n = { sc with Scenario.batch = n } in
+  let with_budget sc n = { sc with Scenario.budget = n } in
   (* events first (usually the big list), then windows — removal, then
      family degradation of the survivors — then a second event pass (a
      smaller window set often unlocks further stream reduction) and
-     finally the shard count and batch size. *)
+     finally the shard count, batch size and memory budget. *)
   let sc =
     with_events sc
       (events (fun evs -> still_fails (with_events sc evs)) sc.Scenario.events)
@@ -122,5 +138,9 @@ let scenario still_fails (sc : Scenario.t) =
     with_shards sc
       (shards (fun n -> still_fails (with_shards sc n)) sc.Scenario.shards)
   in
-  with_batch sc
-    (batch (fun n -> still_fails (with_batch sc n)) sc.Scenario.batch)
+  let sc =
+    with_batch sc
+      (batch (fun n -> still_fails (with_batch sc n)) sc.Scenario.batch)
+  in
+  with_budget sc
+    (budget (fun n -> still_fails (with_budget sc n)) sc.Scenario.budget)

@@ -41,8 +41,14 @@ val batch : (int -> bool) -> int -> int
     the failure survives per-event-sized batches and is not about
     batching at all. *)
 
+val budget : (int -> bool) -> int -> int
+(** Smallest memory budget in [\[0, n\]] that still fails, trying 0
+    first and then doubling up from 1.  Reaching 0 — every touched key
+    evicted and faulted back — keeps the out-of-core machinery in the
+    repro while removing partial-residency clock behaviour from it. *)
+
 val scenario : (Scenario.t -> bool) -> Scenario.t -> Scenario.t
 (** Full pipeline: shrink the event stream, then the window set
     (removal, then family degradation), then the events once more (a
     smaller window set often unlocks further stream reduction), then
-    the shard count and batch size. *)
+    the shard count, batch size and memory budget. *)

@@ -74,9 +74,9 @@ let explain t =
   add "rewritten plan:@.%s@." (trill t);
   Buffer.contents buf
 
-let execute ?metrics ?mode ?trace t ~horizon events =
-  Fw_engine.Run.execute ?metrics ?mode ?trace (optimized_plan t) ~horizon
-    events
+let execute ?metrics ?mode ?trace ?spill t ~horizon events =
+  Fw_engine.Run.execute ?metrics ?mode ?trace ?spill (optimized_plan t)
+    ~horizon events
 
 let verify t ~horizon events =
   match

@@ -44,6 +44,7 @@ val execute :
   ?metrics:Fw_engine.Metrics.t ->
   ?mode:Fw_engine.Stream_exec.mode ->
   ?trace:Fw_obs.Trace.t ->
+  ?spill:Fw_spill.Pool.t ->
   t ->
   horizon:int ->
   Fw_engine.Event.t list ->
@@ -52,7 +53,8 @@ val execute :
     recording registry (fresh by default; pass a served one for live
     scraping); [mode] selects the executor path (default
     {!Fw_engine.Stream_exec.Naive}); [trace] attaches a span trace to
-    the run's metrics. *)
+    the run's metrics; [spill] bounds the executor's resident keyed
+    state (see {!Fw_engine.Stream_exec.create}). *)
 
 val verify :
   t -> horizon:int -> Fw_engine.Event.t list -> (unit, string) result

@@ -27,6 +27,7 @@ val execute :
   ?metrics:Metrics.t ->
   ?mode:Stream_exec.mode ->
   ?trace:Fw_obs.Trace.t ->
+  ?spill:Fw_spill.Pool.t ->
   Fw_plan.Plan.t ->
   horizon:int ->
   Event.t list ->
@@ -35,7 +36,8 @@ val execute :
     into (fresh by default) — pass one whose registry is already being
     served ({!Fw_obs.Scrape}) to watch the run live.  [trace] attaches
     a span trace before the executor is built so every activation is
-    recorded. *)
+    recorded.  [spill] runs the executor's keyed state under a memory
+    budget (see {!Stream_exec.create}); the pool stays caller-owned. *)
 
 val verify_against_naive :
   Fw_plan.Plan.t -> horizon:int -> Event.t list -> (unit, string) result

@@ -8,6 +8,9 @@ module Plan = Fw_plan.Plan
 module Validate = Fw_plan.Validate
 module Counter = Fw_obs.Counter
 module Clock = Fw_obs.Clock
+module Store = Fw_spill.Store
+module Bin = Fw_spill.Bin
+module Bincodec = Fw_agg.Bincodec
 
 exception Late_event of Event.t
 
@@ -40,16 +43,35 @@ module Fire_key = struct
 end
 
 module Pending = Map.Make (Fire_key)
+module Imap = Map.Make (Int)
+
+(* Resident fire index: the (hi, key) pairs with a pending instance,
+   kept out of the spill store so a watermark sweep never faults keys
+   that have nothing due.  For hop windows [lo = hi - range] always, so
+   ascending (hi, key) is exactly the historical ascending
+   (hi, lo, key) fire order. *)
+module Fset = Set.Make (struct
+  type t = int * string
+
+  let compare (h1, k1) (h2, k2) =
+    match Int.compare h1 h2 with 0 -> String.compare k1 k2 | c -> c
+end)
 
 (* Per-instance execution state: every event is folded into all pending
    instances containing it (O(r/s) work per event) and an instance's
    state is complete when it fires.  This is the cost the paper's model
    prices, and the only path that supports holistic aggregates and
-   sub-aggregate (window-over-window) inputs. *)
+   sub-aggregate (window-over-window) inputs.
+
+   The per-key map of pending instances (keyed by instance [hi]) lives
+   in a {!Fw_spill.Store}: resident by default, spillable to disk under
+   a memory budget. *)
 type win_state = {
   window : Window.t;
-  mutable pending : (Combine.state * int) Pending.t;
-      (** sub-aggregate state and the number of items folded into it *)
+  w_keys : (Combine.state * int) Imap.t Store.t;
+      (** per key: sub-aggregate state and the number of items folded
+          into it, per pending instance (keyed by instance [hi]) *)
+  mutable w_fire : Fset.t;
   mutable wm : int;
 }
 
@@ -63,11 +85,9 @@ type pane_state = {
   k : int;  (** panes per instance: r / s *)
   open_pane : Pane.t;  (** accumulates pane [cur_pane*s, (cur_pane+1)*s) *)
   mutable cur_pane : int;
-  queues : (string, Swag.t) Hashtbl.t;
+  queues : Swag.t Store.t;
   mutable p_wm : int;
 }
-
-module Imap = Map.Make (Int)
 
 (* Count-window (ROWS frame) execution state: instance [m] of key [k]
    covers that key's event {e ordinals} [[m·s, m·s + r)], so the
@@ -88,7 +108,7 @@ type cwin_key = {
 
 type cwin_state = {
   c_window : Window.t;
-  c_keys : (string, cwin_key) Hashtbl.t;
+  c_keys : cwin_key Store.t;
 }
 
 (* Session-window execution state: one open (growable) session per key
@@ -108,11 +128,85 @@ type open_session = {
 type session_state = {
   s_window : Window.t;
   s_gap : int;
-  s_open : (string, open_session) Hashtbl.t;
+  s_open : open_session Store.t;
+  mutable s_deadlines : Fset.t;
+      (** resident index of (last + gap, key) per open session, so a
+          watermark sweep faults in only the keys actually expiring *)
   mutable s_pending : (Combine.state * int) Pending.t;
       (** rotated/expired sessions, keyed {hi = last + gap; lo = first} *)
   mutable s_wm : int;
 }
+
+(* --- spill codecs for operator state -------------------------------- *)
+
+(* Serializers for the per-key values the engine stores: evicted
+   entries are written with exactly these (floats as IEEE bit
+   patterns), so a faulted entry is bit-identical to the evicted one.
+   Weights are resident-size estimates that drive eviction accounting
+   only, never results. *)
+
+let w_instances b im =
+  Bin.w_list b
+    (fun b (hi, (state, items)) ->
+      Bin.w_i64 b hi;
+      Bincodec.w_state b state;
+      Bin.w_i64 b items)
+    (Imap.bindings im)
+
+let r_instances r =
+  List.fold_left
+    (fun acc (hi, st, items) -> Imap.add hi (st, items) acc)
+    Imap.empty
+    (Bin.r_list r (fun r ->
+         let hi = Bin.r_i64 r in
+         let st = Bincodec.r_state r in
+         let items = Bin.r_i64 r in
+         (hi, st, items)))
+
+let instances_weight im =
+  Imap.fold (fun _ (st, _) acc -> acc + 64 + Bincodec.state_weight st) im 48
+
+let win_codec : (Combine.state * int) Imap.t Store.codec =
+  {
+    Store.kind = Bincodec.kind_win;
+    enc = w_instances;
+    dec = r_instances;
+    weight = instances_weight;
+  }
+
+let cwin_codec : cwin_key Store.codec =
+  {
+    Store.kind = Bincodec.kind_cwin;
+    enc =
+      (fun b kc ->
+        Bin.w_i64 b kc.seen;
+        w_instances b kc.kpend);
+    dec =
+      (fun r ->
+        let seen = Bin.r_i64 r in
+        let kpend = r_instances r in
+        { seen; kpend });
+    weight = (fun kc -> 16 + instances_weight kc.kpend);
+  }
+
+let session_codec : open_session Store.codec =
+  {
+    Store.kind = Bincodec.kind_session;
+    enc =
+      (fun b os ->
+        Bin.w_i64 b os.s_first;
+        Bin.w_i64 b os.s_last;
+        Bincodec.w_state b os.s_state;
+        Bin.w_i64 b os.s_items);
+    dec =
+      (fun r ->
+        let s_first = Bin.r_i64 r in
+        let s_last = Bin.r_i64 r in
+        let s_state = Bincodec.r_state r in
+        let s_items = Bin.r_i64 r in
+        { s_first; s_last; s_state; s_items });
+    weight = (fun os -> 64 + Bincodec.state_weight os.s_state);
+  }
 
 (* Flat operator-state array: one cell per plan node, dispatched with a
    single match in [deliver] instead of an array of closures. *)
@@ -129,6 +223,9 @@ type t = {
   plan : Plan.t;
   agg : Aggregate.t;
   mode : mode;
+  spill : Fw_spill.Pool.t option;
+      (** memory-budget pool shared by every operator store (owned by
+          the caller, never closed here); [None] = all-resident *)
   metrics : Metrics.t;
   states : node_state array;
   obs : Metrics.node_stats array;  (** per-node stats, same index as states *)
@@ -264,36 +361,53 @@ and forward t id msg =
 and win_add_instance st m key state_update =
   let lo = m * Window.slide st.window in
   let hi = lo + Window.range st.window in
-  let fk = { Fire_key.hi; lo; key } in
-  st.pending <-
-    Pending.update fk
-      (function
-        | None -> Some (state_update None, 1)
-        | Some (s, items) -> Some (state_update (Some s), items + 1))
-      st.pending
+  st.w_fire <- Fset.add (hi, key) st.w_fire;
+  Store.update st.w_keys key (fun prev ->
+      let im = match prev with None -> Imap.empty | Some im -> im in
+      Imap.update hi
+        (function
+          | None -> Some (state_update None, 1)
+          | Some (s, items) -> Some (state_update (Some s), items + 1))
+        im)
+
+(* Pop the due instance [hi] of [key] out of the store: the extracted
+   state is an immutable value, so it can be forwarded after the store
+   operations complete — no pin needed. *)
+and win_extract st key hi =
+  match Store.find st.w_keys key with
+  | None -> invalid_arg "Stream_exec: fire index out of sync with store"
+  | Some im ->
+      let entry = Imap.find hi im in
+      let im' = Imap.remove hi im in
+      if Imap.is_empty im' then Store.remove st.w_keys key
+      else Store.set st.w_keys key im';
+      entry
 
 and win_fire t id st wm =
   (* Cheap emptiness probe first: the clock and the counters only move
-     when at least one instance actually fires. *)
-  match Pending.min_binding_opt st.pending with
-  | Some (fk0, _) when fk0.Fire_key.hi <= wm ->
+     when at least one instance actually fires.  The probe reads the
+     resident fire index, so a watermark that fires nothing touches no
+     spilled state. *)
+  match Fset.min_elt_opt st.w_fire with
+  | Some (hi0, _) when hi0 <= wm ->
       let ns = t.obs.(id) in
       let sampled = t.observe && ns.Metrics.activations land t.sample_mask = 0 in
       ns.Metrics.activations <- ns.Metrics.activations + 1;
       let t0 = if sampled then Clock.now_ns () else 0 in
       let fired = ref 0 and items_tot = ref 0 in
       let rec go () =
-        match Pending.min_binding_opt st.pending with
-        | Some (fk, (state, items)) when fk.Fire_key.hi <= wm ->
-            st.pending <- Pending.remove fk st.pending;
+        match Fset.min_elt_opt st.w_fire with
+        | Some ((hi, key) as fk) when hi <= wm ->
+            st.w_fire <- Fset.remove fk st.w_fire;
+            let state, items = win_extract st key hi in
             Metrics.record t.metrics st.window items;
             incr fired;
             items_tot := !items_tot + items;
-            let interval = Interval.make ~lo:fk.Fire_key.lo ~hi:fk.Fire_key.hi in
+            let interval =
+              Interval.make ~lo:(hi - Window.range st.window) ~hi
+            in
             forward t id
-              (Item
-                 (Sub
-                    { window = st.window; interval; key = fk.Fire_key.key; state }));
+              (Item (Sub { window = st.window; interval; key; state }));
             go ()
         | Some _ | None -> ()
       in
@@ -341,7 +455,10 @@ and fire_pane t id ps m =
   let items = ref 0 in
   let evicted = ref 0 in
   let dead = ref [] in
-  Hashtbl.iter
+  (* [Store.iter] pins the visited entry, so the in-place [Swag.slide]
+     and the downstream delivery (which may touch other stores of the
+     same pool) can never race an eviction of the queue being slid. *)
+  Store.iter
     (fun key q ->
       let before = Swag.length q in
       let answer = Swag.slide q ~below:m in
@@ -353,7 +470,7 @@ and fire_pane t id ps m =
           forward t id
             (Item (Sub { window = ps.p_window; interval; key; state })))
     ps.queues;
-  List.iter (Hashtbl.remove ps.queues) !dead;
+  List.iter (Store.remove ps.queues) !dead;
   if t.observe then begin
     let ns = t.obs.(id) in
     Counter.add ns.Metrics.swag_evictions !evicted;
@@ -378,15 +495,9 @@ and pane_roll t id ps ~upto =
       if not (Pane.is_empty ps.open_pane) then begin
         Pane.iter
           (fun key state ->
-            let q =
-              match Hashtbl.find_opt ps.queues key with
-              | Some q -> q
-              | None ->
-                  let q = Swag.create t.agg in
-                  Hashtbl.replace ps.queues key q;
-                  q
-            in
-            Swag.push q ~idx:p state)
+            Store.pinned ps.queues key
+              ~init:(fun () -> Swag.create t.agg)
+              (fun q -> Swag.push q ~idx:p state))
           ps.open_pane;
         Pane.clear ps.open_pane;
         incr flushed
@@ -426,13 +537,14 @@ and pane_deliver t id ps msg =
 
 (* --- count-window (ROWS frame) operator ----------------------------- *)
 
-and cwin_key_state st key =
-  match Hashtbl.find_opt st.c_keys key with
-  | Some kc -> kc
-  | None ->
-      let kc = { seen = 0; kpend = Imap.empty } in
-      Hashtbl.replace st.c_keys key kc;
-      kc
+(* All access to a key's tracker happens under a pin: the callback
+   mutates [kc] in place and [cwin_fire] forwards downstream mid-access
+   (which may touch other stores of the same pool), so the tracker must
+   not be evictable while the callback runs. *)
+and cwin_with_key st key f =
+  Store.pinned st.c_keys key
+    ~init:(fun () -> { seen = 0; kpend = Imap.empty })
+    f
 
 and cwin_fold st kc m state_update =
   let hi = (m * Window.slide st.c_window) + Window.range st.c_window in
@@ -478,16 +590,17 @@ and cwin_deliver t id st msg =
       (* Sub intervals live in the same per-key ordinal space: fold
          into every enclosing downstream instance, then advance the
          key's high-water to the sub's end. *)
-      let kc = cwin_key_state st key in
-      List.iter
-        (fun m ->
-          cwin_fold st kc m (function
-            | None -> state
-            | Some s -> Combine.merge s state))
-        (instances_enclosing st.c_window ~lo:(Interval.lo interval)
-           ~hi:(Interval.hi interval));
-      if Interval.hi interval > kc.seen then kc.seen <- Interval.hi interval;
-      cwin_fire t id st key kc ~upto:kc.seen
+      cwin_with_key st key (fun kc ->
+          List.iter
+            (fun m ->
+              cwin_fold st kc m (function
+                | None -> state
+                | Some s -> Combine.merge s state))
+            (instances_enclosing st.c_window ~lo:(Interval.lo interval)
+               ~hi:(Interval.hi interval));
+          if Interval.hi interval > kc.seen then
+            kc.seen <- Interval.hi interval;
+          cwin_fire t id st key kc ~upto:kc.seen)
   | Watermark w ->
       (* count instances are watermark-free; punctuation passes through
          for any time-domain consumers downstream of the union *)
@@ -498,40 +611,60 @@ and cwin_deliver t id st msg =
 (* Rotate [key]'s open session into the pending (deadline-ordered)
    map. *)
 and session_rotate st key os =
-  Hashtbl.remove st.s_open key;
+  st.s_deadlines <- Fset.remove (os.s_last + st.s_gap, key) st.s_deadlines;
+  Store.remove st.s_open key;
   let fk = { Fire_key.hi = os.s_last + st.s_gap; lo = os.s_first; key } in
   st.s_pending <- Pending.add fk (os.s_state, os.s_items) st.s_pending
 
 (* An event at [tm] joins its key's open session iff it lands strictly
    before the session's deadline [last + gap]; otherwise the old
    session is rotated out and a fresh one opens.  Purely event-driven:
-   no watermark can change this decision. *)
+   no watermark can change this decision.  The find → mutate → [set]
+   sequence follows the store contract; the deadline index tracks every
+   [s_last] move. *)
 and session_add t st key tm value =
-  match Hashtbl.find_opt st.s_open key with
+  match Store.find st.s_open key with
   | Some os when tm < os.s_last + st.s_gap ->
-      if tm > os.s_last then os.s_last <- tm;
+      if tm > os.s_last then begin
+        st.s_deadlines <-
+          Fset.remove (os.s_last + st.s_gap, key) st.s_deadlines;
+        os.s_last <- tm;
+        st.s_deadlines <- Fset.add (tm + st.s_gap, key) st.s_deadlines
+      end;
       os.s_state <- Combine.add os.s_state value;
-      os.s_items <- os.s_items + 1
+      os.s_items <- os.s_items + 1;
+      Store.set st.s_open key os
   | prev ->
       (match prev with Some os -> session_rotate st key os | None -> ());
-      Hashtbl.replace st.s_open key
+      Store.set st.s_open key
         {
           s_first = tm;
           s_last = tm;
           s_state = Combine.of_value t.agg value;
           s_items = 1;
-        }
+        };
+      st.s_deadlines <- Fset.add (tm + st.s_gap, key) st.s_deadlines
 
 (* Watermark [wm]: first expire open sessions whose deadline passed
    (no future event has time < wm, so they can never be joined again),
    then emit every pending session whose deadline is due, in ascending
-   (deadline, first, key) order. *)
+   (deadline, first, key) order.  Expiry walks the resident deadline
+   index, so only the keys actually expiring are faulted in — a
+   watermark sweep over a mostly-idle key space touches no spilled
+   state. *)
 and session_advance t id st wm =
-  let dead = ref [] in
-  Hashtbl.iter
-    (fun key os -> if os.s_last + st.s_gap <= wm then dead := (key, os) :: !dead)
-    st.s_open;
-  List.iter (fun (key, os) -> session_rotate st key os) !dead;
+  let rec expire () =
+    match Fset.min_elt_opt st.s_deadlines with
+    | Some ((dl, key) as e) when dl <= wm ->
+        (match Store.find st.s_open key with
+        | Some os when os.s_last + st.s_gap = dl -> session_rotate st key os
+        | Some _ | None ->
+            (* defensive: a stale index entry must not loop forever *)
+            st.s_deadlines <- Fset.remove e st.s_deadlines);
+        expire ()
+    | Some _ | None -> ()
+  in
+  expire ();
   match Pending.min_binding_opt st.s_pending with
   | Some (fk0, _) when fk0.Fire_key.hi <= wm ->
       let ns = t.obs.(id) in
@@ -578,7 +711,7 @@ and session_deliver t id st msg =
 (* --- construction --------------------------------------------------- *)
 
 let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
-    plan =
+    ?spill plan =
   (match Validate.check plan with
   | [] -> ()
   | errors ->
@@ -633,7 +766,11 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
                   {
                     s_window = window;
                     s_gap = gap;
-                    s_open = Hashtbl.create 16;
+                    s_open =
+                      Store.create ?pool:spill
+                        ~name:(Printf.sprintf "n%d-session" id)
+                        session_codec;
+                    s_deadlines = Fset.empty;
                     s_pending = Pending.empty;
                     s_wm = 0;
                   }
@@ -644,7 +781,14 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
                 if mode = Incremental then
                   Metrics.record_fallback metrics ~id ~window
                     ~reason:"count-window";
-                N_cwin { c_window = window; c_keys = Hashtbl.create 16 }
+                N_cwin
+                  {
+                    c_window = window;
+                    c_keys =
+                      Store.create ?pool:spill
+                        ~name:(Printf.sprintf "n%d-cwin" id)
+                        cwin_codec;
+                  }
             | Window.Hop { domain = Window.Time; _ } ->
                 if mode = Incremental && panes_apply window then
                   N_pane
@@ -652,9 +796,12 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
                       p_window = window;
                       slide = Window.slide window;
                       k = Window.k_ratio window;
-                      open_pane = Pane.create agg;
+                      open_pane = Pane.create ?pool:spill agg;
                       cur_pane = 0;
-                      queues = Hashtbl.create 16;
+                      queues =
+                        Store.create ?pool:spill
+                          ~name:(Printf.sprintf "n%d-queues" id)
+                          (Bincodec.swag_codec agg);
                       p_wm = 0;
                     }
                 else begin
@@ -663,7 +810,16 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
                     | Some reason ->
                         Metrics.record_fallback metrics ~id ~window ~reason
                     | None -> ());
-                  N_win { window; pending = Pending.empty; wm = 0 }
+                  N_win
+                    {
+                      window;
+                      w_keys =
+                        Store.create ?pool:spill
+                          ~name:(Printf.sprintf "n%d-win" id)
+                          win_codec;
+                      w_fire = Fset.empty;
+                      wm = 0;
+                    }
                 end))
       nodes
   in
@@ -699,6 +855,7 @@ let create ?(metrics = Metrics.create ()) ?(mode = Naive) ?(observe = true)
     plan;
     agg;
     mode;
+    spill;
     metrics;
     states;
     obs;
@@ -765,13 +922,27 @@ let export ?(rows = true) t =
     match st with
     | N_forward | N_filter _ | N_union _ -> X_stateless
     | N_win w ->
+        (* Folding the store faults every spilled key back in, so the
+           export is self-contained — snapshots never reference spill
+           files.  [lo = hi - range] for every pending instance, and
+           sorting by (hi, key) reproduces the historical ascending
+           (hi, lo, key) order exactly. *)
+        let range = Window.range w.window in
         X_win
           {
             x_pending =
-              List.map
-                (fun (fk, (state, items)) ->
-                  (fk.Fire_key.hi, fk.Fire_key.lo, fk.Fire_key.key, state, items))
-                (Pending.bindings w.pending);
+              List.sort
+                (fun (h1, _, k1, _, _) (h2, _, k2, _, _) ->
+                  match Int.compare h1 h2 with
+                  | 0 -> String.compare k1 k2
+                  | c -> c)
+                (Store.fold
+                   (fun key im acc ->
+                     Imap.fold
+                       (fun hi (state, items) acc ->
+                         (hi, hi - range, key, state, items) :: acc)
+                       im acc)
+                   w.w_keys []);
             x_wm = w.wm;
           }
     | N_pane ps ->
@@ -783,7 +954,7 @@ let export ?(rows = true) t =
             x_queues =
               List.sort
                 (fun (a, _) (b, _) -> String.compare a b)
-                (Hashtbl.fold
+                (Store.fold
                    (fun k q acc -> (k, Swag.export q) :: acc)
                    ps.queues []);
           }
@@ -793,7 +964,7 @@ let export ?(rows = true) t =
             xc_keys =
               List.sort
                 (fun (a, _, _) (b, _, _) -> String.compare a b)
-                (Hashtbl.fold
+                (Store.fold
                    (fun key kc acc ->
                      ( key,
                        kc.seen,
@@ -809,7 +980,7 @@ let export ?(rows = true) t =
             xs_open =
               List.sort
                 (fun (a, _, _, _, _) (b, _, _, _, _) -> String.compare a b)
-                (Hashtbl.fold
+                (Store.fold
                    (fun key os acc ->
                      (key, os.s_first, os.s_last, os.s_state, os.s_items)
                      :: acc)
@@ -829,8 +1000,8 @@ let export ?(rows = true) t =
     x_nodes = Array.map node_x t.states;
   }
 
-let import ?metrics ?observe plan x =
-  let t = create ?metrics ~mode:x.x_mode ?observe plan in
+let import ?metrics ?observe ?spill plan x =
+  let t = create ?metrics ~mode:x.x_mode ?observe ?spill plan in
   if Array.length t.states <> Array.length x.x_nodes then
     invalid_arg
       "Stream_exec.import: node count mismatch (snapshot from a different \
@@ -841,15 +1012,19 @@ let import ?metrics ?observe plan x =
       | (N_forward | N_filter _ | N_union _), X_stateless -> ()
       | N_win st, X_win { x_pending; x_wm } ->
           st.wm <- x_wm;
-          st.pending <-
-            List.fold_left
-              (fun acc (hi, lo, key, state, items) ->
-                Pending.add { Fire_key.hi; lo; key } (state, items) acc)
-              Pending.empty x_pending
-      | N_pane ps, X_pane { x_cur_pane; x_p_wm; x_open_pane; x_queues } ->
-          let queues = Hashtbl.create 16 in
           List.iter
-            (fun (k, xq) -> Hashtbl.replace queues k (Swag.import t.agg xq))
+            (fun (hi, _lo, key, state, items) ->
+              st.w_fire <- Fset.add (hi, key) st.w_fire;
+              Store.update st.w_keys key (fun prev ->
+                  let im =
+                    match prev with None -> Imap.empty | Some im -> im
+                  in
+                  Imap.add hi (state, items) im))
+            x_pending
+      | N_pane ps, X_pane { x_cur_pane; x_p_wm; x_open_pane; x_queues } ->
+          List.iter
+            (fun (k, xq) ->
+              Store.set ps.queues k (Swag.import t.agg xq))
             x_queues;
           t.states.(id) <-
             N_pane
@@ -857,14 +1032,13 @@ let import ?metrics ?observe plan x =
                 ps with
                 cur_pane = x_cur_pane;
                 p_wm = x_p_wm;
-                open_pane = Pane.import t.agg x_open_pane;
-                queues;
+                open_pane = Pane.import ?pool:t.spill t.agg x_open_pane;
               }
       | N_cwin st, X_cwin { xc_keys } ->
-          Hashtbl.reset st.c_keys;
+          Store.clear st.c_keys;
           List.iter
             (fun (key, seen, pend) ->
-              Hashtbl.replace st.c_keys key
+              Store.set st.c_keys key
                 {
                   seen;
                   kpend =
@@ -875,11 +1049,13 @@ let import ?metrics ?observe plan x =
                 })
             xc_keys
       | N_session st, X_session { xs_open; xs_pending; xs_wm } ->
-          Hashtbl.reset st.s_open;
+          Store.clear st.s_open;
+          st.s_deadlines <- Fset.empty;
           List.iter
             (fun (key, s_first, s_last, s_state, s_items) ->
-              Hashtbl.replace st.s_open key
-                { s_first; s_last; s_state; s_items })
+              Store.set st.s_open key { s_first; s_last; s_state; s_items };
+              st.s_deadlines <-
+                Fset.add (s_last + st.s_gap, key) st.s_deadlines)
             xs_open;
           st.s_pending <-
             List.fold_left
@@ -994,20 +1170,20 @@ and bcwin_add t id st b sel lo hi =
   let r = Window.range st.c_window and s = Window.slide st.c_window in
   for i = lo to hi - 1 do
     let j = sel.(i) in
-    let kc = cwin_key_state st keys.(j) in
-    let n = kc.seen in
-    kc.seen <- n + 1;
-    let v = values.(j) in
-    let hi_m = n / s in
-    let lo_m = if n < r then 0 else ((n - r) / s) + 1 in
-    for m = lo_m to hi_m do
-      let l = m * s in
-      if l <= n && n < l + r then
-        cwin_fold st kc m (function
-          | None -> Combine.of_value t.agg v
-          | Some st' -> Combine.add st' v)
-    done;
-    cwin_fire t id st keys.(j) kc ~upto:kc.seen
+    cwin_with_key st keys.(j) (fun kc ->
+        let n = kc.seen in
+        kc.seen <- n + 1;
+        let v = values.(j) in
+        let hi_m = n / s in
+        let lo_m = if n < r then 0 else ((n - r) / s) + 1 in
+        for m = lo_m to hi_m do
+          let l = m * s in
+          if l <= n && n < l + r then
+            cwin_fold st kc m (function
+              | None -> Combine.of_value t.agg v
+              | Some st' -> Combine.add st' v)
+        done;
+        cwin_fire t id st keys.(j) kc ~upto:kc.seen)
   done
 
 (* Session fold of a run: join/rotate per event (order-dependent but
@@ -1123,8 +1299,8 @@ let close t ~horizon =
   t.closed <- true;
   Row.sort (Vec.to_list t.rows)
 
-let run ?metrics ?mode ?observe plan ~horizon events =
-  let t = create ?metrics ?mode ?observe plan in
+let run ?metrics ?mode ?observe ?spill plan ~horizon events =
+  let t = create ?metrics ?mode ?observe ?spill plan in
   List.iter
     (fun e -> if e.Event.time < horizon then feed t e)
     (Event.sort events);

@@ -65,9 +65,23 @@ type mode = Naive | Incremental
 type t
 
 val create :
-  ?metrics:Metrics.t -> ?mode:mode -> ?observe:bool -> Fw_plan.Plan.t -> t
+  ?metrics:Metrics.t ->
+  ?mode:mode ->
+  ?observe:bool ->
+  ?spill:Fw_spill.Pool.t ->
+  Fw_plan.Plan.t ->
+  t
 (** Raises [Invalid_argument] if the plan fails {!Fw_plan.Validate}.
-    [mode] defaults to {!Naive}; [observe] defaults to [true]. *)
+    [mode] defaults to {!Naive}; [observe] defaults to [true].
+
+    [spill] attaches a memory-budget pool: every operator's per-key
+    state (pending window instances, pane sliding queues, count-window
+    trackers, open sessions) then lives in budgeted
+    {!Fw_spill.Store}s whose cold entries may be evicted to disk and
+    faulted back in bit-identical on access — rows and cost-model
+    counters are unaffected (the differential fuzzer's [spilled] path
+    byte-compares them).  The pool is owned by the caller and must
+    outlive the executor. *)
 
 val feed : t -> Event.t -> unit
 (** Push one event; may trigger window firings for instances that the
@@ -113,6 +127,7 @@ val run :
   ?metrics:Metrics.t ->
   ?mode:mode ->
   ?observe:bool ->
+  ?spill:Fw_spill.Pool.t ->
   Fw_plan.Plan.t ->
   horizon:int ->
   Event.t list ->
@@ -180,12 +195,19 @@ val row_count : t -> int
 val row : t -> int -> Row.t
 
 val import :
-  ?metrics:Metrics.t -> ?observe:bool -> Fw_plan.Plan.t -> export -> t
+  ?metrics:Metrics.t ->
+  ?observe:bool ->
+  ?spill:Fw_spill.Pool.t ->
+  Fw_plan.Plan.t ->
+  export ->
+  t
 (** Rebuild an executor from an export.  The plan must be the one the
     export was taken from (the snapshot codec guards this with a plan
     fingerprint); raises [Invalid_argument] on a node-shape mismatch.
     Counters in [metrics] are {e not} restored here — the caller
-    replays them (see {!Fw_snap.Recover}). *)
+    replays them (see {!Fw_snap.Recover}).  [spill] as in {!create};
+    an export is always self-contained (spilled entries are re-absorbed
+    at {!export} time), so recovery never reads spill files. *)
 
 (** {2 Instance arithmetic}
 

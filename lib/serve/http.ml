@@ -24,13 +24,22 @@ let json_of_registered (r : Server.registered) =
     r.Server.r_id r.Server.r_cached r.Server.r_shared r.Server.r_group
     r.Server.r_windows
 
+let json_of_spill = function
+  | None -> "null"
+  | Some (s : Server.spill_info) ->
+      Printf.sprintf
+        {|{"budget":%d,"resident_bytes":%d,"resident_keys":%d,"disk_bytes":%d}|}
+        s.Server.s_budget s.Server.s_resident_bytes s.Server.s_resident_keys
+        s.Server.s_disk_bytes
+
 let json_of_info (i : Server.query_info) =
   Printf.sprintf
-    {|{"id":%d,"tenant":%s,"text":%s,"group":%d,"shared":%b,"windows":%d,"rows":%d}|}
+    {|{"id":%d,"tenant":%s,"text":%s,"group":%d,"shared":%b,"windows":%d,"rows":%d,"spill":%s}|}
     i.Server.i_id
     (Export.json_string i.Server.i_tenant)
     (Export.json_string i.Server.i_text)
     i.Server.i_group i.Server.i_shared i.Server.i_windows i.Server.i_rows
+    (json_of_spill i.Server.i_spill)
 
 let segments path =
   List.filter (fun s -> s <> "") (String.split_on_char '/' path)

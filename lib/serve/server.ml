@@ -23,6 +23,7 @@ type config = {
   cache_capacity : int;
   state_dir : string option;
   every : int;
+  memory_budget : int option;
 }
 
 let default_config =
@@ -36,7 +37,14 @@ let default_config =
     cache_capacity = 128;
     state_dir = None;
     every = 1000;
+    memory_budget = None;
   }
+
+(* The smallest per-group slice of --memory-budget worth running under:
+   below this an engine would thrash every access through the spill
+   file.  A registration that would create one group too many for the
+   budget is refused at admission (HTTP 429). *)
+let min_group_budget = 64 * 1024
 
 type reject =
   | Closed
@@ -58,6 +66,13 @@ type registered = {
   r_windows : int;
 }
 
+type spill_info = {
+  s_budget : int;  (** the group's current share of --memory-budget *)
+  s_resident_bytes : int;
+  s_resident_keys : int;
+  s_disk_bytes : int;
+}
+
 type query_info = {
   i_id : int;
   i_tenant : string;
@@ -66,6 +81,7 @@ type query_info = {
   i_shared : bool;
   i_windows : int;
   i_rows : int;
+  i_spill : spill_info option;
 }
 
 type query = {
@@ -90,6 +106,7 @@ type group = {
   mutable g_union : Window.t list;  (* window set g_plan was planned for *)
   mutable g_frozen : bool;  (* engine started: the plan may not change *)
   mutable g_engine : engine option;
+  mutable g_spill : Fw_spill.Pool.t option;  (* with the engine, budgeted *)
   mutable g_drained : int;  (* engine rows copied into member taps *)
 }
 
@@ -251,16 +268,54 @@ let drain_group t g =
 
 let drain_all t = List.iter (drain_group t) t.groups
 
+(* Every budgeted group runs under its own pool (the engines share one
+   accept domain, but per-group pools keep the series and the spill
+   files apart); the configured budget is split evenly across the pools
+   that exist, re-split whenever one comes or goes. *)
+let rebalance_pools t =
+  match t.cfg.memory_budget with
+  | None -> ()
+  | Some total -> (
+      match List.filter_map (fun g -> g.g_spill) t.groups with
+      | [] -> ()
+      | pools ->
+          let share = total / List.length pools in
+          List.iter (fun p -> Fw_spill.Pool.set_budget p share) pools)
+
+let ensure_pool t g =
+  match (g.g_spill, t.cfg.memory_budget) with
+  | Some _, _ | _, None -> ()
+  | None, Some total ->
+      g.g_spill <-
+        Some
+          (Fw_spill.Pool.create ~registry:t.registry
+             ~labels:[ ("group", string_of_int g.g_id) ]
+             ~budget:total ());
+      rebalance_pools t
+
+let drop_pool t g =
+  match g.g_spill with
+  | None -> ()
+  | Some p ->
+      g.g_spill <- None;
+      Fw_spill.Pool.close p;
+      rebalance_pools t
+
 let ensure_engine t g =
   if not (Option.is_some g.g_engine) then begin
+    ensure_pool t g;
     let e =
       match t.cfg.state_dir with
       | Some sd ->
           E_durable
             (Checkpoint.create
                ~dir:(group_dir sd g.g_id)
-               ~every:t.cfg.every ~mode:(mode t) ~observe:false g.g_plan)
-      | None -> E_direct (Stream_exec.create ~mode:(mode t) ~observe:false g.g_plan)
+               ~every:t.cfg.every ~mode:(mode t) ~observe:false
+               ?spill:g.g_spill g.g_plan)
+      | None ->
+          E_direct
+            (Stream_exec.create ~mode:(mode t) ~observe:false ?spill:g.g_spill
+               g.g_plan)
     in
     g.g_engine <- Some e;
     g.g_frozen <- true;
@@ -309,6 +364,7 @@ let new_group t ~key ~plan ~windows =
       g_union = windows;
       g_frozen = false;
       g_engine = None;
+      g_spill = None;
       g_drained = 0;
     }
   in
@@ -367,8 +423,31 @@ let do_register t ~id ~from_recorded ~tenant text =
             let key = Share.key_of compiled.Fw_sql.Compile.analysis in
             let plan = compiled.Fw_sql.Compile.outcome.Rewrite.plan in
             let exposed = Plan.exposed_windows plan in
+            let placement = place t ~key ~plan ~windows:exposed in
+            let budget_blocks =
+              (* one more group would shrink every pool's share below
+                 the floor; joins add no pool, so they always fit.
+                 Replay skips the check: those groups were admitted. *)
+              match (placement, t.cfg.memory_budget) with
+              | `New, Some total ->
+                  (not t.replaying)
+                  && total / (List.length t.groups + 1) < min_group_budget
+              | _ -> false
+            in
+            if budget_blocks then begin
+              admission_reject t "memory-budget";
+              Error
+                (Admission
+                   (Printf.sprintf
+                      "memory-budget: %d bytes across %d groups leaves less \
+                       than the %d-byte per-group floor"
+                      (Option.value t.cfg.memory_budget ~default:0)
+                      (List.length t.groups + 1)
+                      min_group_budget))
+            end
+            else
             let g, joined =
-              match place t ~key ~plan ~windows:exposed with
+              match placement with
               | `New -> (new_group t ~key ~plan ~windows:exposed, false)
               | `Join (g, replan) ->
                   (match replan with
@@ -455,10 +534,17 @@ let unregister t id =
                     rm_rf (group_dir sd g.g_id)
                 | _, Some sd -> rm_rf (group_dir sd g.g_id)
                 | _ -> ());
+                (match g.g_spill with
+                | Some p ->
+                    g.g_spill <- None;
+                    Fw_spill.Pool.close p
+                | None -> ());
                 None
               end
             end)
           t.groups;
+      (* a freed pool's share flows back to the survivors *)
+      rebalance_pools t;
       Counter.inc t.unregistered_c;
       manifest_append t (Printf.sprintf "U %d" id);
       refresh_gauges t;
@@ -468,10 +554,21 @@ let unregister t id =
 (* ---- queries over the catalog ---- *)
 
 let info_of t q =
+  let group = List.find_opt (fun g -> g.g_id = q.q_group) t.groups in
   let members =
-    match List.find_opt (fun g -> g.g_id = q.q_group) t.groups with
-    | Some g -> List.length g.g_members
-    | None -> 1
+    match group with Some g -> List.length g.g_members | None -> 1
+  in
+  let spill =
+    match group with
+    | Some { g_spill = Some p; _ } ->
+        Some
+          {
+            s_budget = Fw_spill.Pool.budget p;
+            s_resident_bytes = Fw_spill.Pool.resident_bytes p;
+            s_resident_keys = Fw_spill.Pool.resident_keys p;
+            s_disk_bytes = Fw_spill.Pool.disk_bytes p;
+          }
+    | _ -> None
   in
   {
     i_id = q.q_id;
@@ -481,6 +578,7 @@ let info_of t q =
     i_shared = members > 1;
     i_windows = List.length q.q_exposed;
     i_rows = Vec.length q.q_rows;
+    i_spill = spill;
   }
 
 let query_info t id =
@@ -572,6 +670,8 @@ let close t ~horizon =
     drain_all t;
     t.wm <- horizon;
     t.closed <- true;
+    (* taps stay readable; only the engines' scratch spill files go *)
+    List.iter (fun g -> drop_pool t g) t.groups;
     (match t.manifest with Some oc -> close_out oc | None -> ());
     t.manifest <- None;
     refresh_gauges t;
@@ -713,10 +813,12 @@ let recover_groups t sd =
     | g :: gs ->
         if not g.g_frozen then go gs
         else (
+          ensure_pool t g;
           match
             Recover.load
               ~dir:(group_dir sd g.g_id)
-              ~every:t.cfg.every ~observe:false ~mode:(mode t) g.g_plan
+              ~every:t.cfg.every ~observe:false ~mode:(mode t)
+              ?spill:g.g_spill g.g_plan
           with
           | Ok r ->
               g.g_engine <- Some (E_durable r.Recover.checkpoint);
@@ -730,6 +832,9 @@ let create ?registry cfg =
   else if cfg.tenant_quota < 1 then Error "tenant_quota must be >= 1"
   else if cfg.cache_capacity < 1 then Error "cache_capacity must be >= 1"
   else if cfg.every < 1 then Error "every must be >= 1"
+  else if
+    match cfg.memory_budget with Some b -> b < 0 | None -> false
+  then Error "memory_budget must be >= 0 bytes"
   else
     let t = make ?registry cfg in
     match cfg.state_dir with

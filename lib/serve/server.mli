@@ -40,11 +40,18 @@ type config = {
   cache_capacity : int;
   state_dir : string option;  (** durable mode when set *)
   every : int;  (** checkpoint cadence (events) in durable mode *)
+  memory_budget : int option;
+      (** total resident-state budget in bytes, split evenly across the
+          groups' {!Fw_spill.Pool}s (re-split as groups come and go).
+          A registration that would create a group whose share falls
+          below the 64 KiB floor is refused ([Admission
+          "memory-budget"] — HTTP 429). *)
 }
 
 val default_config : config
 (** eta 1, naive mode, factor windows on, sharing on, 64 queries,
-    16 per tenant, cache 128, no state dir, checkpoint every 1000. *)
+    16 per tenant, cache 128, no state dir, checkpoint every 1000,
+    no memory budget. *)
 
 type reject =
   | Closed  (** the stream was closed; terminal *)
@@ -62,6 +69,13 @@ type registered = {
   r_windows : int;
 }
 
+type spill_info = {
+  s_budget : int;  (** the group's current share of the memory budget *)
+  s_resident_bytes : int;
+  s_resident_keys : int;
+  s_disk_bytes : int;
+}
+
 type query_info = {
   i_id : int;
   i_tenant : string;
@@ -70,6 +84,9 @@ type query_info = {
   i_shared : bool;
   i_windows : int;
   i_rows : int;
+  i_spill : spill_info option;
+      (** the group's pool accounting; [None] unbudgeted or engine not
+          started *)
 }
 
 type t

@@ -35,8 +35,11 @@ type result = {
 
 let create ?metrics ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true)
     ?(extractor = Partition.by_event_key) ?(capacity = 64) ?(batch = 64)
-    ~shards plan =
+    ?budget ~shards plan =
   if batch < 1 then invalid_arg "Runner.create: batch must be >= 1";
+  (match budget with
+  | Some b when b < 0 -> invalid_arg "Runner.create: budget must be >= 0"
+  | Some _ | None -> ());
   let metrics =
     match metrics with Some m -> m | None -> Fw_engine.Metrics.create ()
   in
@@ -61,8 +64,13 @@ let create ?metrics ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true)
            ~help:"Sharding requests degraded to a single shard"
            "shard_degraded_total"));
   let queues = Array.init n (fun _ -> Spsc.create ~capacity) in
+  (* The memory budget is a whole-query bound: each shard replica gets
+     an equal slice of it. *)
+  let shard_budget = Option.map (fun b -> b / n) budget in
   let workers =
-    Array.map (fun q -> Worker.spawn ~mode ~observe plan q) queues
+    Array.map
+      (fun q -> Worker.spawn ~mode ~observe ?budget:shard_budget plan q)
+      queues
   in
   let reg = Fw_engine.Metrics.registry metrics in
   let depth_gauges =
@@ -204,10 +212,11 @@ let close t ~horizon =
       };
   }
 
-let run ?metrics ?mode ?observe ?extractor ?capacity ?batch ~shards plan
-    ~horizon events =
+let run ?metrics ?mode ?observe ?extractor ?capacity ?batch ?budget ~shards
+    plan ~horizon events =
   let t =
-    create ?metrics ?mode ?observe ?extractor ?capacity ?batch ~shards plan
+    create ?metrics ?mode ?observe ?extractor ?capacity ?batch ?budget ~shards
+      plan
   in
   (match
      List.iter

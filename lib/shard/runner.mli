@@ -67,6 +67,7 @@ val create :
   ?extractor:Partition.extractor ->
   ?capacity:int ->
   ?batch:int ->
+  ?budget:int ->
   shards:int ->
   Fw_plan.Plan.t ->
   t
@@ -74,9 +75,13 @@ val create :
     domain per effective shard.  [metrics] is the registry the combined
     accounting lands in at [close] (default: a fresh one); [capacity]
     is each ring's bound in {e messages} (default 64); [batch] the
-    events per {!Worker.Events} message (default 64).  Raises
-    [Invalid_argument] if [shards < 1], [capacity < 1] or [batch < 1],
-    or if the plan fails validation. *)
+    events per {!Worker.Events} message (default 64).  [budget] is a
+    whole-query resident-state bound in bytes: each shard runs its
+    executor under a {!Fw_spill.Pool} of [budget / shards] bytes,
+    created inside the worker domain and closed when it terminates
+    (the spill series fold into [metrics] at [close]).  Raises
+    [Invalid_argument] if [shards < 1], [capacity < 1], [batch < 1] or
+    [budget < 0], or if the plan fails validation. *)
 
 val shards : t -> int
 (** Effective shard count (1 when degraded). *)
@@ -104,6 +109,7 @@ val run :
   ?extractor:Partition.extractor ->
   ?capacity:int ->
   ?batch:int ->
+  ?budget:int ->
   shards:int ->
   Fw_plan.Plan.t ->
   horizon:int ->

@@ -7,21 +7,40 @@ type outcome = (Fw_engine.Row.t list * Fw_engine.Metrics.t, exn) result
 
 type handle = outcome Domain.t
 
-let serve ~mode ~observe plan q : outcome =
+let serve ~mode ~observe ~budget plan q : outcome =
   let metrics = Fw_engine.Metrics.create () in
   match
-    let exec = Fw_engine.Stream_exec.create ~metrics ~mode ~observe plan in
-    let rec loop () =
-      match Spsc.pop q with
-      | Batch b ->
-          Fw_engine.Stream_exec.feed_batch exec b;
-          loop ()
-      | Advance { wm; at_ns } ->
-          Fw_engine.Stream_exec.advance ~at_ns exec wm;
-          loop ()
-      | Close horizon -> Fw_engine.Stream_exec.close exec ~horizon
+    (* The spill pool — like the metrics — is created inside the worker
+       domain, so its accounting cells have a single writer; its series
+       surface in the shard's private registry and fold into the
+       combined one at the close-time merge. *)
+    let spill =
+      match budget with
+      | None -> None
+      | Some budget ->
+          Some
+            (Fw_spill.Pool.create
+               ~registry:(Fw_engine.Metrics.registry metrics)
+               ~budget ())
     in
-    loop ()
+    Fun.protect
+      ~finally:(fun () ->
+        match spill with Some p -> Fw_spill.Pool.close p | None -> ())
+      (fun () ->
+        let exec =
+          Fw_engine.Stream_exec.create ~metrics ~mode ~observe ?spill plan
+        in
+        let rec loop () =
+          match Spsc.pop q with
+          | Batch b ->
+              Fw_engine.Stream_exec.feed_batch exec b;
+              loop ()
+          | Advance { wm; at_ns } ->
+              Fw_engine.Stream_exec.advance ~at_ns exec wm;
+              loop ()
+          | Close horizon -> Fw_engine.Stream_exec.close exec ~horizon
+        in
+        loop ())
   with
   | rows -> Ok (rows, metrics)
   | exception e ->
@@ -31,7 +50,8 @@ let serve ~mode ~observe plan q : outcome =
       drain ();
       Error e
 
-let spawn ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true) plan q =
-  Domain.spawn (fun () -> serve ~mode ~observe plan q)
+let spawn ?(mode = Fw_engine.Stream_exec.Naive) ?(observe = true) ?budget plan
+    q =
+  Domain.spawn (fun () -> serve ~mode ~observe ~budget plan q)
 
 let join = Domain.join

@@ -37,11 +37,16 @@ type handle
 val spawn :
   ?mode:Fw_engine.Stream_exec.mode ->
   ?observe:bool ->
+  ?budget:int ->
   Fw_plan.Plan.t ->
   msg Spsc.t ->
   handle
 (** Spawn the shard domain.  [mode] and [observe] default as in
-    {!Fw_engine.Stream_exec.create}. *)
+    {!Fw_engine.Stream_exec.create}.  [budget] runs the shard's
+    executor under a {!Fw_spill.Pool} of that many resident bytes —
+    created inside the domain (single-writer metric cells, surfacing
+    in the shard's private registry) and closed when the worker
+    terminates. *)
 
 val join : handle -> (Fw_engine.Row.t list * Fw_engine.Metrics.t, exn) result
 (** Block until the worker terminates.  [Ok (rows, metrics)] carries

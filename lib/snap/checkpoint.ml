@@ -189,11 +189,11 @@ let make ~dir ~every ~on_punctuation ~retain ~fault ~observe ~plan ~metrics
 
 let create ~dir ?(every = 1000) ?(on_punctuation = false) ?(retain = 3)
     ?(fault = Fault.passive ()) ?metrics ?(mode = Stream_exec.Naive)
-    ?(observe = true) plan =
+    ?(observe = true) ?spill plan =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
-  let exec = Stream_exec.create ~metrics ~mode ~observe plan in
+  let exec = Stream_exec.create ~metrics ~mode ~observe ?spill plan in
   let t =
     make ~dir ~every ~on_punctuation ~retain ~fault ~observe ~plan ~metrics
       ~exec ~seq:0

@@ -37,12 +37,16 @@ val create :
   ?metrics:Fw_engine.Metrics.t ->
   ?mode:Fw_engine.Stream_exec.mode ->
   ?observe:bool ->
+  ?spill:Fw_spill.Pool.t ->
   Fw_plan.Plan.t ->
   t
 (** Fresh pipeline over an empty (or to-be-created) directory.
     [every] defaults to 1000 events, [retain] to 3 snapshots.  Raises
     [Invalid_argument] on non-positive [every]/[retain] or an invalid
-    plan. *)
+    plan.  [spill] runs the executor under a memory budget
+    ({!Fw_engine.Stream_exec.create}); snapshots re-absorb spilled
+    entries at export time, so checkpoints stay self-contained and
+    recovery never reads spill files. *)
 
 val resume :
   dir:string ->

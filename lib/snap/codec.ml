@@ -30,174 +30,57 @@ module Window = Fw_window.Window
 module Interval = Fw_window.Interval
 module Plan = Fw_plan.Plan
 
-exception Corrupt of string
+(* The byte-level primitives, CRC and log framing live in
+   {!Fw_spill.Bin} — the out-of-core state store serializes evicted
+   entries with the same machinery — and the aggregate-state encoders
+   live in {!Fw_agg.Bincodec}.  This module re-exports both; the byte
+   format is unchanged. *)
+module Bin = Fw_spill.Bin
+module Bincodec = Fw_agg.Bincodec
 
-let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+exception Corrupt = Bin.Corrupt
+
+let corrupt = Bin.corrupt
 
 (* v2: windows carry a family tag byte (time hop / count hop /
    session) and node exports add the count-window (tag 3) and
    session-window (tag 4) operator states. *)
 let version = 2
 let magic = "FWSNAP"
-
-(* --- CRC-32 (IEEE 802.3, polynomial 0xEDB88320) -------------------- *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32_sub s pos len =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  for i = pos to pos + len - 1 do
-    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
-  done;
-  !c lxor 0xFFFFFFFF
-
-let crc32 s = crc32_sub s 0 (String.length s)
+let crc32_sub = Bin.crc32_sub
+let crc32 = Bin.crc32
 
 (* --- writer primitives --------------------------------------------- *)
 
-let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
-let w_u16 b n = Buffer.add_int16_le b n
-let w_u32 b n = Buffer.add_int32_le b (Int32.of_int n)
-let w_i64 b n = Buffer.add_int64_le b (Int64.of_int n)
-let w_raw64 b n = Buffer.add_int64_le b n
-let w_float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
-
-let w_string b s =
-  w_i64 b (String.length s);
-  Buffer.add_string b s
-
-let w_list b f xs =
-  w_i64 b (List.length xs);
-  List.iter (f b) xs
-
-let w_option b f = function
-  | None -> w_u8 b 0
-  | Some v ->
-      w_u8 b 1;
-      f b v
+let w_u8 = Bin.w_u8
+let w_u16 = Bin.w_u16
+let w_u32 = Bin.w_u32
+let w_i64 = Bin.w_i64
+let w_raw64 = Bin.w_raw64
+let w_float = Bin.w_float
+let w_string = Bin.w_string
+let w_list = Bin.w_list
 
 (* --- reader primitives --------------------------------------------- *)
 
-type reader = { src : string; mutable pos : int; limit : int }
+type reader = Bin.reader = { src : string; mutable pos : int; limit : int }
 
-let reader ?(pos = 0) ?limit src =
-  let limit = match limit with Some l -> l | None -> String.length src in
-  { src; pos; limit }
-
-let remaining r = r.limit - r.pos
-
-let need r n what =
-  if n < 0 || remaining r < n then
-    corrupt "truncated %s (%d bytes needed, %d available)" what n (remaining r)
-
-let r_u8 r =
-  need r 1 "byte";
-  let v = Char.code r.src.[r.pos] in
-  r.pos <- r.pos + 1;
-  v
-
-let r_u16 r =
-  need r 2 "u16";
-  let v = Char.code r.src.[r.pos] lor (Char.code r.src.[r.pos + 1] lsl 8) in
-  r.pos <- r.pos + 2;
-  v
-
-let r_u32 r =
-  need r 4 "u32";
-  let v = Int32.to_int (String.get_int32_le r.src r.pos) land 0xFFFFFFFF in
-  r.pos <- r.pos + 4;
-  v
-
-let r_raw64 r =
-  need r 8 "i64";
-  let v = String.get_int64_le r.src r.pos in
-  r.pos <- r.pos + 8;
-  v
-
-let r_i64 r = Int64.to_int (r_raw64 r)
-let r_float r = Int64.float_of_bits (r_raw64 r)
-
-let r_bool r =
-  match r_u8 r with
-  | 0 -> false
-  | 1 -> true
-  | n -> corrupt "invalid boolean byte %d" n
-
-let r_string r =
-  let len = r_i64 r in
-  need r len "string";
-  let s = String.sub r.src r.pos len in
-  r.pos <- r.pos + len;
-  s
-
-let r_list r f =
-  let n = r_i64 r in
-  (* every element occupies at least one byte, so a count beyond the
-     remaining bytes is corruption, not a large list *)
-  if n < 0 || n > remaining r then
-    corrupt "invalid list length %d (%d bytes remaining)" n (remaining r);
-  List.init n (fun _ -> f r)
-
-let r_option r f = match r_bool r with false -> None | true -> Some (f r)
+let reader = Bin.reader
+let remaining = Bin.remaining
+let need = Bin.need
+let r_u8 = Bin.r_u8
+let r_u16 = Bin.r_u16
+let r_u32 = Bin.r_u32
+let r_raw64 = Bin.r_raw64
+let r_i64 = Bin.r_i64
+let r_float = Bin.r_float
+let r_string = Bin.r_string
+let r_list = Bin.r_list
 
 (* --- aggregate state ----------------------------------------------- *)
 
-let w_state b st =
-  match Combine.view st with
-  | Combine.V_min m ->
-      w_u8 b 0;
-      w_float b m
-  | Combine.V_max m ->
-      w_u8 b 1;
-      w_float b m
-  | Combine.V_count n ->
-      w_u8 b 2;
-      w_i64 b n
-  | Combine.V_sum s ->
-      w_u8 b 3;
-      w_float b s
-  | Combine.V_avg { sum; count } ->
-      w_u8 b 4;
-      w_float b sum;
-      w_i64 b count
-  | Combine.V_stdev { count; mean; m2 } ->
-      w_u8 b 5;
-      w_i64 b count;
-      w_float b mean;
-      w_float b m2
-  | Combine.V_median vs ->
-      w_u8 b 6;
-      w_list b w_float vs
-
-let r_state r =
-  let view =
-    match r_u8 r with
-    | 0 -> Combine.V_min (r_float r)
-    | 1 -> Combine.V_max (r_float r)
-    | 2 -> Combine.V_count (r_i64 r)
-    | 3 -> Combine.V_sum (r_float r)
-    | 4 ->
-        let sum = r_float r in
-        let count = r_i64 r in
-        Combine.V_avg { sum; count }
-    | 5 ->
-        let count = r_i64 r in
-        let mean = r_float r in
-        let m2 = r_float r in
-        Combine.V_stdev { count; mean; m2 }
-    | 6 -> Combine.V_median (r_list r r_float)
-    | tag -> corrupt "unknown aggregate state tag %d" tag
-  in
-  try Combine.of_view view
-  with Invalid_argument m -> corrupt "invalid aggregate state: %s" m
+let w_state = Bincodec.w_state
+let r_state = Bincodec.r_state
 
 let state_to_string st =
   let b = Buffer.create 32 in
@@ -213,48 +96,8 @@ let state_of_string s =
 
 (* --- sliding queue / pane ------------------------------------------ *)
 
-let w_xentry b (e : Swag.xentry) =
-  w_i64 b e.Swag.x_idx;
-  w_state b e.Swag.x_state
-
-let r_xentry r =
-  let x_idx = r_i64 r in
-  let x_state = r_state r in
-  { Swag.x_idx; x_state }
-
-let w_swag b (x : Swag.export) =
-  (match x.Swag.x_repr with
-  | Swag.X_two_stacks { xfront; xback; xback_acc } ->
-      w_u8 b 0;
-      w_list b w_xentry xfront;
-      w_list b w_xentry xback;
-      w_option b w_state xback_acc
-  | Swag.X_subtractive { xentries; xacc } ->
-      w_u8 b 1;
-      w_list b w_xentry xentries;
-      w_option b w_state xacc);
-  w_i64 b x.Swag.x_evicted;
-  w_i64 b x.Swag.x_flips;
-  w_i64 b x.Swag.x_merges
-
-let r_swag r =
-  let x_repr =
-    match r_u8 r with
-    | 0 ->
-        let xfront = r_list r r_xentry in
-        let xback = r_list r r_xentry in
-        let xback_acc = r_option r r_state in
-        Swag.X_two_stacks { xfront; xback; xback_acc }
-    | 1 ->
-        let xentries = r_list r r_xentry in
-        let xacc = r_option r r_state in
-        Swag.X_subtractive { xentries; xacc }
-    | tag -> corrupt "unknown sliding-queue representation tag %d" tag
-  in
-  let x_evicted = r_i64 r in
-  let x_flips = r_i64 r in
-  let x_merges = r_i64 r in
-  { Swag.x_repr; x_evicted; x_flips; x_merges }
+let w_swag = Bincodec.w_swag
+let r_swag = Bincodec.r_swag
 
 let w_pane b (x : Pane.export) =
   w_list b
@@ -623,35 +466,8 @@ let decode_snapshot ~plan ~mode s =
    the first torn or corrupt record: a crash can leave a partial record
    at the tail, and everything before it is still good. *)
 
-let frame payload =
-  let b = Buffer.create (String.length payload + 8) in
-  w_u32 b (String.length payload);
-  Buffer.add_string b payload;
-  w_u32 b (crc32 payload);
-  Buffer.contents b
-
-let decode_frames decode s =
-  let n = String.length s in
-  let rec go pos acc =
-    if n - pos < 4 then List.rev acc
-    else
-      let r = reader ~pos s in
-      let len = r_u32 r in
-      if len <= 0 || len > n - r.pos - 4 then List.rev acc
-      else
-        let payload_pos = r.pos in
-        let crc_pos = payload_pos + len in
-        let crc = (reader ~pos:crc_pos s |> r_u32) in
-        if crc <> crc32_sub s payload_pos len then List.rev acc
-        else
-          let pr = reader ~pos:payload_pos ~limit:crc_pos s in
-          match decode pr with
-          | rec_ when remaining pr = 0 -> go (crc_pos + 4) (rec_ :: acc)
-          | _ -> List.rev acc
-          | exception Corrupt _ -> List.rev acc
-          | exception Invalid_argument _ -> List.rev acc
-  in
-  go 0 []
+let frame = Bin.frame
+let decode_frames = Bin.decode_frames
 
 (* --- write-ahead log ----------------------------------------------- *)
 

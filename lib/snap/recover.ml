@@ -99,7 +99,7 @@ let replay_segment exec path counts =
              Fw_engine.Event.pp e))
 
 let load ~dir ?every ?on_punctuation ?retain ?fault ?(observe = true)
-    ?(mode = Stream_exec.Naive) plan =
+    ?(mode = Stream_exec.Naive) ?spill plan =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     Error (Printf.sprintf "no checkpoint directory at %s" dir)
   else
@@ -158,10 +158,10 @@ let load ~dir ?every ?on_punctuation ?retain ?fault ?(observe = true)
                     Stream_exec.x_rows = take rows_persisted rows_log;
                   }
                 in
-                try Ok (Stream_exec.import ~metrics ~observe plan export)
+                try Ok (Stream_exec.import ~metrics ~observe ?spill plan export)
                 with Invalid_argument m ->
                   Error ("snapshot does not fit the plan: " ^ m))
-            | None -> Ok (Stream_exec.create ~metrics ~mode ~observe plan)
+            | None -> Ok (Stream_exec.create ~metrics ~mode ~observe ?spill plan)
           in
           match exec with
           | Error m -> Error m

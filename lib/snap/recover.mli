@@ -36,7 +36,11 @@ val load :
   ?fault:Fault.t ->
   ?observe:bool ->
   ?mode:Fw_engine.Stream_exec.mode ->
+  ?spill:Fw_spill.Pool.t ->
   Fw_plan.Plan.t ->
   (resumed, string) result
 (** [mode] defaults to {!Fw_engine.Stream_exec.Naive} and must match
-    the crashed run's (the plan fingerprint pins both). *)
+    the crashed run's (the plan fingerprint pins both).  [spill] runs
+    the rebuilt executor under a memory budget — snapshots are
+    self-contained, so recovery itself never reads spill files (a
+    crashed run's scratch spill data is simply dead). *)

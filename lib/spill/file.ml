@@ -1,0 +1,191 @@
+(* Append-only spill file: the disk side of the out-of-core state
+   store.
+
+   Records use the shared framing [len u32][payload][crc32 u32]
+   ({!Bin.frame}); every payload opens with the {!Bin.spill_kind} byte
+   followed by a state-kind tag and the entry's key, so a record read
+   back at fault-in time is verified to be (a) intact (CRC), (b) a
+   spill record at all, and (c) the record for the requested key —
+   three independent ways a bug or a torn write would otherwise smuggle
+   wrong state into the engine.
+
+   Spill files are {e scratch}: checkpoints re-absorb every spilled
+   entry into the snapshot (see {!Store.fold}), so recovery never reads
+   one, and {!remove} deletes them on close.  Durability is therefore
+   not a goal — no fsync, no rename dance — but fault-in failures are:
+   a corrupt record surfaces as {!Fault} with a reason, never as a
+   garbage state. *)
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  mutable size : int;  (* append position: total bytes written *)
+  mutable live : int;  (* record bytes still referenced by the store *)
+  mutable closed : bool;
+}
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; O_CREAT; O_TRUNC ] 0o600 in
+  { path; fd; size = 0; live = 0; closed = false }
+
+let path t = t.path
+let size t = t.size
+let live_bytes t = t.live
+let garbage_bytes t = t.size - t.live
+
+let check_open t what =
+  if t.closed then invalid_arg (Printf.sprintf "Fw_spill.File.%s: closed" what)
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go pos =
+    if pos < n then go (pos + Unix.write fd b pos (n - pos))
+  in
+  go 0
+
+let read_exact fd buf off len =
+  let rec go pos =
+    if pos < len then
+      match Unix.read fd buf (off + pos) (len - pos) with
+      | 0 -> fault "truncated spill file (wanted %d bytes, got %d)" len pos
+      | n -> go (pos + n)
+  in
+  go 0
+
+(* Build one record's payload: kind byte, state-kind tag, key, value. *)
+let payload ~kind ~key value =
+  let b = Buffer.create (String.length key + String.length value + 16) in
+  Bin.w_u8 b Bin.spill_kind;
+  Bin.w_u8 b kind;
+  Bin.w_string b key;
+  Buffer.add_string b value;
+  Buffer.contents b
+
+(* Append a record; returns (offset, record length on disk). *)
+let append t ~kind ~key value =
+  check_open t "append";
+  let rec_ = Bin.frame (payload ~kind ~key value) in
+  let off = t.size in
+  ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  write_all t.fd rec_;
+  let len = String.length rec_ in
+  t.size <- t.size + len;
+  t.live <- t.live + len;
+  (off, len)
+
+(* Decode one record image (with framing) and verify it belongs to
+   [key] when given; returns (kind, value bytes). *)
+let decode_record ?key s =
+  if String.length s < 8 then fault "truncated spill record";
+  let r = Bin.reader s in
+  let plen =
+    try Bin.r_u32 r with Bin.Corrupt m -> fault "bad spill record: %s" m
+  in
+  if plen <= 0 || plen <> String.length s - 8 then
+    fault "bad spill record length %d (record is %d bytes)" plen
+      (String.length s);
+  let crc = Bin.reader ~pos:(4 + plen) s |> Bin.r_u32 in
+  let actual = Bin.crc32_sub s 4 plen in
+  if crc <> actual then
+    fault "spill record CRC mismatch (stored %08x, computed %08x)" crc actual;
+  let pr = Bin.reader ~pos:4 ~limit:(4 + plen) s in
+  try
+    let k = Bin.r_u8 pr in
+    if k <> Bin.spill_kind then
+      fault "payload kind %#x is not a spill record (%#x)" k Bin.spill_kind;
+    let kind = Bin.r_u8 pr in
+    let rkey = Bin.r_string pr in
+    (match key with
+    | Some key when not (String.equal key rkey) ->
+        fault "spill record holds key %S where %S was expected" rkey key
+    | _ -> ());
+    (kind, rkey, String.sub s pr.Bin.pos (Bin.remaining pr))
+  with Bin.Corrupt m -> fault "bad spill record: %s" m
+
+(* Read the record at [off] (length [len]) back; verifies framing, CRC,
+   the spill kind byte and the key before returning the value bytes. *)
+let read t ~off ~len ~key =
+  check_open t "read";
+  if off < 0 || len < 8 || off + len > t.size then
+    fault "spill record out of bounds (off %d, len %d, file %d)" off len t.size;
+  let buf = Bytes.create len in
+  ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  read_exact t.fd buf 0 len;
+  let kind, _, value = decode_record ~key (Bytes.unsafe_to_string buf) in
+  (kind, value)
+
+(* A faulted-in or removed record's bytes become garbage. *)
+let release t len = t.live <- t.live - len
+
+let truncate t =
+  check_open t "truncate";
+  Unix.ftruncate t.fd 0;
+  t.size <- 0;
+  t.live <- 0
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end
+
+let remove t =
+  close t;
+  try Unix.unlink t.path with Unix.Unix_error _ -> ()
+
+(* --- offline scan --------------------------------------------------- *)
+
+type scan = {
+  records : (int * int * string * string) list;
+      (** (offset, state-kind, key, value bytes) of every intact record *)
+  skipped : (int * string) list;
+      (** (offset, reason) for every record the scan had to skip *)
+}
+
+(* Scan a spill-file image record by record.  Unlike {!Bin.decode_frames}
+   (which stops at the first bad record — right for a log whose tail may
+   be torn), the scan {e skips} a record whose CRC or payload is bad and
+   keeps going as long as the length prefix itself is plausible, so one
+   flipped bit doesn't hide every record behind it.  A mangled length
+   prefix ends the scan (there is no resync marker), with the reason
+   surfaced. *)
+let scan_image s =
+  let n = String.length s in
+  let rec go pos records skipped =
+    if n - pos < 4 then
+      { records = List.rev records; skipped = List.rev skipped }
+    else
+      let r = Bin.reader ~pos s in
+      let len = Bin.r_u32 r in
+      if len <= 0 || len > n - r.Bin.pos - 4 then
+        {
+          records = List.rev records;
+          skipped =
+            List.rev
+              ((pos, Printf.sprintf "implausible record length %d" len)
+              :: skipped);
+        }
+      else
+        let total = 4 + len + 4 in
+        let image = String.sub s pos total in
+        match decode_record image with
+        | kind, key, value ->
+            go (pos + total) ((pos, kind, key, value) :: records) skipped
+        | exception Fault reason ->
+            go (pos + total) records ((pos, reason) :: skipped)
+  in
+  go 0 [] []
+
+let scan path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  scan_image s

@@ -1,0 +1,69 @@
+(** Append-only spill file: where evicted store entries live.
+
+    Records share the WAL framing ([len u32 | payload | crc32 u32]);
+    every payload opens with {!Bin.spill_kind}, a state-kind tag and
+    the entry's key, so fault-in verifies integrity {e and} identity
+    before any bytes reach a decoder.  Spill files are scratch —
+    checkpoints re-absorb spilled entries, recovery never reads one —
+    so there is no fsync; what is guaranteed is that a corrupt or torn
+    record surfaces as {!Fault} with a reason, never as garbage
+    state. *)
+
+exception Fault of string
+(** A spill-file read that cannot be trusted: truncation, CRC mismatch,
+    wrong payload kind, or a key mismatch.  The message says which. *)
+
+type t
+
+val create : string -> t
+(** [create path] opens (and truncates) the file at [path]. *)
+
+val path : t -> string
+
+val size : t -> int
+(** Total bytes written (the append position). *)
+
+val live_bytes : t -> int
+(** Bytes of records still referenced by the store; [size - live_bytes]
+    is the garbage ratio's numerator, driving compaction. *)
+
+val garbage_bytes : t -> int
+
+val append : t -> kind:int -> key:string -> string -> int * int
+(** [append t ~kind ~key value] writes one record and returns its
+    [(offset, length)] for the in-memory index. *)
+
+val read : t -> off:int -> len:int -> key:string -> int * string
+(** [read t ~off ~len ~key] returns [(kind, value bytes)] of the record
+    at [off], verifying frame, CRC, spill kind and that it holds [key].
+    Raises {!Fault} otherwise. *)
+
+val release : t -> int -> unit
+(** Mark [len] record bytes as garbage (entry faulted in or removed). *)
+
+val truncate : t -> unit
+(** Drop every record (e.g. after compaction or {!Store.clear}). *)
+
+val close : t -> unit
+val remove : t -> unit
+(** [remove] closes and deletes the file; spill files never outlive
+    their store. *)
+
+(** {2 Offline scan} *)
+
+type scan = {
+  records : (int * int * string * string) list;
+      (** (offset, state-kind, key, value bytes) of every intact
+          record *)
+  skipped : (int * string) list;
+      (** (offset, reason) for every record the scan skipped — corrupt
+          bytes or a truncated tail surface here instead of crashing *)
+}
+
+val scan : string -> scan
+(** Scan a spill file on disk, skipping corrupt records (with reasons)
+    as long as the framing remains plausible; a mangled length prefix
+    ends the scan with its reason in [skipped]. *)
+
+val scan_image : string -> scan
+(** Same, over an in-memory image. *)

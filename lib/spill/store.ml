@@ -1,0 +1,436 @@
+(* Keyed state store with a pluggable backend.
+
+   [Resident] (no pool) is today's hashtable semantics: every operation
+   is a plain [Hashtbl] call behind one constructor match — zero
+   overhead, bit-identical behavior.
+
+   [Budgeted] (a {!Pool}) keeps the same map contract but is allowed to
+   evict cold entries to an append-only spill file ({!File}) when the
+   pool is over budget, faulting them back in lazily on access.
+   Eviction is clock / second-chance: entries live in a FIFO of
+   candidates; a popped entry that was touched since it was queued gets
+   its hot bit cleared and a second trip, a pinned entry rotates
+   untouched, a cold one is serialized and dropped from memory.
+
+   Correctness contract (what makes the budgeted backend invisible to
+   the differential fuzzer):
+
+   - The store never decides {e values}: eviction serializes exactly
+     the bytes the codec produces and fault-in decodes exactly them
+     back ({!Bin} floats are IEEE bit patterns), so a faulted entry is
+     bit-identical to the evicted one — fold order inside an entry is
+     whatever the engine did, untouched.
+   - A value the engine is currently mutating is {e pinned}
+     ({!pinned}, and the current entry during {!iter}/{!fold}): pinned
+     entries are never evicted, so in-place mutation cannot race a
+     serialization.  The pool's budget is allowed to overshoot by the
+     pinned slack (bounded by plan depth × largest entry).
+   - Values obtained from {!find} must be treated as read-only unless
+     followed by {!set} — the engine's firing paths extract, then
+     store, then forward.
+
+   A corrupt or truncated spill record surfaces at fault-in as
+   {!File.Fault} with the store name, key and reason — never as a
+   silently wrong state (the record carries a CRC, the spill kind byte,
+   the codec's state-kind tag and the key, all verified). *)
+
+type 'a codec = {
+  kind : int;  (** state-kind tag byte stored in every record *)
+  enc : Buffer.t -> 'a -> unit;
+  dec : Bin.reader -> 'a;
+  weight : 'a -> int;  (** resident-bytes estimate, for accounting only *)
+}
+
+type 'a slot = Live of 'a | Spilled of { off : int; len : int }
+
+type 'a entry = {
+  e_key : string;
+  mutable e_slot : 'a slot;
+  mutable e_weight : int;  (* accounted weight while Live *)
+  mutable e_hot : bool;  (* second-chance bit *)
+  mutable e_pins : int;
+  mutable e_dead : bool;  (* removed; stale clock-queue reference *)
+}
+
+type 'a budgeted = {
+  pool : Pool.t;
+  codec : 'a codec;
+  name : string;
+  tbl : (string, 'a entry) Hashtbl.t;
+  clock : 'a entry Queue.t;  (* eviction candidates, FIFO + second chance *)
+  mutable file : File.t option;  (* opened lazily, on first eviction *)
+}
+
+type 'a t = R of (string, 'a) Hashtbl.t | B of 'a budgeted
+
+(* Compact when the file passes 64 KiB with over half its bytes
+   garbage. *)
+let compact_min = 1 lsl 16
+
+let file_of b =
+  match b.file with
+  | Some f -> f
+  | None ->
+      let f = File.create (Pool.fresh_path b.pool ~name:b.name) in
+      b.file <- Some f;
+      f
+
+let spill_fault b key fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise
+        (File.Fault (Printf.sprintf "store %s, key %S: %s" b.name key s)))
+    fmt
+
+(* --- compaction ------------------------------------------------------ *)
+
+let maybe_compact b =
+  match b.file with
+  | Some f when File.size f >= compact_min && 2 * File.garbage_bytes f > File.size f
+    ->
+      let old_size = File.size f in
+      if File.live_bytes f = 0 then begin
+        File.truncate f;
+        Pool.set_disk b.pool (-old_size);
+        Pool.record_compaction b.pool ~reclaimed:old_size
+      end
+      else begin
+        (* Rewrite live records into a fresh file; a record that cannot
+           be read back is live engine state, so this fails loudly
+           rather than dropping it. *)
+        let nf = File.create (Pool.fresh_path b.pool ~name:b.name) in
+        Hashtbl.iter
+          (fun _ e ->
+            match e.e_slot with
+            | Spilled { off; len } when not e.e_dead ->
+                let kind, bytes = File.read f ~off ~len ~key:e.e_key in
+                let off', len' = File.append nf ~kind ~key:e.e_key bytes in
+                e.e_slot <- Spilled { off = off'; len = len' }
+            | Spilled _ | Live _ -> ())
+          b.tbl;
+        File.remove f;
+        b.file <- Some nf;
+        Pool.set_disk b.pool (File.size nf - old_size);
+        Pool.record_compaction b.pool ~reclaimed:(old_size - File.size nf)
+      end
+  | Some _ | None -> ()
+
+(* --- eviction (called by the pool's rebalance loop) ------------------ *)
+
+let evict_entry b e v =
+  let bytes =
+    let buf = Buffer.create (max 64 e.e_weight) in
+    b.codec.enc buf v;
+    Buffer.contents buf
+  in
+  let f = file_of b in
+  let before = File.size f in
+  let off, len = File.append f ~kind:b.codec.kind ~key:e.e_key bytes in
+  Pool.set_disk b.pool (File.size f - before);
+  e.e_slot <- Spilled { off; len };
+  let freed = e.e_weight in
+  Pool.shrink b.pool freed;
+  Pool.entry_dropped b.pool;
+  Pool.record_eviction b.pool ~bytes:freed;
+  freed
+
+(* Shed one cold entry; returns the resident bytes freed (0 when every
+   candidate is pinned, hot-rotated to exhaustion, or the queue is
+   empty).  Dead and already-spilled queue references are dropped for
+   free along the way. *)
+let evict_one b =
+  let rec go rotations =
+    if Queue.is_empty b.clock then 0
+    else
+      let e = Queue.pop b.clock in
+      if e.e_dead then go rotations
+      else
+        match e.e_slot with
+        | Spilled _ -> go rotations
+        | Live v ->
+            if e.e_pins > 0 then begin
+              Queue.push e b.clock;
+              if rotations <= 0 then 0 else go (rotations - 1)
+            end
+            else if e.e_hot then begin
+              e.e_hot <- false;
+              Queue.push e b.clock;
+              if rotations <= 0 then 0 else go (rotations - 1)
+            end
+            else evict_entry b e v
+  in
+  go (Queue.length b.clock)
+
+let close_backend b ~remove =
+  (match b.file with
+  | Some f -> if remove then File.remove f else File.close f
+  | None -> ());
+  b.file <- None
+
+(* --- construction ---------------------------------------------------- *)
+
+let create ?pool ~name codec =
+  match pool with
+  | None -> R (Hashtbl.create 16)
+  | Some pool ->
+      let b =
+        {
+          pool;
+          codec;
+          name;
+          tbl = Hashtbl.create 16;
+          clock = Queue.create ();
+          file = None;
+        }
+      in
+      ignore
+        (Pool.register pool
+           ~evict:(fun () -> evict_one b)
+           ~close:(fun ~remove -> close_backend b ~remove));
+      B b
+
+(* --- fault-in -------------------------------------------------------- *)
+
+let live_value b e =
+  match e.e_slot with
+  | Live v -> v
+  | Spilled { off; len } ->
+      let t0 = Fw_obs.Clock.now_ns () in
+      let f =
+        match b.file with
+        | Some f -> f
+        | None -> spill_fault b e.e_key "spilled entry but no spill file"
+      in
+      let kind, bytes =
+        try File.read f ~off ~len ~key:e.e_key
+        with File.Fault m -> spill_fault b e.e_key "%s" m
+      in
+      if kind <> b.codec.kind then
+        spill_fault b e.e_key "state kind %d where %d was expected" kind
+          b.codec.kind;
+      let r = Bin.reader bytes in
+      let v =
+        try b.codec.dec r
+        with Bin.Corrupt m -> spill_fault b e.e_key "undecodable state: %s" m
+      in
+      if Bin.remaining r <> 0 then
+        spill_fault b e.e_key "trailing bytes after state (%d)"
+          (Bin.remaining r);
+      File.release f len;
+      e.e_slot <- Live v;
+      e.e_weight <- b.codec.weight v;
+      Pool.grow b.pool e.e_weight;
+      Pool.entry_added b.pool;
+      Pool.note_entry_weight b.pool e.e_weight;
+      Queue.push e b.clock;
+      Pool.record_fault b.pool ~ns:(Fw_obs.Clock.elapsed_ns ~since:t0);
+      maybe_compact b;
+      v
+
+(* Re-account an entry whose value may have changed size under
+   mutation. *)
+let reweigh b e v =
+  let w = b.codec.weight v in
+  if w <> e.e_weight then begin
+    if w > e.e_weight then Pool.grow b.pool (w - e.e_weight)
+    else Pool.shrink b.pool (e.e_weight - w);
+    e.e_weight <- w;
+    Pool.note_entry_weight b.pool w
+  end
+
+let add_entry b key v =
+  let e =
+    {
+      e_key = key;
+      e_slot = Live v;
+      e_weight = b.codec.weight v;
+      e_hot = true;
+      e_pins = 0;
+      e_dead = false;
+    }
+  in
+  Hashtbl.replace b.tbl key e;
+  Queue.push e b.clock;
+  Pool.grow b.pool e.e_weight;
+  Pool.entry_added b.pool;
+  Pool.note_entry_weight b.pool e.e_weight;
+  e
+
+(* --- map operations -------------------------------------------------- *)
+
+let length = function R tbl -> Hashtbl.length tbl | B b -> Hashtbl.length b.tbl
+let is_empty t = length t = 0
+
+let find t key =
+  match t with
+  | R tbl -> Hashtbl.find_opt tbl key
+  | B b -> (
+      match Hashtbl.find_opt b.tbl key with
+      | None -> None
+      | Some e ->
+          let v = live_value b e in
+          e.e_hot <- true;
+          Some v)
+
+let set t key v =
+  match t with
+  | R tbl -> Hashtbl.replace tbl key v
+  | B b ->
+      (match Hashtbl.find_opt b.tbl key with
+      | None -> ignore (add_entry b key v)
+      | Some e ->
+          (match e.e_slot with
+          | Live _ -> reweigh b e v
+          | Spilled { len; _ } ->
+              (* the on-disk copy is superseded *)
+              (match b.file with Some f -> File.release f len | None -> ());
+              e.e_weight <- b.codec.weight v;
+              Pool.grow b.pool e.e_weight;
+              Pool.entry_added b.pool;
+              Pool.note_entry_weight b.pool e.e_weight;
+              Queue.push e b.clock);
+          e.e_slot <- Live v;
+          e.e_hot <- true);
+      Pool.rebalance b.pool;
+      maybe_compact b
+
+let remove t key =
+  match t with
+  | R tbl -> Hashtbl.remove tbl key
+  | B b -> (
+      match Hashtbl.find_opt b.tbl key with
+      | None -> ()
+      | Some e ->
+          (match e.e_slot with
+          | Live _ ->
+              Pool.shrink b.pool e.e_weight;
+              Pool.entry_dropped b.pool
+          | Spilled { len; _ } -> (
+              match b.file with
+              | Some f ->
+                  File.release f len;
+                  maybe_compact b
+              | None -> ()));
+          e.e_dead <- true;
+          Hashtbl.remove b.tbl key)
+
+(* [Hashtbl.find_opt]-then-[replace] in one operation — the engine's
+   dominant mutation idiom.  [f] must not perform nested store
+   operations (use {!pinned} when it must). *)
+let update t key f =
+  match t with
+  | R tbl -> Hashtbl.replace tbl key (f (Hashtbl.find_opt tbl key))
+  | B b ->
+      (match Hashtbl.find_opt b.tbl key with
+      | Some e ->
+          let v = f (Some (live_value b e)) in
+          e.e_slot <- Live v;
+          e.e_hot <- true;
+          reweigh b e v
+      | None -> ignore (add_entry b key (f None)));
+      Pool.rebalance b.pool
+
+(* Find-or-create, pin for the duration of [f] — [f] may mutate the
+   value in place and perform arbitrary nested store operations
+   (downstream delivery): the pinned entry cannot be evicted out from
+   under it. *)
+let pinned t key ~init f =
+  match t with
+  | R tbl ->
+      let v =
+        match Hashtbl.find_opt tbl key with
+        | Some v -> v
+        | None ->
+            let v = init () in
+            Hashtbl.replace tbl key v;
+            v
+      in
+      f v
+  | B b ->
+      let e =
+        match Hashtbl.find_opt b.tbl key with
+        | Some e ->
+            ignore (live_value b e);
+            e
+        | None -> add_entry b key (init ())
+      in
+      let v = match e.e_slot with Live v -> v | Spilled _ -> assert false in
+      e.e_pins <- e.e_pins + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          e.e_pins <- e.e_pins - 1;
+          e.e_hot <- true;
+          reweigh b e v;
+          Pool.rebalance b.pool)
+        (fun () -> f v)
+
+(* Iterate every entry.  Budgeted: the visit order is unspecified (as
+   with [Hashtbl.iter]); each entry is faulted in if needed and pinned
+   for its callback, which may perform nested store operations on
+   {e other} stores and mutate the visited value in place — but must
+   not add or remove entries of this store (collect and apply after,
+   as the engine's firing paths do). *)
+let iter f t =
+  match t with
+  | R tbl -> Hashtbl.iter f tbl
+  | B b ->
+      let entries = Hashtbl.fold (fun _ e acc -> e :: acc) b.tbl [] in
+      List.iter
+        (fun e ->
+          if not e.e_dead then begin
+            let v = live_value b e in
+            e.e_pins <- e.e_pins + 1;
+            Fun.protect
+              ~finally:(fun () ->
+                e.e_pins <- e.e_pins - 1;
+                e.e_hot <- true;
+                reweigh b e v;
+                Pool.rebalance b.pool)
+              (fun () -> f e.e_key v)
+          end)
+        entries
+
+let fold f t acc =
+  match t with
+  | R tbl -> Hashtbl.fold f tbl acc
+  | B b ->
+      let entries = Hashtbl.fold (fun _ e acc -> e :: acc) b.tbl [] in
+      List.fold_left
+        (fun acc e ->
+          if e.e_dead then acc
+          else begin
+            let v = live_value b e in
+            e.e_pins <- e.e_pins + 1;
+            Fun.protect
+              ~finally:(fun () ->
+                e.e_pins <- e.e_pins - 1;
+                e.e_hot <- true;
+                reweigh b e v;
+                Pool.rebalance b.pool)
+              (fun () -> f e.e_key v acc)
+          end)
+        acc entries
+
+let clear t =
+  match t with
+  | R tbl -> Hashtbl.reset tbl
+  | B b ->
+      Hashtbl.iter
+        (fun _ e ->
+          (match e.e_slot with
+          | Live _ ->
+              Pool.shrink b.pool e.e_weight;
+              Pool.entry_dropped b.pool
+          | Spilled _ -> ());
+          e.e_dead <- true)
+        b.tbl;
+      Hashtbl.reset b.tbl;
+      Queue.clear b.clock;
+      (match b.file with
+      | Some f ->
+          let sz = File.size f in
+          if sz > 0 then begin
+            File.truncate f;
+            Pool.set_disk b.pool (-sz)
+          end
+      | None -> ())

@@ -1,0 +1,83 @@
+(** Keyed state store with a pluggable backend: [Resident] (a plain
+    hashtable, zero overhead — the default when no {!Pool} is given) or
+    [Budgeted] (clock/second-chance eviction of cold entries to an
+    append-only spill file, lazy fault-in on access, compaction when
+    over half the file is garbage).
+
+    The budgeted backend is invisible to results by construction:
+    eviction serializes exactly the codec's bytes and fault-in decodes
+    exactly them back (floats as IEEE bit patterns), so a faulted entry
+    is bit-identical to the evicted one, and fold order inside an entry
+    is whatever the engine performed.  The differential fuzzer's
+    [spilled] path byte-compares rows and cost counters against the
+    resident backend to pin this.
+
+    Usage contract (what the engine's operators follow):
+
+    - {!find} values are read-only unless followed by {!set}.
+    - In-place mutation goes through {!pinned} (or the {!iter}/{!fold}
+      callbacks, where the current entry is pinned): pinned entries are
+      never evicted, so nested store operations during downstream
+      delivery cannot detach the value being mutated.
+    - {!update} callbacks must not perform nested store operations.
+
+    A corrupt or truncated spill record surfaces at fault-in as
+    {!File.Fault} naming the store, key and reason — never as silently
+    wrong state. *)
+
+type 'a codec = {
+  kind : int;
+      (** state-kind tag byte written into every record; fault-in
+          rejects a record whose tag disagrees *)
+  enc : Buffer.t -> 'a -> unit;
+  dec : Bin.reader -> 'a;
+  weight : 'a -> int;
+      (** resident-bytes estimate; drives eviction accounting only,
+          never results *)
+}
+
+type 'a t
+
+val create : ?pool:Pool.t -> name:string -> 'a codec -> 'a t
+(** Without [pool]: the resident backend.  With [pool]: the budgeted
+    backend, registered with the pool for eviction sweeps; its spill
+    file (named after [name]) is created lazily on first eviction and
+    deleted by {!Pool.close}. *)
+
+val length : 'a t -> int
+(** Live entries (resident + spilled). *)
+
+val is_empty : 'a t -> bool
+
+val find : 'a t -> string -> 'a option
+(** Faults the entry in if spilled and marks it hot.  Treat the value
+    as read-only unless a {!set} of the same key follows. *)
+
+val set : 'a t -> string -> 'a -> unit
+val remove : 'a t -> string -> unit
+
+val update : 'a t -> string -> ('a option -> 'a) -> unit
+(** [Hashtbl.find_opt]-then-[replace] in one operation: the callback
+    sees the current value ([None] when absent) and returns the
+    replacement.  It must not perform nested store operations. *)
+
+val pinned : 'a t -> string -> init:(unit -> 'a) -> ('a -> 'b) -> 'b
+(** Find-or-create, pin the entry for the callback's duration, then
+    re-account its weight.  The callback may mutate the value in place
+    and perform arbitrary nested store operations (e.g. fire downstream
+    operators that touch other stores of the same pool). *)
+
+val iter : (string -> 'a -> unit) -> 'a t -> unit
+(** Visit every entry (unspecified order, as with [Hashtbl.iter]);
+    spilled entries fault in, and the current entry is pinned during
+    its callback.  The callback may mutate the visited value and touch
+    other stores, but must not add/remove entries of this store —
+    collect and apply afterwards. *)
+
+val fold : (string -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Same visiting rules as {!iter}.  Folding over a budgeted store
+    faults every entry in — this is how checkpoints re-absorb spilled
+    state, keeping snapshots self-contained. *)
+
+val clear : 'a t -> unit
+(** Drop every entry and truncate the spill file. *)

@@ -315,6 +315,7 @@ let test_crash_batched_path_clean () =
       tumbling = false;
       shards = 2;
       batch = 5;
+      budget = 4096;
     }
   in
   List.iter

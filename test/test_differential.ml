@@ -99,6 +99,7 @@ let fixed_scenario agg windows events ~eta ~horizon =
     tumbling = List.for_all Window.is_tumbling windows;
     shards = 4;
     batch = 7;
+    budget = 4096;
   }
 
 let test_differential_example6 () =
@@ -126,7 +127,7 @@ let test_differential_median_and_hopping () =
   check_int "hopping invariants" 0 (List.length (Invariants.check sc))
 
 let test_path_roster () =
-  check_int "seventeen paths" 17 (List.length Paths.all);
+  check_int "eighteen paths" 18 (List.length Paths.all);
   check_bool "incremental path listed" true
     (List.mem Paths.Incremental_stream Paths.all);
   check_string "incremental path name" "incremental-stream"
@@ -154,7 +155,9 @@ let test_path_roster () =
   check_string "crash-batched path name" "crash-batched-incremental"
     (Paths.name (Paths.Crash_batched Fw_engine.Stream_exec.Incremental));
   check_bool "served path listed" true (List.mem Paths.Served Paths.all);
-  check_string "served path name" "served" (Paths.name Paths.Served)
+  check_string "served path name" "served" (Paths.name Paths.Served);
+  check_bool "spilled path listed" true (List.mem Paths.Spilled Paths.all);
+  check_string "spilled path name" "spilled" (Paths.name Paths.Spilled)
 
 let test_incremental_path_applicability () =
   (* The incremental engine falls back per node, so it applies to every

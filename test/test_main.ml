@@ -26,6 +26,7 @@ let () =
       ("tools", Test_tools.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("snap", Test_snap.suite);
+      ("spill", Test_spill.suite);
       ("shard", Test_shard.suite);
       ("batch", Test_batch.suite);
       ("serve", Test_serve.suite);

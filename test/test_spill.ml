@@ -1,0 +1,508 @@
+(* Out-of-core state store (Fw_spill): store semantics on both
+   backends, bit-exact eviction/fault-in round trips for every
+   spillable state kind, compaction, corrupt/truncated spill-file fault
+   injection, pool accounting, and budget-0 engine equivalence across
+   window families (exercising the engine's private win/cwin/session
+   codecs end to end). *)
+open Helpers
+module Bin = Fw_spill.Bin
+module File = Fw_spill.File
+module Pool = Fw_spill.Pool
+module Store = Fw_spill.Store
+module Bincodec = Fw_agg.Bincodec
+module Combine = Fw_agg.Combine
+module Swag = Fw_agg.Swag
+module Aggregate = Fw_agg.Aggregate
+module Window = Fw_window.Window
+module Plan = Fw_plan.Plan
+module Stream_exec = Fw_engine.Stream_exec
+module Metrics = Fw_engine.Metrics
+module Event = Fw_engine.Event
+
+let ev t k v = Event.make ~time:t ~key:k ~value:v
+let bits = Int64.bits_of_float
+
+let with_pool ?(budget = 0) f =
+  let pool = Pool.create ~budget () in
+  Fun.protect ~finally:(fun () -> Pool.close pool) (fun () -> f pool)
+
+(* Adversarial floats: signed zeros, subnormals, extremes, last-bit
+   neighbours — any codec shortcut (printf, truncation) fails these. *)
+let nasty =
+  [
+    0.0;
+    -0.0;
+    4.9e-324;
+    1e-308;
+    1.7976931348623157e308;
+    -1e308;
+    1e8 +. 1e-8;
+    Float.pred 1.0;
+    Float.succ 1.0;
+    3.141592653589793;
+  ]
+
+let eq_state a b =
+  let eq_view a b =
+    match (a, b) with
+    | Combine.V_min x, Combine.V_min y | Combine.V_max x, Combine.V_max y
+    | Combine.V_sum x, Combine.V_sum y ->
+        bits x = bits y
+    | Combine.V_count n, Combine.V_count m -> n = m
+    | ( Combine.V_avg { sum = s1; count = c1 },
+        Combine.V_avg { sum = s2; count = c2 } ) ->
+        bits s1 = bits s2 && c1 = c2
+    | ( Combine.V_stdev { count = c1; mean = u1; m2 = q1 },
+        Combine.V_stdev { count = c2; mean = u2; m2 = q2 } ) ->
+        c1 = c2 && bits u1 = bits u2 && bits q1 = bits q2
+    | Combine.V_median xs, Combine.V_median ys ->
+        List.length xs = List.length ys
+        && List.for_all2 (fun x y -> bits x = bits y) xs ys
+    | _ -> false
+  in
+  eq_view (Combine.view a) (Combine.view b)
+
+let state_of agg vs =
+  List.fold_left Combine.add (Combine.identity agg) vs
+
+(* --- store semantics ------------------------------------------------- *)
+
+let store_semantics_on mk_store () =
+  let s = mk_store () in
+  check_bool "fresh store empty" true (Store.is_empty s);
+  Store.set s "a" (state_of Aggregate.Sum [ 1.0; 2.0 ]);
+  Store.set s "b" (state_of Aggregate.Sum [ 3.0 ]);
+  check_int "two entries" 2 (Store.length s);
+  (match Store.find s "a" with
+  | Some st ->
+      check_bool "find returns the stored state" true
+        (eq_state st (state_of Aggregate.Sum [ 1.0; 2.0 ]))
+  | None -> Alcotest.fail "a missing");
+  check_bool "absent key" true (Store.find s "zz" = None);
+  Store.update s "a" (function
+    | Some st -> Combine.add st 10.0
+    | None -> Alcotest.fail "update saw None for a live key");
+  Store.update s "c" (function
+    | None -> state_of Aggregate.Sum [ 7.0 ]
+    | Some _ -> Alcotest.fail "update saw a value for an absent key");
+  check_int "update inserted" 3 (Store.length s);
+  let total =
+    Store.fold (fun _ st acc -> acc +. Combine.finalize st) s 0.0
+  in
+  check_bool "fold sees every entry" true (bits total = bits 23.0);
+  let visited = ref 0 in
+  Store.iter (fun _ _ -> incr visited) s;
+  check_int "iter visits every entry" 3 !visited;
+  Store.remove s "b";
+  check_int "remove drops" 2 (Store.length s);
+  check_bool "removed key gone" true (Store.find s "b" = None);
+  let r =
+    Store.pinned s "d"
+      ~init:(fun () -> Combine.identity Aggregate.Sum)
+      (fun _ -> 42)
+  in
+  check_int "pinned returns callback result" 42 r;
+  check_int "pinned created the entry" 3 (Store.length s);
+  Store.clear s;
+  check_bool "clear empties" true (Store.is_empty s)
+
+let test_store_semantics_resident () =
+  store_semantics_on
+    (fun () -> Store.create ~name:"t" Bincodec.state_codec)
+    ()
+
+let test_store_semantics_budgeted () =
+  with_pool ~budget:0 (fun pool ->
+      store_semantics_on
+        (fun () -> Store.create ~pool ~name:"t" Bincodec.state_codec)
+        ())
+
+(* --- eviction / fault-in bit-identity -------------------------------- *)
+
+let test_evict_fault_bit_identity () =
+  (* budget 0: every entry is evicted as soon as it is unpinned, so
+     every find round-trips through the spill file *)
+  with_pool ~budget:0 (fun pool ->
+      let s = Store.create ~pool ~name:"states" Bincodec.state_codec in
+      let cases =
+        List.concat_map
+          (fun agg ->
+            List.mapi
+              (fun i v ->
+                ( Printf.sprintf "%s-%d" (Aggregate.to_string agg) i,
+                  state_of agg [ v; v *. 0.5; -.v ] ))
+              nasty)
+          Aggregate.all
+      in
+      List.iter (fun (k, st) -> Store.set s k st) cases;
+      check_bool "entries were evicted" true (Pool.evictions pool > 0);
+      check_bool "resident total at budget 0 is zero" true
+        (Pool.resident_bytes pool = 0);
+      List.iter
+        (fun (k, st) ->
+          match Store.find s k with
+          | Some st' ->
+              if not (eq_state st st') then
+                Alcotest.failf "state %s did not round-trip bit-identically" k
+          | None -> Alcotest.failf "state %s lost by eviction" k)
+        cases;
+      check_bool "fault-ins happened" true (Pool.faults pool > 0))
+
+let test_swag_round_trip_through_store () =
+  (* both queue representations: subtractive (SUM) and two-stacks
+     (MAX), with enough pushes/evictions to split front and back *)
+  with_pool ~budget:0 (fun pool ->
+      List.iter
+        (fun agg ->
+          let name = "swag-" ^ Aggregate.to_string agg in
+          let s = Store.create ~pool ~name (Bincodec.swag_codec agg) in
+          let q = Swag.create agg in
+          List.iteri (fun i v -> Swag.push q ~idx:i (state_of agg [ v ])) nasty;
+          Swag.evict_below q 3;
+          let expect = Swag.query q in
+          let counters = (Swag.evicted q, Swag.flips q, Swag.merges q) in
+          Store.set s "k" q;
+          (match Store.find s "k" with
+          | None -> Alcotest.fail "queue lost by eviction"
+          | Some q' ->
+              (match (expect, Swag.query q') with
+              | Some a, Some b ->
+                  check_bool
+                    (Printf.sprintf "%s query bit-identical after fault-in"
+                       (Aggregate.to_string agg))
+                    true
+                    (bits (Combine.finalize a) = bits (Combine.finalize b))
+              | None, None -> ()
+              | _ -> Alcotest.fail "query presence changed");
+              check_bool "lifetime counters preserved" true
+                (counters = (Swag.evicted q', Swag.flips q', Swag.merges q')));
+          Store.clear s)
+        [ Aggregate.Sum; Aggregate.Max; Aggregate.Stdev; Aggregate.Median ])
+
+(* --- direct codec round-trips ---------------------------------------- *)
+
+let test_codec_round_trips () =
+  List.iter
+    (fun agg ->
+      List.iter
+        (fun v ->
+          let st = state_of agg [ v; 1.0; -.v ] in
+          let b = Buffer.create 64 in
+          Bincodec.w_state b st;
+          let st' = Bincodec.r_state (Bin.reader (Buffer.contents b)) in
+          if not (eq_state st st') then
+            Alcotest.failf "w_state/r_state not bit-exact for %s"
+              (Aggregate.to_string agg))
+        nasty)
+    Aggregate.all;
+  (* swag export round trip, both representations *)
+  List.iter
+    (fun agg ->
+      let q = Swag.create agg in
+      List.iteri (fun i v -> Swag.push q ~idx:i (state_of agg [ v ])) nasty;
+      Swag.evict_below q 2;
+      let x = Swag.export q in
+      let b = Buffer.create 64 in
+      Bincodec.w_swag b x;
+      let x' = Bincodec.r_swag (Bin.reader (Buffer.contents b)) in
+      let q' = Swag.import agg x' in
+      check_bool
+        (Printf.sprintf "%s export round-trips" (Aggregate.to_string agg))
+        true
+        (match (Swag.query q, Swag.query q') with
+        | Some a, Some b -> bits (Combine.finalize a) = bits (Combine.finalize b)
+        | None, None -> true
+        | _ -> false))
+    [ Aggregate.Sum; Aggregate.Min; Aggregate.Avg; Aggregate.Median ];
+  (* a truncated state payload is a typed decode error, not garbage *)
+  let b = Buffer.create 16 in
+  Bincodec.w_state b (state_of Aggregate.Stdev [ 1.0; 2.0 ]);
+  let img = Buffer.contents b in
+  (match
+     Bincodec.r_state (Bin.reader (String.sub img 0 (String.length img - 3)))
+   with
+  | exception Bin.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated state decoded")
+
+(* --- pool accounting and enforcement --------------------------------- *)
+
+let test_pool_bound_enforced () =
+  let budget = 2048 in
+  with_pool ~budget (fun pool ->
+      let s = Store.create ~pool ~name:"bound" Bincodec.state_codec in
+      for i = 1 to 2000 do
+        Store.set s
+          (Printf.sprintf "key-%04d" i)
+          (state_of Aggregate.Avg [ float_of_int i; 0.5 ])
+      done;
+      check_int "no entry lost" 2000 (Store.length s);
+      check_bool "resident keys bounded" true
+        (Pool.resident_bytes pool <= budget);
+      (* the enforced bound: budget plus at most one unpinned entry of
+         slack (the entry being inserted before the sweep runs) *)
+      check_bool
+        (Printf.sprintf "peak %d within budget %d + max entry %d"
+           (Pool.peak_resident_bytes pool)
+           budget
+           (Pool.max_entry_bytes pool))
+        true
+        (Pool.peak_resident_bytes pool
+        <= budget + Pool.max_entry_bytes pool);
+      check_bool "spill file holds the cold tail" true
+        (Pool.disk_bytes pool > 0))
+
+let test_set_budget_shrink_evicts () =
+  with_pool ~budget:1_000_000 (fun pool ->
+      let s = Store.create ~pool ~name:"shrink" Bincodec.state_codec in
+      for i = 1 to 200 do
+        Store.set s (string_of_int i) (state_of Aggregate.Sum [ float_of_int i ])
+      done;
+      check_bool "everything resident under a large budget" true
+        (Pool.resident_bytes pool > 0 && Pool.evictions pool = 0);
+      Pool.set_budget pool 0;
+      check_int "shrink to 0 evicts everything" 0 (Pool.resident_bytes pool);
+      check_bool "entries survive on disk" true
+        (Store.find s "137" <> None))
+
+let test_negative_budget_rejected () =
+  match Pool.create ~budget:(-1) () with
+  | exception Invalid_argument _ -> ()
+  | pool ->
+      Pool.close pool;
+      Alcotest.fail "negative budget accepted"
+
+(* --- compaction ------------------------------------------------------ *)
+
+let test_compaction_bounds_disk () =
+  with_pool ~budget:0 (fun pool ->
+      let s = Store.create ~pool ~name:"churn" Bincodec.state_codec in
+      (* overwrite a small key set thousands of times: every overwrite
+         makes the previous spill record garbage, so without compaction
+         the file would grow without bound *)
+      let st = state_of Aggregate.Median (List.init 40 float_of_int) in
+      for round = 1 to 400 do
+        for k = 0 to 9 do
+          ignore round;
+          Store.set s (Printf.sprintf "k%d" k) st
+        done
+      done;
+      let disk = Pool.disk_bytes pool in
+      (* 4000 writes of a ~1KB record is ~4MB of appends; compaction
+         must keep the live file within a small multiple of the ~10
+         live records *)
+      check_bool
+        (Printf.sprintf "disk bounded by compaction (%d bytes)" disk)
+        true
+        (disk < 1_000_000);
+      List.init 10 (fun k ->
+          match Store.find s (Printf.sprintf "k%d" k) with
+          | Some st' -> check_bool "entry intact after compaction" true
+                          (eq_state st st')
+          | None -> Alcotest.fail "entry lost by compaction")
+      |> ignore)
+
+(* --- spill-file fault injection -------------------------------------- *)
+
+let spill_file_with_records dir =
+  let path = Filename.concat dir "s.spill" in
+  let f = File.create path in
+  let recs =
+    List.map
+      (fun (k, v) -> (k, v, File.append f ~kind:7 ~key:k v))
+      [ ("alpha", "payload-one"); ("beta", "payload-two"); ("gamma", "p3") ]
+  in
+  (f, path, recs)
+
+let test_file_read_and_scan () =
+  let dir = Filename.temp_file "fwspill" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let f, path, recs = spill_file_with_records dir in
+      List.iter
+        (fun (k, v, (off, len)) ->
+          let kind, v' = File.read f ~off ~len ~key:k in
+          check_int "kind round-trips" 7 kind;
+          check_string "value round-trips" v v')
+        recs;
+      (* reading under the wrong key is identity fraud, a typed Fault *)
+      let _, _, (off0, len0) = List.hd recs in
+      (match File.read f ~off:off0 ~len:len0 ~key:"beta" with
+      | exception File.Fault msg ->
+          check_bool "key mismatch names the key" true
+            (Astring_contains.contains msg "beta"
+            || Astring_contains.contains msg "alpha")
+      | _ -> Alcotest.fail "wrong-key read succeeded");
+      File.close f;
+      (* offline scan: all three intact *)
+      let scan = File.scan path in
+      check_int "scan finds every record" 3 (List.length scan.File.records);
+      check_int "scan skips nothing" 0 (List.length scan.File.skipped);
+      (* flip one payload byte of the middle record: CRC catches it,
+         the scan skips that record with a reason and keeps going *)
+      let img =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let _, _, (off1, _) = List.nth recs 1 in
+      let corrupted = Bytes.of_string img in
+      Bytes.set corrupted (off1 + 6)
+        (Char.chr (Char.code (Bytes.get corrupted (off1 + 6)) lxor 0xff));
+      let scan = File.scan_image (Bytes.to_string corrupted) in
+      check_int "corrupt record skipped" 1 (List.length scan.File.skipped);
+      check_int "other records survive" 2 (List.length scan.File.records);
+      check_bool "skip carries a reason" true
+        (List.for_all (fun (_, reason) -> reason <> "") scan.File.skipped);
+      (* truncate the tail mid-record: the scan ends with a reason
+         instead of crashing *)
+      let cut = String.sub img 0 (String.length img - 5) in
+      let scan = File.scan_image cut in
+      check_int "records before the tear survive" 2
+        (List.length scan.File.records);
+      check_int "torn tail reported" 1 (List.length scan.File.skipped))
+
+let test_fault_in_is_typed () =
+  (* corrupt the live spill file under a budget-0 store: the next find
+     must surface File.Fault (naming the reason), never wrong state *)
+  with_pool ~budget:0 (fun pool ->
+      let s = Store.create ~pool ~name:"victim" Bincodec.state_codec in
+      Store.set s "k" (state_of Aggregate.Sum [ 42.0 ]);
+      (* the entry is spilled now; smash every byte of the file *)
+      let path =
+        match
+          Array.to_list (Sys.readdir (Pool.dir pool))
+          |> List.filter (fun f -> Filename.check_suffix f ".spill")
+        with
+        | [ f ] -> Filename.concat (Pool.dir pool) f
+        | files ->
+            Alcotest.failf "expected one spill file, found %d"
+              (List.length files)
+      in
+      let oc = open_out_gen [ Open_wronly; Open_binary ] 0o600 path in
+      output_string oc "\xde\xad\xbe\xef\xde\xad\xbe\xef";
+      close_out oc;
+      match Store.find s "k" with
+      | exception File.Fault msg ->
+          check_bool "fault names the store" true
+            (Astring_contains.contains msg "victim")
+      | Some _ -> Alcotest.fail "corrupt record decoded as state"
+      | None -> Alcotest.fail "corrupt record read as absence")
+
+(* --- engine equivalence under budget 0, per window family ------------ *)
+
+let run_family_equivalence ~mode windows events =
+  let plan = Plan.naive Aggregate.Avg windows in
+  let horizon = 200 in
+  let rows0 = Stream_exec.run ~mode plan ~horizon events in
+  with_pool ~budget:0 (fun pool ->
+      let rows1 = Stream_exec.run ~mode ~spill:pool plan ~horizon events in
+      check_bool "rows byte-identical under budget 0" true (rows1 = rows0);
+      check_bool "the run actually spilled" true (Pool.evictions pool > 0))
+
+let family_events =
+  List.concat_map
+    (fun t ->
+      [ ev t "a" (float_of_int t); ev t "b" (float_of_int (t * 7 mod 13)) ])
+    (List.init 120 (fun i -> i + 1))
+
+let test_budget0_time_windows () =
+  (* pending window maps (kind_win) + panes/swags in incremental mode *)
+  run_family_equivalence ~mode:Stream_exec.Naive
+    [ Window.make ~range:12 ~slide:4; Window.tumbling 10 ]
+    family_events;
+  run_family_equivalence ~mode:Stream_exec.Incremental
+    [ Window.make ~range:12 ~slide:4; Window.tumbling 10 ]
+    family_events
+
+let test_budget0_count_windows () =
+  (* per-key ordinal trackers (kind_cwin) *)
+  run_family_equivalence ~mode:Stream_exec.Naive
+    [ Window.count_hop ~range:8 ~slide:4 ]
+    family_events;
+  run_family_equivalence ~mode:Stream_exec.Incremental
+    [ Window.count_hop ~range:8 ~slide:4 ]
+    family_events
+
+let test_budget0_session_windows () =
+  (* open-session state (kind_session); sparse stream so sessions
+     actually rotate *)
+  let sparse =
+    List.filter (fun e -> e.Event.time mod 7 < 3) family_events
+  in
+  run_family_equivalence ~mode:Stream_exec.Naive
+    [ Window.session ~gap:2 ]
+    sparse;
+  run_family_equivalence ~mode:Stream_exec.Incremental
+    [ Window.session ~gap:2 ]
+    sparse
+
+(* --- checkpoint composition ------------------------------------------ *)
+
+let test_checkpoint_under_budget_byte_identical () =
+  let windows = [ Window.make ~range:12 ~slide:4; Window.session ~gap:3 ] in
+  let plan = Plan.naive Aggregate.Stdev windows in
+  let horizon = 200 in
+  let rows0 = Stream_exec.run plan ~horizon family_events in
+  let dir = Filename.temp_file "fwsnapspill" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      with_pool ~budget:0 (fun pool ->
+          let cp =
+            Fw_snap.Checkpoint.create ~dir ~every:17 ~spill:pool plan
+          in
+          List.iter (Fw_snap.Checkpoint.feed cp) family_events;
+          let rows1 = Fw_snap.Checkpoint.close cp ~horizon in
+          check_bool "checkpointed spilled rows byte-identical" true
+            (rows1 = rows0);
+          check_bool "the checkpointed run spilled" true
+            (Pool.evictions pool > 0)))
+
+let suite =
+  [
+    Alcotest.test_case "store semantics (resident)" `Quick
+      test_store_semantics_resident;
+    Alcotest.test_case "store semantics (budgeted)" `Quick
+      test_store_semantics_budgeted;
+    Alcotest.test_case "evict/fault-in bit identity, all aggregates" `Quick
+      test_evict_fault_bit_identity;
+    Alcotest.test_case "swag round trip through budgeted store" `Quick
+      test_swag_round_trip_through_store;
+    Alcotest.test_case "codec round trips (state, swag, truncation)" `Quick
+      test_codec_round_trips;
+    Alcotest.test_case "pool enforces budget + slack bound" `Quick
+      test_pool_bound_enforced;
+    Alcotest.test_case "set_budget shrink evicts immediately" `Quick
+      test_set_budget_shrink_evicts;
+    Alcotest.test_case "negative budget rejected" `Quick
+      test_negative_budget_rejected;
+    Alcotest.test_case "compaction bounds disk under churn" `Quick
+      test_compaction_bounds_disk;
+    Alcotest.test_case "spill file: read, scan, corrupt, truncated" `Quick
+      test_file_read_and_scan;
+    Alcotest.test_case "fault-in of corrupt record is typed" `Quick
+      test_fault_in_is_typed;
+    Alcotest.test_case "budget 0 == unbudgeted: time windows" `Quick
+      test_budget0_time_windows;
+    Alcotest.test_case "budget 0 == unbudgeted: count windows" `Quick
+      test_budget0_count_windows;
+    Alcotest.test_case "budget 0 == unbudgeted: session windows" `Quick
+      test_budget0_session_windows;
+    Alcotest.test_case "checkpoint under budget is byte-identical" `Quick
+      test_checkpoint_under_budget_byte_identical;
+  ]
